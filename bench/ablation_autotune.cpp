@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The §5.5 "future work" mechanism, implemented: an iterative search
+ * over miss-share thresholds that picks the best per workload.
+ * Compares the fixed T=1% default against the per-workload tuned
+ * threshold (the paper notes moses prefers T=2%).
+ */
+
+#include <iostream>
+
+#include "core/autotune.h"
+#include "sim/stats.h"
+#include "sim/table.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+int
+main()
+{
+    SimConfig cfg = SimConfig::skylake();
+    CrispOptions opts;
+    const uint64_t kTrain = 150'000, kRef = 300'000;
+
+    std::cout << "=== §5.5 extension: per-workload threshold "
+                 "auto-tuning ===\n\n";
+    Table table({"workload", "fixed T=1%", "best T", "tuned gain"});
+
+    std::vector<double> fixed_gain, tuned_gain;
+    for (const auto &wl : workloadRegistry()) {
+        AutoTuneResult r =
+            autoTuneMissShare(wl, cfg, opts, kTrain, kRef);
+        double at_default = r.ipcByThreshold.count(0.01)
+                                ? r.ipcByThreshold[0.01] /
+                                      r.baselineIpc
+                                : 1.0;
+        fixed_gain.push_back(at_default);
+        tuned_gain.push_back(r.bestSpeedup());
+        table.addRow({wl.name, percent(at_default - 1.0),
+                      percent(r.bestThreshold, 1),
+                      percent(r.bestSpeedup() - 1.0)});
+        std::cerr << "  done " << wl.name << "\n";
+    }
+    table.addRow({"geomean", percent(geomean(fixed_gain) - 1.0), "",
+                  percent(geomean(tuned_gain) - 1.0)});
+    table.print(std::cout);
+    std::cout << "\ntuned >= fixed by construction; per-workload "
+                 "optima differ (the paper's moses prefers T=2%).\n";
+    return 0;
+}

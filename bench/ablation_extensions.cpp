@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablations of CRISP's §6.1 extensions and design choices beyond the
+ * paper's main figures:
+ *
+ *   1. criticality-aware DRAM scheduling (critical loads get data-bus
+ *      priority);
+ *   2. long-latency (division) slices;
+ *   3. critical-path filtering off (the IBDA-style over-selection
+ *      failure mode inside CRISP's own pipeline, §3.5);
+ *   4. dependencies-through-memory off (the register-only IBDA view,
+ *      §3.5).
+ */
+
+#include <iostream>
+
+#include "sim/driver.h"
+#include "sim/stats.h"
+#include "sim/table.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+namespace
+{
+
+double
+crispIpc(const WorkloadInfo &wl, const SimConfig &machine,
+         const CrispOptions &opts, const EvalSizes &sizes)
+{
+    CrispPipeline pipe(wl, opts, machine, sizes.trainOps,
+                       sizes.refOps);
+    Trace tagged = pipe.refTrace(true);
+    SimConfig cfg = machine;
+    cfg.scheduler = SchedulerPolicy::CrispPriority;
+    CoreStats s = runCore(tagged, cfg);
+    return s.ipc();
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig machine = SimConfig::skylake();
+    EvalSizes sizes{200'000, 400'000};
+
+    std::cout << "=== Ablations: §6.1 extensions and §3.5 design "
+                 "choices ===\n\n";
+    Table table({"workload", "CRISP", "+crit DRAM", "+div slices",
+                 "no CP filter", "no mem deps"});
+
+    std::vector<std::vector<double>> cols(5);
+    for (const auto &wl : workloadRegistry()) {
+        CrispOptions base_opts;
+        CrispPipeline base_pipe(wl, base_opts, machine,
+                                sizes.trainOps, sizes.refOps);
+        Trace base_trace = base_pipe.refTrace(false);
+        double base_ipc = runCore(base_trace, machine).ipc();
+
+        // 1. plain CRISP
+        double v0 = crispIpc(wl, machine, base_opts, sizes);
+        // 2. + criticality-aware DRAM
+        SimConfig crit_dram = machine;
+        crit_dram.enableCriticalDram = true;
+        double v1 = crispIpc(wl, crit_dram, base_opts, sizes);
+        // 3. + division slices
+        CrispOptions divs = base_opts;
+        divs.enableLongLatencySlices = true;
+        double v2 = crispIpc(wl, machine, divs, sizes);
+        // 4. critical-path filter off
+        CrispOptions nocp = base_opts;
+        nocp.criticalPathFilter = false;
+        double v3 = crispIpc(wl, machine, nocp, sizes);
+        // 5. memory dependencies off (register-only slices)
+        CrispOptions nomem = base_opts;
+        nomem.memDependencies = false;
+        double v4 = crispIpc(wl, machine, nomem, sizes);
+
+        std::vector<std::string> row = {wl.name};
+        double vals[5] = {v0, v1, v2, v3, v4};
+        for (int k = 0; k < 5; ++k) {
+            double speedup = vals[k] / base_ipc;
+            cols[k].push_back(speedup);
+            row.push_back(percent(speedup - 1.0));
+        }
+        table.addRow(row);
+        std::cerr << "  done " << wl.name << "\n";
+    }
+    std::vector<std::string> mean_row = {"geomean"};
+    for (int k = 0; k < 5; ++k)
+        mean_row.push_back(percent(geomean(cols[k]) - 1.0));
+    table.addRow(mean_row);
+
+    table.print(std::cout);
+    std::cout
+        << "\nexpected shape: critical-DRAM adds a little on "
+           "bus-contended workloads; division slices matter only "
+           "where divides are hot (nab); disabling the critical-path "
+           "filter or memory-dependence tracking loses part of the "
+           "gain (the §3.5 arguments for software extraction).\n";
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot
+ * components: branch predictors, cache lookups, DRAM timing, the age
+ * matrix, the interpreter, and end-to-end core simulation speed.
+ * These guard the "laptop-runnable" property of the reproduction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bp/bimodal.h"
+#include "bp/gshare.h"
+#include "bp/tage.h"
+#include "cache/cache.h"
+#include "cpu/age_matrix.h"
+#include "cpu/core.h"
+#include "dram/controller.h"
+#include "vm/interpreter.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+namespace
+{
+
+uint64_t
+lcg(uint64_t &s)
+{
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 16;
+}
+
+template <typename Predictor>
+void
+predictorBench(benchmark::State &state)
+{
+    Predictor pred;
+    uint64_t seed = 42;
+    for (auto _ : state) {
+        uint64_t pc = 0x1000 + (lcg(seed) & 0x3ff);
+        bool taken = (lcg(seed) & 7) != 0;
+        bool p = pred.predict(pc);
+        benchmark::DoNotOptimize(p);
+        pred.update(pc, taken);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Tage(benchmark::State &state)
+{
+    predictorBench<TagePredictor>(state);
+}
+
+void
+BM_Gshare(benchmark::State &state)
+{
+    predictorBench<GsharePredictor>(state);
+}
+
+void
+BM_Bimodal(benchmark::State &state)
+{
+    predictorBench<BimodalPredictor>(state);
+}
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    Cache cache("bench", CacheConfig{32 * 1024, 8, 64, 4, 16});
+    uint64_t seed = 7, cycle = 0;
+    for (auto _ : state) {
+        uint64_t addr = (lcg(seed) & 0xffff) << 6;
+        auto res = cache.lookup(addr, ++cycle);
+        if (!res.hit)
+            cache.fill(addr, cycle + 40);
+        benchmark::DoNotOptimize(res.readyCycle);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    DramController dram;
+    uint64_t seed = 9, cycle = 0;
+    for (auto _ : state) {
+        cycle += 50;
+        uint64_t ready =
+            dram.access((lcg(seed) & 0xffffff) << 6, cycle);
+        benchmark::DoNotOptimize(ready);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_AgeMatrixSelect(benchmark::State &state)
+{
+    unsigned slots = unsigned(state.range(0));
+    AgeMatrix age(slots);
+    for (unsigned s = 0; s < slots; ++s)
+        age.allocate(s);
+    SlotVector cand(slots);
+    uint64_t seed = 3;
+    for (unsigned s = 0; s < slots; ++s)
+        if (lcg(seed) & 1)
+            cand.set(s);
+    for (auto _ : state) {
+        int oldest = age.selectOldest(cand);
+        benchmark::DoNotOptimize(oldest);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    auto prog = std::make_shared<Program>(
+        buildPointerChase(InputSet::Train));
+    for (auto _ : state) {
+        Interpreter interp(prog);
+        Trace t = interp.run(50'000);
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 50'000);
+}
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    auto prog = std::make_shared<Program>(
+        buildPointerChase(InputSet::Train));
+    Interpreter interp(prog);
+    Trace trace = interp.run(50'000);
+    SimConfig cfg = SimConfig::skylake();
+    for (auto _ : state) {
+        Core core(trace, cfg);
+        CoreStats s = core.run();
+        benchmark::DoNotOptimize(s.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 50'000);
+}
+
+BENCHMARK(BM_Tage);
+BENCHMARK(BM_Gshare);
+BENCHMARK(BM_Bimodal);
+BENCHMARK(BM_CacheLookup);
+BENCHMARK(BM_DramAccess);
+BENCHMARK(BM_AgeMatrixSelect)->Arg(96)->Arg(192);
+BENCHMARK(BM_Interpreter);
+BENCHMARK(BM_CoreSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces CRISP Figure 1: micro-ops retired per cycle over time
+ * for the pointer-chase microbenchmark, OOO baseline vs CRISP.
+ *
+ * Prints a bucketed UPC series (one row per 25-cycle window) for a
+ * steady-state excerpt, followed by whole-run UPC. The paper's
+ * qualitative shape: the baseline alternates full-width bursts with
+ * long stalls at each linked-list miss; CRISP shortens the stalls by
+ * issuing the next node's load slice first.
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "sim/driver.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+namespace
+{
+
+/** Bucketed UPC series from a per-cycle retire timeline. */
+std::vector<double>
+bucketize(const std::vector<uint8_t> &timeline, size_t start,
+          size_t buckets, size_t width)
+{
+    std::vector<double> out;
+    for (size_t b = 0; b < buckets; ++b) {
+        size_t lo = start + b * width;
+        if (lo + width > timeline.size())
+            break;
+        uint64_t sum = 0;
+        for (size_t c = lo; c < lo + width; ++c)
+            sum += timeline[c];
+        out.push_back(double(sum) / double(width));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    SimConfig cfg = SimConfig::skylake();
+    CrispOptions opts;
+
+    CrispPipeline pipe(*wl, opts, cfg, 150'000, 250'000);
+
+    Trace base_trace = pipe.refTrace(false);
+    CoreStats base = runCore(base_trace, cfg, true);
+
+    Trace crisp_trace = pipe.refTrace(true);
+    SimConfig crisp_cfg = cfg;
+    crisp_cfg.scheduler = SchedulerPolicy::CrispPriority;
+    CoreStats crisp = runCore(crisp_trace, crisp_cfg, true);
+
+    std::printf("=== Figure 1: UPC timeline, pointer-chase "
+                "microbenchmark ===\n\n");
+
+    const size_t kWindow = 25;
+    const size_t kBuckets = 48;
+    size_t start = base.retireTimeline.size() / 2;
+    auto b_ooo = bucketize(base.retireTimeline, start, kBuckets,
+                           kWindow);
+    auto b_crisp = bucketize(crisp.retireTimeline, start, kBuckets,
+                             kWindow);
+
+    std::printf("%-8s  %-6s %-28s  %-6s %s\n", "cycle", "OOO",
+                "", "CRISP", "");
+    for (size_t b = 0; b < b_ooo.size() && b < b_crisp.size(); ++b) {
+        auto bar = [](double v) {
+            std::string s(size_t(v * 4.0 + 0.5), '#');
+            return s;
+        };
+        std::printf("%-8zu  %5.2f %-28s  %5.2f %s\n",
+                    start + b * kWindow, b_ooo[b],
+                    bar(b_ooo[b]).c_str(), b_crisp[b],
+                    bar(b_crisp[b]).c_str());
+    }
+
+    double upc_ooo = base.ipc();
+    double upc_crisp = crisp.ipc();
+    std::printf("\nwhole-run UPC: OOO %.3f, CRISP %.3f "
+                "(%+.1f%% improvement)\n",
+                upc_ooo, upc_crisp,
+                (upc_crisp / upc_ooo - 1.0) * 100.0);
+    std::printf("paper reference: CRISP improves the average UPC of "
+                "this kernel by over 30%% on their machine; see\n"
+                "EXPERIMENTS.md for why this reproduction's margin "
+                "is smaller.\n");
+    return 0;
+}

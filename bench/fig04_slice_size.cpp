@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces CRISP Figure 4: average load-slice size per workload
+ * (static instructions in the full backward slice, before
+ * critical-path filtering), plus the average dynamic walk length.
+ */
+
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "sim/stats.h"
+#include "sim/table.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+int
+main()
+{
+    SimConfig cfg = SimConfig::skylake();
+    CrispOptions opts;
+
+    std::cout << "=== Figure 4: average load slice size ===\n\n";
+    Table table({"workload", "slices", "avg full slice",
+                 "avg critical slice", "avg dyn ancestors"});
+
+    for (const auto &wl : workloadRegistry()) {
+        CrispPipeline pipe(wl, opts, cfg, 200'000, 200'000);
+        const CrispAnalysis &a = pipe.analysis();
+        double full = 0, crit = 0, dyn = 0;
+        for (const auto &s : a.loadSlices) {
+            full += double(s.fullSlice.size());
+            crit += double(s.criticalSlice.size());
+            dyn += s.avgDynAncestors;
+        }
+        size_t n = a.loadSlices.size();
+        table.addRow({wl.name, std::to_string(n),
+                      n ? fixed(full / double(n), 1) : "-",
+                      n ? fixed(crit / double(n), 1) : "-",
+                      n ? fixed(dyn / double(n), 1) : "-"});
+        std::cerr << "  done " << wl.name << "\n";
+    }
+    table.print(std::cout);
+    std::cout << "\npaper reference: slices range from a handful of "
+                 "instructions to hundreds (moses/datacenter apps "
+                 "largest), motivating software extraction over "
+                 "bounded hardware slice storage.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces CRISP Figure 9: CRISP's IPC gain across reservation
+ * station / ROB sizes — 64/180 (small), 96/224 (Skylake), 144/336
+ * (+50%), 192/448 (+100%, Sunny-Cove-like). More window lets the
+ * scheduler keep more deferrable work co-resident with critical
+ * slices, so gains grow for window-hungry workloads (xhpcg) and
+ * shrink where the big ROB already fixes the baseline (moses).
+ */
+
+#include <iostream>
+
+#include "sim/driver.h"
+#include "sim/stats.h"
+#include "sim/table.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+int
+main()
+{
+    struct Window
+    {
+        unsigned rs;
+        unsigned rob;
+        const char *label;
+    };
+    const Window windows[] = {{64, 180, "64RS/180ROB"},
+                              {96, 224, "96RS/224ROB"},
+                              {144, 336, "144RS/336ROB"},
+                              {192, 448, "192RS/448ROB"}};
+
+    CrispOptions opts;
+    EvalSizes sizes{200'000, 400'000};
+
+    std::cout << "=== Figure 9: CRISP gain vs RS/ROB size ===\n\n";
+    std::vector<std::string> headers = {"workload"};
+    for (const auto &w : windows)
+        headers.push_back(w.label);
+    Table table(headers);
+
+    std::vector<std::vector<double>> cols(4);
+    for (const auto &wl : workloadRegistry()) {
+        std::vector<std::string> row = {wl.name};
+        // Analysis is machine-independent: do it once per workload.
+        SimConfig base_machine = SimConfig::skylake();
+        CrispPipeline pipe(wl, opts, base_machine, sizes.trainOps,
+                           sizes.refOps);
+        Trace base_trace = pipe.refTrace(false);
+        Trace crisp_trace = pipe.refTrace(true);
+
+        for (size_t k = 0; k < 4; ++k) {
+            SimConfig cfg = SimConfig::withWindow(windows[k].rs,
+                                                  windows[k].rob);
+            CoreStats b = runCore(base_trace, cfg);
+            SimConfig ccfg = cfg;
+            ccfg.scheduler = SchedulerPolicy::CrispPriority;
+            CoreStats c = runCore(crisp_trace, ccfg);
+            double speedup = c.ipc() / b.ipc();
+            cols[k].push_back(speedup);
+            row.push_back(percent(speedup - 1.0));
+        }
+        table.addRow(row);
+        std::cerr << "  done " << wl.name << "\n";
+    }
+    std::vector<std::string> mean_row = {"geomean"};
+    for (size_t k = 0; k < 4; ++k)
+        mean_row.push_back(percent(geomean(cols[k]) - 1.0));
+    table.addRow(mean_row);
+
+    table.print(std::cout);
+    std::cout << "\npaper reference: CRISP keeps significant gains "
+                 "across windows; xhpcg's gain roughly doubles at "
+                 "the Sunny-Cove-like window, moses gains most at "
+                 "the small one.\n";
+    return 0;
+}

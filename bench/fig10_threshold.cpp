@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces CRISP Figure 10: sensitivity to the miss-share
+ * criticality threshold T — a load is delinquent only if it
+ * contributes more than T of the application's total LLC misses
+ * (§5.5). The paper sweeps T = 5%, 1%, 0.2% and finds 1% best
+ * overall.
+ */
+
+#include <iostream>
+
+#include "sim/driver.h"
+#include "sim/stats.h"
+#include "sim/table.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+int
+main()
+{
+    const double thresholds[] = {0.05, 0.01, 0.002};
+    SimConfig cfg = SimConfig::skylake();
+    EvalSizes sizes{200'000, 400'000};
+
+    std::cout << "=== Figure 10: miss-share threshold T sweep ===\n\n";
+    Table table({"workload", "base IPC", "T=5%", "T=1%", "T=0.2%"});
+
+    std::vector<std::vector<double>> cols(3);
+    for (const auto &wl : workloadRegistry()) {
+        CrispOptions base_opts;
+        CrispPipeline base_pipe(wl, base_opts, cfg, sizes.trainOps,
+                                sizes.refOps);
+        Trace base_trace = base_pipe.refTrace(false);
+        CoreStats base = runCore(base_trace, cfg);
+
+        std::vector<std::string> row = {wl.name,
+                                        fixed(base.ipc(), 3)};
+        for (size_t k = 0; k < 3; ++k) {
+            CrispOptions opts;
+            opts.missShareThreshold = thresholds[k];
+            CrispPipeline pipe(wl, opts, cfg, sizes.trainOps,
+                               sizes.refOps);
+            Trace tagged = pipe.refTrace(true);
+            SimConfig ccfg = cfg;
+            ccfg.scheduler = SchedulerPolicy::CrispPriority;
+            CoreStats c = runCore(tagged, ccfg);
+            double speedup = c.ipc() / base.ipc();
+            cols[k].push_back(speedup);
+            row.push_back(percent(speedup - 1.0));
+        }
+        table.addRow(row);
+        std::cerr << "  done " << wl.name << "\n";
+    }
+    table.addRow({"geomean", "", percent(geomean(cols[0]) - 1.0),
+                  percent(geomean(cols[1]) - 1.0),
+                  percent(geomean(cols[2]) - 1.0)});
+    table.print(std::cout);
+    std::cout << "\npaper reference: T = 1% gives the best overall "
+                 "performance; over-inclusive (0.2%) tagging "
+                 "prioritizes cache-resident loads and dilutes the "
+                 "scheduler's leverage.\n";
+    return 0;
+}

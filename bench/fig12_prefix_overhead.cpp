@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces CRISP Figure 12 / §5.7: static and dynamic code
+ * footprint overhead of the one-byte critical prefix, and its
+ * instruction-cache MPKI impact.
+ */
+
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "sim/driver.h"
+#include "sim/stats.h"
+#include "sim/table.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+int
+main()
+{
+    SimConfig cfg = SimConfig::skylake();
+    CrispOptions opts;
+    EvalSizes sizes{200'000, 400'000};
+
+    std::cout << "=== Figure 12: critical-prefix footprint "
+                 "overhead ===\n\n";
+    Table table({"workload", "static ovh", "dynamic ovh",
+                 "ic-stall/kI base", "ic-stall/kI crisp",
+                 "delta"});
+
+    std::vector<double> dyn_ovh;
+    std::vector<double> mpki_rel;
+    for (const auto &wl : workloadRegistry()) {
+        CrispPipeline pipe(wl, opts, cfg, sizes.trainOps,
+                           sizes.refOps);
+        TagSummary tags = pipe.tagSummary();
+
+        Trace base_trace = pipe.refTrace(false);
+        CoreStats base = runCore(base_trace, cfg);
+        Trace tagged = pipe.refTrace(true);
+        SimConfig ccfg = cfg;
+        ccfg.scheduler = SchedulerPolicy::CrispPriority;
+        CoreStats crisp = runCore(tagged, ccfg);
+
+        dyn_ovh.push_back(tags.dynamicOverhead());
+        // Idealized FDIP converts steady-state icache misses into
+        // in-flight merges, so frontend stall cycles per kilo-
+        // instruction are the observable pressure metric here.
+        auto stall_pki = [](const CoreStats &s) {
+            return s.retired ? 1000.0 *
+                                   double(s.frontend
+                                              .icacheStallCycles) /
+                                   double(s.retired)
+                             : 0.0;
+        };
+        double b_pki = stall_pki(base);
+        double c_pki = stall_pki(crisp);
+        double rel = b_pki > 0 ? c_pki / b_pki - 1.0 : 0.0;
+        mpki_rel.push_back(rel);
+        table.addRow({wl.name, percent(tags.staticOverhead()),
+                      percent(tags.dynamicOverhead()),
+                      fixed(b_pki, 2), fixed(c_pki, 2),
+                      percent(rel)});
+        std::cerr << "  done " << wl.name << "\n";
+    }
+    table.addRow({"mean", "", percent(mean(dyn_ovh)), "", "",
+                  percent(mean(mpki_rel))});
+    table.print(std::cout);
+    std::cout << "\npaper reference: dynamic footprint grows 5.2% on "
+                 "average (critical instructions live in hot loops); "
+                 "worst-case icache MPKI increase 2.6%. With this "
+                 "reproduction's idealized FDIP, icache pressure "
+                 "shows up as frontend stall cycles instead of "
+                 "demand MPKI; gcc (whose body exceeds the L1I) is "
+                 "the sensitive case.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: the full CRISP flow on the paper's motivating
+ * pointer-chase microbenchmark (Figures 1-3).
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "sim/driver.h"
+#include "sim/stats.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+int
+main()
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    if (!wl) {
+        std::fprintf(stderr, "workload registry broken\n");
+        return 1;
+    }
+
+    SimConfig cfg = SimConfig::skylake();
+    CrispOptions opts;
+    EvalSizes sizes{150'000, 200'000};
+
+    std::printf("CRISP quickstart on '%s'\n", wl->name.c_str());
+    std::printf("machine: %s\n\n", cfg.describe().c_str());
+
+    WorkloadEval eval =
+        evaluateWorkload(*wl, cfg, opts, sizes, {"1K"});
+
+    std::printf("profiling found %zu delinquent loads, %zu critical"
+                " branches\n",
+                eval.analysis.delinquentLoads.size(),
+                eval.analysis.criticalBranches.size());
+    std::printf("tagged %zu static instructions "
+                "(dynamic critical ratio %s)\n",
+                eval.analysis.taggedStatics.size(),
+                percent(eval.analysis.dynamicCriticalRatio).c_str());
+    std::printf("avg load slice size: %.1f static instructions\n\n",
+                eval.analysis.avgLoadSliceSize);
+
+    std::printf("baseline OOO IPC : %.3f\n", eval.ipcBaseline);
+    std::printf("CRISP IPC        : %.3f  (%+.1f%%)\n",
+                eval.ipcCrisp,
+                (eval.crispSpeedup() - 1.0) * 100.0);
+    std::printf("IBDA(1K IST) IPC : %.3f  (%+.1f%%)\n",
+                eval.ipcIbda["1K"],
+                (eval.ibdaSpeedup("1K") - 1.0) * 100.0);
+
+    std::printf("\nROB-head stall cycles: baseline %llu -> CRISP"
+                " %llu\n",
+                (unsigned long long)
+                    eval.baseStats.robHeadStallCycles,
+                (unsigned long long)
+                    eval.crispStats.robHeadStallCycles);
+    std::printf("branch mispredicts (ref run): %llu\n",
+                (unsigned long long)
+                    eval.baseStats.frontend.mispredicts());
+    return 0;
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Per-workload analysis report: what the profiler saw, what the
+ * delinquency/branch heuristics selected, what got tagged, and how
+ * the baseline/CRISP runs compare. A debugging and inspection
+ * companion to the figure benches.
+ *
+ * Usage: workload_report [workload ...]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "sim/driver.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+namespace
+{
+
+void
+reportWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
+               const CrispOptions &opts, const EvalSizes &sizes)
+{
+    std::printf("=== %s: %s\n", wl.name.c_str(),
+                wl.description.c_str());
+
+    CrispPipeline pipe(wl, opts, cfg, sizes.trainOps, sizes.refOps);
+    const CrispAnalysis &a = pipe.analysis();
+    const ProfileResult &p = a.profile;
+
+    std::printf("  profile: %llu ops, %llu loads, %llu LLC misses,"
+                " dram lat %.0f\n",
+                (unsigned long long)p.totalOps,
+                (unsigned long long)p.totalLoads,
+                (unsigned long long)p.totalLlcMisses,
+                p.avgDramLatency);
+
+    // Top missing loads.
+    std::vector<std::pair<uint64_t, uint32_t>> loads;
+    for (const auto &[sidx, lp] : p.loads)
+        if (lp.llcMisses)
+            loads.emplace_back(lp.llcMisses, sidx);
+    std::sort(loads.rbegin(), loads.rend());
+    for (size_t k = 0; k < loads.size() && k < 4; ++k) {
+        const auto &lp = p.loads.at(loads[k].second);
+        std::printf("  load @%u: exec %llu, missRatio %.2f, mlp %.1f,"
+                    " stride %.2f, share %.3f\n",
+                    loads[k].second, (unsigned long long)lp.exec,
+                    lp.missRatio(), lp.avgMlp(), lp.strideability(),
+                    p.totalLlcMisses
+                        ? double(lp.llcMisses) /
+                              double(p.totalLlcMisses)
+                        : 0.0);
+    }
+    // Top mispredicting branches.
+    std::vector<std::pair<uint64_t, uint32_t>> brs;
+    for (const auto &[sidx, bp] : p.branches)
+        if (bp.mispredicts)
+            brs.emplace_back(bp.mispredicts, sidx);
+    std::sort(brs.rbegin(), brs.rend());
+    for (size_t k = 0; k < brs.size() && k < 3; ++k) {
+        const auto &bp = p.branches.at(brs[k].second);
+        std::printf("  branch @%u: exec %llu, mispred %.2f\n",
+                    brs[k].second, (unsigned long long)bp.exec,
+                    bp.mispredictRatio());
+    }
+
+    std::printf("  selected: %zu delinquent loads, %zu branches;"
+                " tagged %zu statics, dyn ratio %.2f\n",
+                a.delinquentLoads.size(), a.criticalBranches.size(),
+                a.taggedStatics.size(), a.dynamicCriticalRatio);
+    for (const auto &s : a.loadSlices)
+        std::printf("    load slice @%u: full %zu -> critical %zu\n",
+                    s.rootSidx, s.fullSlice.size(),
+                    s.criticalSlice.size());
+    for (const auto &s : a.branchSlices)
+        std::printf("    br slice @%u: full %zu -> critical %zu\n",
+                    s.rootSidx, s.fullSlice.size(),
+                    s.criticalSlice.size());
+
+    Trace base = pipe.refTrace(false);
+    CoreStats sb = runCore(base, cfg);
+    Trace tagged = pipe.refTrace(true);
+    SimConfig ccfg = cfg;
+    ccfg.scheduler = SchedulerPolicy::CrispPriority;
+    CoreStats sc = runCore(tagged, ccfg);
+
+    std::printf("  base : IPC %.3f, headStall %llu (load %llu),"
+                " mispred %llu, brStall %llu, icStall %llu\n",
+                sb.ipc(),
+                (unsigned long long)sb.robHeadStallCycles,
+                (unsigned long long)sb.robHeadLoadStallCycles,
+                (unsigned long long)sb.frontend.mispredicts(),
+                (unsigned long long)sb.frontend.branchStallCycles,
+                (unsigned long long)sb.frontend.icacheStallCycles);
+    {
+        std::vector<std::pair<uint64_t, uint32_t>> waits;
+        for (auto &[sidx, w] : sb.issueWaitByStatic)
+            waits.emplace_back(w.first, sidx);
+        std::sort(waits.rbegin(), waits.rend());
+        for (size_t k = 0; k < waits.size() && k < 5; ++k) {
+            uint32_t sidx = waits[k].second;
+            auto wb = sb.issueWaitByStatic[sidx];
+            auto wcIt = sc.issueWaitByStatic.find(sidx);
+            double avg_b = wb.second ? double(wb.first) / wb.second : 0;
+            double avg_c =
+                (wcIt != sc.issueWaitByStatic.end() &&
+                 wcIt->second.second)
+                    ? double(wcIt->second.first) / wcIt->second.second
+                    : 0;
+            std::printf("  wait @%u: base sum %llu (avg %.1f) ->"
+                        " crisp avg %.1f\n",
+                        sidx, (unsigned long long)wb.first, avg_b,
+                        avg_c);
+        }
+    }
+    for (uint32_t root : a.delinquentLoads) {
+        auto itb = sb.issueWaitByStatic.find(root);
+        auto itc = sc.issueWaitByStatic.find(root);
+        double wb = (itb != sb.issueWaitByStatic.end() &&
+                     itb->second.second)
+                        ? double(itb->second.first) /
+                              double(itb->second.second)
+                        : 0.0;
+        double wc = (itc != sc.issueWaitByStatic.end() &&
+                     itc->second.second)
+                        ? double(itc->second.first) /
+                              double(itc->second.second)
+                        : 0.0;
+        std::printf("  root @%u avg issue wait: base %.1f ->"
+                    " crisp %.1f cycles\n",
+                    root, wb, wc);
+    }
+    std::printf("  crisp: IPC %.3f (%+.1f%%), headStall %llu,"
+                " prio-issued %llu of %llu\n\n",
+                sc.ipc(), (sc.ipc() / sb.ipc() - 1.0) * 100.0,
+                (unsigned long long)sc.robHeadStallCycles,
+                (unsigned long long)sc.issuedPrioritized,
+                (unsigned long long)sc.issued);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig cfg = SimConfig::skylake();
+    CrispOptions opts;
+    EvalSizes sizes{200'000, 400'000};
+
+    std::vector<std::string> names;
+    for (int i = 1; i < argc; ++i)
+        names.push_back(argv[i]);
+    if (names.empty())
+        names = workloadNames();
+
+    for (const auto &name : names) {
+        const WorkloadInfo *wl = findWorkload(name);
+        if (!wl) {
+            std::fprintf(stderr, "unknown workload '%s'\n",
+                         name.c_str());
+            continue;
+        }
+        reportWorkload(*wl, cfg, opts, sizes);
+    }
+    return 0;
+}

@@ -1,0 +1,27 @@
+#include "bp/bimodal.h"
+
+namespace crisp
+{
+
+BimodalPredictor::BimodalPredictor(unsigned log_entries)
+    : table_(1ULL << log_entries, 2), mask_((1ULL << log_entries) - 1)
+{
+}
+
+bool
+BimodalPredictor::predict(uint64_t pc)
+{
+    return table_[indexOf(pc)] >= 2;
+}
+
+void
+BimodalPredictor::update(uint64_t pc, bool taken)
+{
+    uint8_t &ctr = table_[indexOf(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+}
+
+} // namespace crisp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Bimodal (per-PC 2-bit counter) direction predictor.
+ */
+
+#ifndef CRISP_BP_BIMODAL_H
+#define CRISP_BP_BIMODAL_H
+
+#include <vector>
+
+#include <cstddef>
+
+#include "bp/predictor.h"
+
+namespace crisp
+{
+
+/** Classic per-PC saturating 2-bit counter table. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    /** @param log_entries log2 of the counter-table size. */
+    explicit BimodalPredictor(unsigned log_entries = 14);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    std::vector<uint8_t> table_;
+    uint64_t mask_;
+
+    size_t indexOf(uint64_t pc) const { return (pc >> 1) & mask_; }
+};
+
+} // namespace crisp
+
+#endif // CRISP_BP_BIMODAL_H

@@ -1,0 +1,50 @@
+#include "bp/btb.h"
+
+namespace crisp
+{
+
+Btb::Btb(unsigned entries, unsigned ways)
+    : entries_(entries), sets_(entries / ways), ways_(ways)
+{
+}
+
+bool
+Btb::lookup(uint64_t pc, uint64_t &target)
+{
+    ++lookups_;
+    Entry *set = setBase(pc);
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].pc == pc) {
+            set[w].lru = ++clock_;
+            target = set[w].target;
+            ++hits_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target)
+{
+    Entry *set = setBase(pc);
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].pc == pc) {
+            set[w].target = target;
+            set[w].lru = ++clock_;
+            return;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+        } else if (victim->valid && set[w].lru < victim->lru) {
+            victim = &set[w];
+        }
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lru = ++clock_;
+}
+
+} // namespace crisp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Branch target buffer (8K entries in the paper's Table 1).
+ */
+
+#ifndef CRISP_BP_BTB_H
+#define CRISP_BP_BTB_H
+
+#include <cstdint>
+#include <vector>
+
+namespace crisp
+{
+
+/**
+ * Set-associative BTB with true-LRU replacement. Stores the most
+ * recent taken target per branch PC; also serves as the (last-target)
+ * indirect branch predictor.
+ */
+class Btb
+{
+  public:
+    /**
+     * @param entries total entry count (default 8K per Table 1)
+     * @param ways set associativity
+     */
+    explicit Btb(unsigned entries = 8192, unsigned ways = 4);
+
+    /**
+     * Looks up @p pc.
+     * @param[out] target the stored target when found
+     * @return true on hit.
+     */
+    bool lookup(uint64_t pc, uint64_t &target);
+
+    /** Installs/refreshes the mapping @p pc -> @p target. */
+    void update(uint64_t pc, uint64_t target);
+
+    /** @return hit count since construction. */
+    uint64_t hits() const { return hits_; }
+    /** @return lookup count since construction. */
+    uint64_t lookups() const { return lookups_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t pc = 0;
+        uint64_t target = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries_;
+    unsigned sets_;
+    unsigned ways_;
+    uint64_t clock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t lookups_ = 0;
+
+    Entry *setBase(uint64_t pc)
+    {
+        return &entries_[(pc >> 1) % sets_ * ways_];
+    }
+};
+
+} // namespace crisp
+
+#endif // CRISP_BP_BTB_H

@@ -1,0 +1,31 @@
+#include "bp/gshare.h"
+
+namespace crisp
+{
+
+GsharePredictor::GsharePredictor(unsigned log_entries,
+                                 unsigned hist_bits)
+    : table_(1ULL << log_entries, 2),
+      mask_((1ULL << log_entries) - 1),
+      histMask_((1ULL << hist_bits) - 1)
+{
+}
+
+bool
+GsharePredictor::predict(uint64_t pc)
+{
+    return table_[indexOf(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(uint64_t pc, bool taken)
+{
+    uint8_t &ctr = table_[indexOf(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+} // namespace crisp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Gshare (global-history XOR PC) direction predictor.
+ */
+
+#ifndef CRISP_BP_GSHARE_H
+#define CRISP_BP_GSHARE_H
+
+#include <vector>
+
+#include <cstddef>
+
+#include "bp/predictor.h"
+
+namespace crisp
+{
+
+/** Global-history XOR indexed 2-bit counter predictor. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param log_entries log2 of the counter-table size
+     * @param hist_bits history length folded into the index
+     */
+    explicit GsharePredictor(unsigned log_entries = 14,
+                             unsigned hist_bits = 12);
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+  private:
+    std::vector<uint8_t> table_;
+    uint64_t mask_;
+    uint64_t histMask_;
+    uint64_t history_ = 0;
+
+    size_t indexOf(uint64_t pc) const
+    {
+        return ((pc >> 1) ^ (history_ & histMask_)) & mask_;
+    }
+};
+
+} // namespace crisp
+
+#endif // CRISP_BP_GSHARE_H

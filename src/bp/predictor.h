@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Conditional branch direction predictor interface.
+ */
+
+#ifndef CRISP_BP_PREDICTOR_H
+#define CRISP_BP_PREDICTOR_H
+
+#include <cstdint>
+
+namespace crisp
+{
+
+/**
+ * Abstract direction predictor. Implementations keep their own global
+ * history; callers must invoke update() exactly once per predicted
+ * branch, in fetch order, with the resolved outcome.
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** @return the predicted direction for the branch at @p pc. */
+    virtual bool predict(uint64_t pc) = 0;
+
+    /**
+     * Trains with the resolved outcome and advances history.
+     * @param pc the branch address
+     * @param taken the actual direction
+     */
+    virtual void update(uint64_t pc, bool taken) = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_BP_PREDICTOR_H

@@ -1,0 +1,2 @@
+// Ras is header-only; this file keeps the build layout uniform.
+#include "bp/ras.h"

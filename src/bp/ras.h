@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Return address stack.
+ */
+
+#ifndef CRISP_BP_RAS_H
+#define CRISP_BP_RAS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace crisp
+{
+
+/** Fixed-depth circular return-address stack. */
+class Ras
+{
+  public:
+    /** @param depth number of entries. */
+    explicit Ras(unsigned depth = 32) : stack_(depth, 0) {}
+
+    /** Pushes the return address of a call. */
+    void push(uint64_t return_pc)
+    {
+        top_ = (top_ + 1) % stack_.size();
+        stack_[top_] = return_pc;
+        if (size_ < stack_.size())
+            ++size_;
+    }
+
+    /**
+     * Pops the predicted return target.
+     * @return the prediction, or 0 when empty.
+     */
+    uint64_t pop()
+    {
+        if (size_ == 0)
+            return 0;
+        uint64_t v = stack_[top_];
+        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        --size_;
+        return v;
+    }
+
+    /** @return current occupancy. */
+    unsigned size() const { return size_; }
+
+  private:
+    std::vector<uint64_t> stack_;
+    unsigned top_ = 0;
+    unsigned size_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_BP_RAS_H

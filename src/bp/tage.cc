@@ -1,0 +1,187 @@
+#include "bp/tage.h"
+
+namespace crisp
+{
+
+void
+TagePredictor::FoldedHistory::push(bool bit,
+                                   const std::vector<uint8_t> &ghr,
+                                   unsigned head)
+{
+    if (foldLen == 0)
+        return;
+    // Outgoing bit: the one that just left the origLen-bit window.
+    unsigned n = static_cast<unsigned>(ghr.size());
+    uint8_t out = ghr[(head + n - origLen) % n];
+    value = (value << 1) | (bit ? 1 : 0);
+    value ^= uint32_t(out) << (origLen % foldLen);
+    value ^= value >> foldLen;
+    value &= (1u << foldLen) - 1;
+}
+
+TagePredictor::TagePredictor()
+    : base_(1u << 13, 2), ghr_(kMaxHist * 4, 0)
+{
+    constexpr unsigned lens[kNumTables] = {4, 8, 16, 32, 64, 128};
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        histLen_[t] = lens[t];
+        tables_[t].assign(1u << kLogEntries, Entry{});
+        idxHist_[t].setup(lens[t], kLogEntries);
+        tagHist1_[t].setup(lens[t], kTagBits);
+        tagHist2_[t].setup(lens[t], kTagBits - 1);
+    }
+}
+
+size_t
+TagePredictor::tableIndex(uint64_t pc, unsigned t) const
+{
+    uint64_t h = (pc >> 1) ^ (pc >> (kLogEntries + t + 1)) ^
+                 idxHist_[t].value;
+    return h & ((1u << kLogEntries) - 1);
+}
+
+uint16_t
+TagePredictor::tableTag(uint64_t pc, unsigned t) const
+{
+    uint64_t h = (pc >> 1) ^ tagHist1_[t].value ^
+                 (uint64_t(tagHist2_[t].value) << 1);
+    return static_cast<uint16_t>(h & ((1u << kTagBits) - 1));
+}
+
+bool
+TagePredictor::predict(uint64_t pc)
+{
+    lastPc_ = pc;
+    providerTable_ = -1;
+    altTable_ = -1;
+
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        lastIdx_[t] = tableIndex(pc, t);
+        lastTag_[t] = tableTag(pc, t);
+    }
+    for (int t = kNumTables - 1; t >= 0; --t) {
+        const Entry &e = tables_[t][lastIdx_[t]];
+        if (e.tag == lastTag_[t]) {
+            if (providerTable_ < 0) {
+                providerTable_ = t;
+            } else if (altTable_ < 0) {
+                altTable_ = t;
+                break;
+            }
+        }
+    }
+
+    bool base_pred = base_[baseIndex(pc)] >= 2;
+    altPred_ = base_pred;
+    if (altTable_ >= 0)
+        altPred_ = tables_[altTable_][lastIdx_[altTable_]].ctr >= 0;
+
+    if (providerTable_ >= 0) {
+        const Entry &e = tables_[providerTable_][lastIdx_[providerTable_]];
+        providerPred_ = e.ctr >= 0;
+        // Weak, never-useful entries: trust the alternate prediction.
+        bool weak = (e.ctr == 0 || e.ctr == -1) && e.useful == 0;
+        lastPred_ = weak ? altPred_ : providerPred_;
+    } else {
+        providerPred_ = base_pred;
+        lastPred_ = base_pred;
+    }
+    return lastPred_;
+}
+
+void
+TagePredictor::update(uint64_t pc, bool taken)
+{
+    (void)pc; // state from the matching predict() call is used
+
+    // Allocate on a mispredicting provider that is not the longest
+    // history component.
+    bool mispred = lastPred_ != taken;
+    if (mispred && providerTable_ < int(kNumTables) - 1) {
+        int start = providerTable_ + 1;
+        int victim = -1;
+        // Pseudo-random start for fairness between candidates.
+        int offset = static_cast<int>(tick_ & 1);
+        for (int t = start + offset; t < int(kNumTables); ++t) {
+            if (tables_[t][lastIdx_[t]].useful == 0) {
+                victim = t;
+                break;
+            }
+        }
+        if (victim < 0) {
+            for (int t = start; t < int(kNumTables); ++t) {
+                if (tables_[t][lastIdx_[t]].useful == 0) {
+                    victim = t;
+                    break;
+                }
+            }
+        }
+        if (victim >= 0) {
+            Entry &e = tables_[victim][lastIdx_[victim]];
+            e.tag = lastTag_[victim];
+            e.ctr = taken ? 0 : -1;
+            e.useful = 0;
+        } else {
+            for (int t = start; t < int(kNumTables); ++t) {
+                Entry &e = tables_[t][lastIdx_[t]];
+                if (e.useful > 0)
+                    --e.useful;
+            }
+        }
+    }
+
+    // Train the provider (or the base component).
+    if (providerTable_ >= 0) {
+        Entry &e = tables_[providerTable_][lastIdx_[providerTable_]];
+        if (taken && e.ctr < 3)
+            ++e.ctr;
+        else if (!taken && e.ctr > -4)
+            --e.ctr;
+        // Useful bit: provider differed from alternate.
+        if (providerPred_ != altPred_) {
+            if (providerPred_ == taken) {
+                if (e.useful < 3)
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+        // Also train the base when the provider entry is weak.
+        if (e.useful == 0) {
+            uint8_t &b = base_[baseIndex(lastPc_)];
+            if (taken && b < 3)
+                ++b;
+            else if (!taken && b > 0)
+                --b;
+        }
+    } else {
+        uint8_t &b = base_[baseIndex(lastPc_)];
+        if (taken && b < 3)
+            ++b;
+        else if (!taken && b > 0)
+            --b;
+    }
+
+    // Periodic graceful aging of useful counters.
+    if ((++tick_ & ((1u << 18) - 1)) == 0) {
+        for (auto &table : tables_)
+            for (auto &e : table)
+                e.useful >>= 1;
+    }
+
+    pushHistory(taken);
+}
+
+void
+TagePredictor::pushHistory(bool taken)
+{
+    ghrHead_ = (ghrHead_ + 1) % ghr_.size();
+    ghr_[ghrHead_] = taken ? 1 : 0;
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        idxHist_[t].push(taken, ghr_, ghrHead_);
+        tagHist1_[t].push(taken, ghr_, ghrHead_);
+        tagHist2_[t].push(taken, ghr_, ghrHead_);
+    }
+}
+
+} // namespace crisp

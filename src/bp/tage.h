@@ -1,0 +1,98 @@
+/**
+ * @file
+ * TAGE direction predictor (Seznec, JILP 2006), the paper's baseline
+ * branch predictor (CRISP Table 1).
+ */
+
+#ifndef CRISP_BP_TAGE_H
+#define CRISP_BP_TAGE_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bp/predictor.h"
+
+namespace crisp
+{
+
+/**
+ * A (partially-)TAgged GEometric-history-length predictor with a
+ * bimodal base component and six tagged components over geometric
+ * history lengths. Allocation, useful-bit aging and weak-provider
+ * alternate prediction follow the standard TAGE recipe.
+ */
+class TagePredictor : public DirectionPredictor
+{
+  public:
+    TagePredictor();
+
+    bool predict(uint64_t pc) override;
+    void update(uint64_t pc, bool taken) override;
+
+    /** @return number of tagged components. */
+    static constexpr unsigned numComponents() { return kNumTables; }
+
+  private:
+    static constexpr unsigned kNumTables = 6;
+    static constexpr unsigned kLogEntries = 11;
+    static constexpr unsigned kTagBits = 11;
+    static constexpr unsigned kMaxHist = 256;
+
+    struct Entry
+    {
+        int8_t ctr = 0;     ///< 3-bit signed counter [-4, 3]
+        uint16_t tag = 0;
+        uint8_t useful = 0; ///< 2-bit useful counter
+    };
+
+    struct FoldedHistory
+    {
+        uint32_t value = 0;
+        unsigned origLen = 0;
+        unsigned foldLen = 0;
+
+        void setup(unsigned orig, unsigned fold)
+        {
+            origLen = orig;
+            foldLen = fold;
+            value = 0;
+        }
+
+        void push(bool bit, const std::vector<uint8_t> &ghr,
+                  unsigned head);
+    };
+
+    std::array<std::vector<Entry>, kNumTables> tables_;
+    std::array<unsigned, kNumTables> histLen_;
+    std::array<FoldedHistory, kNumTables> idxHist_;
+    std::array<FoldedHistory, kNumTables> tagHist1_;
+    std::array<FoldedHistory, kNumTables> tagHist2_;
+    std::vector<uint8_t> base_;     // bimodal 2-bit counters
+    std::vector<uint8_t> ghr_;      // circular global history
+    unsigned ghrHead_ = 0;
+    uint64_t tick_ = 0;             // useful-bit aging clock
+
+    // Prediction state carried from predict() to update().
+    int providerTable_ = -1;
+    int altTable_ = -1;
+    bool providerPred_ = false;
+    bool altPred_ = false;
+    bool lastPred_ = false;
+    uint64_t lastPc_ = 0;
+    std::array<size_t, kNumTables> lastIdx_{};
+    std::array<uint16_t, kNumTables> lastTag_{};
+
+    size_t baseIndex(uint64_t pc) const
+    {
+        return (pc >> 1) & (base_.size() - 1);
+    }
+    size_t tableIndex(uint64_t pc, unsigned t) const;
+    uint16_t tableTag(uint64_t pc, unsigned t) const;
+    void pushHistory(bool taken);
+};
+
+} // namespace crisp
+
+#endif // CRISP_BP_TAGE_H

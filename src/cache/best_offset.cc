@@ -1,0 +1,69 @@
+#include "cache/best_offset.h"
+
+#include <algorithm>
+
+namespace crisp
+{
+
+BestOffsetPrefetcher::BestOffsetPrefetcher()
+{
+    // Michaud's offset list: products of small primes up to 64,
+    // abbreviated to the positive, common cases.
+    offsets_ = {1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16,
+                18, 20, 24, 25, 27, 30, 32, 36, 40, 48, 54, 64};
+    scores_.assign(offsets_.size(), 0);
+}
+
+void
+BestOffsetPrefetcher::rrInsert(uint64_t line_addr)
+{
+    rrTable_[line_addr % kRrEntries] = line_addr;
+}
+
+bool
+BestOffsetPrefetcher::rrContains(uint64_t line_addr) const
+{
+    return rrTable_[line_addr % kRrEntries] == line_addr;
+}
+
+void
+BestOffsetPrefetcher::finishRound()
+{
+    auto it = std::max_element(scores_.begin(), scores_.end());
+    int best = int(it - scores_.begin());
+    bestOffset_ = scores_[best] > kBadScore ? offsets_[best] : 0;
+    std::fill(scores_.begin(), scores_.end(), 0);
+    round_ = 0;
+    testIdx_ = 0;
+}
+
+void
+BestOffsetPrefetcher::observe(const PrefetchObservation &obs,
+                              std::vector<uint64_t> &out)
+{
+    // Learning: test one candidate offset per access. If the access
+    // minus the candidate offset was itself recently requested, the
+    // candidate would have prefetched this access in time.
+    int cand = offsets_[testIdx_];
+    if (rrContains(obs.lineAddr - cand)) {
+        if (++scores_[testIdx_] >= kMaxScore) {
+            finishRound();
+            cand = 0;
+        }
+    }
+    if (cand != 0) {
+        if (++testIdx_ == offsets_.size()) {
+            testIdx_ = 0;
+            if (++round_ >= kMaxRounds)
+                finishRound();
+        }
+    }
+
+    // The base of a (hypothetically timely) prefetch for this access.
+    rrInsert(obs.lineAddr);
+
+    if (bestOffset_ != 0)
+        out.push_back(obs.lineAddr + bestOffset_);
+}
+
+} // namespace crisp

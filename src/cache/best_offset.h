@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Best-offset prefetcher (Michaud, HPCA 2016), the paper's primary
+ * data prefetcher (CRISP Table 1).
+ */
+
+#ifndef CRISP_CACHE_BEST_OFFSET_H
+#define CRISP_CACHE_BEST_OFFSET_H
+
+#include <array>
+#include <vector>
+
+#include "cache/prefetcher.h"
+
+namespace crisp
+{
+
+/**
+ * Best-offset prefetching: a learning phase scores a list of
+ * candidate line offsets against a recent-requests table; the winning
+ * offset is used for prefetching until the next round completes.
+ */
+class BestOffsetPrefetcher : public Prefetcher
+{
+  public:
+    BestOffsetPrefetcher();
+
+    void observe(const PrefetchObservation &obs,
+                 std::vector<uint64_t> &out) override;
+
+    const char *name() const override { return "bop"; }
+
+    /** @return the currently selected offset (0 = prefetch off). */
+    int currentOffset() const { return bestOffset_; }
+
+  private:
+    static constexpr int kMaxScore = 31;
+    static constexpr int kMaxRounds = 32;
+    static constexpr int kBadScore = 1;
+    static constexpr size_t kRrEntries = 256;
+
+    std::vector<int> offsets_;
+    std::vector<int> scores_;
+    std::array<uint64_t, kRrEntries> rrTable_{};
+    size_t testIdx_ = 0;
+    int round_ = 0;
+    int bestOffset_ = 1;
+
+    void rrInsert(uint64_t line_addr);
+    bool rrContains(uint64_t line_addr) const;
+    void finishRound();
+};
+
+} // namespace crisp
+
+#endif // CRISP_CACHE_BEST_OFFSET_H

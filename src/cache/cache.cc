@@ -1,0 +1,146 @@
+#include "cache/cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace crisp
+{
+
+Cache::Cache(std::string name, const CacheConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg)
+{
+    assert(std::has_single_bit(uint64_t(cfg_.lineBytes)));
+    lineShift_ = std::countr_zero(uint64_t(cfg_.lineBytes));
+    sets_ = static_cast<unsigned>(
+        cfg_.sizeBytes / (uint64_t(cfg_.ways) * cfg_.lineBytes));
+    assert(sets_ > 0);
+    lines_.assign(size_t(sets_) * cfg_.ways, Line{});
+    mshrReady_.reserve(cfg_.mshrs);
+}
+
+Cache::Line *
+Cache::findLine(uint64_t addr)
+{
+    uint64_t tag = lineAddr(addr);
+    Line *set = &lines_[size_t(tag % sets_) * cfg_.ways];
+    for (unsigned w = 0; w < cfg_.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(uint64_t addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::LookupResult
+Cache::lookup(uint64_t addr, uint64_t cycle)
+{
+    ++stats_.accesses;
+    LookupResult res;
+    Line *line = findLine(addr);
+    if (!line) {
+        ++stats_.misses;
+        return res;
+    }
+    line->lru = ++lruClock_;
+    res.hit = true;
+    if (line->prefetched) {
+        ++stats_.prefetchHits;
+        line->prefetched = false;
+    }
+    if (line->readyCycle > cycle) {
+        // MSHR merge: data still in flight.
+        res.inFlight = true;
+        ++stats_.mshrMerges;
+        res.readyCycle = line->readyCycle + cfg_.latency;
+    } else {
+        res.readyCycle = cycle + cfg_.latency;
+    }
+    return res;
+}
+
+uint64_t
+Cache::fill(uint64_t addr, uint64_t ready_cycle, bool is_prefetch)
+{
+    uint64_t tag = lineAddr(addr);
+    Line *set = &lines_[size_t(tag % sets_) * cfg_.ways];
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < cfg_.ways && !victim; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            victim = &set[w]; // refill of an existing line
+    }
+    for (unsigned w = 0; w < cfg_.ways && !victim; ++w) {
+        if (!set[w].valid)
+            victim = &set[w];
+    }
+    if (!victim) {
+        victim = &set[0];
+        for (unsigned w = 1; w < cfg_.ways; ++w) {
+            if (set[w].lru < victim->lru)
+                victim = &set[w];
+        }
+    }
+    uint64_t evicted = 0;
+    if (victim->valid && victim->tag != tag && victim->dirty) {
+        ++stats_.writebacks;
+        evicted = victim->tag << lineShift_;
+    }
+    if (is_prefetch)
+        ++stats_.prefetchFills;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->readyCycle = ready_cycle;
+    victim->lru = ++lruClock_;
+    victim->dirty = false;
+    victim->prefetched = is_prefetch;
+    return evicted;
+}
+
+void
+Cache::markDirty(uint64_t addr)
+{
+    if (Line *line = findLine(addr))
+        line->dirty = true;
+}
+
+uint64_t
+Cache::allocateMshr(uint64_t cycle, uint64_t ready_cycle)
+{
+    // Retire completed entries.
+    std::erase_if(mshrReady_,
+                  [cycle](uint64_t r) { return r <= cycle; });
+    if (mshrReady_.size() >= cfg_.mshrs) {
+        // Structural stall: wait for the earliest completion.
+        auto it = std::min_element(mshrReady_.begin(),
+                                   mshrReady_.end());
+        uint64_t wait = *it > cycle ? *it - cycle : 0;
+        stats_.mshrStallCycles += wait;
+        ready_cycle += wait;
+        *it = ready_cycle; // slot reused by this miss
+        return ready_cycle;
+    }
+    mshrReady_.push_back(ready_cycle);
+    return ready_cycle;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+void
+Cache::reset()
+{
+    std::fill(lines_.begin(), lines_.end(), Line{});
+    mshrReady_.clear();
+    lruClock_ = 0;
+    stats_ = CacheStats{};
+}
+
+} // namespace crisp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Set-associative cache with miss-status holding registers.
+ *
+ * The hierarchy uses a fill-on-access timing discipline: a miss
+ * immediately installs the line with a @c readyCycle in the future;
+ * later accesses to the same line before that cycle are MSHR merges
+ * and observe the in-flight completion time. This models miss-level
+ * parallelism and MSHR occupancy without a global event queue.
+ */
+
+#ifndef CRISP_CACHE_CACHE_H
+#define CRISP_CACHE_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace crisp
+{
+
+/** Per-cache statistics. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t mshrMerges = 0;
+    uint64_t mshrStallCycles = 0;
+    uint64_t prefetchFills = 0;
+    uint64_t prefetchHits = 0; ///< demand hits on prefetched lines
+    uint64_t writebacks = 0;
+
+    /** @return misses / accesses. */
+    double missRatio() const
+    {
+        return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+};
+
+/**
+ * One cache level. Lookup/fill primitives only; the walk across
+ * levels lives in Hierarchy.
+ */
+class Cache
+{
+  public:
+    /** Result of a timed lookup. */
+    struct LookupResult
+    {
+        bool hit = false;        ///< line present (possibly in flight)
+        bool inFlight = false;   ///< hit on an in-flight (MSHR) line
+        uint64_t readyCycle = 0; ///< cycle the data is available
+    };
+
+    /**
+     * @param name stats label
+     * @param cfg geometry and timing
+     */
+    Cache(std::string name, const CacheConfig &cfg);
+
+    /**
+     * Timed lookup of the line containing @p addr at @p cycle.
+     * On a hit, LRU is refreshed and readyCycle is
+     * max(cycle, line fill time) + hit latency.
+     */
+    LookupResult lookup(uint64_t addr, uint64_t cycle);
+
+    /**
+     * Installs the line containing @p addr, with data arriving at
+     * @p ready_cycle. Evicts LRU. @p is_prefetch marks the line for
+     * prefetch-accuracy accounting.
+     * @return the evicted line address or 0 (no dirty victim).
+     */
+    uint64_t fill(uint64_t addr, uint64_t ready_cycle,
+                  bool is_prefetch = false);
+
+    /** Marks the line dirty (store hit). No-op if absent. */
+    void markDirty(uint64_t addr);
+
+    /**
+     * Accounts an MSHR allocation for a miss issued at @p cycle
+     * completing at @p ready_cycle.
+     * @return the possibly-delayed completion when MSHRs are full.
+     */
+    uint64_t allocateMshr(uint64_t cycle, uint64_t ready_cycle);
+
+    /** @return true if the line is present (functional query). */
+    bool contains(uint64_t addr) const;
+
+    /** @return hit latency in cycles. */
+    unsigned latency() const { return cfg_.latency; }
+    /** @return line size in bytes. */
+    unsigned lineBytes() const { return cfg_.lineBytes; }
+
+    /** @return accumulated statistics. */
+    const CacheStats &stats() const { return stats_; }
+    /** @return mutable statistics (hierarchy-level accounting). */
+    CacheStats &stats() { return stats_; }
+
+    /** Resets contents and statistics. */
+    void reset();
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t readyCycle = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;
+    };
+
+    std::string name_;
+    CacheConfig cfg_;
+    unsigned sets_;
+    unsigned lineShift_;
+    std::vector<Line> lines_;
+    std::vector<uint64_t> mshrReady_; // completion times, unsorted
+    uint64_t lruClock_ = 0;
+    CacheStats stats_;
+
+    uint64_t lineAddr(uint64_t addr) const
+    {
+        return addr >> lineShift_;
+    }
+    Line *findLine(uint64_t addr);
+    const Line *findLine(uint64_t addr) const;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CACHE_CACHE_H

@@ -1,0 +1,53 @@
+#include "cache/ghb_prefetcher.h"
+
+namespace crisp
+{
+
+GhbPrefetcher::GhbPrefetcher(unsigned entries)
+    : buffer_(entries, 0)
+{
+}
+
+void
+GhbPrefetcher::observe(const PrefetchObservation &obs,
+                       std::vector<uint64_t> &out)
+{
+    if (!obs.miss)
+        return;
+
+    auto at = [this](size_t back) {
+        return buffer_[(head_ + buffer_.size() - back) %
+                       buffer_.size()];
+    };
+
+    buffer_[head_ = (head_ + 1) % buffer_.size()] = obs.lineAddr;
+    if (filled_ < buffer_.size())
+        ++filled_;
+    if (filled_ < 4)
+        return;
+
+    int64_t d1 = int64_t(at(0)) - int64_t(at(1));
+    int64_t d2 = int64_t(at(1)) - int64_t(at(2));
+
+    // Search backwards for the same delta pair.
+    size_t depth = std::min(filled_, buffer_.size()) - 1;
+    for (size_t back = 3; back + 1 < depth; ++back) {
+        int64_t h1 = int64_t(at(back)) - int64_t(at(back + 1));
+        int64_t h2 = back + 2 < depth
+                         ? int64_t(at(back + 1)) - int64_t(at(back + 2))
+                         : 0;
+        if (h1 == d1 && h2 == d2) {
+            // Replay the deltas that followed the historic match.
+            uint64_t base = obs.lineAddr;
+            for (int k = 1; k <= kDegree && back >= size_t(k); ++k) {
+                int64_t delta = int64_t(at(back - k)) -
+                                int64_t(at(back - k + 1));
+                base += delta;
+                out.push_back(base);
+            }
+            return;
+        }
+    }
+}
+
+} // namespace crisp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Global history buffer prefetcher, G/DC variant (Nesbit & Smith,
+ * HPCA 2004) — the "GHB" alternative baseline of CRISP §5.1.
+ */
+
+#ifndef CRISP_CACHE_GHB_PREFETCHER_H
+#define CRISP_CACHE_GHB_PREFETCHER_H
+
+#include <vector>
+
+#include "cache/prefetcher.h"
+
+namespace crisp
+{
+
+/**
+ * Global history buffer with delta-correlation: the last two global
+ * miss deltas are matched against history; on a match, the deltas
+ * that followed historically are prefetched.
+ */
+class GhbPrefetcher : public Prefetcher
+{
+  public:
+    /** @param entries circular history buffer depth. */
+    explicit GhbPrefetcher(unsigned entries = 256);
+
+    void observe(const PrefetchObservation &obs,
+                 std::vector<uint64_t> &out) override;
+
+    const char *name() const override { return "ghb"; }
+
+  private:
+    static constexpr int kDegree = 4;
+
+    std::vector<uint64_t> buffer_; // miss line addresses, circular
+    size_t head_ = 0;
+    size_t filled_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CACHE_GHB_PREFETCHER_H

@@ -1,0 +1,150 @@
+#include "cache/hierarchy.h"
+
+#include "cache/best_offset.h"
+#include "cache/ghb_prefetcher.h"
+#include "cache/stream_prefetcher.h"
+#include "cache/stride_prefetcher.h"
+
+namespace crisp
+{
+
+Hierarchy::Hierarchy(const SimConfig &cfg)
+    : cfg_(cfg),
+      l1i_("l1i", cfg.l1i),
+      l1d_("l1d", cfg.l1d),
+      llc_("llc", cfg.llc)
+{
+    if (cfg.enableBop)
+        dataPf_.add(std::make_unique<BestOffsetPrefetcher>());
+    if (cfg.enableStream)
+        dataPf_.add(std::make_unique<StreamPrefetcher>());
+    if (cfg.enableStride)
+        dataPf_.add(std::make_unique<StridePrefetcher>());
+    if (cfg.enableGhb)
+        dataPf_.add(std::make_unique<GhbPrefetcher>());
+}
+
+uint64_t
+Hierarchy::fetchFromBelow(uint64_t addr, uint64_t pc, uint64_t cycle,
+                          bool is_ifetch, MemLevel &served,
+                          bool critical)
+{
+    auto llc_res = llc_.lookup(addr, cycle);
+    uint64_t ready;
+    if (llc_res.hit) {
+        served = MemLevel::LLC;
+        ready = llc_res.readyCycle;
+    } else {
+        served = MemLevel::Dram;
+        uint64_t dram_ready = dram_.access(
+            addr, cycle + llc_.latency(),
+            critical && cfg_.enableCriticalDram);
+        ready = llc_.allocateMshr(cycle, dram_ready);
+        llc_.fill(addr, ready);
+    }
+    // Train the data prefetchers on LLC-level demand activity.
+    if (!is_ifetch && dataPf_.size() > 0) {
+        pfScratch_.clear();
+        PrefetchObservation obs{addr >> 6, pc, !llc_res.hit};
+        dataPf_.observe(obs, pfScratch_);
+        issuePrefetches(cycle);
+    }
+    return ready;
+}
+
+void
+Hierarchy::issuePrefetches(uint64_t cycle)
+{
+    for (uint64_t line : pfScratch_) {
+        uint64_t addr = line << 6;
+        if (llc_.contains(addr))
+            continue;
+        ++prefetchesIssued_;
+        uint64_t ready = dram_.access(addr, cycle + llc_.latency());
+        llc_.fill(addr, ready, /*is_prefetch=*/true);
+    }
+    pfScratch_.clear();
+}
+
+MemAccessResult
+Hierarchy::load(uint64_t addr, uint64_t pc, uint64_t cycle,
+                bool critical)
+{
+    MemAccessResult res;
+    auto l1 = l1d_.lookup(addr, cycle);
+    if (l1.hit) {
+        res.readyCycle = l1.readyCycle;
+        res.servedBy = MemLevel::L1;
+        return res;
+    }
+    uint64_t miss_cycle = cycle + l1d_.latency();
+    uint64_t below = fetchFromBelow(addr, pc, miss_cycle, false,
+                                    res.servedBy, critical);
+    uint64_t ready = l1d_.allocateMshr(cycle, below);
+    l1d_.fill(addr, ready);
+    res.readyCycle = ready;
+    return res;
+}
+
+MemAccessResult
+Hierarchy::store(uint64_t addr, uint64_t pc, uint64_t cycle)
+{
+    MemAccessResult res;
+    auto l1 = l1d_.lookup(addr, cycle);
+    if (l1.hit) {
+        l1d_.markDirty(addr);
+        res.readyCycle = l1.readyCycle;
+        res.servedBy = MemLevel::L1;
+        return res;
+    }
+    // Write-allocate: fetch the line, then dirty it.
+    uint64_t miss_cycle = cycle + l1d_.latency();
+    uint64_t below =
+        fetchFromBelow(addr, pc, miss_cycle, false, res.servedBy);
+    uint64_t ready = l1d_.allocateMshr(cycle, below);
+    l1d_.fill(addr, ready);
+    l1d_.markDirty(addr);
+    res.readyCycle = ready;
+    return res;
+}
+
+MemAccessResult
+Hierarchy::ifetch(uint64_t pc, uint64_t cycle)
+{
+    MemAccessResult res;
+    auto l1 = l1i_.lookup(pc, cycle);
+    if (l1.hit) {
+        res.readyCycle = l1.readyCycle;
+        res.servedBy = MemLevel::L1;
+        return res;
+    }
+    uint64_t miss_cycle = cycle + l1i_.latency();
+    uint64_t below =
+        fetchFromBelow(pc, pc, miss_cycle, true, res.servedBy);
+    uint64_t ready = l1i_.allocateMshr(cycle, below);
+    l1i_.fill(pc, ready);
+    res.readyCycle = ready;
+    return res;
+}
+
+void
+Hierarchy::prefetchData(uint64_t addr, uint64_t cycle)
+{
+    if (l1d_.contains(addr))
+        return;
+    MemLevel served;
+    uint64_t ready = fetchFromBelow(addr, 0, cycle, true, served);
+    l1d_.fill(addr, ready, /*is_prefetch=*/true);
+}
+
+void
+Hierarchy::prefetchInst(uint64_t pc, uint64_t cycle)
+{
+    if (l1i_.contains(pc))
+        return;
+    MemLevel served;
+    uint64_t ready = fetchFromBelow(pc, pc, cycle, true, served);
+    l1i_.fill(pc, ready, /*is_prefetch=*/true);
+}
+
+} // namespace crisp

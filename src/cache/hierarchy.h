@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Two-level cache hierarchy (L1I/L1D + shared LLC slice) in front of
+ * a DDR4 channel, with LLC-attached data prefetching (CRISP Table 1).
+ */
+
+#ifndef CRISP_CACHE_HIERARCHY_H
+#define CRISP_CACHE_HIERARCHY_H
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/prefetcher.h"
+#include "dram/controller.h"
+#include "sim/config.h"
+
+namespace crisp
+{
+
+/** Where a demand access was served from. */
+enum class MemLevel { L1, LLC, Dram };
+
+/** Outcome of one demand access. */
+struct MemAccessResult
+{
+    uint64_t readyCycle = 0; ///< data-available cycle
+    MemLevel servedBy = MemLevel::L1;
+
+    /** @return true if the access left the chip. */
+    bool llcMiss() const { return servedBy == MemLevel::Dram; }
+};
+
+/**
+ * The memory system seen by one core. All timing is resolved to
+ * completion cycles at access time (see cache/cache.h for the
+ * discipline).
+ */
+class Hierarchy
+{
+  public:
+    /** @param cfg system configuration (sizes, prefetchers). */
+    explicit Hierarchy(const SimConfig &cfg);
+
+    /**
+     * Demand data load at @p cycle.
+     * @param critical request DRAM bus priority (§6.1 extension;
+     *        only honoured when the config enables it)
+     */
+    MemAccessResult load(uint64_t addr, uint64_t pc, uint64_t cycle,
+                         bool critical = false);
+
+    /** Store (write-allocate, write-back). */
+    MemAccessResult store(uint64_t addr, uint64_t pc, uint64_t cycle);
+
+    /** Instruction fetch of the line containing @p pc. */
+    MemAccessResult ifetch(uint64_t pc, uint64_t cycle);
+
+    /** Software / FDIP data prefetch: fills L1D+LLC, returns nothing. */
+    void prefetchData(uint64_t addr, uint64_t cycle);
+
+    /** FDIP instruction prefetch: fills L1I+LLC. */
+    void prefetchInst(uint64_t pc, uint64_t cycle);
+
+    /** @return the L1 instruction cache. */
+    Cache &l1i() { return l1i_; }
+    /** @return the L1 data cache. */
+    Cache &l1d() { return l1d_; }
+    /** @return the last-level cache. */
+    Cache &llc() { return llc_; }
+    /** @return the DRAM controller. */
+    DramController &dram() { return dram_; }
+
+    /** @return number of data prefetches issued to memory. */
+    uint64_t prefetchesIssued() const { return prefetchesIssued_; }
+
+  private:
+    SimConfig cfg_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache llc_;
+    DramController dram_;
+    CompositePrefetcher dataPf_;
+    std::vector<uint64_t> pfScratch_;
+    uint64_t prefetchesIssued_ = 0;
+
+    /** Walks LLC -> DRAM for a line missing L1. */
+    uint64_t fetchFromBelow(uint64_t addr, uint64_t pc,
+                            uint64_t cycle, bool is_ifetch,
+                            MemLevel &served, bool critical = false);
+    void issuePrefetches(uint64_t cycle);
+};
+
+} // namespace crisp
+
+#endif // CRISP_CACHE_HIERARCHY_H

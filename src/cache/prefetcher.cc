@@ -1,0 +1,3 @@
+// Prefetcher interfaces are header-only; this file keeps the build
+// layout uniform.
+#include "cache/prefetcher.h"

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Data prefetcher interface and composite.
+ *
+ * The paper's baseline enables a best-offset prefetcher plus a stream
+ * prefetcher (CRISP Table 1); stride and GHB prefetchers are provided
+ * as the alternative baselines mentioned in §5.1.
+ */
+
+#ifndef CRISP_CACHE_PREFETCHER_H
+#define CRISP_CACHE_PREFETCHER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace crisp
+{
+
+/** A demand access observed by a prefetcher. */
+struct PrefetchObservation
+{
+    uint64_t lineAddr;  ///< line-granular address (addr >> 6)
+    uint64_t pc;        ///< PC of the demand load
+    bool miss;          ///< demand missed this cache level
+};
+
+/**
+ * Abstract data prefetcher. observe() is called for each demand
+ * access at the attach level; the prefetcher appends line-granular
+ * prefetch candidates to @p out.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observes a demand access and emits prefetch candidates.
+     * @param obs the demand access
+     * @param[out] out line addresses to prefetch
+     */
+    virtual void observe(const PrefetchObservation &obs,
+                         std::vector<uint64_t> &out) = 0;
+
+    /** @return a short name for stats. */
+    virtual const char *name() const = 0;
+};
+
+/** Fans one observation out to several engines. */
+class CompositePrefetcher : public Prefetcher
+{
+  public:
+    /** Adds an engine (ownership transferred). */
+    void add(std::unique_ptr<Prefetcher> engine)
+    {
+        engines_.push_back(std::move(engine));
+    }
+
+    void observe(const PrefetchObservation &obs,
+                 std::vector<uint64_t> &out) override
+    {
+        for (auto &e : engines_)
+            e->observe(obs, out);
+    }
+
+    const char *name() const override { return "composite"; }
+
+    /** @return number of attached engines. */
+    size_t size() const { return engines_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Prefetcher>> engines_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CACHE_PREFETCHER_H

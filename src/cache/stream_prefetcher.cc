@@ -1,0 +1,58 @@
+#include "cache/stream_prefetcher.h"
+
+namespace crisp
+{
+
+StreamPrefetcher::StreamPrefetcher(unsigned trackers)
+    : trackers_(trackers)
+{
+}
+
+void
+StreamPrefetcher::observe(const PrefetchObservation &obs,
+                          std::vector<uint64_t> &out)
+{
+    uint64_t region = obs.lineAddr >> kRegionShift;
+
+    Tracker *tracker = nullptr;
+    Tracker *victim = &trackers_[0];
+    for (auto &t : trackers_) {
+        if (t.valid && t.region == region) {
+            tracker = &t;
+            break;
+        }
+        if (!t.valid || t.lru < victim->lru)
+            victim = &t;
+    }
+
+    if (!tracker) {
+        *victim = Tracker{};
+        victim->valid = true;
+        victim->region = region;
+        victim->lastLine = obs.lineAddr;
+        victim->lru = ++clock_;
+        return;
+    }
+
+    tracker->lru = ++clock_;
+    int64_t delta =
+        int64_t(obs.lineAddr) - int64_t(tracker->lastLine);
+    if (delta == 0)
+        return;
+    int dir = delta > 0 ? 1 : -1;
+    if (dir == tracker->direction) {
+        if (tracker->confidence < 4)
+            ++tracker->confidence;
+    } else {
+        tracker->direction = dir;
+        tracker->confidence = 1;
+    }
+    tracker->lastLine = obs.lineAddr;
+
+    if (tracker->confidence >= 2) {
+        for (int k = 1; k <= kDegree; ++k)
+            out.push_back(obs.lineAddr + int64_t(k) * dir);
+    }
+}
+
+} // namespace crisp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Region-based stream prefetcher (Table 1's "Stream").
+ */
+
+#ifndef CRISP_CACHE_STREAM_PREFETCHER_H
+#define CRISP_CACHE_STREAM_PREFETCHER_H
+
+#include <vector>
+
+#include "cache/prefetcher.h"
+
+namespace crisp
+{
+
+/**
+ * Detects monotonically ascending or descending line streams within
+ * 4 KiB regions and prefetches @c kDegree lines ahead once a stream
+ * is confirmed by two consecutive steps in the same direction.
+ */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    /** @param trackers number of concurrently tracked regions. */
+    explicit StreamPrefetcher(unsigned trackers = 16);
+
+    void observe(const PrefetchObservation &obs,
+                 std::vector<uint64_t> &out) override;
+
+    const char *name() const override { return "stream"; }
+
+  private:
+    static constexpr int kDegree = 4;
+    static constexpr unsigned kRegionShift = 6; // 4 KiB / 64 B lines
+
+    struct Tracker
+    {
+        uint64_t region = 0;
+        uint64_t lastLine = 0;
+        int direction = 0;  ///< +1 / -1 / 0 (unconfirmed)
+        int confidence = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::vector<Tracker> trackers_;
+    uint64_t clock_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CACHE_STREAM_PREFETCHER_H

@@ -1,0 +1,38 @@
+#include "cache/stride_prefetcher.h"
+
+namespace crisp
+{
+
+StridePrefetcher::StridePrefetcher(unsigned entries)
+    : table_(entries)
+{
+}
+
+void
+StridePrefetcher::observe(const PrefetchObservation &obs,
+                          std::vector<uint64_t> &out)
+{
+    Entry &e = table_[(obs.pc >> 1) % table_.size()];
+    if (!e.valid || e.pc != obs.pc) {
+        e = Entry{};
+        e.valid = true;
+        e.pc = obs.pc;
+        e.lastLine = obs.lineAddr;
+        return;
+    }
+    int64_t stride = int64_t(obs.lineAddr) - int64_t(e.lastLine);
+    if (stride != 0 && stride == e.stride) {
+        if (e.confidence < 4)
+            ++e.confidence;
+    } else if (stride != 0) {
+        e.stride = stride;
+        e.confidence = 1;
+    }
+    e.lastLine = obs.lineAddr;
+    if (stride != 0 && e.confidence >= 2) {
+        for (int k = 1; k <= kDegree; ++k)
+            out.push_back(obs.lineAddr + e.stride * k);
+    }
+}
+
+} // namespace crisp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher (the "regular stride" alternative
+ * baseline of CRISP §5.1).
+ */
+
+#ifndef CRISP_CACHE_STRIDE_PREFETCHER_H
+#define CRISP_CACHE_STRIDE_PREFETCHER_H
+
+#include <vector>
+
+#include "cache/prefetcher.h"
+
+namespace crisp
+{
+
+/**
+ * Classic reference-prediction table: per load PC, track the last
+ * line address and stride; prefetch ahead when the stride repeats.
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    /** @param entries table size (direct-mapped by PC). */
+    explicit StridePrefetcher(unsigned entries = 256);
+
+    void observe(const PrefetchObservation &obs,
+                 std::vector<uint64_t> &out) override;
+
+    const char *name() const override { return "stride"; }
+
+  private:
+    static constexpr int kDegree = 2;
+
+    struct Entry
+    {
+        uint64_t pc = 0;
+        uint64_t lastLine = 0;
+        int64_t stride = 0;
+        int confidence = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> table_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CACHE_STRIDE_PREFETCHER_H

@@ -1,0 +1,44 @@
+#include "core/autotune.h"
+
+#include "core/pipeline.h"
+#include "cpu/core.h"
+
+namespace crisp
+{
+
+AutoTuneResult
+autoTuneMissShare(const WorkloadInfo &wl, const SimConfig &cfg,
+                  const CrispOptions &base, uint64_t train_ops,
+                  uint64_t ref_ops,
+                  const std::vector<double> &candidates)
+{
+    AutoTuneResult result;
+
+    // One shared baseline run (untagged ref trace).
+    CrispPipeline base_pipe(wl, base, cfg, train_ops, ref_ops);
+    Trace base_trace = base_pipe.refTrace(false);
+    {
+        Core core(base_trace, cfg);
+        result.baselineIpc = core.run().ipc();
+    }
+
+    SimConfig crisp_cfg = cfg;
+    crisp_cfg.scheduler = SchedulerPolicy::CrispPriority;
+
+    for (double t : candidates) {
+        CrispOptions opts = base;
+        opts.missShareThreshold = t;
+        CrispPipeline pipe(wl, opts, cfg, train_ops, ref_ops);
+        Trace tagged = pipe.refTrace(true);
+        Core core(tagged, crisp_cfg);
+        double ipc = core.run().ipc();
+        result.ipcByThreshold[t] = ipc;
+        if (ipc > result.bestIpc) {
+            result.bestIpc = ipc;
+            result.bestThreshold = t;
+        }
+    }
+    return result;
+}
+
+} // namespace crisp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Iterative criticality-threshold search — the mechanism CRISP §5.5
+ * sketches as future work: "an iterative mechanism that profiles
+ * applications with different miss ratio thresholds to enable
+ * additional application-specific optimizations."
+ *
+ * The tuner runs the full analyze/tag/simulate loop for a list of
+ * candidate miss-share thresholds and returns the best one per
+ * workload, exactly the feedback-driven-optimization style deployment
+ * the paper's Fig 5 flow enables.
+ */
+
+#ifndef CRISP_CORE_AUTOTUNE_H
+#define CRISP_CORE_AUTOTUNE_H
+
+#include <map>
+#include <vector>
+
+#include "core/delinquency.h"
+#include "sim/config.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+/** Result of a threshold search for one workload. */
+struct AutoTuneResult
+{
+    double bestThreshold = 0;
+    double bestIpc = 0;
+    double baselineIpc = 0;
+    /** candidate threshold -> CRISP IPC. */
+    std::map<double, double> ipcByThreshold;
+
+    /** @return the speedup the best threshold achieves. */
+    double bestSpeedup() const
+    {
+        return baselineIpc ? bestIpc / baselineIpc : 0.0;
+    }
+};
+
+/**
+ * Sweeps miss-share thresholds and picks the best-performing one.
+ *
+ * @param wl workload to tune
+ * @param cfg machine configuration
+ * @param base analysis options (missShareThreshold is overridden)
+ * @param train_ops profiling-trace length
+ * @param ref_ops evaluation-trace length
+ * @param candidates thresholds to try (defaults to the Fig 10 set
+ *        plus 2%, the paper's per-workload optimum for moses)
+ */
+AutoTuneResult autoTuneMissShare(
+    const WorkloadInfo &wl, const SimConfig &cfg,
+    const CrispOptions &base, uint64_t train_ops, uint64_t ref_ops,
+    const std::vector<double> &candidates = {0.05, 0.02, 0.01,
+                                             0.002});
+
+} // namespace crisp
+
+#endif // CRISP_CORE_AUTOTUNE_H

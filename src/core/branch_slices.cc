@@ -1,0 +1,28 @@
+#include "core/branch_slices.h"
+
+namespace crisp
+{
+
+std::vector<Slice>
+extractBranchSlices(const SliceExtractor &extractor,
+                    const std::vector<uint32_t> &branch_sidxs)
+{
+    std::vector<Slice> slices;
+    slices.reserve(branch_sidxs.size());
+    for (uint32_t sidx : branch_sidxs)
+        slices.push_back(extractor.extract(sidx));
+    return slices;
+}
+
+std::vector<Slice>
+extractLoadSlices(const SliceExtractor &extractor,
+                  const std::vector<uint32_t> &load_sidxs)
+{
+    std::vector<Slice> slices;
+    slices.reserve(load_sidxs.size());
+    for (uint32_t sidx : load_sidxs)
+        slices.push_back(extractor.extract(sidx));
+    return slices;
+}
+
+} // namespace crisp

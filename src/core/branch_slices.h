@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Branch slice extraction (CRISP §3.4): the backward slices of
+ * hard-to-predict branches, prioritized so mispredicted branches
+ * resolve — and fetch restarts — as early as possible.
+ */
+
+#ifndef CRISP_CORE_BRANCH_SLICES_H
+#define CRISP_CORE_BRANCH_SLICES_H
+
+#include <vector>
+
+#include "core/slice_extractor.h"
+
+namespace crisp
+{
+
+/**
+ * Extracts one slice per selected branch.
+ * @param extractor slice machinery over the training trace
+ * @param branch_sidxs roots from selectCriticalBranches()
+ * @return slices in the given order.
+ */
+std::vector<Slice>
+extractBranchSlices(const SliceExtractor &extractor,
+                    const std::vector<uint32_t> &branch_sidxs);
+
+/**
+ * Extracts one slice per selected delinquent load.
+ * @param extractor slice machinery over the training trace
+ * @param load_sidxs roots from selectDelinquentLoads()
+ * @return slices in the given order.
+ */
+std::vector<Slice>
+extractLoadSlices(const SliceExtractor &extractor,
+                  const std::vector<uint32_t> &load_sidxs);
+
+} // namespace crisp
+
+#endif // CRISP_CORE_BRANCH_SLICES_H

@@ -1,0 +1,97 @@
+#include "core/critical_path.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace crisp
+{
+
+namespace
+{
+
+/** Computes up[] (toward root) and down[] (producer depth) scores. */
+struct PathScores
+{
+    std::vector<double> up;
+    std::vector<double> down;
+    double maxPath = 0;
+};
+
+PathScores
+computeScores(const SliceDag &dag)
+{
+    const size_t n = dag.nodes.size();
+    PathScores ps;
+    ps.up.assign(n, 0);
+    ps.down.assign(n, 0);
+    if (n == 0)
+        return ps;
+
+    // down[n]: longest producer chain ending at (and including) n.
+    // Nodes are sorted by dynIdx, so producers precede consumers and
+    // a single ascending pass over edges (grouped per consumer) works
+    // once down[] is seeded with each node's own latency.
+    for (size_t i = 0; i < n; ++i)
+        ps.down[i] = dag.nodes[i].latency;
+    // Edges may be in any order; iterate until no change would be
+    // O(VE) worst case, but because producer index < consumer index
+    // holds for every edge, one pass in ascending consumer order
+    // suffices. Sort a copy by consumer dynIdx.
+    auto edges = dag.edges;
+    std::sort(edges.begin(), edges.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[c, p] : edges) {
+        double cand = dag.nodes[c].latency + ps.down[p];
+        if (cand > ps.down[c])
+            ps.down[c] = cand;
+    }
+
+    // up[n]: longest chain from n's issue through its consumers to
+    // the root, including n. Descending consumer order.
+    ps.up[dag.rootNode] = dag.nodes[dag.rootNode].latency;
+    for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+        auto [c, p] = *it;
+        if (ps.up[c] <= 0)
+            continue; // consumer not on any path to the root
+        double cand = ps.up[c] + dag.nodes[p].latency;
+        if (cand > ps.up[p])
+            ps.up[p] = cand;
+    }
+
+    ps.maxPath = ps.down[dag.rootNode];
+    return ps;
+}
+
+} // namespace
+
+double
+longestPathLatency(const SliceDag &dag)
+{
+    return computeScores(dag).maxPath;
+}
+
+std::vector<uint32_t>
+criticalPathFilter(const SliceDag &dag, double fraction)
+{
+    PathScores ps = computeScores(dag);
+    std::unordered_set<uint32_t> statics;
+    std::vector<uint32_t> out;
+    if (dag.nodes.empty())
+        return out;
+
+    double threshold = fraction * ps.maxPath;
+    for (size_t i = 0; i < dag.nodes.size(); ++i) {
+        if (ps.up[i] <= 0)
+            continue; // unreachable from root
+        double through =
+            ps.up[i] + ps.down[i] - dag.nodes[i].latency;
+        bool keep = through >= threshold || i == dag.rootNode;
+        if (keep && statics.insert(dag.nodes[i].sidx).second)
+            out.push_back(dag.nodes[i].sidx);
+    }
+    return out;
+}
+
+} // namespace crisp

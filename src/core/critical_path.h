@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Critical-path analysis over a slice DAG (CRISP §3.5).
+ *
+ * A slice's dynamic instances form a DAG of producer edges. Each node
+ * carries a latency (fixed per op class; profiled AMAT for loads).
+ * CRISP promotes only the instructions lying on paths whose
+ * latency-weighted length is close to the longest path to the
+ * delinquent root, keeping the prioritized set small enough for the
+ * scheduler to still have non-critical work to defer.
+ */
+
+#ifndef CRISP_CORE_CRITICAL_PATH_H
+#define CRISP_CORE_CRITICAL_PATH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace crisp
+{
+
+/** One dynamic node of a slice DAG. */
+struct DagNode
+{
+    uint32_t dynIdx;  ///< position in the trace (topological key)
+    uint32_t sidx;    ///< static instruction
+    double latency;   ///< execution latency estimate (cycles)
+};
+
+/** A slice instance as a DAG; edges point consumer -> producer. */
+struct SliceDag
+{
+    std::vector<DagNode> nodes; ///< sorted by dynIdx ascending
+    /** (consumer, producer) pairs, indices into @c nodes. */
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    uint32_t rootNode = 0;      ///< index of the delinquent root
+};
+
+/** @return the latency-weighted longest path ending at the root. */
+double longestPathLatency(const SliceDag &dag);
+
+/**
+ * Selects the statics on near-critical paths.
+ * @param dag the slice instance
+ * @param fraction keep nodes whose longest path through them is at
+ *        least @p fraction of the overall longest path
+ * @return the surviving static indices (deduplicated, root included).
+ */
+std::vector<uint32_t> criticalPathFilter(const SliceDag &dag,
+                                         double fraction);
+
+} // namespace crisp
+
+#endif // CRISP_CORE_CRITICAL_PATH_H

@@ -1,0 +1,93 @@
+#include "core/delinquency.h"
+
+#include <algorithm>
+
+namespace crisp
+{
+
+std::vector<uint32_t>
+selectDelinquentLoads(const ProfileResult &prof,
+                      const CrispOptions &opts)
+{
+    std::vector<uint32_t> picked;
+    if (!opts.enableLoadSlices || prof.totalLlcMisses == 0)
+        return picked;
+
+    for (const auto &[sidx, lp] : prof.loads) {
+        double miss_share =
+            double(lp.llcMisses) / double(prof.totalLlcMisses);
+        double exec_share =
+            prof.totalLoads
+                ? double(lp.exec) / double(prof.totalLoads)
+                : 0.0;
+        if (miss_share <= opts.missShareThreshold)
+            continue;
+        if (lp.missRatio() <= opts.missRatioThreshold)
+            continue;
+        if (exec_share < opts.execShareMin)
+            continue;
+        if (lp.avgMlp() >= opts.mlpThreshold)
+            continue;
+        if (lp.strideability() >= opts.strideMax)
+            continue;
+        picked.push_back(sidx);
+    }
+    std::sort(picked.begin(), picked.end(),
+              [&prof](uint32_t a, uint32_t b) {
+                  return prof.loads.at(a).llcMisses >
+                         prof.loads.at(b).llcMisses;
+              });
+    return picked;
+}
+
+std::vector<uint32_t>
+selectCriticalBranches(const ProfileResult &prof,
+                       const CrispOptions &opts)
+{
+    std::vector<uint32_t> picked;
+    if (!opts.enableBranchSlices)
+        return picked;
+
+    uint64_t total_branches = 0;
+    for (const auto &[sidx, bp] : prof.branches)
+        total_branches += bp.exec;
+    if (total_branches == 0)
+        return picked;
+
+    for (const auto &[sidx, bp] : prof.branches) {
+        double exec_share = double(bp.exec) / double(total_branches);
+        if (bp.mispredictRatio() <= opts.branchMispredThreshold)
+            continue;
+        if (exec_share < opts.branchExecShareMin)
+            continue;
+        picked.push_back(sidx);
+    }
+    std::sort(picked.begin(), picked.end(),
+              [&prof](uint32_t a, uint32_t b) {
+                  return prof.branches.at(a).mispredicts >
+                         prof.branches.at(b).mispredicts;
+              });
+    return picked;
+}
+
+std::vector<uint32_t>
+selectLongLatencyOps(const ProfileResult &prof,
+                     const CrispOptions &opts)
+{
+    std::vector<uint32_t> picked;
+    if (!opts.enableLongLatencySlices || prof.totalOps == 0)
+        return picked;
+    for (const auto &[sidx, exec] : prof.longLatencyOps) {
+        double share = double(exec) / double(prof.totalOps);
+        if (share >= opts.longLatencyExecShareMin)
+            picked.push_back(sidx);
+    }
+    std::sort(picked.begin(), picked.end(),
+              [&prof](uint32_t a, uint32_t b) {
+                  return prof.longLatencyOps.at(a) >
+                         prof.longLatencyOps.at(b);
+              });
+    return picked;
+}
+
+} // namespace crisp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Delinquent load / critical branch selection heuristics (CRISP §3.2,
+ * §3.4) and the tunable thresholds explored in §5.5.
+ */
+
+#ifndef CRISP_CORE_DELINQUENCY_H
+#define CRISP_CORE_DELINQUENCY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/profiler.h"
+
+namespace crisp
+{
+
+/**
+ * All knobs of the software analysis. Defaults follow the paper's
+ * best-performing settings (miss-share threshold T = 1%, Fig 10;
+ * miss ratio > 20%, MLP < 5, §3.2; branch misprediction > 15%, §3.4;
+ * critical ratio band 5-40%, §3.2).
+ */
+struct CrispOptions
+{
+    // Load delinquency (§3.2, §5.5).
+    double missShareThreshold = 0.01;    ///< T: share of all misses
+    double missRatioThreshold = 0.20;    ///< per-PC LLC miss ratio
+    double mlpThreshold = 5.0;           ///< skip high-MLP phases
+    double execShareMin = 0.0005;        ///< ignore ultra-cold loads
+    double strideMax = 0.90;             ///< skip prefetchable loads
+
+    // Branch criticality (§3.4).
+    double branchMispredThreshold = 0.15;
+    double branchExecShareMin = 0.0005;
+
+    // Feature toggles (Fig 8 ablations; §3.5/§5.2 IBDA contrasts).
+    bool enableLoadSlices = true;
+    bool enableBranchSlices = true;
+    /** §6.1 extension: slice unpipelined divisions too. */
+    bool enableLongLatencySlices = false;
+    double longLatencyExecShareMin = 0.002;
+    bool criticalPathFilter = true;
+    bool memDependencies = true;  ///< follow deps through memory
+
+    // Critical-path filtering (§3.5).
+    double criticalPathFraction = 0.50; ///< keep paths >= frac * max
+    double maxCriticalRatio = 0.40;     ///< dynamic tag-share band top
+
+    // Slice-walk sampling.
+    unsigned maxInstancesPerRoot = 24;
+    unsigned maxAncestorsPerWalk = 4096;
+};
+
+/**
+ * Applies the §3.2 heuristic.
+ * @return static indices of delinquent loads, most misses first.
+ */
+std::vector<uint32_t> selectDelinquentLoads(const ProfileResult &prof,
+                                            const CrispOptions &opts);
+
+/**
+ * Applies the §3.4 heuristic.
+ * @return static indices of hard-to-predict branches.
+ */
+std::vector<uint32_t>
+selectCriticalBranches(const ProfileResult &prof,
+                       const CrispOptions &opts);
+
+/**
+ * Selects frequently executed unpipelined ops (§6.1 extension).
+ * @return static indices of divisions worth slicing.
+ */
+std::vector<uint32_t>
+selectLongLatencyOps(const ProfileResult &prof,
+                     const CrispOptions &opts);
+
+} // namespace crisp
+
+#endif // CRISP_CORE_DELINQUENCY_H

@@ -1,0 +1,148 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "vm/interpreter.h"
+
+namespace crisp
+{
+
+CrispPipeline::CrispPipeline(const WorkloadInfo &workload,
+                             CrispOptions opts, SimConfig cfg,
+                             uint64_t train_ops, uint64_t ref_ops)
+    : workload_(workload), opts_(opts), cfg_(cfg),
+      trainOps_(train_ops), refOps_(ref_ops)
+{
+}
+
+const Trace &
+CrispPipeline::trainTrace()
+{
+    if (!trainTrace_) {
+        auto prog = std::make_shared<Program>(
+            workload_.build(InputSet::Train));
+        Interpreter interp(prog);
+        trainTrace_ =
+            std::make_unique<Trace>(interp.run(trainOps_));
+    }
+    return *trainTrace_;
+}
+
+void
+CrispPipeline::enforceBand(CrispAnalysis &a,
+                           const std::vector<uint64_t> &exec_counts)
+{
+    // Greedily accept slices in importance order while the dynamic
+    // share of tagged instructions stays inside the band (§3.2).
+    struct Cand
+    {
+        const Slice *slice;
+        uint64_t importance;
+    };
+    std::vector<Cand> cands;
+    for (const auto &s : a.loadSlices) {
+        auto it = a.profile.loads.find(s.rootSidx);
+        cands.push_back(
+            {&s, it != a.profile.loads.end() ? it->second.llcMisses
+                                             : 0});
+    }
+    for (const auto &s : a.branchSlices) {
+        auto it = a.profile.branches.find(s.rootSidx);
+        cands.push_back(
+            {&s,
+             it != a.profile.branches.end()
+                 ? it->second.mispredicts
+                 : 0});
+    }
+    for (const auto &s : a.longLatencySlices) {
+        auto it = a.profile.longLatencyOps.find(s.rootSidx);
+        cands.push_back(
+            {&s, it != a.profile.longLatencyOps.end() ? it->second
+                                                      : 0});
+    }
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const Cand &x, const Cand &y) {
+                         return x.importance > y.importance;
+                     });
+
+    uint64_t total = a.profile.totalOps ? a.profile.totalOps : 1;
+    uint64_t budget =
+        uint64_t(opts_.maxCriticalRatio * double(total));
+    std::unordered_set<uint32_t> tagged;
+    uint64_t dyn_tagged = 0;
+
+    for (const Cand &c : cands) {
+        uint64_t added = 0;
+        for (uint32_t s : c.slice->criticalSlice) {
+            if (!tagged.count(s) && s < exec_counts.size())
+                added += exec_counts[s];
+        }
+        if (dyn_tagged > 0 && dyn_tagged + added > budget)
+            continue; // keep at least the most important slice
+        for (uint32_t s : c.slice->criticalSlice)
+            tagged.insert(s);
+        dyn_tagged += added;
+    }
+
+    a.taggedStatics.assign(tagged.begin(), tagged.end());
+    std::sort(a.taggedStatics.begin(), a.taggedStatics.end());
+    a.dynamicCriticalRatio = double(dyn_tagged) / double(total);
+}
+
+const CrispAnalysis &
+CrispPipeline::analysis()
+{
+    if (analysis_)
+        return *analysis_;
+    analysis_ = std::make_unique<CrispAnalysis>();
+    CrispAnalysis &a = *analysis_;
+
+    const Trace &train = trainTrace();
+    a.profile = profileTrace(train, cfg_);
+    a.delinquentLoads = selectDelinquentLoads(a.profile, opts_);
+    a.criticalBranches = selectCriticalBranches(a.profile, opts_);
+
+    a.longLatencyOps = selectLongLatencyOps(a.profile, opts_);
+
+    SliceExtractor extractor(train, opts_, &a.profile, &cfg_);
+    a.loadSlices = extractLoadSlices(extractor, a.delinquentLoads);
+    a.branchSlices =
+        extractBranchSlices(extractor, a.criticalBranches);
+    a.longLatencySlices =
+        extractLoadSlices(extractor, a.longLatencyOps);
+
+    if (!a.loadSlices.empty()) {
+        double sum = 0;
+        for (const auto &s : a.loadSlices)
+            sum += double(s.size());
+        a.avgLoadSliceSize = sum / double(a.loadSlices.size());
+    }
+
+    enforceBand(a, train.staticExecCounts());
+    return a;
+}
+
+Trace
+CrispPipeline::refTrace(bool tagged)
+{
+    auto prog =
+        std::make_shared<Program>(workload_.build(InputSet::Ref));
+    if (tagged)
+        applyCriticalPrefix(*prog, analysis().taggedStatics);
+    Interpreter interp(prog);
+    return interp.run(refOps_);
+}
+
+TagSummary
+CrispPipeline::tagSummary()
+{
+    auto prog =
+        std::make_shared<Program>(workload_.build(InputSet::Ref));
+    applyCriticalPrefix(*prog, analysis().taggedStatics);
+    Interpreter interp(prog);
+    Trace trace = interp.run(refOps_);
+    return summarizeTagging(*prog, trace);
+}
+
+} // namespace crisp

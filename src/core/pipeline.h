@@ -1,0 +1,95 @@
+/**
+ * @file
+ * End-to-end CRISP software flow (Fig 5): trace the training input,
+ * profile, select delinquent loads and hard-to-predict branches,
+ * extract and critical-path-filter their slices, enforce the 5-40%
+ * critical-instruction band, and tag a fresh (reference-input) build
+ * of the program for evaluation (§4.1, §5.1).
+ */
+
+#ifndef CRISP_CORE_PIPELINE_H
+#define CRISP_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/branch_slices.h"
+#include "core/delinquency.h"
+#include "core/profiler.h"
+#include "core/slice_extractor.h"
+#include "core/tagger.h"
+#include "sim/config.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+/** Everything the analysis produced (inputs to figures 4, 7-12). */
+struct CrispAnalysis
+{
+    ProfileResult profile;
+    std::vector<uint32_t> delinquentLoads;
+    std::vector<uint32_t> criticalBranches;
+    std::vector<uint32_t> longLatencyOps;
+    std::vector<Slice> loadSlices;
+    std::vector<Slice> branchSlices;
+    std::vector<Slice> longLatencySlices;
+    /** Union of surviving critical slices, band-enforced. */
+    std::vector<uint32_t> taggedStatics;
+    /** Mean full load-slice size in static instructions (Fig 4). */
+    double avgLoadSliceSize = 0;
+    /** Dynamic share of tagged instructions on the train input. */
+    double dynamicCriticalRatio = 0;
+};
+
+/** Orchestrates profiling, slicing and tagging for one workload. */
+class CrispPipeline
+{
+  public:
+    /**
+     * @param workload the proxy to analyze
+     * @param opts analysis thresholds/toggles
+     * @param cfg machine configuration (profiling memory system)
+     * @param train_ops training-trace length
+     * @param ref_ops evaluation-trace length
+     */
+    CrispPipeline(const WorkloadInfo &workload, CrispOptions opts,
+                  SimConfig cfg, uint64_t train_ops = 200'000,
+                  uint64_t ref_ops = 300'000);
+
+    /** Runs (once) and returns the analysis. */
+    const CrispAnalysis &analysis();
+
+    /** @return the training trace (cached). */
+    const Trace &trainTrace();
+
+    /**
+     * Builds the evaluation trace on the Ref input.
+     * @param tagged apply the critical prefix before tracing
+     */
+    Trace refTrace(bool tagged);
+
+    /** @return Fig 12 overheads for the tagged ref build. */
+    TagSummary tagSummary();
+
+    /** @return the options in effect. */
+    const CrispOptions &options() const { return opts_; }
+
+  private:
+    const WorkloadInfo &workload_;
+    CrispOptions opts_;
+    SimConfig cfg_;
+    uint64_t trainOps_;
+    uint64_t refOps_;
+
+    std::unique_ptr<Trace> trainTrace_;
+    std::unique_ptr<CrispAnalysis> analysis_;
+
+    void enforceBand(CrispAnalysis &a,
+                     const std::vector<uint64_t> &exec_counts);
+};
+
+} // namespace crisp
+
+#endif // CRISP_CORE_PIPELINE_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Software profiling pass (CRISP §3.2).
+ *
+ * Plays the role of PMU counters / PEBS / LBR in the paper's flow: a
+ * functional pass over the training trace through the cache hierarchy
+ * (with the baseline prefetchers enabled) and the TAGE predictor,
+ * collecting per-static-instruction execution counts, cache miss
+ * ratios, miss-time memory-level parallelism, address-stride
+ * regularity, approximate AMAT, and branch misprediction rates.
+ */
+
+#ifndef CRISP_CORE_PROFILER_H
+#define CRISP_CORE_PROFILER_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/config.h"
+#include "trace/trace.h"
+
+namespace crisp
+{
+
+/** Per-static-load profile. */
+struct LoadProfile
+{
+    uint64_t exec = 0;
+    uint64_t l1Misses = 0;
+    uint64_t llcMisses = 0;
+    double mlpSum = 0;      ///< outstanding misses at each LLC miss
+    uint64_t mlpSamples = 0;
+    uint64_t strideHits = 0; ///< repeats of the previous delta
+    uint64_t deltaSamples = 0;
+    uint64_t lastAddr = 0;
+    int64_t lastDelta = 0;
+
+    double missRatio() const
+    {
+        return exec ? double(llcMisses) / double(exec) : 0.0;
+    }
+    double avgMlp() const
+    {
+        return mlpSamples ? mlpSum / double(mlpSamples) : 0.0;
+    }
+    /** Fraction of dynamic instances repeating the previous stride. */
+    double strideability() const
+    {
+        return deltaSamples ? double(strideHits) / double(deltaSamples)
+                            : 0.0;
+    }
+    /** Approximate average memory access time in cycles. */
+    double amat(const SimConfig &cfg, double dram_latency) const;
+};
+
+/** Per-static-branch profile. */
+struct BranchProfile
+{
+    uint64_t exec = 0;
+    uint64_t mispredicts = 0;
+
+    double mispredictRatio() const
+    {
+        return exec ? double(mispredicts) / double(exec) : 0.0;
+    }
+};
+
+/** Whole-trace profile. */
+struct ProfileResult
+{
+    std::unordered_map<uint32_t, LoadProfile> loads;
+    std::unordered_map<uint32_t, BranchProfile> branches;
+    /** Unpipelined long-latency ops (divisions): sidx -> exec count
+     *  (the §6.1 "other high-latency instructions" extension). */
+    std::unordered_map<uint32_t, uint64_t> longLatencyOps;
+    uint64_t totalOps = 0;
+    uint64_t totalLoads = 0;
+    uint64_t totalLlcMisses = 0;
+    double avgDramLatency = 0; ///< for AMAT estimation
+};
+
+/**
+ * Profiles @p trace under the memory system of @p cfg.
+ * @return the per-static profile.
+ */
+ProfileResult profileTrace(const Trace &trace, const SimConfig &cfg);
+
+} // namespace crisp
+
+#endif // CRISP_CORE_PROFILER_H

@@ -1,0 +1,211 @@
+#include "core/slice_extractor.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "isa/latency.h"
+
+namespace crisp
+{
+
+SliceExtractor::SliceExtractor(const Trace &trace,
+                               const CrispOptions &opts,
+                               const ProfileResult *prof,
+                               const SimConfig *cfg)
+    : trace_(trace), opts_(opts), prof_(prof), cfg_(cfg)
+{
+    buildProducerTable();
+}
+
+void
+SliceExtractor::buildProducerTable()
+{
+    const size_t n = trace_.size();
+    producers_.assign(n, {-1, -1, -1, -1});
+
+    std::array<int32_t, kNumArchRegs> last_writer;
+    last_writer.fill(-1);
+    std::unordered_map<uint64_t, int32_t> last_store;
+
+    for (size_t i = 0; i < n; ++i) {
+        const MicroOp &op = trace_.ops[i];
+        auto &prod = producers_[i];
+        int k = 0;
+        auto reg_dep = [&](RegId r) {
+            if (r != kNoReg && last_writer[r] >= 0)
+                prod[k] = last_writer[r];
+            ++k;
+        };
+        reg_dep(op.src1);
+        reg_dep(op.src2);
+        reg_dep(op.src3);
+        if (op.isLoad() && opts_.memDependencies) {
+            auto it = last_store.find(op.effAddr);
+            if (it != last_store.end())
+                prod[3] = it->second;
+        }
+        if (op.dst != kNoReg)
+            last_writer[op.dst] = int32_t(i);
+        if (op.isStore())
+            last_store[op.effAddr] = int32_t(i);
+    }
+}
+
+double
+SliceExtractor::latencyOf(const MicroOp &op) const
+{
+    if (op.isLoad() && prof_ && cfg_) {
+        auto it = prof_->loads.find(op.sidx);
+        if (it != prof_->loads.end()) {
+            double amat =
+                it->second.amat(*cfg_, prof_->avgDramLatency);
+            return std::max(amat, 1.0);
+        }
+    }
+    double lat = defaultLatencies()[op.cls];
+    if (op.isLoad())
+        lat += cfg_ ? cfg_->l1d.latency : 4;
+    return std::max(lat, 1.0);
+}
+
+SliceDag
+SliceExtractor::buildDag(uint32_t root_dyn) const
+{
+    SliceDag dag;
+    std::unordered_map<uint32_t, uint32_t> node_of; // dyn -> node id
+    std::deque<uint32_t> frontier;
+
+    auto add_node = [&](uint32_t dyn) {
+        auto [it, fresh] = node_of.emplace(
+            dyn, uint32_t(dag.nodes.size()));
+        if (fresh) {
+            dag.nodes.push_back(
+                {dyn, trace_.ops[dyn].sidx,
+                 latencyOf(trace_.ops[dyn])});
+        }
+        return it->second;
+    };
+
+    add_node(root_dyn);
+    frontier.push_back(root_dyn);
+    while (!frontier.empty() &&
+           dag.nodes.size() < opts_.maxAncestorsPerWalk) {
+        uint32_t dyn = frontier.front();
+        frontier.pop_front();
+        uint32_t consumer = node_of.at(dyn);
+        for (int32_t p : producers_[dyn]) {
+            if (p < 0)
+                continue;
+            bool fresh = node_of.find(uint32_t(p)) == node_of.end();
+            uint32_t pn = add_node(uint32_t(p));
+            dag.edges.emplace_back(consumer, pn);
+            if (fresh)
+                frontier.push_back(uint32_t(p));
+        }
+    }
+
+    // Topological order by dynIdx: remap so nodes are ascending.
+    std::vector<uint32_t> order(dag.nodes.size());
+    for (uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&dag](uint32_t a, uint32_t b) {
+                  return dag.nodes[a].dynIdx < dag.nodes[b].dynIdx;
+              });
+    std::vector<uint32_t> new_id(dag.nodes.size());
+    for (uint32_t pos = 0; pos < order.size(); ++pos)
+        new_id[order[pos]] = pos;
+    std::vector<DagNode> sorted(dag.nodes.size());
+    for (uint32_t i = 0; i < dag.nodes.size(); ++i)
+        sorted[new_id[i]] = dag.nodes[i];
+    dag.nodes = std::move(sorted);
+    for (auto &[c, p] : dag.edges) {
+        c = new_id[c];
+        p = new_id[p];
+    }
+    dag.rootNode = new_id[0]; // root was inserted first
+    return dag;
+}
+
+Slice
+SliceExtractor::extract(uint32_t root_sidx) const
+{
+    Slice slice;
+    slice.rootSidx = root_sidx;
+
+    // Collect dynamic instances of the root.
+    std::vector<uint32_t> instances;
+    for (uint32_t i = 0; i < trace_.size(); ++i) {
+        if (trace_.ops[i].sidx == root_sidx)
+            instances.push_back(i);
+    }
+    if (instances.empty())
+        return slice;
+
+    // Sample instances evenly, skipping the warmup-heavy start.
+    std::vector<uint32_t> sampled;
+    size_t start = instances.size() / 8;
+    size_t avail = instances.size() - start;
+    size_t want = std::min<size_t>(opts_.maxInstancesPerRoot, avail);
+    for (size_t k = 0; k < want; ++k)
+        sampled.push_back(instances[start + k * avail / want]);
+
+    // Frontier walk with the paper's termination rules: stop at
+    // ancestors whose static instruction is already in the slice, at
+    // constants (no producers) and at the start of the trace.
+    std::unordered_set<uint32_t> statics;
+    statics.insert(root_sidx);
+    slice.fullSlice.push_back(root_sidx);
+    uint64_t total_walk = 0;
+
+    for (uint32_t inst : sampled) {
+        std::deque<uint32_t> frontier;
+        frontier.push_back(inst);
+        uint64_t walked = 0;
+        while (!frontier.empty() &&
+               walked < opts_.maxAncestorsPerWalk) {
+            uint32_t dyn = frontier.front();
+            frontier.pop_front();
+            ++walked;
+            for (int32_t p : producers_[dyn]) {
+                if (p < 0)
+                    continue;
+                uint32_t sp = trace_.ops[p].sidx;
+                if (!statics.insert(sp).second)
+                    continue; // already in the slice
+                slice.fullSlice.push_back(sp);
+                frontier.push_back(uint32_t(p));
+            }
+        }
+        total_walk += walked;
+    }
+    slice.avgDynAncestors =
+        double(total_walk) / double(sampled.size());
+
+    if (opts_.criticalPathFilter) {
+        // Critical-path analysis on representative instances; union
+        // of survivors across a few samples for robustness.
+        std::unordered_set<uint32_t> keep;
+        size_t reps = std::min<size_t>(3, sampled.size());
+        for (size_t k = 0; k < reps; ++k) {
+            uint32_t inst =
+                sampled[sampled.size() - 1 - k * sampled.size() / reps];
+            SliceDag dag = buildDag(inst);
+            for (uint32_t s :
+                 criticalPathFilter(dag, opts_.criticalPathFraction))
+                keep.insert(s);
+        }
+        keep.insert(root_sidx);
+        for (uint32_t s : slice.fullSlice) {
+            if (keep.count(s))
+                slice.criticalSlice.push_back(s);
+        }
+    } else {
+        slice.criticalSlice = slice.fullSlice;
+    }
+    return slice;
+}
+
+} // namespace crisp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Backward slice extraction from instruction traces (CRISP §3.3).
+ *
+ * A single forward pass materializes each dynamic micro-op's producer
+ * set — the last writer of every register source plus, for loads, the
+ * last store to the same word (the dependence-through-memory edge
+ * register-only IBDA cannot see). Slices are then gathered by the
+ * paper's frontier algorithm walking the trace backwards from sampled
+ * dynamic instances of a delinquent root.
+ */
+
+#ifndef CRISP_CORE_SLICE_EXTRACTOR_H
+#define CRISP_CORE_SLICE_EXTRACTOR_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/critical_path.h"
+#include "core/delinquency.h"
+#include "core/profiler.h"
+#include "trace/trace.h"
+
+namespace crisp
+{
+
+/** An extracted slice for one delinquent root instruction. */
+struct Slice
+{
+    uint32_t rootSidx = 0;
+    /** Full backward slice (static indices, root included). */
+    std::vector<uint32_t> fullSlice;
+    /** Near-critical-path subset actually tagged (§3.5). */
+    std::vector<uint32_t> criticalSlice;
+    /** Mean dynamic ancestors per sampled instance walk. */
+    double avgDynAncestors = 0;
+
+    /** @return static slice size (Fig 4 metric). */
+    size_t size() const { return fullSlice.size(); }
+};
+
+/** Extracts backward slices from one trace. */
+class SliceExtractor
+{
+  public:
+    /**
+     * @param trace the (training) trace
+     * @param opts analysis options
+     * @param prof optional profile supplying per-load AMAT latencies
+     * @param cfg optional machine config for latency scaling
+     */
+    SliceExtractor(const Trace &trace, const CrispOptions &opts,
+                   const ProfileResult *prof = nullptr,
+                   const SimConfig *cfg = nullptr);
+
+    /**
+     * Extracts the slice rooted at static instruction @p root_sidx.
+     * Sampling, termination rules and critical-path filtering follow
+     * §3.3/§3.5 and the thresholds in CrispOptions.
+     */
+    Slice extract(uint32_t root_sidx) const;
+
+    /** @return the producer table (testing hook). */
+    const std::vector<std::array<int32_t, 4>> &producers() const
+    {
+        return producers_;
+    }
+
+  private:
+    const Trace &trace_;
+    CrispOptions opts_;
+    const ProfileResult *prof_;
+    const SimConfig *cfg_;
+    std::vector<std::array<int32_t, 4>> producers_;
+
+    double latencyOf(const MicroOp &op) const;
+    void buildProducerTable();
+    SliceDag buildDag(uint32_t root_dyn) const;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CORE_SLICE_EXTRACTOR_H

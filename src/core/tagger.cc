@@ -1,0 +1,42 @@
+#include "core/tagger.h"
+
+namespace crisp
+{
+
+uint64_t
+applyCriticalPrefix(Program &prog,
+                    const std::vector<uint32_t> &statics)
+{
+    uint64_t tagged = 0;
+    for (uint32_t sidx : statics) {
+        if (sidx >= prog.code.size())
+            continue;
+        StaticInst &si = prog.code[sidx];
+        if (si.critical)
+            continue;
+        si.critical = true;
+        si.size += 1; // the new one-byte prefix
+        ++tagged;
+    }
+    if (tagged)
+        prog.layout();
+    return tagged;
+}
+
+TagSummary
+summarizeTagging(const Program &prog, const Trace &trace)
+{
+    TagSummary s;
+    s.taggedStatics = prog.criticalCount();
+    s.staticBytesAfter = prog.staticBytes();
+    s.staticBytesBefore = s.staticBytesAfter - s.taggedStatics;
+
+    for (const auto &op : trace.ops) {
+        s.dynamicBytesAfter += op.instSize;
+        s.dynamicBytesBefore +=
+            op.instSize - (op.critical ? 1 : 0);
+    }
+    return s;
+}
+
+} // namespace crisp

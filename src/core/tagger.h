@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Post-link-time tagging (CRISP §4.1): applies the one-byte critical
+ * instruction prefix to a program and accounts the code-footprint
+ * overheads evaluated in §5.7.
+ */
+
+#ifndef CRISP_CORE_TAGGER_H
+#define CRISP_CORE_TAGGER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/program.h"
+#include "trace/trace.h"
+
+namespace crisp
+{
+
+/** Footprint overheads of the prefix (Fig 12 metrics). */
+struct TagSummary
+{
+    uint64_t taggedStatics = 0;
+    uint64_t staticBytesBefore = 0;
+    uint64_t staticBytesAfter = 0;
+    uint64_t dynamicBytesBefore = 0;
+    uint64_t dynamicBytesAfter = 0;
+
+    /** @return static code-size growth (fraction). */
+    double staticOverhead() const
+    {
+        return staticBytesBefore
+                   ? double(staticBytesAfter) /
+                             double(staticBytesBefore) -
+                         1.0
+                   : 0.0;
+    }
+    /** @return dynamic code-footprint growth (fraction). */
+    double dynamicOverhead() const
+    {
+        return dynamicBytesBefore
+                   ? double(dynamicBytesAfter) /
+                             double(dynamicBytesBefore) -
+                         1.0
+                   : 0.0;
+    }
+};
+
+/**
+ * Marks @p statics critical in @p prog, growing each tagged
+ * instruction by one byte and re-laying-out the code.
+ * @param prog program to rewrite in place
+ * @param statics static indices to tag
+ * @return number of newly tagged instructions.
+ */
+uint64_t applyCriticalPrefix(Program &prog,
+                             const std::vector<uint32_t> &statics);
+
+/**
+ * Computes the Fig 12 overheads for a tagged program.
+ * @param prog the tagged program
+ * @param trace a dynamic trace restamped from @p prog
+ */
+TagSummary summarizeTagging(const Program &prog, const Trace &trace);
+
+} // namespace crisp
+
+#endif // CRISP_CORE_TAGGER_H

@@ -1,0 +1,40 @@
+#include "cpu/age_matrix.h"
+
+namespace crisp
+{
+
+AgeMatrix::AgeMatrix(unsigned slots)
+    : slots_(slots), rows_(slots, SlotVector(slots))
+{
+}
+
+void
+AgeMatrix::allocate(unsigned slot)
+{
+    // The newcomer is younger than everything: clear its bit in every
+    // existing vector, then initialize its own vector to all ones
+    // minus itself (stale ones for empty slots are harmless because
+    // empty slots never appear in a candidate vector).
+    for (auto &row : rows_)
+        row.clear(slot);
+    rows_[slot].setAll();
+    rows_[slot].clear(slot);
+}
+
+int
+AgeMatrix::selectOldest(const SlotVector &candidates) const
+{
+    for (size_t w = 0; w < candidates.words_.size(); ++w) {
+        uint64_t bits = candidates.words_[w];
+        while (bits) {
+            unsigned slot =
+                unsigned(w * 64) + unsigned(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            if (isOldest(slot, candidates))
+                return int(slot);
+        }
+    }
+    return -1;
+}
+
+} // namespace crisp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Age-matrix oldest-instruction tracking for RAND schedulers.
+ *
+ * Direct model of the circuit described in CRISP §4.2: each IQ slot
+ * keeps an N-bit age vector, initialized to all ones on allocate with
+ * its own bit cleared; every later allocation clears the newcomer's
+ * bit in all existing vectors. A slot is the oldest of a candidate
+ * set iff (age_vector AND candidate_vector) == 0.
+ */
+
+#ifndef CRISP_CPU_AGE_MATRIX_H
+#define CRISP_CPU_AGE_MATRIX_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crisp
+{
+
+/** Fixed-capacity bit vector over IQ slots. */
+class SlotVector
+{
+  public:
+    SlotVector() = default;
+    /** @param slots capacity in bits. */
+    explicit SlotVector(unsigned slots)
+        : words_((slots + 63) / 64, 0)
+    {
+    }
+
+    void set(unsigned i) { words_[i >> 6] |= 1ULL << (i & 63); }
+    void clear(unsigned i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+    bool test(unsigned i) const
+    {
+        return words_[i >> 6] >> (i & 63) & 1;
+    }
+    void setAll()
+    {
+        for (auto &w : words_)
+            w = ~0ULL;
+    }
+    void clearAll()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+    bool any() const
+    {
+        for (auto w : words_)
+            if (w)
+                return true;
+        return false;
+    }
+
+    /** @return true if (this AND other) == 0 (the NOR reduction). */
+    bool disjoint(const SlotVector &other) const
+    {
+        for (size_t k = 0; k < words_.size(); ++k)
+            if (words_[k] & other.words_[k])
+                return false;
+        return true;
+    }
+
+  private:
+    std::vector<uint64_t> words_;
+
+    friend class AgeMatrix;
+};
+
+/**
+ * The age matrix proper. Slots are allocated in arbitrary (RAND)
+ * order; relative age is recoverable only through the matrix, exactly
+ * as in hardware.
+ */
+class AgeMatrix
+{
+  public:
+    /** @param slots IQ capacity. */
+    explicit AgeMatrix(unsigned slots);
+
+    /** Records that @p slot just received a new (youngest) entry. */
+    void allocate(unsigned slot);
+
+    /**
+     * @return true if @p slot is the oldest member of @p candidates
+     *         (slot must itself be a candidate).
+     */
+    bool isOldest(unsigned slot, const SlotVector &candidates) const
+    {
+        return rows_[slot].disjoint(candidates);
+    }
+
+    /**
+     * Selects the oldest member of @p candidates.
+     * @return the slot index, or -1 if @p candidates is empty.
+     */
+    int selectOldest(const SlotVector &candidates) const;
+
+    /** @return IQ capacity. */
+    unsigned slots() const { return slots_; }
+
+  private:
+    unsigned slots_;
+    std::vector<SlotVector> rows_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CPU_AGE_MATRIX_H

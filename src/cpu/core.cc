@@ -1,0 +1,340 @@
+#include "cpu/core.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace crisp
+{
+
+Core::Core(const Trace &trace, const SimConfig &cfg)
+    : trace_(trace), cfg_(cfg),
+      mem_(cfg),
+      frontend_(trace, cfg, mem_),
+      rob_(cfg.robSize),
+      rs_(cfg.rsSize),
+      lsq_(cfg.lqSize, cfg.sqSize),
+      fus_(cfg),
+      fetchPipeCap_(cfg.width * (cfg.fetchToDispatchLat + 1)),
+      candAlu_(cfg.rsSize), candLoad_(cfg.rsSize),
+      candStore_(cfg.rsSize), prioAlu_(cfg.rsSize),
+      prioLoad_(cfg.rsSize), prioStore_(cfg.rsSize)
+{
+    if (cfg.enableIbda)
+        ibda_ = std::make_unique<Ibda>(cfg);
+    ring_.resize(cfg.robSize + fetchPipeCap_ + 2 * cfg.width + 8);
+}
+
+DynInst *
+Core::allocInst(const FetchedOp &fo)
+{
+    DynInst *inst = &ring_[nextSeq_ % ring_.size()];
+    assert(!inst->inWindow && "DynInst ring too small");
+    inst->reset(nextSeq_, fo.op, fo.traceIdx);
+    ++nextSeq_;
+    inst->mispredicted = fo.mispredicted;
+    return inst;
+}
+
+void
+Core::wakeConsumers(DynInst *inst)
+{
+    for (DynInst *c : inst->consumers) {
+        if (inst->doneCycle > c->srcReadyCycle)
+            c->srcReadyCycle = inst->doneCycle;
+        assert(c->pendingProducers > 0);
+        --c->pendingProducers;
+    }
+    inst->consumers.clear();
+}
+
+void
+Core::issueInst(DynInst *inst)
+{
+    const MicroOp &op = *inst->op;
+    uint64_t done;
+
+    switch (op.cls) {
+      case OpClass::Load: {
+        if (inst->forwarded) {
+            done = cycle_ + cfg_.forwardLatency;
+            ++stats_.forwardedLoads;
+        } else {
+            auto res = mem_.load(op.effAddr, op.pc, cycle_,
+                                 inst->prioritized);
+            done = res.readyCycle;
+            inst->servedBy = res.servedBy;
+            if (res.llcMiss())
+                ++stats_.llcMissLoads;
+        }
+        if (ibda_)
+            ibda_->onLoadComplete(op.pc,
+                                  inst->servedBy == MemLevel::Dram);
+        break;
+      }
+      case OpClass::Prefetch:
+        mem_.prefetchData(op.effAddr, cycle_);
+        done = cycle_ + lat_[op.cls];
+        break;
+      case OpClass::Store:
+        // Address generation only; the write happens at retire.
+        done = cycle_ + lat_[op.cls];
+        break;
+      default:
+        done = cycle_ + lat_[op.cls];
+        break;
+    }
+
+    inst->issued = true;
+    inst->doneCycle = done;
+    {
+        uint64_t wait = cycle_ > inst->srcReadyCycle
+                            ? cycle_ - inst->srcReadyCycle
+                            : 0;
+        auto &w = stats_.issueWaitByStatic[op.sidx];
+        w.first += wait;
+        ++w.second;
+    }
+    ++stats_.issued;
+    if (inst->prioritized)
+        ++stats_.issuedPrioritized;
+    wakeConsumers(inst);
+    if (inst->mispredicted)
+        frontend_.onBranchResolved(done + cfg_.redirectPenalty);
+    rs_.release(inst->rsSlot);
+}
+
+unsigned
+Core::selectFromPool(FuPool pool, SlotVector &cand, SlotVector &prio,
+                     unsigned budget)
+{
+    unsigned issued = 0;
+    bool crisp = cfg_.scheduler == SchedulerPolicy::CrispPriority ||
+                 cfg_.enableIbda;
+    while (budget > 0 && fus_.available(pool)) {
+        int slot = -1;
+        // CRISP/IBDA two-level pick: oldest ready prioritized
+        // instruction first, falling back to the plain oldest.
+        if (crisp && prio.any())
+            slot = rs_.age().selectOldest(prio);
+        if (slot < 0)
+            slot = rs_.age().selectOldest(cand);
+        if (slot < 0)
+            break;
+        DynInst *inst = rs_.at(unsigned(slot));
+        cand.clear(unsigned(slot));
+        prio.clear(unsigned(slot));
+        issueInst(inst);
+        fus_.claim(pool, inst->op->cls, cycle_, inst->doneCycle);
+        ++issued;
+        --budget;
+    }
+    return issued;
+}
+
+void
+Core::issueStage()
+{
+    fus_.beginCycle(cycle_);
+    candAlu_.clearAll();
+    candLoad_.clearAll();
+    candStore_.clearAll();
+    prioAlu_.clearAll();
+    prioLoad_.clearAll();
+    prioStore_.clearAll();
+
+    bool any = false;
+    for (unsigned s = 0; s < rs_.capacity(); ++s) {
+        DynInst *inst = rs_.at(s);
+        if (!inst || inst->issued)
+            continue;
+        if (inst->pendingProducers > 0 ||
+            inst->srcReadyCycle > cycle_)
+            continue;
+        any = true;
+        switch (poolOf(inst->op->cls)) {
+          case FuPool::Alu:
+            candAlu_.set(s);
+            if (inst->prioritized)
+                prioAlu_.set(s);
+            break;
+          case FuPool::Load:
+            candLoad_.set(s);
+            if (inst->prioritized)
+                prioLoad_.set(s);
+            break;
+          case FuPool::Store:
+            candStore_.set(s);
+            if (inst->prioritized)
+                prioStore_.set(s);
+            break;
+        }
+    }
+    if (!any)
+        return;
+
+    unsigned budget = cfg_.width;
+    budget -= selectFromPool(FuPool::Load, candLoad_, prioLoad_,
+                             budget);
+    budget -= selectFromPool(FuPool::Store, candStore_, prioStore_,
+                             budget);
+    selectFromPool(FuPool::Alu, candAlu_, prioAlu_, budget);
+}
+
+void
+Core::dispatchStage()
+{
+    for (unsigned k = 0; k < cfg_.width; ++k) {
+        if (fetchPipe_.empty() ||
+            fetchPipe_.front().readyCycle > cycle_)
+            return;
+        DynInst *inst = fetchPipe_.front().inst;
+        const MicroOp &op = *inst->op;
+        if (rob_.full() || rs_.full())
+            return;
+        if (op.isLoad() && lsq_.loadQueueFull())
+            return;
+        if (op.isStore() && lsq_.storeQueueFull())
+            return;
+        fetchPipe_.pop_front();
+
+        rob_.push(inst);
+        rs_.insert(inst);
+
+        // Register dependencies.
+        auto hook_src = [&](RegId r) {
+            if (r == kNoReg)
+                return;
+            DynInst *p = lastWriter_[r];
+            if (!p)
+                return;
+            if (p->issued) {
+                if (p->doneCycle > inst->srcReadyCycle)
+                    inst->srcReadyCycle = p->doneCycle;
+            } else {
+                p->consumers.push_back(inst);
+                ++inst->pendingProducers;
+            }
+        };
+        hook_src(op.src1);
+        hook_src(op.src2);
+        hook_src(op.src3);
+
+        // Memory dependencies (exact, word-granular).
+        if (op.isLoad()) {
+            DynInst *store = lsq_.dispatchLoad(op.effAddr);
+            if (store) {
+                inst->forwarded = true;
+                if (store->issued) {
+                    if (store->doneCycle > inst->srcReadyCycle)
+                        inst->srcReadyCycle = store->doneCycle;
+                } else {
+                    store->consumers.push_back(inst);
+                    ++inst->pendingProducers;
+                }
+            }
+        } else if (op.isStore()) {
+            lsq_.dispatchStore(inst, op.effAddr);
+        }
+
+        // Priority marking: CRISP tag or IBDA rename-stage analysis.
+        if (ibda_)
+            inst->prioritized = ibda_->onDispatch(op, lastWriterPc_);
+        else
+            inst->prioritized = op.critical;
+
+        if (op.dst != kNoReg) {
+            lastWriter_[op.dst] = inst;
+            lastWriterPc_[op.dst] = op.pc;
+        }
+    }
+}
+
+void
+Core::fetchStage()
+{
+    if (fetchPipe_.size() + cfg_.width > fetchPipeCap_)
+        return;
+    fetchScratch_.clear();
+    frontend_.fetch(cycle_, cfg_.width, fetchScratch_);
+    for (const FetchedOp &fo : fetchScratch_) {
+        DynInst *inst = allocInst(fo);
+        fetchPipe_.push_back(
+            {inst, cycle_ + cfg_.fetchToDispatchLat});
+    }
+}
+
+void
+Core::retireStage()
+{
+    unsigned retired = 0;
+    while (retired < cfg_.width && !rob_.empty()) {
+        DynInst *head = rob_.head();
+        if (!head->completed(cycle_))
+            break;
+        const MicroOp &op = *head->op;
+        if (op.isLoad()) {
+            lsq_.retireLoad();
+        } else if (op.isStore()) {
+            // Commit the store to the memory system.
+            mem_.store(op.effAddr, op.pc, cycle_);
+            lsq_.retireStore(head, op.effAddr);
+        }
+        if (op.dst != kNoReg && lastWriter_[op.dst] == head)
+            lastWriter_[op.dst] = nullptr;
+        head->inWindow = false;
+        rob_.pop();
+        ++retired;
+        ++stats_.retired;
+    }
+    if (retired == 0 && !rob_.empty()) {
+        ++stats_.robHeadStallCycles;
+        DynInst *head = rob_.head();
+        if (head->op->isLoad())
+            ++stats_.robHeadLoadStallCycles;
+        ++stats_.headStallByStatic[head->op->sidx];
+    }
+    if (recordTimeline_)
+        stats_.retireTimeline.push_back(uint8_t(retired));
+}
+
+CoreStats
+Core::run(uint64_t max_cycles, bool record_timeline)
+{
+    recordTimeline_ = record_timeline;
+    uint64_t last_progress_cycle = 0;
+    uint64_t last_retired = 0;
+
+    while (stats_.retired < trace_.size() && cycle_ < max_cycles) {
+        ++cycle_;
+        retireStage();
+        issueStage();
+        dispatchStage();
+        fetchStage();
+
+        if (stats_.retired != last_retired) {
+            last_retired = stats_.retired;
+            last_progress_cycle = cycle_;
+        } else if (cycle_ - last_progress_cycle > 2'000'000) {
+            std::fprintf(stderr,
+                         "core deadlock at cycle %llu (retired %llu"
+                         " of %zu)\n",
+                         (unsigned long long)cycle_,
+                         (unsigned long long)stats_.retired,
+                         trace_.size());
+            std::abort();
+        }
+    }
+
+    stats_.cycles = cycle_;
+    stats_.frontend = frontend_.stats();
+    stats_.l1i = mem_.l1i().stats();
+    stats_.l1d = mem_.l1d().stats();
+    stats_.llc = mem_.llc().stats();
+    stats_.dram = mem_.dram().stats();
+    if (ibda_)
+        stats_.ibda = ibda_->stats();
+    return stats_;
+}
+
+} // namespace crisp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * In-flight dynamic instruction state.
+ */
+
+#ifndef CRISP_CPU_DYN_INST_H
+#define CRISP_CPU_DYN_INST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "isa/micro_op.h"
+
+namespace crisp
+{
+
+/**
+ * One in-flight instruction. Dependencies are resolved with a
+ * wakeup discipline: a consumer either captures its producer's known
+ * completion cycle at dispatch, or registers itself on the producer's
+ * consumer list and is woken when the producer issues (at which point
+ * the completion cycle becomes known).
+ */
+struct DynInst
+{
+    uint64_t seq = 0;           ///< fetch order
+    const MicroOp *op = nullptr;
+    uint32_t traceIdx = 0;
+
+    uint64_t srcReadyCycle = 0; ///< max completion of resolved inputs
+    uint64_t doneCycle = 0;     ///< valid once issued
+    uint8_t pendingProducers = 0;
+
+    bool inWindow = false;      ///< occupies the DynInst ring
+    bool issued = false;
+    bool prioritized = false;   ///< critical prefix / IST hit
+    bool mispredicted = false;  ///< fetch-blocking branch
+    bool forwarded = false;     ///< load serviced by store forwarding
+    int16_t rsSlot = -1;
+    MemLevel servedBy = MemLevel::L1;
+
+    /** Consumers to wake when this instruction issues. */
+    std::vector<DynInst *> consumers;
+
+    /** @return true once the result is available at @p cycle. */
+    bool completed(uint64_t cycle) const
+    {
+        return issued && doneCycle <= cycle;
+    }
+
+    /** Resets for reuse from the ring allocator. */
+    void reset(uint64_t s, const MicroOp *o, uint32_t tidx)
+    {
+        seq = s;
+        op = o;
+        traceIdx = tidx;
+        srcReadyCycle = 0;
+        doneCycle = 0;
+        pendingProducers = 0;
+        inWindow = true;
+        issued = false;
+        prioritized = false;
+        mispredicted = false;
+        forwarded = false;
+        rsSlot = -1;
+        servedBy = MemLevel::L1;
+        consumers.clear();
+    }
+};
+
+} // namespace crisp
+
+#endif // CRISP_CPU_DYN_INST_H

@@ -1,0 +1,158 @@
+#include "cpu/frontend.h"
+
+#include "bp/bimodal.h"
+#include "bp/gshare.h"
+#include "bp/tage.h"
+
+namespace crisp
+{
+
+Frontend::Frontend(const Trace &trace, const SimConfig &cfg,
+                   Hierarchy &mem)
+    : trace_(trace), cfg_(cfg), mem_(mem),
+      btb_(cfg.btbEntries, 4), ras_(cfg.rasEntries)
+{
+    if (cfg.branchPredictor == "bimodal")
+        dir_ = std::make_unique<BimodalPredictor>();
+    else if (cfg.branchPredictor == "gshare")
+        dir_ = std::make_unique<GsharePredictor>();
+    else
+        dir_ = std::make_unique<TagePredictor>();
+}
+
+bool
+Frontend::predictControl(const MicroOp &op)
+{
+    uint64_t fallthrough = op.pc + op.instSize;
+    bool mispred = false;
+
+    switch (op.cls) {
+      case OpClass::Branch: {
+        ++stats_.condBranches;
+        bool pred_taken = dir_->predict(op.pc);
+        dir_->update(op.pc, op.taken);
+        if (pred_taken != op.taken) {
+            mispred = true;
+        } else if (op.taken) {
+            uint64_t target;
+            bool hit = btb_.lookup(op.pc, target);
+            if (!hit || target != op.nextPc)
+                mispred = true;
+        }
+        if (op.taken)
+            btb_.update(op.pc, op.nextPc);
+        if (mispred)
+            ++stats_.condMispredicts;
+        break;
+      }
+      case OpClass::Jump:
+        // Direct target: decoder-resolved, never a full mispredict.
+        btb_.update(op.pc, op.nextPc);
+        break;
+      case OpClass::Call:
+        ras_.push(fallthrough);
+        btb_.update(op.pc, op.nextPc);
+        break;
+      case OpClass::Ret: {
+        uint64_t pred = ras_.pop();
+        if (pred != op.nextPc) {
+            mispred = true;
+            ++stats_.returnMispredicts;
+        }
+        break;
+      }
+      case OpClass::IndirectJump: {
+        ++stats_.indirectBranches;
+        uint64_t target;
+        bool hit = btb_.lookup(op.pc, target);
+        if (!hit || target != op.nextPc) {
+            mispred = true;
+            ++stats_.indirectMispredicts;
+        }
+        btb_.update(op.pc, op.nextPc);
+        break;
+      }
+      default:
+        break;
+    }
+    return mispred;
+}
+
+void
+Frontend::runFdip(uint64_t cycle)
+{
+    if (!cfg_.enableFdip)
+        return;
+    // The FTQ runs ahead of fetch by up to ftqEntries micro-ops,
+    // prefetching their icache lines (up to 2 new lines per cycle).
+    size_t limit =
+        std::min(trace_.size(), nextIdx_ + cfg_.ftqEntries);
+    if (prefetchIdx_ < nextIdx_)
+        prefetchIdx_ = nextIdx_;
+    unsigned lines = 0;
+    uint64_t last_line = ~0ULL;
+    while (prefetchIdx_ < limit && lines < 2) {
+        uint64_t line = trace_.ops[prefetchIdx_].pc >> 6;
+        if (line != last_line && !(line == curLine_)) {
+            mem_.prefetchInst(trace_.ops[prefetchIdx_].pc, cycle);
+            ++lines;
+        }
+        last_line = line;
+        ++prefetchIdx_;
+    }
+}
+
+void
+Frontend::fetch(uint64_t cycle, unsigned n,
+                std::vector<FetchedOp> &out)
+{
+    if (blockedOnBranch_) {
+        ++stats_.branchStallCycles;
+        return;
+    }
+    if (cycle < blockedUntil_)
+        return;
+
+    runFdip(cycle);
+
+    for (unsigned k = 0; k < n && nextIdx_ < trace_.size(); ++k) {
+        const MicroOp &op = trace_.ops[nextIdx_];
+        // Icache: pay for each new line entered (instructions may
+        // span two lines; charge the line containing the last byte).
+        uint64_t line = (op.pc + op.instSize - 1) >> 6;
+        if (line != curLine_) {
+            auto res = mem_.ifetch(op.pc, cycle);
+            curLine_ = line;
+            if (res.readyCycle > cycle + mem_.l1i().latency()) {
+                // Miss: bubble until the line arrives.
+                blockedUntil_ = res.readyCycle;
+                stats_.icacheStallCycles +=
+                    res.readyCycle - cycle;
+                break;
+            }
+        }
+
+        FetchedOp fo{&op, uint32_t(nextIdx_), false};
+        if (op.isControl())
+            fo.mispredicted = predictControl(op);
+        ++nextIdx_;
+        ++stats_.fetched;
+        out.push_back(fo);
+
+        if (fo.mispredicted) {
+            blockedOnBranch_ = true;
+            // The FTQ beyond this point would be wrong-path.
+            prefetchIdx_ = nextIdx_;
+            break;
+        }
+    }
+}
+
+void
+Frontend::onBranchResolved(uint64_t resume_cycle)
+{
+    blockedOnBranch_ = false;
+    blockedUntil_ = resume_cycle;
+}
+
+} // namespace crisp

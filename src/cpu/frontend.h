@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Decoupled frontend: branch prediction, BTB/RAS, icache timing and
+ * FDIP-style instruction prefetch over a fetch-target queue window.
+ *
+ * The simulator is trace-driven, so wrong-path instructions are not
+ * executed: when a fetched branch is found to mispredict, fetch stops
+ * until the core reports the branch resolved, then resumes after the
+ * redirect penalty. This captures exactly the frontend-throttling
+ * effect that motivates CRISP's branch slices (§3.4, §5.3).
+ */
+
+#ifndef CRISP_CPU_FRONTEND_H
+#define CRISP_CPU_FRONTEND_H
+
+#include <memory>
+#include <vector>
+
+#include "bp/btb.h"
+#include "bp/predictor.h"
+#include "bp/ras.h"
+#include "cache/hierarchy.h"
+#include "sim/config.h"
+#include "trace/trace.h"
+
+namespace crisp
+{
+
+/** Frontend statistics. */
+struct FrontendStats
+{
+    uint64_t fetched = 0;
+    uint64_t condBranches = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t indirectBranches = 0;
+    uint64_t indirectMispredicts = 0;
+    uint64_t returnMispredicts = 0;
+    uint64_t icacheStallCycles = 0;
+    uint64_t branchStallCycles = 0;
+
+    /** @return total control-flow mispredictions. */
+    uint64_t mispredicts() const
+    {
+        return condMispredicts + indirectMispredicts +
+               returnMispredicts;
+    }
+};
+
+/** One fetched micro-op handed to the core. */
+struct FetchedOp
+{
+    const MicroOp *op;
+    uint32_t traceIdx;
+    bool mispredicted;
+};
+
+/** The fetch engine. */
+class Frontend
+{
+  public:
+    /**
+     * @param trace the dynamic stream to fetch
+     * @param cfg machine configuration
+     * @param mem hierarchy for icache/FDIP accesses
+     */
+    Frontend(const Trace &trace, const SimConfig &cfg, Hierarchy &mem);
+
+    /**
+     * Fetches up to @p n micro-ops at @p cycle.
+     * Appends to @p out; stops early at icache misses or after
+     * delivering a mispredicted branch.
+     */
+    void fetch(uint64_t cycle, unsigned n, std::vector<FetchedOp> &out);
+
+    /**
+     * Reports that the blocking mispredicted branch has resolved;
+     * fetch resumes at @p resume_cycle.
+     */
+    void onBranchResolved(uint64_t resume_cycle);
+
+    /** @return true when the whole trace has been fetched. */
+    bool exhausted() const { return nextIdx_ >= trace_.size(); }
+
+    /** @return accumulated statistics. */
+    const FrontendStats &stats() const { return stats_; }
+
+  private:
+    const Trace &trace_;
+    SimConfig cfg_;
+    Hierarchy &mem_;
+    std::unique_ptr<DirectionPredictor> dir_;
+    Btb btb_;
+    Ras ras_;
+
+    size_t nextIdx_ = 0;
+    size_t prefetchIdx_ = 0;
+    uint64_t blockedUntil_ = 0;
+    bool blockedOnBranch_ = false;
+    uint64_t curLine_ = ~0ULL;
+
+    FrontendStats stats_;
+
+    /** Predicts + trains for one control op; @return mispredicted. */
+    bool predictControl(const MicroOp &op);
+    void runFdip(uint64_t cycle);
+};
+
+} // namespace crisp
+
+#endif // CRISP_CPU_FRONTEND_H

@@ -1,0 +1,87 @@
+#include "cpu/functional_units.h"
+
+namespace crisp
+{
+
+FuPool
+poolOf(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Load:
+      case OpClass::Prefetch:
+        return FuPool::Load;
+      case OpClass::Store:
+        return FuPool::Store;
+      default:
+        return FuPool::Alu;
+    }
+}
+
+FunctionalUnits::FunctionalUnits(const SimConfig &cfg)
+    : aluBusyUntil_(cfg.numAlu, 0),
+      loadPorts_(cfg.numLoadPorts),
+      storePorts_(cfg.numStorePorts)
+{
+}
+
+void
+FunctionalUnits::beginCycle(uint64_t cycle)
+{
+    cycle_ = cycle;
+    loadUsed_ = 0;
+    storeUsed_ = 0;
+    aluIssuedThisCycle_ = 0;
+}
+
+unsigned
+FunctionalUnits::freeAluUnits() const
+{
+    unsigned n = 0;
+    for (uint64_t busy : aluBusyUntil_)
+        if (busy <= cycle_)
+            ++n;
+    return n;
+}
+
+bool
+FunctionalUnits::available(FuPool pool) const
+{
+    switch (pool) {
+      case FuPool::Load:
+        return loadUsed_ < loadPorts_;
+      case FuPool::Store:
+        return storeUsed_ < storePorts_;
+      case FuPool::Alu:
+        return aluIssuedThisCycle_ < freeAluUnits();
+    }
+    return false;
+}
+
+void
+FunctionalUnits::claim(FuPool pool, OpClass cls, uint64_t cycle,
+                       uint64_t done)
+{
+    switch (pool) {
+      case FuPool::Load:
+        ++loadUsed_;
+        return;
+      case FuPool::Store:
+        ++storeUsed_;
+        return;
+      case FuPool::Alu:
+        if (LatencyTable::unpipelined(cls)) {
+            // Park the occupancy on a free unit; the unit leaving the
+            // free pool already accounts for this issue slot.
+            for (auto &busy : aluBusyUntil_) {
+                if (busy <= cycle) {
+                    busy = done;
+                    return;
+                }
+            }
+        }
+        ++aluIssuedThisCycle_;
+        return;
+    }
+}
+
+} // namespace crisp

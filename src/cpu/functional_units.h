@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional unit pools (Table 1: 4 ALU, 2 load, 1 store).
+ */
+
+#ifndef CRISP_CPU_FUNCTIONAL_UNITS_H
+#define CRISP_CPU_FUNCTIONAL_UNITS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/latency.h"
+#include "isa/micro_op.h"
+#include "sim/config.h"
+
+namespace crisp
+{
+
+/** Which issue pool an op class belongs to. */
+enum class FuPool { Alu, Load, Store };
+
+/** @return the pool for @p cls. */
+FuPool poolOf(OpClass cls);
+
+/**
+ * Tracks per-cycle port availability. ALU units model occupancy so
+ * unpipelined dividers block their unit; load/store ports are fully
+ * pipelined (the cache hierarchy applies memory timing).
+ */
+class FunctionalUnits
+{
+  public:
+    /** @param cfg port counts. */
+    explicit FunctionalUnits(const SimConfig &cfg);
+
+    /** Call at the start of each cycle. */
+    void beginCycle(uint64_t cycle);
+
+    /** @return true if an issue port for @p pool is free this cycle. */
+    bool available(FuPool pool) const;
+
+    /**
+     * Claims a port for one instruction.
+     * @param pool the pool to issue to
+     * @param cls op class (for unpipelined occupancy)
+     * @param cycle current cycle
+     * @param done completion cycle of the instruction
+     */
+    void claim(FuPool pool, OpClass cls, uint64_t cycle,
+               uint64_t done);
+
+  private:
+    std::vector<uint64_t> aluBusyUntil_;
+    unsigned loadPorts_;
+    unsigned storePorts_;
+    unsigned loadUsed_ = 0;
+    unsigned storeUsed_ = 0;
+    unsigned aluIssuedThisCycle_ = 0;
+    uint64_t cycle_ = 0;
+
+    unsigned freeAluUnits() const;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CPU_FUNCTIONAL_UNITS_H

@@ -1,0 +1,3 @@
+// LoadStoreQueues is header-only; this file keeps the build layout
+// uniform.
+#include "cpu/lsq.h"

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Load/store queues and in-window memory dependence tracking.
+ */
+
+#ifndef CRISP_CPU_LSQ_H
+#define CRISP_CPU_LSQ_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cpu/dyn_inst.h"
+
+namespace crisp
+{
+
+/**
+ * Occupancy tracking for the load and store queues plus the
+ * word-granular store map used for store-to-load forwarding. All
+ * accesses in the micro-op ISA are 8-byte aligned, so dependence
+ * detection is exact address equality.
+ */
+class LoadStoreQueues
+{
+  public:
+    /**
+     * @param lq_size load queue entries (64 in Table 1)
+     * @param sq_size store queue entries (128 in Table 1)
+     */
+    LoadStoreQueues(unsigned lq_size, unsigned sq_size)
+        : lqSize_(lq_size), sqSize_(sq_size)
+    {
+    }
+
+    bool loadQueueFull() const { return loads_ >= lqSize_; }
+    bool storeQueueFull() const { return stores_ >= sqSize_; }
+    unsigned loads() const { return loads_; }
+    unsigned stores() const { return stores_; }
+
+    /**
+     * Registers a dispatched load.
+     * @return the youngest older in-flight store to the same word, or
+     *         nullptr (the load will access the cache).
+     */
+    DynInst *dispatchLoad(uint64_t addr)
+    {
+        ++loads_;
+        auto it = storeMap_.find(addr);
+        return it == storeMap_.end() ? nullptr : it->second;
+    }
+
+    /** Registers a dispatched store as the forwarding source. */
+    void dispatchStore(DynInst *store, uint64_t addr)
+    {
+        ++stores_;
+        storeMap_[addr] = store;
+    }
+
+    /** Releases a load entry at retirement. */
+    void retireLoad() { --loads_; }
+
+    /** Releases a store entry at retirement. */
+    void retireStore(DynInst *store, uint64_t addr)
+    {
+        --stores_;
+        auto it = storeMap_.find(addr);
+        if (it != storeMap_.end() && it->second == store)
+            storeMap_.erase(it);
+    }
+
+  private:
+    unsigned lqSize_;
+    unsigned sqSize_;
+    unsigned loads_ = 0;
+    unsigned stores_ = 0;
+    std::unordered_map<uint64_t, DynInst *> storeMap_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CPU_LSQ_H

@@ -1,0 +1,37 @@
+#include "cpu/reservation_station.h"
+
+#include <cassert>
+
+namespace crisp
+{
+
+ReservationStation::ReservationStation(unsigned slots)
+    : slots_(slots, nullptr), age_(slots)
+{
+    freeList_.reserve(slots);
+    for (int s = int(slots) - 1; s >= 0; --s)
+        freeList_.push_back(s);
+}
+
+int
+ReservationStation::insert(DynInst *inst)
+{
+    assert(!freeList_.empty());
+    int slot = freeList_.back();
+    freeList_.pop_back();
+    slots_[slot] = inst;
+    inst->rsSlot = int16_t(slot);
+    age_.allocate(unsigned(slot));
+    return slot;
+}
+
+void
+ReservationStation::release(int slot)
+{
+    assert(slot >= 0 && slots_[slot] != nullptr);
+    slots_[slot]->rsSlot = -1;
+    slots_[slot] = nullptr;
+    freeList_.push_back(slot);
+}
+
+} // namespace crisp

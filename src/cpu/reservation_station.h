@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unified reservation station with RAND slot allocation and
+ * age-matrix ordering (CRISP §4.2).
+ */
+
+#ifndef CRISP_CPU_RESERVATION_STATION_H
+#define CRISP_CPU_RESERVATION_STATION_H
+
+#include <vector>
+
+#include "cpu/age_matrix.h"
+#include "cpu/dyn_inst.h"
+
+namespace crisp
+{
+
+/**
+ * Slot container for waiting instructions. Slots are handed out in
+ * arbitrary order (free-list), matching a RAND scheduler: relative
+ * age is recovered exclusively through the AgeMatrix.
+ */
+class ReservationStation
+{
+  public:
+    /** @param slots capacity (96 in Table 1). */
+    explicit ReservationStation(unsigned slots);
+
+    /** @return true if no slot is free. */
+    bool full() const { return freeList_.empty(); }
+
+    /** @return number of occupied slots. */
+    unsigned occupancy() const
+    {
+        return unsigned(slots_.size() - freeList_.size());
+    }
+
+    /**
+     * Inserts a dispatched instruction.
+     * @return the slot index (also recorded in inst->rsSlot).
+     */
+    int insert(DynInst *inst);
+
+    /** Releases @p slot at issue. */
+    void release(int slot);
+
+    /** @return the instruction in @p slot (nullptr if empty). */
+    DynInst *at(unsigned slot) const { return slots_[slot]; }
+
+    /** @return total capacity. */
+    unsigned capacity() const { return unsigned(slots_.size()); }
+
+    /** @return the age matrix for selection. */
+    const AgeMatrix &age() const { return age_; }
+
+  private:
+    std::vector<DynInst *> slots_;
+    std::vector<int> freeList_;
+    AgeMatrix age_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CPU_RESERVATION_STATION_H

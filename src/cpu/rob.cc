@@ -1,0 +1,2 @@
+// Rob is header-only; this file keeps the build layout uniform.
+#include "cpu/rob.h"

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reorder buffer: in-order retirement window.
+ */
+
+#ifndef CRISP_CPU_ROB_H
+#define CRISP_CPU_ROB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/dyn_inst.h"
+
+namespace crisp
+{
+
+/** Circular in-order window of in-flight instructions. */
+class Rob
+{
+  public:
+    /** @param entries capacity (224 in Table 1). */
+    explicit Rob(unsigned entries)
+        : ring_(entries, nullptr)
+    {
+    }
+
+    bool full() const { return count_ == ring_.size(); }
+    bool empty() const { return count_ == 0; }
+    /** @return current occupancy. */
+    unsigned occupancy() const { return unsigned(count_); }
+    /** @return capacity. */
+    unsigned capacity() const { return unsigned(ring_.size()); }
+
+    /** Appends a dispatched instruction (must not be full). */
+    void push(DynInst *inst)
+    {
+        ring_[tail_] = inst;
+        tail_ = (tail_ + 1) % ring_.size();
+        ++count_;
+    }
+
+    /** @return the oldest instruction (must not be empty). */
+    DynInst *head() const { return ring_[head_]; }
+
+    /** Removes the oldest instruction. */
+    void pop()
+    {
+        ring_[head_] = nullptr;
+        head_ = (head_ + 1) % ring_.size();
+        --count_;
+    }
+
+  private:
+    std::vector<DynInst *> ring_;
+    size_t head_ = 0;
+    size_t tail_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CPU_ROB_H

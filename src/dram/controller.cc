@@ -1,0 +1,78 @@
+#include "dram/controller.h"
+
+#include <algorithm>
+
+namespace crisp
+{
+
+DramController::DramController(Ddr4Timing timing)
+    : timing_(timing),
+      bankBusyUntil_(timing.numBanks, 0),
+      openRow_(timing.numBanks, -1)
+{
+}
+
+uint64_t
+DramController::refreshDelay(uint64_t cycle) const
+{
+    // All-bank refresh occupies [k*tREFI, k*tREFI + tRFC).
+    uint64_t phase = cycle % timing_.tRefi;
+    if (phase < timing_.tRfc)
+        return timing_.tRfc - phase;
+    return 0;
+}
+
+uint64_t
+DramController::access(uint64_t addr, uint64_t cycle, bool critical)
+{
+    ++stats_.reads;
+    if (critical)
+        ++stats_.criticalReads;
+    unsigned bank = bankOf(addr);
+    int64_t row = rowOf(addr);
+
+    uint64_t start = cycle + timing_.tCtrl;
+    start += refreshDelay(start);
+    start = std::max(start, bankBusyUntil_[bank]);
+
+    uint32_t array_lat;
+    if (openRow_[bank] == row) {
+        ++stats_.rowHits;
+        array_lat = timing_.tCl;
+    } else if (openRow_[bank] < 0) {
+        ++stats_.rowClosed;
+        array_lat = timing_.tRcd + timing_.tCl;
+    } else {
+        ++stats_.rowConflicts;
+        array_lat = timing_.tRp + timing_.tRcd + timing_.tCl;
+    }
+    openRow_[bank] = row;
+
+    // Data transfer serializes on the channel bus; critical reads
+    // (CRISP §6.1) are granted the bus out of order.
+    uint64_t data_start = start + array_lat;
+    if (!critical && busBusyUntil_ > data_start) {
+        stats_.busWaitCycles += busBusyUntil_ - data_start;
+        data_start = busBusyUntil_;
+    } else if (critical && busBusyUntil_ > data_start) {
+        stats_.criticalBusBypassCycles +=
+            busBusyUntil_ - data_start;
+    }
+    uint64_t done = data_start + timing_.tBurst;
+    busBusyUntil_ = std::max(busBusyUntil_, done);
+    bankBusyUntil_[bank] = done;
+
+    stats_.totalLatency += done - cycle;
+    return done;
+}
+
+void
+DramController::reset()
+{
+    std::fill(bankBusyUntil_.begin(), bankBusyUntil_.end(), 0);
+    std::fill(openRow_.begin(), openRow_.end(), -1);
+    busBusyUntil_ = 0;
+    stats_ = DramStats{};
+}
+
+} // namespace crisp

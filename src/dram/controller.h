@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Single-channel DRAM controller with open-page policy.
+ */
+
+#ifndef CRISP_DRAM_CONTROLLER_H
+#define CRISP_DRAM_CONTROLLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/ddr4.h"
+
+namespace crisp
+{
+
+/** DRAM controller statistics. */
+struct DramStats
+{
+    uint64_t reads = 0;
+    uint64_t criticalReads = 0;
+    uint64_t criticalBusBypassCycles = 0;
+    uint64_t rowHits = 0;
+    uint64_t rowConflicts = 0;
+    uint64_t rowClosed = 0;
+    uint64_t busWaitCycles = 0;
+    uint64_t totalLatency = 0;
+
+    /** @return average read latency in cycles. */
+    double averageLatency() const
+    {
+        return reads ? double(totalLatency) / double(reads) : 0.0;
+    }
+};
+
+/**
+ * Open-page, bank-parallel DRAM channel. Each access is resolved to a
+ * completion cycle considering bank state (open row), bank busy time,
+ * data-bus serialization and refresh windows — the first-order
+ * effects an MLP-sensitive criticality heuristic observes.
+ */
+class DramController
+{
+  public:
+    /** @param timing device timing (defaults to DDR4-2400). */
+    explicit DramController(Ddr4Timing timing = Ddr4Timing{});
+
+    /**
+     * Performs one cache-line read.
+     * @param addr physical address
+     * @param cycle cycle the request reaches the controller
+     * @param critical grant data-bus priority (criticality-aware
+     *        memory scheduling, CRISP §6.1)
+     * @return cycle the critical word is returned
+     */
+    uint64_t access(uint64_t addr, uint64_t cycle,
+                    bool critical = false);
+
+    /** @return accumulated statistics. */
+    const DramStats &stats() const { return stats_; }
+
+    /** Resets bank state and statistics. */
+    void reset();
+
+  private:
+    Ddr4Timing timing_;
+    std::vector<uint64_t> bankBusyUntil_;
+    std::vector<int64_t> openRow_;
+    uint64_t busBusyUntil_ = 0;
+    DramStats stats_;
+
+    unsigned bankOf(uint64_t addr) const
+    {
+        return (addr >> 6) & (timing_.numBanks - 1);
+    }
+    int64_t rowOf(uint64_t addr) const
+    {
+        // line(6) | bank(4) | row: columns interleave within the row
+        // via the low line bits, rows stack above the bank bits.
+        return int64_t(addr / (uint64_t(timing_.rowBytes) *
+                               timing_.numBanks));
+    }
+    uint64_t refreshDelay(uint64_t cycle) const;
+};
+
+} // namespace crisp
+
+#endif // CRISP_DRAM_CONTROLLER_H

@@ -1,0 +1,3 @@
+// Ddr4Timing is header-only; this file keeps the build layout
+// uniform.
+#include "dram/ddr4.h"

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * DDR4-2400 timing parameters expressed in CPU cycles.
+ *
+ * Stands in for Ramulator in the paper's setup (CRISP §5.1): a
+ * single-channel DDR4-2400 device behind a 3.0 GHz core, so one DRAM
+ * clock (0.833 ns) is 2.5 CPU cycles.
+ */
+
+#ifndef CRISP_DRAM_DDR4_H
+#define CRISP_DRAM_DDR4_H
+
+#include <cstdint>
+
+namespace crisp
+{
+
+/** DDR4-2400 timing, CPU cycles at 3.0 GHz. */
+struct Ddr4Timing
+{
+    uint32_t tRcd = 42;     ///< 17 tCK: activate to column
+    uint32_t tCl = 42;      ///< 17 tCK: column to data
+    uint32_t tRp = 42;      ///< 17 tCK: precharge
+    uint32_t tBurst = 10;   ///< BL8: 4 tCK data transfer
+    uint32_t tCtrl = 18;    ///< controller + on-die interconnect
+    uint32_t tRefi = 23400; ///< 7.8 us refresh interval
+    uint32_t tRfc = 840;    ///< 280 ns refresh duration
+    uint32_t numBanks = 16;
+    uint32_t rowBytes = 8192;
+
+    /** @return the best-case (row-hit, idle) access latency. */
+    uint32_t rowHitLatency() const { return tCtrl + tCl + tBurst; }
+    /** @return the closed-row access latency. */
+    uint32_t rowClosedLatency() const
+    {
+        return tCtrl + tRcd + tCl + tBurst;
+    }
+    /** @return the row-conflict access latency. */
+    uint32_t rowConflictLatency() const
+    {
+        return tCtrl + tRp + tRcd + tCl + tBurst;
+    }
+};
+
+} // namespace crisp
+
+#endif // CRISP_DRAM_DDR4_H

@@ -1,0 +1,88 @@
+#include "ibda/ibda.h"
+
+#include <algorithm>
+
+namespace crisp
+{
+
+Ibda::Ibda(const SimConfig &cfg)
+    : ist_(cfg.istEntries, cfg.istWays, cfg.istInfinite),
+      dlt_(cfg.dltEntries)
+{
+}
+
+bool
+Ibda::dltContains(uint64_t pc) const
+{
+    for (const auto &e : dlt_) {
+        if (e.valid && e.pc == pc && e.count >= 2)
+            return true;
+    }
+    return false;
+}
+
+void
+Ibda::onLoadComplete(uint64_t pc, bool llc_miss)
+{
+    if (!llc_miss)
+        return;
+    DltEntry *victim = &dlt_[0];
+    for (auto &e : dlt_) {
+        if (e.valid && e.pc == pc) {
+            ++e.count;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.count < victim->count)
+            victim = &e;
+    }
+    // Replace the least-frequent entry (frequency-based capture of
+    // the hottest missing loads).
+    ++stats_.dltInsertions;
+    victim->valid = true;
+    victim->pc = pc;
+    victim->count = 1;
+}
+
+bool
+Ibda::onDispatch(const MicroOp &op,
+                 const std::array<uint64_t, kNumArchRegs>
+                     &last_writer_pc)
+{
+    bool marked = false;
+    if (op.isLoad() && dltContains(op.pc))
+        marked = true;
+    if (!marked && ist_.lookup(op.pc))
+        marked = true;
+    if (!marked)
+        return false;
+
+    ++stats_.marked;
+    // One backward step: mark the register producers. Memory
+    // dependencies (store -> load through an address) are invisible.
+    auto mark_src = [&](RegId r) {
+        if (r == kNoReg)
+            return;
+        uint64_t wpc = last_writer_pc[r];
+        if (wpc != 0 && wpc != op.pc)
+            ist_.insert(wpc);
+    };
+    mark_src(op.src1);
+    mark_src(op.src2);
+    mark_src(op.src3);
+    return true;
+}
+
+IbdaStats
+Ibda::stats() const
+{
+    IbdaStats s = stats_;
+    s.istInsertions = ist_.insertions();
+    s.istEvictions = ist_.evictions();
+    return s;
+}
+
+} // namespace crisp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * IBDA: iterative backward dependency analysis in hardware — the
+ * comparison baseline of CRISP §5.2.
+ *
+ * A 32-entry delinquent load table (DLT) captures the most frequently
+ * LLC-missing load PCs. When a marked instruction (DLT or IST hit) is
+ * renamed, the PCs of the last writers of its *register* sources are
+ * inserted into the IST, extending the slice one level per encounter.
+ * Dependencies through memory are invisible — the blind spot CRISP's
+ * software extraction fixes.
+ */
+
+#ifndef CRISP_IBDA_IBDA_H
+#define CRISP_IBDA_IBDA_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ibda/ist.h"
+#include "isa/micro_op.h"
+#include "sim/config.h"
+
+namespace crisp
+{
+
+/** IBDA statistics. */
+struct IbdaStats
+{
+    uint64_t marked = 0;        ///< dispatches flagged prioritized
+    uint64_t dltInsertions = 0;
+    uint64_t istInsertions = 0;
+    uint64_t istEvictions = 0;
+};
+
+/** The in-pipeline IBDA engine. */
+class Ibda
+{
+  public:
+    /** @param cfg IST/DLT geometry. */
+    explicit Ibda(const SimConfig &cfg);
+
+    /**
+     * Rename-stage hook.
+     * @param op the dispatching micro-op
+     * @param last_writer_pc per-register PC of the latest writer
+     * @return true if the instruction should be prioritized.
+     */
+    bool onDispatch(const MicroOp &op,
+                    const std::array<uint64_t, kNumArchRegs>
+                        &last_writer_pc);
+
+    /**
+     * Completion hook for demand loads.
+     * @param pc load PC
+     * @param llc_miss true if served by DRAM
+     */
+    void onLoadComplete(uint64_t pc, bool llc_miss);
+
+    /** @return accumulated statistics. */
+    IbdaStats stats() const;
+
+  private:
+    struct DltEntry
+    {
+        uint64_t pc = 0;
+        uint64_t count = 0;
+        bool valid = false;
+    };
+
+    InstructionSliceTable ist_;
+    std::vector<DltEntry> dlt_;
+    IbdaStats stats_;
+
+    bool dltContains(uint64_t pc) const;
+};
+
+} // namespace crisp
+
+#endif // CRISP_IBDA_IBDA_H

@@ -1,0 +1,75 @@
+#include "ibda/ist.h"
+
+namespace crisp
+{
+
+InstructionSliceTable::InstructionSliceTable(unsigned entries,
+                                             unsigned ways,
+                                             bool infinite)
+    : infinite_(infinite)
+{
+    if (!infinite_) {
+        ways_ = ways;
+        sets_ = entries / ways;
+        entries_.assign(entries, Entry{});
+    }
+}
+
+bool
+InstructionSliceTable::lookup(uint64_t pc)
+{
+    if (infinite_)
+        return unbounded_.count(pc) != 0;
+    Entry *set = &entries_[size_t((pc >> 1) % sets_) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].pc == pc) {
+            set[w].lru = ++clock_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+InstructionSliceTable::insert(uint64_t pc)
+{
+    ++insertions_;
+    if (infinite_) {
+        unbounded_.insert(pc);
+        return;
+    }
+    Entry *set = &entries_[size_t((pc >> 1) % sets_) * ways_];
+    Entry *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].pc == pc) {
+            set[w].lru = ++clock_;
+            return;
+        }
+        if (!set[w].valid && !victim)
+            victim = &set[w];
+    }
+    if (!victim) {
+        victim = &set[0];
+        for (unsigned w = 1; w < ways_; ++w) {
+            if (set[w].lru < victim->lru)
+                victim = &set[w];
+        }
+        ++evictions_;
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->lru = ++clock_;
+}
+
+uint64_t
+InstructionSliceTable::occupancy() const
+{
+    if (infinite_)
+        return unbounded_.size();
+    uint64_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace crisp

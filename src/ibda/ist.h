@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Instruction slice table for the IBDA baseline (load-slice
+ * architecture, Carlson et al., ISCA 2015; CRISP §5.2).
+ */
+
+#ifndef CRISP_IBDA_IST_H
+#define CRISP_IBDA_IST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace crisp
+{
+
+/**
+ * Set-associative table of instruction PCs marked as belonging to a
+ * load slice. An "infinite" mode backs the table with a hash set for
+ * the idealized comparison point of CRISP Fig 7.
+ */
+class InstructionSliceTable
+{
+  public:
+    /**
+     * @param entries total entries (1K/8K/64K in the paper)
+     * @param ways associativity
+     * @param infinite unbounded idealization
+     */
+    InstructionSliceTable(unsigned entries, unsigned ways,
+                          bool infinite);
+
+    /** @return true (and refresh LRU) if @p pc is marked. */
+    bool lookup(uint64_t pc);
+
+    /** Marks @p pc, evicting LRU within its set if needed. */
+    void insert(uint64_t pc);
+
+    /** @return number of marked PCs currently resident. */
+    uint64_t occupancy() const;
+
+    /** @return insertions performed. */
+    uint64_t insertions() const { return insertions_; }
+    /** @return evictions performed (capacity conflicts). */
+    uint64_t evictions() const { return evictions_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t pc = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    bool infinite_;
+    unsigned sets_ = 0;
+    unsigned ways_ = 0;
+    std::vector<Entry> entries_;
+    std::unordered_set<uint64_t> unbounded_;
+    uint64_t clock_ = 0;
+    uint64_t insertions_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_IBDA_IST_H

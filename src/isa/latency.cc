@@ -1,0 +1,35 @@
+#include "isa/latency.h"
+
+namespace crisp
+{
+
+LatencyTable::LatencyTable()
+{
+    auto set_cls = [this](OpClass c, uint32_t l) {
+        lat_[static_cast<size_t>(c)] = l;
+    };
+    set_cls(OpClass::IntAlu, 1);
+    set_cls(OpClass::IntMul, 3);
+    set_cls(OpClass::IntDiv, 24);
+    set_cls(OpClass::FpAdd, 4);
+    set_cls(OpClass::FpMul, 4);
+    set_cls(OpClass::FpDiv, 14);
+    set_cls(OpClass::Load, 0);      // memory latency added by caches
+    set_cls(OpClass::Store, 1);     // address generation
+    set_cls(OpClass::Prefetch, 1);
+    set_cls(OpClass::Branch, 1);
+    set_cls(OpClass::Jump, 1);
+    set_cls(OpClass::IndirectJump, 1);
+    set_cls(OpClass::Call, 1);
+    set_cls(OpClass::Ret, 1);
+    set_cls(OpClass::Nop, 1);
+}
+
+const LatencyTable &
+defaultLatencies()
+{
+    static const LatencyTable table;
+    return table;
+}
+
+} // namespace crisp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed execution latencies per op class.
+ *
+ * Latencies follow published Skylake numbers (Fog's instruction
+ * tables / uops.info), matching the paper's statement that slice
+ * critical-path analysis assigns "a fixed latency according to the
+ * processor implementation" to non-load instructions (CRISP §3.5).
+ */
+
+#ifndef CRISP_ISA_LATENCY_H
+#define CRISP_ISA_LATENCY_H
+
+#include <cstdint>
+
+#include "isa/micro_op.h"
+
+namespace crisp
+{
+
+/**
+ * Latency table: cycles between issue and result availability for
+ * each op class. Loads report only the fixed pipeline portion here;
+ * their full latency is supplied by the cache hierarchy at run time.
+ */
+class LatencyTable
+{
+  public:
+    /** Builds the default Skylake-like table. */
+    LatencyTable();
+
+    /** @return the execution latency in cycles of class @p cls. */
+    uint32_t operator[](OpClass cls) const
+    {
+        return lat_[static_cast<size_t>(cls)];
+    }
+
+    /** Overrides the latency of one class (used in tests/ablations). */
+    void set(OpClass cls, uint32_t cycles)
+    {
+        lat_[static_cast<size_t>(cls)] = cycles;
+    }
+
+    /** @return true if @p cls occupies its unit for its full latency. */
+    static bool unpipelined(OpClass cls)
+    {
+        return cls == OpClass::IntDiv || cls == OpClass::FpDiv;
+    }
+
+  private:
+    uint32_t lat_[static_cast<size_t>(OpClass::NumClasses)];
+};
+
+/** @return the process-wide default latency table. */
+const LatencyTable &defaultLatencies();
+
+} // namespace crisp
+
+#endif // CRISP_ISA_LATENCY_H

@@ -1,0 +1,162 @@
+#include "isa/micro_op.h"
+
+#include <sstream>
+
+namespace crisp
+{
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::FpAdd: return "FpAdd";
+      case OpClass::FpMul: return "FpMul";
+      case OpClass::FpDiv: return "FpDiv";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Prefetch: return "Prefetch";
+      case OpClass::Branch: return "Branch";
+      case OpClass::Jump: return "Jump";
+      case OpClass::IndirectJump: return "IndirectJump";
+      case OpClass::Call: return "Call";
+      case OpClass::Ret: return "Ret";
+      case OpClass::Nop: return "Nop";
+      default: return "Unknown";
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Slt: return "slt";
+      case Opcode::AddI: return "addi";
+      case Opcode::MulI: return "muli";
+      case Opcode::AndI: return "andi";
+      case Opcode::OrI: return "ori";
+      case Opcode::XorI: return "xori";
+      case Opcode::ShlI: return "shli";
+      case Opcode::ShrI: return "shri";
+      case Opcode::SltI: return "slti";
+      case Opcode::MovI: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::Ld: return "ld";
+      case Opcode::LdX: return "ldx";
+      case Opcode::St: return "st";
+      case Opcode::StX: return "stx";
+      case Opcode::Pf: return "pf";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jr: return "jr";
+      case Opcode::CallD: return "call";
+      case Opcode::RetI: return "ret";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+      default: return "???";
+    }
+}
+
+OpClass
+opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Slt:
+      case Opcode::AddI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+      case Opcode::SltI:
+      case Opcode::MovI:
+      case Opcode::Mov:
+        return OpClass::IntAlu;
+      case Opcode::Mul:
+      case Opcode::MulI:
+        return OpClass::IntMul;
+      case Opcode::Div:
+      case Opcode::Rem:
+        return OpClass::IntDiv;
+      case Opcode::FAdd:
+        return OpClass::FpAdd;
+      case Opcode::FMul:
+        return OpClass::FpMul;
+      case Opcode::FDiv:
+        return OpClass::FpDiv;
+      case Opcode::Ld:
+      case Opcode::LdX:
+        return OpClass::Load;
+      case Opcode::St:
+      case Opcode::StX:
+        return OpClass::Store;
+      case Opcode::Pf:
+        return OpClass::Prefetch;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return OpClass::Branch;
+      case Opcode::Jmp:
+        return OpClass::Jump;
+      case Opcode::Jr:
+        return OpClass::IndirectJump;
+      case Opcode::CallD:
+        return OpClass::Call;
+      case Opcode::RetI:
+        return OpClass::Ret;
+      default:
+        return OpClass::Nop;
+    }
+}
+
+std::string
+StaticInst::toString() const
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << pc << std::dec << ": ";
+    if (critical)
+        os << "crit. ";
+    os << opcodeName(op);
+    if (dst != kNoReg)
+        os << " r" << dst;
+    if (src1 != kNoReg)
+        os << (dst != kNoReg ? ", r" : " r") << src1;
+    if (src2 != kNoReg)
+        os << ", r" << src2;
+    if (src3 != kNoReg)
+        os << ", r" << src3;
+    if (imm != 0 || op == Opcode::MovI)
+        os << ", #" << imm;
+    OpClass c = cls();
+    if (c == OpClass::Branch || c == OpClass::Jump || c == OpClass::Call)
+        os << " -> @" << target;
+    return os.str();
+}
+
+} // namespace crisp

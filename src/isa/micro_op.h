@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Micro-op ISA used throughout the CRISP reproduction.
+ *
+ * The simulator is ISA-neutral: workloads are written against a small
+ * RISC-like register machine whose instructions carry both a semantic
+ * opcode (interpreted by the VM, see vm/interpreter.h) and a timing
+ * class (consumed by the cycle-level core, see cpu/core.h).
+ */
+
+#ifndef CRISP_ISA_MICRO_OP_H
+#define CRISP_ISA_MICRO_OP_H
+
+#include <cstdint>
+#include <string>
+
+namespace crisp
+{
+
+/** Number of architectural integer registers. */
+constexpr int kNumArchRegs = 64;
+
+/** Register id type; kNoReg means "operand unused". */
+using RegId = int16_t;
+constexpr RegId kNoReg = -1;
+
+/**
+ * Timing class of a micro-op. The scheduler maps classes to
+ * functional-unit pools and the latency table (isa/latency.h) maps
+ * them to execution latencies.
+ */
+enum class OpClass : uint8_t {
+    IntAlu,     ///< single-cycle integer ALU op
+    IntMul,     ///< pipelined integer multiply
+    IntDiv,     ///< unpipelined integer divide
+    FpAdd,      ///< floating-point add/sub/convert
+    FpMul,      ///< floating-point multiply
+    FpDiv,      ///< unpipelined floating-point divide
+    Load,       ///< memory read
+    Store,      ///< memory write
+    Prefetch,   ///< software prefetch (non-binding memory read)
+    Branch,     ///< conditional direct branch
+    Jump,       ///< unconditional direct branch
+    IndirectJump, ///< register-indirect branch
+    Call,       ///< direct call (pushes return address)
+    Ret,        ///< return (pops return address)
+    Nop,        ///< no operation
+    NumClasses
+};
+
+/** @return a short human-readable name for an op class. */
+const char *opClassName(OpClass cls);
+
+/** @return true if the class accesses data memory. */
+inline bool
+isMemClass(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store ||
+           cls == OpClass::Prefetch;
+}
+
+/** @return true if the class can redirect control flow. */
+inline bool
+isControlClass(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::IndirectJump:
+      case OpClass::Call:
+      case OpClass::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** @return true if the class is a conditional branch. */
+inline bool
+isCondBranch(OpClass cls)
+{
+    return cls == OpClass::Branch;
+}
+
+/**
+ * Semantic opcode interpreted by the VM. Each opcode fixes both the
+ * dataflow (which operands are read/written) and, through
+ * opcodeClass(), the timing class.
+ */
+enum class Opcode : uint8_t {
+    // ALU, dst = src1 OP src2
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr,
+    Slt,        ///< dst = (src1 < src2) ? 1 : 0 (signed)
+    // ALU, dst = src1 OP imm
+    AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, SltI,
+    MovI,       ///< dst = imm
+    Mov,        ///< dst = src1
+    // Floating point (values held in integer registers; timing only)
+    FAdd, FMul, FDiv,
+    // Memory, address = src1 + imm (Load/Store) or src1 + src2 + imm
+    Ld,         ///< dst = mem64[src1 + imm]
+    LdX,        ///< dst = mem64[src1 + src2 + imm]
+    St,         ///< mem64[src1 + imm] = src2
+    StX,        ///< mem64[src1 + src2 + imm] = src3 (src3 in dst slot)
+    Pf,         ///< prefetch mem[src1 + imm]
+    // Control: conditional branches compare src1 vs src2
+    Beq, Bne, Blt, Bge,
+    Jmp,        ///< unconditional, direct
+    Jr,         ///< indirect jump to src1
+    CallD,      ///< direct call, pushes pc+size to stack reg implicit
+    RetI,       ///< return via link register (src1)
+    Nop,
+    Halt,       ///< terminate the program
+    NumOpcodes
+};
+
+/** @return a short mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** @return the timing class an opcode belongs to. */
+OpClass opcodeClass(Opcode op);
+
+/**
+ * A static instruction: one element of a Program's code image.
+ *
+ * PCs are byte addresses; @p size is the encoded length in bytes and
+ * grows by one when the CRISP critical prefix is applied (tagger),
+ * which is how the icache footprint overhead of the prefix is
+ * modelled.
+ */
+struct StaticInst
+{
+    uint64_t pc = 0;        ///< byte address of the instruction
+    uint8_t size = 4;       ///< encoded size in bytes (prefix adds 1)
+    Opcode op = Opcode::Nop;
+    RegId dst = kNoReg;     ///< destination register (kNoReg if none)
+    RegId src1 = kNoReg;    ///< first source register
+    RegId src2 = kNoReg;    ///< second source register
+    RegId src3 = kNoReg;    ///< third source (StX data operand)
+    int64_t imm = 0;        ///< immediate / displacement
+    uint32_t target = 0;    ///< static index of branch/call target
+    bool critical = false;  ///< CRISP critical prefix applied
+
+    /** @return the timing class of this instruction. */
+    OpClass cls() const { return opcodeClass(op); }
+
+    /** @return a one-line disassembly. */
+    std::string toString() const;
+};
+
+/**
+ * A dynamic micro-op: one executed instance of a StaticInst, produced
+ * by the VM interpreter and consumed by the profiler, the slice
+ * extractor and the cycle-level core.
+ */
+struct MicroOp
+{
+    uint32_t sidx = 0;      ///< index of the StaticInst in Program::code
+    uint64_t pc = 0;        ///< instruction address
+    uint64_t effAddr = 0;   ///< effective address (memory ops)
+    uint64_t nextPc = 0;    ///< address of the next executed instruction
+    OpClass cls = OpClass::Nop;
+    RegId dst = kNoReg;
+    RegId src1 = kNoReg;
+    RegId src2 = kNoReg;
+    RegId src3 = kNoReg;
+    uint8_t memSize = 0;    ///< access size in bytes (memory ops)
+    uint8_t instSize = 4;   ///< encoded size (after tagging)
+    bool taken = false;     ///< branch outcome
+    bool critical = false;  ///< carries the critical prefix
+
+    /** @return true if this op reads or writes data memory. */
+    bool isMem() const { return isMemClass(cls); }
+    /** @return true if this op is a demand load. */
+    bool isLoad() const { return cls == OpClass::Load; }
+    /** @return true if this op is a store. */
+    bool isStore() const { return cls == OpClass::Store; }
+    /** @return true if this op may redirect control flow. */
+    bool isControl() const { return isControlClass(cls); }
+};
+
+} // namespace crisp
+
+#endif // CRISP_ISA_MICRO_OP_H

@@ -1,0 +1,109 @@
+#include "sim/cli.h"
+
+#include <cstdlib>
+
+namespace crisp
+{
+
+std::string
+cliUsage()
+{
+    return "usage: crisp_sim [options]\n"
+           "  --workload NAME      proxy to run (see --list)\n"
+           "  --scheduler MODE     ooo | crisp | ibda | both\n"
+           "  --ist SIZE           1K | 8K | 64K | inf\n"
+           "  --train N            profiling trace length\n"
+           "  --ref N              evaluation trace length\n"
+           "  --rs N               reservation station entries\n"
+           "  --rob N              reorder buffer entries\n"
+           "  --threshold F        miss-share threshold T\n"
+           "  --no-branch-slices   disable branch slicing\n"
+           "  --no-load-slices     disable load slicing\n"
+           "  --no-cp-filter       disable critical-path filter\n"
+           "  --no-mem-deps        register-only slices\n"
+           "  --critical-dram     enable DRAM criticality (6.1)\n"
+           "  --div-slices         slice divisions too (6.1)\n"
+           "  --save-trace PATH    dump the tagged ref trace\n"
+           "  --list               list workloads\n"
+           "  --help               this message\n";
+}
+
+CliOptions
+parseCli(const std::vector<std::string> &args)
+{
+    CliOptions opt;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= args.size()) {
+                opt.error = std::string(flag) + " requires a value";
+                return nullptr;
+            }
+            return args[++i].c_str();
+        };
+        if (a == "--help") {
+            opt.showHelp = true;
+        } else if (a == "--list") {
+            opt.listWorkloads = true;
+        } else if (a == "--workload") {
+            if (const char *v = need_value("--workload"))
+                opt.workload = v;
+        } else if (a == "--scheduler") {
+            const char *v = need_value("--scheduler");
+            if (!v)
+                break;
+            std::string mode = v;
+            if (mode != "ooo" && mode != "crisp" && mode != "ibda" &&
+                mode != "both") {
+                opt.error = "unknown scheduler '" + mode + "'";
+                break;
+            }
+            opt.scheduler = mode;
+        } else if (a == "--ist") {
+            if (const char *v = need_value("--ist"))
+                opt.ist = v;
+        } else if (a == "--train") {
+            if (const char *v = need_value("--train"))
+                opt.trainOps = std::strtoull(v, nullptr, 10);
+        } else if (a == "--ref") {
+            if (const char *v = need_value("--ref"))
+                opt.refOps = std::strtoull(v, nullptr, 10);
+        } else if (a == "--rs") {
+            if (const char *v = need_value("--rs"))
+                opt.machine.rsSize =
+                    unsigned(std::strtoul(v, nullptr, 10));
+        } else if (a == "--rob") {
+            if (const char *v = need_value("--rob"))
+                opt.machine.robSize =
+                    unsigned(std::strtoul(v, nullptr, 10));
+        } else if (a == "--threshold") {
+            if (const char *v = need_value("--threshold"))
+                opt.analysis.missShareThreshold =
+                    std::strtod(v, nullptr);
+        } else if (a == "--no-branch-slices") {
+            opt.analysis.enableBranchSlices = false;
+        } else if (a == "--no-load-slices") {
+            opt.analysis.enableLoadSlices = false;
+        } else if (a == "--no-cp-filter") {
+            opt.analysis.criticalPathFilter = false;
+        } else if (a == "--no-mem-deps") {
+            opt.analysis.memDependencies = false;
+        } else if (a == "--critical-dram") {
+            opt.machine.enableCriticalDram = true;
+        } else if (a == "--div-slices") {
+            opt.analysis.enableLongLatencySlices = true;
+        } else if (a == "--save-trace") {
+            if (const char *v = need_value("--save-trace"))
+                opt.saveTracePath = v;
+        } else {
+            opt.error = "unknown flag '" + a + "'";
+        }
+        if (!opt.ok())
+            break;
+    }
+    if (opt.trainOps == 0 || opt.refOps == 0)
+        opt.error = "trace lengths must be positive";
+    return opt;
+}
+
+} // namespace crisp

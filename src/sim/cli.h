@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Command-line option parsing for the crisp_sim tool.
+ */
+
+#ifndef CRISP_SIM_CLI_H
+#define CRISP_SIM_CLI_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/delinquency.h"
+#include "sim/config.h"
+
+namespace crisp
+{
+
+/** Parsed crisp_sim invocation. */
+struct CliOptions
+{
+    std::string workload = "pointer_chase";
+    std::string scheduler = "both"; ///< ooo | crisp | ibda | both
+    std::string ist = "1K";        ///< IBDA IST size label
+    uint64_t trainOps = 200'000;
+    uint64_t refOps = 400'000;
+    SimConfig machine = SimConfig::skylake();
+    CrispOptions analysis;
+    bool listWorkloads = false;
+    bool showHelp = false;
+    std::string saveTracePath; ///< optional trace dump
+
+    /** Error message if parsing failed (empty on success). */
+    std::string error;
+
+    /** @return true if parsing succeeded. */
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Parses crisp_sim arguments.
+ *
+ * Supported flags:
+ *   --workload NAME      proxy to run (--list to enumerate)
+ *   --scheduler MODE     ooo | crisp | ibda | both (default both)
+ *   --ist SIZE           IBDA IST: 1K | 8K | 64K | inf
+ *   --train N, --ref N   trace lengths
+ *   --rs N, --rob N      window sizes (Fig 9 style sweeps)
+ *   --threshold F        miss-share threshold T (Fig 10)
+ *   --no-branch-slices   disable §3.4 branch slicing
+ *   --no-load-slices     disable load slicing
+ *   --no-cp-filter       disable §3.5 critical-path filtering
+ *   --no-mem-deps        register-only slices (IBDA view)
+ *   --critical-dram      enable the §6.1 DRAM extension
+ *   --div-slices         enable §6.1 long-latency slices
+ *   --save-trace PATH    dump the tagged ref trace
+ *   --list               list workloads and exit
+ *   --help               usage
+ */
+CliOptions parseCli(const std::vector<std::string> &args);
+
+/** @return the usage string printed by --help. */
+std::string cliUsage();
+
+} // namespace crisp
+
+#endif // CRISP_SIM_CLI_H

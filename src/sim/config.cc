@@ -1,0 +1,37 @@
+#include "sim/config.h"
+
+#include <sstream>
+
+namespace crisp
+{
+
+SimConfig
+SimConfig::skylake()
+{
+    return SimConfig{};
+}
+
+SimConfig
+SimConfig::withWindow(unsigned rs, unsigned rob)
+{
+    SimConfig cfg;
+    cfg.rsSize = rs;
+    cfg.robSize = rob;
+    return cfg;
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::ostringstream os;
+    os << width << "-wide, ROB " << robSize << ", RS " << rsSize
+       << ", LQ " << lqSize << ", SQ " << sqSize << ", "
+       << numAlu << " ALU/" << numLoadPorts << " LD/" << numStorePorts
+       << " ST, " << branchPredictor << ", sched="
+       << (scheduler == SchedulerPolicy::CrispPriority ? "crisp"
+                                                       : "oldest")
+       << (enableIbda ? ", ibda" : "");
+    return os.str();
+}
+
+} // namespace crisp

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulated-system configuration (CRISP Table 1) and sweep variants.
+ */
+
+#ifndef CRISP_SIM_CONFIG_H
+#define CRISP_SIM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace crisp
+{
+
+/** One cache level's geometry and timing. */
+struct CacheConfig
+{
+    uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    unsigned lineBytes = 64;
+    unsigned latency = 4;   ///< hit latency in cycles
+    unsigned mshrs = 16;    ///< outstanding misses
+};
+
+/** Scheduler selection policy. */
+enum class SchedulerPolicy {
+    OldestFirst,    ///< age-matrix oldest-ready-first (baseline)
+    CrispPriority,  ///< oldest ready critical first, else oldest ready
+};
+
+/**
+ * Full simulated-system configuration. Defaults reproduce the
+ * Skylake-like machine of CRISP Table 1.
+ */
+struct SimConfig
+{
+    // Pipeline.
+    unsigned width = 6;             ///< fetch/rename/retire width
+    unsigned robSize = 224;
+    unsigned rsSize = 96;           ///< unified reservation station
+    unsigned lqSize = 64;
+    unsigned sqSize = 128;
+    unsigned numAlu = 4;
+    unsigned numLoadPorts = 2;
+    unsigned numStorePorts = 1;
+    unsigned fetchToDispatchLat = 5; ///< decode/rename pipe depth
+    unsigned redirectPenalty = 10;   ///< mispredict front-end refill
+    unsigned ftqEntries = 128;       ///< FDIP fetch-target queue
+
+    // Branch prediction.
+    std::string branchPredictor = "tage"; ///< tage|gshare|bimodal
+    unsigned btbEntries = 8192;
+    unsigned rasEntries = 32;
+
+    // Memory hierarchy.
+    CacheConfig l1i{32 * 1024, 8, 64, 3, 8};
+    CacheConfig l1d{32 * 1024, 8, 64, 4, 16};
+    CacheConfig llc{1024 * 1024, 20, 64, 36, 32};
+
+    // Prefetchers (Table 1: BOP + stream data, FDIP instruction).
+    bool enableBop = true;
+    bool enableStream = true;
+    bool enableStride = false;
+    bool enableGhb = false;
+    bool enableFdip = true;
+
+    // Scheduler.
+    SchedulerPolicy scheduler = SchedulerPolicy::OldestFirst;
+
+    // IBDA hardware baseline (load-slice-architecture style).
+    bool enableIbda = false;
+    unsigned istEntries = 1024;
+    unsigned istWays = 4;
+    bool istInfinite = false;
+    unsigned dltEntries = 32;       ///< delinquent load table
+
+    // CRISP §6.1 extensions.
+    bool enableCriticalDram = false; ///< bus priority for critical loads
+
+    // Store-to-load forwarding latency.
+    unsigned forwardLatency = 5;
+
+    /** @return the paper's Skylake-like baseline configuration. */
+    static SimConfig skylake();
+
+    /** @return a variant with RS/ROB scaled for the Fig 9 sweep. */
+    static SimConfig withWindow(unsigned rs, unsigned rob);
+
+    /** @return a one-line description for reports. */
+    std::string describe() const;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_CONFIG_H

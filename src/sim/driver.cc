@@ -1,0 +1,74 @@
+#include "sim/driver.h"
+
+namespace crisp
+{
+
+CoreStats
+runCore(const Trace &trace, const SimConfig &cfg,
+        bool record_timeline)
+{
+    Core core(trace, cfg);
+    return core.run(~0ULL, record_timeline);
+}
+
+SimConfig
+ibdaConfig(const SimConfig &base, const std::string &ist)
+{
+    SimConfig cfg = base;
+    cfg.enableIbda = true;
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    if (ist == "1K") {
+        cfg.istEntries = 1024;
+        cfg.istWays = 4;
+        cfg.istInfinite = false;
+    } else if (ist == "8K") {
+        cfg.istEntries = 8192;
+        cfg.istWays = 8;
+        cfg.istInfinite = false;
+    } else if (ist == "64K") {
+        cfg.istEntries = 65536;
+        cfg.istWays = 16;
+        cfg.istInfinite = false;
+    } else { // "inf"
+        cfg.istInfinite = true;
+    }
+    return cfg;
+}
+
+WorkloadEval
+evaluateWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
+                 const CrispOptions &opts, const EvalSizes &sizes,
+                 const std::vector<std::string> &ist_sizes)
+{
+    WorkloadEval eval;
+    eval.name = wl.name;
+
+    CrispPipeline pipe(wl, opts, cfg, sizes.trainOps, sizes.refOps);
+    eval.analysis = pipe.analysis();
+
+    // Baseline OOO: untagged ref trace, oldest-first scheduler.
+    Trace base_trace = pipe.refTrace(/*tagged=*/false);
+    SimConfig base_cfg = cfg;
+    base_cfg.scheduler = SchedulerPolicy::OldestFirst;
+    base_cfg.enableIbda = false;
+    eval.baseStats = runCore(base_trace, base_cfg);
+    eval.ipcBaseline = eval.baseStats.ipc();
+
+    // CRISP: tagged ref trace, priority scheduler.
+    Trace crisp_trace = pipe.refTrace(/*tagged=*/true);
+    SimConfig crisp_cfg = cfg;
+    crisp_cfg.scheduler = SchedulerPolicy::CrispPriority;
+    crisp_cfg.enableIbda = false;
+    eval.crispStats = runCore(crisp_trace, crisp_cfg);
+    eval.ipcCrisp = eval.crispStats.ipc();
+
+    // IBDA variants share the untagged trace.
+    for (const auto &ist : ist_sizes) {
+        CoreStats s =
+            runCore(base_trace, ibdaConfig(cfg, ist));
+        eval.ipcIbda[ist] = s.ipc();
+    }
+    return eval;
+}
+
+} // namespace crisp

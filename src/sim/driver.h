@@ -1,0 +1,78 @@
+/**
+ * @file
+ * High-level evaluation driver: the per-workload OOO / CRISP / IBDA
+ * comparison used throughout the paper's evaluation (§5).
+ */
+
+#ifndef CRISP_SIM_DRIVER_H
+#define CRISP_SIM_DRIVER_H
+
+#include <map>
+#include <string>
+
+#include "core/pipeline.h"
+#include "cpu/core.h"
+#include "sim/config.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+/** Trace lengths for one evaluation. */
+struct EvalSizes
+{
+    uint64_t trainOps = 200'000;
+    uint64_t refOps = 300'000;
+};
+
+/** Per-workload comparison outcome. */
+struct WorkloadEval
+{
+    std::string name;
+    double ipcBaseline = 0;
+    double ipcCrisp = 0;
+    /** IST-size label ("1K", "8K", "64K", "inf") -> IPC. */
+    std::map<std::string, double> ipcIbda;
+    CoreStats baseStats;
+    CoreStats crispStats;
+    CrispAnalysis analysis;
+
+    /** @return CRISP speedup over the OOO baseline. */
+    double crispSpeedup() const
+    {
+        return ipcBaseline ? ipcCrisp / ipcBaseline : 0.0;
+    }
+    /** @return IBDA speedup for one IST configuration. */
+    double ibdaSpeedup(const std::string &ist) const
+    {
+        auto it = ipcIbda.find(ist);
+        return (it != ipcIbda.end() && ipcBaseline)
+                   ? it->second / ipcBaseline
+                   : 0.0;
+    }
+};
+
+/** Runs a trace on the core under @p cfg. */
+CoreStats runCore(const Trace &trace, const SimConfig &cfg,
+                  bool record_timeline = false);
+
+/**
+ * Full per-workload evaluation: baseline OOO, CRISP, and (optionally)
+ * the IBDA configurations of Fig 7.
+ * @param wl workload to evaluate
+ * @param cfg machine configuration (shared by all variants)
+ * @param opts CRISP analysis options
+ * @param sizes trace lengths
+ * @param ist_sizes IBDA IST configurations to run; empty = skip IBDA
+ */
+WorkloadEval evaluateWorkload(
+    const WorkloadInfo &wl, const SimConfig &cfg,
+    const CrispOptions &opts, const EvalSizes &sizes,
+    const std::vector<std::string> &ist_sizes = {});
+
+/** @return an IBDA variant of @p cfg for an IST label. */
+SimConfig ibdaConfig(const SimConfig &base, const std::string &ist);
+
+} // namespace crisp
+
+#endif // CRISP_SIM_DRIVER_H

@@ -1,0 +1,79 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace crisp
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0;
+    for (double x : xs)
+        sum += x;
+    return sum / double(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / double(xs.size()));
+}
+
+std::string
+percent(double fraction, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+fixed(double value, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+Histogram::Histogram(double bucket_width, unsigned num_buckets)
+    : width_(bucket_width), buckets_(num_buckets, 0)
+{
+}
+
+void
+Histogram::add(double value)
+{
+    size_t b = value <= 0 ? 0 : size_t(value / width_);
+    if (b >= buckets_.size())
+        b = buckets_.size() - 1;
+    ++buckets_[b];
+    ++count_;
+    sum_ += value;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    uint64_t target = uint64_t(p / 100.0 * double(count_));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+        seen += buckets_[b];
+        if (seen >= target)
+            return (double(b) + 0.5) * width_;
+    }
+    return double(buckets_.size()) * width_;
+}
+
+} // namespace crisp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small statistics helpers shared by benches and tests.
+ */
+
+#ifndef CRISP_SIM_STATS_H
+#define CRISP_SIM_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crisp
+{
+
+/** @return the arithmetic mean (0 for empty input). */
+double mean(const std::vector<double> &xs);
+
+/** @return the geometric mean (0 for empty input; values must be >0). */
+double geomean(const std::vector<double> &xs);
+
+/** @return "x.y%" formatting of a fraction. */
+std::string percent(double fraction, int decimals = 1);
+
+/** @return fixed-point formatting. */
+std::string fixed(double value, int decimals = 2);
+
+/** Streaming histogram with fixed-width buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket
+     * @param num_buckets bucket count (overflow clamps to the last)
+     */
+    Histogram(double bucket_width, unsigned num_buckets);
+
+    /** Adds one sample. */
+    void add(double value);
+
+    /** @return samples recorded. */
+    uint64_t count() const { return count_; }
+    /** @return mean of the samples. */
+    double average() const
+    {
+        return count_ ? sum_ / double(count_) : 0.0;
+    }
+    /** @return approximate p-th percentile (0-100). */
+    double percentile(double p) const;
+    /** @return the bucket counts. */
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    double width_;
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    double sum_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_STATS_H

@@ -1,0 +1,51 @@
+#include "sim/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace crisp
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            os << (c ? " | " : "");
+            const std::string &s =
+                c < cells.size() ? cells[c] : std::string();
+            os << s << std::string(widths[c] - s.size(), ' ');
+        }
+        os << '\n';
+    };
+
+    emit(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 3 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace crisp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width text table used by the figure-reproduction benches.
+ */
+
+#ifndef CRISP_SIM_TABLE_H
+#define CRISP_SIM_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crisp
+{
+
+/** Accumulates rows and prints a padded, pipe-separated table. */
+class Table
+{
+  public:
+    /** @param headers column titles. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a row (short rows are padded with empty cells). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Prints to @p os with a header separator line. */
+    void print(std::ostream &os) const;
+
+    /** @return rows added so far. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_TABLE_H

@@ -1,0 +1,44 @@
+#include "trace/program.h"
+
+namespace crisp
+{
+
+void
+Program::layout()
+{
+    pcIndex_.clear();
+    pcIndex_.reserve(code.size());
+    uint64_t pc = kCodeBase;
+    for (uint32_t i = 0; i < code.size(); ++i) {
+        code[i].pc = pc;
+        pcIndex_[pc] = i;
+        pc += code[i].size;
+    }
+}
+
+int64_t
+Program::indexOfPc(uint64_t pc) const
+{
+    auto it = pcIndex_.find(pc);
+    return it == pcIndex_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+uint64_t
+Program::staticBytes() const
+{
+    uint64_t bytes = 0;
+    for (const auto &inst : code)
+        bytes += inst.size;
+    return bytes;
+}
+
+uint64_t
+Program::criticalCount() const
+{
+    uint64_t n = 0;
+    for (const auto &inst : code)
+        n += inst.critical ? 1 : 0;
+    return n;
+}
+
+} // namespace crisp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Static program image: code, entry point, and initial data.
+ *
+ * A Program is produced by the Assembler (vm/assembler.h), executed
+ * by the Interpreter (vm/interpreter.h) and rewritten in place by the
+ * CRISP tagger (core/tagger.h), which models the post-link-time
+ * optimisation step of the paper's software flow (CRISP §4.1).
+ */
+
+#ifndef CRISP_TRACE_PROGRAM_H
+#define CRISP_TRACE_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/micro_op.h"
+
+namespace crisp
+{
+
+/** Base address at which code is laid out. */
+constexpr uint64_t kCodeBase = 0x1000;
+
+/**
+ * A complete static program: the code image plus the initial contents
+ * of data memory (64-bit words at 64-bit-aligned byte addresses).
+ */
+class Program
+{
+  public:
+    /** The code image, indexed by static instruction index. */
+    std::vector<StaticInst> code;
+
+    /** Static index of the first instruction to execute. */
+    uint32_t entry = 0;
+
+    /** Initial data memory: 8-byte-aligned address -> 64-bit value. */
+    std::vector<std::pair<uint64_t, uint64_t>> dataInit;
+
+    /** Human-readable name (workload id). */
+    std::string name;
+
+    /**
+     * Assigns consecutive byte addresses to all instructions starting
+     * at kCodeBase using each instruction's current size, and rebuilds
+     * the pc lookup table. Must be called after any size change
+     * (e.g. after the tagger adds critical prefixes).
+     */
+    void layout();
+
+    /** @return the static index at byte address @p pc, or -1. */
+    int64_t indexOfPc(uint64_t pc) const;
+
+    /** @return total code bytes (static footprint). */
+    uint64_t staticBytes() const;
+
+    /** @return number of instructions flagged critical. */
+    uint64_t criticalCount() const;
+
+    /** Appends an initial 64-bit data value at @p addr. */
+    void poke(uint64_t addr, uint64_t value)
+    {
+        dataInit.emplace_back(addr, value);
+    }
+
+  private:
+    std::unordered_map<uint64_t, uint32_t> pcIndex_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_TRACE_PROGRAM_H

@@ -1,0 +1,45 @@
+#include "trace/trace.h"
+
+namespace crisp
+{
+
+std::vector<uint64_t>
+Trace::staticExecCounts() const
+{
+    std::vector<uint64_t> counts(program ? program->code.size() : 0, 0);
+    for (const auto &op : ops) {
+        if (op.sidx >= counts.size())
+            counts.resize(op.sidx + 1, 0);
+        ++counts[op.sidx];
+    }
+    return counts;
+}
+
+uint64_t
+Trace::dynamicBytes() const
+{
+    uint64_t bytes = 0;
+    for (const auto &op : ops)
+        bytes += op.instSize;
+    return bytes;
+}
+
+void
+Trace::restampFromProgram(const Program &prog)
+{
+    for (auto &op : ops) {
+        const StaticInst &si = prog.code[op.sidx];
+        op.critical = si.critical;
+        op.instSize = si.size;
+        op.pc = si.pc;
+    }
+    // nextPc must also be refreshed: recompute from the following op.
+    for (size_t i = 0; i + 1 < ops.size(); ++i)
+        ops[i].nextPc = ops[i + 1].pc;
+    if (!ops.empty()) {
+        auto &last = ops.back();
+        last.nextPc = last.pc + last.instSize;
+    }
+}
+
+} // namespace crisp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dynamic instruction trace.
+ *
+ * A Trace is the executed micro-op stream of one Program run. It is
+ * the interchange format between the VM, the software profiler/slice
+ * extractor (which plays the role of DynamoRIO Memtrace in the paper,
+ * CRISP §3.3), and the cycle-level core.
+ */
+
+#ifndef CRISP_TRACE_TRACE_H
+#define CRISP_TRACE_TRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/micro_op.h"
+#include "trace/program.h"
+
+namespace crisp
+{
+
+/** A dynamic micro-op stream plus the program it came from. */
+class Trace
+{
+  public:
+    /** The executed micro-ops, in program (commit) order. */
+    std::vector<MicroOp> ops;
+
+    /** The static program this trace was produced from. */
+    std::shared_ptr<const Program> program;
+
+    /** @return number of dynamic micro-ops. */
+    size_t size() const { return ops.size(); }
+
+    /** @return the i-th dynamic micro-op. */
+    const MicroOp &operator[](size_t i) const { return ops[i]; }
+
+    /** @return dynamic count per static instruction index. */
+    std::vector<uint64_t> staticExecCounts() const;
+
+    /** @return total dynamic code bytes (dynamic footprint). */
+    uint64_t dynamicBytes() const;
+
+    /**
+     * Re-stamps per-op critical flags and instruction sizes from the
+     * (possibly re-tagged and re-laid-out) static program. PCs are
+     * refreshed as well so the icache model sees post-rewrite
+     * addresses.
+     */
+    void restampFromProgram(const Program &prog);
+};
+
+} // namespace crisp
+
+#endif // CRISP_TRACE_TRACE_H

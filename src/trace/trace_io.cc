@@ -1,0 +1,115 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace crisp
+{
+
+namespace
+{
+
+constexpr uint32_t kMagic = 0x43525350; // "CRSP"
+constexpr uint32_t kVersion = 2;
+
+struct FileHeader
+{
+    uint32_t magic;
+    uint32_t version;
+    uint64_t numOps;
+    uint64_t numStatic;
+    uint64_t numData;
+    uint32_t entry;
+    uint32_t nameLen;
+};
+
+} // namespace
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    if (!trace.program)
+        return false;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+
+    const Program &prog = *trace.program;
+    FileHeader hdr{};
+    hdr.magic = kMagic;
+    hdr.version = kVersion;
+    hdr.numOps = trace.ops.size();
+    hdr.numStatic = prog.code.size();
+    hdr.numData = prog.dataInit.size();
+    hdr.entry = prog.entry;
+    hdr.nameLen = static_cast<uint32_t>(prog.name.size());
+
+    bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1;
+    if (ok && hdr.nameLen)
+        ok = std::fwrite(prog.name.data(), 1, hdr.nameLen, f) ==
+             hdr.nameLen;
+    if (ok && hdr.numStatic)
+        ok = std::fwrite(prog.code.data(), sizeof(StaticInst),
+                         prog.code.size(), f) == prog.code.size();
+    if (ok && hdr.numData)
+        ok = std::fwrite(prog.dataInit.data(),
+                         sizeof(prog.dataInit[0]),
+                         prog.dataInit.size(), f) == prog.dataInit.size();
+    if (ok && hdr.numOps)
+        ok = std::fwrite(trace.ops.data(), sizeof(MicroOp),
+                         trace.ops.size(), f) == trace.ops.size();
+    std::fclose(f);
+    return ok;
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    Trace trace;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return trace;
+
+    FileHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, f) != 1 ||
+        hdr.magic != kMagic || hdr.version != kVersion) {
+        std::fclose(f);
+        return trace;
+    }
+
+    auto prog = std::make_shared<Program>();
+    prog->entry = hdr.entry;
+    bool ok = true;
+    if (hdr.nameLen) {
+        prog->name.resize(hdr.nameLen);
+        ok = std::fread(prog->name.data(), 1, hdr.nameLen, f) ==
+             hdr.nameLen;
+    }
+    if (ok && hdr.numStatic) {
+        prog->code.resize(hdr.numStatic);
+        ok = std::fread(prog->code.data(), sizeof(StaticInst),
+                        hdr.numStatic, f) == hdr.numStatic;
+    }
+    if (ok && hdr.numData) {
+        prog->dataInit.resize(hdr.numData);
+        ok = std::fread(prog->dataInit.data(),
+                        sizeof(prog->dataInit[0]), hdr.numData, f) ==
+             hdr.numData;
+    }
+    if (ok && hdr.numOps) {
+        trace.ops.resize(hdr.numOps);
+        ok = std::fread(trace.ops.data(), sizeof(MicroOp), hdr.numOps,
+                        f) == hdr.numOps;
+    }
+    std::fclose(f);
+    if (!ok) {
+        trace.ops.clear();
+        return trace;
+    }
+    prog->layout();
+    trace.program = std::move(prog);
+    return trace;
+}
+
+} // namespace crisp

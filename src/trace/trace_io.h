@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Binary save/load for traces and programs.
+ *
+ * Mirrors the paper's offline flow where traces are captured once and
+ * analysed by separate tools (CRISP §4.1 reports 5 GB per 100 M
+ * instructions; our format is a compact fixed-width record).
+ */
+
+#ifndef CRISP_TRACE_TRACE_IO_H
+#define CRISP_TRACE_TRACE_IO_H
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace crisp
+{
+
+/**
+ * Writes @p trace (ops and program) to @p path.
+ * @return true on success.
+ */
+bool saveTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Reads a trace previously written by saveTrace().
+ * @return the trace; trace.program is null and trace.ops empty on
+ *         failure.
+ */
+Trace loadTrace(const std::string &path);
+
+} // namespace crisp
+
+#endif // CRISP_TRACE_TRACE_IO_H

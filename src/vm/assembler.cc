@@ -1,0 +1,175 @@
+#include "vm/assembler.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace crisp
+{
+
+Assembler::Label
+Assembler::label()
+{
+    labelPos_.push_back(-1);
+    return static_cast<Label>(labelPos_.size() - 1);
+}
+
+void
+Assembler::bind(Label l)
+{
+    assert(l < labelPos_.size());
+    assert(labelPos_[l] == -1 && "label bound twice");
+    labelPos_[l] = static_cast<int64_t>(code_.size());
+}
+
+uint32_t
+Assembler::indexOf(Label l) const
+{
+    assert(l < labelPos_.size() && labelPos_[l] >= 0);
+    return static_cast<uint32_t>(labelPos_[l]);
+}
+
+uint8_t
+Assembler::sizeOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return 1;
+      case Opcode::Jr:
+      case Opcode::RetI:
+        return 2;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr: case Opcode::Slt: case Opcode::Mov:
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge:
+        return 3;
+      case Opcode::MovI:
+        return 7;
+      case Opcode::Jmp:
+      case Opcode::CallD:
+      case Opcode::LdX:
+      case Opcode::StX:
+        return 5;
+      default:
+        return 4;
+    }
+}
+
+void
+Assembler::emit3(Opcode op, RegId d, RegId a, RegId b)
+{
+    StaticInst inst;
+    inst.op = op;
+    inst.dst = d;
+    inst.src1 = a;
+    inst.src2 = b;
+    inst.size = sizeOf(op);
+    code_.push_back(inst);
+}
+
+void
+Assembler::emitImm(Opcode op, RegId d, RegId a, int64_t imm)
+{
+    StaticInst inst;
+    inst.op = op;
+    inst.dst = d;
+    inst.src1 = a;
+    inst.imm = imm;
+    inst.size = sizeOf(op);
+    code_.push_back(inst);
+}
+
+void
+Assembler::emitBr(Opcode op, RegId a, RegId b, Label t)
+{
+    StaticInst inst;
+    inst.op = op;
+    inst.src1 = a;
+    inst.src2 = b;
+    inst.size = sizeOf(op);
+    fixups_.emplace_back(static_cast<uint32_t>(code_.size()), t);
+    code_.push_back(inst);
+}
+
+void
+Assembler::ldx(RegId d, RegId a, RegId b, int64_t imm)
+{
+    StaticInst inst;
+    inst.op = Opcode::LdX;
+    inst.dst = d;
+    inst.src1 = a;
+    inst.src2 = b;
+    inst.imm = imm;
+    inst.size = sizeOf(inst.op);
+    code_.push_back(inst);
+}
+
+void
+Assembler::st(RegId a, RegId v, int64_t imm)
+{
+    StaticInst inst;
+    inst.op = Opcode::St;
+    inst.src1 = a;
+    inst.src2 = v;
+    inst.imm = imm;
+    inst.size = sizeOf(inst.op);
+    code_.push_back(inst);
+}
+
+void
+Assembler::stx(RegId a, RegId b, RegId v, int64_t imm)
+{
+    StaticInst inst;
+    inst.op = Opcode::StX;
+    inst.src1 = a;
+    inst.src2 = b;
+    inst.src3 = v;
+    inst.imm = imm;
+    inst.size = sizeOf(inst.op);
+    code_.push_back(inst);
+}
+
+void
+Assembler::pf(RegId a, int64_t imm)
+{
+    StaticInst inst;
+    inst.op = Opcode::Pf;
+    inst.src1 = a;
+    inst.imm = imm;
+    inst.size = sizeOf(inst.op);
+    code_.push_back(inst);
+}
+
+void
+Assembler::call(RegId link, Label t)
+{
+    StaticInst inst;
+    inst.op = Opcode::CallD;
+    inst.dst = link;
+    inst.size = sizeOf(inst.op);
+    fixups_.emplace_back(static_cast<uint32_t>(code_.size()), t);
+    code_.push_back(inst);
+}
+
+Program
+Assembler::finish(std::string name)
+{
+    for (auto &[idx, lbl] : fixups_) {
+        assert(lbl < labelPos_.size());
+        if (labelPos_[lbl] < 0) {
+            std::abort(); // unbound label: workload construction bug
+        }
+        code_[idx].target = static_cast<uint32_t>(labelPos_[lbl]);
+    }
+    Program prog;
+    prog.code = std::move(code_);
+    prog.dataInit = std::move(data_);
+    prog.name = std::move(name);
+    prog.entry = 0;
+    prog.layout();
+    return prog;
+}
+
+} // namespace crisp

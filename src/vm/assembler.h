@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Builder DSL for constructing Programs.
+ *
+ * Workload proxies assemble small register-machine kernels with this
+ * class; branch targets are symbolic labels resolved to static
+ * instruction indices at finish() time, so programs stay valid when
+ * the CRISP tagger later changes instruction sizes and re-lays-out
+ * PCs.
+ */
+
+#ifndef CRISP_VM_ASSEMBLER_H
+#define CRISP_VM_ASSEMBLER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/program.h"
+
+namespace crisp
+{
+
+/**
+ * Assembles a Program instruction by instruction.
+ *
+ * Register convention used by the workloads (not enforced):
+ * r0 is kept zero, r56-r63 are scratch/link registers.
+ */
+class Assembler
+{
+  public:
+    /** Symbolic branch-target label. */
+    using Label = uint32_t;
+
+    /** Creates a fresh, unbound label. */
+    Label label();
+
+    /** Binds @p l to the next emitted instruction. */
+    void bind(Label l);
+
+    /** @return the static index a bound label resolved to. */
+    uint32_t indexOf(Label l) const;
+
+    // --- register-register ALU -----------------------------------
+    void add(RegId d, RegId a, RegId b) { emit3(Opcode::Add, d, a, b); }
+    void sub(RegId d, RegId a, RegId b) { emit3(Opcode::Sub, d, a, b); }
+    void mul(RegId d, RegId a, RegId b) { emit3(Opcode::Mul, d, a, b); }
+    void div(RegId d, RegId a, RegId b) { emit3(Opcode::Div, d, a, b); }
+    void rem(RegId d, RegId a, RegId b) { emit3(Opcode::Rem, d, a, b); }
+    void and_(RegId d, RegId a, RegId b) { emit3(Opcode::And, d, a, b); }
+    void or_(RegId d, RegId a, RegId b) { emit3(Opcode::Or, d, a, b); }
+    void xor_(RegId d, RegId a, RegId b) { emit3(Opcode::Xor, d, a, b); }
+    void shl(RegId d, RegId a, RegId b) { emit3(Opcode::Shl, d, a, b); }
+    void shr(RegId d, RegId a, RegId b) { emit3(Opcode::Shr, d, a, b); }
+    void slt(RegId d, RegId a, RegId b) { emit3(Opcode::Slt, d, a, b); }
+
+    // --- register-immediate ALU -----------------------------------
+    void addi(RegId d, RegId a, int64_t imm)
+    {
+        emitImm(Opcode::AddI, d, a, imm);
+    }
+    void muli(RegId d, RegId a, int64_t imm)
+    {
+        emitImm(Opcode::MulI, d, a, imm);
+    }
+    void andi(RegId d, RegId a, int64_t imm)
+    {
+        emitImm(Opcode::AndI, d, a, imm);
+    }
+    void ori(RegId d, RegId a, int64_t imm)
+    {
+        emitImm(Opcode::OrI, d, a, imm);
+    }
+    void xori(RegId d, RegId a, int64_t imm)
+    {
+        emitImm(Opcode::XorI, d, a, imm);
+    }
+    void shli(RegId d, RegId a, int64_t imm)
+    {
+        emitImm(Opcode::ShlI, d, a, imm);
+    }
+    void shri(RegId d, RegId a, int64_t imm)
+    {
+        emitImm(Opcode::ShrI, d, a, imm);
+    }
+    void slti(RegId d, RegId a, int64_t imm)
+    {
+        emitImm(Opcode::SltI, d, a, imm);
+    }
+    void movi(RegId d, int64_t imm)
+    {
+        emitImm(Opcode::MovI, d, kNoReg, imm);
+    }
+    void mov(RegId d, RegId a) { emit3(Opcode::Mov, d, a, kNoReg); }
+
+    // --- floating point (timing classes only) ---------------------
+    void fadd(RegId d, RegId a, RegId b) { emit3(Opcode::FAdd, d, a, b); }
+    void fmul(RegId d, RegId a, RegId b) { emit3(Opcode::FMul, d, a, b); }
+    void fdiv(RegId d, RegId a, RegId b) { emit3(Opcode::FDiv, d, a, b); }
+
+    // --- memory ----------------------------------------------------
+    /** d = mem64[a + imm] */
+    void ld(RegId d, RegId a, int64_t imm = 0)
+    {
+        emitImm(Opcode::Ld, d, a, imm);
+    }
+    /** d = mem64[a + b + imm] */
+    void ldx(RegId d, RegId a, RegId b, int64_t imm = 0);
+    /** mem64[a + imm] = v */
+    void st(RegId a, RegId v, int64_t imm = 0);
+    /** mem64[a + b + imm] = v */
+    void stx(RegId a, RegId b, RegId v, int64_t imm = 0);
+    /** software prefetch of mem[a + imm] */
+    void pf(RegId a, int64_t imm = 0);
+
+    // --- control ---------------------------------------------------
+    void beq(RegId a, RegId b, Label t) { emitBr(Opcode::Beq, a, b, t); }
+    void bne(RegId a, RegId b, Label t) { emitBr(Opcode::Bne, a, b, t); }
+    void blt(RegId a, RegId b, Label t) { emitBr(Opcode::Blt, a, b, t); }
+    void bge(RegId a, RegId b, Label t) { emitBr(Opcode::Bge, a, b, t); }
+    void jmp(Label t) { emitBr(Opcode::Jmp, kNoReg, kNoReg, t); }
+    /** indirect jump to the static index held in register @p a */
+    void jr(RegId a) { emit3(Opcode::Jr, kNoReg, a, kNoReg); }
+    /** direct call: @p link receives the return static index */
+    void call(RegId link, Label t);
+    /** return via static index in @p link */
+    void ret(RegId link) { emit3(Opcode::RetI, kNoReg, link, kNoReg); }
+
+    void nop() { emit3(Opcode::Nop, kNoReg, kNoReg, kNoReg); }
+    void halt() { emit3(Opcode::Halt, kNoReg, kNoReg, kNoReg); }
+
+    /** Seeds an initial 64-bit data value. */
+    void poke(uint64_t addr, uint64_t value)
+    {
+        data_.emplace_back(addr, value);
+    }
+
+    /** @return index of the next instruction to be emitted. */
+    uint32_t here() const { return static_cast<uint32_t>(code_.size()); }
+
+    /**
+     * Resolves all labels and produces the laid-out Program.
+     * Aborts if any referenced label is unbound.
+     */
+    Program finish(std::string name);
+
+  private:
+    std::vector<StaticInst> code_;
+    std::vector<int64_t> labelPos_;
+    std::vector<std::pair<uint32_t, Label>> fixups_;
+    std::vector<std::pair<uint64_t, uint64_t>> data_;
+
+    static uint8_t sizeOf(Opcode op);
+    void emit3(Opcode op, RegId d, RegId a, RegId b);
+    void emitImm(Opcode op, RegId d, RegId a, int64_t imm);
+    void emitBr(Opcode op, RegId a, RegId b, Label t);
+};
+
+} // namespace crisp
+
+#endif // CRISP_VM_ASSEMBLER_H

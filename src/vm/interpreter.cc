@@ -1,0 +1,161 @@
+#include "vm/interpreter.h"
+
+#include <cassert>
+
+namespace crisp
+{
+
+Interpreter::Interpreter(std::shared_ptr<const Program> program)
+    : program_(std::move(program))
+{
+    assert(program_ && !program_->code.empty());
+    for (const auto &[addr, value] : program_->dataInit)
+        mem_.write64(addr, value);
+}
+
+Trace
+Interpreter::run(uint64_t max_ops)
+{
+    const Program &prog = *program_;
+    const size_t ninst = prog.code.size();
+
+    Trace trace;
+    trace.program = program_;
+    trace.ops.reserve(max_ops);
+    halted_ = false;
+
+    uint32_t idx = prog.entry;
+    auto rd = [this](RegId r) -> int64_t {
+        return r == kNoReg ? 0 : regs_[r];
+    };
+
+    while (trace.ops.size() < max_ops) {
+        assert(idx < ninst);
+        const StaticInst &si = prog.code[idx];
+
+        MicroOp op;
+        op.sidx = idx;
+        op.pc = si.pc;
+        op.cls = si.cls();
+        op.dst = si.dst;
+        op.src1 = si.src1;
+        op.src2 = si.src2;
+        op.src3 = si.src3;
+        op.instSize = si.size;
+        op.critical = si.critical;
+
+        uint32_t next = idx + 1;
+        int64_t a = rd(si.src1);
+        int64_t b = rd(si.src2);
+
+        switch (si.op) {
+          case Opcode::Add: regs_[si.dst] = a + b; break;
+          case Opcode::Sub: regs_[si.dst] = a - b; break;
+          case Opcode::Mul: regs_[si.dst] = a * b; break;
+          case Opcode::Div: regs_[si.dst] = b ? a / b : 0; break;
+          case Opcode::Rem: regs_[si.dst] = b ? a % b : 0; break;
+          case Opcode::And: regs_[si.dst] = a & b; break;
+          case Opcode::Or: regs_[si.dst] = a | b; break;
+          case Opcode::Xor: regs_[si.dst] = a ^ b; break;
+          case Opcode::Shl:
+            regs_[si.dst] = a << (b & 63);
+            break;
+          case Opcode::Shr:
+            regs_[si.dst] = static_cast<int64_t>(
+                static_cast<uint64_t>(a) >> (b & 63));
+            break;
+          case Opcode::Slt: regs_[si.dst] = a < b ? 1 : 0; break;
+          case Opcode::AddI: regs_[si.dst] = a + si.imm; break;
+          case Opcode::MulI: regs_[si.dst] = a * si.imm; break;
+          case Opcode::AndI: regs_[si.dst] = a & si.imm; break;
+          case Opcode::OrI: regs_[si.dst] = a | si.imm; break;
+          case Opcode::XorI: regs_[si.dst] = a ^ si.imm; break;
+          case Opcode::ShlI: regs_[si.dst] = a << (si.imm & 63); break;
+          case Opcode::ShrI:
+            regs_[si.dst] = static_cast<int64_t>(
+                static_cast<uint64_t>(a) >> (si.imm & 63));
+            break;
+          case Opcode::SltI: regs_[si.dst] = a < si.imm ? 1 : 0; break;
+          case Opcode::MovI: regs_[si.dst] = si.imm; break;
+          case Opcode::Mov: regs_[si.dst] = a; break;
+          case Opcode::FAdd: regs_[si.dst] = a + b; break;
+          case Opcode::FMul: regs_[si.dst] = a * b; break;
+          case Opcode::FDiv: regs_[si.dst] = b ? a / b : 0; break;
+          case Opcode::Ld:
+            op.effAddr = static_cast<uint64_t>(a + si.imm);
+            op.memSize = 8;
+            regs_[si.dst] = static_cast<int64_t>(mem_.read64(op.effAddr));
+            break;
+          case Opcode::LdX:
+            op.effAddr = static_cast<uint64_t>(a + b + si.imm);
+            op.memSize = 8;
+            regs_[si.dst] = static_cast<int64_t>(mem_.read64(op.effAddr));
+            break;
+          case Opcode::St:
+            op.effAddr = static_cast<uint64_t>(a + si.imm);
+            op.memSize = 8;
+            mem_.write64(op.effAddr, static_cast<uint64_t>(b));
+            break;
+          case Opcode::StX:
+            op.effAddr = static_cast<uint64_t>(a + b + si.imm);
+            op.memSize = 8;
+            mem_.write64(op.effAddr,
+                         static_cast<uint64_t>(rd(si.src3)));
+            break;
+          case Opcode::Pf:
+            op.effAddr = static_cast<uint64_t>(a + si.imm);
+            op.memSize = 8;
+            break;
+          case Opcode::Beq:
+            op.taken = (a == b);
+            if (op.taken) next = si.target;
+            break;
+          case Opcode::Bne:
+            op.taken = (a != b);
+            if (op.taken) next = si.target;
+            break;
+          case Opcode::Blt:
+            op.taken = (a < b);
+            if (op.taken) next = si.target;
+            break;
+          case Opcode::Bge:
+            op.taken = (a >= b);
+            if (op.taken) next = si.target;
+            break;
+          case Opcode::Jmp:
+            op.taken = true;
+            next = si.target;
+            break;
+          case Opcode::Jr:
+            op.taken = true;
+            next = static_cast<uint32_t>(a);
+            break;
+          case Opcode::CallD:
+            op.taken = true;
+            regs_[si.dst] = idx + 1;
+            next = si.target;
+            break;
+          case Opcode::RetI:
+            op.taken = true;
+            next = static_cast<uint32_t>(a);
+            break;
+          case Opcode::Nop:
+            break;
+          case Opcode::Halt:
+            op.nextPc = si.pc + si.size;
+            trace.ops.push_back(op);
+            halted_ = true;
+            return trace;
+          default:
+            assert(false && "unknown opcode");
+        }
+
+        assert(next < ninst && "control transfer out of program");
+        op.nextPc = prog.code[next].pc;
+        trace.ops.push_back(op);
+        idx = next;
+    }
+    return trace;
+}
+
+} // namespace crisp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Functional interpreter for Programs.
+ *
+ * Plays the role of the traced native execution in the paper's flow:
+ * it produces the dynamic micro-op stream (with real effective
+ * addresses, real branch outcomes and genuine register *and* memory
+ * dataflow) that the profiler, the slice extractor and the
+ * cycle-level core consume (CRISP §3.3, §5.1).
+ */
+
+#ifndef CRISP_VM_INTERPRETER_H
+#define CRISP_VM_INTERPRETER_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "trace/trace.h"
+#include "vm/memory.h"
+
+namespace crisp
+{
+
+/**
+ * Executes a Program and records the trace.
+ *
+ * Indirect control flow (Jr/RetI) transfers via *static instruction
+ * indices* held in registers, so regenerated traces stay consistent
+ * after the tagger re-lays-out instruction addresses.
+ */
+class Interpreter
+{
+  public:
+    /** @param program the program to execute (shared with the trace). */
+    explicit Interpreter(std::shared_ptr<const Program> program);
+
+    /**
+     * Runs from the entry point for at most @p max_ops dynamic
+     * micro-ops or until Halt.
+     * @return the recorded trace.
+     */
+    Trace run(uint64_t max_ops);
+
+    /** @return the data memory (for post-run inspection in tests). */
+    const Memory &memory() const { return mem_; }
+
+    /** @return an architectural register value after run(). */
+    int64_t reg(RegId r) const { return regs_[r]; }
+
+    /** @return true if the last run() ended at a Halt instruction. */
+    bool halted() const { return halted_; }
+
+  private:
+    std::shared_ptr<const Program> program_;
+    Memory mem_;
+    std::array<int64_t, kNumArchRegs> regs_{};
+    bool halted_ = false;
+};
+
+} // namespace crisp
+
+#endif // CRISP_VM_INTERPRETER_H

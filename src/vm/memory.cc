@@ -1,0 +1,36 @@
+#include "vm/memory.h"
+
+#include <cassert>
+
+namespace crisp
+{
+
+Memory::Page &
+Memory::pageFor(uint64_t addr) const
+{
+    uint64_t page_num = addr >> kPageBits;
+    auto &slot = pages_[page_num];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+uint64_t
+Memory::read64(uint64_t addr) const
+{
+    assert((addr & 7) == 0 && "unaligned 64-bit read");
+    const Page &page = pageFor(addr);
+    return page[(addr & kPageMask) >> 3];
+}
+
+void
+Memory::write64(uint64_t addr, uint64_t value)
+{
+    assert((addr & 7) == 0 && "unaligned 64-bit write");
+    Page &page = pageFor(addr);
+    page[(addr & kPageMask) >> 3] = value;
+}
+
+} // namespace crisp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sparse, paged data memory for the workload VM.
+ */
+
+#ifndef CRISP_VM_MEMORY_H
+#define CRISP_VM_MEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace crisp
+{
+
+/**
+ * Byte-addressable sparse memory backed by 4 KiB pages allocated on
+ * first touch. Unmapped reads return zero. Only 64-bit naturally
+ * aligned accesses are supported, which is all the micro-op ISA
+ * generates.
+ */
+class Memory
+{
+  public:
+    /** @return the 64-bit word at @p addr (must be 8-byte aligned). */
+    uint64_t read64(uint64_t addr) const;
+
+    /** Stores @p value at @p addr (must be 8-byte aligned). */
+    void write64(uint64_t addr, uint64_t value);
+
+    /** @return number of mapped pages (for tests). */
+    size_t mappedPages() const { return pages_.size(); }
+
+  private:
+    static constexpr uint64_t kPageBits = 12;
+    static constexpr uint64_t kPageSize = 1ULL << kPageBits;
+    static constexpr uint64_t kPageMask = kPageSize - 1;
+    static constexpr size_t kWordsPerPage = kPageSize / 8;
+
+    using Page = std::array<uint64_t, kWordsPerPage>;
+
+    mutable std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+
+    Page &pageFor(uint64_t addr) const;
+};
+
+} // namespace crisp
+
+#endif // CRISP_VM_MEMORY_H

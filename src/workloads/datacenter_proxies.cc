@@ -1,0 +1,251 @@
+/**
+ * @file
+ * TailBench datacenter proxy kernels (moses, memcached, imgdnn).
+ * See DESIGN.md §5 for the pathology each reproduces and
+ * spec_proxies.cc for the common construction recipe.
+ */
+
+#include "vm/assembler.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+namespace
+{
+
+struct Scale3
+{
+    uint32_t n;
+    uint64_t seed;
+};
+
+Scale3
+scale3(InputSet input, uint32_t train_n, uint32_t ref_n)
+{
+    if (input == InputSet::Train)
+        return {train_n, 0x7a115eed};
+    return {ref_n, 0x600d5eed};
+}
+
+} // namespace
+
+/**
+ * moses: statistical MT decoder proxy. Each token performs a 3-hop
+ * probe of a large phrase table where every hop's address is a
+ * *long* hash chain over the previous hop's payload, spilled through
+ * the stack between hops: the full load slice far exceeds a 1K-entry
+ * IST (CRISP §5.2) while CRISP's critical-path filter keeps only the
+ * hash spine. Best trace-relative gains at small RS/ROB (Fig 9).
+ */
+Program
+buildMoses(InputSet input)
+{
+    auto [tokens, seed] = scale3(input, 20000, 60000);
+    Rng rng(seed);
+    Assembler a;
+
+    const RegId r_tab = 61, r_in = 60, r_tbl = 59, r_n = 58;
+    const RegId r_cnt = 57, r_gp = 56, sp = 62;
+    const RegId r_w = 10, r_h = 11, r_t = 12, r_u = 13, r_p = 14;
+    const RegId r_score = 15;
+    const RegId r_w0 = 20; // scoring chains r20..r31
+
+    const uint64_t tab_base = kHeapBase + (1ULL << 26);
+    for (uint32_t i = 0; i < tokens; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 16384; ++i)
+        a.poke(tab_base + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 16384; ++i)
+        a.poke(tab_base + rng.next(1u << 22) * 8, rng.next());
+    for (uint32_t i = 0; i < 128; ++i)
+        a.poke(kStaticBase + i * 8, rng.next());
+    a.poke(kGlobalBase, tokens - 1);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(sp, kStackBase);
+    a.movi(r_tab, tab_base);
+    a.movi(r_in, kHeapBase);
+    a.movi(r_tbl, kStaticBase);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_cnt, 0);
+    a.movi(r_score, 0);
+
+    auto loop = a.label();
+    a.bind(loop);
+    a.shli(r_t, r_cnt, 3);
+    a.ldx(r_w, r_in, r_t);      // token (streaming)
+    a.xor_(r_p, r_p, r_w);      // decoder state carried in r_p
+    // Three dependent probes, each with a deliberately long hash
+    // chain between payload and next address, spilled through the
+    // stack after each hop.
+    for (int hop = 0; hop < 2; ++hop) {
+        a.xori(r_h, r_p, 0x9747b28c + hop * 0x61);
+        a.muli(r_h, r_h, 0x85ebca6b);
+        a.shri(r_t, r_h, 13);
+        a.xor_(r_h, r_h, r_t);
+        a.muli(r_h, r_h, 0xc2b2ae35);
+        a.shri(r_t, r_h, 16);
+        a.xor_(r_h, r_h, r_t);
+        a.shli(r_u, r_h, 1);
+        a.add(r_h, r_h, r_u);
+        emitHotColdOffset(a, r_h, r_h, 0x1ffff, (1 << 24) - 1,
+                          r_t, r_u);
+        a.ldx(r_p, r_tab, r_h); // delinquent probe (3-deep chain)
+        a.st(sp, r_p, 16 + hop * 8); // spill the hop payload
+        a.ld(r_p, sp, 16 + hop * 8); // ... and reload it
+    }
+    // Scoring: 12 parallel chains off the final payload.
+    for (int k = 0; k < 12; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_p, k * 71 + 29);
+        a.andi(rk, rk, 0x3f8);
+        a.ldx(r_u, r_tbl, rk);
+        a.fmul(r_u, r_u, r_p);
+        a.stx(r_tbl, rk, r_u);
+    }
+    a.add(r_score, r_score, r_p);
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("moses");
+}
+
+/**
+ * memcached: key-value GET proxy. Hash a key, load the bucket head
+ * (hot/cold miss), walk one chain hop with a data-dependent
+ * key-compare branch behind the value work: both load slices (bucket
+ * pointer) and branch slices (key compare) matter and synergize
+ * (CRISP §5.3).
+ */
+Program
+buildMemcached(InputSet input)
+{
+    auto [gets, seed] = scale3(input, 25000, 75000);
+    Rng rng(seed);
+    Assembler a;
+
+    const uint32_t num_buckets = 1u << 18; // 2 MiB bucket array
+    const RegId r_bkt = 61, r_tbl = 60, r_n = 59, r_cnt = 58;
+    const RegId r_gp = 57, sp = 62;
+    const RegId r_key = 10, r_h = 11, r_t = 12, r_node = 13;
+    const RegId r_kv = 14, r_acc = 15, r_u = 16;
+    const RegId r_w0 = 20; // value work r20..r27
+
+    // Bucket array: [bucket] = key-ish payload; treated as an open
+    // hash: a second probe reads the "item" word next to it.
+    for (uint32_t i = 0; i < 16384; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 32768; ++i)
+        a.poke(kHeapBase + rng.next(num_buckets) * 8, rng.next());
+    for (uint32_t i = 0; i < 128; ++i)
+        a.poke(kStaticBase + i * 8, rng.next(1000));
+    a.poke(kGlobalBase, gets);
+    a.poke(kGlobalBase + 8, rng.next() | 1);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(sp, kStackBase);
+    a.movi(r_bkt, kHeapBase);
+    a.movi(r_tbl, kStaticBase);
+    a.ld(r_n, r_gp, 0);
+    a.ld(r_key, r_gp, 8);
+    a.movi(r_cnt, 0);
+    a.movi(r_acc, 0);
+
+    auto loop = a.label();
+    auto hit = a.label();
+    auto next_get = a.label();
+
+    a.bind(loop);
+    // Key generation + hash: serial directly through the previous
+    // probe's value; the hashed index is spilled through the stack
+    // mid-chain (request-queue analog, IBDA blind spot).
+    a.xor_(r_key, r_node, r_cnt);
+    a.muli(r_key, r_key, 6364136223846793005LL);
+    a.addi(r_key, r_key, 1442695040888963407LL);
+    a.shri(r_h, r_key, 17);
+    a.st(sp, r_h, 8);
+    a.ld(r_h, sp, 8);
+    emitHotColdOffset(a, r_h, r_h, 0x1ffff, (1 << 21) - 1, r_t,
+                      r_u);
+    a.ldx(r_node, r_bkt, r_h);  // delinquent: bucket probe
+    // Value work: 8 parallel chains off the probed word.
+    for (int k = 0; k < 8; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_node, k * 53 + 19);
+        a.andi(rk, rk, 0x3f8);
+        a.ldx(r_kv, r_tbl, rk);
+        a.fmul(r_kv, r_kv, r_node);
+        a.stx(r_tbl, rk, r_kv);
+    }
+    // Key-compare branch: data-random, behind the value work.
+    a.xor_(r_u, r_node, r_key);
+    a.andi(r_u, r_u, 3);
+    a.beq(r_u, 0, hit);         // ~25% hit path, data-random
+    a.addi(r_acc, r_acc, 1);
+    a.jmp(next_get);
+    a.bind(hit);
+    a.ldx(r_t, r_bkt, r_h, 8);  // item word (same line)
+    a.add(r_acc, r_acc, r_t);
+    a.bind(next_get);
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("memcached");
+}
+
+/**
+ * imgdnn: inference proxy. Dense unrolled multiply-accumulate with an
+ * indirection table that mostly hits: high baseline ILP, little for
+ * CRISP to accelerate — the low-gain end of Fig 7.
+ */
+Program
+buildImgdnn(InputSet input)
+{
+    auto [iters, seed] = scale3(input, 12000, 36000);
+    Rng rng(seed);
+    Assembler a;
+
+    const uint32_t w_words = 1u << 14; // 128 KiB weights (LLC-hot)
+    const RegId r_w = 61, r_n = 60, r_cnt = 59, r_gp = 58;
+    const RegId r_mask = 57;
+    const RegId r_i = 10, r_t = 12;
+    const RegId r_a0 = 16; // 8 accumulators r16..r23
+    const RegId r_v0 = 24; // 8 temporaries r24..r31
+
+    for (uint32_t i = 0; i < w_words; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8, rng.next(97) + 1);
+    a.poke(kGlobalBase, iters);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_w, kHeapBase);
+    a.movi(r_mask, (w_words - 1) * 8);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_cnt, 0);
+    for (int k = 0; k < 8; ++k)
+        a.movi(static_cast<RegId>(r_a0 + k), k + 1);
+
+    auto loop = a.label();
+    a.bind(loop);
+    a.muli(r_i, r_cnt, 0x9e3779b1);
+    for (int k = 0; k < 8; ++k) {
+        a.shri(r_t, r_i, 3 + k);
+        a.shli(r_t, r_t, 3);
+        a.and_(r_t, r_t, r_mask);
+        a.ldx(static_cast<RegId>(r_v0 + k), r_w, r_t); // mostly hits
+    }
+    for (int k = 0; k < 8; ++k) {
+        a.fmul(static_cast<RegId>(r_v0 + k),
+               static_cast<RegId>(r_v0 + k),
+               static_cast<RegId>(r_a0 + k));
+        a.fadd(static_cast<RegId>(r_a0 + k),
+               static_cast<RegId>(r_a0 + k),
+               static_cast<RegId>(r_v0 + k));
+    }
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("imgdnn");
+}
+
+} // namespace crisp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The motivating microbenchmark of CRISP Figures 1-3: a linked-list
+ * traversal interleaved with a vector-scalar multiply.
+ *
+ * The proxy reproduces the -O0 x86 shape of Figure 3 faithfully:
+ * the `cur` pointer and the scalar `val` live in *stack slots*, so
+ * the delinquent load's slice contains dependencies through memory
+ * (st [sp+16] -> ld [sp+16]), and the body layout matches the paper:
+ * the inner vector loop comes first, then the pointer advance whose
+ * final `val = cur->val` load is the line miss for the *next* node.
+ * List nodes are laid out in a random permutation so the chase is
+ * invisible to the best-offset/stream prefetchers.
+ */
+
+#include "vm/assembler.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+namespace
+{
+
+/**
+ * Shared builder. @p with_prefetch inserts the manual
+ * __builtin_prefetch(current->next) of Fig 2 line 12, hoisted to the
+ * top of the body where the oldest-first baseline scheduler issues
+ * it immediately.
+ */
+Program
+buildChase(InputSet input, bool with_prefetch)
+{
+    // Train and Ref differ in list length, node placement seed and
+    // vector contents only; the code is identical.
+    const bool train = input == InputSet::Train;
+    const uint32_t num_nodes = train ? 40000 : 120000;
+    const uint32_t vec_elems = 32;
+    const uint64_t node_bytes = 64; // one node per cache line
+    Rng rng(train ? 0x1234 : 0x987654321);
+
+    Assembler a;
+
+    // Registers.
+    const RegId sp = 62;    // stack pointer
+    const RegId r_vec = 61; // vector base
+    const RegId r_vend = 60;
+    const RegId r_n = 59;   // outer trip count
+    const RegId r_cnt = 58;
+    const RegId r_gp = 57;
+    const RegId r_a = 10;   // cur
+    const RegId r_b = 11;   // cur->next
+    const RegId r_c = 12;   // next node's val
+    const RegId r_i = 13;   // inner index (bytes)
+    const RegId r_v = 14;   // val reloaded from stack
+    const RegId r_e = 15;   // vec element
+    const RegId r_p = 16;   // prefetch scratch
+    const RegId r_q = 17;   // prefetch scratch
+
+    // Data: permuted linked list in the heap.
+    auto perm = randomPermutation(num_nodes, rng);
+    std::vector<uint64_t> addr_of(num_nodes);
+    for (uint32_t i = 0; i < num_nodes; ++i)
+        addr_of[i] = kHeapBase + uint64_t(perm[i]) * node_bytes;
+    for (uint32_t i = 0; i < num_nodes; ++i) {
+        uint64_t next = addr_of[(i + 1) % num_nodes];
+        a.poke(addr_of[i], next);                        // ->next
+        a.poke(addr_of[i] + 8, (rng.next() & 0xff) + 1); // ->val
+    }
+    for (uint32_t e = 0; e < vec_elems; ++e)
+        a.poke(kStaticBase + e * 8, rng.next(100) + 1);
+    a.poke(kGlobalBase, num_nodes - 1);                  // trips
+    a.poke(kStackBase + 16, addr_of[0]);                 // cur
+    a.poke(kStackBase + 8, 7);                           // initial val
+
+    // Code (identical across inputs).
+    a.movi(r_gp, kGlobalBase);
+    a.movi(sp, kStackBase);
+    a.movi(r_vec, kStaticBase);
+    a.movi(r_vend, vec_elems * 8);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_cnt, 0);
+
+    auto outer = a.label();
+    auto inner = a.label();
+
+    a.bind(outer);
+    if (with_prefetch) {
+        // __builtin_prefetch(current->next): oldest in the body, so
+        // the baseline scheduler issues it as soon as it is ready.
+        a.ld(r_p, sp, 16);  // cur
+        a.ld(r_q, r_p, 0);  // cur->next (line already present)
+        a.pf(r_q, 8);       // prefetch the next node's line
+    }
+    a.movi(r_i, 0);
+
+    a.bind(inner);          // vec[i] *= val
+    a.ld(r_v, sp, 8);       // val through memory
+    a.ldx(r_e, r_vec, r_i);
+    a.mul(r_e, r_e, r_v);
+    a.stx(r_vec, r_i, r_e);
+    a.addi(r_i, r_i, 8);
+    a.blt(r_i, r_vend, inner);
+
+    // cur = cur->next; val = cur->val (Fig 3 lines 25-31).
+    a.ld(r_a, sp, 16);      // cur (through memory)
+    a.ld(r_b, r_a, 0);      // cur->next (hits: line fetched below)
+    a.st(sp, r_b, 16);      // cur = next
+    a.ld(r_c, r_b, 8);      // DELINQUENT: next node's val (new line)
+    a.st(sp, r_c, 8);       // spill val for the next inner loop
+
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, outer);
+    a.halt();
+
+    return a.finish(with_prefetch ? "pointer_chase_pf"
+                                  : "pointer_chase");
+}
+
+} // namespace
+
+Program
+buildPointerChase(InputSet input)
+{
+    return buildChase(input, /*with_prefetch=*/false);
+}
+
+Program
+buildPointerChasePrefetch(InputSet input)
+{
+    return buildChase(input, /*with_prefetch=*/true);
+}
+
+} // namespace crisp

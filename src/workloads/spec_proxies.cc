@@ -1,0 +1,501 @@
+/**
+ * @file
+ * SPEC2017/Xhpcg proxy kernels, part 1 (mcf, lbm, omnetpp, xhpcg,
+ * bwaves, namd).
+ *
+ * Each proxy recreates the specific behaviour CRISP's evaluation
+ * attributes to the application (see DESIGN.md §5); none is intended
+ * to match the application's absolute IPC. The common construction:
+ * a *serial* delinquent-load chain (so profiled MLP stays below the
+ * §3.2 threshold), surrounded by work that (a) depends on the miss
+ * data, (b) is internally parallel and (c) is load/store-port heavy —
+ * exactly the situation where an oldest-ready-first scheduler delays
+ * the next critical slice behind non-critical work.
+ */
+
+#include "vm/assembler.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+namespace
+{
+
+struct Scale
+{
+    uint32_t n;
+    uint64_t seed;
+};
+
+Scale
+scaleOf(InputSet input, uint32_t train_n, uint32_t ref_n)
+{
+    if (input == InputSet::Train)
+        return {train_n, 0xc0ffee};
+    return {ref_n, 0xdecafbad};
+}
+
+} // namespace
+
+/**
+ * mcf: network-simplex proxy. A serialized walk over a randomly
+ * permuted parent-pointer array (one low-MLP LLC miss per step); the
+ * arc-cost bookkeeping is 16 independent histogram updates keyed off
+ * the missing cost, flooding the load/store ports exactly when the
+ * next pointer slice becomes ready. The address slice is
+ * registers-only, so IBDA competes well here.
+ */
+Program
+buildMcf(InputSet input)
+{
+    auto [num_nodes, seed] = scaleOf(input, 30000, 90000);
+    Rng rng(seed);
+    Assembler a;
+
+    const RegId r_base = 61, r_hist = 60, r_n = 59, r_cnt = 58;
+    const RegId r_gp = 57;
+    const RegId r_cur = 10, r_addr = 11, r_par = 12, r_cost = 13;
+    const RegId r_sum = 14, r_t = 15;
+    const RegId r_k0 = 20; // k0..k15 histogram chains use r20..r35
+
+    auto perm = randomPermutation(num_nodes, rng);
+    for (uint32_t i = 0; i < num_nodes; ++i) {
+        uint64_t addr = kHeapBase + uint64_t(perm[i]) * 64;
+        a.poke(addr, perm[(i + 1) % num_nodes]); // parent slot id
+        a.poke(addr + 8, rng.next(1000));        // cost
+    }
+    for (uint32_t i = 0; i < 64; ++i)
+        a.poke(kStaticBase + i * 8, rng.next(16));
+    a.poke(kGlobalBase, num_nodes - 1);
+    a.poke(kGlobalBase + 8, perm[0]);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_base, kHeapBase);
+    a.movi(r_hist, kStaticBase);
+    a.ld(r_n, r_gp, 0);
+    a.ld(r_cur, r_gp, 8);
+    a.movi(r_cnt, 0);
+    a.movi(r_sum, 0);
+
+    auto outer = a.label();
+    auto skip = a.label();
+
+    a.bind(outer);
+    // Critical slice: slot id -> byte address -> parent load.
+    a.shli(r_addr, r_cur, 6);
+    a.add(r_addr, r_addr, r_base);
+    a.ld(r_par, r_addr, 0);     // delinquent: parent slot (serial)
+    a.ld(r_cost, r_addr, 8);    // same line
+    // 10 independent arc-scan chains, two loads and a store each,
+    // all hanging off r_cost: they become ready exactly when the
+    // next pointer slice does and flood both memory ports. (Sized
+    // so body plus the next slice fits the 96-entry RS.)
+    for (int k = 0; k < 10; ++k) {
+        RegId rk = static_cast<RegId>(r_k0 + k);
+        a.xori(rk, r_par, k * 29 + 3);
+        a.andi(rk, rk, 0x1f8);
+        a.ldx(r_t, r_hist, rk);
+        a.fmul(r_t, r_t, r_par);
+        a.stx(r_hist, rk, r_t);
+    }
+    // Semi-predictable pricing branch (~88% taken), after the work.
+    a.slti(r_t, r_cost, 880);
+    a.bne(r_t, 0, skip);
+    a.addi(r_sum, r_sum, 7);
+    a.muli(r_sum, r_sum, 3);
+    a.bind(skip);
+    a.mov(r_cur, r_par);
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, outer);
+    a.halt();
+    return a.finish("mcf");
+}
+
+/**
+ * lbm: lattice stencil proxy. A prefetchable cell stream plus a
+ * serial irregular gather; the collision branch compares against a
+ * value loaded through a short L1-resident chain seeded by the
+ * *previous* gather, so its misprediction resolves only after that
+ * chain schedules (CRISP §3.4/§5.3: load slicing alone is throttled
+ * by the branch gating the frontend; branch slicing unlocks it).
+ */
+Program
+buildLbm(InputSet input)
+{
+    auto [num_cells, seed] = scaleOf(input, 40000, 120000);
+    Rng rng(seed);
+    Assembler a;
+
+    const uint32_t aux_words = 1u << 20; // 8 MiB gather target
+    const RegId r_cells = 61, r_aux = 60, r_tbl = 59, r_n = 58;
+    const RegId r_cnt = 57, r_gp = 56, r_mask = 55, r_sp = 62;
+    const RegId r_c = 10, r_t = 11, r_u = 12, r_g = 13, r_v = 14;
+    const RegId r_acc = 15, r_b = 16, r_f = 17;
+    const RegId r_w0 = 20; // work chains r20..r27
+
+    const uint64_t aux_base = kHeapBase + (1ULL << 25);
+    for (uint32_t i = 0; i < num_cells; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8, rng.next());
+    // Dense hot window (the low 64 KiB) so serial chains through
+    // gathered values never collapse onto the zero fixed point.
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(aux_base + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(aux_base + rng.next(aux_words) * 8, rng.next());
+    for (uint32_t i = 0; i < 128; ++i)
+        a.poke(kStaticBase + i * 8, rng.next());
+    a.poke(kGlobalBase, num_cells - 4);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_sp, kStackBase);
+    a.movi(r_cells, kHeapBase);
+    a.movi(r_aux, aux_base);
+    a.movi(r_tbl, kStaticBase);
+    a.movi(r_mask, (aux_words - 1) * 8);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_cnt, 0);
+    a.movi(r_acc, 1);
+
+    auto loop = a.label();
+    auto collide = a.label();
+    auto join = a.label();
+
+    a.bind(loop);
+    a.shli(r_t, r_cnt, 3);
+    a.ldx(r_c, r_cells, r_t);   // streaming load (BOP covers it)
+    // Serial delinquent gather: the index chain starts directly off
+    // the previous gather's value and spills the partial hash
+    // through the stack mid-chain (dependence through memory, the
+    // IBDA blind spot; MLP ~1).
+    a.xor_(r_g, r_acc, r_c);
+    a.muli(r_g, r_g, 0x9e3779b1);
+    a.shri(r_t, r_g, 9);
+    a.xor_(r_g, r_g, r_t);
+    a.st(r_sp, r_g, 32);        // spill the partial hash
+    a.ld(r_g, r_sp, 32);        // ... and reload it
+    emitHotColdOffset(a, r_g, r_g, 0xffff, (1 << 23) - 1, r_t,
+                      r_u);
+    a.ldx(r_v, r_aux, r_g);     // delinquent gather (serial)
+    // 8 independent table updates hanging off the gather value;
+    // they become ready at the same instant as everything below.
+    for (int k = 0; k < 8; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_v, k * 57 + 11);
+        a.andi(rk, rk, 0x3f8);
+        a.ldx(r_t, r_tbl, rk);
+        a.fmul(r_t, r_t, r_v);
+        a.stx(r_tbl, rk, r_t);
+    }
+    // Collision branch: condition hangs off the *current* gather
+    // plus an L1 lookup and sits behind the update work, so the
+    // oldest-first baseline resolves it late; when it mispredicts,
+    // fetch of the next body (and its gather) is gated on it.
+    a.andi(r_b, r_v, 0x3f8);
+    a.ldx(r_f, r_tbl, r_b);     // L1-resident compare operand
+    a.xor_(r_u, r_f, r_c);
+    a.andi(r_u, r_u, 1);
+    a.bne(r_u, 0, collide);     // ~50/50, data-random
+    a.fadd(r_acc, r_c, r_v);
+    a.jmp(join);
+    a.bind(collide);
+    a.fmul(r_acc, r_c, r_v);
+    a.bind(join);
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("lbm");
+}
+
+/**
+ * omnetpp: discrete-event proxy. A two-level heap sift whose compare
+ * branches depend on missing heap keys (fetch gates on them), then an
+ * event-object gather; the event handler is 12 independent updates
+ * keyed off the popped key.
+ */
+Program
+buildOmnetpp(InputSet input)
+{
+    auto [heap_words, seed] = scaleOf(input, 1u << 20, 1u << 21);
+    Rng rng(seed);
+    Assembler a;
+
+    const RegId r_heap = 61, r_tbl = 60, r_n = 59, r_cnt = 58;
+    const RegId r_gp = 57, r_hmask = 56;
+    const RegId r_i = 10, r_l = 11, r_a = 12, r_b = 13, r_t = 14;
+    const RegId r_key = 15, r_u = 16;
+    const RegId r_w0 = 20; // handler chains r20..r31
+
+    for (uint32_t i = 0; i < 16384; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 65536; ++i)
+        a.poke(kHeapBase + (rng.next(heap_words) & ~1ULL) * 8,
+               rng.next());
+    for (uint32_t i = 0; i < 128; ++i)
+        a.poke(kStaticBase + i * 8, rng.next());
+    a.poke(kGlobalBase, 8000);
+    a.poke(kGlobalBase + 8, (heap_words - 1) & ~1ULL);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_heap, kHeapBase);
+    a.movi(r_tbl, kStaticBase);
+    a.ld(r_hmask, r_gp, 8); // input-size mask lives in data
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_cnt, 0);
+    a.movi(r_key, 0x1357);
+
+    auto outer = a.label();
+
+    a.bind(outer);
+    // Start index depends on the previous pop (serial chase).
+    a.xor_(r_t, r_key, r_cnt);
+    a.muli(r_t, r_t, 2654435761U);
+    a.shri(r_t, r_t, 5);
+    emitHotColdOffset(a, r_i, r_t, 0x3fff, (1 << 23) - 1, r_l,
+                      r_u);
+    a.shri(r_i, r_i, 3);
+    a.and_(r_i, r_i, r_hmask);
+    for (int level = 0; level < 2; ++level) {
+        auto pick_right = a.label();
+        auto done = a.label();
+        a.shli(r_l, r_i, 1);    // child index
+        a.and_(r_l, r_l, r_hmask);
+        a.shli(r_t, r_l, 3);
+        a.ldx(r_a, r_heap, r_t);     // delinquent: left key
+        a.ldx(r_b, r_heap, r_t, 8);  // right key (same line)
+        a.blt(r_a, r_b, pick_right); // data-random, gated on miss
+        a.mov(r_key, r_a);
+        a.mov(r_i, r_l);
+        a.jmp(done);
+        a.bind(pick_right);
+        a.mov(r_key, r_b);
+        a.addi(r_i, r_l, 1);
+        a.bind(done);
+    }
+    // Event handler: 12 independent updates keyed off the key.
+    for (int k = 0; k < 12; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_key, k * 41 + 5);
+        a.andi(rk, rk, 0x3f8);
+        a.ldx(r_u, r_tbl, rk);
+        a.add(r_u, r_u, r_key);
+        a.stx(r_tbl, rk, r_u);
+    }
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, outer);
+    a.halt();
+    return a.finish("omnetpp");
+}
+
+/**
+ * xhpcg: symmetric-Gauss-Seidel-like sparse sweep. Four x-vector
+ * gathers per row (MLP ~4, below the §3.2 threshold) whose column
+ * base depends on the previous row's accumulated sum (the SymGS
+ * loop-carried dependence), followed by row work hanging off the
+ * sum. Benefits grow with RS/ROB (Fig 9's xhpcg signature).
+ */
+Program
+buildXhpcg(InputSet input)
+{
+    auto [num_rows, seed] = scaleOf(input, 30000, 90000);
+    Rng rng(seed);
+    Assembler a;
+
+    const uint32_t x_words = 1u << 20;   // 8 MiB gathered vector
+    const uint32_t col_words = 1u << 12; // 32 KiB resident columns
+    const RegId r_cols = 61, r_x = 60, r_tbl = 59, r_n = 58;
+    const RegId r_row = 57, r_gp = 56, r_xmask = 55, r_cmask = 54;
+    const RegId r_sum = 10, r_t = 11, r_j = 12, r_col = 13;
+    const RegId r_xv = 14, r_u = 15;
+    const RegId r_w0 = 20; // row work r20..r29
+
+    const uint64_t x_base = kHeapBase + (1ULL << 26);
+    for (uint32_t i = 0; i < col_words; ++i) {
+        bool cold = rng.next(5) < 3;
+        a.poke(kHeapBase + uint64_t(i) * 8,
+               cold ? rng.next(x_words) : rng.next(8192));
+    }
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(x_base + uint64_t(i) * 8, rng.next(100) + 1);
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(x_base + rng.next(x_words) * 8, rng.next(100) + 1);
+    for (uint32_t i = 0; i < 128; ++i)
+        a.poke(kStaticBase + i * 8, rng.next(9) + 1);
+    a.poke(kGlobalBase, num_rows - 1);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_cols, kHeapBase);
+    a.movi(r_x, x_base);
+    a.movi(r_tbl, kStaticBase);
+    a.movi(r_xmask, (x_words - 1) * 8);
+    a.movi(r_cmask, (col_words - 4) * 8);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_row, 0);
+    a.movi(r_sum, 0x5a5a);
+
+    auto row_loop = a.label();
+    a.bind(row_loop);
+    // Column base: depends on the previous row's sum (SymGS).
+    a.xor_(r_j, r_sum, r_row);
+    a.muli(r_j, r_j, 0x61c88647);
+    a.shri(r_j, r_j, 7);
+    a.shli(r_j, r_j, 3);
+    a.and_(r_j, r_j, r_cmask);
+    a.movi(r_sum, 0);
+    // Four gathers, independent within the row.
+    for (int j = 0; j < 4; ++j) {
+        a.ldx(r_col, r_cols, r_j, j * 8); // resident column index
+        a.shli(r_t, r_col, 3);
+        a.and_(r_t, r_t, r_xmask);
+        a.ldx(r_xv, r_x, r_t);            // delinquent: x[col]
+        a.fadd(r_sum, r_sum, r_xv);       // serial accumulation
+    }
+    // Row work: 10 independent load/FP pairs off the sum.
+    for (int k = 0; k < 10; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_sum, k * 23 + 7);
+        a.andi(rk, rk, 0x3f8);
+        a.ldx(r_u, r_tbl, rk);
+        a.fmul(r_u, r_u, r_sum);
+        a.stx(r_tbl, rk, r_u);
+    }
+    a.addi(r_row, r_row, 1);
+    a.blt(r_row, r_n, row_loop);
+    a.halt();
+    return a.finish("xhpcg");
+}
+
+/**
+ * bwaves: the negative example of CRISP §5.2. Batches of eight
+ * *independent* random gathers per iteration: very high LLC MPKI but
+ * also high MLP, so the misses are already overlapped and not
+ * latency-critical. CRISP's MLP filter declines to tag them; IBDA's
+ * MPKI-only delinquency selection prioritizes them anyway.
+ */
+Program
+buildBwaves(InputSet input)
+{
+    auto [iters, seed] = scaleOf(input, 12000, 36000);
+    Rng rng(seed);
+    Assembler a;
+
+    const uint32_t grid_words = 1u << 21; // 16 MiB
+    const RegId r_grid = 61, r_n = 60, r_cnt = 59, r_gp = 58;
+    const RegId r_mask = 57;
+    const RegId r_s = 10;
+    const RegId r_i0 = 11, r_v0 = 19;
+    const RegId r_acc = 27, r_t = 28;
+
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(kHeapBase + rng.next(grid_words) * 8,
+               rng.next(1000));
+    a.poke(kGlobalBase, iters);
+    a.poke(kGlobalBase + 8, seed | 1);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_grid, kHeapBase);
+    a.movi(r_mask, (grid_words - 1) * 8);
+    a.ld(r_n, r_gp, 0);
+    a.ld(r_s, r_gp, 8);
+    a.movi(r_cnt, 0);
+    a.movi(r_acc, 0);
+
+    auto loop = a.label();
+    a.bind(loop);
+    // Eight independent indices from cheap LCG steps, then all eight
+    // gathers back to back: MLP ~= 8.
+    for (int k = 0; k < 8; ++k) {
+        a.muli(r_s, r_s, 6364136223846793005LL);
+        a.addi(r_s, r_s, 1442695040888963407LL);
+        a.shri(r_t, r_s, 23);
+        a.shli(r_t, r_t, 3);
+        a.and_(static_cast<RegId>(r_i0 + k), r_t, r_mask);
+    }
+    for (int k = 0; k < 8; ++k) {
+        a.ldx(static_cast<RegId>(r_v0 + k), r_grid,
+              static_cast<RegId>(r_i0 + k));
+    }
+    for (int k = 0; k < 8; ++k)
+        a.fadd(r_acc, r_acc, static_cast<RegId>(r_v0 + k));
+    a.fmul(r_acc, r_acc, r_acc);
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("bwaves");
+}
+
+/**
+ * namd: force-loop proxy whose delinquent gather's address slice is
+ * spilled through the stack under register pressure: the neighbour
+ * index is computed, stored to [sp+24] and reloaded before use.
+ * Register-only IBDA stops at the reload and never prioritizes the
+ * spill *store*, whose port contention with the force-update stores
+ * then delays the gather (CRISP §5.2).
+ */
+Program
+buildNamd(InputSet input)
+{
+    auto [num_particles, seed] = scaleOf(input, 30000, 90000);
+    Rng rng(seed);
+    Assembler a;
+
+    const uint32_t pos_words = 1u << 20; // 8 MiB positions
+    const RegId r_nbr = 61, r_pos = 60, r_tbl = 59, r_n = 58;
+    const RegId r_cnt = 57, r_gp = 56, r_mask = 55, sp = 62;
+    const RegId r_t = 10, r_idx = 11, r_j = 12, r_p = 13, r_u = 14;
+    const RegId r_w0 = 20; // force updates r20..r27
+
+    const uint64_t pos_base = kHeapBase + (1ULL << 26);
+    for (uint32_t i = 0; i < num_particles; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(pos_base + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(pos_base + rng.next(pos_words) * 8,
+               rng.next(4096));
+    for (uint32_t i = 0; i < 128; ++i)
+        a.poke(kStaticBase + i * 8, rng.next());
+    a.poke(kGlobalBase, num_particles - 1);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(sp, kStackBase);
+    a.movi(r_nbr, kHeapBase);
+    a.movi(r_pos, pos_base);
+    a.movi(r_tbl, kStaticBase);
+    a.movi(r_mask, (pos_words - 1) * 8);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_cnt, 0);
+    a.movi(r_p, 0x77);
+
+    auto loop = a.label();
+    a.bind(loop);
+    // Index slice: neighbour-list load + hash, mixed with the
+    // previous gather (serial chase) ...
+    a.shli(r_t, r_cnt, 3);
+    a.ldx(r_idx, r_nbr, r_t);   // neighbour entry (streaming)
+    a.xor_(r_idx, r_idx, r_p);  // previous gather value
+    a.muli(r_idx, r_idx, 40503);
+    a.shri(r_u, r_idx, 11);
+    a.xor_(r_idx, r_idx, r_u);
+    emitHotColdOffset(a, r_idx, r_idx, 0xffff, (1 << 23) - 1,
+                      r_u, r_t);
+    // ... spilled to the stack and reloaded (the IBDA blind spot).
+    a.st(sp, r_idx, 24);
+    a.ld(r_j, sp, 24);          // reload of the index
+    a.ldx(r_p, r_pos, r_j);     // delinquent gather pos[j]
+    // Force updates: 8 independent load/FP/store chains off pos[j].
+    for (int k = 0; k < 8; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_p, k * 83 + 13);
+        a.andi(rk, rk, 0x3f8);
+        a.ldx(r_u, r_tbl, rk);
+        a.fmul(r_u, r_u, r_p);
+        a.stx(r_tbl, rk, r_u);
+    }
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("namd");
+}
+
+} // namespace crisp

@@ -1,0 +1,560 @@
+/**
+ * @file
+ * SPEC2017 proxy kernels, part 2 (deepsjeng, perlbench, gcc, fotonik,
+ * cactus, nab). See DESIGN.md §5 for the pathology each reproduces
+ * and spec_proxies.cc for the common construction recipe.
+ */
+
+#include "vm/assembler.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+namespace
+{
+
+struct Scale2
+{
+    uint32_t n;
+    uint64_t seed;
+};
+
+Scale2
+scale2(InputSet input, uint32_t train_n, uint32_t ref_n)
+{
+    if (input == InputSet::Train)
+        return {train_n, 0xabad1dea};
+    return {ref_n, 0x5eed5eed};
+}
+
+} // namespace
+
+/**
+ * deepsjeng: game-tree search proxy. A serialized walk over a node
+ * array with hot/cold children (transposition-table locality) and two
+ * data-random branches per step whose conditions hang off the node
+ * load: branch slices alone are worth several percent (CRISP §5.3).
+ */
+Program
+buildDeepsjeng(InputSet input)
+{
+    auto [num_nodes, seed] = scale2(input, 1u << 17, 1u << 18);
+    Rng rng(seed);
+    Assembler a;
+
+    const RegId r_tree = 61, r_tbl = 60, r_n = 59, r_cnt = 58;
+    const RegId r_gp = 57, r_mask = 56;
+    const RegId r_cur = 10, r_val = 11, r_ev = 12, r_t = 13;
+    const RegId r_u = 14, r_best = 15, r_addr = 16;
+    const RegId r_w0 = 20; // history updates r20..r27
+
+    // Node: 64 B; [0]=value, [8]=left child slot, [16]=right.
+    // Children: 75% in a hot 2K-node window, 25% anywhere.
+    for (uint32_t i = 0; i < num_nodes; ++i) {
+        uint64_t addr = kHeapBase + uint64_t(i) * 64;
+        a.poke(addr, rng.next());
+        uint64_t l = rng.next(4) ? rng.next(2048) : rng.next(num_nodes);
+        uint64_t r = rng.next(4) ? rng.next(2048) : rng.next(num_nodes);
+        a.poke(addr + 8, l);
+        a.poke(addr + 16, r);
+    }
+    for (uint32_t i = 0; i < 128; ++i)
+        a.poke(kStaticBase + i * 8, rng.next());
+    a.poke(kGlobalBase, 12000);
+    a.poke(kGlobalBase + 8, rng.next(num_nodes));
+    a.poke(kGlobalBase + 16, num_nodes - 1);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_tree, kHeapBase);
+    a.movi(r_tbl, kStaticBase);
+    a.ld(r_mask, r_gp, 16); // input-size mask lives in data
+    a.ld(r_n, r_gp, 0);
+    a.ld(r_cur, r_gp, 8);
+    a.movi(r_cnt, 0);
+    a.movi(r_best, 0);
+
+    auto loop = a.label();
+    auto right = a.label();
+    auto stepped = a.label();
+    auto no_cut = a.label();
+
+    a.bind(loop);
+    a.shli(r_addr, r_cur, 6);
+    a.add(r_addr, r_addr, r_tree);
+    a.ld(r_val, r_addr, 0);     // delinquent: node value (serial)
+    // Eval chain: mixes the iteration counter so revisited nodes do
+    // not trap the walk in a deterministic cycle.
+    a.xor_(r_ev, r_val, r_cnt);
+    a.muli(r_ev, r_ev, 0x9e37);
+    a.shri(r_t, r_ev, 7);
+    a.xor_(r_ev, r_ev, r_t);
+    // History updates: 8 independent chains off the eval.
+    for (int k = 0; k < 8; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_ev, k * 37 + 9);
+        a.andi(rk, rk, 0x3f8);
+        a.ldx(r_u, r_tbl, rk);
+        a.fmul(r_u, r_u, r_ev);
+        a.stx(r_tbl, rk, r_u);
+    }
+    // Child pick: data-random branch gated on the node load.
+    a.andi(r_u, r_ev, 1);
+    a.bne(r_u, 0, right);       // ~50/50
+    a.ld(r_cur, r_addr, 8);     // left child slot
+    a.jmp(stepped);
+    a.bind(right);
+    a.ld(r_cur, r_addr, 16);    // right child slot
+    a.bind(stepped);
+    // Beta-cutoff style branch (~25% cutoff, data-random).
+    a.andi(r_u, r_ev, 3);
+    a.bne(r_u, 0, no_cut);
+    a.add(r_best, r_best, r_ev);
+    a.xori(r_best, r_best, 0x55);
+    a.bind(no_cut);
+    a.and_(r_cur, r_cur, r_mask);
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("deepsjeng");
+}
+
+/**
+ * perlbench: bytecode-interpreter proxy. An indirect dispatch over 96
+ * generated handlers, each with a hot/cold hash gather, parallel
+ * state updates and a stack spill: thousands of distinct static
+ * instructions end up in slices (Fig 11) and the indirect jump
+ * mispredicts constantly.
+ */
+Program
+buildPerlbench(InputSet input)
+{
+    auto [prog_len, seed] = scale2(input, 1u << 15, 1u << 16);
+    Rng data_rng(seed);
+    Rng code_rng(0xfeedface); // identical across inputs!
+    Assembler a;
+
+    const uint32_t num_handlers = 96;
+    const RegId r_bc = 61, r_tab = 60, r_jt = 59, r_n = 58;
+    const RegId r_tbl = 53;
+    const RegId r_pcnt = 56, r_gp = 55, sp = 62;
+    const RegId r_op = 10, r_h = 11, r_t = 12, r_u = 13, r_acc = 14;
+    const RegId r_target = 15;
+    const RegId r_w0 = 20; // per-handler work chains r20..r25
+
+    const uint64_t jt_base = kStaticBase;             // jump table
+    const uint64_t tbl_base = kStaticBase + 0x2000;   // hot tables
+    const uint64_t tab_base = kHeapBase + (1ULL << 26);
+    for (uint32_t i = 0; i < prog_len; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8,
+               data_rng.next(num_handlers));
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(tab_base + uint64_t(i) * 8, data_rng.next());
+    for (uint32_t i = 0; i < 16384; ++i)
+        a.poke(tab_base + data_rng.next(1u << 21) * 8,
+               data_rng.next());
+    for (uint32_t i = 0; i < 256; ++i)
+        a.poke(tbl_base + i * 8, data_rng.next());
+    a.poke(kGlobalBase, prog_len - 1);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(sp, kStackBase);
+    a.movi(r_bc, kHeapBase);
+    a.movi(r_tab, tab_base);
+    a.movi(r_jt, jt_base);
+    a.movi(r_tbl, tbl_base);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_pcnt, 0);
+    a.movi(r_acc, 0x1234);
+
+    auto dispatch = a.label();
+    auto done = a.label();
+    std::vector<Assembler::Label> handlers(num_handlers);
+    for (auto &h : handlers)
+        h = a.label();
+
+    a.bind(dispatch);
+    a.bge(r_pcnt, r_n, done);
+    a.shli(r_t, r_pcnt, 3);
+    a.ldx(r_op, r_bc, r_t);     // bytecode fetch (streaming)
+    a.shli(r_u, r_op, 3);
+    a.ldx(r_target, r_jt, r_u); // handler table lookup (hot)
+    a.addi(r_pcnt, r_pcnt, 1);
+    a.jr(r_target);             // constantly mispredicted
+
+    // Generated handlers: distinct hash gathers + parallel updates.
+    for (uint32_t h = 0; h < num_handlers; ++h) {
+        a.bind(handlers[h]);
+        // Hash chain (distinct constants per handler), serial with
+        // the accumulator carried between dispatches.
+        a.xori(r_h, r_acc, int64_t(code_rng.next(0xffff)));
+        a.xor_(r_h, r_h, r_pcnt); // never-repeating address stream
+        a.muli(r_h, r_h, int64_t(code_rng.next(1 << 20) | 1));
+        a.shri(r_t, r_h, 5 + code_rng.next(14));
+        a.xor_(r_h, r_h, r_t);
+        emitHotColdOffset(a, r_h, r_h, 0x7fff, (1 << 24) - 1,
+                          r_t, r_u);
+        a.ldx(r_u, r_tab, r_h);     // delinquent hash gather
+        // Spill the state through the stack (IBDA blind spot).
+        a.st(sp, r_u, 8 * (1 + int64_t(h % 8)));
+        // Parallel updates keyed off the gathered value.
+        unsigned chains = 4 + code_rng.next(3);
+        for (unsigned k = 0; k < chains; ++k) {
+            RegId rk = static_cast<RegId>(r_w0 + k);
+            a.xori(rk, r_u, int64_t(code_rng.next(0x3ff)));
+            a.andi(rk, rk, 0xf8);
+            a.ldx(r_t, r_tbl, rk);
+            a.fmul(r_t, r_t, r_u);
+            a.stx(r_tbl, rk, r_t);
+        }
+        a.ld(r_acc, sp, 8 * (1 + int64_t(h % 8)));
+        a.jmp(dispatch);
+    }
+
+    a.bind(done);
+    a.halt();
+
+    // Jump table: handler static indices (resolved after binding).
+    for (uint32_t h = 0; h < num_handlers; ++h)
+        a.poke(jt_base + uint64_t(h) * 8, a.indexOf(handlers[h]));
+    return a.finish("perlbench");
+}
+
+/**
+ * gcc: compiler proxy. A long generated chain of basic blocks (the
+ * loop body exceeds the 32 KiB L1I) with per-block data-dependent
+ * skips and scattered hot/cold gathers: many distinct small slices
+ * and real icache pressure, making the one-byte critical prefix
+ * measurable (Fig 12).
+ */
+Program
+buildGcc(InputSet input)
+{
+    auto [work_words, seed] = scale2(input, 1u << 21, 1u << 21);
+    Rng data_rng(seed);
+    Rng code_rng(0xdeadbee5); // identical across inputs!
+    Assembler a;
+
+    const uint32_t num_blocks = 320;
+    const RegId r_heap = 61, r_n = 60, r_cnt = 59, r_gp = 58;
+    const RegId r_s = 10, r_t = 11, r_u = 12, r_g = 13, r_acc = 14;
+
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8, data_rng.next());
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(kHeapBase + data_rng.next(work_words) * 8,
+               data_rng.next());
+    a.poke(kGlobalBase, 400);
+    a.poke(kGlobalBase + 8, seed ^ 0x1111);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_heap, kHeapBase);
+    a.ld(r_n, r_gp, 0);
+    a.ld(r_s, r_gp, 8);
+    a.movi(r_cnt, 0);
+    a.movi(r_acc, 0);
+
+    auto top = a.label();
+    a.bind(top);
+    std::vector<Assembler::Label> skips(num_blocks);
+    for (auto &s : skips)
+        s = a.label();
+
+    for (uint32_t blk = 0; blk < num_blocks; ++blk) {
+        // Per-block ALU body: 8-20 ops with distinct constants.
+        uint32_t ops = 8 + code_rng.next(13);
+        for (uint32_t k = 0; k < ops; ++k) {
+            switch (code_rng.next(5)) {
+              case 0: a.muli(r_acc, r_acc,
+                             int64_t(code_rng.next(1 << 16) | 1));
+                      break;
+              case 1: a.xori(r_acc, r_acc,
+                             int64_t(code_rng.next(1 << 16))); break;
+              case 2: a.shri(r_t, r_acc, 1 + code_rng.next(24));
+                      a.xor_(r_acc, r_acc, r_t); break;
+              case 3: a.addi(r_acc, r_acc,
+                             int64_t(code_rng.next(512))); break;
+              default: a.ori(r_acc, r_acc,
+                             int64_t(code_rng.next(256))); break;
+            }
+        }
+        if (code_rng.next(3) == 0) {
+            // Occasional hot/cold gather: the serial spine is thin
+            // (muli/shri/xor-with-gather-value), so slices stay
+            // small while the per-block ALU work off r_acc stays
+            // outside them.
+            a.muli(r_s, r_s, 6364136223846793005LL);
+            a.shri(r_g, r_s, 19);
+            emitHotColdOffset(a, r_g, r_g, 0x7fff,
+                              int64_t(work_words) * 8 - 1, r_t, r_u);
+            a.ldx(r_u, r_heap, r_g);   // delinquent gather
+            a.xor_(r_s, r_s, r_u);     // serializes the spine
+            // Parallel block-local work off the gathered value.
+            for (int w = 0; w < 4; ++w) {
+                RegId rw = static_cast<RegId>(20 + w);
+                a.xori(rw, r_u, int64_t(code_rng.next(0xffff)));
+                a.fmul(rw, rw, r_u);
+                a.add(r_acc, r_acc, rw);
+            }
+        }
+        // Counter-patterned skip: perfectly learnable, so it stays
+        // below the §3.4 branch-slicing threshold.
+        a.andi(r_u, r_cnt, 3);
+        a.bne(r_u, 0, skips[blk]);
+        a.muli(r_acc, r_acc, 5);
+        a.xori(r_acc, r_acc, 0x2a);
+        a.bind(skips[blk]);
+    }
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, top);
+    a.halt();
+    return a.finish("gcc");
+}
+
+/**
+ * fotonik: FDTD field-update proxy. Three prefetchable streams whose
+ * address arithmetic is a deliberately fat slice; the only
+ * latency-critical load is a boundary gather every fourth cell.
+ * IBDA's MPKI-driven table fills with the streaming loads and their
+ * slices, over-prioritizing non-critical work (CRISP §5.2).
+ */
+Program
+buildFotonik(InputSet input)
+{
+    auto [cells, seed] = scale2(input, 60000, 150000);
+    Rng rng(seed);
+    Assembler a;
+
+    const RegId r_e = 61, r_h = 60, r_c = 59, r_bnd = 58, r_n = 57;
+    const RegId r_cnt = 56, r_gp = 55;
+    const RegId r_ae = 10, r_ah = 11, r_ac = 12, r_ve = 13;
+    const RegId r_vh = 14, r_vc = 15, r_t = 16, r_u = 17, r_g = 18;
+    const RegId r_w0 = 20; // boundary work r20..r25
+
+    const uint64_t e_base = kHeapBase;
+    const uint64_t h_base = kHeapBase + (1ULL << 25);
+    const uint64_t c_base = kHeapBase + (1ULL << 26);
+    const uint64_t bnd_base = kHeapBase + (1ULL << 27);
+    for (uint32_t i = 0; i < cells; ++i) {
+        a.poke(e_base + uint64_t(i) * 8, rng.next(1000));
+        a.poke(h_base + uint64_t(i) * 8, rng.next(1000));
+        a.poke(c_base + uint64_t(i) * 8, rng.next(7) + 1);
+    }
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(bnd_base + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(bnd_base + rng.next(1u << 21) * 8, rng.next());
+    a.poke(kGlobalBase, cells - 2);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_e, e_base);
+    a.movi(r_h, h_base);
+    a.movi(r_c, c_base);
+    a.movi(r_bnd, bnd_base);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_cnt, 0);
+    a.movi(r_g, 1);
+
+    auto loop = a.label();
+    auto no_bnd = a.label();
+
+    a.bind(loop);
+    // Fat (but non-critical) address slices: each stream address is
+    // recomputed through a chain instead of a stride register.
+    a.muli(r_ae, r_cnt, 8);
+    a.add(r_ae, r_ae, r_e);
+    a.muli(r_ah, r_cnt, 8);
+    a.add(r_ah, r_ah, r_h);
+    a.muli(r_ac, r_cnt, 8);
+    a.add(r_ac, r_ac, r_c);
+    a.ld(r_ve, r_ae, 0);        // streaming (BOP-covered)
+    a.ld(r_vh, r_ah, 8);        // streaming
+    a.ld(r_vc, r_ac, 0);        // streaming
+    a.fmul(r_t, r_vh, r_vc);
+    a.fadd(r_ve, r_ve, r_t);
+    a.st(r_ae, r_ve, 0);
+    // Boundary gather every other cell: the actually-critical load,
+    // serial through r_g.
+    a.andi(r_u, r_cnt, 1);
+    a.bne(r_u, 0, no_bnd);
+    a.muli(r_g, r_g, 0x9e3779b1);
+    a.addi(r_g, r_g, 0x7f4a7c15);
+    a.shri(r_t, r_g, 7);
+    a.xor_(r_g, r_g, r_t);
+    emitHotColdOffset(a, r_t, r_g, 0xffff, (1 << 23) - 1, r_u,
+                      r_vh);
+    a.ldx(r_u, r_bnd, r_t);     // delinquent boundary gather
+    a.xor_(r_g, r_g, r_u);      // serializes the next gather
+    // Boundary work: 6 parallel FP chains off the gather, kept out
+    // of the serial carry so they stay non-critical.
+    for (int k = 0; k < 6; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_u, k * 61 + 17);
+        a.fmul(rk, rk, r_u);
+        a.fadd(r_ve, r_ve, rk);
+    }
+    a.bind(no_bnd);
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("fotonik");
+}
+
+/**
+ * cactus: structured-grid proxy with a limiter branch. The limiter
+ * condition hangs off the serial gather, and the gather behind the
+ * (mispredicting) branch is only reachable once it resolves, so load
+ * and branch slicing combine super-additively (CRISP §5.3).
+ */
+Program
+buildCactus(InputSet input)
+{
+    auto [cells, seed] = scale2(input, 60000, 150000);
+    Rng rng(seed);
+    Assembler a;
+
+    const RegId r_grid = 61, r_tab = 60, r_tbl = 59, r_n = 58;
+    const RegId r_cnt = 57, r_gp = 56, r_sp = 62;
+    const RegId r_v = 10, r_t = 11, r_u = 12, r_g = 13, r_acc = 14;
+    const RegId r_w0 = 20; // smooth work r20..r27
+
+    const uint64_t tab_base = kHeapBase + (1ULL << 26);
+    for (uint32_t i = 0; i < cells; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(tab_base + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(tab_base + rng.next(1u << 21) * 8, rng.next(500));
+    for (uint32_t i = 0; i < 128; ++i)
+        a.poke(kStaticBase + i * 8, rng.next());
+    a.poke(kGlobalBase, cells - 2);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_sp, kStackBase);
+    a.movi(r_grid, kHeapBase);
+    a.movi(r_tab, tab_base);
+    a.movi(r_tbl, kStaticBase);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_cnt, 0);
+    a.movi(r_acc, 0);
+
+    auto loop = a.label();
+    auto smooth = a.label();
+    auto join = a.label();
+
+    a.bind(loop);
+    a.shli(r_t, r_cnt, 3);
+    a.ldx(r_v, r_grid, r_t);    // streaming center cell
+    // Serial gather: the chain starts directly off the previous
+    // gather's register value and spills the hashed index through
+    // the stack (through-memory slice, IBDA blind spot).
+    a.xor_(r_g, r_u, r_v);
+    a.muli(r_g, r_g, 0x85ebca6b);
+    a.shri(r_t, r_g, 11);
+    a.xor_(r_g, r_g, r_t);
+    a.st(r_sp, r_g, 48);
+    a.ld(r_g, r_sp, 48);
+    emitHotColdOffset(a, r_g, r_g, 0xffff, (1 << 23) - 1, r_t,
+                      r_acc);
+    a.ldx(r_u, r_tab, r_g);     // delinquent gather (serial)
+    // Smoothing work: 8 parallel chains off the gathered value.
+    for (int k = 0; k < 8; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_u, k * 31 + 3);
+        a.andi(rk, rk, 0x3f8);
+        a.ldx(r_t, r_tbl, rk);
+        a.fmul(r_t, r_t, r_u);
+        a.stx(r_tbl, rk, r_t);
+    }
+    // Limiter branch: condition off the gather, behind the work.
+    a.xor_(r_t, r_u, r_v);
+    a.andi(r_t, r_t, 3);
+    a.bne(r_t, 0, smooth);      // ~25% limiter path
+    a.fadd(r_acc, r_acc, r_u);
+    a.fmul(r_acc, r_acc, r_acc);
+    a.jmp(join);
+    a.bind(smooth);
+    a.fadd(r_acc, r_acc, r_v);
+    a.bind(join);
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("cactus");
+}
+
+/**
+ * nab: molecular-dynamics proxy. Mostly FP work; an exclusion branch
+ * whose condition chain includes a hot/cold parameter gather
+ * mispredicts often, so branch slices alone recover several percent
+ * (CRISP §5.3); pure load slicing has little to chew on.
+ */
+Program
+buildNab(InputSet input)
+{
+    auto [pairs, seed] = scale2(input, 60000, 180000);
+    Rng rng(seed);
+    Assembler a;
+
+    const RegId r_flags = 61, r_par = 60, r_n = 59, r_cnt = 58;
+    const RegId r_gp = 57;
+    const RegId r_f = 10, r_t = 11, r_u = 12, r_x = 13, r_y = 14;
+    const RegId r_z = 15, r_g = 16;
+    const RegId r_w0 = 20; // FP work r20..r27
+
+    const uint64_t par_base = kHeapBase + (1ULL << 26);
+    for (uint32_t i = 0; i < pairs; ++i)
+        a.poke(kHeapBase + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(par_base + uint64_t(i) * 8, rng.next());
+    for (uint32_t i = 0; i < 8192; ++i)
+        a.poke(par_base + rng.next(1u << 21) * 8, rng.next());
+    a.poke(kGlobalBase, pairs - 1);
+
+    a.movi(r_gp, kGlobalBase);
+    a.movi(r_flags, kHeapBase);
+    a.movi(r_par, par_base);
+    a.ld(r_n, r_gp, 0);
+    a.movi(r_cnt, 0);
+    a.movi(r_x, 3);
+    a.movi(r_y, 5);
+    a.movi(r_g, 1);
+
+    auto loop = a.label();
+    auto excluded = a.label();
+    auto join = a.label();
+
+    a.bind(loop);
+    a.shli(r_t, r_cnt, 3);
+    a.ldx(r_f, r_flags, r_t);   // pair flags (streaming)
+    // Exclusion condition: includes a hot/cold parameter gather,
+    // serial through r_g, placed behind the FP work below.
+    a.xor_(r_g, r_g, r_f);
+    a.muli(r_g, r_g, 0x27d4eb2f);
+    a.shri(r_u, r_g, 9);
+    emitHotColdOffset(a, r_u, r_u, 0xffff, (1 << 23) - 1, r_t,
+                      r_z);
+    a.ldx(r_g, r_par, r_u);     // delinquent parameter gather
+    // Force evaluation: 8 parallel FP chains off the parameters.
+    for (int k = 0; k < 8; ++k) {
+        RegId rk = static_cast<RegId>(r_w0 + k);
+        a.xori(rk, r_g, k * 43 + 7);
+        a.fmul(rk, rk, r_x);
+        a.fadd(r_y, r_y, rk);
+    }
+    // Exclusion branch (data-random ~25%), behind the work.
+    a.xor_(r_u, r_g, r_f);
+    a.andi(r_u, r_u, 3);
+    a.beq(r_u, 0, excluded);
+    a.fmul(r_z, r_x, r_y);
+    a.fadd(r_x, r_x, r_z);
+    a.jmp(join);
+    a.bind(excluded);
+    a.addi(r_y, r_y, 1);
+    a.bind(join);
+    a.addi(r_cnt, r_cnt, 1);
+    a.blt(r_cnt, r_n, loop);
+    a.halt();
+    return a.finish("nab");
+}
+
+} // namespace crisp

@@ -1,0 +1,96 @@
+#include "workloads/workload.h"
+
+#include <algorithm>
+
+namespace crisp
+{
+
+std::vector<uint32_t>
+randomPermutation(uint32_t n, Rng &rng)
+{
+    std::vector<uint32_t> perm(n);
+    for (uint32_t i = 0; i < n; ++i)
+        perm[i] = i;
+    for (uint32_t i = n; i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.next(i)]);
+    return perm;
+}
+
+void
+emitHotColdOffset(Assembler &a, RegId out, RegId idx,
+                  int64_t hot_mask, int64_t cold_mask,
+                  RegId t1, RegId t2)
+{
+    // cold if (idx & 0x18) == 0 (~25%); sel = 0 or ~0 mask.
+    a.andi(t1, idx, 0x18);
+    a.slti(t1, t1, 1);        // 1 if cold
+    a.movi(t2, 0);
+    a.sub(t2, t2, t1);        // all-ones if cold
+    a.andi(out, idx, cold_mask & ~7);
+    a.and_(out, out, t2);     // cold offset or 0
+    a.xori(t2, t2, -1);       // invert mask
+    a.andi(t1, idx, hot_mask & ~7);
+    a.and_(t1, t1, t2);       // hot offset or 0
+    a.or_(out, out, t1);
+}
+
+const std::vector<WorkloadInfo> &
+workloadRegistry()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"pointer_chase",
+         "Fig 1/2 linked-list + vector-multiply microbenchmark",
+         &buildPointerChase},
+        {"mcf", "pointer-heavy network simplex; low-MLP misses",
+         &buildMcf},
+        {"lbm", "stencil with hard-to-predict data-dependent branch",
+         &buildLbm},
+        {"omnetpp", "binary-heap event queue; pointer chasing",
+         &buildOmnetpp},
+        {"xhpcg", "CSR sparse mat-vec gather; indirect indices",
+         &buildXhpcg},
+        {"bwaves", "high-MPKI loads in high-MLP phases (non-critical)",
+         &buildBwaves},
+        {"namd", "force loop; address slice spilled through memory",
+         &buildNamd},
+        {"deepsjeng", "branchy search; branch slices dominate",
+         &buildDeepsjeng},
+        {"perlbench", "interpreter dispatch; >10k critical statics",
+         &buildPerlbench},
+        {"gcc", "many distinct slices; icache pressure", &buildGcc},
+        {"fotonik", "FDTD sweep; IBDA over-selection hurts",
+         &buildFotonik},
+        {"cactus", "grid kernel; branch+load slicing super-additive",
+         &buildCactus},
+        {"nab", "molecular dynamics proxy; branch-slice gains",
+         &buildNab},
+        {"moses", "phrase-table decoder proxy; very long slices",
+         &buildMoses},
+        {"memcached", "hash + chain lookup service proxy",
+         &buildMemcached},
+        {"imgdnn", "dense inference with indirection; high base ILP",
+         &buildImgdnn},
+    };
+    return registry;
+}
+
+const WorkloadInfo *
+findWorkload(const std::string &name)
+{
+    for (const auto &info : workloadRegistry()) {
+        if (info.name == name)
+            return &info;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &info : workloadRegistry())
+        names.push_back(info.name);
+    return names;
+}
+
+} // namespace crisp

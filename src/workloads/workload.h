@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Workload registry and shared builder utilities.
+ *
+ * Each workload is a proxy kernel reproducing the memory/branch
+ * pathology the paper reports for one evaluated application (see
+ * DESIGN.md §5). A builder must emit *identical code* for the Train
+ * and Ref input sets — only the initial data (sizes, seeds, layouts)
+ * may differ — mirroring the paper's use of SPEC train inputs for
+ * profiling and ref inputs for evaluation (CRISP §5.1).
+ */
+
+#ifndef CRISP_WORKLOADS_WORKLOAD_H
+#define CRISP_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/program.h"
+#include "vm/assembler.h"
+
+namespace crisp
+{
+
+/** Which input parameterisation to build (CRISP §5.1). */
+enum class InputSet { Train, Ref };
+
+/** A registered workload proxy. */
+struct WorkloadInfo
+{
+    /** Short id, e.g. "mcf". */
+    std::string name;
+    /** What pathology this proxy reproduces. */
+    std::string description;
+    /** Builds the program for the given input set. */
+    Program (*build)(InputSet);
+};
+
+/** @return all registered workloads, in evaluation order. */
+const std::vector<WorkloadInfo> &workloadRegistry();
+
+/** @return the workload named @p name, or nullptr. */
+const WorkloadInfo *findWorkload(const std::string &name);
+
+/** @return the names of all registered workloads. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Deterministic xorshift64* RNG used by the builders so Train and Ref
+ * layouts are reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15)
+    {}
+
+    /** @return the next 64-bit pseudo-random value. */
+    uint64_t next()
+    {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** @return a value in [0, bound). */
+    uint64_t next(uint64_t bound) { return bound ? next() % bound : 0; }
+
+  private:
+    uint64_t state_;
+};
+
+/** @return a random permutation of 0..n-1. */
+std::vector<uint32_t> randomPermutation(uint32_t n, Rng &rng);
+
+// Shared memory-map constants for all builders.
+constexpr uint64_t kGlobalBase = 0x100000;  ///< parameter block
+constexpr uint64_t kStackBase = 0x180000;   ///< stack slots
+constexpr uint64_t kStaticBase = 0x200000;  ///< small hot arrays
+constexpr uint64_t kHeapBase = 0x1000000;   ///< large working sets
+
+/**
+ * Emits a branch-free hot/cold gather address: three quarters of the
+ * dynamic indices map into a small LLC-resident window of the target
+ * region, one quarter into the full (DRAM-sized) region. This gives
+ * delinquent loads the 20-40% LLC miss ratios the paper's selection
+ * heuristic targets (CRISP §3.2) while keeping AMAT in the regime
+ * where scheduling slack is a meaningful fraction of latency.
+ *
+ * @param a assembler to emit into
+ * @param out receives the byte offset (add to the region base)
+ * @param idx pseudo-random index source (clobbered: use a temp)
+ * @param hot_mask byte mask of the hot window (e.g. 128 KiB - 8)
+ * @param cold_mask byte mask of the full region (e.g. 16 MiB - 8)
+ * @param t1 scratch register
+ * @param t2 scratch register
+ */
+void emitHotColdOffset(Assembler &a, RegId out, RegId idx,
+                       int64_t hot_mask, int64_t cold_mask,
+                       RegId t1, RegId t2);
+
+// Individual builders (registered in workloadRegistry()).
+Program buildPointerChase(InputSet input);
+/** pointer_chase with the manual prefetch of Fig 2 (examples only). */
+Program buildPointerChasePrefetch(InputSet input);
+Program buildMcf(InputSet input);
+Program buildLbm(InputSet input);
+Program buildOmnetpp(InputSet input);
+Program buildXhpcg(InputSet input);
+Program buildBwaves(InputSet input);
+Program buildNamd(InputSet input);
+Program buildDeepsjeng(InputSet input);
+Program buildPerlbench(InputSet input);
+Program buildGcc(InputSet input);
+Program buildFotonik(InputSet input);
+Program buildCactus(InputSet input);
+Program buildNab(InputSet input);
+Program buildMoses(InputSet input);
+Program buildMemcached(InputSet input);
+Program buildImgdnn(InputSet input);
+
+} // namespace crisp
+
+#endif // CRISP_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit and property tests for the age-matrix scheduler primitive —
+ * the paper's §4.2 circuit. The central property: under arbitrary
+ * allocate/free sequences (RAND slot reuse included), selectOldest()
+ * always returns the candidate with the smallest allocation
+ * timestamp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/age_matrix.h"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(SlotVector, BasicOps)
+{
+    SlotVector v(100);
+    EXPECT_FALSE(v.any());
+    v.set(3);
+    v.set(77);
+    EXPECT_TRUE(v.test(3));
+    EXPECT_TRUE(v.test(77));
+    EXPECT_FALSE(v.test(4));
+    EXPECT_TRUE(v.any());
+    v.clear(3);
+    EXPECT_FALSE(v.test(3));
+    v.clearAll();
+    EXPECT_FALSE(v.any());
+    v.setAll();
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(99));
+}
+
+TEST(SlotVector, Disjoint)
+{
+    SlotVector a(64), b(64);
+    a.set(5);
+    b.set(6);
+    EXPECT_TRUE(a.disjoint(b));
+    b.set(5);
+    EXPECT_FALSE(a.disjoint(b));
+}
+
+TEST(AgeMatrix, SimpleOrder)
+{
+    AgeMatrix age(8);
+    age.allocate(3);
+    age.allocate(1);
+    age.allocate(6);
+    SlotVector cand(8);
+    cand.set(3);
+    cand.set(1);
+    cand.set(6);
+    EXPECT_EQ(age.selectOldest(cand), 3);
+    cand.clear(3);
+    EXPECT_EQ(age.selectOldest(cand), 1);
+    cand.clear(1);
+    EXPECT_EQ(age.selectOldest(cand), 6);
+    cand.clear(6);
+    EXPECT_EQ(age.selectOldest(cand), -1);
+}
+
+TEST(AgeMatrix, SlotReuseMakesEntryYoungest)
+{
+    AgeMatrix age(4);
+    age.allocate(0);
+    age.allocate(1);
+    age.allocate(2);
+    // Slot 0 freed and re-allocated: now the youngest.
+    age.allocate(0);
+    SlotVector cand(4);
+    cand.set(0);
+    cand.set(1);
+    cand.set(2);
+    EXPECT_EQ(age.selectOldest(cand), 1);
+}
+
+TEST(AgeMatrix, NonCandidatesDoNotInterfere)
+{
+    AgeMatrix age(8);
+    age.allocate(2); // oldest but not a candidate
+    age.allocate(5);
+    age.allocate(7);
+    SlotVector cand(8);
+    cand.set(5);
+    cand.set(7);
+    EXPECT_EQ(age.selectOldest(cand), 5);
+}
+
+/**
+ * Property: a reference model tracking allocation timestamps agrees
+ * with the matrix for random allocate/free/candidate sequences.
+ */
+class AgeMatrixPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AgeMatrixPropertyTest, MatchesTimestampReference)
+{
+    const unsigned slots = 48;
+    AgeMatrix age(slots);
+    std::vector<int64_t> stamp(slots, -1); // -1 = free
+    int64_t clock = 0;
+    uint64_t rng = uint64_t(GetParam()) * 0x9e3779b97f4a7c15ULL + 1;
+    auto rnd = [&rng](uint64_t bound) {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        return (rng * 0x2545f4914f6cdd1dULL) % bound;
+    };
+
+    for (int step = 0; step < 3000; ++step) {
+        unsigned action = unsigned(rnd(3));
+        if (action == 0) {
+            // Allocate into a random free slot if any.
+            std::vector<unsigned> free_slots;
+            for (unsigned s = 0; s < slots; ++s)
+                if (stamp[s] < 0)
+                    free_slots.push_back(s);
+            if (!free_slots.empty()) {
+                unsigned s = free_slots[rnd(free_slots.size())];
+                age.allocate(s);
+                stamp[s] = clock++;
+            }
+        } else if (action == 1) {
+            // Free a random occupied slot.
+            std::vector<unsigned> used;
+            for (unsigned s = 0; s < slots; ++s)
+                if (stamp[s] >= 0)
+                    used.push_back(s);
+            if (!used.empty())
+                stamp[used[rnd(used.size())]] = -1;
+        } else {
+            // Query: random candidate subset of occupied slots.
+            SlotVector cand(slots);
+            int64_t best_stamp = INT64_MAX;
+            int best_slot = -1;
+            for (unsigned s = 0; s < slots; ++s) {
+                if (stamp[s] >= 0 && rnd(2)) {
+                    cand.set(s);
+                    if (stamp[s] < best_stamp) {
+                        best_stamp = stamp[s];
+                        best_slot = int(s);
+                    }
+                }
+            }
+            ASSERT_EQ(age.selectOldest(cand), best_slot)
+                << "at step " << step;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AgeMatrixPropertyTest,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the branch predictors, BTB and RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bp/bimodal.h"
+#include "bp/btb.h"
+#include "bp/gshare.h"
+#include "bp/ras.h"
+#include "bp/tage.h"
+
+namespace crisp
+{
+namespace
+{
+
+/** Measures accuracy of @p pred on @p n outcomes from @p gen. */
+template <typename Gen>
+double
+accuracy(DirectionPredictor &pred, unsigned n, Gen gen,
+         uint64_t pc = 0x4000)
+{
+    unsigned correct = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        bool taken = gen(i);
+        if (pred.predict(pc) == taken)
+            ++correct;
+        pred.update(pc, taken);
+    }
+    return double(correct) / double(n);
+}
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor pred;
+    double acc =
+        accuracy(pred, 2000, [](unsigned) { return true; });
+    EXPECT_GT(acc, 0.99);
+}
+
+TEST(Bimodal, TracksPerPcIndependently)
+{
+    BimodalPredictor pred;
+    for (int i = 0; i < 100; ++i) {
+        pred.predict(0x1000);
+        pred.update(0x1000, true);
+        pred.predict(0x2000);
+        pred.update(0x2000, false);
+    }
+    EXPECT_TRUE(pred.predict(0x1000));
+    EXPECT_FALSE(pred.predict(0x2000));
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    GsharePredictor pred;
+    double acc =
+        accuracy(pred, 4000, [](unsigned i) { return i % 2 == 0; });
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Tage, LearnsShortPeriodPattern)
+{
+    TagePredictor pred;
+    double acc =
+        accuracy(pred, 6000, [](unsigned i) { return i % 4 == 0; });
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(Tage, LearnsLongPeriodLoopExit)
+{
+    // A loop taken 31 times then not taken: needs ~32 bits of
+    // history, beyond bimodal and short-history predictors.
+    TagePredictor tage;
+    double acc = accuracy(tage, 20000,
+                          [](unsigned i) { return i % 32 != 31; });
+    EXPECT_GT(acc, 0.97);
+
+    BimodalPredictor bi;
+    double bacc = accuracy(bi, 20000,
+                           [](unsigned i) { return i % 32 != 31; });
+    EXPECT_GT(acc, bacc); // TAGE strictly better here
+}
+
+TEST(Tage, RandomOutcomesNearChance)
+{
+    TagePredictor pred;
+    uint64_t s = 12345;
+    double acc = accuracy(pred, 8000, [&s](unsigned) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return (s >> 33) & 1;
+    });
+    EXPECT_LT(acc, 0.62); // cannot predict true randomness
+    EXPECT_GT(acc, 0.38);
+}
+
+TEST(Tage, InterferenceAcrossManyBranches)
+{
+    // 256 branches with distinct biases must coexist.
+    TagePredictor pred;
+    unsigned correct = 0, total = 0;
+    for (unsigned round = 0; round < 60; ++round) {
+        for (unsigned b = 0; b < 256; ++b) {
+            uint64_t pc = 0x1000 + b * 12;
+            bool taken = (b & 1) != 0;
+            if (round > 10) {
+                ++total;
+                correct += pred.predict(pc) == taken;
+            } else {
+                pred.predict(pc);
+            }
+            pred.update(pc, taken);
+        }
+    }
+    EXPECT_GT(double(correct) / double(total), 0.9);
+}
+
+// -------------------------------------------------------------- BTB
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb(64, 4);
+    uint64_t target = 0;
+    EXPECT_FALSE(btb.lookup(0x1000, target));
+    btb.update(0x1000, 0x2000);
+    EXPECT_TRUE(btb.lookup(0x1000, target));
+    EXPECT_EQ(target, 0x2000u);
+}
+
+TEST(Btb, UpdateReplacesTarget)
+{
+    Btb btb(64, 4);
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    uint64_t target = 0;
+    ASSERT_TRUE(btb.lookup(0x1000, target));
+    EXPECT_EQ(target, 0x3000u);
+}
+
+TEST(Btb, LruEvictionWithinSet)
+{
+    Btb btb(8, 2); // 4 sets, 2 ways
+    // Three PCs mapping to the same set (stride = 2*sets = 8 pcs
+    // apart at >>1 indexing): pc, pc+8, pc+16 share set (pc>>1)%4.
+    uint64_t p0 = 0x1000, p1 = 0x1008, p2 = 0x1010;
+    btb.update(p0, 1);
+    btb.update(p1, 2);
+    uint64_t t = 0;
+    ASSERT_TRUE(btb.lookup(p0, t)); // p0 most recently used
+    btb.update(p2, 3);              // evicts p1 (LRU)
+    EXPECT_TRUE(btb.lookup(p0, t));
+    EXPECT_FALSE(btb.lookup(p1, t));
+    EXPECT_TRUE(btb.lookup(p2, t));
+}
+
+TEST(Btb, CountsHitsAndLookups)
+{
+    Btb btb(64, 4);
+    uint64_t t;
+    btb.lookup(0x1000, t);
+    btb.update(0x1000, 0x2000);
+    btb.lookup(0x1000, t);
+    EXPECT_EQ(btb.lookups(), 2u);
+    EXPECT_EQ(btb.hits(), 1u);
+}
+
+// -------------------------------------------------------------- RAS
+
+TEST(Ras, LifoOrder)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_EQ(ras.pop(), 0u); // empty
+}
+
+TEST(Ras, OverflowWrapsOldestEntries)
+{
+    Ras ras(4);
+    for (uint64_t i = 1; i <= 6; ++i)
+        ras.push(i * 0x10);
+    EXPECT_EQ(ras.size(), 4u);
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    EXPECT_EQ(ras.pop(), 0u); // 0x10/0x20 were overwritten
+}
+
+} // namespace
+} // namespace crisp

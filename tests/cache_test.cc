@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit and property tests for the cache model: hits/misses, LRU,
+ * in-flight (MSHR-merge) timing, MSHR capacity stalls, dirty lines
+ * and prefetch accounting. Geometry is swept with TEST_P.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+
+namespace crisp
+{
+namespace
+{
+
+CacheConfig
+smallCache()
+{
+    return CacheConfig{1024, 2, 64, 4, 2}; // 8 sets, 2 ways, 2 MSHRs
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c("t", smallCache());
+    auto r1 = c.lookup(0x1000, 100);
+    EXPECT_FALSE(r1.hit);
+    c.fill(0x1000, 150);
+    auto r2 = c.lookup(0x1000, 200);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_FALSE(r2.inFlight);
+    EXPECT_EQ(r2.readyCycle, 200u + 4u);
+    EXPECT_EQ(c.stats().accesses, 2u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentWordsHit)
+{
+    Cache c("t", smallCache());
+    c.fill(0x1000, 0);
+    EXPECT_TRUE(c.lookup(0x1008, 10).hit);
+    EXPECT_TRUE(c.lookup(0x103f, 10).hit);
+    EXPECT_FALSE(c.lookup(0x1040, 10).hit); // next line
+}
+
+TEST(Cache, InFlightMergeObservesFillTime)
+{
+    Cache c("t", smallCache());
+    c.lookup(0x2000, 100);
+    c.fill(0x2000, 400); // miss completes at 400
+    auto merged = c.lookup(0x2000, 150);
+    EXPECT_TRUE(merged.hit);
+    EXPECT_TRUE(merged.inFlight);
+    EXPECT_EQ(merged.readyCycle, 400u + 4u);
+    EXPECT_EQ(c.stats().mshrMerges, 1u);
+    // After the data arrives, hits are normal.
+    auto later = c.lookup(0x2000, 500);
+    EXPECT_FALSE(later.inFlight);
+    EXPECT_EQ(later.readyCycle, 504u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c("t", smallCache()); // 8 sets => set stride 8 lines
+    uint64_t set_stride = 8 * 64;
+    uint64_t a0 = 0x10000;
+    uint64_t a1 = a0 + set_stride;
+    uint64_t a2 = a0 + 2 * set_stride;
+    c.fill(a0, 0);
+    c.fill(a1, 0);
+    c.lookup(a0, 10);  // refresh a0
+    c.fill(a2, 20);    // evicts a1
+    EXPECT_TRUE(c.contains(a0));
+    EXPECT_FALSE(c.contains(a1));
+    EXPECT_TRUE(c.contains(a2));
+}
+
+TEST(Cache, DirtyVictimCountsWriteback)
+{
+    Cache c("t", smallCache());
+    uint64_t set_stride = 8 * 64;
+    uint64_t a0 = 0x10000;
+    c.fill(a0, 0);
+    c.markDirty(a0);
+    c.fill(a0 + set_stride, 0);
+    uint64_t evicted = c.fill(a0 + 2 * set_stride, 0); // evicts a0
+    EXPECT_EQ(evicted, a0);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, MshrCapacityDelaysExtraMisses)
+{
+    Cache c("t", smallCache()); // 2 MSHRs
+    EXPECT_EQ(c.allocateMshr(100, 300), 300u);
+    EXPECT_EQ(c.allocateMshr(100, 310), 310u);
+    // Third concurrent miss must wait for the earliest completion.
+    uint64_t delayed = c.allocateMshr(100, 320);
+    EXPECT_EQ(delayed, 320u + (300u - 100u));
+    EXPECT_EQ(c.stats().mshrStallCycles, 200u);
+    // Once time passes the completions, slots free up again.
+    EXPECT_EQ(c.allocateMshr(1000, 1200), 1200u);
+}
+
+TEST(Cache, PrefetchAccounting)
+{
+    Cache c("t", smallCache());
+    c.fill(0x3000, 100, /*is_prefetch=*/true);
+    EXPECT_EQ(c.stats().prefetchFills, 1u);
+    c.lookup(0x3000, 200);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+    // Only the first demand hit counts as a prefetch hit.
+    c.lookup(0x3000, 300);
+    EXPECT_EQ(c.stats().prefetchHits, 1u);
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache c("t", smallCache());
+    c.fill(0x1000, 0);
+    c.lookup(0x1000, 10);
+    c.reset();
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(CacheStats, MissRatio)
+{
+    CacheStats s;
+    EXPECT_EQ(s.missRatio(), 0.0);
+    s.accesses = 10;
+    s.misses = 4;
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.4);
+}
+
+// ------------------------------------------- parameterized geometry
+
+struct Geometry
+{
+    uint64_t size;
+    unsigned ways;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheGeometryTest, FullyPopulatedSetRetainsWays)
+{
+    auto [size, ways] = GetParam();
+    CacheConfig cfg{size, ways, 64, 4, 8};
+    Cache c("t", cfg);
+    unsigned sets = unsigned(size / (uint64_t(ways) * 64));
+    uint64_t stride = uint64_t(sets) * 64;
+    // Fill exactly `ways` lines of one set: all must be resident.
+    for (unsigned w = 0; w < ways; ++w)
+        c.fill(0x40000 + w * stride, 0);
+    for (unsigned w = 0; w < ways; ++w)
+        EXPECT_TRUE(c.contains(0x40000 + w * stride));
+    // One more evicts exactly one line.
+    c.fill(0x40000 + uint64_t(ways) * stride, 0);
+    unsigned resident = 0;
+    for (unsigned w = 0; w <= ways; ++w)
+        resident += c.contains(0x40000 + w * stride);
+    EXPECT_EQ(resident, ways);
+}
+
+TEST_P(CacheGeometryTest, WorkingSetSmallerThanCacheAlwaysHits)
+{
+    auto [size, ways] = GetParam();
+    CacheConfig cfg{size, ways, 64, 4, 8};
+    Cache c("t", cfg);
+    uint64_t lines = size / 64 / 2; // half capacity
+    for (uint64_t i = 0; i < lines; ++i)
+        c.fill(0x100000 + i * 64, 0);
+    for (uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.lookup(0x100000 + i * 64, 10).hit);
+    EXPECT_EQ(c.stats().misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(Geometry{4096, 1}, Geometry{8192, 2},
+                      Geometry{32768, 8}, Geometry{1048576, 20}));
+
+} // namespace
+} // namespace crisp

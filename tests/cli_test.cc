@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the crisp_sim command-line parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cli.h"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(Cli, Defaults)
+{
+    CliOptions opt = parseCli({});
+    EXPECT_TRUE(opt.ok());
+    EXPECT_EQ(opt.workload, "pointer_chase");
+    EXPECT_EQ(opt.scheduler, "both");
+    EXPECT_FALSE(opt.listWorkloads);
+    EXPECT_FALSE(opt.machine.enableCriticalDram);
+}
+
+TEST(Cli, ParsesEverything)
+{
+    CliOptions opt = parseCli(
+        {"--workload", "lbm", "--scheduler", "crisp", "--ist",
+         "64K", "--train", "12345", "--ref", "67890", "--rs", "144",
+         "--rob", "336", "--threshold", "0.02",
+         "--no-branch-slices", "--no-cp-filter", "--no-mem-deps",
+         "--critical-dram", "--div-slices", "--save-trace",
+         "/tmp/x.bin"});
+    ASSERT_TRUE(opt.ok()) << opt.error;
+    EXPECT_EQ(opt.workload, "lbm");
+    EXPECT_EQ(opt.scheduler, "crisp");
+    EXPECT_EQ(opt.ist, "64K");
+    EXPECT_EQ(opt.trainOps, 12345u);
+    EXPECT_EQ(opt.refOps, 67890u);
+    EXPECT_EQ(opt.machine.rsSize, 144u);
+    EXPECT_EQ(opt.machine.robSize, 336u);
+    EXPECT_DOUBLE_EQ(opt.analysis.missShareThreshold, 0.02);
+    EXPECT_FALSE(opt.analysis.enableBranchSlices);
+    EXPECT_FALSE(opt.analysis.criticalPathFilter);
+    EXPECT_FALSE(opt.analysis.memDependencies);
+    EXPECT_TRUE(opt.machine.enableCriticalDram);
+    EXPECT_TRUE(opt.analysis.enableLongLatencySlices);
+    EXPECT_EQ(opt.saveTracePath, "/tmp/x.bin");
+}
+
+TEST(Cli, HelpAndList)
+{
+    EXPECT_TRUE(parseCli({"--help"}).showHelp);
+    EXPECT_TRUE(parseCli({"--list"}).listWorkloads);
+    EXPECT_FALSE(cliUsage().empty());
+}
+
+TEST(Cli, RejectsUnknownFlag)
+{
+    CliOptions opt = parseCli({"--frobnicate"});
+    EXPECT_FALSE(opt.ok());
+    EXPECT_NE(opt.error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(Cli, RejectsMissingValue)
+{
+    CliOptions opt = parseCli({"--workload"});
+    EXPECT_FALSE(opt.ok());
+}
+
+TEST(Cli, RejectsBadScheduler)
+{
+    CliOptions opt = parseCli({"--scheduler", "magic"});
+    EXPECT_FALSE(opt.ok());
+}
+
+TEST(Cli, RejectsZeroTraceLength)
+{
+    CliOptions opt = parseCli({"--train", "0"});
+    EXPECT_FALSE(opt.ok());
+}
+
+} // namespace
+} // namespace crisp

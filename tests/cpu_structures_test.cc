@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the core's structural components: reservation
+ * station, ROB, load/store queues and functional unit ports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/functional_units.h"
+#include "cpu/lsq.h"
+#include "cpu/reservation_station.h"
+#include "cpu/rob.h"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(ReservationStation, InsertReleaseOccupancy)
+{
+    ReservationStation rs(4);
+    DynInst insts[5];
+    MicroOp op;
+    for (auto &inst : insts)
+        inst.reset(0, &op, 0);
+
+    EXPECT_FALSE(rs.full());
+    int s0 = rs.insert(&insts[0]);
+    int s1 = rs.insert(&insts[1]);
+    rs.insert(&insts[2]);
+    rs.insert(&insts[3]);
+    EXPECT_TRUE(rs.full());
+    EXPECT_EQ(rs.occupancy(), 4u);
+    EXPECT_EQ(rs.at(unsigned(s0)), &insts[0]);
+
+    rs.release(s1);
+    EXPECT_FALSE(rs.full());
+    EXPECT_EQ(rs.at(unsigned(s1)), nullptr);
+    EXPECT_EQ(insts[1].rsSlot, -1);
+    int s4 = rs.insert(&insts[4]);
+    EXPECT_EQ(s4, s1); // freed slot reused
+}
+
+TEST(ReservationStation, AgeTracksInsertionOrder)
+{
+    ReservationStation rs(8);
+    DynInst a, b, c;
+    MicroOp op;
+    a.reset(0, &op, 0);
+    b.reset(1, &op, 0);
+    c.reset(2, &op, 0);
+    int sa = rs.insert(&a);
+    int sb = rs.insert(&b);
+    int sc = rs.insert(&c);
+    SlotVector cand(8);
+    cand.set(unsigned(sa));
+    cand.set(unsigned(sb));
+    cand.set(unsigned(sc));
+    EXPECT_EQ(rs.age().selectOldest(cand), sa);
+}
+
+TEST(Rob, FifoOrder)
+{
+    Rob rob(3);
+    DynInst a, b, c;
+    EXPECT_TRUE(rob.empty());
+    rob.push(&a);
+    rob.push(&b);
+    rob.push(&c);
+    EXPECT_TRUE(rob.full());
+    EXPECT_EQ(rob.head(), &a);
+    rob.pop();
+    EXPECT_EQ(rob.head(), &b);
+    rob.push(&a); // wraps
+    EXPECT_EQ(rob.occupancy(), 3u);
+    rob.pop();
+    rob.pop();
+    EXPECT_EQ(rob.head(), &a);
+}
+
+TEST(Lsq, OccupancyLimits)
+{
+    LoadStoreQueues lsq(2, 2);
+    EXPECT_FALSE(lsq.loadQueueFull());
+    lsq.dispatchLoad(0x100);
+    lsq.dispatchLoad(0x200);
+    EXPECT_TRUE(lsq.loadQueueFull());
+    lsq.retireLoad();
+    EXPECT_FALSE(lsq.loadQueueFull());
+
+    DynInst st;
+    lsq.dispatchStore(&st, 0x300);
+    lsq.dispatchStore(&st, 0x308);
+    EXPECT_TRUE(lsq.storeQueueFull());
+}
+
+TEST(Lsq, ForwardingFindsYoungestOlderStore)
+{
+    LoadStoreQueues lsq(8, 8);
+    DynInst s1, s2;
+    lsq.dispatchStore(&s1, 0x1000);
+    lsq.dispatchStore(&s2, 0x1000); // younger store, same word
+    EXPECT_EQ(lsq.dispatchLoad(0x1000), &s2);
+    EXPECT_EQ(lsq.dispatchLoad(0x1008), nullptr); // other word
+}
+
+TEST(Lsq, RetireCleansOnlyOwnMapEntry)
+{
+    LoadStoreQueues lsq(8, 8);
+    DynInst s1, s2;
+    lsq.dispatchStore(&s1, 0x1000);
+    lsq.dispatchStore(&s2, 0x1000);
+    // Older store retires: map still points at the younger one.
+    lsq.retireStore(&s1, 0x1000);
+    EXPECT_EQ(lsq.dispatchLoad(0x1000), &s2);
+    lsq.retireStore(&s2, 0x1000);
+    EXPECT_EQ(lsq.dispatchLoad(0x1000), nullptr);
+}
+
+TEST(FunctionalUnits, PortLimitsPerCycle)
+{
+    SimConfig cfg; // 4 ALU, 2 load, 1 store
+    FunctionalUnits fus(cfg);
+    fus.beginCycle(10);
+    for (int k = 0; k < 2; ++k) {
+        EXPECT_TRUE(fus.available(FuPool::Load));
+        fus.claim(FuPool::Load, OpClass::Load, 10, 20);
+    }
+    EXPECT_FALSE(fus.available(FuPool::Load));
+
+    EXPECT_TRUE(fus.available(FuPool::Store));
+    fus.claim(FuPool::Store, OpClass::Store, 10, 11);
+    EXPECT_FALSE(fus.available(FuPool::Store));
+
+    for (int k = 0; k < 4; ++k) {
+        EXPECT_TRUE(fus.available(FuPool::Alu));
+        fus.claim(FuPool::Alu, OpClass::IntAlu, 10, 11);
+    }
+    EXPECT_FALSE(fus.available(FuPool::Alu));
+
+    // Ports replenish on the next cycle.
+    fus.beginCycle(11);
+    EXPECT_TRUE(fus.available(FuPool::Load));
+    EXPECT_TRUE(fus.available(FuPool::Store));
+    EXPECT_TRUE(fus.available(FuPool::Alu));
+}
+
+TEST(FunctionalUnits, UnpipelinedDivBlocksItsUnit)
+{
+    SimConfig cfg;
+    FunctionalUnits fus(cfg);
+    fus.beginCycle(10);
+    // Four dividers occupy all ALU units until cycle 34.
+    for (int k = 0; k < 4; ++k) {
+        ASSERT_TRUE(fus.available(FuPool::Alu));
+        fus.claim(FuPool::Alu, OpClass::IntDiv, 10, 34);
+    }
+    EXPECT_FALSE(fus.available(FuPool::Alu));
+    fus.beginCycle(20);
+    EXPECT_FALSE(fus.available(FuPool::Alu)); // still busy
+    fus.beginCycle(34);
+    EXPECT_TRUE(fus.available(FuPool::Alu));
+}
+
+TEST(FunctionalUnits, PoolMapping)
+{
+    EXPECT_EQ(poolOf(OpClass::Load), FuPool::Load);
+    EXPECT_EQ(poolOf(OpClass::Prefetch), FuPool::Load);
+    EXPECT_EQ(poolOf(OpClass::Store), FuPool::Store);
+    EXPECT_EQ(poolOf(OpClass::IntAlu), FuPool::Alu);
+    EXPECT_EQ(poolOf(OpClass::FpMul), FuPool::Alu);
+    EXPECT_EQ(poolOf(OpClass::Branch), FuPool::Alu);
+}
+
+} // namespace
+} // namespace crisp

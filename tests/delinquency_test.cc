@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the delinquency / branch-criticality selection
+ * heuristics (§3.2, §3.4, §5.5): each criterion must gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/delinquency.h"
+
+namespace crisp
+{
+namespace
+{
+
+/** A profile with one load that passes every criterion. */
+ProfileResult
+goodProfile()
+{
+    ProfileResult prof;
+    prof.totalOps = 100000;
+    prof.totalLoads = 10000;
+    prof.totalLlcMisses = 1000;
+    LoadProfile lp;
+    lp.exec = 1000;
+    lp.l1Misses = 900;
+    lp.llcMisses = 800;       // miss share 0.8, ratio 0.8
+    lp.mlpSum = 1500;         // avg MLP 1.875
+    lp.mlpSamples = 800;
+    lp.strideHits = 10;       // strideability 0.01
+    lp.deltaSamples = 999;
+    prof.loads[7] = lp;
+    return prof;
+}
+
+TEST(Delinquency, AcceptsQualifyingLoad)
+{
+    ProfileResult prof = goodProfile();
+    CrispOptions opts;
+    auto picked = selectDelinquentLoads(prof, opts);
+    ASSERT_EQ(picked.size(), 1u);
+    EXPECT_EQ(picked[0], 7u);
+}
+
+TEST(Delinquency, MissShareThresholdGates)
+{
+    ProfileResult prof = goodProfile();
+    prof.totalLlcMisses = 1000000; // share drops to 0.0008
+    CrispOptions opts;              // T = 1%
+    EXPECT_TRUE(selectDelinquentLoads(prof, opts).empty());
+}
+
+TEST(Delinquency, MissRatioGates)
+{
+    ProfileResult prof = goodProfile();
+    prof.loads[7].exec = 100000; // ratio 0.008 < 20%
+    prof.totalLoads = 200000;
+    CrispOptions opts;
+    EXPECT_TRUE(selectDelinquentLoads(prof, opts).empty());
+}
+
+TEST(Delinquency, MlpGates)
+{
+    ProfileResult prof = goodProfile();
+    prof.loads[7].mlpSum = 800 * 8.0; // avg MLP 8 >= 5
+    CrispOptions opts;
+    EXPECT_TRUE(selectDelinquentLoads(prof, opts).empty());
+}
+
+TEST(Delinquency, StrideabilityGates)
+{
+    ProfileResult prof = goodProfile();
+    prof.loads[7].strideHits = 980; // 0.98 regular
+    CrispOptions opts;
+    EXPECT_TRUE(selectDelinquentLoads(prof, opts).empty());
+}
+
+TEST(Delinquency, ExecShareGates)
+{
+    ProfileResult prof = goodProfile();
+    prof.totalLoads = 100000000; // load share tiny
+    CrispOptions opts;
+    EXPECT_TRUE(selectDelinquentLoads(prof, opts).empty());
+}
+
+TEST(Delinquency, DisableSwitchGates)
+{
+    ProfileResult prof = goodProfile();
+    CrispOptions opts;
+    opts.enableLoadSlices = false;
+    EXPECT_TRUE(selectDelinquentLoads(prof, opts).empty());
+}
+
+TEST(Delinquency, SortsByMissCountDescending)
+{
+    ProfileResult prof = goodProfile();
+    LoadProfile second = prof.loads[7];
+    second.llcMisses = 100; // fewer misses (share 0.1 > T)
+    second.exec = 120;
+    second.l1Misses = 110;
+    prof.loads[9] = second;
+    CrispOptions opts;
+    auto picked = selectDelinquentLoads(prof, opts);
+    ASSERT_EQ(picked.size(), 2u);
+    EXPECT_EQ(picked[0], 7u);
+    EXPECT_EQ(picked[1], 9u);
+}
+
+TEST(Branches, MispredictThresholdGates)
+{
+    ProfileResult prof;
+    BranchProfile hard;
+    hard.exec = 1000;
+    hard.mispredicts = 400; // 40%
+    BranchProfile easy;
+    easy.exec = 1000;
+    easy.mispredicts = 50;  // 5% < 15%
+    prof.branches[1] = hard;
+    prof.branches[2] = easy;
+    CrispOptions opts;
+    auto picked = selectCriticalBranches(prof, opts);
+    ASSERT_EQ(picked.size(), 1u);
+    EXPECT_EQ(picked[0], 1u);
+}
+
+TEST(Branches, ExecShareGates)
+{
+    ProfileResult prof;
+    BranchProfile rare;
+    rare.exec = 1;
+    rare.mispredicts = 1;
+    BranchProfile common;
+    common.exec = 1000000;
+    common.mispredicts = 1000; // dilutes rare's share
+    prof.branches[1] = rare;
+    prof.branches[2] = common;
+    CrispOptions opts;
+    auto picked = selectCriticalBranches(prof, opts);
+    EXPECT_TRUE(picked.empty()); // rare too cold, common too easy
+}
+
+TEST(Branches, DisableSwitchGates)
+{
+    ProfileResult prof;
+    BranchProfile hard;
+    hard.exec = 1000;
+    hard.mispredicts = 500;
+    prof.branches[1] = hard;
+    CrispOptions opts;
+    opts.enableBranchSlices = false;
+    EXPECT_TRUE(selectCriticalBranches(prof, opts).empty());
+}
+
+TEST(Branches, EmptyProfile)
+{
+    ProfileResult prof;
+    CrispOptions opts;
+    EXPECT_TRUE(selectCriticalBranches(prof, opts).empty());
+    EXPECT_TRUE(selectDelinquentLoads(prof, opts).empty());
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the DDR4 timing model: row-buffer behaviour, bank
+ * parallelism, bus serialization and refresh windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/controller.h"
+
+namespace crisp
+{
+namespace
+{
+
+/** Picks a quiet start cycle clear of the periodic refresh window. */
+constexpr uint64_t kQuiet = 5000;
+
+TEST(Ddr4Timing, LatencyOrdering)
+{
+    Ddr4Timing t;
+    EXPECT_LT(t.rowHitLatency(), t.rowClosedLatency());
+    EXPECT_LT(t.rowClosedLatency(), t.rowConflictLatency());
+}
+
+TEST(Dram, RowHitFasterThanConflict)
+{
+    Ddr4Timing t;
+    DramController dram(t);
+    // First access opens the row (closed-row latency).
+    uint64_t first = dram.access(0x100000, kQuiet);
+    EXPECT_EQ(first - kQuiet, t.rowClosedLatency());
+    // Same row and same bank (bank bits are addr[9:6], so step by
+    // 16 lines to stay in bank 0): row hit.
+    uint64_t hit = dram.access(0x100000 + 16 * 64, first + 100);
+    EXPECT_EQ(hit - (first + 100), t.rowHitLatency());
+    // Different row, same bank: conflict.
+    uint64_t far = 0x100000 + uint64_t(t.rowBytes) * t.numBanks;
+    uint64_t conf = dram.access(far, hit + 100);
+    EXPECT_EQ(conf - (hit + 100), t.rowConflictLatency());
+
+    EXPECT_EQ(dram.stats().rowHits, 1u);
+    EXPECT_EQ(dram.stats().rowConflicts, 1u);
+    EXPECT_EQ(dram.stats().rowClosed, 1u);
+}
+
+TEST(Dram, BankParallelismBeatsSameBank)
+{
+    Ddr4Timing t;
+    DramController a(t), b(t);
+    uint64_t row_span = uint64_t(t.rowBytes) * t.numBanks;
+
+    // Two concurrent requests to DIFFERENT banks.
+    uint64_t d1 = a.access(0x000000, kQuiet);
+    uint64_t d2 = a.access(0x000040ull + 64, kQuiet); // next bank
+    uint64_t diff_banks = std::max(d1, d2);
+
+    // Two concurrent requests to different rows of the SAME bank.
+    uint64_t s1 = b.access(0x000000, kQuiet);
+    uint64_t s2 = b.access(row_span, kQuiet);
+    uint64_t same_bank = std::max(s1, s2);
+
+    EXPECT_LT(diff_banks, same_bank);
+}
+
+TEST(Dram, BusSerializesBursts)
+{
+    Ddr4Timing t;
+    DramController dram(t);
+    // Many simultaneous requests: completions must be spaced by at
+    // least the burst time on the shared data bus.
+    std::vector<uint64_t> done;
+    for (unsigned k = 0; k < 8; ++k)
+        done.push_back(dram.access(uint64_t(k) * 64, kQuiet));
+    std::sort(done.begin(), done.end());
+    for (size_t k = 1; k < done.size(); ++k)
+        EXPECT_GE(done[k] - done[k - 1], t.tBurst);
+    EXPECT_GT(dram.stats().busWaitCycles, 0u);
+}
+
+TEST(Dram, RefreshWindowDelaysAccess)
+{
+    Ddr4Timing t;
+    DramController dram(t);
+    // An access landing inside the refresh window at the start of a
+    // tREFI period waits for tRFC to elapse.
+    uint64_t in_refresh = uint64_t(t.tRefi); // phase 0
+    uint64_t done = dram.access(0x5000, in_refresh - t.tCtrl);
+    EXPECT_GE(done - (in_refresh - t.tCtrl),
+              t.tRfc + t.rowClosedLatency() - t.tCtrl);
+}
+
+TEST(Dram, StatsAverage)
+{
+    DramController dram;
+    dram.access(0x0, kQuiet);
+    dram.access(0x40, kQuiet + 1000);
+    EXPECT_EQ(dram.stats().reads, 2u);
+    EXPECT_GT(dram.stats().averageLatency(), 0.0);
+}
+
+TEST(Dram, ResetClearsState)
+{
+    Ddr4Timing t;
+    DramController dram(t);
+    dram.access(0x100000, kQuiet);
+    dram.reset();
+    EXPECT_EQ(dram.stats().reads, 0u);
+    // Row closed again after reset.
+    uint64_t done = dram.access(0x100040, kQuiet);
+    EXPECT_EQ(done - kQuiet, t.rowClosedLatency());
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the §6.1/§5.5 extensions: criticality-aware DRAM
+ * scheduling, long-latency (division) slices, indirect-jump branch
+ * profiling, and the threshold auto-tuner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/autotune.h"
+#include "core/delinquency.h"
+#include "core/pipeline.h"
+#include "core/profiler.h"
+#include "dram/controller.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+namespace
+{
+
+constexpr uint64_t kQuiet = 5000;
+
+TEST(CriticalDram, BypassesBusQueue)
+{
+    Ddr4Timing t;
+    DramController dram(t);
+    // Saturate the bus with non-critical requests.
+    for (unsigned k = 0; k < 6; ++k)
+        dram.access(uint64_t(k) * 64, kQuiet);
+    uint64_t noncrit = dram.access(6 * 64, kQuiet);
+    dram.reset();
+    for (unsigned k = 0; k < 6; ++k)
+        dram.access(uint64_t(k) * 64, kQuiet);
+    uint64_t crit = dram.access(6 * 64, kQuiet, /*critical=*/true);
+    EXPECT_LT(crit, noncrit);
+    EXPECT_EQ(dram.stats().criticalReads, 1u);
+    EXPECT_GT(dram.stats().criticalBusBypassCycles, 0u);
+}
+
+TEST(CriticalDram, NoEffectWhenBusIdle)
+{
+    Ddr4Timing t;
+    DramController a(t), b(t);
+    uint64_t plain = a.access(0x1000, kQuiet);
+    uint64_t crit = b.access(0x1000, kQuiet, true);
+    EXPECT_EQ(plain, crit);
+}
+
+TEST(LongLatency, ProfilerCountsDivisions)
+{
+    Assembler a;
+    a.movi(1, 1000);
+    a.movi(2, 3);
+    a.movi(3, 0);
+    auto loop = a.label();
+    a.bind(loop);
+    a.div(4, 1, 2);
+    a.fdiv(5, 1, 2);
+    a.addi(3, 3, 1);
+    a.slti(6, 3, 200);
+    a.bne(6, 0, loop);
+    a.halt();
+    auto prog = std::make_shared<Program>(a.finish("divs"));
+    Interpreter interp(prog);
+    Trace t = interp.run(100000);
+    ProfileResult prof = profileTrace(t, SimConfig::skylake());
+    ASSERT_EQ(prof.longLatencyOps.size(), 2u);
+    for (const auto &[sidx, exec] : prof.longLatencyOps)
+        EXPECT_EQ(exec, 200u);
+}
+
+TEST(LongLatency, SelectionGatesOnToggleAndShare)
+{
+    ProfileResult prof;
+    prof.totalOps = 10000;
+    prof.longLatencyOps[5] = 500;  // 5% share
+    prof.longLatencyOps[9] = 2;    // below min share
+
+    CrispOptions off; // default: extension disabled
+    EXPECT_TRUE(selectLongLatencyOps(prof, off).empty());
+
+    CrispOptions on;
+    on.enableLongLatencySlices = true;
+    auto picked = selectLongLatencyOps(prof, on);
+    ASSERT_EQ(picked.size(), 1u);
+    EXPECT_EQ(picked[0], 5u);
+}
+
+TEST(LongLatency, PipelineTagsDivisionSlices)
+{
+    // A kernel whose hot division feeds everything after it.
+    WorkloadInfo wl{
+        "div_kernel", "test kernel", +[](InputSet input) {
+            Rng rng(input == InputSet::Train ? 1 : 2);
+            Assembler a;
+            a.poke(kGlobalBase, rng.next(100) + 5000);
+            a.movi(1, int64_t(kGlobalBase));
+            a.ld(2, 1, 0);
+            a.movi(3, 0);
+            a.movi(7, 12345);
+            auto loop = a.label();
+            a.bind(loop);
+            a.muli(7, 7, 48271);
+            a.div(4, 7, 2);      // hot division
+            a.fadd(5, 5, 4);
+            a.addi(3, 3, 1);
+            a.blt(3, 2, loop);
+            a.halt();
+            return a.finish("div_kernel");
+        }};
+    CrispOptions opts;
+    opts.enableLongLatencySlices = true;
+    CrispPipeline pipe(wl, opts, SimConfig::skylake(), 50'000,
+                       50'000);
+    const CrispAnalysis &an = pipe.analysis();
+    EXPECT_GE(an.longLatencyOps.size(), 1u);
+    EXPECT_GE(an.longLatencySlices.size(), 1u);
+    EXPECT_FALSE(an.taggedStatics.empty());
+}
+
+TEST(IndirectJumps, ProfiledAsBranches)
+{
+    // A two-target indirect jump alternating every iteration: the
+    // last-target predictor mispredicts constantly.
+    Assembler a;
+    auto t1 = a.label();
+    auto t2 = a.label();
+    auto join = a.label();
+    a.movi(1, 0x9000);
+    a.movi(2, 0);
+    auto loop = a.label();
+    a.bind(loop);
+    a.andi(3, 2, 8);
+    a.ldx(4, 1, 3);   // target index from a 2-entry table
+    a.jr(4);
+    a.bind(t1);
+    a.addi(5, 5, 1);
+    a.jmp(join);
+    a.bind(t2);
+    a.addi(6, 6, 1);
+    a.bind(join);
+    a.addi(2, 2, 8);
+    a.andi(2, 2, 15);
+    a.addi(7, 7, 1);
+    a.slti(8, 7, 500);
+    a.bne(8, 0, loop);
+    a.halt();
+    a.poke(0x9000, a.indexOf(t1));
+    a.poke(0x9008, a.indexOf(t2));
+    auto prog = std::make_shared<Program>(a.finish("jr"));
+    Interpreter interp(prog);
+    Trace t = interp.run(100000);
+    ProfileResult prof = profileTrace(t, SimConfig::skylake());
+
+    double worst = 0;
+    for (const auto &[sidx, bp] : prof.branches)
+        if (bp.exec > 400)
+            worst = std::max(worst, bp.mispredictRatio());
+    EXPECT_GT(worst, 0.9); // the alternating jr
+
+    CrispOptions opts;
+    auto picked = selectCriticalBranches(prof, opts);
+    EXPECT_FALSE(picked.empty());
+}
+
+TEST(AutoTune, PicksBestThresholdAndNeverLoses)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    CrispOptions opts;
+    AutoTuneResult r = autoTuneMissShare(
+        *wl, SimConfig::skylake(), opts, 80'000, 100'000,
+        {0.05, 0.01});
+    EXPECT_EQ(r.ipcByThreshold.size(), 2u);
+    EXPECT_GT(r.baselineIpc, 0.0);
+    for (const auto &[t, ipc] : r.ipcByThreshold)
+        EXPECT_LE(ipc, r.bestIpc);
+    EXPECT_GT(r.bestSpeedup(), 1.0);
+}
+
+} // namespace
+} // namespace crisp

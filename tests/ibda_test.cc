@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the IBDA hardware baseline: the instruction slice
+ * table, the delinquent load table and the iterative rename-stage
+ * marking — including its register-only blind spot.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ibda/ibda.h"
+#include "ibda/ist.h"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(Ist, InsertLookup)
+{
+    InstructionSliceTable ist(64, 4, false);
+    EXPECT_FALSE(ist.lookup(0x1000));
+    ist.insert(0x1000);
+    EXPECT_TRUE(ist.lookup(0x1000));
+    EXPECT_EQ(ist.occupancy(), 1u);
+}
+
+TEST(Ist, EvictsWithinSetWhenFull)
+{
+    InstructionSliceTable ist(8, 2, false); // 4 sets x 2 ways
+    // Three PCs in the same set (stride 4 at >>1 indexing = 8
+    // bytes).
+    ist.insert(0x1000);
+    ist.insert(0x1008);
+    ist.lookup(0x1000); // refresh
+    ist.insert(0x1010); // evicts 0x1008
+    EXPECT_TRUE(ist.lookup(0x1000));
+    EXPECT_FALSE(ist.lookup(0x1008));
+    EXPECT_TRUE(ist.lookup(0x1010));
+    EXPECT_EQ(ist.evictions(), 1u);
+}
+
+TEST(Ist, InfiniteModeNeverEvicts)
+{
+    InstructionSliceTable ist(8, 2, true);
+    for (uint64_t pc = 0; pc < 10000; pc += 4)
+        ist.insert(0x1000 + pc);
+    EXPECT_EQ(ist.occupancy(), 2500u);
+    EXPECT_EQ(ist.evictions(), 0u);
+    EXPECT_TRUE(ist.lookup(0x1000));
+    EXPECT_TRUE(ist.lookup(0x1000 + 9996));
+}
+
+TEST(Ist, ReinsertRefreshesWithoutDuplicating)
+{
+    InstructionSliceTable ist(64, 4, false);
+    ist.insert(0x2000);
+    ist.insert(0x2000);
+    EXPECT_EQ(ist.occupancy(), 1u);
+}
+
+// ------------------------------------------------------------- Ibda
+
+SimConfig
+ibdaConfig()
+{
+    SimConfig cfg = SimConfig::skylake();
+    cfg.enableIbda = true;
+    return cfg;
+}
+
+MicroOp
+makeLoad(uint64_t pc, RegId src)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Load;
+    op.src1 = src;
+    op.dst = 1;
+    return op;
+}
+
+TEST(Ibda, DltLearnsRepeatedMissingLoads)
+{
+    Ibda ibda(ibdaConfig());
+    std::array<uint64_t, kNumArchRegs> writers{};
+    MicroOp ld = makeLoad(0x1000, 5);
+
+    // Before any misses: not marked.
+    EXPECT_FALSE(ibda.onDispatch(ld, writers));
+    // One miss is not enough (count threshold 2).
+    ibda.onLoadComplete(0x1000, true);
+    EXPECT_FALSE(ibda.onDispatch(ld, writers));
+    ibda.onLoadComplete(0x1000, true);
+    EXPECT_TRUE(ibda.onDispatch(ld, writers));
+    // LLC hits never train the DLT.
+    Ibda fresh(ibdaConfig());
+    fresh.onLoadComplete(0x2000, false);
+    fresh.onLoadComplete(0x2000, false);
+    MicroOp other = makeLoad(0x2000, 5);
+    EXPECT_FALSE(fresh.onDispatch(other, writers));
+}
+
+TEST(Ibda, IterativeBackwardMarking)
+{
+    Ibda ibda(ibdaConfig());
+    std::array<uint64_t, kNumArchRegs> writers{};
+    // Delinquent load at 0x1000 reads r5, produced at 0x0f00,
+    // which in turn reads r6 produced at 0x0e00.
+    ibda.onLoadComplete(0x1000, true);
+    ibda.onLoadComplete(0x1000, true);
+
+    MicroOp ld = makeLoad(0x1000, 5);
+    writers[5] = 0x0f00;
+    EXPECT_TRUE(ibda.onDispatch(ld, writers)); // marks 0x0f00
+
+    MicroOp producer;
+    producer.pc = 0x0f00;
+    producer.cls = OpClass::IntAlu;
+    producer.src1 = 6;
+    producer.dst = 5;
+    writers[6] = 0x0e00;
+    // Next encounter: the producer is IST-resident, gets marked and
+    // extends the slice one level further.
+    EXPECT_TRUE(ibda.onDispatch(producer, writers));
+
+    MicroOp grandparent;
+    grandparent.pc = 0x0e00;
+    grandparent.cls = OpClass::IntAlu;
+    grandparent.src1 = kNoReg;
+    grandparent.dst = 6;
+    EXPECT_TRUE(ibda.onDispatch(grandparent, writers));
+}
+
+TEST(Ibda, UnrelatedInstructionsNotMarked)
+{
+    Ibda ibda(ibdaConfig());
+    std::array<uint64_t, kNumArchRegs> writers{};
+    ibda.onLoadComplete(0x1000, true);
+    ibda.onLoadComplete(0x1000, true);
+    MicroOp ld = makeLoad(0x1000, 5);
+    writers[5] = 0x0f00;
+    ibda.onDispatch(ld, writers);
+
+    MicroOp bystander;
+    bystander.pc = 0x5000;
+    bystander.cls = OpClass::IntAlu;
+    bystander.src1 = 7;
+    bystander.dst = 8;
+    EXPECT_FALSE(ibda.onDispatch(bystander, writers));
+}
+
+TEST(Ibda, StatsAccumulate)
+{
+    Ibda ibda(ibdaConfig());
+    std::array<uint64_t, kNumArchRegs> writers{};
+    ibda.onLoadComplete(0x1000, true);
+    ibda.onLoadComplete(0x1000, true);
+    MicroOp ld = makeLoad(0x1000, 5);
+    writers[5] = 0x0f00;
+    ibda.onDispatch(ld, writers);
+    IbdaStats s = ibda.stats();
+    EXPECT_EQ(s.marked, 1u);
+    EXPECT_GE(s.istInsertions, 1u);
+    EXPECT_GE(s.dltInsertions, 1u);
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the micro-op ISA: opcode classification, predicates
+ * and the latency table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/latency.h"
+#include "isa/micro_op.h"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(OpcodeClass, AluOpsAreIntAlu)
+{
+    for (Opcode op : {Opcode::Add, Opcode::Sub, Opcode::And,
+                      Opcode::Or, Opcode::Xor, Opcode::Shl,
+                      Opcode::Shr, Opcode::Slt, Opcode::AddI,
+                      Opcode::AndI, Opcode::OrI, Opcode::XorI,
+                      Opcode::ShlI, Opcode::ShrI, Opcode::SltI,
+                      Opcode::MovI, Opcode::Mov}) {
+        EXPECT_EQ(opcodeClass(op), OpClass::IntAlu)
+            << opcodeName(op);
+    }
+}
+
+TEST(OpcodeClass, MulDivMapToDedicatedClasses)
+{
+    EXPECT_EQ(opcodeClass(Opcode::Mul), OpClass::IntMul);
+    EXPECT_EQ(opcodeClass(Opcode::MulI), OpClass::IntMul);
+    EXPECT_EQ(opcodeClass(Opcode::Div), OpClass::IntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::Rem), OpClass::IntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::FAdd), OpClass::FpAdd);
+    EXPECT_EQ(opcodeClass(Opcode::FMul), OpClass::FpMul);
+    EXPECT_EQ(opcodeClass(Opcode::FDiv), OpClass::FpDiv);
+}
+
+TEST(OpcodeClass, MemoryAndControl)
+{
+    EXPECT_EQ(opcodeClass(Opcode::Ld), OpClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::LdX), OpClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::St), OpClass::Store);
+    EXPECT_EQ(opcodeClass(Opcode::StX), OpClass::Store);
+    EXPECT_EQ(opcodeClass(Opcode::Pf), OpClass::Prefetch);
+    EXPECT_EQ(opcodeClass(Opcode::Beq), OpClass::Branch);
+    EXPECT_EQ(opcodeClass(Opcode::Jmp), OpClass::Jump);
+    EXPECT_EQ(opcodeClass(Opcode::Jr), OpClass::IndirectJump);
+    EXPECT_EQ(opcodeClass(Opcode::CallD), OpClass::Call);
+    EXPECT_EQ(opcodeClass(Opcode::RetI), OpClass::Ret);
+}
+
+TEST(OpClassPredicates, MemAndControl)
+{
+    EXPECT_TRUE(isMemClass(OpClass::Load));
+    EXPECT_TRUE(isMemClass(OpClass::Store));
+    EXPECT_TRUE(isMemClass(OpClass::Prefetch));
+    EXPECT_FALSE(isMemClass(OpClass::IntAlu));
+
+    EXPECT_TRUE(isControlClass(OpClass::Branch));
+    EXPECT_TRUE(isControlClass(OpClass::Jump));
+    EXPECT_TRUE(isControlClass(OpClass::IndirectJump));
+    EXPECT_TRUE(isControlClass(OpClass::Call));
+    EXPECT_TRUE(isControlClass(OpClass::Ret));
+    EXPECT_FALSE(isControlClass(OpClass::Load));
+
+    EXPECT_TRUE(isCondBranch(OpClass::Branch));
+    EXPECT_FALSE(isCondBranch(OpClass::Jump));
+}
+
+TEST(MicroOpPredicates, FollowClass)
+{
+    MicroOp op;
+    op.cls = OpClass::Load;
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_TRUE(op.isMem());
+    EXPECT_FALSE(op.isStore());
+    EXPECT_FALSE(op.isControl());
+    op.cls = OpClass::Store;
+    EXPECT_TRUE(op.isStore());
+    op.cls = OpClass::Branch;
+    EXPECT_TRUE(op.isControl());
+}
+
+TEST(LatencyTable, DefaultsAreSane)
+{
+    const LatencyTable &lat = defaultLatencies();
+    EXPECT_EQ(lat[OpClass::IntAlu], 1u);
+    EXPECT_GT(lat[OpClass::IntMul], lat[OpClass::IntAlu]);
+    EXPECT_GT(lat[OpClass::IntDiv], lat[OpClass::IntMul]);
+    EXPECT_GT(lat[OpClass::FpDiv], lat[OpClass::FpMul]);
+    EXPECT_EQ(lat[OpClass::Load], 0u); // caches add the latency
+}
+
+TEST(LatencyTable, UnpipelinedClasses)
+{
+    EXPECT_TRUE(LatencyTable::unpipelined(OpClass::IntDiv));
+    EXPECT_TRUE(LatencyTable::unpipelined(OpClass::FpDiv));
+    EXPECT_FALSE(LatencyTable::unpipelined(OpClass::IntAlu));
+    EXPECT_FALSE(LatencyTable::unpipelined(OpClass::IntMul));
+}
+
+TEST(LatencyTable, SetOverrides)
+{
+    LatencyTable lat;
+    lat.set(OpClass::IntMul, 7);
+    EXPECT_EQ(lat[OpClass::IntMul], 7u);
+}
+
+TEST(StaticInstPrint, Disassembly)
+{
+    StaticInst si;
+    si.op = Opcode::AddI;
+    si.dst = 3;
+    si.src1 = 4;
+    si.imm = 42;
+    si.pc = 0x1000;
+    std::string s = si.toString();
+    EXPECT_NE(s.find("addi"), std::string::npos);
+    EXPECT_NE(s.find("r3"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+
+    si.critical = true;
+    EXPECT_NE(si.toString().find("crit."), std::string::npos);
+}
+
+TEST(Names, EveryOpcodeHasName)
+{
+    for (int i = 0; i < int(Opcode::NumOpcodes); ++i) {
+        const char *name = opcodeName(Opcode(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "???");
+    }
+    for (int i = 0; i < int(OpClass::NumClasses); ++i) {
+        const char *name = opClassName(OpClass(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "Unknown");
+    }
+}
+
+} // namespace
+} // namespace crisp

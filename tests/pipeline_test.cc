@@ -1,0 +1,143 @@
+/**
+ * @file
+ * End-to-end tests of the CRISP software pipeline (Fig 5 flow):
+ * profiling, selection, slicing, band enforcement and tagging on the
+ * motivating pointer-chase workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "sim/driver.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+namespace
+{
+
+const WorkloadInfo &
+chase()
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    EXPECT_NE(wl, nullptr);
+    return *wl;
+}
+
+TEST(Pipeline, FindsTheDelinquentLoad)
+{
+    CrispPipeline pipe(chase(), CrispOptions{}, SimConfig::skylake(),
+                       120'000, 120'000);
+    const CrispAnalysis &a = pipe.analysis();
+    ASSERT_GE(a.delinquentLoads.size(), 1u);
+    EXPECT_FALSE(a.taggedStatics.empty());
+    EXPECT_GT(a.avgLoadSliceSize, 2.0); // chain through the stack
+    // Analysis is cached: same object on re-query.
+    EXPECT_EQ(&pipe.analysis(), &a);
+}
+
+TEST(Pipeline, TaggedTraceCarriesCriticalOps)
+{
+    CrispPipeline pipe(chase(), CrispOptions{}, SimConfig::skylake(),
+                       120'000, 120'000);
+    Trace untagged = pipe.refTrace(false);
+    Trace tagged = pipe.refTrace(true);
+    EXPECT_EQ(untagged.size(), tagged.size());
+    uint64_t crit = 0;
+    for (const auto &op : tagged.ops)
+        crit += op.critical;
+    EXPECT_GT(crit, 0u);
+    for (const auto &op : untagged.ops)
+        EXPECT_FALSE(op.critical);
+    // Same dynamic instruction sequence (sidx-wise).
+    for (size_t i = 0; i < untagged.size(); ++i)
+        ASSERT_EQ(untagged.ops[i].sidx, tagged.ops[i].sidx);
+}
+
+TEST(Pipeline, BandEnforcementRespectsCap)
+{
+    CrispOptions tight;
+    tight.maxCriticalRatio = 0.02; // absurdly small cap
+    CrispPipeline pipe(chase(), tight, SimConfig::skylake(),
+                       120'000, 120'000);
+    const CrispAnalysis &a = pipe.analysis();
+    // The most important slice is always kept, but nothing beyond
+    // the cap can be added on top of it.
+    EXPECT_GT(a.taggedStatics.size(), 0u);
+    CrispOptions loose;
+    CrispPipeline pipe2(chase(), loose, SimConfig::skylake(),
+                        120'000, 120'000);
+    EXPECT_GE(pipe2.analysis().taggedStatics.size(),
+              a.taggedStatics.size());
+}
+
+TEST(Pipeline, DisabledSlicingTagsNothing)
+{
+    CrispOptions off;
+    off.enableLoadSlices = false;
+    off.enableBranchSlices = false;
+    CrispPipeline pipe(chase(), off, SimConfig::skylake(), 100'000,
+                       100'000);
+    EXPECT_TRUE(pipe.analysis().taggedStatics.empty());
+    EXPECT_EQ(pipe.analysis().dynamicCriticalRatio, 0.0);
+}
+
+TEST(Pipeline, TagSummaryMatchesAnalysis)
+{
+    CrispPipeline pipe(chase(), CrispOptions{}, SimConfig::skylake(),
+                       120'000, 120'000);
+    TagSummary s = pipe.tagSummary();
+    EXPECT_EQ(s.taggedStatics, pipe.analysis().taggedStatics.size());
+    EXPECT_GE(s.dynamicOverhead(), 0.0);
+    EXPECT_LT(s.dynamicOverhead(), 0.5);
+}
+
+TEST(Driver, EvaluateWorkloadProducesCoherentResults)
+{
+    EvalSizes sizes{100'000, 150'000};
+    WorkloadEval ev =
+        evaluateWorkload(chase(), SimConfig::skylake(),
+                         CrispOptions{}, sizes, {"1K"});
+    EXPECT_EQ(ev.name, "pointer_chase");
+    EXPECT_GT(ev.ipcBaseline, 0.1);
+    EXPECT_GT(ev.ipcCrisp, ev.ipcBaseline * 0.98);
+    EXPECT_EQ(ev.ipcIbda.size(), 1u);
+    EXPECT_GT(ev.crispSpeedup(), 1.0);
+    EXPECT_GT(ev.ibdaSpeedup("1K"), 0.5);
+    EXPECT_EQ(ev.ibdaSpeedup("nope"), 0.0);
+    // The §5.2 confirmation metric: CRISP reduces ROB-head stalls.
+    EXPECT_LE(ev.crispStats.robHeadStallCycles,
+              ev.baseStats.robHeadStallCycles);
+}
+
+TEST(Driver, IbdaConfigMapping)
+{
+    SimConfig base = SimConfig::skylake();
+    SimConfig c1 = ibdaConfig(base, "1K");
+    EXPECT_TRUE(c1.enableIbda);
+    EXPECT_EQ(c1.istEntries, 1024u);
+    EXPECT_FALSE(c1.istInfinite);
+    SimConfig c8 = ibdaConfig(base, "8K");
+    EXPECT_EQ(c8.istEntries, 8192u);
+    SimConfig c64 = ibdaConfig(base, "64K");
+    EXPECT_EQ(c64.istEntries, 65536u);
+    SimConfig cinf = ibdaConfig(base, "inf");
+    EXPECT_TRUE(cinf.istInfinite);
+}
+
+TEST(Config, WindowVariantAndDescribe)
+{
+    SimConfig cfg = SimConfig::withWindow(144, 336);
+    EXPECT_EQ(cfg.rsSize, 144u);
+    EXPECT_EQ(cfg.robSize, 336u);
+    EXPECT_NE(cfg.describe().find("ROB 336"), std::string::npos);
+    SimConfig sk = SimConfig::skylake();
+    EXPECT_EQ(sk.robSize, 224u);
+    EXPECT_EQ(sk.rsSize, 96u);
+    EXPECT_EQ(sk.width, 6u);
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the data prefetchers (BOP, stream, stride, GHB) and
+ * the composite dispatcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cache/best_offset.h"
+#include "cache/ghb_prefetcher.h"
+#include "cache/prefetcher.h"
+#include "cache/stream_prefetcher.h"
+#include "cache/stride_prefetcher.h"
+
+namespace crisp
+{
+namespace
+{
+
+std::vector<uint64_t>
+feed(Prefetcher &pf, const std::vector<uint64_t> &lines,
+     uint64_t pc = 0x1000, bool miss = true)
+{
+    std::vector<uint64_t> out;
+    for (uint64_t l : lines)
+        pf.observe({l, pc, miss}, out);
+    return out;
+}
+
+TEST(BestOffset, LearnsConstantOffset)
+{
+    BestOffsetPrefetcher bop;
+    std::vector<uint64_t> lines;
+    for (uint64_t i = 0; i < 4000; ++i)
+        lines.push_back(1000 + i * 3); // offset-3 stream
+    feed(bop, lines);
+    EXPECT_EQ(bop.currentOffset(), 3);
+    // And it now prefetches line+3.
+    std::vector<uint64_t> out;
+    bop.observe({50000, 0x1000, true}, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.back(), 50003u);
+}
+
+TEST(BestOffset, TurnsOffOnRandomAccesses)
+{
+    BestOffsetPrefetcher bop;
+    std::vector<uint64_t> lines;
+    uint64_t s = 99;
+    for (int i = 0; i < 30000; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        lines.push_back((s >> 20) & 0xffffff);
+    }
+    feed(bop, lines);
+    EXPECT_EQ(bop.currentOffset(), 0); // prefetching disabled
+}
+
+TEST(Stream, DetectsAscendingRun)
+{
+    StreamPrefetcher sp;
+    auto out = feed(sp, {100, 101, 102, 103});
+    // After two confirming steps, prefetch ahead.
+    ASSERT_FALSE(out.empty());
+    EXPECT_TRUE(std::count(out.begin(), out.end(), 104) ||
+                std::count(out.begin(), out.end(), 105));
+}
+
+TEST(Stream, DetectsDescendingRun)
+{
+    StreamPrefetcher sp;
+    auto out = feed(sp, {200, 199, 198, 197});
+    ASSERT_FALSE(out.empty());
+    EXPECT_TRUE(std::count(out.begin(), out.end(), 196));
+}
+
+TEST(Stream, NoPrefetchOnDirectionFlips)
+{
+    StreamPrefetcher sp;
+    auto out = feed(sp, {100, 101, 100, 101, 100});
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, LearnsPerPcStride)
+{
+    StridePrefetcher sp;
+    std::vector<uint64_t> out;
+    for (uint64_t i = 0; i < 5; ++i)
+        sp.observe({1000 + i * 7, 0x1234, true}, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.back() % 7, (1000 + 4 * 7 + 7) % 7);
+    // A different PC does not inherit the stride.
+    std::vector<uint64_t> out2;
+    sp.observe({5000, 0x9999, true}, out2);
+    EXPECT_TRUE(out2.empty());
+}
+
+TEST(Stride, InterleavedPcsKeepSeparateState)
+{
+    StridePrefetcher sp;
+    std::vector<uint64_t> out;
+    for (uint64_t i = 0; i < 6; ++i) {
+        sp.observe({100 + i * 2, 0x1000, true}, out);
+        sp.observe({9000 + i * 5, 0x1002, true}, out);
+    }
+    // Both strides learned: +2 for pc1, +5 for pc2 predictions seen.
+    bool saw_plus2 = false, saw_plus5 = false;
+    for (size_t i = 0; i < out.size(); ++i) {
+        if (out[i] == 100 + 5 * 2 + 2 || out[i] == 100 + 4 * 2 + 2)
+            saw_plus2 = true;
+        if (out[i] == 9000 + 5 * 5 + 5 || out[i] == 9000 + 4 * 5 + 5)
+            saw_plus5 = true;
+    }
+    EXPECT_TRUE(saw_plus2);
+    EXPECT_TRUE(saw_plus5);
+}
+
+TEST(Ghb, ReplaysDeltaPattern)
+{
+    GhbPrefetcher ghb;
+    // Repeating delta pattern +1,+4,+1,+4...
+    std::vector<uint64_t> lines;
+    uint64_t a = 1000;
+    for (int i = 0; i < 40; ++i) {
+        lines.push_back(a);
+        a += (i % 2) ? 4 : 1;
+    }
+    auto out = feed(ghb, lines);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(Ghb, IgnoresHits)
+{
+    GhbPrefetcher ghb;
+    auto out = feed(ghb, {1, 2, 3, 4, 5, 6, 7, 8}, 0x1000,
+                    /*miss=*/false);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Composite, FansOutToAllEngines)
+{
+    CompositePrefetcher comp;
+    comp.add(std::make_unique<StreamPrefetcher>());
+    comp.add(std::make_unique<StridePrefetcher>());
+    EXPECT_EQ(comp.size(), 2u);
+    std::vector<uint64_t> out;
+    for (uint64_t i = 0; i < 6; ++i)
+        comp.observe({100 + i, 0x1000, true}, out);
+    // Both engines detect the +1 stream/stride.
+    EXPECT_GE(out.size(), 2u);
+}
+
+} // namespace
+} // namespace crisp

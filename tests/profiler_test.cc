@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the software profiler (§3.2 analog): miss ratios,
+ * dataflow MLP, stride regularity, branch misprediction rates and
+ * AMAT estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/profiler.h"
+#include "workloads/workload.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+
+namespace crisp
+{
+namespace
+{
+
+Trace
+traceOf(Assembler &a, uint64_t max_ops = 300000)
+{
+    auto prog = std::make_shared<Program>(a.finish("t"));
+    Interpreter interp(prog);
+    return interp.run(max_ops);
+}
+
+/** Finds the profile of the static instruction with most misses. */
+const LoadProfile &
+topLoad(const ProfileResult &prof, uint32_t *sidx_out = nullptr)
+{
+    const LoadProfile *best = nullptr;
+    for (const auto &[sidx, lp] : prof.loads) {
+        if (!best || lp.llcMisses > best->llcMisses) {
+            best = &lp;
+            if (sidx_out)
+                *sidx_out = sidx;
+        }
+    }
+    EXPECT_NE(best, nullptr);
+    return *best;
+}
+
+TEST(Profiler, SerialChaseHasHighMissRatioAndLowMlp)
+{
+    // Pointer chase over 4096 distinct lines, each visited once.
+    Assembler a;
+    const uint32_t n = 1u << 16; // 4 MiB: exceeds the LLC
+    // Random permutation cycle so neither the stride detector nor
+    // the hardware prefetchers can cover the chase.
+    Rng rng(17);
+    auto perm = randomPermutation(n, rng);
+    for (uint32_t i = 0; i < n; ++i) {
+        a.poke(0x1000000 + uint64_t(perm[i]) * 64,
+               perm[(i + 1) % n]);
+    }
+    a.movi(1, 0x1000000);
+    a.movi(2, int64_t(perm[0]));
+    a.movi(4, 0);
+    auto loop = a.label();
+    a.bind(loop);
+    a.shli(3, 2, 6);
+    a.ldx(2, 1, 3); // serial chase
+    a.addi(4, 4, 1);
+    a.slti(5, 4, int64_t(n) - 2);
+    a.bne(5, 0, loop);
+    a.halt();
+    Trace t = traceOf(a);
+    ProfileResult prof = profileTrace(t, SimConfig::skylake());
+    const LoadProfile &lp = topLoad(prof);
+    EXPECT_GT(lp.missRatio(), 0.8);
+    EXPECT_LT(lp.avgMlp(), 2.0); // strictly serial
+    EXPECT_LT(lp.strideability(), 0.5);
+}
+
+TEST(Profiler, IndependentBatchHasHighMlp)
+{
+    // Eight independent random gathers per iteration (bwaves shape).
+    Assembler a;
+    uint64_t s = 7;
+    for (int i = 0; i < 2048; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        a.poke(0x1000000 + (s % (1 << 20)) * 8, s);
+    }
+    a.movi(1, 0x1000000);
+    a.movi(2, 12345);
+    a.movi(15, 0);
+    auto loop = a.label();
+    a.bind(loop);
+    for (int k = 0; k < 8; ++k) {
+        a.muli(2, 2, 6364136223846793005LL);
+        a.addi(2, 2, 1442695040888963407LL);
+        a.shri(RegId(3 + k), 2, 24);
+        a.shli(RegId(3 + k), RegId(3 + k), 3);
+        a.andi(RegId(3 + k), RegId(3 + k), (1 << 23) - 8);
+    }
+    for (int k = 0; k < 8; ++k)
+        a.ldx(RegId(11 + 0), 1, RegId(3 + k)); // independent loads
+    a.addi(15, 15, 1);
+    a.slti(16, 15, 1500);
+    a.bne(16, 0, loop);
+    a.halt();
+    Trace t = traceOf(a);
+    ProfileResult prof = profileTrace(t, SimConfig::skylake());
+    const LoadProfile &lp = topLoad(prof);
+    EXPECT_GT(lp.avgMlp(), 4.0); // the §3.2 rejection regime
+}
+
+TEST(Profiler, StridedStreamIsRegular)
+{
+    Assembler a;
+    a.movi(1, 0x1000000);
+    a.movi(2, 0);
+    auto loop = a.label();
+    a.bind(loop);
+    a.ldx(3, 1, 2);
+    a.addi(2, 2, 64);
+    a.slti(4, 2, 64 * 3000);
+    a.bne(4, 0, loop);
+    a.halt();
+    Trace t = traceOf(a);
+    ProfileResult prof = profileTrace(t, SimConfig::skylake());
+    const LoadProfile &lp = topLoad(prof);
+    EXPECT_GT(lp.strideability(), 0.95);
+}
+
+TEST(Profiler, BranchMispredictionRates)
+{
+    Assembler a;
+    uint64_t s = 5;
+    for (int i = 0; i < 8192; ++i) {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        a.poke(0x800000 + i * 8, (s >> 30) & 1);
+    }
+    a.movi(1, 0x800000);
+    a.movi(2, 0);
+    auto loop = a.label();
+    auto skip1 = a.label();
+    auto skip2 = a.label();
+    a.bind(loop);
+    a.andi(3, 2, 8191 * 8);
+    a.ldx(4, 1, 3);
+    a.beq(4, 0, skip1);  // data-random ~50%
+    a.addi(5, 5, 1);
+    a.bind(skip1);
+    a.andi(6, 2, 8);
+    a.bne(6, 0, skip2);  // perfectly periodic
+    a.addi(7, 7, 1);
+    a.bind(skip2);
+    a.addi(2, 2, 8);
+    a.slti(8, 2, 8 * 4000);
+    a.bne(8, 0, loop);
+    a.halt();
+    Trace t = traceOf(a);
+    ProfileResult prof = profileTrace(t, SimConfig::skylake());
+
+    double worst = 0, best = 1;
+    for (const auto &[sidx, bp] : prof.branches) {
+        if (bp.exec < 1000)
+            continue;
+        worst = std::max(worst, bp.mispredictRatio());
+        best = std::min(best, bp.mispredictRatio());
+    }
+    EXPECT_GT(worst, 0.25); // the random branch
+    EXPECT_LT(best, 0.05); // the periodic one and the loop branch
+}
+
+TEST(Profiler, AmatBlendsLatencies)
+{
+    SimConfig cfg = SimConfig::skylake();
+    LoadProfile lp;
+    lp.exec = 100;
+    lp.l1Misses = 50;
+    lp.llcMisses = 25;
+    double amat = lp.amat(cfg, 200.0);
+    double expect = (50 * cfg.l1d.latency + 25 * cfg.llc.latency +
+                     25 * 200.0) /
+                    100.0;
+    EXPECT_DOUBLE_EQ(amat, expect);
+    LoadProfile empty;
+    EXPECT_DOUBLE_EQ(empty.amat(cfg, 200.0), cfg.l1d.latency);
+}
+
+TEST(Profiler, TotalsAreConsistent)
+{
+    Assembler a;
+    a.movi(1, 0x100000);
+    a.movi(2, 0);
+    auto loop = a.label();
+    a.bind(loop);
+    a.shli(5, 2, 3);
+    a.ldx(3, 1, 5);
+    a.st(1, 3, 800);
+    a.addi(2, 2, 1);
+    a.slti(4, 2, 100);
+    a.bne(4, 0, loop);
+    a.halt();
+    Trace t = traceOf(a);
+    ProfileResult prof = profileTrace(t, SimConfig::skylake());
+    EXPECT_EQ(prof.totalOps, t.size());
+    uint64_t exec_sum = 0;
+    for (const auto &[sidx, lp] : prof.loads)
+        exec_sum += lp.exec;
+    EXPECT_EQ(exec_sum, prof.totalLoads);
+    EXPECT_EQ(prof.totalLoads, 100u);
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Suite-level regression tests: pin the qualitative results the
+ * reproduction stands on (Fig 7's ordering and sign structure), so
+ * future changes cannot silently destroy them. Bounds are loose —
+ * these check shape, not absolute IPC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+namespace
+{
+
+WorkloadEval
+eval(const char *name,
+     const std::vector<std::string> &ists = {})
+{
+    const WorkloadInfo *wl = findWorkload(name);
+    EXPECT_NE(wl, nullptr);
+    EvalSizes sizes{150'000, 300'000};
+    return evaluateWorkload(*wl, SimConfig::skylake(),
+                            CrispOptions{}, sizes, ists);
+}
+
+TEST(Regression, MemcachedGainsSubstantially)
+{
+    WorkloadEval ev = eval("memcached", {"1K"});
+    EXPECT_GT(ev.crispSpeedup(), 1.04);
+    // IBDA misses the through-memory spill: clearly below CRISP.
+    EXPECT_GT(ev.crispSpeedup(), ev.ibdaSpeedup("1K") + 0.02);
+}
+
+TEST(Regression, NamdSpillDefeatsIbda)
+{
+    WorkloadEval ev = eval("namd", {"inf"});
+    EXPECT_GT(ev.crispSpeedup(), 1.03);
+    // Even an infinite IST cannot see the dependence through memory.
+    EXPECT_GT(ev.crispSpeedup(), ev.ibdaSpeedup("inf") + 0.02);
+}
+
+TEST(Regression, BwavesCorrectlyLeftAlone)
+{
+    // High-MLP misses: the §3.2 MLP filter must decline to tag.
+    WorkloadEval ev = eval("bwaves");
+    EXPECT_TRUE(ev.analysis.delinquentLoads.empty());
+    EXPECT_NEAR(ev.crispSpeedup(), 1.0, 0.01);
+}
+
+TEST(Regression, ImgdnnNearNeutral)
+{
+    // High baseline ILP, cache-resident: nothing to accelerate.
+    WorkloadEval ev = eval("imgdnn");
+    EXPECT_NEAR(ev.crispSpeedup(), 1.0, 0.02);
+}
+
+TEST(Regression, PointerChaseMotivatingGain)
+{
+    WorkloadEval ev = eval("pointer_chase");
+    EXPECT_GT(ev.crispSpeedup(), 1.025);
+    // The slice crosses the stack: the analysis must find the store.
+    EXPECT_GE(ev.analysis.avgLoadSliceSize, 4.0);
+}
+
+TEST(Regression, CrispNeverHurtsBadly)
+{
+    // Across a representative sample, CRISP stays within noise of
+    // the baseline even where it cannot help.
+    for (const char *name :
+         {"mcf", "gcc", "fotonik", "perlbench"}) {
+        WorkloadEval ev = eval(name);
+        EXPECT_GT(ev.crispSpeedup(), 0.985) << name;
+    }
+}
+
+TEST(Regression, BranchSlicingCarriesDeepsjeng)
+{
+    // deepsjeng's gain comes from branch slices (paper §5.3).
+    const WorkloadInfo *wl = findWorkload("deepsjeng");
+    ASSERT_NE(wl, nullptr);
+    EvalSizes sizes{150'000, 300'000};
+    SimConfig cfg = SimConfig::skylake();
+
+    CrispOptions no_branches;
+    no_branches.enableBranchSlices = false;
+    CrispOptions both;
+
+    CrispPipeline base_pipe(*wl, no_branches, cfg, sizes.trainOps,
+                            sizes.refOps);
+    Trace base_trace = base_pipe.refTrace(false);
+    double base = runCore(base_trace, cfg).ipc();
+
+    SimConfig ccfg = cfg;
+    ccfg.scheduler = SchedulerPolicy::CrispPriority;
+
+    CrispPipeline pb(*wl, both, cfg, sizes.trainOps, sizes.refOps);
+    Trace tagged = pb.refTrace(true);
+    double with_branches = runCore(tagged, ccfg).ipc();
+
+    EXPECT_GT(with_branches / base, 1.03);
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for backward slice extraction (§3.3), dependence
+ * through memory, the frontier termination rules and critical-path
+ * filtering (§3.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/critical_path.h"
+#include "core/slice_extractor.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+
+namespace crisp
+{
+namespace
+{
+
+Trace
+traceOf(Assembler &a, uint64_t max_ops = 100000)
+{
+    auto prog = std::make_shared<Program>(a.finish("t"));
+    Interpreter interp(prog);
+    return interp.run(max_ops);
+}
+
+bool
+contains(const std::vector<uint32_t> &v, uint32_t x)
+{
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(SliceExtractor, ProducerTableRegisterDeps)
+{
+    Assembler a;
+    a.movi(1, 5);     // 0
+    a.movi(2, 7);     // 1
+    a.add(3, 1, 2);   // 2: producers {0, 1}
+    a.addi(4, 3, 1);  // 3: producer {2}
+    a.halt();
+    Trace t = traceOf(a);
+    CrispOptions opts;
+    SliceExtractor ex(t, opts);
+    const auto &prod = ex.producers();
+    EXPECT_EQ(prod[2][0], 0);
+    EXPECT_EQ(prod[2][1], 1);
+    EXPECT_EQ(prod[3][0], 2);
+    EXPECT_EQ(prod[3][1], -1);
+    EXPECT_EQ(prod[0][0], -1); // movi has no producers
+}
+
+TEST(SliceExtractor, MemoryDependenceTracked)
+{
+    Assembler a;
+    a.movi(1, 0x4000); // 0
+    a.movi(2, 42);     // 1
+    a.st(1, 2, 0);     // 2
+    a.ld(3, 1, 0);     // 3: mem producer = 2
+    a.halt();
+    Trace t = traceOf(a);
+    CrispOptions opts;
+    SliceExtractor with_mem(t, opts);
+    EXPECT_EQ(with_mem.producers()[3][3], 2);
+
+    // Ablation: register-only (the IBDA view).
+    opts.memDependencies = false;
+    SliceExtractor reg_only(t, opts);
+    EXPECT_EQ(reg_only.producers()[3][3], -1);
+}
+
+/**
+ * Builds the paper's Fig 2/3 shape: stack-spilled pointer chase.
+ * Returns (trace, static indices of: ld cur, ld next, st cur).
+ */
+struct ChaseKernel
+{
+    Trace trace;
+    uint32_t ld_cur, ld_next, st_cur, root;
+};
+
+ChaseKernel
+makeChase()
+{
+    Assembler a;
+    const uint32_t n = 512;
+    // next[i] = i + 131 (mod n): a single cycle visiting all nodes.
+    for (uint32_t i = 0; i < n; ++i) {
+        a.poke(0x1000000 + uint64_t(i) * 64,
+               0x1000000 + uint64_t((i + 131) % n) * 64);
+    }
+    a.poke(0x180010, 0x1000000); // [sp+16] = cur
+    a.movi(62, 0x180000);        // 0: sp
+    a.movi(2, 0);                // 1: counter
+    auto loop = a.label();
+    a.bind(loop);
+    uint32_t ld_cur = a.here();
+    a.ld(10, 62, 16);            // cur (through memory)
+    uint32_t ld_next = a.here();
+    a.ld(11, 10, 0);             // cur->next
+    uint32_t st_cur = a.here();
+    a.st(62, 11, 16);            // cur = next
+    uint32_t root = a.here();
+    a.ld(12, 11, 8);             // val of the next node (root)
+    a.addi(2, 2, 1);
+    a.slti(3, 2, 400);
+    a.bne(3, 0, loop);
+    a.halt();
+    auto prog = std::make_shared<Program>(a.finish("chase"));
+    Interpreter interp(prog);
+    return {interp.run(100000), ld_cur, ld_next, st_cur, root};
+}
+
+TEST(SliceExtractor, ChaseSliceContainsThroughMemoryChain)
+{
+    ChaseKernel k = makeChase();
+    CrispOptions opts;
+    SliceExtractor ex(k.trace, opts);
+    Slice s = ex.extract(k.root);
+    EXPECT_TRUE(contains(s.fullSlice, k.root));
+    EXPECT_TRUE(contains(s.fullSlice, k.ld_next));
+    EXPECT_TRUE(contains(s.fullSlice, k.ld_cur));
+    // The store is reachable only through the memory dependence.
+    EXPECT_TRUE(contains(s.fullSlice, k.st_cur));
+    // The loop bookkeeping is NOT in the slice.
+    EXPECT_FALSE(contains(s.fullSlice, k.root + 1)); // addi
+    EXPECT_FALSE(contains(s.fullSlice, k.root + 2)); // slti
+}
+
+TEST(SliceExtractor, RegisterOnlyMissesTheStore)
+{
+    ChaseKernel k = makeChase();
+    CrispOptions opts;
+    opts.memDependencies = false; // IBDA's blind spot
+    SliceExtractor ex(k.trace, opts);
+    Slice s = ex.extract(k.root);
+    EXPECT_TRUE(contains(s.fullSlice, k.root));
+    EXPECT_FALSE(contains(s.fullSlice, k.st_cur));
+}
+
+TEST(SliceExtractor, CriticalSliceSubsetOfFull)
+{
+    ChaseKernel k = makeChase();
+    CrispOptions opts;
+    SliceExtractor ex(k.trace, opts);
+    Slice s = ex.extract(k.root);
+    EXPECT_LE(s.criticalSlice.size(), s.fullSlice.size());
+    EXPECT_TRUE(contains(s.criticalSlice, k.root));
+    for (uint32_t x : s.criticalSlice)
+        EXPECT_TRUE(contains(s.fullSlice, x));
+}
+
+TEST(SliceExtractor, FilterDisabledKeepsFullSlice)
+{
+    ChaseKernel k = makeChase();
+    CrispOptions opts;
+    opts.criticalPathFilter = false;
+    SliceExtractor ex(k.trace, opts);
+    Slice s = ex.extract(k.root);
+    EXPECT_EQ(s.criticalSlice, s.fullSlice);
+}
+
+TEST(SliceExtractor, UnknownRootYieldsEmptySlice)
+{
+    ChaseKernel k = makeChase();
+    CrispOptions opts;
+    SliceExtractor ex(k.trace, opts);
+    Slice s = ex.extract(999999);
+    EXPECT_TRUE(s.fullSlice.empty());
+}
+
+// ----------------------------------------------- critical path DAG
+
+SliceDag
+diamondDag()
+{
+    // root(3) <- b(1), c(2); b,c <- a(0). a:1cy, b:10cy, c:1cy,
+    // root:100cy.
+    SliceDag dag;
+    dag.nodes = {{0, 100, 1.0},
+                 {1, 101, 10.0},
+                 {2, 102, 1.0},
+                 {3, 103, 100.0}};
+    dag.edges = {{3, 1}, {3, 2}, {1, 0}, {2, 0}};
+    dag.rootNode = 3;
+    return dag;
+}
+
+TEST(CriticalPath, LongestPathLatency)
+{
+    SliceDag dag = diamondDag();
+    // Longest: a(1) + b(10) + root(100) = 111.
+    EXPECT_DOUBLE_EQ(longestPathLatency(dag), 111.0);
+}
+
+TEST(CriticalPath, FilterDropsShortArm)
+{
+    SliceDag dag = diamondDag();
+    auto kept = criticalPathFilter(dag, 0.95);
+    EXPECT_TRUE(contains(kept, 103u)); // root
+    EXPECT_TRUE(contains(kept, 101u)); // long arm b
+    EXPECT_TRUE(contains(kept, 100u)); // shared ancestor a
+    EXPECT_FALSE(contains(kept, 102u)); // short arm c (102/111)
+}
+
+TEST(CriticalPath, LowFractionKeepsEverything)
+{
+    SliceDag dag = diamondDag();
+    auto kept = criticalPathFilter(dag, 0.5);
+    EXPECT_EQ(kept.size(), 4u);
+}
+
+TEST(CriticalPath, NodesOffRootPathExcluded)
+{
+    SliceDag dag = diamondDag();
+    // Add an orphan node never reaching the root.
+    dag.nodes.push_back({4, 104, 500.0});
+    auto kept = criticalPathFilter(dag, 0.1);
+    EXPECT_FALSE(contains(kept, 104u));
+}
+
+TEST(CriticalPath, EmptyDag)
+{
+    SliceDag dag;
+    EXPECT_DOUBLE_EQ(longestPathLatency(dag), 0.0);
+    EXPECT_TRUE(criticalPathFilter(dag, 0.5).empty());
+}
+
+} // namespace
+} // namespace crisp

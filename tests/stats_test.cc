@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the stats helpers and the report table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.h"
+#include "sim/table.h"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, Formatting)
+{
+    EXPECT_EQ(percent(0.084), "8.4%");
+    EXPECT_EQ(percent(0.084, 2), "8.40%");
+    EXPECT_EQ(percent(-0.05), "-5.0%");
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(3.0, 0), "3");
+}
+
+TEST(Histogram, CountsAndAverage)
+{
+    Histogram h(10.0, 10);
+    h.add(5);
+    h.add(15);
+    h.add(25);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.average(), 15.0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+}
+
+TEST(Histogram, OverflowClampsToLastBucket)
+{
+    Histogram h(1.0, 4);
+    h.add(100.0);
+    EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(double(i));
+    EXPECT_NEAR(h.percentile(50), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(90), 90.0, 1.5);
+    Histogram empty(1.0, 4);
+    EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+}
+
+TEST(Table, AlignsAndPads)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    t.addRow({"short"}); // padded with empty cell
+    EXPECT_EQ(t.rows(), 3u);
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("longer-name | 22"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    // Separator line present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+} // namespace
+} // namespace crisp

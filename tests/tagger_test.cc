@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the post-link tagger (§4.1) and its footprint
+ * accounting (§5.7 / Fig 12).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/tagger.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+
+namespace crisp
+{
+namespace
+{
+
+Program
+smallProgram()
+{
+    Assembler a;
+    a.movi(1, 0);
+    auto loop = a.label();
+    a.bind(loop);
+    a.addi(1, 1, 1);  // idx 1
+    a.muli(2, 1, 3);  // idx 2
+    a.slti(3, 1, 50);
+    a.bne(3, 0, loop);
+    a.halt();
+    return a.finish("tag");
+}
+
+TEST(Tagger, AddsOneByteAndRelayouts)
+{
+    Program prog = smallProgram();
+    uint64_t bytes_before = prog.staticBytes();
+    uint64_t pc2_before = prog.code[2].pc;
+
+    EXPECT_EQ(applyCriticalPrefix(prog, {1, 2}), 2u);
+    EXPECT_TRUE(prog.code[1].critical);
+    EXPECT_TRUE(prog.code[2].critical);
+    EXPECT_EQ(prog.staticBytes(), bytes_before + 2);
+    // idx 2 shifted by the prefix byte of idx 1.
+    EXPECT_EQ(prog.code[2].pc, pc2_before + 1);
+    EXPECT_EQ(prog.criticalCount(), 2u);
+}
+
+TEST(Tagger, IdempotentAndBoundsChecked)
+{
+    Program prog = smallProgram();
+    EXPECT_EQ(applyCriticalPrefix(prog, {1}), 1u);
+    uint8_t size_after = prog.code[1].size;
+    // Tagging again adds nothing.
+    EXPECT_EQ(applyCriticalPrefix(prog, {1}), 0u);
+    EXPECT_EQ(prog.code[1].size, size_after);
+    // Out-of-range indices are ignored.
+    EXPECT_EQ(applyCriticalPrefix(prog, {12345}), 0u);
+}
+
+TEST(Tagger, SummaryCountsStaticAndDynamicBytes)
+{
+    Program prog = smallProgram();
+    applyCriticalPrefix(prog, {1});
+    auto shared = std::make_shared<Program>(prog);
+    Interpreter interp(shared);
+    Trace trace = interp.run(100000);
+
+    TagSummary s = summarizeTagging(*shared, trace);
+    EXPECT_EQ(s.taggedStatics, 1u);
+    EXPECT_EQ(s.staticBytesAfter - s.staticBytesBefore, 1u);
+    // addi executes 50 times: exactly 50 extra dynamic bytes.
+    EXPECT_EQ(s.dynamicBytesAfter - s.dynamicBytesBefore, 50u);
+    EXPECT_GT(s.dynamicOverhead(), 0.0);
+    EXPECT_GT(s.staticOverhead(), 0.0);
+    EXPECT_LT(s.staticOverhead(), 0.25);
+}
+
+TEST(Tagger, TracesFromTaggedProgramCarryFlags)
+{
+    Program prog = smallProgram();
+    applyCriticalPrefix(prog, {2});
+    auto shared = std::make_shared<Program>(std::move(prog));
+    Interpreter interp(shared);
+    Trace trace = interp.run(100000);
+    unsigned critical = 0;
+    for (const auto &op : trace.ops) {
+        if (op.critical) {
+            ++critical;
+            EXPECT_EQ(op.sidx, 2u);
+        }
+    }
+    EXPECT_EQ(critical, 50u);
+}
+
+TEST(TagSummary, ZeroDivisionSafe)
+{
+    TagSummary s;
+    EXPECT_EQ(s.staticOverhead(), 0.0);
+    EXPECT_EQ(s.dynamicOverhead(), 0.0);
+}
+
+} // namespace
+} // namespace crisp

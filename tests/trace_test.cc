@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for Trace utilities and binary trace I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "trace/trace_io.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+
+namespace crisp
+{
+namespace
+{
+
+Trace
+makeTrace()
+{
+    Assembler a;
+    a.poke(0x4000, 11);
+    a.movi(1, 0x4000);
+    a.movi(2, 0);
+    auto loop = a.label();
+    a.bind(loop);
+    a.ld(3, 1, 0);
+    a.addi(2, 2, 1);
+    a.slti(4, 2, 5);
+    a.bne(4, 0, loop);
+    a.halt();
+    auto prog = std::make_shared<Program>(a.finish("roundtrip"));
+    Interpreter interp(prog);
+    return interp.run(1000);
+}
+
+TEST(Trace, StaticExecCounts)
+{
+    Trace t = makeTrace();
+    auto counts = t.staticExecCounts();
+    // movi executed once, loop body 5 times.
+    EXPECT_EQ(counts[0], 1u);
+    EXPECT_EQ(counts[2], 5u); // ld
+    EXPECT_EQ(counts[3], 5u); // addi
+}
+
+TEST(Trace, DynamicBytesSumInstSizes)
+{
+    Trace t = makeTrace();
+    uint64_t expect = 0;
+    for (const auto &op : t.ops)
+        expect += op.instSize;
+    EXPECT_EQ(t.dynamicBytes(), expect);
+    EXPECT_GT(expect, t.size()); // every inst at least 1 byte
+}
+
+TEST(Trace, RestampAppliesNewSizesAndFlags)
+{
+    Trace t = makeTrace();
+    Program prog = *t.program;
+    prog.code[2].critical = true;
+    prog.code[2].size += 1;
+    prog.layout();
+    uint64_t before = t.dynamicBytes();
+    t.restampFromProgram(prog);
+    EXPECT_EQ(t.dynamicBytes(), before + 5); // 5 executions of ld
+    for (const auto &op : t.ops) {
+        EXPECT_EQ(op.critical, op.sidx == 2);
+        EXPECT_EQ(op.pc, prog.code[op.sidx].pc);
+    }
+    // nextPc consistency: sequential ops follow pc + size.
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t.ops[i].isControl())
+            EXPECT_EQ(t.ops[i].nextPc,
+                      t.ops[i].pc + t.ops[i].instSize);
+    }
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    Trace t = makeTrace();
+    const char *path = "trace_io_test.bin";
+    ASSERT_TRUE(saveTrace(t, path));
+    Trace back = loadTrace(path);
+    std::remove(path);
+
+    ASSERT_TRUE(back.program != nullptr);
+    ASSERT_EQ(back.size(), t.size());
+    EXPECT_EQ(back.program->name, "roundtrip");
+    EXPECT_EQ(back.program->code.size(), t.program->code.size());
+    EXPECT_EQ(back.program->dataInit, t.program->dataInit);
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back.ops[i].pc, t.ops[i].pc);
+        EXPECT_EQ(back.ops[i].sidx, t.ops[i].sidx);
+        EXPECT_EQ(back.ops[i].effAddr, t.ops[i].effAddr);
+        EXPECT_EQ(back.ops[i].taken, t.ops[i].taken);
+    }
+    // The reloaded program lays out to the same PCs.
+    EXPECT_EQ(back.program->indexOfPc(back.ops[0].pc), 0);
+}
+
+TEST(TraceIo, MissingFileYieldsEmptyTrace)
+{
+    Trace t = loadTrace("/nonexistent/path/trace.bin");
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.program, nullptr);
+}
+
+TEST(TraceIo, RejectsCorruptHeader)
+{
+    const char *path = "trace_io_corrupt.bin";
+    std::FILE *f = std::fopen(path, "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a trace file at all";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+    Trace t = loadTrace(path);
+    std::remove(path);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Program, CriticalCountTracksTags)
+{
+    Trace t = makeTrace();
+    Program prog = *t.program;
+    EXPECT_EQ(prog.criticalCount(), 0u);
+    prog.code[0].critical = true;
+    prog.code[4].critical = true;
+    EXPECT_EQ(prog.criticalCount(), 2u);
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Unit tests for the VM: sparse memory, the assembler DSL and the
+ * interpreter's opcode semantics and control flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+#include "vm/memory.h"
+
+namespace crisp
+{
+namespace
+{
+
+// ---------------------------------------------------------- Memory
+
+TEST(Memory, ZeroInitialized)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read64(0x1000), 0u);
+    EXPECT_EQ(mem.read64(0xdeadbe00), 0u);
+}
+
+TEST(Memory, ReadBackWrites)
+{
+    Memory mem;
+    mem.write64(0x2000, 0x1234567890abcdefULL);
+    mem.write64(0x2008, 42);
+    EXPECT_EQ(mem.read64(0x2000), 0x1234567890abcdefULL);
+    EXPECT_EQ(mem.read64(0x2008), 42u);
+}
+
+TEST(Memory, PagesAllocatedLazily)
+{
+    Memory mem;
+    EXPECT_EQ(mem.mappedPages(), 0u);
+    mem.write64(0x0, 1);
+    mem.write64(0x8, 2);
+    EXPECT_EQ(mem.mappedPages(), 1u); // same 4 KiB page
+    mem.write64(0x100000, 3);
+    EXPECT_EQ(mem.mappedPages(), 2u);
+}
+
+TEST(Memory, DistantAddressesIndependent)
+{
+    Memory mem;
+    mem.write64(0x1000, 7);
+    mem.write64(0x1000 + (1ULL << 40), 9);
+    EXPECT_EQ(mem.read64(0x1000), 7u);
+    EXPECT_EQ(mem.read64(0x1000 + (1ULL << 40)), 9u);
+}
+
+// ------------------------------------------------------- Assembler
+
+TEST(Assembler, LayoutAssignsConsecutivePcs)
+{
+    Assembler a;
+    a.movi(1, 5);     // 7 bytes
+    a.add(2, 1, 1);   // 3 bytes
+    a.halt();         // 1 byte
+    Program p = a.finish("t");
+    ASSERT_EQ(p.code.size(), 3u);
+    EXPECT_EQ(p.code[0].pc, kCodeBase);
+    EXPECT_EQ(p.code[1].pc, kCodeBase + 7);
+    EXPECT_EQ(p.code[2].pc, kCodeBase + 10);
+    EXPECT_EQ(p.indexOfPc(kCodeBase + 7), 1);
+    EXPECT_EQ(p.indexOfPc(kCodeBase + 8), -1);
+    EXPECT_EQ(p.staticBytes(), 11u);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels)
+{
+    Assembler a;
+    auto fwd = a.label();
+    auto back = a.label();
+    a.bind(back);
+    a.movi(1, 1);
+    a.beq(0, 0, fwd);   // forward reference
+    a.jmp(back);        // backward reference
+    a.bind(fwd);
+    a.halt();
+    Program p = a.finish("t");
+    EXPECT_EQ(p.code[1].target, a.indexOf(fwd));
+    EXPECT_EQ(p.code[2].target, a.indexOf(back));
+    EXPECT_EQ(a.indexOf(back), 0u);
+    EXPECT_EQ(a.indexOf(fwd), 3u);
+}
+
+TEST(Assembler, PokesReachProgram)
+{
+    Assembler a;
+    a.poke(0x5000, 99);
+    a.halt();
+    Program p = a.finish("t");
+    ASSERT_EQ(p.dataInit.size(), 1u);
+    EXPECT_EQ(p.dataInit[0].first, 0x5000u);
+    EXPECT_EQ(p.dataInit[0].second, 99u);
+}
+
+// ----------------------------------------------------- Interpreter
+
+/** Runs a tiny program and returns the interpreter for inspection. */
+std::pair<Trace, std::shared_ptr<Interpreter>>
+runProgram(Assembler &a, uint64_t max_ops = 100000)
+{
+    auto prog = std::make_shared<Program>(a.finish("t"));
+    auto interp = std::make_shared<Interpreter>(prog);
+    Trace t = interp->run(max_ops);
+    return {std::move(t), interp};
+}
+
+TEST(Interpreter, AluSemantics)
+{
+    Assembler a;
+    a.movi(1, 10);
+    a.movi(2, 3);
+    a.add(3, 1, 2);    // 13
+    a.sub(4, 1, 2);    // 7
+    a.mul(5, 1, 2);    // 30
+    a.div(6, 1, 2);    // 3
+    a.rem(7, 1, 2);    // 1
+    a.and_(8, 1, 2);   // 2
+    a.or_(9, 1, 2);    // 11
+    a.xor_(10, 1, 2);  // 9
+    a.shl(11, 1, 2);   // 80
+    a.shr(12, 1, 2);   // 1
+    a.slt(13, 2, 1);   // 1
+    a.slt(14, 1, 2);   // 0
+    a.halt();
+    auto [t, interp] = runProgram(a);
+    EXPECT_EQ(interp->reg(3), 13);
+    EXPECT_EQ(interp->reg(4), 7);
+    EXPECT_EQ(interp->reg(5), 30);
+    EXPECT_EQ(interp->reg(6), 3);
+    EXPECT_EQ(interp->reg(7), 1);
+    EXPECT_EQ(interp->reg(8), 2);
+    EXPECT_EQ(interp->reg(9), 11);
+    EXPECT_EQ(interp->reg(10), 9);
+    EXPECT_EQ(interp->reg(11), 80);
+    EXPECT_EQ(interp->reg(12), 1);
+    EXPECT_EQ(interp->reg(13), 1);
+    EXPECT_EQ(interp->reg(14), 0);
+    EXPECT_TRUE(interp->halted());
+}
+
+TEST(Interpreter, DivisionByZeroYieldsZero)
+{
+    Assembler a;
+    a.movi(1, 10);
+    a.movi(2, 0);
+    a.div(3, 1, 2);
+    a.rem(4, 1, 2);
+    a.halt();
+    auto [t, interp] = runProgram(a);
+    EXPECT_EQ(interp->reg(3), 0);
+    EXPECT_EQ(interp->reg(4), 0);
+}
+
+TEST(Interpreter, ImmediateOps)
+{
+    Assembler a;
+    a.movi(1, 100);
+    a.addi(2, 1, -1);
+    a.muli(3, 1, 4);
+    a.andi(4, 1, 0x6);
+    a.shli(5, 1, 1);
+    a.shri(6, 1, 2);
+    a.slti(7, 1, 101);
+    a.xori(8, 1, 0xff);
+    a.ori(9, 1, 0x3);
+    a.halt();
+    auto [t, interp] = runProgram(a);
+    EXPECT_EQ(interp->reg(2), 99);
+    EXPECT_EQ(interp->reg(3), 400);
+    EXPECT_EQ(interp->reg(4), 100 & 6);
+    EXPECT_EQ(interp->reg(5), 200);
+    EXPECT_EQ(interp->reg(6), 25);
+    EXPECT_EQ(interp->reg(7), 1);
+    EXPECT_EQ(interp->reg(8), 100 ^ 0xff);
+    EXPECT_EQ(interp->reg(9), 100 | 3);
+}
+
+TEST(Interpreter, LoadsAndStores)
+{
+    Assembler a;
+    a.poke(0x8000, 77);
+    a.movi(1, 0x8000);
+    a.ld(2, 1, 0);        // 77
+    a.movi(3, 8);
+    a.st(1, 2, 8);        // mem[0x8008] = 77
+    a.ldx(4, 1, 3, 0);    // mem[0x8000+8] = 77
+    a.movi(5, 123);
+    a.stx(1, 3, 5, 8);    // mem[0x8010] = 123
+    a.ld(6, 1, 16);
+    a.halt();
+    auto [t, interp] = runProgram(a);
+    EXPECT_EQ(interp->reg(2), 77);
+    EXPECT_EQ(interp->reg(4), 77);
+    EXPECT_EQ(interp->reg(6), 123);
+    // Effective addresses recorded in the trace (op 1 is the ld).
+    EXPECT_EQ(t.ops[1].effAddr, 0x8000u);
+    EXPECT_EQ(t.ops[1].memSize, 8u);
+}
+
+TEST(Interpreter, BranchSemanticsAndTrace)
+{
+    Assembler a;
+    auto target = a.label();
+    a.movi(1, 1);
+    a.movi(2, 2);
+    a.blt(1, 2, target);   // taken
+    a.movi(3, 111);        // skipped
+    a.bind(target);
+    a.beq(1, 2, target);   // not taken
+    a.halt();
+    auto [t, interp] = runProgram(a);
+    EXPECT_EQ(interp->reg(3), 0);
+    // Trace: movi, movi, blt(taken), beq(not), halt.
+    ASSERT_EQ(t.size(), 5u);
+    EXPECT_TRUE(t.ops[2].taken);
+    EXPECT_FALSE(t.ops[3].taken);
+    // nextPc of the taken branch is the target's pc.
+    EXPECT_EQ(t.ops[2].nextPc, t.ops[3].pc);
+}
+
+TEST(Interpreter, LoopExecutesExactTripCount)
+{
+    Assembler a;
+    a.movi(1, 0);
+    a.movi(2, 10);
+    auto loop = a.label();
+    a.bind(loop);
+    a.addi(1, 1, 1);
+    a.blt(1, 2, loop);
+    a.halt();
+    auto [t, interp] = runProgram(a);
+    EXPECT_EQ(interp->reg(1), 10);
+    // 2 movi + 10*(addi,blt) + halt
+    EXPECT_EQ(t.size(), 2u + 20u + 1u);
+}
+
+TEST(Interpreter, CallAndReturn)
+{
+    Assembler a;
+    auto fn = a.label();
+    a.movi(1, 5);
+    a.call(60, fn);
+    a.addi(1, 1, 100);   // after return: 5*2+100
+    a.halt();
+    a.bind(fn);
+    a.muli(1, 1, 2);
+    a.ret(60);
+    auto [t, interp] = runProgram(a);
+    EXPECT_EQ(interp->reg(1), 110);
+    EXPECT_TRUE(interp->halted());
+}
+
+TEST(Interpreter, IndirectJumpViaStaticIndex)
+{
+    Assembler a;
+    auto tgt = a.label();
+    a.movi(1, 0);     // patched below via data+load
+    a.movi(2, 0x9000);
+    a.ld(1, 2, 0);    // load the target index
+    a.jr(1);
+    a.movi(3, 1);     // skipped
+    a.bind(tgt);
+    a.movi(4, 9);
+    a.halt();
+    // Resolve tgt's static index into data memory.
+    a.poke(0x9000, a.indexOf(tgt));
+    auto [t, interp] = runProgram(a);
+    EXPECT_EQ(interp->reg(3), 0);
+    EXPECT_EQ(interp->reg(4), 9);
+}
+
+TEST(Interpreter, MaxOpsCapStopsWithoutHalt)
+{
+    Assembler a;
+    auto loop = a.label();
+    a.bind(loop);
+    a.addi(1, 1, 1);
+    a.jmp(loop);
+    auto prog = std::make_shared<Program>(a.finish("t"));
+    Interpreter interp(prog);
+    Trace t = interp.run(1000);
+    EXPECT_EQ(t.size(), 1000u);
+    EXPECT_FALSE(interp.halted());
+}
+
+TEST(Interpreter, CriticalFlagsFlowIntoTrace)
+{
+    Assembler a;
+    a.movi(1, 1);
+    a.addi(1, 1, 1);
+    a.halt();
+    Program p = a.finish("t");
+    p.code[1].critical = true;
+    p.code[1].size += 1;
+    p.layout();
+    auto prog = std::make_shared<Program>(std::move(p));
+    Interpreter interp(prog);
+    Trace t = interp.run(10);
+    EXPECT_FALSE(t.ops[0].critical);
+    EXPECT_TRUE(t.ops[1].critical);
+    EXPECT_EQ(t.ops[1].instSize, prog->code[1].size);
+}
+
+TEST(Interpreter, DeterministicAcrossRuns)
+{
+    Assembler a;
+    a.movi(1, 3);
+    a.movi(2, 0);
+    auto loop = a.label();
+    a.bind(loop);
+    a.mul(1, 1, 1);
+    a.addi(2, 2, 1);
+    a.slti(3, 2, 4);
+    a.bne(3, 0, loop);
+    a.halt();
+    auto prog = std::make_shared<Program>(a.finish("t"));
+    Interpreter i1(prog), i2(prog);
+    Trace t1 = i1.run(1000), t2 = i2.run(1000);
+    ASSERT_EQ(t1.size(), t2.size());
+    for (size_t k = 0; k < t1.size(); ++k) {
+        EXPECT_EQ(t1.ops[k].pc, t2.ops[k].pc);
+        EXPECT_EQ(t1.ops[k].effAddr, t2.ops[k].effAddr);
+    }
+}
+
+} // namespace
+} // namespace crisp

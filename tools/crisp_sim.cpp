@@ -1,0 +1,117 @@
+/**
+ * @file
+ * crisp_sim: command-line front end to the whole library. Runs any
+ * registered workload under any scheduler / machine / analysis
+ * configuration and prints a comparison report.
+ *
+ *   crisp_sim --list
+ *   crisp_sim --workload memcached
+ *   crisp_sim --workload xhpcg --rs 192 --rob 448
+ *   crisp_sim --workload lbm --no-load-slices
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/cli.h"
+#include "sim/driver.h"
+#include "trace/trace_io.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+namespace
+{
+
+void
+report(const char *label, const CoreStats &s)
+{
+    std::printf("%-6s IPC %.3f | cycles %9llu | LLC MPKI %6.2f | "
+                "mispredicts %7llu | ROB-head stall %9llu\n",
+                label, s.ipc(), (unsigned long long)s.cycles,
+                s.llcMpki(),
+                (unsigned long long)s.frontend.mispredicts(),
+                (unsigned long long)s.robHeadStallCycles);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    CliOptions opt = parseCli(args);
+    if (!opt.ok()) {
+        std::fprintf(stderr, "crisp_sim: %s\n%s", opt.error.c_str(),
+                     cliUsage().c_str());
+        return 2;
+    }
+    if (opt.showHelp) {
+        std::fputs(cliUsage().c_str(), stdout);
+        return 0;
+    }
+    if (opt.listWorkloads) {
+        for (const auto &wl : workloadRegistry())
+            std::printf("%-14s %s\n", wl.name.c_str(),
+                        wl.description.c_str());
+        return 0;
+    }
+
+    const WorkloadInfo *wl = findWorkload(opt.workload);
+    if (!wl) {
+        std::fprintf(stderr,
+                     "crisp_sim: unknown workload '%s' (--list)\n",
+                     opt.workload.c_str());
+        return 2;
+    }
+
+    std::printf("workload: %s — %s\n", wl->name.c_str(),
+                wl->description.c_str());
+    std::printf("machine : %s\n\n", opt.machine.describe().c_str());
+
+    CrispPipeline pipe(*wl, opt.analysis, opt.machine, opt.trainOps,
+                       opt.refOps);
+    const CrispAnalysis &a = pipe.analysis();
+    std::printf("analysis: %zu delinquent loads, %zu branches, %zu"
+                " long-latency ops; %zu tagged statics "
+                "(dyn ratio %.2f)\n\n",
+                a.delinquentLoads.size(), a.criticalBranches.size(),
+                a.longLatencyOps.size(), a.taggedStatics.size(),
+                a.dynamicCriticalRatio);
+
+    double base_ipc = 0;
+    if (opt.scheduler == "ooo" || opt.scheduler == "both" ||
+        opt.scheduler == "ibda") {
+        Trace base_trace = pipe.refTrace(false);
+        CoreStats s = runCore(base_trace, opt.machine);
+        report("ooo", s);
+        base_ipc = s.ipc();
+        if (opt.scheduler == "ibda" || opt.scheduler == "both") {
+            CoreStats si = runCore(
+                base_trace, ibdaConfig(opt.machine, opt.ist));
+            report("ibda", si);
+            if (base_ipc > 0)
+                std::printf("       ibda speedup %+.1f%%\n",
+                            (si.ipc() / base_ipc - 1.0) * 100.0);
+        }
+    }
+    if (opt.scheduler == "crisp" || opt.scheduler == "both") {
+        Trace tagged = pipe.refTrace(true);
+        if (!opt.saveTracePath.empty()) {
+            if (saveTrace(tagged, opt.saveTracePath))
+                std::printf("tagged trace written to %s\n",
+                            opt.saveTracePath.c_str());
+            else
+                std::fprintf(stderr, "failed to write %s\n",
+                             opt.saveTracePath.c_str());
+        }
+        SimConfig cfg = opt.machine;
+        cfg.scheduler = SchedulerPolicy::CrispPriority;
+        CoreStats s = runCore(tagged, cfg);
+        report("crisp", s);
+        if (base_ipc > 0)
+            std::printf("       crisp speedup %+.1f%%\n",
+                        (s.ipc() / base_ipc - 1.0) * 100.0);
+    }
+    return 0;
+}
