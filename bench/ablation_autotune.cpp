@@ -9,37 +9,51 @@
 #include <iostream>
 
 #include "core/autotune.h"
+#include "sim/cli.h"
 #include "sim/stats.h"
 #include "sim/table.h"
+#include "sim/thread_pool.h"
 #include "workloads/workload.h"
 
 using namespace crisp;
 
 int
-main()
+main(int argc, char **argv)
 {
     SimConfig cfg = SimConfig::skylake();
     CrispOptions opts;
     const uint64_t kTrain = 150'000, kRef = 300'000;
+    unsigned jobs = benchJobsArg(argc, argv);
 
     std::cout << "=== §5.5 extension: per-workload threshold "
                  "auto-tuning ===\n\n";
     Table table({"workload", "fixed T=1%", "best T", "tuned gain"});
 
+    // One tuning search per workload, in parallel; the shared cache
+    // builds each workload's traces once across all thresholds.
+    const auto &workloads = workloadRegistry();
+    std::vector<AutoTuneResult> results(workloads.size());
+    ArtifactCache cache;
+    ThreadPool pool(jobs);
+    pool.parallelFor(workloads.size(), [&](size_t w) {
+        results[w] = autoTuneMissShare(workloads[w], cfg, opts,
+                                       kTrain, kRef,
+                                       {0.05, 0.02, 0.01, 0.002},
+                                       &cache);
+    });
+
     std::vector<double> fixed_gain, tuned_gain;
-    for (const auto &wl : workloadRegistry()) {
-        AutoTuneResult r =
-            autoTuneMissShare(wl, cfg, opts, kTrain, kRef);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        AutoTuneResult &r = results[w];
         double at_default = r.ipcByThreshold.count(0.01)
                                 ? r.ipcByThreshold[0.01] /
                                       r.baselineIpc
                                 : 1.0;
         fixed_gain.push_back(at_default);
         tuned_gain.push_back(r.bestSpeedup());
-        table.addRow({wl.name, percent(at_default - 1.0),
+        table.addRow({workloads[w].name, percent(at_default - 1.0),
                       percent(r.bestThreshold, 1),
                       percent(r.bestSpeedup() - 1.0)});
-        std::cerr << "  done " << wl.name << "\n";
     }
     table.addRow({"geomean", percent(geomean(fixed_gain) - 1.0), "",
                   percent(geomean(tuned_gain) - 1.0)});

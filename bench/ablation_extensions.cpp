@@ -12,80 +12,90 @@
  *      §3.5).
  */
 
+#include <array>
 #include <iostream>
 
+#include "sim/artifact_cache.h"
+#include "sim/cli.h"
 #include "sim/driver.h"
 #include "sim/stats.h"
 #include "sim/table.h"
+#include "sim/thread_pool.h"
 #include "workloads/workload.h"
 
 using namespace crisp;
 
-namespace
-{
-
-double
-crispIpc(const WorkloadInfo &wl, const SimConfig &machine,
-         const CrispOptions &opts, const EvalSizes &sizes)
-{
-    CrispPipeline pipe(wl, opts, machine, sizes.trainOps,
-                       sizes.refOps);
-    Trace tagged = pipe.refTrace(true);
-    SimConfig cfg = machine;
-    cfg.scheduler = SchedulerPolicy::CrispPriority;
-    CoreStats s = runCore(tagged, cfg);
-    return s.ipc();
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
     SimConfig machine = SimConfig::skylake();
     EvalSizes sizes{200'000, 400'000};
+    unsigned jobs = benchJobsArg(argc, argv);
 
     std::cout << "=== Ablations: §6.1 extensions and §3.5 design "
                  "choices ===\n\n";
     Table table({"workload", "CRISP", "+crit DRAM", "+div slices",
                  "no CP filter", "no mem deps"});
 
+    // Variant machine/analysis configurations.
+    CrispOptions base_opts;
+    SimConfig crit_dram = machine;
+    crit_dram.enableCriticalDram = true;
+    CrispOptions divs = base_opts;
+    divs.enableLongLatencySlices = true;
+    CrispOptions nocp = base_opts;
+    nocp.criticalPathFilter = false;
+    CrispOptions nomem = base_opts;
+    nomem.memDependencies = false;
+
+    struct Variant
+    {
+        CrispOptions opts;
+        SimConfig machine;
+    };
+    const std::array<Variant, 5> variants = {
+        Variant{base_opts, machine}, Variant{base_opts, crit_dram},
+        Variant{divs, machine}, Variant{nocp, machine},
+        Variant{nomem, machine}};
+
+    const auto &workloads = workloadRegistry();
+    const size_t n = workloads.size();
+    constexpr size_t kRuns = 6; // baseline + 5 variants
+
+    // All variants share the training and untagged reference traces;
+    // each distinct (opts, machine) pair gets its own analysis and
+    // tagged trace from the cache.
+    std::vector<std::array<double, kRuns>> ipc(n);
+    ArtifactCache cache;
+    ThreadPool pool(jobs);
+    pool.parallelFor(n * kRuns, [&](size_t i) {
+        size_t w = i / kRuns;
+        size_t v = i % kRuns;
+        const WorkloadInfo &wl = workloads[w];
+        if (v == 0) {
+            auto trace =
+                cache.trace(wl, InputSet::Ref, sizes.refOps);
+            ipc[w][0] = runCore(*trace, machine).ipc();
+        } else {
+            const Variant &var = variants[v - 1];
+            auto trace = cache.taggedRefTrace(
+                wl, var.opts, var.machine, sizes.trainOps,
+                sizes.refOps);
+            SimConfig cfg = var.machine;
+            cfg.scheduler = SchedulerPolicy::CrispPriority;
+            ipc[w][v] = runCore(*trace, cfg).ipc();
+        }
+    });
+
     std::vector<std::vector<double>> cols(5);
-    for (const auto &wl : workloadRegistry()) {
-        CrispOptions base_opts;
-        CrispPipeline base_pipe(wl, base_opts, machine,
-                                sizes.trainOps, sizes.refOps);
-        Trace base_trace = base_pipe.refTrace(false);
-        double base_ipc = runCore(base_trace, machine).ipc();
-
-        // 1. plain CRISP
-        double v0 = crispIpc(wl, machine, base_opts, sizes);
-        // 2. + criticality-aware DRAM
-        SimConfig crit_dram = machine;
-        crit_dram.enableCriticalDram = true;
-        double v1 = crispIpc(wl, crit_dram, base_opts, sizes);
-        // 3. + division slices
-        CrispOptions divs = base_opts;
-        divs.enableLongLatencySlices = true;
-        double v2 = crispIpc(wl, machine, divs, sizes);
-        // 4. critical-path filter off
-        CrispOptions nocp = base_opts;
-        nocp.criticalPathFilter = false;
-        double v3 = crispIpc(wl, machine, nocp, sizes);
-        // 5. memory dependencies off (register-only slices)
-        CrispOptions nomem = base_opts;
-        nomem.memDependencies = false;
-        double v4 = crispIpc(wl, machine, nomem, sizes);
-
-        std::vector<std::string> row = {wl.name};
-        double vals[5] = {v0, v1, v2, v3, v4};
+    for (size_t w = 0; w < n; ++w) {
+        std::vector<std::string> row = {workloads[w].name};
         for (int k = 0; k < 5; ++k) {
-            double speedup = vals[k] / base_ipc;
+            double speedup = ipc[w][k + 1] / ipc[w][0];
             cols[k].push_back(speedup);
             row.push_back(percent(speedup - 1.0));
         }
         table.addRow(row);
-        std::cerr << "  done " << wl.name << "\n";
     }
     std::vector<std::string> mean_row = {"geomean"};
     for (int k = 0; k < 5; ++k)

@@ -7,11 +7,15 @@
  * and also reports the no-prefetcher machine.
  */
 
+#include <array>
 #include <iostream>
 
+#include "sim/artifact_cache.h"
+#include "sim/cli.h"
 #include "sim/driver.h"
 #include "sim/stats.h"
 #include "sim/table.h"
+#include "sim/thread_pool.h"
 #include "workloads/workload.h"
 
 using namespace crisp;
@@ -33,7 +37,7 @@ withPrefetchers(bool bop, bool stream, bool stride, bool ghb)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     struct Variant
     {
@@ -49,6 +53,7 @@ main()
 
     CrispOptions opts;
     EvalSizes sizes{200'000, 400'000};
+    unsigned jobs = benchJobsArg(argc, argv);
 
     std::cout << "=== §5.1 ablation: CRISP gain under different "
                  "baseline prefetchers ===\n\n";
@@ -57,25 +62,47 @@ main()
         headers.push_back(v.label);
     Table table(headers);
 
-    std::vector<std::vector<double>> cols(4);
-    for (const auto &wl : workloadRegistry()) {
-        std::vector<std::string> row = {wl.name};
-        for (size_t k = 0; k < 4; ++k) {
-            const SimConfig &cfg = variants[k].cfg;
-            CrispPipeline pipe(wl, opts, cfg, sizes.trainOps,
-                               sizes.refOps);
-            Trace base_trace = pipe.refTrace(false);
-            double base = runCore(base_trace, cfg).ipc();
-            Trace tagged = pipe.refTrace(true);
+    const auto &workloads = workloadRegistry();
+    const size_t n = workloads.size();
+    constexpr size_t kVariants = 4;
+
+    // Each machine variant needs its own profile-sensitive analysis,
+    // but the untagged reference trace (machine-independent) is
+    // shared across all four through the cache.
+    // ipc[workload][variant][0 = baseline, 1 = CRISP].
+    std::vector<std::array<std::array<double, 2>, kVariants>> ipc(n);
+    ArtifactCache cache;
+    ThreadPool pool(jobs);
+    pool.parallelFor(n * kVariants * 2, [&](size_t i) {
+        size_t w = i / (kVariants * 2);
+        size_t k = i / 2 % kVariants;
+        bool crisp = i % 2;
+        const WorkloadInfo &wl = workloads[w];
+        const SimConfig &cfg = variants[k].cfg;
+        if (crisp) {
+            auto trace = cache.taggedRefTrace(
+                wl, opts, cfg, sizes.trainOps, sizes.refOps);
             SimConfig ccfg = cfg;
             ccfg.scheduler = SchedulerPolicy::CrispPriority;
-            double crisp = runCore(tagged, ccfg).ipc();
-            double speedup = base > 0 ? crisp / base : 1.0;
+            ipc[w][k][1] = runCore(*trace, ccfg).ipc();
+        } else {
+            auto trace =
+                cache.trace(wl, InputSet::Ref, sizes.refOps);
+            ipc[w][k][0] = runCore(*trace, cfg).ipc();
+        }
+    });
+
+    std::vector<std::vector<double>> cols(kVariants);
+    for (size_t w = 0; w < n; ++w) {
+        std::vector<std::string> row = {workloads[w].name};
+        for (size_t k = 0; k < kVariants; ++k) {
+            double base = ipc[w][k][0];
+            double speedup =
+                base > 0 ? ipc[w][k][1] / base : 1.0;
             cols[k].push_back(speedup);
             row.push_back(percent(speedup - 1.0));
         }
         table.addRow(row);
-        std::cerr << "  done " << wl.name << "\n";
     }
     std::vector<std::string> mean_row = {"geomean"};
     for (size_t k = 0; k < 4; ++k)

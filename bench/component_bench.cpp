@@ -4,10 +4,16 @@
  * components: branch predictors, cache lookups, DRAM timing, the age
  * matrix, the interpreter, and end-to-end core simulation speed.
  * These guard the "laptop-runnable" property of the reproduction.
+ *
+ * Before the microbenchmarks, the binary times the parallel
+ * evaluation engine end-to-end — the same evaluateAll batch serially
+ * (--jobs 1) and on all cores — prints per-phase wall time, and
+ * writes the comparison to BENCH_parallel.json for machines to read.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 
 #include "bp/bimodal.h"
@@ -17,6 +23,9 @@
 #include "cpu/age_matrix.h"
 #include "cpu/core.h"
 #include "dram/controller.h"
+#include "sim/driver.h"
+#include "sim/stats.h"
+#include "sim/thread_pool.h"
 #include "vm/interpreter.h"
 #include "workloads/workload.h"
 
@@ -152,6 +161,73 @@ BENCHMARK(BM_AgeMatrixSelect)->Arg(96)->Arg(192);
 BENCHMARK(BM_Interpreter);
 BENCHMARK(BM_CoreSimulation);
 
+/**
+ * Times one evaluateAll batch serially and on all cores, printing
+ * per-phase wall time and emitting BENCH_parallel.json.
+ */
+void
+parallelEngineBench()
+{
+    SimConfig cfg = SimConfig::skylake();
+    CrispOptions opts;
+    EvalSizes sizes{60'000, 100'000};
+    std::vector<WorkloadInfo> wls;
+    for (const auto &wl : workloadRegistry()) {
+        wls.push_back(wl);
+        if (wls.size() == 4)
+            break;
+    }
+    unsigned jobs = ThreadPool::defaultJobs();
+
+    std::printf("=== parallel evaluation engine (%zu workloads, "
+                "%u hardware threads) ===\n",
+                wls.size(), jobs);
+
+    Timer t_serial;
+    auto serial = evaluateAll(wls, cfg, opts, sizes, /*jobs=*/1);
+    double serial_s = t_serial.seconds();
+    std::printf("  phase serial   (--jobs 1): %7.2f s\n", serial_s);
+
+    Timer t_par;
+    auto parallel = evaluateAll(wls, cfg, opts, sizes, jobs);
+    double parallel_s = t_par.seconds();
+    std::printf("  phase parallel (--jobs %u): %7.2f s\n", jobs,
+                parallel_s);
+
+    bool identical = serial.size() == parallel.size();
+    for (size_t i = 0; identical && i < serial.size(); ++i)
+        identical = serial[i].ipcBaseline ==
+                        parallel[i].ipcBaseline &&
+                    serial[i].ipcCrisp == parallel[i].ipcCrisp;
+    double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+    std::printf("  speedup %.2fx, results %s\n\n", speedup,
+                identical ? "identical" : "DIVERGED");
+
+    if (FILE *f = std::fopen("BENCH_parallel.json", "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"workloads\": %zu,\n"
+                     "  \"jobs\": %u,\n"
+                     "  \"serial_seconds\": %.3f,\n"
+                     "  \"parallel_seconds\": %.3f,\n"
+                     "  \"speedup\": %.3f,\n"
+                     "  \"identical\": %s\n"
+                     "}\n",
+                     wls.size(), jobs, serial_s, parallel_s,
+                     speedup, identical ? "true" : "false");
+        std::fclose(f);
+        std::printf("  wrote BENCH_parallel.json\n\n");
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    parallelEngineBench();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

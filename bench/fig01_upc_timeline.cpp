@@ -13,7 +13,10 @@
 #include <cstdio>
 
 #include "core/pipeline.h"
+#include "sim/artifact_cache.h"
+#include "sim/cli.h"
 #include "sim/driver.h"
+#include "sim/thread_pool.h"
 #include "workloads/workload.h"
 
 using namespace crisp;
@@ -42,21 +45,30 @@ bucketize(const std::vector<uint8_t> &timeline, size_t start,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const WorkloadInfo *wl = findWorkload("pointer_chase");
     SimConfig cfg = SimConfig::skylake();
     CrispOptions opts;
+    const uint64_t kTrain = 150'000, kRef = 250'000;
 
-    CrispPipeline pipe(*wl, opts, cfg, 150'000, 250'000);
-
-    Trace base_trace = pipe.refTrace(false);
-    CoreStats base = runCore(base_trace, cfg, true);
-
-    Trace crisp_trace = pipe.refTrace(true);
-    SimConfig crisp_cfg = cfg;
-    crisp_cfg.scheduler = SchedulerPolicy::CrispPriority;
-    CoreStats crisp = runCore(crisp_trace, crisp_cfg, true);
+    // The OOO and CRISP runs are independent jobs; the training
+    // trace behind the CRISP tagging is built through the cache.
+    CoreStats base, crisp;
+    ArtifactCache cache;
+    ThreadPool pool(benchJobsArg(argc, argv));
+    pool.parallelFor(2, [&](size_t i) {
+        if (i == 0) {
+            auto trace = cache.trace(*wl, InputSet::Ref, kRef);
+            base = runCore(*trace, cfg, true);
+        } else {
+            auto trace =
+                cache.taggedRefTrace(*wl, opts, cfg, kTrain, kRef);
+            SimConfig crisp_cfg = cfg;
+            crisp_cfg.scheduler = SchedulerPolicy::CrispPriority;
+            crisp = runCore(*trace, crisp_cfg, true);
+        }
+    });
 
     std::printf("=== Figure 1: UPC timeline, pointer-chase "
                 "microbenchmark ===\n\n");

@@ -8,14 +8,17 @@
 #include <iostream>
 
 #include "core/pipeline.h"
+#include "sim/artifact_cache.h"
+#include "sim/cli.h"
 #include "sim/stats.h"
 #include "sim/table.h"
+#include "sim/thread_pool.h"
 #include "workloads/workload.h"
 
 using namespace crisp;
 
 int
-main()
+main(int argc, char **argv)
 {
     SimConfig cfg = SimConfig::skylake();
     CrispOptions opts;
@@ -24,9 +27,19 @@ main()
     Table table({"workload", "slices", "avg full slice",
                  "avg critical slice", "avg dyn ancestors"});
 
-    for (const auto &wl : workloadRegistry()) {
-        CrispPipeline pipe(wl, opts, cfg, 200'000, 200'000);
-        const CrispAnalysis &a = pipe.analysis();
+    // Analysis-only figure: one job per workload.
+    const auto &workloads = workloadRegistry();
+    std::vector<std::shared_ptr<const CrispAnalysis>> analyses(
+        workloads.size());
+    ArtifactCache cache;
+    ThreadPool pool(benchJobsArg(argc, argv));
+    pool.parallelFor(workloads.size(), [&](size_t w) {
+        analyses[w] =
+            cache.analysis(workloads[w], opts, cfg, 200'000);
+    });
+
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const CrispAnalysis &a = *analyses[w];
         double full = 0, crit = 0, dyn = 0;
         for (const auto &s : a.loadSlices) {
             full += double(s.fullSlice.size());
@@ -34,11 +47,10 @@ main()
             dyn += s.avgDynAncestors;
         }
         size_t n = a.loadSlices.size();
-        table.addRow({wl.name, std::to_string(n),
+        table.addRow({workloads[w].name, std::to_string(n),
                       n ? fixed(full / double(n), 1) : "-",
                       n ? fixed(crit / double(n), 1) : "-",
                       n ? fixed(dyn / double(n), 1) : "-"});
-        std::cerr << "  done " << wl.name << "\n";
     }
     table.print(std::cout);
     std::cout << "\npaper reference: slices range from a handful of "

@@ -4,13 +4,15 @@
  * baseline and over hardware IBDA with 1K/8K/64K/infinite instruction
  * slice tables, for every evaluated workload plus the mean.
  *
- * Usage: fig07_ipc [--fast]
+ * Usage: fig07_ipc [--fast] [--jobs N]
  *   --fast runs a reduced IBDA set (1K and inf) on shorter traces.
+ *   --jobs N caps the parallel worker count (default: all cores).
  */
 
 #include <cstring>
 #include <iostream>
 
+#include "sim/cli.h"
 #include "sim/driver.h"
 #include "sim/stats.h"
 #include "sim/table.h"
@@ -21,7 +23,10 @@ using namespace crisp;
 int
 main(int argc, char **argv)
 {
-    bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+    bool fast = false;
+    for (int i = 1; i < argc; ++i)
+        fast = fast || std::strcmp(argv[i], "--fast") == 0;
+    unsigned jobs = benchJobsArg(argc, argv);
 
     SimConfig cfg = SimConfig::skylake();
     CrispOptions opts;
@@ -46,9 +51,13 @@ main(int argc, char **argv)
     std::vector<double> crisp_speedups;
     std::map<std::string, std::vector<double>> ibda_speedups;
 
-    for (const auto &wl : workloadRegistry()) {
-        WorkloadEval ev =
-            evaluateWorkload(wl, cfg, opts, sizes, ists);
+    Timer timer;
+    std::vector<WorkloadEval> evals = evaluateAll(
+        workloadRegistry(), cfg, opts, sizes, jobs, ists);
+    std::cerr << "  " << evals.size() << " workloads evaluated in "
+              << fixed(timer.seconds(), 1) << "s\n";
+
+    for (const WorkloadEval &ev : evals) {
         std::vector<std::string> row = {
             ev.name, fixed(ev.ipcBaseline, 3),
             percent(ev.crispSpeedup() - 1.0)};
@@ -58,7 +67,6 @@ main(int argc, char **argv)
             ibda_speedups[ist].push_back(ev.ibdaSpeedup(ist));
         }
         table.addRow(row);
-        std::cerr << "  done " << ev.name << "\n";
     }
 
     std::vector<std::string> mean_row = {

@@ -6,38 +6,25 @@
  * combination.
  */
 
+#include <array>
 #include <iostream>
 
+#include "sim/artifact_cache.h"
+#include "sim/cli.h"
 #include "sim/driver.h"
 #include "sim/stats.h"
 #include "sim/table.h"
+#include "sim/thread_pool.h"
 #include "workloads/workload.h"
 
 using namespace crisp;
 
-namespace
-{
-
-double
-gainWith(const WorkloadInfo &wl, const SimConfig &cfg,
-         CrispOptions opts, const EvalSizes &sizes,
-         double base_ipc)
-{
-    CrispPipeline pipe(wl, opts, cfg, sizes.trainOps, sizes.refOps);
-    Trace tagged = pipe.refTrace(true);
-    SimConfig crisp_cfg = cfg;
-    crisp_cfg.scheduler = SchedulerPolicy::CrispPriority;
-    CoreStats s = runCore(tagged, crisp_cfg);
-    return s.ipc() / base_ipc - 1.0;
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
     SimConfig cfg = SimConfig::skylake();
     EvalSizes sizes{200'000, 400'000};
+    unsigned jobs = benchJobsArg(argc, argv);
 
     std::cout << "=== Figure 8: load slices vs branch slices vs "
                  "combined ===\n\n";
@@ -45,34 +32,54 @@ main()
         {"workload", "base IPC", "branch only", "load only",
          "combined"});
 
+    // Variant option sets: branch-only, load-only, combined.
+    CrispOptions branch_only;
+    branch_only.enableLoadSlices = false;
+    CrispOptions load_only;
+    load_only.enableBranchSlices = false;
+    CrispOptions both;
+    const std::array<CrispOptions, 3> variants = {branch_only,
+                                                  load_only, both};
+
+    const auto &workloads = workloadRegistry();
+    const size_t n = workloads.size();
+    constexpr size_t kRuns = 4; // baseline + 3 variants
+
+    // ipc[workload][0 = baseline, 1..3 = variants].
+    std::vector<std::array<double, kRuns>> ipc(n);
+
+    ArtifactCache cache;
+    ThreadPool pool(jobs);
+    pool.parallelFor(n * kRuns, [&](size_t i) {
+        size_t w = i / kRuns;
+        size_t v = i % kRuns;
+        const WorkloadInfo &wl = workloads[w];
+        if (v == 0) {
+            auto trace =
+                cache.trace(wl, InputSet::Ref, sizes.refOps);
+            ipc[w][0] = runCore(*trace, cfg).ipc();
+        } else {
+            auto trace = cache.taggedRefTrace(
+                wl, variants[v - 1], cfg, sizes.trainOps,
+                sizes.refOps);
+            SimConfig crisp_cfg = cfg;
+            crisp_cfg.scheduler = SchedulerPolicy::CrispPriority;
+            ipc[w][v] = runCore(*trace, crisp_cfg).ipc();
+        }
+    });
+
     std::vector<double> b_only, l_only, comb;
-    for (const auto &wl : workloadRegistry()) {
-        // Shared baseline run (untagged).
-        CrispOptions none;
-        none.enableLoadSlices = false;
-        none.enableBranchSlices = false;
-        CrispPipeline base_pipe(wl, none, cfg, sizes.trainOps,
-                                sizes.refOps);
-        Trace base_trace = base_pipe.refTrace(false);
-        CoreStats base = runCore(base_trace, cfg);
-        double base_ipc = base.ipc();
-
-        CrispOptions branch_only;
-        branch_only.enableLoadSlices = false;
-        CrispOptions load_only;
-        load_only.enableBranchSlices = false;
-        CrispOptions both;
-
-        double gb = gainWith(wl, cfg, branch_only, sizes, base_ipc);
-        double gl = gainWith(wl, cfg, load_only, sizes, base_ipc);
-        double gc = gainWith(wl, cfg, both, sizes, base_ipc);
+    for (size_t w = 0; w < n; ++w) {
+        double base_ipc = ipc[w][0];
+        double gb = ipc[w][1] / base_ipc - 1.0;
+        double gl = ipc[w][2] / base_ipc - 1.0;
+        double gc = ipc[w][3] / base_ipc - 1.0;
         b_only.push_back(1.0 + gb);
         l_only.push_back(1.0 + gl);
         comb.push_back(1.0 + gc);
 
-        table.addRow({wl.name, fixed(base_ipc, 3), percent(gb),
-                      percent(gl), percent(gc)});
-        std::cerr << "  done " << wl.name << "\n";
+        table.addRow({workloads[w].name, fixed(base_ipc, 3),
+                      percent(gb), percent(gl), percent(gc)});
     }
     table.addRow({"geomean", "", percent(geomean(b_only) - 1.0),
                   percent(geomean(l_only) - 1.0),

@@ -6,19 +6,31 @@
  * scheduler keep more deferrable work co-resident with critical
  * slices, so gains grow for window-hungry workloads (xhpcg) and
  * shrink where the big ROB already fixes the baseline (moses).
+ *
+ * The whole sweep is one batch of independent core runs: each
+ * (workload, window, scheduler) cell is a job on the worker pool, and
+ * every workload's traces and analysis are built once and shared
+ * across all four windows through the artifact cache. Results land in
+ * per-cell slots, so the table is bit-identical at any --jobs value.
+ *
+ * Usage: fig09_rs_rob [--jobs N]
  */
 
+#include <array>
 #include <iostream>
 
+#include "sim/artifact_cache.h"
+#include "sim/cli.h"
 #include "sim/driver.h"
 #include "sim/stats.h"
 #include "sim/table.h"
+#include "sim/thread_pool.h"
 #include "workloads/workload.h"
 
 using namespace crisp;
 
 int
-main()
+main(int argc, char **argv)
 {
     struct Window
     {
@@ -30,9 +42,11 @@ main()
                               {96, 224, "96RS/224ROB"},
                               {144, 336, "144RS/336ROB"},
                               {192, 448, "192RS/448ROB"}};
+    constexpr size_t kWindows = 4;
 
     CrispOptions opts;
     EvalSizes sizes{200'000, 400'000};
+    unsigned jobs = benchJobsArg(argc, argv);
 
     std::cout << "=== Figure 9: CRISP gain vs RS/ROB size ===\n\n";
     std::vector<std::string> headers = {"workload"};
@@ -40,32 +54,56 @@ main()
         headers.push_back(w.label);
     Table table(headers);
 
-    std::vector<std::vector<double>> cols(4);
-    for (const auto &wl : workloadRegistry()) {
-        std::vector<std::string> row = {wl.name};
-        // Analysis is machine-independent: do it once per workload.
-        SimConfig base_machine = SimConfig::skylake();
-        CrispPipeline pipe(wl, opts, base_machine, sizes.trainOps,
-                           sizes.refOps);
-        Trace base_trace = pipe.refTrace(false);
-        Trace crisp_trace = pipe.refTrace(true);
+    const auto &workloads = workloadRegistry();
+    const size_t n = workloads.size();
 
-        for (size_t k = 0; k < 4; ++k) {
-            SimConfig cfg = SimConfig::withWindow(windows[k].rs,
-                                                  windows[k].rob);
-            CoreStats b = runCore(base_trace, cfg);
-            SimConfig ccfg = cfg;
-            ccfg.scheduler = SchedulerPolicy::CrispPriority;
-            CoreStats c = runCore(crisp_trace, ccfg);
-            double speedup = c.ipc() / b.ipc();
+    // ipc[workload][window][0 = baseline, 1 = CRISP].
+    std::vector<std::array<std::array<double, 2>, kWindows>> ipc(n);
+
+    // Analysis is machine-independent for this sweep: it is keyed on
+    // the Skylake base machine, so all four windows share one
+    // training trace, one analysis and two reference traces per
+    // workload.
+    SimConfig base_machine = SimConfig::skylake();
+    ArtifactCache cache;
+    ThreadPool pool(jobs);
+    Timer timer;
+    pool.parallelFor(n * kWindows * 2, [&](size_t i) {
+        size_t w = i / (kWindows * 2);
+        size_t k = i / 2 % kWindows;
+        bool crisp = i % 2;
+        SimConfig cfg =
+            SimConfig::withWindow(windows[k].rs, windows[k].rob);
+        if (crisp) {
+            auto trace = cache.taggedRefTrace(
+                workloads[w], opts, base_machine, sizes.trainOps,
+                sizes.refOps);
+            cfg.scheduler = SchedulerPolicy::CrispPriority;
+            ipc[w][k][1] = runCore(*trace, cfg).ipc();
+        } else {
+            auto trace = cache.trace(workloads[w], InputSet::Ref,
+                                     sizes.refOps);
+            ipc[w][k][0] = runCore(*trace, cfg).ipc();
+        }
+    });
+    auto cc = cache.counters();
+    std::cerr << "  " << n * kWindows * 2 << " runs in "
+              << fixed(timer.seconds(), 1) << "s (" << jobs
+              << " jobs requested, artifacts: " << cc.misses
+              << " built, " << cc.hits << " reused)\n";
+
+    std::vector<std::vector<double>> cols(kWindows);
+    for (size_t w = 0; w < n; ++w) {
+        std::vector<std::string> row = {workloads[w].name};
+        for (size_t k = 0; k < kWindows; ++k) {
+            double speedup = ipc[w][k][1] / ipc[w][k][0];
             cols[k].push_back(speedup);
             row.push_back(percent(speedup - 1.0));
         }
         table.addRow(row);
-        std::cerr << "  done " << wl.name << "\n";
     }
     std::vector<std::string> mean_row = {"geomean"};
-    for (size_t k = 0; k < 4; ++k)
+    for (size_t k = 0; k < kWindows; ++k)
         mean_row.push_back(percent(geomean(cols[k]) - 1.0));
     table.addRow(mean_row);
 

@@ -10,15 +10,18 @@ AutoTuneResult
 autoTuneMissShare(const WorkloadInfo &wl, const SimConfig &cfg,
                   const CrispOptions &base, uint64_t train_ops,
                   uint64_t ref_ops,
-                  const std::vector<double> &candidates)
+                  const std::vector<double> &candidates,
+                  ArtifactCache *cache)
 {
+    ArtifactCache local;
+    ArtifactCache &c = cache ? *cache : local;
+
     AutoTuneResult result;
 
     // One shared baseline run (untagged ref trace).
-    CrispPipeline base_pipe(wl, base, cfg, train_ops, ref_ops);
-    Trace base_trace = base_pipe.refTrace(false);
+    auto base_trace = c.trace(wl, InputSet::Ref, ref_ops);
     {
-        Core core(base_trace, cfg);
+        Core core(*base_trace, cfg);
         result.baselineIpc = core.run().ipc();
     }
 
@@ -28,9 +31,9 @@ autoTuneMissShare(const WorkloadInfo &wl, const SimConfig &cfg,
     for (double t : candidates) {
         CrispOptions opts = base;
         opts.missShareThreshold = t;
-        CrispPipeline pipe(wl, opts, cfg, train_ops, ref_ops);
-        Trace tagged = pipe.refTrace(true);
-        Core core(tagged, crisp_cfg);
+        auto tagged =
+            c.taggedRefTrace(wl, opts, cfg, train_ops, ref_ops);
+        Core core(*tagged, crisp_cfg);
         double ipc = core.run().ipc();
         result.ipcByThreshold[t] = ipc;
         if (ipc > result.bestIpc) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/delinquency.h"
+#include "sim/artifact_cache.h"
 #include "sim/config.h"
 #include "workloads/workload.h"
 
@@ -50,12 +51,16 @@ struct AutoTuneResult
  * @param ref_ops evaluation-trace length
  * @param candidates thresholds to try (defaults to the Fig 10 set
  *        plus 2%, the paper's per-workload optimum for moses)
+ * @param cache optional shared artifact cache; when set, the
+ *        training and reference traces are built once and shared
+ *        across all candidate thresholds (and other callers)
  */
 AutoTuneResult autoTuneMissShare(
     const WorkloadInfo &wl, const SimConfig &cfg,
     const CrispOptions &base, uint64_t train_ops, uint64_t ref_ops,
     const std::vector<double> &candidates = {0.05, 0.02, 0.01,
-                                             0.002});
+                                             0.002},
+    ArtifactCache *cache = nullptr);
 
 } // namespace crisp
 

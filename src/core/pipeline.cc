@@ -8,33 +8,17 @@
 namespace crisp
 {
 
-CrispPipeline::CrispPipeline(const WorkloadInfo &workload,
-                             CrispOptions opts, SimConfig cfg,
-                             uint64_t train_ops, uint64_t ref_ops)
-    : workload_(workload), opts_(opts), cfg_(cfg),
-      trainOps_(train_ops), refOps_(ref_ops)
+namespace
 {
-}
 
-const Trace &
-CrispPipeline::trainTrace()
-{
-    if (!trainTrace_) {
-        auto prog = std::make_shared<Program>(
-            workload_.build(InputSet::Train));
-        Interpreter interp(prog);
-        trainTrace_ =
-            std::make_unique<Trace>(interp.run(trainOps_));
-    }
-    return *trainTrace_;
-}
-
+/**
+ * Greedily accepts slices in importance order while the dynamic
+ * share of tagged instructions stays inside the band (§3.2).
+ */
 void
-CrispPipeline::enforceBand(CrispAnalysis &a,
-                           const std::vector<uint64_t> &exec_counts)
+enforceBand(CrispAnalysis &a, const CrispOptions &opts,
+            const std::vector<uint64_t> &exec_counts)
 {
-    // Greedily accept slices in importance order while the dynamic
-    // share of tagged instructions stays inside the band (§3.2).
     struct Cand
     {
         const Slice *slice;
@@ -68,7 +52,7 @@ CrispPipeline::enforceBand(CrispAnalysis &a,
 
     uint64_t total = a.profile.totalOps ? a.profile.totalOps : 1;
     uint64_t budget =
-        uint64_t(opts_.maxCriticalRatio * double(total));
+        uint64_t(opts.maxCriticalRatio * double(total));
     std::unordered_set<uint32_t> tagged;
     uint64_t dyn_tagged = 0;
 
@@ -90,22 +74,29 @@ CrispPipeline::enforceBand(CrispAnalysis &a,
     a.dynamicCriticalRatio = double(dyn_tagged) / double(total);
 }
 
-const CrispAnalysis &
-CrispPipeline::analysis()
+} // namespace
+
+Trace
+buildWorkloadTrace(const WorkloadInfo &wl, InputSet input,
+                   uint64_t ops)
 {
-    if (analysis_)
-        return *analysis_;
-    analysis_ = std::make_unique<CrispAnalysis>();
-    CrispAnalysis &a = *analysis_;
+    auto prog = std::make_shared<Program>(wl.build(input));
+    Interpreter interp(prog);
+    return interp.run(ops);
+}
 
-    const Trace &train = trainTrace();
-    a.profile = profileTrace(train, cfg_);
-    a.delinquentLoads = selectDelinquentLoads(a.profile, opts_);
-    a.criticalBranches = selectCriticalBranches(a.profile, opts_);
+CrispAnalysis
+analyzeTrace(const Trace &train, const CrispOptions &opts,
+             const SimConfig &cfg)
+{
+    CrispAnalysis a;
+    a.profile = profileTrace(train, cfg);
+    a.delinquentLoads = selectDelinquentLoads(a.profile, opts);
+    a.criticalBranches = selectCriticalBranches(a.profile, opts);
 
-    a.longLatencyOps = selectLongLatencyOps(a.profile, opts_);
+    a.longLatencyOps = selectLongLatencyOps(a.profile, opts);
 
-    SliceExtractor extractor(train, opts_, &a.profile, &cfg_);
+    SliceExtractor extractor(train, opts, &a.profile, &cfg);
     a.loadSlices = extractLoadSlices(extractor, a.delinquentLoads);
     a.branchSlices =
         extractBranchSlices(extractor, a.criticalBranches);
@@ -119,30 +110,64 @@ CrispPipeline::analysis()
         a.avgLoadSliceSize = sum / double(a.loadSlices.size());
     }
 
-    enforceBand(a, train.staticExecCounts());
+    enforceBand(a, opts, train.staticExecCounts());
     return a;
+}
+
+Trace
+buildTaggedRefTrace(const WorkloadInfo &wl,
+                    const std::vector<uint32_t> &tagged_statics,
+                    uint64_t ref_ops)
+{
+    auto prog =
+        std::make_shared<Program>(wl.build(InputSet::Ref));
+    applyCriticalPrefix(*prog, tagged_statics);
+    Interpreter interp(prog);
+    return interp.run(ref_ops);
+}
+
+CrispPipeline::CrispPipeline(const WorkloadInfo &workload,
+                             CrispOptions opts, SimConfig cfg,
+                             uint64_t train_ops, uint64_t ref_ops)
+    : workload_(workload), opts_(opts), cfg_(cfg),
+      trainOps_(train_ops), refOps_(ref_ops)
+{
+}
+
+const Trace &
+CrispPipeline::trainTrace()
+{
+    if (!trainTrace_)
+        trainTrace_ = std::make_unique<Trace>(
+            buildWorkloadTrace(workload_, InputSet::Train,
+                               trainOps_));
+    return *trainTrace_;
+}
+
+const CrispAnalysis &
+CrispPipeline::analysis()
+{
+    if (!analysis_)
+        analysis_ = std::make_unique<CrispAnalysis>(
+            analyzeTrace(trainTrace(), opts_, cfg_));
+    return *analysis_;
 }
 
 Trace
 CrispPipeline::refTrace(bool tagged)
 {
-    auto prog =
-        std::make_shared<Program>(workload_.build(InputSet::Ref));
     if (tagged)
-        applyCriticalPrefix(*prog, analysis().taggedStatics);
-    Interpreter interp(prog);
-    return interp.run(refOps_);
+        return buildTaggedRefTrace(workload_,
+                                   analysis().taggedStatics,
+                                   refOps_);
+    return buildWorkloadTrace(workload_, InputSet::Ref, refOps_);
 }
 
 TagSummary
 CrispPipeline::tagSummary()
 {
-    auto prog =
-        std::make_shared<Program>(workload_.build(InputSet::Ref));
-    applyCriticalPrefix(*prog, analysis().taggedStatics);
-    Interpreter interp(prog);
-    Trace trace = interp.run(refOps_);
-    return summarizeTagging(*prog, trace);
+    Trace trace = refTrace(/*tagged=*/true);
+    return summarizeTagging(*trace.program, trace);
 }
 
 } // namespace crisp

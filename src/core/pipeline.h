@@ -43,6 +43,32 @@ struct CrispAnalysis
     double dynamicCriticalRatio = 0;
 };
 
+/**
+ * Builds the dynamic trace of @p wl on @p input, @p ops micro-ops
+ * long. Pure function of its arguments: builders use fixed seeds and
+ * the interpreter is deterministic, so equal arguments yield equal
+ * traces. Safe to call concurrently.
+ */
+Trace buildWorkloadTrace(const WorkloadInfo &wl, InputSet input,
+                         uint64_t ops);
+
+/**
+ * Runs the full CRISP software analysis (profile, select, slice,
+ * critical-path filter, band enforcement) over a training trace.
+ * Pure function of (trace, opts, cfg); safe to call concurrently.
+ */
+CrispAnalysis analyzeTrace(const Trace &train,
+                           const CrispOptions &opts,
+                           const SimConfig &cfg);
+
+/**
+ * Builds the Ref-input evaluation trace of @p wl with the critical
+ * prefix applied for @p tagged_statics. Pure and thread-safe.
+ */
+Trace buildTaggedRefTrace(const WorkloadInfo &wl,
+                          const std::vector<uint32_t> &tagged_statics,
+                          uint64_t ref_ops);
+
 /** Orchestrates profiling, slicing and tagging for one workload. */
 class CrispPipeline
 {
@@ -85,9 +111,6 @@ class CrispPipeline
 
     std::unique_ptr<Trace> trainTrace_;
     std::unique_ptr<CrispAnalysis> analysis_;
-
-    void enforceBand(CrispAnalysis &a,
-                     const std::vector<uint64_t> &exec_counts);
 };
 
 } // namespace crisp

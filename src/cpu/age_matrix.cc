@@ -24,7 +24,10 @@ AgeMatrix::allocate(unsigned slot)
 int
 AgeMatrix::selectOldest(const SlotVector &candidates) const
 {
-    for (size_t w = 0; w < candidates.words_.size(); ++w) {
+    // Allocation-free: scans inline words and tests candidates in
+    // slot order, returning the first whose age vector is disjoint
+    // from the candidate set.
+    for (size_t w = 0; w < candidates.wordCount_; ++w) {
         uint64_t bits = candidates.words_[w];
         while (bits) {
             unsigned slot =

@@ -12,6 +12,8 @@
 #ifndef CRISP_CPU_AGE_MATRIX_H
 #define CRISP_CPU_AGE_MATRIX_H
 
+#include <array>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -19,15 +21,29 @@
 namespace crisp
 {
 
-/** Fixed-capacity bit vector over IQ slots. */
+/**
+ * Fixed-capacity bit vector over IQ slots.
+ *
+ * Storage is inline (no heap): the scheduler constructs, copies and
+ * scans these in the per-cycle selection loop, so they must be
+ * allocation-free and cache-line friendly. Capacity is bounded by
+ * kMaxSlots — comfortably above the largest swept reservation
+ * station (192 entries in the Fig 9 Sunny-Cove-like window).
+ */
 class SlotVector
 {
   public:
+    /** Maximum representable IQ capacity, in slots. */
+    static constexpr unsigned kMaxSlots = 512;
+    static constexpr unsigned kWords = kMaxSlots / 64;
+
     SlotVector() = default;
-    /** @param slots capacity in bits. */
+    /** @param slots capacity in bits (<= kMaxSlots). */
     explicit SlotVector(unsigned slots)
-        : words_((slots + 63) / 64, 0)
+        : wordCount_((slots + 63) / 64)
     {
+        assert(slots <= kMaxSlots && "raise SlotVector::kMaxSlots");
+        words_.fill(0);
     }
 
     void set(unsigned i) { words_[i >> 6] |= 1ULL << (i & 63); }
@@ -38,18 +54,18 @@ class SlotVector
     }
     void setAll()
     {
-        for (auto &w : words_)
-            w = ~0ULL;
+        for (size_t k = 0; k < wordCount_; ++k)
+            words_[k] = ~0ULL;
     }
     void clearAll()
     {
-        for (auto &w : words_)
-            w = 0;
+        for (size_t k = 0; k < wordCount_; ++k)
+            words_[k] = 0;
     }
     bool any() const
     {
-        for (auto w : words_)
-            if (w)
+        for (size_t k = 0; k < wordCount_; ++k)
+            if (words_[k])
                 return true;
         return false;
     }
@@ -57,14 +73,20 @@ class SlotVector
     /** @return true if (this AND other) == 0 (the NOR reduction). */
     bool disjoint(const SlotVector &other) const
     {
-        for (size_t k = 0; k < words_.size(); ++k)
+        for (size_t k = 0; k < wordCount_; ++k)
             if (words_[k] & other.words_[k])
                 return false;
         return true;
     }
 
+    /** @return number of active 64-bit words. */
+    size_t wordCount() const { return wordCount_; }
+    /** @return the k-th 64-bit word (for set-bit iteration). */
+    uint64_t word(size_t k) const { return words_[k]; }
+
   private:
-    std::vector<uint64_t> words_;
+    std::array<uint64_t, kWords> words_{};
+    size_t wordCount_ = 0;
 
     friend class AgeMatrix;
 };

@@ -143,10 +143,15 @@ Core::issueStage()
     prioLoad_.clearAll();
     prioStore_.clearAll();
 
+    // Scan only occupied slots (set bits), not the whole capacity.
     bool any = false;
-    for (unsigned s = 0; s < rs_.capacity(); ++s) {
+    const SlotVector &occ = rs_.occupied();
+    for (size_t w = 0; w < occ.wordCount(); ++w) {
+      for (uint64_t bits = occ.word(w); bits; bits &= bits - 1) {
+        unsigned s =
+            unsigned(w * 64) + unsigned(__builtin_ctzll(bits));
         DynInst *inst = rs_.at(s);
-        if (!inst || inst->issued)
+        if (inst->issued)
             continue;
         if (inst->pendingProducers > 0 ||
             inst->srcReadyCycle > cycle_)
@@ -169,6 +174,7 @@ Core::issueStage()
                 prioStore_.set(s);
             break;
         }
+      }
     }
     if (!any)
         return;

@@ -6,7 +6,7 @@ namespace crisp
 {
 
 ReservationStation::ReservationStation(unsigned slots)
-    : slots_(slots, nullptr), age_(slots)
+    : slots_(slots, nullptr), age_(slots), occupied_(slots)
 {
     freeList_.reserve(slots);
     for (int s = int(slots) - 1; s >= 0; --s)
@@ -22,6 +22,7 @@ ReservationStation::insert(DynInst *inst)
     slots_[slot] = inst;
     inst->rsSlot = int16_t(slot);
     age_.allocate(unsigned(slot));
+    occupied_.set(unsigned(slot));
     return slot;
 }
 
@@ -31,6 +32,7 @@ ReservationStation::release(int slot)
     assert(slot >= 0 && slots_[slot] != nullptr);
     slots_[slot]->rsSlot = -1;
     slots_[slot] = nullptr;
+    occupied_.clear(unsigned(slot));
     freeList_.push_back(slot);
 }
 

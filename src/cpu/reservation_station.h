@@ -53,10 +53,18 @@ class ReservationStation
     /** @return the age matrix for selection. */
     const AgeMatrix &age() const { return age_; }
 
+    /**
+     * @return the occupied-slot mask, maintained incrementally on
+     *         insert/release so the per-cycle wakeup scan touches
+     *         only live slots instead of the whole capacity.
+     */
+    const SlotVector &occupied() const { return occupied_; }
+
   private:
     std::vector<DynInst *> slots_;
     std::vector<int> freeList_;
     AgeMatrix age_;
+    SlotVector occupied_;
 };
 
 } // namespace crisp

@@ -1,0 +1,156 @@
+#include "sim/artifact_cache.h"
+
+#include <sstream>
+
+namespace crisp
+{
+
+std::string
+ArtifactCache::optionsKey(const CrispOptions &o)
+{
+    // Every field participates: two CrispOptions that differ anywhere
+    // must map to different artifacts. hexfloat keeps doubles exact.
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << "mst=" << o.missShareThreshold
+       << ";mrt=" << o.missRatioThreshold
+       << ";mlp=" << o.mlpThreshold
+       << ";esm=" << o.execShareMin
+       << ";sm=" << o.strideMax
+       << ";bmt=" << o.branchMispredThreshold
+       << ";besm=" << o.branchExecShareMin
+       << ";ls=" << o.enableLoadSlices
+       << ";bs=" << o.enableBranchSlices
+       << ";lls=" << o.enableLongLatencySlices
+       << ";llesm=" << o.longLatencyExecShareMin
+       << ";cpf=" << o.criticalPathFilter
+       << ";md=" << o.memDependencies
+       << ";cpfr=" << o.criticalPathFraction
+       << ";mcr=" << o.maxCriticalRatio
+       << ";mir=" << o.maxInstancesPerRoot
+       << ";maw=" << o.maxAncestorsPerWalk;
+    return os.str();
+}
+
+std::string
+ArtifactCache::configKey(const SimConfig &c)
+{
+    // The analysis profiles the trace on this machine (cache
+    // latencies, ROB-sized MLP window, prefetchers), so the whole
+    // configuration is part of the key. Scheduler policy and IBDA
+    // knobs only matter at core-simulation time but are included for
+    // simplicity; callers wanting cross-config sharing pass the same
+    // base machine for analysis (as fig09 already does).
+    auto cache = [](const CacheConfig &k) {
+        std::ostringstream os;
+        os << k.sizeBytes << "/" << k.ways << "/" << k.lineBytes
+           << "/" << k.latency << "/" << k.mshrs;
+        return os.str();
+    };
+    std::ostringstream os;
+    os << "w=" << c.width << ";rob=" << c.robSize
+       << ";rs=" << c.rsSize << ";lq=" << c.lqSize
+       << ";sq=" << c.sqSize << ";alu=" << c.numAlu
+       << ";lp=" << c.numLoadPorts << ";sp=" << c.numStorePorts
+       << ";f2d=" << c.fetchToDispatchLat
+       << ";rp=" << c.redirectPenalty << ";ftq=" << c.ftqEntries
+       << ";bp=" << c.branchPredictor << ";btb=" << c.btbEntries
+       << ";ras=" << c.rasEntries << ";l1i=" << cache(c.l1i)
+       << ";l1d=" << cache(c.l1d) << ";llc=" << cache(c.llc)
+       << ";bop=" << c.enableBop << ";str=" << c.enableStream
+       << ";srd=" << c.enableStride << ";ghb=" << c.enableGhb
+       << ";fdip=" << c.enableFdip
+       << ";sched=" << int(c.scheduler)
+       << ";ibda=" << c.enableIbda << ";ist=" << c.istEntries
+       << "/" << c.istWays << "/" << c.istInfinite
+       << ";dlt=" << c.dltEntries
+       << ";cdram=" << c.enableCriticalDram
+       << ";fwd=" << c.forwardLatency;
+    return os.str();
+}
+
+template <typename T, typename Make>
+std::shared_ptr<const T>
+ArtifactCache::getOrCompute(
+    std::unordered_map<std::string, Slot<T>> &map,
+    const std::string &key, Make &&make)
+{
+    std::promise<std::shared_ptr<const T>> promise;
+    Slot<T> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        auto it = map.find(key);
+        if (it == map.end()) {
+            fut = promise.get_future().share();
+            map.emplace(key, fut);
+            owner = true;
+        } else {
+            fut = it->second;
+        }
+    }
+    if (owner) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        try {
+            promise.set_value(
+                std::make_shared<const T>(make()));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fut.get();
+}
+
+std::shared_ptr<const Trace>
+ArtifactCache::trace(const WorkloadInfo &wl, InputSet input,
+                     uint64_t ops)
+{
+    std::string key = "trace:" + wl.name + ":" +
+                      (input == InputSet::Train ? "train" : "ref") +
+                      ":" + std::to_string(ops);
+    return getOrCompute(traces_, key, [&] {
+        return buildWorkloadTrace(wl, input, ops);
+    });
+}
+
+std::shared_ptr<const CrispAnalysis>
+ArtifactCache::analysis(const WorkloadInfo &wl,
+                        const CrispOptions &opts,
+                        const SimConfig &cfg, uint64_t train_ops)
+{
+    std::string key = "analysis:" + wl.name + ":" +
+                      std::to_string(train_ops) + ":" +
+                      optionsKey(opts) + ":" + configKey(cfg);
+    return getOrCompute(analyses_, key, [&] {
+        auto train = trace(wl, InputSet::Train, train_ops);
+        return analyzeTrace(*train, opts, cfg);
+    });
+}
+
+std::shared_ptr<const Trace>
+ArtifactCache::taggedRefTrace(const WorkloadInfo &wl,
+                              const CrispOptions &opts,
+                              const SimConfig &cfg,
+                              uint64_t train_ops, uint64_t ref_ops)
+{
+    std::string key = "tagged:" + wl.name + ":" +
+                      std::to_string(ref_ops) + ":" +
+                      std::to_string(train_ops) + ":" +
+                      optionsKey(opts) + ":" + configKey(cfg);
+    return getOrCompute(traces_, key, [&] {
+        auto a = analysis(wl, opts, cfg, train_ops);
+        return buildTaggedRefTrace(wl, a->taggedStatics, ref_ops);
+    });
+}
+
+void
+ArtifactCache::clear()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    traces_.clear();
+    analyses_.clear();
+}
+
+} // namespace crisp

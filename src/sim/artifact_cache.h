@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Thread-safe memoization of evaluation artifacts.
+ *
+ * Every figure reproduction re-derives the same three expensive
+ * artifacts per workload — the training trace, the CRISP analysis,
+ * and the (tagged or untagged) reference trace — often several times
+ * per binary (fig09 sweeps four windows, fig10 three thresholds, the
+ * autotuner four). The cache computes each artifact exactly once per
+ * distinct key and hands out shared_ptr<const> views, so all configs
+ * and sweep points share one immutable copy.
+ *
+ * Keys are canonical string encodings of everything the artifact is a
+ * pure function of: traces depend on (workload, input set, length);
+ * analyses additionally on every CrispOptions field and on the
+ * SimConfig (the profiler models the memory hierarchy and ROB of the
+ * target machine); tagged reference traces on the analysis key plus
+ * the reference length.
+ *
+ * Concurrent getters for the same key rendezvous on a shared future:
+ * one thread computes, the rest block until the value is ready, and
+ * nothing is ever computed twice.
+ */
+
+#ifndef CRISP_SIM_ARTIFACT_CACHE_H
+#define CRISP_SIM_ARTIFACT_CACHE_H
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.h"
+#include "sim/config.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+/** Shared, memoized trace/analysis artifacts. */
+class ArtifactCache
+{
+  public:
+    ArtifactCache() = default;
+    ArtifactCache(const ArtifactCache &) = delete;
+    ArtifactCache &operator=(const ArtifactCache &) = delete;
+
+    /** @return the (untagged) trace of @p wl on @p input. */
+    std::shared_ptr<const Trace> trace(const WorkloadInfo &wl,
+                                       InputSet input, uint64_t ops);
+
+    /**
+     * @return the CRISP analysis of @p wl profiled on a Train trace
+     *         of @p train_ops micro-ops under @p opts / @p cfg.
+     */
+    std::shared_ptr<const CrispAnalysis>
+    analysis(const WorkloadInfo &wl, const CrispOptions &opts,
+             const SimConfig &cfg, uint64_t train_ops);
+
+    /**
+     * @return the tagged Ref trace of @p wl: the analysis above
+     *         applied as a critical prefix to a ref build.
+     */
+    std::shared_ptr<const Trace>
+    taggedRefTrace(const WorkloadInfo &wl, const CrispOptions &opts,
+                   const SimConfig &cfg, uint64_t train_ops,
+                   uint64_t ref_ops);
+
+    /** Hit/miss counters (a miss is a computed artifact). */
+    struct Counters
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+    };
+
+    /** @return cumulative hit/miss counts across all artifact kinds. */
+    Counters counters() const
+    {
+        return {hits_.load(std::memory_order_relaxed),
+                misses_.load(std::memory_order_relaxed)};
+    }
+
+    /** Drops all cached artifacts (counters are kept). */
+    void clear();
+
+    /**
+     * @return the canonical key fragment for @p opts; distinct for
+     *         every distinct setting of every CrispOptions field.
+     */
+    static std::string optionsKey(const CrispOptions &opts);
+
+    /** @return the canonical key fragment for @p cfg. */
+    static std::string configKey(const SimConfig &cfg);
+
+  private:
+    template <typename T>
+    using Slot = std::shared_future<std::shared_ptr<const T>>;
+
+    /**
+     * Looks up @p key, computing via @p make on a miss. Thread-safe;
+     * concurrent callers with equal keys share one computation.
+     */
+    template <typename T, typename Make>
+    std::shared_ptr<const T>
+    getOrCompute(std::unordered_map<std::string, Slot<T>> &map,
+                 const std::string &key, Make &&make);
+
+    mutable std::mutex m_;
+    std::unordered_map<std::string, Slot<Trace>> traces_;
+    std::unordered_map<std::string, Slot<CrispAnalysis>> analyses_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_ARTIFACT_CACHE_H

@@ -1,6 +1,8 @@
 #include "sim/cli.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace crisp
 {
@@ -14,6 +16,8 @@ cliUsage()
            "  --ist SIZE           1K | 8K | 64K | inf\n"
            "  --train N            profiling trace length\n"
            "  --ref N              evaluation trace length\n"
+           "  --jobs N             parallel workers (default: all\n"
+           "                       cores; 1 = serial)\n"
            "  --rs N               reservation station entries\n"
            "  --rob N              reorder buffer entries\n"
            "  --threshold F        miss-share threshold T\n"
@@ -28,6 +32,52 @@ cliUsage()
            "  --help               this message\n";
 }
 
+namespace
+{
+
+/**
+ * Strict decimal parse for flag values.
+ * @return true and sets @p out on success; false on empty input,
+ *         trailing garbage, or overflow.
+ */
+bool
+parseU64(const char *s, uint64_t &out)
+{
+    if (!s || !*s)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0')
+        return false;
+    // strtoull accepts a leading '-' (wrapping); reject it.
+    if (std::strchr(s, '-'))
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+unsigned
+benchJobsArg(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            uint64_t v = 0;
+            if (!parseU64(argv[i + 1], v) || v == 0) {
+                std::fprintf(stderr,
+                             "--jobs expects a positive integer, "
+                             "got '%s'; using all cores\n",
+                             argv[i + 1]);
+                return 0;
+            }
+            return unsigned(v);
+        }
+    }
+    return 0;
+}
+
 CliOptions
 parseCli(const std::vector<std::string> &args)
 {
@@ -40,6 +90,16 @@ parseCli(const std::vector<std::string> &args)
                 return nullptr;
             }
             return args[++i].c_str();
+        };
+        auto need_u64 = [&](const char *flag,
+                            uint64_t &out) {
+            const char *v = need_value(flag);
+            if (!v)
+                return;
+            if (!parseU64(v, out))
+                opt.error = std::string(flag) +
+                            " expects a non-negative integer, got '" +
+                            v + "'";
         };
         if (a == "--help") {
             opt.showHelp = true;
@@ -63,19 +123,23 @@ parseCli(const std::vector<std::string> &args)
             if (const char *v = need_value("--ist"))
                 opt.ist = v;
         } else if (a == "--train") {
-            if (const char *v = need_value("--train"))
-                opt.trainOps = std::strtoull(v, nullptr, 10);
+            need_u64("--train", opt.trainOps);
         } else if (a == "--ref") {
-            if (const char *v = need_value("--ref"))
-                opt.refOps = std::strtoull(v, nullptr, 10);
+            need_u64("--ref", opt.refOps);
+        } else if (a == "--jobs") {
+            uint64_t v = 0;
+            need_u64("--jobs", v);
+            if (opt.ok() && v == 0)
+                opt.error = "--jobs must be at least 1";
+            opt.jobs = unsigned(v);
         } else if (a == "--rs") {
-            if (const char *v = need_value("--rs"))
-                opt.machine.rsSize =
-                    unsigned(std::strtoul(v, nullptr, 10));
+            uint64_t v = 0;
+            need_u64("--rs", v);
+            opt.machine.rsSize = unsigned(v);
         } else if (a == "--rob") {
-            if (const char *v = need_value("--rob"))
-                opt.machine.robSize =
-                    unsigned(std::strtoul(v, nullptr, 10));
+            uint64_t v = 0;
+            need_u64("--rob", v);
+            opt.machine.robSize = unsigned(v);
         } else if (a == "--threshold") {
             if (const char *v = need_value("--threshold"))
                 opt.analysis.missShareThreshold =
@@ -101,7 +165,7 @@ parseCli(const std::vector<std::string> &args)
         if (!opt.ok())
             break;
     }
-    if (opt.trainOps == 0 || opt.refOps == 0)
+    if (opt.ok() && (opt.trainOps == 0 || opt.refOps == 0))
         opt.error = "trace lengths must be positive";
     return opt;
 }

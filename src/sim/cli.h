@@ -24,6 +24,8 @@ struct CliOptions
     std::string ist = "1K";        ///< IBDA IST size label
     uint64_t trainOps = 200'000;
     uint64_t refOps = 400'000;
+    /** Worker count for parallel runs; 0 = hardware concurrency. */
+    unsigned jobs = 0;
     SimConfig machine = SimConfig::skylake();
     CrispOptions analysis;
     bool listWorkloads = false;
@@ -45,6 +47,8 @@ struct CliOptions
  *   --scheduler MODE     ooo | crisp | ibda | both (default both)
  *   --ist SIZE           IBDA IST: 1K | 8K | 64K | inf
  *   --train N, --ref N   trace lengths
+ *   --jobs N             parallel worker count (default: hardware
+ *                        concurrency; 1 = fully serial)
  *   --rs N, --rob N      window sizes (Fig 9 style sweeps)
  *   --threshold F        miss-share threshold T (Fig 10)
  *   --no-branch-slices   disable §3.4 branch slicing
@@ -61,6 +65,14 @@ CliOptions parseCli(const std::vector<std::string> &args);
 
 /** @return the usage string printed by --help. */
 std::string cliUsage();
+
+/**
+ * Scans bench-style argv for a trailing `--jobs N` override.
+ * @return N when present and valid, otherwise 0 (= hardware
+ *         concurrency); invalid values produce a message on stderr
+ *         and fall back to 0.
+ */
+unsigned benchJobsArg(int argc, char **argv);
 
 } // namespace crisp
 

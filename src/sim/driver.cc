@@ -1,5 +1,7 @@
 #include "sim/driver.h"
 
+#include "sim/thread_pool.h"
+
 namespace crisp
 {
 
@@ -35,40 +37,120 @@ ibdaConfig(const SimConfig &base, const std::string &ist)
     return cfg;
 }
 
+namespace
+{
+
+/** Baseline OOO machine: untagged trace, oldest-first scheduler. */
+SimConfig
+baselineConfig(const SimConfig &base)
+{
+    SimConfig cfg = base;
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    cfg.enableIbda = false;
+    return cfg;
+}
+
+/** CRISP machine: tagged trace, two-level priority scheduler. */
+SimConfig
+crispConfig(const SimConfig &base)
+{
+    SimConfig cfg = base;
+    cfg.scheduler = SchedulerPolicy::CrispPriority;
+    cfg.enableIbda = false;
+    return cfg;
+}
+
+} // namespace
+
 WorkloadEval
 evaluateWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
                  const CrispOptions &opts, const EvalSizes &sizes,
-                 const std::vector<std::string> &ist_sizes)
+                 const std::vector<std::string> &ist_sizes,
+                 ArtifactCache *cache)
 {
+    ArtifactCache local;
+    ArtifactCache &c = cache ? *cache : local;
+
     WorkloadEval eval;
     eval.name = wl.name;
+    eval.analysis =
+        *c.analysis(wl, opts, cfg, sizes.trainOps);
 
-    CrispPipeline pipe(wl, opts, cfg, sizes.trainOps, sizes.refOps);
-    eval.analysis = pipe.analysis();
-
-    // Baseline OOO: untagged ref trace, oldest-first scheduler.
-    Trace base_trace = pipe.refTrace(/*tagged=*/false);
-    SimConfig base_cfg = cfg;
-    base_cfg.scheduler = SchedulerPolicy::OldestFirst;
-    base_cfg.enableIbda = false;
-    eval.baseStats = runCore(base_trace, base_cfg);
+    auto base_trace = c.trace(wl, InputSet::Ref, sizes.refOps);
+    eval.baseStats = runCore(*base_trace, baselineConfig(cfg));
     eval.ipcBaseline = eval.baseStats.ipc();
 
-    // CRISP: tagged ref trace, priority scheduler.
-    Trace crisp_trace = pipe.refTrace(/*tagged=*/true);
-    SimConfig crisp_cfg = cfg;
-    crisp_cfg.scheduler = SchedulerPolicy::CrispPriority;
-    crisp_cfg.enableIbda = false;
-    eval.crispStats = runCore(crisp_trace, crisp_cfg);
+    auto crisp_trace = c.taggedRefTrace(wl, opts, cfg,
+                                        sizes.trainOps,
+                                        sizes.refOps);
+    eval.crispStats = runCore(*crisp_trace, crispConfig(cfg));
     eval.ipcCrisp = eval.crispStats.ipc();
 
     // IBDA variants share the untagged trace.
     for (const auto &ist : ist_sizes) {
-        CoreStats s =
-            runCore(base_trace, ibdaConfig(cfg, ist));
+        CoreStats s = runCore(*base_trace, ibdaConfig(cfg, ist));
         eval.ipcIbda[ist] = s.ipc();
     }
     return eval;
+}
+
+std::vector<WorkloadEval>
+evaluateAll(const std::vector<WorkloadInfo> &workloads,
+            const SimConfig &cfg, const CrispOptions &opts,
+            const EvalSizes &sizes, unsigned jobs,
+            const std::vector<std::string> &ist_sizes,
+            ArtifactCache *cache)
+{
+    ArtifactCache local;
+    ArtifactCache &c = cache ? *cache : local;
+
+    std::vector<WorkloadEval> evals(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        evals[w].name = workloads[w].name;
+        // Pre-create map nodes so concurrent jobs only write values.
+        for (const auto &ist : ist_sizes)
+            evals[w].ipcIbda[ist] = 0.0;
+    }
+
+    // One job per (workload, variant) core run, so load balances
+    // across variants of unequal cost. Variant v: 0 = baseline OOO,
+    // 1 = CRISP, 2+k = IBDA with ist_sizes[k]. Each job writes only
+    // its own slot; the analysis/trace artifacts behind the runs are
+    // shared through the (thread-safe) cache.
+    const size_t variants = 2 + ist_sizes.size();
+    ThreadPool pool(jobs);
+    pool.parallelFor(
+        workloads.size() * variants, [&](size_t i) {
+            size_t w = i / variants;
+            size_t v = i % variants;
+            const WorkloadInfo &wl = workloads[w];
+            WorkloadEval &eval = evals[w];
+            if (v == 0) {
+                auto trace =
+                    c.trace(wl, InputSet::Ref, sizes.refOps);
+                eval.baseStats =
+                    runCore(*trace, baselineConfig(cfg));
+                eval.ipcBaseline = eval.baseStats.ipc();
+            } else if (v == 1) {
+                eval.analysis =
+                    *c.analysis(wl, opts, cfg, sizes.trainOps);
+                auto trace = c.taggedRefTrace(
+                    wl, opts, cfg, sizes.trainOps, sizes.refOps);
+                eval.crispStats =
+                    runCore(*trace, crispConfig(cfg));
+                eval.ipcCrisp = eval.crispStats.ipc();
+            } else {
+                const std::string &ist = ist_sizes[v - 2];
+                auto trace =
+                    c.trace(wl, InputSet::Ref, sizes.refOps);
+                CoreStats s =
+                    runCore(*trace, ibdaConfig(cfg, ist));
+                // Each (w, ist) pair is written by exactly one job,
+                // but the map node must be created serially.
+                eval.ipcIbda.at(ist) = s.ipc();
+            }
+        });
+    return evals;
 }
 
 } // namespace crisp

@@ -12,6 +12,7 @@
 
 #include "core/pipeline.h"
 #include "cpu/core.h"
+#include "sim/artifact_cache.h"
 #include "sim/config.h"
 #include "workloads/workload.h"
 
@@ -64,11 +65,38 @@ CoreStats runCore(const Trace &trace, const SimConfig &cfg,
  * @param opts CRISP analysis options
  * @param sizes trace lengths
  * @param ist_sizes IBDA IST configurations to run; empty = skip IBDA
+ * @param cache optional shared artifact cache; traces/analyses are
+ *        reused across calls that share one
  */
 WorkloadEval evaluateWorkload(
     const WorkloadInfo &wl, const SimConfig &cfg,
     const CrispOptions &opts, const EvalSizes &sizes,
-    const std::vector<std::string> &ist_sizes = {});
+    const std::vector<std::string> &ist_sizes = {},
+    ArtifactCache *cache = nullptr);
+
+/**
+ * Batch evaluation of many workloads on a worker pool.
+ *
+ * Each (workload, variant) core run is an independent job; traces and
+ * analyses are shared through an ArtifactCache, so every artifact is
+ * computed once no matter how many variants consume it. Results land
+ * in deterministic per-workload slots: the returned vector is ordered
+ * like @p workloads and is bit-identical to a serial run (jobs = 1 is
+ * exactly the serial path).
+ *
+ * @param workloads workloads to evaluate, in output order
+ * @param cfg machine configuration (shared by all variants)
+ * @param opts CRISP analysis options
+ * @param sizes trace lengths
+ * @param jobs worker count (0 = hardware concurrency)
+ * @param ist_sizes IBDA IST configurations; empty = skip IBDA
+ * @param cache optional shared cache (one is created if null)
+ */
+std::vector<WorkloadEval> evaluateAll(
+    const std::vector<WorkloadInfo> &workloads, const SimConfig &cfg,
+    const CrispOptions &opts, const EvalSizes &sizes, unsigned jobs,
+    const std::vector<std::string> &ist_sizes = {},
+    ArtifactCache *cache = nullptr);
 
 /** @return an IBDA variant of @p cfg for an IST label. */
 SimConfig ibdaConfig(const SimConfig &base, const std::string &ist);

@@ -6,6 +6,7 @@
 #ifndef CRISP_SIM_STATS_H
 #define CRISP_SIM_STATS_H
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,6 +25,33 @@ std::string percent(double fraction, int decimals = 1);
 
 /** @return fixed-point formatting. */
 std::string fixed(double value, int decimals = 2);
+
+/**
+ * Monotonic wall-clock stopwatch for phase timing. Starts on
+ * construction; immune to system clock adjustments.
+ */
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Restarts the stopwatch. */
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** @return seconds elapsed since construction or reset(). */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** @return milliseconds elapsed. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Streaming histogram with fixed-width buckets. */
 class Histogram

@@ -1,0 +1,104 @@
+#include "sim/thread_pool.h"
+
+namespace crisp
+{
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : size_(jobs ? jobs : defaultJobs())
+{
+    if (size_ <= 1)
+        return; // inline mode: no workers, parallelFor runs serially
+    // The caller participates in parallelFor, so size_ lanes need
+    // only size_ - 1 dedicated workers.
+    workers_.reserve(size_ - 1);
+    for (unsigned k = 0; k + 1 < size_; ++k)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::runOne(std::unique_lock<std::mutex> &lk)
+{
+    Batch *b = batch_;
+    if (!b || b->next >= b->total)
+        return false;
+    size_t i = b->next++;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+        (*b->fn)(i);
+    } catch (...) {
+        err = std::current_exception();
+    }
+    lk.lock();
+    if (err && !b->error)
+        b->error = err;
+    if (++b->done == b->total)
+        done_cv_.notify_all();
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+        work_cv_.wait(lk, [this] {
+            return stop_ ||
+                   (batch_ && batch_->next < batch_->total);
+        });
+        if (stop_)
+            return;
+        while (runOne(lk)) {
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (size_ <= 1 || n == 1) {
+        // Serial reference path: identical to the pre-pool code.
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Batch batch;
+    batch.fn = &fn;
+    batch.total = n;
+
+    std::unique_lock<std::mutex> lk(m_);
+    batch_ = &batch;
+    work_cv_.notify_all();
+    // The caller is a lane too: it helps drain the queue rather than
+    // idling, so a pool of size N gives N concurrent iterations.
+    while (runOne(lk)) {
+    }
+    done_cv_.wait(lk, [&batch] { return batch.done == batch.total; });
+    batch_ = nullptr;
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+} // namespace crisp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-size worker pool for batch simulation.
+ *
+ * The evaluation surface of this repository is a batch of independent
+ * core simulations over immutable traces, so the pool only needs one
+ * primitive: parallelFor(n, fn), which runs fn(0..n-1) across the
+ * workers. Callers write results into pre-sized slots indexed by the
+ * loop variable, so output is bit-identical to a serial run regardless
+ * of completion order. Exceptions thrown by any iteration are captured
+ * and the first one is rethrown on the calling thread after the loop
+ * drains.
+ */
+
+#ifndef CRISP_SIM_THREAD_POOL_H
+#define CRISP_SIM_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crisp
+{
+
+/** A fixed-size worker pool with a shared job queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param jobs worker count; 0 selects defaultJobs(). A pool of
+     *        size 1 runs every parallelFor inline on the caller —
+     *        exactly today's serial behavior.
+     */
+    explicit ThreadPool(unsigned jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return number of execution lanes (>= 1). */
+    unsigned size() const { return size_; }
+
+    /** @return hardware concurrency, at least 1. */
+    static unsigned defaultJobs();
+
+    /**
+     * Runs fn(i) for i in [0, n) across the pool and blocks until all
+     * iterations finish. The first exception thrown by any iteration
+     * is rethrown here once the loop has drained.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    /** One parallelFor in flight; workers pull indices from it. */
+    struct Batch
+    {
+        const std::function<void(size_t)> *fn = nullptr;
+        size_t next = 0;      ///< next unclaimed index
+        size_t total = 0;     ///< iteration count
+        size_t done = 0;      ///< finished iterations
+        std::exception_ptr error;
+    };
+
+    void workerLoop();
+    /** Claims and runs one iteration. @return false if none left. */
+    bool runOne(std::unique_lock<std::mutex> &lk);
+
+    unsigned size_;
+    std::vector<std::thread> workers_;
+    std::mutex m_;
+    std::condition_variable work_cv_;  ///< workers wait for a batch
+    std::condition_variable done_cv_;  ///< caller waits for drain
+    Batch *batch_ = nullptr;
+    bool stop_ = false;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_THREAD_POOL_H

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for the parallel evaluation engine: the worker pool, the
+ * artifact cache (hit/miss accounting and key sensitivity to every
+ * CrispOptions field), and end-to-end determinism of evaluateAll
+ * across job counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/artifact_cache.h"
+#include "sim/driver.h"
+#include "sim/thread_pool.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 4u}) {
+        ThreadPool pool(jobs);
+        EXPECT_EQ(pool.size(), jobs);
+        std::vector<int> hits(1000, 0);
+        pool.parallelFor(hits.size(),
+                         [&](size_t i) { hits[i]++; });
+        EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+                  1000);
+        for (int h : hits)
+            EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(ThreadPool, ResultsLandByIndex)
+{
+    ThreadPool pool(4);
+    std::vector<size_t> out(257);
+    pool.parallelFor(out.size(), [&](size_t i) { out[i] = i * i; });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 5; ++round)
+        pool.parallelFor(10, [&](size_t) { count++; });
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        ThreadPool pool(jobs);
+        EXPECT_THROW(
+            pool.parallelFor(100,
+                             [&](size_t i) {
+                                 if (i == 37)
+                                     throw std::runtime_error(
+                                         "boom");
+                             }),
+            std::runtime_error);
+        // The pool survives a failed batch.
+        std::atomic<int> ok{0};
+        pool.parallelFor(8, [&](size_t) { ok++; });
+        EXPECT_EQ(ok.load(), 8);
+    }
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    EXPECT_EQ(pool.size(), ThreadPool::defaultJobs());
+}
+
+// ---------------------------------------------------------------
+// ArtifactCache
+// ---------------------------------------------------------------
+
+class ArtifactCacheTest : public ::testing::Test
+{
+  protected:
+    const WorkloadInfo &wl() const
+    {
+        return *findWorkload("pointer_chase");
+    }
+    SimConfig cfg_ = SimConfig::skylake();
+    CrispOptions opts_;
+    static constexpr uint64_t kTrain = 20'000;
+    static constexpr uint64_t kRef = 30'000;
+};
+
+TEST_F(ArtifactCacheTest, TraceHitMissAccounting)
+{
+    ArtifactCache cache;
+    auto t1 = cache.trace(wl(), InputSet::Train, kTrain);
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().hits, 0u);
+
+    auto t2 = cache.trace(wl(), InputSet::Train, kTrain);
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().hits, 1u);
+    EXPECT_EQ(t1.get(), t2.get()) << "hit must share the artifact";
+
+    // Different input set and different length are different keys.
+    cache.trace(wl(), InputSet::Ref, kTrain);
+    cache.trace(wl(), InputSet::Train, kTrain + 1);
+    EXPECT_EQ(cache.counters().misses, 3u);
+}
+
+TEST_F(ArtifactCacheTest, AnalysisSharesTrainTrace)
+{
+    ArtifactCache cache;
+    auto a = cache.analysis(wl(), opts_, cfg_, kTrain);
+    ASSERT_NE(a, nullptr);
+    // miss(analysis) + miss(train trace) = 2.
+    EXPECT_EQ(cache.counters().misses, 2u);
+
+    auto b = cache.analysis(wl(), opts_, cfg_, kTrain);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.counters().misses, 2u);
+
+    // The train trace behind the analysis is the cached one.
+    auto t = cache.trace(wl(), InputSet::Train, kTrain);
+    EXPECT_EQ(cache.counters().misses, 2u);
+    EXPECT_GE(t->size(), 1u);
+}
+
+TEST_F(ArtifactCacheTest, TaggedTraceChainsThroughAnalysis)
+{
+    ArtifactCache cache;
+    auto tagged =
+        cache.taggedRefTrace(wl(), opts_, cfg_, kTrain, kRef);
+    ASSERT_NE(tagged, nullptr);
+    // tagged + analysis + train trace.
+    EXPECT_EQ(cache.counters().misses, 3u);
+
+    auto again =
+        cache.taggedRefTrace(wl(), opts_, cfg_, kTrain, kRef);
+    EXPECT_EQ(tagged.get(), again.get());
+    EXPECT_EQ(cache.counters().misses, 3u);
+}
+
+TEST_F(ArtifactCacheTest, ClearDropsArtifacts)
+{
+    ArtifactCache cache;
+    cache.trace(wl(), InputSet::Train, kTrain);
+    cache.clear();
+    cache.trace(wl(), InputSet::Train, kTrain);
+    EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+TEST_F(ArtifactCacheTest, KeySensitiveToEveryOptionsField)
+{
+    // Each single-field mutation must produce a distinct options
+    // key, i.e. a distinct analysis artifact.
+    const CrispOptions base;
+    std::vector<std::pair<const char *, CrispOptions>> mutations;
+    auto add = [&](const char *name, auto &&mutate) {
+        CrispOptions o = base;
+        mutate(o);
+        mutations.emplace_back(name, o);
+    };
+    add("missShareThreshold",
+        [](CrispOptions &o) { o.missShareThreshold = 0.02; });
+    add("missRatioThreshold",
+        [](CrispOptions &o) { o.missRatioThreshold = 0.25; });
+    add("mlpThreshold", [](CrispOptions &o) { o.mlpThreshold = 6; });
+    add("execShareMin",
+        [](CrispOptions &o) { o.execShareMin = 0.001; });
+    add("strideMax", [](CrispOptions &o) { o.strideMax = 0.8; });
+    add("branchMispredThreshold",
+        [](CrispOptions &o) { o.branchMispredThreshold = 0.2; });
+    add("branchExecShareMin",
+        [](CrispOptions &o) { o.branchExecShareMin = 0.001; });
+    add("enableLoadSlices",
+        [](CrispOptions &o) { o.enableLoadSlices = false; });
+    add("enableBranchSlices",
+        [](CrispOptions &o) { o.enableBranchSlices = false; });
+    add("enableLongLatencySlices",
+        [](CrispOptions &o) { o.enableLongLatencySlices = true; });
+    add("longLatencyExecShareMin",
+        [](CrispOptions &o) { o.longLatencyExecShareMin = 0.004; });
+    add("criticalPathFilter",
+        [](CrispOptions &o) { o.criticalPathFilter = false; });
+    add("memDependencies",
+        [](CrispOptions &o) { o.memDependencies = false; });
+    add("criticalPathFraction",
+        [](CrispOptions &o) { o.criticalPathFraction = 0.6; });
+    add("maxCriticalRatio",
+        [](CrispOptions &o) { o.maxCriticalRatio = 0.3; });
+    add("maxInstancesPerRoot",
+        [](CrispOptions &o) { o.maxInstancesPerRoot = 12; });
+    add("maxAncestorsPerWalk",
+        [](CrispOptions &o) { o.maxAncestorsPerWalk = 2048; });
+
+    const std::string base_key = ArtifactCache::optionsKey(base);
+    for (const auto &[name, mutated] : mutations)
+        EXPECT_NE(ArtifactCache::optionsKey(mutated), base_key)
+            << "optionsKey ignores field " << name;
+
+    // And unchanged options round-trip to the same key.
+    EXPECT_EQ(ArtifactCache::optionsKey(base),
+              ArtifactCache::optionsKey(CrispOptions{}));
+}
+
+TEST_F(ArtifactCacheTest, ConfigKeyDistinguishesMachines)
+{
+    SimConfig a = SimConfig::skylake();
+    SimConfig b = SimConfig::withWindow(192, 448);
+    EXPECT_NE(ArtifactCache::configKey(a),
+              ArtifactCache::configKey(b));
+    SimConfig c = a;
+    c.enableBop = !c.enableBop;
+    EXPECT_NE(ArtifactCache::configKey(a),
+              ArtifactCache::configKey(c));
+}
+
+TEST_F(ArtifactCacheTest, ConcurrentGettersComputeOnce)
+{
+    ArtifactCache cache;
+    ThreadPool pool(4);
+    std::vector<std::shared_ptr<const Trace>> got(8);
+    pool.parallelFor(got.size(), [&](size_t i) {
+        got[i] = cache.trace(wl(), InputSet::Train, kTrain);
+    });
+    for (const auto &t : got)
+        EXPECT_EQ(t.get(), got[0].get());
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().hits, got.size() - 1);
+}
+
+// ---------------------------------------------------------------
+// evaluateAll determinism
+// ---------------------------------------------------------------
+
+bool
+statsEqual(const CoreStats &a, const CoreStats &b)
+{
+    return a.cycles == b.cycles && a.retired == b.retired &&
+           a.issued == b.issued &&
+           a.issuedPrioritized == b.issuedPrioritized &&
+           a.robHeadStallCycles == b.robHeadStallCycles &&
+           a.llcMissLoads == b.llcMissLoads &&
+           a.forwardedLoads == b.forwardedLoads;
+}
+
+TEST(EvaluateAll, BitIdenticalAcrossJobCounts)
+{
+    std::vector<WorkloadInfo> wls = {
+        *findWorkload("pointer_chase"), *findWorkload("mcf")};
+    SimConfig cfg = SimConfig::skylake();
+    CrispOptions opts;
+    EvalSizes sizes{20'000, 30'000};
+    std::vector<std::string> ists = {"1K"};
+
+    auto reference =
+        evaluateAll(wls, cfg, opts, sizes, /*jobs=*/1, ists);
+    ASSERT_EQ(reference.size(), wls.size());
+
+    for (unsigned jobs : {2u, 4u}) {
+        auto got = evaluateAll(wls, cfg, opts, sizes, jobs, ists);
+        ASSERT_EQ(got.size(), reference.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+            SCOPED_TRACE("workload " + reference[i].name +
+                         " at jobs=" + std::to_string(jobs));
+            EXPECT_EQ(got[i].name, reference[i].name);
+            // Bit-identical IPC, not just approximately equal.
+            EXPECT_EQ(got[i].ipcBaseline,
+                      reference[i].ipcBaseline);
+            EXPECT_EQ(got[i].ipcCrisp, reference[i].ipcCrisp);
+            EXPECT_EQ(got[i].ipcIbda, reference[i].ipcIbda);
+            EXPECT_TRUE(statsEqual(got[i].baseStats,
+                                   reference[i].baseStats));
+            EXPECT_TRUE(statsEqual(got[i].crispStats,
+                                   reference[i].crispStats));
+            EXPECT_EQ(got[i].analysis.taggedStatics,
+                      reference[i].analysis.taggedStatics);
+        }
+    }
+}
+
+TEST(EvaluateAll, MatchesSerialEvaluateWorkload)
+{
+    const WorkloadInfo &wl = *findWorkload("pointer_chase");
+    SimConfig cfg = SimConfig::skylake();
+    CrispOptions opts;
+    EvalSizes sizes{20'000, 30'000};
+
+    WorkloadEval serial = evaluateWorkload(wl, cfg, opts, sizes);
+    auto batch = evaluateAll({wl}, cfg, opts, sizes, /*jobs=*/4);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].ipcBaseline, serial.ipcBaseline);
+    EXPECT_EQ(batch[0].ipcCrisp, serial.ipcCrisp);
+}
+
+} // namespace
+} // namespace crisp

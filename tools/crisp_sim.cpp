@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "sim/artifact_cache.h"
 #include "sim/cli.h"
 #include "sim/driver.h"
+#include "sim/thread_pool.h"
 #include "trace/trace_io.h"
 #include "workloads/workload.h"
 
@@ -69,9 +71,10 @@ main(int argc, char **argv)
                 wl->description.c_str());
     std::printf("machine : %s\n\n", opt.machine.describe().c_str());
 
-    CrispPipeline pipe(*wl, opt.analysis, opt.machine, opt.trainOps,
-                       opt.refOps);
-    const CrispAnalysis &a = pipe.analysis();
+    ArtifactCache cache;
+    const CrispAnalysis &a = *cache.analysis(*wl, opt.analysis,
+                                             opt.machine,
+                                             opt.trainOps);
     std::printf("analysis: %zu delinquent loads, %zu branches, %zu"
                 " long-latency ops; %zu tagged statics "
                 "(dyn ratio %.2f)\n\n",
@@ -79,39 +82,67 @@ main(int argc, char **argv)
                 a.longLatencyOps.size(), a.taggedStatics.size(),
                 a.dynamicCriticalRatio);
 
-    double base_ipc = 0;
-    if (opt.scheduler == "ooo" || opt.scheduler == "both" ||
-        opt.scheduler == "ibda") {
-        Trace base_trace = pipe.refTrace(false);
-        CoreStats s = runCore(base_trace, opt.machine);
-        report("ooo", s);
-        base_ipc = s.ipc();
-        if (opt.scheduler == "ibda" || opt.scheduler == "both") {
-            CoreStats si = runCore(
-                base_trace, ibdaConfig(opt.machine, opt.ist));
-            report("ibda", si);
-            if (base_ipc > 0)
-                std::printf("       ibda speedup %+.1f%%\n",
-                            (si.ipc() / base_ipc - 1.0) * 100.0);
-        }
-    }
-    if (opt.scheduler == "crisp" || opt.scheduler == "both") {
-        Trace tagged = pipe.refTrace(true);
-        if (!opt.saveTracePath.empty()) {
-            if (saveTrace(tagged, opt.saveTracePath))
-                std::printf("tagged trace written to %s\n",
-                            opt.saveTracePath.c_str());
-            else
-                std::fprintf(stderr, "failed to write %s\n",
-                             opt.saveTracePath.c_str());
-        }
+    // Every requested scheduler variant is an independent core run;
+    // run them as parallel jobs and report in fixed order.
+    bool run_ooo = opt.scheduler == "ooo" ||
+                   opt.scheduler == "both" ||
+                   opt.scheduler == "ibda";
+    bool run_ibda =
+        opt.scheduler == "ibda" || opt.scheduler == "both";
+    bool run_crisp =
+        opt.scheduler == "crisp" || opt.scheduler == "both";
+
+    struct Variant
+    {
+        const char *label;
+        SimConfig cfg;
+        bool tagged;
+        CoreStats stats;
+    };
+    std::vector<Variant> runs;
+    if (run_ooo || run_ibda)
+        runs.push_back({"ooo", opt.machine, false, {}});
+    if (run_ibda)
+        runs.push_back(
+            {"ibda", ibdaConfig(opt.machine, opt.ist), false, {}});
+    if (run_crisp) {
         SimConfig cfg = opt.machine;
         cfg.scheduler = SchedulerPolicy::CrispPriority;
-        CoreStats s = runCore(tagged, cfg);
-        report("crisp", s);
-        if (base_ipc > 0)
-            std::printf("       crisp speedup %+.1f%%\n",
-                        (s.ipc() / base_ipc - 1.0) * 100.0);
+        runs.push_back({"crisp", cfg, true, {}});
+    }
+
+    ThreadPool pool(opt.jobs);
+    pool.parallelFor(runs.size(), [&](size_t i) {
+        Variant &v = runs[i];
+        auto trace =
+            v.tagged
+                ? cache.taggedRefTrace(*wl, opt.analysis,
+                                       opt.machine, opt.trainOps,
+                                       opt.refOps)
+                : cache.trace(*wl, InputSet::Ref, opt.refOps);
+        v.stats = runCore(*trace, v.cfg);
+    });
+
+    double base_ipc = 0;
+    for (const Variant &v : runs) {
+        report(v.label, v.stats);
+        if (std::string(v.label) == "ooo")
+            base_ipc = v.stats.ipc();
+        else if (base_ipc > 0 && run_ooo)
+            std::printf("       %s speedup %+.1f%%\n", v.label,
+                        (v.stats.ipc() / base_ipc - 1.0) * 100.0);
+    }
+
+    if (run_crisp && !opt.saveTracePath.empty()) {
+        auto tagged =
+            cache.taggedRefTrace(*wl, opt.analysis, opt.machine,
+                                 opt.trainOps, opt.refOps);
+        if (saveTrace(*tagged, opt.saveTracePath))
+            std::printf("tagged trace written to %s\n",
+                        opt.saveTracePath.c_str());
+        else
+            std::fprintf(stderr, "failed to write %s\n",
+                         opt.saveTracePath.c_str());
     }
     return 0;
 }
