@@ -5,16 +5,21 @@
  * matrix, the interpreter, and end-to-end core simulation speed.
  * These guard the "laptop-runnable" property of the reproduction.
  *
- * Before the microbenchmarks, the binary times the parallel
- * evaluation engine end-to-end — the same evaluateAll batch serially
- * (--jobs 1) and on all cores — prints per-phase wall time, and
- * writes the comparison to BENCH_parallel.json for machines to read.
+ * Before the microbenchmarks, the binary runs two end-to-end
+ * comparisons and writes each to a JSON file for machines to read:
+ *
+ * - the cycle vs event core engines on a mixed workload set,
+ *   asserting bit-identical statistics (BENCH_core_event.json;
+ *   a divergence makes the binary exit nonzero), and
+ * - the parallel evaluation engine, the same evaluateAll batch
+ *   serially (--jobs 1) and on all cores (BENCH_parallel.json).
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bp/bimodal.h"
 #include "bp/gshare.h"
@@ -144,6 +149,8 @@ BM_CoreSimulation(benchmark::State &state)
     Interpreter interp(prog);
     Trace trace = interp.run(50'000);
     SimConfig cfg = SimConfig::skylake();
+    cfg.tickModel =
+        state.range(0) ? TickModel::Event : TickModel::Cycle;
     for (auto _ : state) {
         Core core(trace, cfg);
         CoreStats s = core.run();
@@ -159,7 +166,10 @@ BENCHMARK(BM_CacheLookup);
 BENCHMARK(BM_DramAccess);
 BENCHMARK(BM_AgeMatrixSelect)->Arg(96)->Arg(192);
 BENCHMARK(BM_Interpreter);
-BENCHMARK(BM_CoreSimulation);
+BENCHMARK(BM_CoreSimulation)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("event");
 
 /**
  * Times one evaluateAll batch serially and on all cores, printing
@@ -220,14 +230,111 @@ parallelEngineBench()
     }
 }
 
+/**
+ * Times the cycle vs event core engines over a mixed workload set
+ * (serial, one Core at a time), checks the two produce identical
+ * statistics, prints a per-workload table and writes the comparison
+ * to BENCH_core_event.json.
+ * @return true when every workload's stats matched bit-for-bit.
+ */
+bool
+coreEngineBench()
+{
+    const char *names[] = {"pointer_chase", "mcf", "lbm",
+                           "omnetpp", "deepsjeng"};
+    const uint64_t ops = 400'000;
+
+    std::printf("=== core tick engines (cycle vs event, "
+                "%llu ops each, --jobs 1) ===\n",
+                (unsigned long long)ops);
+
+    bool all_equal = true;
+    double best_speedup = 0.0;
+    std::string rows;
+    for (const char *name : names) {
+        const WorkloadInfo *wl = findWorkload(name);
+        if (!wl)
+            continue;
+        auto prog =
+            std::make_shared<Program>(wl->build(InputSet::Ref));
+        Interpreter interp(prog);
+        Trace trace = interp.run(ops);
+
+        SimConfig cyc_cfg = SimConfig::skylake();
+        cyc_cfg.tickModel = TickModel::Cycle;
+        Timer t_cycle;
+        CoreStats cyc = runCore(trace, cyc_cfg);
+        double cycle_s = t_cycle.seconds();
+
+        SimConfig evt_cfg = SimConfig::skylake();
+        evt_cfg.tickModel = TickModel::Event;
+        Timer t_event;
+        CoreStats evt = runCore(trace, evt_cfg);
+        double event_s = t_event.seconds();
+
+        bool equal =
+            cyc.cycles == evt.cycles &&
+            cyc.retired == evt.retired &&
+            cyc.issued == evt.issued &&
+            cyc.issuedPrioritized == evt.issuedPrioritized &&
+            cyc.robHeadStallCycles == evt.robHeadStallCycles &&
+            cyc.robHeadLoadStallCycles ==
+                evt.robHeadLoadStallCycles &&
+            cyc.frontend.branchStallCycles ==
+                evt.frontend.branchStallCycles &&
+            cyc.headStallByStatic == evt.headStallByStatic &&
+            cyc.issueWaitByStatic == evt.issueWaitByStatic;
+        all_equal = all_equal && equal;
+
+        double speedup = event_s > 0 ? cycle_s / event_s : 0.0;
+        if (speedup > best_speedup)
+            best_speedup = speedup;
+        std::printf("  %-14s cycle %6.2f s  event %6.2f s  "
+                    "%5.2fx  stats %s\n",
+                    name, cycle_s, event_s, speedup,
+                    equal ? "identical" : "DIVERGED");
+
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "%s    {\"workload\": \"%s\", "
+                      "\"cycle_seconds\": %.3f, "
+                      "\"event_seconds\": %.3f, "
+                      "\"speedup\": %.3f, \"identical\": %s}",
+                      rows.empty() ? "" : ",\n", name, cycle_s,
+                      event_s, speedup, equal ? "true" : "false");
+        rows += row;
+    }
+
+    std::printf("  best speedup %.2fx, stats %s\n\n", best_speedup,
+                all_equal ? "identical" : "DIVERGED");
+
+    if (FILE *f = std::fopen("BENCH_core_event.json", "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"ops\": %llu,\n"
+                     "  \"best_speedup\": %.3f,\n"
+                     "  \"identical\": %s,\n"
+                     "  \"workloads\": [\n%s\n  ]\n"
+                     "}\n",
+                     (unsigned long long)ops, best_speedup,
+                     all_equal ? "true" : "false", rows.c_str());
+        std::fclose(f);
+        std::printf("  wrote BENCH_core_event.json\n\n");
+    }
+    return all_equal;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    bool engines_equal = coreEngineBench();
     parallelEngineBench();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return 0;
+    // CI runs this binary as a perf smoke test: a cross-engine stats
+    // divergence fails the job even though the benchmarks completed.
+    return engines_equal ? 0 : 1;
 }

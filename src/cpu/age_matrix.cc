@@ -4,40 +4,49 @@ namespace crisp
 {
 
 AgeMatrix::AgeMatrix(unsigned slots)
-    : slots_(slots), rows_(slots, SlotVector(slots))
+    : slots_(slots), stamp_(slots, 0)
 {
 }
 
-void
-AgeMatrix::allocate(unsigned slot)
+bool
+AgeMatrix::isOldest(unsigned slot, const SlotVector &candidates) const
 {
-    // The newcomer is younger than everything: clear its bit in every
-    // existing vector, then initialize its own vector to all ones
-    // minus itself (stale ones for empty slots are harmless because
-    // empty slots never appear in a candidate vector).
-    for (auto &row : rows_)
-        row.clear(slot);
-    rows_[slot].setAll();
-    rows_[slot].clear(slot);
+    // No candidate may carry an older (smaller) allocation stamp.
+    const uint64_t mine = stamp_[slot];
+    for (size_t w = 0; w < candidates.wordCount(); ++w) {
+        uint64_t bits = candidates.word(w);
+        while (bits) {
+            unsigned s =
+                unsigned(w * 64) + unsigned(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            if (stamp_[s] < mine)
+                return false;
+        }
+    }
+    return true;
 }
 
 int
 AgeMatrix::selectOldest(const SlotVector &candidates) const
 {
-    // Allocation-free: scans inline words and tests candidates in
-    // slot order, returning the first whose age vector is disjoint
-    // from the candidate set.
-    for (size_t w = 0; w < candidates.wordCount_; ++w) {
-        uint64_t bits = candidates.words_[w];
+    // Allocation-free single pass: the oldest candidate is the one
+    // with the smallest allocation stamp (stamps are unique, so the
+    // selection is deterministic).
+    int best = -1;
+    uint64_t best_stamp = ~0ULL;
+    for (size_t w = 0; w < candidates.wordCount(); ++w) {
+        uint64_t bits = candidates.word(w);
         while (bits) {
-            unsigned slot =
+            unsigned s =
                 unsigned(w * 64) + unsigned(__builtin_ctzll(bits));
             bits &= bits - 1;
-            if (isOldest(slot, candidates))
-                return int(slot);
+            if (stamp_[s] < best_stamp) {
+                best_stamp = stamp_[s];
+                best = int(s);
+            }
         }
     }
-    return -1;
+    return best;
 }
 
 } // namespace crisp

@@ -1,12 +1,23 @@
 /**
  * @file
- * Age-matrix oldest-instruction tracking for RAND schedulers.
+ * Age-ordering primitive for RAND schedulers.
  *
- * Direct model of the circuit described in CRISP §4.2: each IQ slot
- * keeps an N-bit age vector, initialized to all ones on allocate with
- * its own bit cleared; every later allocation clears the newcomer's
- * bit in all existing vectors. A slot is the oldest of a candidate
- * set iff (age_vector AND candidate_vector) == 0.
+ * Models the observable behavior of the circuit described in CRISP
+ * §4.2: each IQ slot keeps an N-bit age vector, initialized to all
+ * ones on allocate with its own bit cleared; every later allocation
+ * clears the newcomer's bit in all existing vectors (a column clear).
+ * A slot is the oldest of a candidate set iff
+ * (age_vector AND candidate_vector) == 0.
+ *
+ * The software representation is an allocation stamp per slot rather
+ * than the materialized bit matrix: the hardware matrix encodes
+ * exactly the total order of allocations, so a monotonically
+ * increasing stamp reproduces every isOldest()/selectOldest() answer
+ * bit-for-bit while making allocate() O(1) instead of the former
+ * O(slots) per-dispatch row sweep (the software dual of the
+ * word-granular column clear). The equivalence is pinned by a
+ * randomized churn test against a naive pairwise age-ordering
+ * reference (tests/age_matrix_test.cc).
  */
 
 #ifndef CRISP_CPU_AGE_MATRIX_H
@@ -87,14 +98,14 @@ class SlotVector
   private:
     std::array<uint64_t, kWords> words_{};
     size_t wordCount_ = 0;
-
-    friend class AgeMatrix;
 };
 
 /**
  * The age matrix proper. Slots are allocated in arbitrary (RAND)
  * order; relative age is recoverable only through the matrix, exactly
- * as in hardware.
+ * as in hardware. Candidate vectors must contain occupied slots only
+ * (empty slots carry a stale age, as in the hardware matrix, where
+ * stale row bits for empty slots are likewise never cleared).
  */
 class AgeMatrix
 {
@@ -103,16 +114,16 @@ class AgeMatrix
     explicit AgeMatrix(unsigned slots);
 
     /** Records that @p slot just received a new (youngest) entry. */
-    void allocate(unsigned slot);
+    void allocate(unsigned slot)
+    {
+        stamp_[slot] = ++epoch_;
+    }
 
     /**
-     * @return true if @p slot is the oldest member of @p candidates
-     *         (slot must itself be a candidate).
+     * @return true if no member of @p candidates is older than
+     *         @p slot (vacuously true for an empty candidate set).
      */
-    bool isOldest(unsigned slot, const SlotVector &candidates) const
-    {
-        return rows_[slot].disjoint(candidates);
-    }
+    bool isOldest(unsigned slot, const SlotVector &candidates) const;
 
     /**
      * Selects the oldest member of @p candidates.
@@ -125,7 +136,9 @@ class AgeMatrix
 
   private:
     unsigned slots_;
-    std::vector<SlotVector> rows_;
+    /** Allocation order; larger = younger. 0 = never allocated. */
+    std::vector<uint64_t> stamp_;
+    uint64_t epoch_ = 0;
 };
 
 } // namespace crisp

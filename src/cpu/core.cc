@@ -1,11 +1,40 @@
 #include "cpu/core.h"
 
+#include <algorithm>
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
+#include <sstream>
 
 namespace crisp
 {
+
+namespace
+{
+
+std::string
+deadlockMessage(uint64_t cycle, uint64_t retired, size_t trace_size,
+                const std::string &context)
+{
+    std::ostringstream os;
+    os << "simulation deadlock";
+    if (!context.empty())
+        os << " in " << context;
+    os << ": no retirement progress at cycle " << cycle
+       << " (retired " << retired << " of " << trace_size << ")";
+    return os.str();
+}
+
+} // namespace
+
+SimDeadlockError::SimDeadlockError(uint64_t cycle_arg,
+                                   uint64_t retired_arg,
+                                   size_t trace_size,
+                                   std::string context_arg)
+    : std::runtime_error(deadlockMessage(cycle_arg, retired_arg,
+                                         trace_size, context_arg)),
+      cycle(cycle_arg), retired(retired_arg), traceSize(trace_size),
+      context(std::move(context_arg))
+{
+}
 
 Core::Core(const Trace &trace, const SimConfig &cfg)
     : trace_(trace), cfg_(cfg),
@@ -16,6 +45,7 @@ Core::Core(const Trace &trace, const SimConfig &cfg)
       lsq_(cfg.lqSize, cfg.sqSize),
       fus_(cfg),
       fetchPipeCap_(cfg.width * (cfg.fetchToDispatchLat + 1)),
+      eventMode_(cfg.tickModel == TickModel::Event),
       candAlu_(cfg.rsSize), candLoad_(cfg.rsSize),
       candStore_(cfg.rsSize), prioAlu_(cfg.rsSize),
       prioLoad_(cfg.rsSize), prioStore_(cfg.rsSize)
@@ -37,6 +67,45 @@ Core::allocInst(const FetchedOp &fo)
 }
 
 void
+Core::markCandidate(DynInst *inst)
+{
+    unsigned s = unsigned(inst->rsSlot);
+    switch (poolOf(inst->op->cls)) {
+      case FuPool::Alu:
+        candAlu_.set(s);
+        if (inst->prioritized)
+            prioAlu_.set(s);
+        break;
+      case FuPool::Load:
+        candLoad_.set(s);
+        if (inst->prioritized)
+            prioLoad_.set(s);
+        break;
+      case FuPool::Store:
+        candStore_.set(s);
+        if (inst->prioritized)
+            prioStore_.set(s);
+        break;
+    }
+}
+
+void
+Core::scheduleReady(DynInst *inst, uint64_t earliest)
+{
+    // Once the last producer has resolved, srcReadyCycle is final:
+    // the entry either becomes a candidate now or is parked on the
+    // heap until its data arrives. @p earliest gates entries woken
+    // mid-issue to the next tick, mirroring the cycle engine's
+    // stage-entry snapshot.
+    uint64_t ready = std::max(inst->srcReadyCycle, earliest);
+    if (ready > cycle_) {
+        readyHeap_.emplace(ready, uint32_t(inst->rsSlot));
+        return;
+    }
+    markCandidate(inst);
+}
+
+void
 Core::wakeConsumers(DynInst *inst)
 {
     for (DynInst *c : inst->consumers) {
@@ -44,6 +113,11 @@ Core::wakeConsumers(DynInst *inst)
             c->srcReadyCycle = inst->doneCycle;
         assert(c->pendingProducers > 0);
         --c->pendingProducers;
+        // A consumer woken while issue is in flight first competes
+        // for ports at the next tick, exactly like the cycle
+        // engine's rescan would see it.
+        if (eventMode_ && c->pendingProducers == 0)
+            scheduleReady(c, cycle_ + 1);
     }
     inst->consumers.clear();
 }
@@ -132,8 +206,8 @@ Core::selectFromPool(FuPool pool, SlotVector &cand, SlotVector &prio,
     return issued;
 }
 
-void
-Core::issueStage()
+bool
+Core::issueStageCycle()
 {
     fus_.beginCycle(cycle_);
     candAlu_.clearAll();
@@ -157,51 +231,76 @@ Core::issueStage()
             inst->srcReadyCycle > cycle_)
             continue;
         any = true;
-        switch (poolOf(inst->op->cls)) {
-          case FuPool::Alu:
-            candAlu_.set(s);
-            if (inst->prioritized)
-                prioAlu_.set(s);
-            break;
-          case FuPool::Load:
-            candLoad_.set(s);
-            if (inst->prioritized)
-                prioLoad_.set(s);
-            break;
-          case FuPool::Store:
-            candStore_.set(s);
-            if (inst->prioritized)
-                prioStore_.set(s);
-            break;
-        }
+        markCandidate(inst);
       }
     }
     if (!any)
-        return;
+        return false;
 
     unsigned budget = cfg_.width;
-    budget -= selectFromPool(FuPool::Load, candLoad_, prioLoad_,
-                             budget);
-    budget -= selectFromPool(FuPool::Store, candStore_, prioStore_,
-                             budget);
-    selectFromPool(FuPool::Alu, candAlu_, prioAlu_, budget);
+    unsigned issued = 0;
+    unsigned n = selectFromPool(FuPool::Load, candLoad_, prioLoad_,
+                                budget);
+    issued += n;
+    budget -= n;
+    n = selectFromPool(FuPool::Store, candStore_, prioStore_,
+                       budget);
+    issued += n;
+    budget -= n;
+    issued += selectFromPool(FuPool::Alu, candAlu_, prioAlu_, budget);
+    return issued > 0;
 }
 
-void
+bool
+Core::issueStageEvent()
+{
+    // Promote entries whose data has arrived. A heap entry always
+    // refers to the slot's current occupant: the slot cannot be
+    // released (instructions issue only after becoming candidates,
+    // which happens exactly here) nor re-pushed before this pop.
+    while (!readyHeap_.empty() &&
+           readyHeap_.top().first <= cycle_) {
+        unsigned s = readyHeap_.top().second;
+        readyHeap_.pop();
+        DynInst *inst = rs_.at(s);
+        assert(inst && !inst->issued && inst->pendingProducers == 0);
+        markCandidate(inst);
+    }
+
+    if (!candAlu_.any() && !candLoad_.any() && !candStore_.any())
+        return false;
+
+    fus_.beginCycle(cycle_);
+    unsigned budget = cfg_.width;
+    unsigned issued = 0;
+    unsigned n = selectFromPool(FuPool::Load, candLoad_, prioLoad_,
+                                budget);
+    issued += n;
+    budget -= n;
+    n = selectFromPool(FuPool::Store, candStore_, prioStore_,
+                       budget);
+    issued += n;
+    budget -= n;
+    issued += selectFromPool(FuPool::Alu, candAlu_, prioAlu_, budget);
+    return issued > 0;
+}
+
+bool
 Core::dispatchStage()
 {
+    unsigned dispatched = 0;
     for (unsigned k = 0; k < cfg_.width; ++k) {
         if (fetchPipe_.empty() ||
             fetchPipe_.front().readyCycle > cycle_)
-            return;
+            break;
         DynInst *inst = fetchPipe_.front().inst;
         const MicroOp &op = *inst->op;
         if (rob_.full() || rs_.full())
-            return;
+            break;
         if (op.isLoad() && lsq_.loadQueueFull())
-            return;
+            break;
         if (op.isStore() && lsq_.storeQueueFull())
-            return;
+            break;
         fetchPipe_.pop_front();
 
         rob_.push(inst);
@@ -253,24 +352,33 @@ Core::dispatchStage()
             lastWriter_[op.dst] = inst;
             lastWriterPc_[op.dst] = op.pc;
         }
+
+        // Entries that arrive dataflow-free join the ready set now;
+        // issue for this tick has already run, so they first compete
+        // next cycle — as in the cycle engine's rescan.
+        if (eventMode_ && inst->pendingProducers == 0)
+            scheduleReady(inst, cycle_);
+        ++dispatched;
     }
+    return dispatched > 0;
 }
 
-void
+bool
 Core::fetchStage()
 {
     if (fetchPipe_.size() + cfg_.width > fetchPipeCap_)
-        return;
+        return false;
     fetchScratch_.clear();
-    frontend_.fetch(cycle_, cfg_.width, fetchScratch_);
+    bool active = frontend_.fetch(cycle_, cfg_.width, fetchScratch_);
     for (const FetchedOp &fo : fetchScratch_) {
         DynInst *inst = allocInst(fo);
         fetchPipe_.push_back(
             {inst, cycle_ + cfg_.fetchToDispatchLat});
     }
+    return active;
 }
 
-void
+bool
 Core::retireStage()
 {
     unsigned retired = 0;
@@ -302,33 +410,120 @@ Core::retireStage()
     }
     if (recordTimeline_)
         stats_.retireTimeline.push_back(uint8_t(retired));
+    return retired > 0;
+}
+
+uint64_t
+Core::nextEventCycle() const
+{
+    // Called only after a tick in which no stage made progress; every
+    // state change before the returned cycle is impossible, so the
+    // skipped span is provably identical to ticking it cycle by
+    // cycle. Sources of change:
+    //   - the ROB head completing (retire),
+    //   - a time-gated RS entry's data arriving (issue),
+    //   - an unpipelined ALU freeing up under ready ALU work (issue),
+    //   - the fetch pipe's front reaching dispatch readiness,
+    //   - the frontend's icache-miss / redirect resume cycle (fetch).
+    // Structural stalls (ROB/RS/LQ/SQ full, fetch pipe full, branch
+    // gating) resolve only as consequences of those events.
+    uint64_t next = ~0ULL;
+    auto consider = [&next](uint64_t c) {
+        if (c < next)
+            next = c;
+    };
+
+    if (!rob_.empty()) {
+        const DynInst *head = rob_.head();
+        if (head->issued)
+            consider(head->doneCycle);
+    }
+    if (!readyHeap_.empty())
+        consider(readyHeap_.top().first);
+    if (candAlu_.any())
+        consider(fus_.nextAluFreeCycle(cycle_));
+    // Ready load/store work always issues in a tick (ports are fully
+    // pipelined), so these sets are empty after an idle tick; if a
+    // scheduling invariant is ever violated, degrade to ticking the
+    // next cycle instead of skipping incorrectly.
+    assert(!candLoad_.any() && !candStore_.any());
+    if (candLoad_.any() || candStore_.any())
+        consider(cycle_ + 1);
+    if (!fetchPipe_.empty() &&
+        fetchPipe_.front().readyCycle > cycle_)
+        consider(fetchPipe_.front().readyCycle);
+    if (!frontend_.exhausted() && !frontend_.blockedOnBranch() &&
+        fetchPipe_.size() + cfg_.width <= fetchPipeCap_ &&
+        frontend_.blockedUntil() > cycle_)
+        consider(frontend_.blockedUntil());
+    return next;
+}
+
+void
+Core::chargeIdleCycles(uint64_t span)
+{
+    // Exactly what `span` consecutive idle ticks of the cycle engine
+    // would have accumulated: per-cycle ROB-head stall accounting
+    // (the head cannot change during an idle span), branch-gated
+    // fetch stalls (only while the fetch pipe has room — the cycle
+    // engine's fetchStage returns before touching the frontend
+    // otherwise), and zero-retire timeline samples.
+    if (!rob_.empty()) {
+        stats_.robHeadStallCycles += span;
+        DynInst *head = rob_.head();
+        if (head->op->isLoad())
+            stats_.robHeadLoadStallCycles += span;
+        stats_.headStallByStatic[head->op->sidx] += span;
+    }
+    if (fetchPipe_.size() + cfg_.width <= fetchPipeCap_ &&
+        frontend_.blockedOnBranch())
+        frontend_.chargeBranchStall(span);
+    if (recordTimeline_)
+        stats_.retireTimeline.insert(stats_.retireTimeline.end(),
+                                     size_t(span), uint8_t(0));
 }
 
 CoreStats
 Core::run(uint64_t max_cycles, bool record_timeline)
 {
     recordTimeline_ = record_timeline;
+    if (record_timeline && cfg_.width > 0)
+        stats_.retireTimeline.reserve(
+            size_t(trace_.size() / cfg_.width) + 64);
     uint64_t last_progress_cycle = 0;
     uint64_t last_retired = 0;
 
     while (stats_.retired < trace_.size() && cycle_ < max_cycles) {
         ++cycle_;
-        retireStage();
-        issueStage();
-        dispatchStage();
-        fetchStage();
+        bool work = retireStage();
+        work = (eventMode_ ? issueStageEvent() : issueStageCycle()) ||
+               work;
+        work = dispatchStage() || work;
+        work = fetchStage() || work;
 
         if (stats_.retired != last_retired) {
             last_retired = stats_.retired;
             last_progress_cycle = cycle_;
-        } else if (cycle_ - last_progress_cycle > 2'000'000) {
-            std::fprintf(stderr,
-                         "core deadlock at cycle %llu (retired %llu"
-                         " of %zu)\n",
-                         (unsigned long long)cycle_,
-                         (unsigned long long)stats_.retired,
-                         trace_.size());
-            std::abort();
+        } else if (cycle_ - last_progress_cycle > kDeadlockWindow) {
+            throw SimDeadlockError(cycle_, stats_.retired,
+                                   trace_.size());
+        }
+
+        if (eventMode_ && !work &&
+            stats_.retired < trace_.size() && cycle_ < max_cycles) {
+            // Jump to the next cycle at which anything can happen,
+            // clamped to the run bound and to the cycle at which the
+            // deadlock watchdog would have fired (the tick there
+            // reproduces the cycle engine's throw; with no event at
+            // all, that tick is reached in one jump).
+            uint64_t target = nextEventCycle();
+            target = std::min(target, max_cycles);
+            target = std::min(target, last_progress_cycle +
+                                          kDeadlockWindow + 1);
+            if (target > cycle_ + 1) {
+                chargeIdleCycles(target - cycle_ - 1);
+                cycle_ = target - 1;
+            }
         }
     }
 

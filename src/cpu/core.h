@@ -10,6 +10,19 @@
  * DDR4 channel. The scheduler implements both the baseline
  * oldest-ready-first policy and CRISP's two-level pick (oldest ready
  * *prioritized* first, §4.2).
+ *
+ * Two interchangeable simulation engines drive the model
+ * (SimConfig::tickModel, DESIGN.md §9):
+ *
+ * - TickModel::Cycle — the reference engine: ticks every cycle and
+ *   rescans the occupied reservation station for ready work.
+ * - TickModel::Event — the default engine: maintains per-pool
+ *   candidate/priority sets incrementally (at dispatch, wakeup and
+ *   issue) plus a min-heap of time-gated entries keyed on
+ *   srcReadyCycle, and when a tick does no work jumps straight to
+ *   the earliest future event, batch-charging the skipped span to
+ *   the same stall counters. Statistics are bit-identical between
+ *   the two engines (pinned by tests/tick_model_test.cc).
  */
 
 #ifndef CRISP_CPU_CORE_H
@@ -18,7 +31,11 @@
 #include <array>
 #include <deque>
 #include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/hierarchy.h"
@@ -35,6 +52,33 @@
 
 namespace crisp
 {
+
+/**
+ * Thrown when a simulation stops making forward progress — either
+ * the watchdog sees no retirement for kDeadlockWindow cycles, or the
+ * event engine proves no future event can ever occur. Carries enough
+ * state to identify the dead run; batch drivers (evaluateAll) wrap
+ * it with the workload/variant that died so one poisoned
+ * configuration cannot take down a whole parallel sweep anonymously.
+ */
+class SimDeadlockError : public std::runtime_error
+{
+  public:
+    SimDeadlockError(uint64_t cycle, uint64_t retired,
+                     size_t trace_size, std::string context = "");
+
+    /** Adds/replaces the workload/config context, rebuilding what(). */
+    SimDeadlockError withContext(std::string context) const
+    {
+        return SimDeadlockError(cycle, retired, traceSize,
+                                std::move(context));
+    }
+
+    uint64_t cycle;      ///< cycle at which the deadlock was detected
+    uint64_t retired;    ///< micro-ops retired before the deadlock
+    size_t traceSize;    ///< total micro-ops in the trace
+    std::string context; ///< "workload/variant" when known
+};
 
 /** End-of-run results and counters. */
 struct CoreStats
@@ -90,6 +134,9 @@ struct CoreStats
 class Core
 {
   public:
+    /** No retirement for this many cycles = deadlock. */
+    static constexpr uint64_t kDeadlockWindow = 2'000'000;
+
     /**
      * @param trace dynamic stream to execute (restamped with the
      *              tagging of interest)
@@ -101,6 +148,7 @@ class Core
      * Runs to completion (or @p max_cycles).
      * @param record_timeline record per-cycle retire counts
      * @return the statistics.
+     * @throws SimDeadlockError when forward progress stops.
      */
     CoreStats run(uint64_t max_cycles = ~0ULL,
                   bool record_timeline = false);
@@ -139,21 +187,50 @@ class Core
     uint64_t cycle_ = 0;
     CoreStats stats_;
     bool recordTimeline_ = false;
+    bool eventMode_ = false;
 
-    // Selection scratch.
+    // Issue candidate sets. The cycle engine rebuilds them from an
+    // RS rescan every tick; the event engine maintains them
+    // incrementally: an instruction enters its pool's set the moment
+    // it is dataflow-free and time-ready, and leaves it at issue.
     SlotVector candAlu_, candLoad_, candStore_;
     SlotVector prioAlu_, prioLoad_, prioStore_;
 
-    void retireStage();
-    void issueStage();
-    void dispatchStage();
-    void fetchStage();
+    /** Dataflow-free entries whose srcReadyCycle is in the future,
+     *  as (srcReadyCycle, slot); popped into the candidate sets when
+     *  their cycle arrives (event engine only). */
+    std::priority_queue<std::pair<uint64_t, uint32_t>,
+                        std::vector<std::pair<uint64_t, uint32_t>>,
+                        std::greater<>>
+        readyHeap_;
+
+    // Pipeline stages; each returns whether it made progress this
+    // tick (the event engine may skip ahead only after a tick in
+    // which no stage did).
+    bool retireStage();
+    bool issueStageCycle();
+    bool issueStageEvent();
+    bool dispatchStage();
+    bool fetchStage();
 
     DynInst *allocInst(const FetchedOp &fo);
     void wakeConsumers(DynInst *inst);
     void issueInst(DynInst *inst);
     unsigned selectFromPool(FuPool pool, SlotVector &cand,
                             SlotVector &prio, unsigned budget);
+
+    // Event engine.
+    /** Files a dataflow-free entry into its candidate set (if ready
+     *  no later than @p earliest) or the time-gated heap. */
+    void scheduleReady(DynInst *inst, uint64_t earliest);
+    /** Sets the entry's candidate (and priority) bit. */
+    void markCandidate(DynInst *inst);
+    /** @return the earliest cycle > cycle_ at which any stage could
+     *          make progress, or ~0ULL if none exists (deadlock). */
+    uint64_t nextEventCycle() const;
+    /** Batch-charges @p span skipped idle cycles to the same stall
+     *  counters the cycle engine would have accumulated one by one. */
+    void chargeIdleCycles(uint64_t span);
 };
 
 } // namespace crisp

@@ -102,16 +102,18 @@ Frontend::runFdip(uint64_t cycle)
     }
 }
 
-void
+bool
 Frontend::fetch(uint64_t cycle, unsigned n,
                 std::vector<FetchedOp> &out)
 {
     if (blockedOnBranch_) {
         ++stats_.branchStallCycles;
-        return;
+        return false;
     }
     if (cycle < blockedUntil_)
-        return;
+        return false;
+    if (nextIdx_ >= trace_.size())
+        return false; // exhausted: FDIP and the fetch loop are no-ops
 
     runFdip(cycle);
 
@@ -146,6 +148,7 @@ Frontend::fetch(uint64_t cycle, unsigned n,
             break;
         }
     }
+    return true;
 }
 
 void

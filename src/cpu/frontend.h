@@ -69,8 +69,14 @@ class Frontend
      * Fetches up to @p n micro-ops at @p cycle.
      * Appends to @p out; stops early at icache misses or after
      * delivering a mispredicted branch.
+     * @return true if the frontend was active this cycle (delivered
+     *         ops, ran FDIP, or took an icache miss); false when it
+     *         idled — blocked on a branch or a pending icache line,
+     *         or the trace is exhausted. An idle cycle changes no
+     *         frontend state except the branch-stall counter, which
+     *         the event engine batch-charges via chargeBranchStall().
      */
-    void fetch(uint64_t cycle, unsigned n, std::vector<FetchedOp> &out);
+    bool fetch(uint64_t cycle, unsigned n, std::vector<FetchedOp> &out);
 
     /**
      * Reports that the blocking mispredicted branch has resolved;
@@ -80,6 +86,25 @@ class Frontend
 
     /** @return true when the whole trace has been fetched. */
     bool exhausted() const { return nextIdx_ >= trace_.size(); }
+
+    /** @return true while fetch is gated on an unresolved branch. */
+    bool blockedOnBranch() const { return blockedOnBranch_; }
+
+    /**
+     * @return the cycle at which fetch resumes after an icache miss
+     *         or a resolved redirect (fetch idles strictly before it).
+     */
+    uint64_t blockedUntil() const { return blockedUntil_; }
+
+    /**
+     * Accounts @p span skipped branch-gated fetch cycles at once —
+     * exactly what @p span consecutive fetch() calls would have
+     * recorded while blockedOnBranch().
+     */
+    void chargeBranchStall(uint64_t span)
+    {
+        stats_.branchStallCycles += span;
+    }
 
     /** @return accumulated statistics. */
     const FrontendStats &stats() const { return stats_; }

@@ -57,6 +57,19 @@ FunctionalUnits::available(FuPool pool) const
     return false;
 }
 
+uint64_t
+FunctionalUnits::nextAluFreeCycle(uint64_t cycle) const
+{
+    uint64_t next = ~0ULL;
+    for (uint64_t busy : aluBusyUntil_) {
+        if (busy <= cycle)
+            return cycle + 1;
+        if (busy < next)
+            next = busy;
+    }
+    return next;
+}
+
 void
 FunctionalUnits::claim(FuPool pool, OpClass cls, uint64_t cycle,
                        uint64_t done)

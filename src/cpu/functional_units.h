@@ -49,6 +49,15 @@ class FunctionalUnits
     void claim(FuPool pool, OpClass cls, uint64_t cycle,
                uint64_t done);
 
+    /**
+     * Earliest future cycle at which an ALU unit is free, for the
+     * event engine's next-event computation when ready ALU work is
+     * blocked on unpipelined occupancy (dividers).
+     * @return the smallest busy-until cycle > @p cycle, or
+     *         @p cycle + 1 if a unit is already free.
+     */
+    uint64_t nextAluFreeCycle(uint64_t cycle) const;
+
   private:
     std::vector<uint64_t> aluBusyUntil_;
     unsigned loadPorts_;

@@ -19,6 +19,14 @@ namespace crisp
  * Slot container for waiting instructions. Slots are handed out in
  * arbitrary order (free-list), matching a RAND scheduler: relative
  * age is recovered exclusively through the AgeMatrix.
+ *
+ * Slot lifetime invariant (the event engine leans on it): a slot is
+ * claimed at dispatch and released only when its instruction issues.
+ * Between those points `at(slot)` always returns the same DynInst,
+ * so Core's ready-heap entries — keyed (srcReadyCycle, slot) — can
+ * never refer to a stale occupant: an instruction only issues after
+ * passing through the candidate sets, which it enters strictly after
+ * its heap entry (if any) is popped.
  */
 class ReservationStation
 {

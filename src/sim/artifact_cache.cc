@@ -41,6 +41,11 @@ ArtifactCache::configKey(const SimConfig &c)
     // knobs only matter at core-simulation time but are included for
     // simplicity; callers wanting cross-config sharing pass the same
     // base machine for analysis (as fig09 already does).
+    //
+    // tickModel is deliberately NOT part of the key: the analysis
+    // never runs the OOO core, and the two engines produce
+    // bit-identical traces/statistics anyway (tick_model_test.cc),
+    // so cycle- and event-model runs share artifacts.
     auto cache = [](const CacheConfig &k) {
         std::ostringstream os;
         os << k.sizeBytes << "/" << k.ways << "/" << k.lineBytes

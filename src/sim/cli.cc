@@ -20,6 +20,8 @@ cliUsage()
            "                       cores; 1 = serial)\n"
            "  --rs N               reservation station entries\n"
            "  --rob N              reorder buffer entries\n"
+           "  --tick-model MODEL   cycle | event (default event;\n"
+           "                       identical stats, see DESIGN.md)\n"
            "  --threshold F        miss-share threshold T\n"
            "  --no-branch-slices   disable branch slicing\n"
            "  --no-load-slices     disable load slicing\n"
@@ -140,6 +142,20 @@ parseCli(const std::vector<std::string> &args)
             uint64_t v = 0;
             need_u64("--rob", v);
             opt.machine.robSize = unsigned(v);
+        } else if (a == "--tick-model") {
+            const char *v = need_value("--tick-model");
+            if (!v)
+                break;
+            std::string model = v;
+            if (model == "cycle") {
+                opt.machine.tickModel = TickModel::Cycle;
+            } else if (model == "event") {
+                opt.machine.tickModel = TickModel::Event;
+            } else {
+                opt.error = "unknown tick model '" + model +
+                            "' (expected 'cycle' or 'event')";
+                break;
+            }
         } else if (a == "--threshold") {
             if (const char *v = need_value("--threshold"))
                 opt.analysis.missShareThreshold =

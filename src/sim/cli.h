@@ -50,6 +50,8 @@ struct CliOptions
  *   --jobs N             parallel worker count (default: hardware
  *                        concurrency; 1 = fully serial)
  *   --rs N, --rob N      window sizes (Fig 9 style sweeps)
+ *   --tick-model MODEL   cycle | event simulation engine (default
+ *                        event; bit-identical stats, DESIGN.md §9)
  *   --threshold F        miss-share threshold T (Fig 10)
  *   --no-branch-slices   disable §3.4 branch slicing
  *   --no-load-slices     disable load slicing

@@ -30,7 +30,8 @@ SimConfig::describe() const
        << " ST, " << branchPredictor << ", sched="
        << (scheduler == SchedulerPolicy::CrispPriority ? "crisp"
                                                        : "oldest")
-       << (enableIbda ? ", ibda" : "");
+       << (enableIbda ? ", ibda" : "")
+       << (tickModel == TickModel::Cycle ? ", tick=cycle" : "");
     return os.str();
 }
 

@@ -29,6 +29,15 @@ enum class SchedulerPolicy {
 };
 
 /**
+ * Core simulation engine. Both models produce bit-identical
+ * CoreStats (see DESIGN.md §9); they differ only in wall-clock cost.
+ */
+enum class TickModel {
+    Cycle,  ///< reference model: tick every cycle, rescan the RS
+    Event,  ///< skip provably idle cycles, incremental ready sets
+};
+
+/**
  * Full simulated-system configuration. Defaults reproduce the
  * Skylake-like machine of CRISP Table 1.
  */
@@ -66,6 +75,10 @@ struct SimConfig
 
     // Scheduler.
     SchedulerPolicy scheduler = SchedulerPolicy::OldestFirst;
+
+    // Simulation engine (not a property of the modelled machine:
+    // both tick models yield bit-identical statistics).
+    TickModel tickModel = TickModel::Event;
 
     // IBDA hardware baseline (load-slice-architecture style).
     bool enableIbda = false;

@@ -40,6 +40,22 @@ ibdaConfig(const SimConfig &base, const std::string &ist)
 namespace
 {
 
+/**
+ * Runs one core and, if the simulation deadlocks, rethrows the error
+ * annotated with "workload/variant" so one poisoned configuration in
+ * a parallel sweep is identifiable from the what() string alone.
+ */
+CoreStats
+runCoreAnnotated(const Trace &trace, const SimConfig &cfg,
+                 const std::string &workload, const char *variant)
+{
+    try {
+        return runCore(trace, cfg);
+    } catch (const SimDeadlockError &e) {
+        throw e.withContext(workload + "/" + variant);
+    }
+}
+
 /** Baseline OOO machine: untagged trace, oldest-first scheduler. */
 SimConfig
 baselineConfig(const SimConfig &base)
@@ -77,18 +93,24 @@ evaluateWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
         *c.analysis(wl, opts, cfg, sizes.trainOps);
 
     auto base_trace = c.trace(wl, InputSet::Ref, sizes.refOps);
-    eval.baseStats = runCore(*base_trace, baselineConfig(cfg));
+    eval.baseStats = runCoreAnnotated(*base_trace,
+                                      baselineConfig(cfg),
+                                      wl.name, "ooo");
     eval.ipcBaseline = eval.baseStats.ipc();
 
     auto crisp_trace = c.taggedRefTrace(wl, opts, cfg,
                                         sizes.trainOps,
                                         sizes.refOps);
-    eval.crispStats = runCore(*crisp_trace, crispConfig(cfg));
+    eval.crispStats = runCoreAnnotated(*crisp_trace,
+                                       crispConfig(cfg),
+                                       wl.name, "crisp");
     eval.ipcCrisp = eval.crispStats.ipc();
 
     // IBDA variants share the untagged trace.
     for (const auto &ist : ist_sizes) {
-        CoreStats s = runCore(*base_trace, ibdaConfig(cfg, ist));
+        CoreStats s = runCoreAnnotated(
+            *base_trace, ibdaConfig(cfg, ist), wl.name,
+            ("ibda-" + ist).c_str());
         eval.ipcIbda[ist] = s.ipc();
     }
     return eval;
@@ -125,26 +147,29 @@ evaluateAll(const std::vector<WorkloadInfo> &workloads,
             size_t v = i % variants;
             const WorkloadInfo &wl = workloads[w];
             WorkloadEval &eval = evals[w];
+            // A deadlocked run surfaces from the pool annotated
+            // with its (workload, variant), not anonymously.
             if (v == 0) {
                 auto trace =
                     c.trace(wl, InputSet::Ref, sizes.refOps);
-                eval.baseStats =
-                    runCore(*trace, baselineConfig(cfg));
+                eval.baseStats = runCoreAnnotated(
+                    *trace, baselineConfig(cfg), wl.name, "ooo");
                 eval.ipcBaseline = eval.baseStats.ipc();
             } else if (v == 1) {
                 eval.analysis =
                     *c.analysis(wl, opts, cfg, sizes.trainOps);
                 auto trace = c.taggedRefTrace(
                     wl, opts, cfg, sizes.trainOps, sizes.refOps);
-                eval.crispStats =
-                    runCore(*trace, crispConfig(cfg));
+                eval.crispStats = runCoreAnnotated(
+                    *trace, crispConfig(cfg), wl.name, "crisp");
                 eval.ipcCrisp = eval.crispStats.ipc();
             } else {
                 const std::string &ist = ist_sizes[v - 2];
                 auto trace =
                     c.trace(wl, InputSet::Ref, sizes.refOps);
-                CoreStats s =
-                    runCore(*trace, ibdaConfig(cfg, ist));
+                CoreStats s = runCoreAnnotated(
+                    *trace, ibdaConfig(cfg, ist), wl.name,
+                    ("ibda-" + ist).c_str());
                 // Each (w, ist) pair is written by exactly one job,
                 // but the map node must be created serially.
                 eval.ipcIbda.at(ist) = s.ipc();

@@ -159,5 +159,113 @@ TEST_P(AgeMatrixPropertyTest, MatchesTimestampReference)
 INSTANTIATE_TEST_SUITE_P(Seeds, AgeMatrixPropertyTest,
                          ::testing::Range(1, 9));
 
+/**
+ * The hardware circuit of §4.2, verbatim: an N×N bit matrix where
+ * older[r][c] means "r is older than c". allocate(s) clears row s
+ * (s is younger than everyone) and sets column s in every occupied
+ * row (everyone current is older than s) — O(n²) per query, used
+ * here only as the executable specification. The production
+ * AgeMatrix replaces the matrix with O(1) allocation stamps; this
+ * churn test pins the two as behaviorally identical under heavy
+ * random slot reuse, for both selectOldest() and isOldest().
+ */
+class NaiveAgeMatrix
+{
+  public:
+    explicit NaiveAgeMatrix(unsigned slots)
+        : slots_(slots), older_(slots, std::vector<bool>(slots)),
+          occupied_(slots)
+    {
+    }
+
+    void allocate(unsigned slot)
+    {
+        for (unsigned c = 0; c < slots_; ++c)
+            older_[slot][c] = false;
+        for (unsigned r = 0; r < slots_; ++r)
+            if (occupied_[r])
+                older_[r][slot] = true;
+        occupied_[slot] = true;
+    }
+
+    void release(unsigned slot) { occupied_[slot] = false; }
+
+    bool isOldest(unsigned slot, const SlotVector &cand) const
+    {
+        for (unsigned r = 0; r < slots_; ++r)
+            if (cand.test(r) && older_[r][slot])
+                return false;
+        return true;
+    }
+
+    int selectOldest(const SlotVector &cand) const
+    {
+        for (unsigned s = 0; s < slots_; ++s)
+            if (cand.test(s) && isOldest(s, cand))
+                return int(s);
+        return -1;
+    }
+
+  private:
+    unsigned slots_;
+    std::vector<std::vector<bool>> older_;
+    std::vector<bool> occupied_;
+};
+
+class AgeMatrixChurnTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AgeMatrixChurnTest, MatchesNaiveBitMatrix)
+{
+    const unsigned slots = 64;
+    AgeMatrix age(slots);
+    NaiveAgeMatrix naive(slots);
+    std::vector<bool> occupied(slots, false);
+    uint64_t rng = uint64_t(GetParam()) * 0xd1342543de82ef95ULL + 7;
+    auto rnd = [&rng](uint64_t bound) {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        return (rng * 0x2545f4914f6cdd1dULL) % bound;
+    };
+
+    for (int step = 0; step < 4000; ++step) {
+        unsigned s = unsigned(rnd(slots));
+        if (!occupied[s] && rnd(3) != 0) {
+            age.allocate(s);
+            naive.allocate(s);
+            occupied[s] = true;
+        } else if (occupied[s] && rnd(2) != 0) {
+            // AgeMatrix needs no explicit free; mirror the RS
+            // releasing the slot back to the free list.
+            naive.release(s);
+            occupied[s] = false;
+        }
+
+        SlotVector cand(slots);
+        for (unsigned i = 0; i < slots; ++i)
+            if (occupied[i] && rnd(2))
+                cand.set(i);
+        ASSERT_EQ(age.selectOldest(cand), naive.selectOldest(cand))
+            << "at step " << step;
+        if (cand.any()) {
+            unsigned probe = unsigned(age.selectOldest(cand));
+            EXPECT_TRUE(age.isOldest(probe, cand));
+            EXPECT_TRUE(naive.isOldest(probe, cand));
+            // A random other candidate agrees between the models.
+            unsigned other = unsigned(rnd(slots));
+            if (cand.test(other)) {
+                ASSERT_EQ(age.isOldest(other, cand),
+                          naive.isOldest(other, cand))
+                    << "slot " << other << " at step " << step;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AgeMatrixChurnTest,
+                         ::testing::Range(1, 7));
+
 } // namespace
 } // namespace crisp

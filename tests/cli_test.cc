@@ -80,5 +80,26 @@ TEST(Cli, RejectsZeroTraceLength)
     EXPECT_FALSE(opt.ok());
 }
 
+TEST(Cli, ParsesTickModel)
+{
+    EXPECT_EQ(parseCli({}).machine.tickModel, TickModel::Event);
+    CliOptions cyc = parseCli({"--tick-model", "cycle"});
+    ASSERT_TRUE(cyc.ok()) << cyc.error;
+    EXPECT_EQ(cyc.machine.tickModel, TickModel::Cycle);
+    CliOptions evt = parseCli({"--tick-model", "event"});
+    ASSERT_TRUE(evt.ok()) << evt.error;
+    EXPECT_EQ(evt.machine.tickModel, TickModel::Event);
+}
+
+TEST(Cli, RejectsBadTickModel)
+{
+    CliOptions opt = parseCli({"--tick-model", "quantum"});
+    EXPECT_FALSE(opt.ok());
+    EXPECT_NE(opt.error.find("quantum"), std::string::npos);
+    EXPECT_NE(opt.error.find("cycle"), std::string::npos);
+    EXPECT_NE(opt.error.find("event"), std::string::npos);
+    EXPECT_FALSE(parseCli({"--tick-model"}).ok());
+}
+
 } // namespace
 } // namespace crisp

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Cross-engine equivalence regression: the event-driven engine
+ * (TickModel::Event) must produce **bit-identical** CoreStats to the
+ * cycle-accurate reference (TickModel::Cycle) — total cycles, retire
+ * and issue counts, every stall counter, the per-static tables and
+ * the full retire timeline — on every bundled workload, with and
+ * without CRISP tagging and with IBDA. Also covers the structured
+ * deadlock error: both engines throw SimDeadlockError (the event
+ * engine immediately, by proving no future event exists), and the
+ * parallel driver annotates it with the (workload, variant) that
+ * died.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cpu/core.h"
+#include "sim/artifact_cache.h"
+#include "sim/driver.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+namespace
+{
+
+constexpr uint64_t kTrainOps = 30'000;
+constexpr uint64_t kRefOps = 60'000;
+
+/** Shared across all workload instantiations in one process. */
+ArtifactCache &
+cache()
+{
+    static ArtifactCache c;
+    return c;
+}
+
+CoreStats
+runWith(const Trace &trace, SimConfig cfg, TickModel model)
+{
+    cfg.tickModel = model;
+    Core core(trace, cfg);
+    return core.run(~0ULL, /*record_timeline=*/true);
+}
+
+void
+expectIdentical(const CoreStats &cyc, const CoreStats &evt)
+{
+    EXPECT_EQ(cyc.cycles, evt.cycles);
+    EXPECT_EQ(cyc.retired, evt.retired);
+    EXPECT_EQ(cyc.issued, evt.issued);
+    EXPECT_EQ(cyc.issuedPrioritized, evt.issuedPrioritized);
+    EXPECT_EQ(cyc.robHeadStallCycles, evt.robHeadStallCycles);
+    EXPECT_EQ(cyc.robHeadLoadStallCycles,
+              evt.robHeadLoadStallCycles);
+    EXPECT_EQ(cyc.llcMissLoads, evt.llcMissLoads);
+    EXPECT_EQ(cyc.forwardedLoads, evt.forwardedLoads);
+
+    EXPECT_EQ(cyc.frontend.fetched, evt.frontend.fetched);
+    EXPECT_EQ(cyc.frontend.condBranches, evt.frontend.condBranches);
+    EXPECT_EQ(cyc.frontend.condMispredicts,
+              evt.frontend.condMispredicts);
+    EXPECT_EQ(cyc.frontend.indirectMispredicts,
+              evt.frontend.indirectMispredicts);
+    EXPECT_EQ(cyc.frontend.returnMispredicts,
+              evt.frontend.returnMispredicts);
+    EXPECT_EQ(cyc.frontend.icacheStallCycles,
+              evt.frontend.icacheStallCycles);
+    EXPECT_EQ(cyc.frontend.branchStallCycles,
+              evt.frontend.branchStallCycles);
+
+    auto expect_cache = [](const CacheStats &a, const CacheStats &b,
+                           const char *level) {
+        SCOPED_TRACE(level);
+        EXPECT_EQ(a.accesses, b.accesses);
+        EXPECT_EQ(a.misses, b.misses);
+        EXPECT_EQ(a.mshrMerges, b.mshrMerges);
+        EXPECT_EQ(a.mshrStallCycles, b.mshrStallCycles);
+        EXPECT_EQ(a.prefetchFills, b.prefetchFills);
+        EXPECT_EQ(a.prefetchHits, b.prefetchHits);
+        EXPECT_EQ(a.writebacks, b.writebacks);
+    };
+    expect_cache(cyc.l1i, evt.l1i, "l1i");
+    expect_cache(cyc.l1d, evt.l1d, "l1d");
+    expect_cache(cyc.llc, evt.llc, "llc");
+
+    EXPECT_EQ(cyc.dram.reads, evt.dram.reads);
+    EXPECT_EQ(cyc.dram.rowHits, evt.dram.rowHits);
+    EXPECT_EQ(cyc.dram.rowConflicts, evt.dram.rowConflicts);
+    EXPECT_EQ(cyc.dram.busWaitCycles, evt.dram.busWaitCycles);
+    EXPECT_EQ(cyc.dram.totalLatency, evt.dram.totalLatency);
+
+    EXPECT_EQ(cyc.ibda.marked, evt.ibda.marked);
+    EXPECT_EQ(cyc.ibda.dltInsertions, evt.ibda.dltInsertions);
+    EXPECT_EQ(cyc.ibda.istInsertions, evt.ibda.istInsertions);
+    EXPECT_EQ(cyc.ibda.istEvictions, evt.ibda.istEvictions);
+
+    // Per-static tables: exact same keys and values.
+    EXPECT_EQ(cyc.headStallByStatic, evt.headStallByStatic);
+    EXPECT_EQ(cyc.issueWaitByStatic, evt.issueWaitByStatic);
+
+    // The timeline is the strictest check: it fixes the per-cycle
+    // retire count of every single cycle, including the skipped
+    // spans the event engine charges in bulk.
+    EXPECT_EQ(cyc.retireTimeline, evt.retireTimeline);
+}
+
+class TickModelEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const WorkloadInfo &wl() const
+    {
+        const WorkloadInfo *w = findWorkload(GetParam());
+        EXPECT_NE(w, nullptr);
+        return *w;
+    }
+};
+
+TEST_P(TickModelEquivalence, BaselineOoo)
+{
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    auto trace = cache().trace(wl(), InputSet::Ref, kRefOps);
+    expectIdentical(runWith(*trace, cfg, TickModel::Cycle),
+                    runWith(*trace, cfg, TickModel::Event));
+}
+
+TEST_P(TickModelEquivalence, CrispTagged)
+{
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::CrispPriority;
+    CrispOptions opts;
+    auto trace = cache().taggedRefTrace(wl(), opts, cfg, kTrainOps,
+                                        kRefOps);
+    expectIdentical(runWith(*trace, cfg, TickModel::Cycle),
+                    runWith(*trace, cfg, TickModel::Event));
+}
+
+TEST_P(TickModelEquivalence, Ibda)
+{
+    SimConfig cfg = ibdaConfig(SimConfig::skylake(), "1K");
+    auto trace = cache().trace(wl(), InputSet::Ref, kRefOps);
+    expectIdentical(runWith(*trace, cfg, TickModel::Cycle),
+                    runWith(*trace, cfg, TickModel::Event));
+}
+
+std::vector<std::string>
+allWorkloads()
+{
+    return workloadNames();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, TickModelEquivalence,
+    ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// ---------------------------------------------------------------
+// Structured deadlock reporting.
+// ---------------------------------------------------------------
+
+/** A program whose only load can never dispatch when lqSize == 0. */
+Trace
+loadTrace()
+{
+    Assembler a;
+    a.movi(1, 0x2000);
+    a.ld(2, 1);
+    a.halt();
+    auto prog = std::make_shared<Program>(a.finish("deadlock"));
+    Interpreter interp(prog);
+    return interp.run(1000);
+}
+
+TEST(SimDeadlock, EventEngineProvesDeadlockImmediately)
+{
+    Trace t = loadTrace();
+    SimConfig cfg = SimConfig::skylake();
+    cfg.lqSize = 0; // loads can never dispatch
+    cfg.tickModel = TickModel::Event;
+    Core core(t, cfg);
+    try {
+        core.run();
+        FAIL() << "expected SimDeadlockError";
+    } catch (const SimDeadlockError &e) {
+        // The watchdog fires exactly one window after the last
+        // retirement; the event engine reaches that cycle in one
+        // jump instead of ticking 2M idle cycles.
+        EXPECT_GT(e.cycle, Core::kDeadlockWindow);
+        EXPECT_LT(e.retired, e.traceSize);
+        EXPECT_EQ(e.traceSize, t.size());
+        EXPECT_NE(std::string(e.what()).find("deadlock"),
+                  std::string::npos);
+    }
+}
+
+TEST(SimDeadlock, CycleEngineWatchdogThrowsSameError)
+{
+    Trace t = loadTrace();
+    SimConfig cfg = SimConfig::skylake();
+    cfg.lqSize = 0;
+    cfg.tickModel = TickModel::Cycle;
+    Core core(t, cfg);
+    EXPECT_THROW(core.run(), SimDeadlockError);
+}
+
+TEST(SimDeadlock, BoundedRunStopsAtMaxCyclesInsteadOfThrowing)
+{
+    Trace t = loadTrace();
+    SimConfig cfg = SimConfig::skylake();
+    cfg.lqSize = 0;
+    cfg.tickModel = TickModel::Event;
+    Core core(t, cfg);
+    // A bound below the watchdog window ends the run normally (the
+    // cycle engine would tick to the bound; the event engine jumps).
+    CoreStats s = core.run(100'000);
+    EXPECT_EQ(s.cycles, 100'000u);
+    EXPECT_LT(s.retired, t.size());
+}
+
+TEST(SimDeadlock, WithContextPreservesFieldsAndAnnotates)
+{
+    SimDeadlockError e(123, 45, 678);
+    SimDeadlockError annotated = e.withContext("mcf/crisp");
+    EXPECT_EQ(annotated.cycle, 123u);
+    EXPECT_EQ(annotated.retired, 45u);
+    EXPECT_EQ(annotated.traceSize, 678u);
+    EXPECT_EQ(annotated.context, "mcf/crisp");
+    EXPECT_NE(std::string(annotated.what()).find("mcf/crisp"),
+              std::string::npos);
+}
+
+Program
+buildDeadlockProxy(InputSet)
+{
+    Assembler a;
+    a.movi(1, 0x2000);
+    a.ld(2, 1);
+    a.halt();
+    return a.finish("deadlock_proxy");
+}
+
+TEST(SimDeadlock, EvaluateWorkloadAnnotatesWorkloadAndVariant)
+{
+    WorkloadInfo wl{"deadlock_proxy", "always deadlocks",
+                    buildDeadlockProxy};
+    SimConfig cfg = SimConfig::skylake();
+    cfg.lqSize = 0;
+    cfg.tickModel = TickModel::Event;
+    EvalSizes sizes{1000, 1000};
+    try {
+        evaluateWorkload(wl, cfg, CrispOptions{}, sizes, {});
+        FAIL() << "expected SimDeadlockError";
+    } catch (const SimDeadlockError &e) {
+        EXPECT_EQ(e.context, "deadlock_proxy/ooo");
+        EXPECT_NE(std::string(e.what()).find("deadlock_proxy/ooo"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace crisp
