@@ -1,0 +1,223 @@
+/**
+ * @file
+ * CPI-stack comparison: where do the cycles go under the baseline
+ * OOO scheduler, CRISP, and IBDA?
+ *
+ * For a mixed workload set (memory-bound proxies plus compute-bound
+ * controls) this runs all three machines, prints each run's top-down
+ * cycle stack, and writes BENCH_cpi_stack.json. Two invariants gate
+ * the exit code:
+ *
+ *  - every run's buckets sum exactly to its total cycles, and
+ *  - CRISP shrinks the backend-memory bucket (in absolute cycles)
+ *    on the memory-bound proxies — the paper's core claim viewed
+ *    through cycle accounting: critical-slice scheduling converts
+ *    ROB-head memory stalls into overlapped execution.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/artifact_cache.h"
+#include "sim/cli.h"
+#include "sim/driver.h"
+#include "sim/thread_pool.h"
+#include "telemetry/cpi_stack.h"
+#include "workloads/workload.h"
+
+using namespace crisp;
+
+namespace
+{
+
+constexpr uint64_t kTrain = 150'000;
+constexpr uint64_t kRef = 250'000;
+
+struct Row
+{
+    std::string workload;
+    bool memoryBound = false;
+    CoreStats ooo, crisp, ibda;
+};
+
+void
+printStack(const char *label, const CoreStats &s)
+{
+    std::printf("  %-6s cycles %9llu  ", label,
+                (unsigned long long)s.cycles);
+    for (size_t b = 0; b < kNumCpiBuckets; ++b)
+        std::printf("%s %4.1f%%  ", cpiBucketName(CpiBucket(b)),
+                    100.0 * s.cpi.fraction(CpiBucket(b)));
+    std::printf("\n");
+}
+
+void
+jsonStack(FILE *f, const char *label, const CoreStats &s,
+          const char *trailing_comma)
+{
+    std::fprintf(f, "      \"%s\": {\"cycles\": %llu", label,
+                 (unsigned long long)s.cycles);
+    for (size_t b = 0; b < kNumCpiBuckets; ++b)
+        std::fprintf(f, ", \"%s\": %llu",
+                     cpiBucketName(CpiBucket(b)),
+                     (unsigned long long)s.cpi[CpiBucket(b)]);
+    std::fprintf(f, "}%s\n", trailing_comma);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Memory-bound proxies (LLC-missing, where CRISP attacks the
+    // stack) and compute-bound controls (where backend-memory is
+    // small and should stay small).
+    const struct
+    {
+        const char *name;
+        bool memoryBound;
+    } kSet[] = {
+        {"pointer_chase", true}, {"mcf", true},
+        {"omnetpp", true},       {"xhpcg", true},
+        {"memcached", true},     {"deepsjeng", false},
+        {"namd", false},
+    };
+
+    SimConfig base = SimConfig::skylake();
+    CrispOptions opts;
+    std::vector<Row> rows;
+    for (const auto &e : kSet)
+        if (findWorkload(e.name))
+            rows.push_back({e.name, e.memoryBound, {}, {}, {}});
+
+    // One job per (workload, variant); artifacts shared via the
+    // cache, results in deterministic slots.
+    ArtifactCache cache;
+    ThreadPool pool(benchJobsArg(argc, argv));
+    pool.parallelFor(rows.size() * 3, [&](size_t i) {
+        Row &row = rows[i / 3];
+        const WorkloadInfo *wl = findWorkload(row.workload);
+        size_t v = i % 3;
+        if (v == 0) {
+            SimConfig cfg = base;
+            cfg.scheduler = SchedulerPolicy::OldestFirst;
+            auto trace = cache.trace(*wl, InputSet::Ref, kRef);
+            row.ooo = runCore(*trace, cfg);
+        } else if (v == 1) {
+            SimConfig cfg = base;
+            cfg.scheduler = SchedulerPolicy::CrispPriority;
+            auto trace =
+                cache.taggedRefTrace(*wl, opts, base, kTrain, kRef);
+            row.crisp = runCore(*trace, cfg);
+        } else {
+            auto trace = cache.trace(*wl, InputSet::Ref, kRef);
+            row.ibda = runCore(*trace, ibdaConfig(base, "1K"));
+        }
+    });
+
+    std::printf("=== CPI stacks: baseline OOO vs CRISP vs IBDA-1K "
+                "(%llu ops) ===\n\n",
+                (unsigned long long)kRef);
+
+    bool sums_ok = true;
+    size_t shrunk = 0, mem_bound = 0;
+    uint64_t mem_ooo_total = 0, mem_crisp_total = 0;
+    for (const Row &row : rows) {
+        std::printf("%s%s\n", row.workload.c_str(),
+                    row.memoryBound ? " (memory-bound)" : "");
+        for (const CoreStats *s : {&row.ooo, &row.crisp, &row.ibda})
+            if (s->cpi.total() != s->cycles) {
+                std::printf("  ERROR: bucket sum %llu != cycles "
+                            "%llu\n",
+                            (unsigned long long)s->cpi.total(),
+                            (unsigned long long)s->cycles);
+                sums_ok = false;
+            }
+        printStack("ooo", row.ooo);
+        printStack("crisp", row.crisp);
+        printStack("ibda", row.ibda);
+
+        uint64_t before = row.ooo.cpi[CpiBucket::BackendMemory];
+        uint64_t after = row.crisp.cpi[CpiBucket::BackendMemory];
+        if (row.memoryBound) {
+            ++mem_bound;
+            mem_ooo_total += before;
+            mem_crisp_total += after;
+            bool shrank = after < before;
+            shrunk += shrank;
+            std::printf("  backend-memory %llu -> %llu (%+.1f%%)%s\n",
+                        (unsigned long long)before,
+                        (unsigned long long)after,
+                        before ? (double(after) / double(before) -
+                                  1.0) *
+                                     100.0
+                               : 0.0,
+                        shrank ? "" : "  ** no shrink **");
+        }
+        std::printf("\n");
+    }
+
+    // The aggregate backend-memory bucket must shrink under CRISP,
+    // and a majority of the memory-bound proxies must shrink
+    // individually (one workload regressing is tolerated; all of
+    // them regressing means the scheduler isn't doing its job).
+    bool aggregate_shrinks = mem_crisp_total < mem_ooo_total;
+    bool majority_shrinks = 2 * shrunk > mem_bound;
+    std::printf("memory-bound proxies: %zu/%zu shrink "
+                "backend-memory; aggregate %llu -> %llu (%+.1f%%)\n",
+                shrunk, mem_bound,
+                (unsigned long long)mem_ooo_total,
+                (unsigned long long)mem_crisp_total,
+                mem_ooo_total
+                    ? (double(mem_crisp_total) /
+                           double(mem_ooo_total) -
+                       1.0) *
+                          100.0
+                    : 0.0);
+
+    if (FILE *f = std::fopen("BENCH_cpi_stack.json", "w")) {
+        std::fprintf(f, "{\n  \"ops\": %llu,\n  \"workloads\": {\n",
+                     (unsigned long long)kRef);
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const Row &row = rows[i];
+            std::fprintf(f, "    \"%s\": {\n"
+                            "      \"memory_bound\": %s,\n",
+                         row.workload.c_str(),
+                         row.memoryBound ? "true" : "false");
+            jsonStack(f, "ooo", row.ooo, ",");
+            jsonStack(f, "crisp", row.crisp, ",");
+            jsonStack(f, "ibda", row.ibda, "");
+            std::fprintf(f, "    }%s\n",
+                         i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "  },\n"
+                     "  \"sums_ok\": %s,\n"
+                     "  \"backend_memory_ooo\": %llu,\n"
+                     "  \"backend_memory_crisp\": %llu,\n"
+                     "  \"aggregate_shrinks\": %s,\n"
+                     "  \"majority_shrinks\": %s\n"
+                     "}\n",
+                     sums_ok ? "true" : "false",
+                     (unsigned long long)mem_ooo_total,
+                     (unsigned long long)mem_crisp_total,
+                     aggregate_shrinks ? "true" : "false",
+                     majority_shrinks ? "true" : "false");
+        std::fclose(f);
+        std::printf("wrote BENCH_cpi_stack.json\n");
+    }
+
+    if (!sums_ok) {
+        std::printf("FAIL: CPI buckets do not sum to cycles\n");
+        return 1;
+    }
+    if (!aggregate_shrinks || !majority_shrinks) {
+        std::printf("FAIL: CRISP does not shrink backend-memory on "
+                    "the memory-bound proxies\n");
+        return 1;
+    }
+    std::printf("OK: stacks consistent; CRISP shrinks "
+                "backend-memory where it should\n");
+    return 0;
+}

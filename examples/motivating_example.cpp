@@ -78,10 +78,15 @@ main()
 
     // Where do ROB-head stalls accumulate?
     {
+        // Sorted rows first, so ties in stall cycles break by
+        // static id deterministically.
         std::vector<std::pair<uint64_t, uint32_t>> tops;
-        for (auto &[sidx, cyc] : s_base.headStallByStatic)
+        for (const auto &[sidx, cyc] : s_base.sortedHeadStalls())
             tops.emplace_back(cyc, sidx);
-        std::sort(tops.rbegin(), tops.rend());
+        std::stable_sort(tops.begin(), tops.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first > b.first;
+                         });
         std::printf("  top head-stall statics:\n");
         for (size_t k = 0; k < tops.size() && k < 6; ++k)
             std::printf("    %8llu cyc  [%u] %s\n",

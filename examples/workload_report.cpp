@@ -99,10 +99,15 @@ reportWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
                 (unsigned long long)sb.frontend.branchStallCycles,
                 (unsigned long long)sb.frontend.icacheStallCycles);
     {
+        // Build from the sorted rows so ties in wait sum break by
+        // static id, not by unordered_map iteration order.
         std::vector<std::pair<uint64_t, uint32_t>> waits;
-        for (auto &[sidx, w] : sb.issueWaitByStatic)
-            waits.emplace_back(w.first, sidx);
-        std::sort(waits.rbegin(), waits.rend());
+        for (const auto &row : sb.sortedIssueWaits())
+            waits.emplace_back(row[1], uint32_t(row[0]));
+        std::stable_sort(waits.begin(), waits.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first > b.first;
+                         });
         for (size_t k = 0; k < waits.size() && k < 5; ++k) {
             uint32_t sidx = waits[k].second;
             auto wb = sb.issueWaitByStatic[sidx];

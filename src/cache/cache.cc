@@ -4,8 +4,28 @@
 #include <bit>
 #include <cassert>
 
+#include "telemetry/stat_registry.h"
+
 namespace crisp
 {
+
+void
+CacheStats::registerInto(StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addCounter(statPath(prefix, "accesses"), accesses);
+    reg.addCounter(statPath(prefix, "misses"), misses);
+    reg.addScalar(statPath(prefix, "miss_ratio"), missRatio());
+    reg.addCounter(statPath(prefix, "mshr_merges"), mshrMerges,
+                   "hits on lines with an in-flight miss");
+    reg.addCounter(statPath(prefix, "mshr_stall_cycles"),
+                   mshrStallCycles);
+    reg.addCounter(statPath(prefix, "prefetch_fills"),
+                   prefetchFills);
+    reg.addCounter(statPath(prefix, "prefetch_hits"), prefetchHits,
+                   "demand hits on prefetched lines");
+    reg.addCounter(statPath(prefix, "writebacks"), writebacks);
+}
 
 Cache::Cache(std::string name, const CacheConfig &cfg)
     : name_(std::move(name)), cfg_(cfg)

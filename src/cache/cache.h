@@ -21,6 +21,8 @@
 namespace crisp
 {
 
+class StatRegistry;
+
 /** Per-cache statistics. */
 struct CacheStats
 {
@@ -37,6 +39,10 @@ struct CacheStats
     {
         return accesses ? double(misses) / double(accesses) : 0.0;
     }
+
+    /** Registers every counter under @p prefix (telemetry). */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /**

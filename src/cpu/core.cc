@@ -4,6 +4,9 @@
 #include <cassert>
 #include <sstream>
 
+#include "telemetry/pipe_tracer.h"
+#include "telemetry/stat_registry.h"
+
 namespace crisp
 {
 
@@ -63,6 +66,7 @@ Core::allocInst(const FetchedOp &fo)
     inst->reset(nextSeq_, fo.op, fo.traceIdx);
     ++nextSeq_;
     inst->mispredicted = fo.mispredicted;
+    inst->fetchCycle = cycle_;
     return inst;
 }
 
@@ -161,6 +165,7 @@ Core::issueInst(DynInst *inst)
 
     inst->issued = true;
     inst->doneCycle = done;
+    inst->issueCycle = cycle_;
     {
         uint64_t wait = cycle_ > inst->srcReadyCycle
                             ? cycle_ - inst->srcReadyCycle
@@ -168,6 +173,7 @@ Core::issueInst(DynInst *inst)
         auto &w = stats_.issueWaitByStatic[op.sidx];
         w.first += wait;
         ++w.second;
+        stats_.issueWaitHist.add(double(wait));
     }
     ++stats_.issued;
     if (inst->prioritized)
@@ -303,6 +309,7 @@ Core::dispatchStage()
             break;
         fetchPipe_.pop_front();
 
+        inst->dispatchCycle = cycle_;
         rob_.push(inst);
         rs_.insert(inst);
 
@@ -396,6 +403,8 @@ Core::retireStage()
         }
         if (op.dst != kNoReg && lastWriter_[op.dst] == head)
             lastWriter_[op.dst] = nullptr;
+        if (tracer_)
+            traceRetire(*head);
         head->inWindow = false;
         rob_.pop();
         ++retired;
@@ -408,9 +417,53 @@ Core::retireStage()
             ++stats_.robHeadLoadStallCycles;
         ++stats_.headStallByStatic[head->op->sidx];
     }
+    // CPI stack: exactly one bucket per cycle. Both engines pass
+    // through here every non-skipped tick; skipped spans are charged
+    // in chargeIdleCycles with the same classification.
+    stats_.cpi.charge(retired > 0 ? CpiBucket::Retiring
+                                  : stallBucket());
     if (recordTimeline_)
         stats_.retireTimeline.push_back(uint8_t(retired));
     return retired > 0;
+}
+
+CpiBucket
+Core::stallBucket() const
+{
+    if (!rob_.empty()) {
+        return rob_.head()->op->isLoad() ? CpiBucket::BackendMemory
+                                         : CpiBucket::BackendCore;
+    }
+    // ROB empty: the stall is in front of dispatch.
+    if (frontend_.blockedOnBranch())
+        return CpiBucket::BadSpeculation;
+    if (frontend_.blockedUntil() > cycle_) {
+        return frontend_.resumeReason() ==
+                       FetchResumeReason::IcacheMiss
+                   ? CpiBucket::FrontendLatency
+                   : CpiBucket::BadSpeculation;
+    }
+    return CpiBucket::FrontendBandwidth;
+}
+
+void
+Core::traceRetire(const DynInst &inst)
+{
+    const MicroOp &op = *inst.op;
+    PipeTracer::InstRecord rec;
+    rec.seq = inst.seq;
+    rec.fetchCycle = inst.fetchCycle;
+    rec.dispatchCycle = inst.dispatchCycle;
+    rec.issueCycle = inst.issueCycle;
+    rec.completeCycle = inst.doneCycle;
+    rec.retireCycle = cycle_;
+    rec.pc = op.pc;
+    rec.mnemonic = opClassName(op.cls);
+    rec.critical = inst.prioritized;
+    rec.llcMiss = inst.servedBy == MemLevel::Dram;
+    rec.forwarded = inst.forwarded;
+    rec.mispredicted = inst.mispredicted;
+    tracer_->retire(rec);
 }
 
 uint64_t
@@ -478,6 +531,11 @@ Core::chargeIdleCycles(uint64_t span)
     if (fetchPipe_.size() + cfg_.width <= fetchPipeCap_ &&
         frontend_.blockedOnBranch())
         frontend_.chargeBranchStall(span);
+    // The classification inputs (ROB head, frontend blocking state)
+    // are frozen across the span — nextEventCycle bounds it at every
+    // cycle where either could change — so one bulk charge equals
+    // `span` per-tick charges of the cycle engine.
+    stats_.cpi.charge(stallBucket(), span);
     if (recordTimeline_)
         stats_.retireTimeline.insert(stats_.retireTimeline.end(),
                                      size_t(span), uint8_t(0));
@@ -528,6 +586,7 @@ Core::run(uint64_t max_cycles, bool record_timeline)
     }
 
     stats_.cycles = cycle_;
+    assert(stats_.cpi.total() == stats_.cycles);
     stats_.frontend = frontend_.stats();
     stats_.l1i = mem_.l1i().stats();
     stats_.l1d = mem_.l1d().stats();
@@ -536,6 +595,78 @@ Core::run(uint64_t max_cycles, bool record_timeline)
     if (ibda_)
         stats_.ibda = ibda_->stats();
     return stats_;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>>
+CoreStats::sortedHeadStalls() const
+{
+    std::vector<std::pair<uint32_t, uint64_t>> rows(
+        headStallByStatic.begin(), headStallByStatic.end());
+    std::sort(rows.begin(), rows.end());
+    return rows;
+}
+
+std::vector<std::array<uint64_t, 3>>
+CoreStats::sortedIssueWaits() const
+{
+    std::vector<std::array<uint64_t, 3>> rows;
+    rows.reserve(issueWaitByStatic.size());
+    for (const auto &[sidx, w] : issueWaitByStatic)
+        rows.push_back({sidx, w.first, w.second});
+    std::sort(rows.begin(), rows.end());
+    return rows;
+}
+
+void
+CoreStats::registerInto(StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    auto core = [&](const char *name) {
+        return statPath(prefix, std::string("core.") + name);
+    };
+    reg.addCounter(core("cycles"), cycles);
+    reg.addCounter(core("retired"), retired);
+    reg.addCounter(core("issued"), issued);
+    reg.addCounter(core("issued_prioritized"), issuedPrioritized);
+    reg.addCounter(core("rob_head_stall_cycles"), robHeadStallCycles,
+                   "head present, no retire");
+    reg.addCounter(core("rob_head_load_stall_cycles"),
+                   robHeadLoadStallCycles);
+    reg.addCounter(core("llc_miss_loads"), llcMissLoads);
+    reg.addCounter(core("forwarded_loads"), forwardedLoads);
+    reg.addScalar(core("ipc"), ipc(), "retired micro-ops per cycle");
+    reg.addScalar(core("icache_mpki"), icacheMpki());
+    reg.addScalar(core("llc_mpki"), llcMpki());
+    reg.addHistogram(core("issue_wait"), issueWaitHist,
+                     "issue minus dataflow-ready, cycles");
+
+    {
+        std::vector<std::vector<uint64_t>> rows;
+        rows.reserve(headStallByStatic.size());
+        for (const auto &[sidx, n] : sortedHeadStalls())
+            rows.push_back({sidx, n});
+        reg.addTable(core("head_stall_by_static"),
+                     {"sidx", "cycles"}, std::move(rows),
+                     "ROB-head stall cycles per static instruction");
+    }
+    {
+        std::vector<std::vector<uint64_t>> rows;
+        rows.reserve(issueWaitByStatic.size());
+        for (const auto &r : sortedIssueWaits())
+            rows.push_back({r[0], r[1], r[2]});
+        reg.addTable(core("issue_wait_by_static"),
+                     {"sidx", "wait_cycles", "samples"},
+                     std::move(rows),
+                     "scheduling slack per static instruction");
+    }
+
+    frontend.registerInto(reg, statPath(prefix, "frontend"));
+    l1i.registerInto(reg, statPath(prefix, "cache.l1i"));
+    l1d.registerInto(reg, statPath(prefix, "cache.l1d"));
+    llc.registerInto(reg, statPath(prefix, "cache.llc"));
+    dram.registerInto(reg, statPath(prefix, "dram"));
+    ibda.registerInto(reg, statPath(prefix, "ibda"));
+    cpi.registerInto(reg, statPath(prefix, "cpi"));
 }
 
 } // namespace crisp

@@ -48,10 +48,15 @@
 #include "ibda/ibda.h"
 #include "isa/latency.h"
 #include "sim/config.h"
+#include "sim/stats.h"
+#include "telemetry/cpi_stack.h"
 #include "trace/trace.h"
 
 namespace crisp
 {
+
+class PipeTracer;
+class StatRegistry;
 
 /**
  * Thrown when a simulation stops making forward progress — either
@@ -106,8 +111,38 @@ struct CoreStats
     std::unordered_map<uint32_t, std::pair<uint64_t, uint64_t>>
         issueWaitByStatic;
 
+    /** Top-down cycle accounting; buckets sum exactly to cycles. */
+    CpiStack cpi;
+
+    /** Issue-wait (issue minus dataflow-ready) latency histogram,
+     *  8-cycle buckets. Integer samples, so bit-identical across
+     *  tick engines. */
+    Histogram issueWaitHist{8.0, 64};
+
     /** Optional: retired micro-ops per cycle (Fig 1 UPC timeline). */
     std::vector<uint8_t> retireTimeline;
+
+    /**
+     * @return headStallByStatic as (sidx, cycles) rows sorted by
+     *         static id — the canonical order for printing and
+     *         serialization (the map itself iterates in an
+     *         unspecified, platform-dependent order).
+     */
+    std::vector<std::pair<uint32_t, uint64_t>>
+    sortedHeadStalls() const;
+
+    /** @return issueWaitByStatic as (sidx, total wait, samples) rows
+     *          sorted by static id. */
+    std::vector<std::array<uint64_t, 3>> sortedIssueWaits() const;
+
+    /**
+     * Registers every counter, table and histogram of this run under
+     * @p prefix: core.*, frontend.*, cache.{l1i,l1d,llc}.*, dram.*,
+     * ibda.*, cpi.*. Ordering inside the registry is canonical, so
+     * exports are diff-stable.
+     */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix = "") const;
 
     /** @return retired micro-ops per cycle. */
     double ipc() const
@@ -153,6 +188,15 @@ class Core
     CoreStats run(uint64_t max_cycles = ~0ULL,
                   bool record_timeline = false);
 
+    /**
+     * Attaches a pipeline tracer; every retired instruction inside
+     * the tracer's cycle window is recorded with its full lifecycle
+     * (fetch/dispatch/issue/complete/retire) and criticality
+     * annotations. Pass nullptr to detach. The tracer must outlive
+     * run().
+     */
+    void setTracer(PipeTracer *tracer) { tracer_ = tracer; }
+
   private:
     const Trace &trace_;
     SimConfig cfg_;
@@ -188,6 +232,7 @@ class Core
     CoreStats stats_;
     bool recordTimeline_ = false;
     bool eventMode_ = false;
+    PipeTracer *tracer_ = nullptr;
 
     // Issue candidate sets. The cycle engine rebuilds them from an
     // RS rescan every tick; the event engine maintains them
@@ -231,6 +276,16 @@ class Core
     /** Batch-charges @p span skipped idle cycles to the same stall
      *  counters the cycle engine would have accumulated one by one. */
     void chargeIdleCycles(uint64_t span);
+
+    // Telemetry.
+    /** Classifies the current (non-retiring) cycle into its CPI-stack
+     *  stall bucket. Pure function of ROB-head and frontend state, so
+     *  the event engine can batch-charge an idle span with one call:
+     *  neither input changes within a span (nextEventCycle bounds
+     *  every span at the next completion / arrival / unblock). */
+    CpiBucket stallBucket() const;
+    /** Emits the retiring ROB head to the attached tracer. */
+    void traceRetire(const DynInst &inst);
 };
 
 } // namespace crisp

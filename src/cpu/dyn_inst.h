@@ -32,6 +32,13 @@ struct DynInst
     uint64_t doneCycle = 0;     ///< valid once issued
     uint8_t pendingProducers = 0;
 
+    // Lifecycle timestamps for pipeline tracing (telemetry). Always
+    // maintained — three stores per instruction are noise next to the
+    // cache/scheduler work — so a tracer can be attached to any run.
+    uint64_t fetchCycle = 0;
+    uint64_t dispatchCycle = 0;
+    uint64_t issueCycle = 0;
+
     bool inWindow = false;      ///< occupies the DynInst ring
     bool issued = false;
     bool prioritized = false;   ///< critical prefix / IST hit
@@ -58,6 +65,9 @@ struct DynInst
         srcReadyCycle = 0;
         doneCycle = 0;
         pendingProducers = 0;
+        fetchCycle = 0;
+        dispatchCycle = 0;
+        issueCycle = 0;
         inWindow = true;
         issued = false;
         prioritized = false;

@@ -3,6 +3,7 @@
 #include "bp/bimodal.h"
 #include "bp/gshare.h"
 #include "bp/tage.h"
+#include "telemetry/stat_registry.h"
 
 namespace crisp
 {
@@ -128,6 +129,7 @@ Frontend::fetch(uint64_t cycle, unsigned n,
             if (res.readyCycle > cycle + mem_.l1i().latency()) {
                 // Miss: bubble until the line arrives.
                 blockedUntil_ = res.readyCycle;
+                resumeReason_ = FetchResumeReason::IcacheMiss;
                 stats_.icacheStallCycles +=
                     res.readyCycle - cycle;
                 break;
@@ -156,6 +158,30 @@ Frontend::onBranchResolved(uint64_t resume_cycle)
 {
     blockedOnBranch_ = false;
     blockedUntil_ = resume_cycle;
+    resumeReason_ = FetchResumeReason::Redirect;
+}
+
+void
+FrontendStats::registerInto(StatRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addCounter(statPath(prefix, "fetched"), fetched,
+                   "micro-ops delivered to the core");
+    reg.addCounter(statPath(prefix, "cond_branches"), condBranches);
+    reg.addCounter(statPath(prefix, "cond_mispredicts"),
+                   condMispredicts);
+    reg.addCounter(statPath(prefix, "indirect_branches"),
+                   indirectBranches);
+    reg.addCounter(statPath(prefix, "indirect_mispredicts"),
+                   indirectMispredicts);
+    reg.addCounter(statPath(prefix, "return_mispredicts"),
+                   returnMispredicts);
+    reg.addCounter(statPath(prefix, "mispredicts"), mispredicts(),
+                   "total control-flow mispredictions");
+    reg.addCounter(statPath(prefix, "icache_stall_cycles"),
+                   icacheStallCycles);
+    reg.addCounter(statPath(prefix, "branch_stall_cycles"),
+                   branchStallCycles);
 }
 
 } // namespace crisp

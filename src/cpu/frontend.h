@@ -26,6 +26,8 @@
 namespace crisp
 {
 
+class StatRegistry;
+
 /** Frontend statistics. */
 struct FrontendStats
 {
@@ -44,6 +46,17 @@ struct FrontendStats
         return condMispredicts + indirectMispredicts +
                returnMispredicts;
     }
+
+    /** Registers every counter under @p prefix (telemetry). */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
+};
+
+/** Why fetch is idling until blockedUntil(). */
+enum class FetchResumeReason : uint8_t {
+    None,       ///< not blocked
+    IcacheMiss, ///< waiting for an icache line
+    Redirect,   ///< refilling after a resolved mispredict
 };
 
 /** One fetched micro-op handed to the core. */
@@ -97,6 +110,14 @@ class Frontend
     uint64_t blockedUntil() const { return blockedUntil_; }
 
     /**
+     * @return what the frontend is waiting for while blockedUntil()
+     *         is in the future — an icache line or a redirect refill.
+     *         Feeds the CPI stack's frontend-latency/bad-speculation
+     *         split; meaningful only while fetch is actually blocked.
+     */
+    FetchResumeReason resumeReason() const { return resumeReason_; }
+
+    /**
      * Accounts @p span skipped branch-gated fetch cycles at once —
      * exactly what @p span consecutive fetch() calls would have
      * recorded while blockedOnBranch().
@@ -121,6 +142,7 @@ class Frontend
     size_t prefetchIdx_ = 0;
     uint64_t blockedUntil_ = 0;
     bool blockedOnBranch_ = false;
+    FetchResumeReason resumeReason_ = FetchResumeReason::None;
     uint64_t curLine_ = ~0ULL;
 
     FrontendStats stats_;

@@ -2,8 +2,30 @@
 
 #include <algorithm>
 
+#include "telemetry/stat_registry.h"
+
 namespace crisp
 {
+
+void
+DramStats::registerInto(StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.addCounter(statPath(prefix, "reads"), reads);
+    reg.addCounter(statPath(prefix, "critical_reads"),
+                   criticalReads,
+                   "reads tagged critical (6.1 extension)");
+    reg.addCounter(statPath(prefix, "critical_bus_bypass_cycles"),
+                   criticalBusBypassCycles);
+    reg.addCounter(statPath(prefix, "row_hits"), rowHits);
+    reg.addCounter(statPath(prefix, "row_conflicts"), rowConflicts);
+    reg.addCounter(statPath(prefix, "row_closed"), rowClosed);
+    reg.addCounter(statPath(prefix, "bus_wait_cycles"),
+                   busWaitCycles);
+    reg.addCounter(statPath(prefix, "total_latency"), totalLatency);
+    reg.addScalar(statPath(prefix, "avg_latency"),
+                  averageLatency(), "average read latency, cycles");
+}
 
 DramController::DramController(Ddr4Timing timing)
     : timing_(timing),

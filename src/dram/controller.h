@@ -7,12 +7,15 @@
 #define CRISP_DRAM_CONTROLLER_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dram/ddr4.h"
 
 namespace crisp
 {
+
+class StatRegistry;
 
 /** DRAM controller statistics. */
 struct DramStats
@@ -31,6 +34,10 @@ struct DramStats
     {
         return reads ? double(totalLatency) / double(reads) : 0.0;
     }
+
+    /** Registers every counter under @p prefix (telemetry). */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /**

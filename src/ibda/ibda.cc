@@ -2,8 +2,23 @@
 
 #include <algorithm>
 
+#include "telemetry/stat_registry.h"
+
 namespace crisp
 {
+
+void
+IbdaStats::registerInto(StatRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.addCounter(statPath(prefix, "marked"), marked,
+                   "dispatches flagged prioritized");
+    reg.addCounter(statPath(prefix, "dlt_insertions"),
+                   dltInsertions);
+    reg.addCounter(statPath(prefix, "ist_insertions"),
+                   istInsertions);
+    reg.addCounter(statPath(prefix, "ist_evictions"), istEvictions);
+}
 
 Ibda::Ibda(const SimConfig &cfg)
     : ist_(cfg.istEntries, cfg.istWays, cfg.istInfinite),

@@ -25,6 +25,8 @@
 namespace crisp
 {
 
+class StatRegistry;
+
 /** IBDA statistics. */
 struct IbdaStats
 {
@@ -32,6 +34,10 @@ struct IbdaStats
     uint64_t dltInsertions = 0;
     uint64_t istInsertions = 0;
     uint64_t istEvictions = 0;
+
+    /** Registers every counter under @p prefix (telemetry). */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
 };
 
 /** The in-pipeline IBDA engine. */

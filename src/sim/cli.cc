@@ -30,6 +30,12 @@ cliUsage()
            "  --critical-dram     enable DRAM criticality (6.1)\n"
            "  --div-slices         slice divisions too (6.1)\n"
            "  --save-trace PATH    dump the tagged ref trace\n"
+           "  --stats-json PATH    write the stat registry as JSON\n"
+           "  --stats-csv PATH     write the stat registry as CSV\n"
+           "  --trace-pipe PATH[:START:END]\n"
+           "                       write a Kanata pipeline trace;\n"
+           "                       the window records instructions\n"
+           "                       fetched in cycles [START, END]\n"
            "  --list               list workloads\n"
            "  --help               this message\n";
 }
@@ -175,6 +181,64 @@ parseCli(const std::vector<std::string> &args)
         } else if (a == "--save-trace") {
             if (const char *v = need_value("--save-trace"))
                 opt.saveTracePath = v;
+        } else if (a == "--stats-json") {
+            if (!opt.statsJsonPath.empty()) {
+                opt.error = "duplicate --stats-json";
+                break;
+            }
+            if (const char *v = need_value("--stats-json"))
+                opt.statsJsonPath = v;
+        } else if (a == "--stats-csv") {
+            if (!opt.statsCsvPath.empty()) {
+                opt.error = "duplicate --stats-csv";
+                break;
+            }
+            if (const char *v = need_value("--stats-csv"))
+                opt.statsCsvPath = v;
+        } else if (a == "--trace-pipe") {
+            if (!opt.tracePipePath.empty()) {
+                opt.error = "duplicate --trace-pipe";
+                break;
+            }
+            const char *v = need_value("--trace-pipe");
+            if (!v)
+                break;
+            // PATH or PATH:START:END — a lone or extra ':' is
+            // rejected rather than guessed at.
+            std::string spec = v;
+            size_t c1 = spec.find(':');
+            if (c1 == std::string::npos) {
+                opt.tracePipePath = spec;
+            } else {
+                size_t c2 = spec.find(':', c1 + 1);
+                if (c2 == std::string::npos ||
+                    spec.find(':', c2 + 1) != std::string::npos) {
+                    opt.error =
+                        "--trace-pipe window must be PATH:START:END, "
+                        "got '" + spec + "'";
+                    break;
+                }
+                std::string path = spec.substr(0, c1);
+                std::string lo = spec.substr(c1 + 1, c2 - c1 - 1);
+                std::string hi = spec.substr(c2 + 1);
+                uint64_t start = 0, end = 0;
+                if (path.empty() || !parseU64(lo.c_str(), start) ||
+                    !parseU64(hi.c_str(), end)) {
+                    opt.error =
+                        "--trace-pipe window bounds must be "
+                        "non-negative integers, got '" + spec + "'";
+                    break;
+                }
+                if (start > end) {
+                    opt.error = "--trace-pipe window is empty "
+                                "(START " + lo + " > END " + hi +
+                                ")";
+                    break;
+                }
+                opt.tracePipePath = path;
+                opt.traceStart = start;
+                opt.traceEnd = end;
+            }
         } else {
             opt.error = "unknown flag '" + a + "'";
         }

@@ -32,6 +32,13 @@ struct CliOptions
     bool showHelp = false;
     std::string saveTracePath; ///< optional trace dump
 
+    // Telemetry outputs (empty = disabled).
+    std::string statsJsonPath; ///< --stats-json: registry as JSON
+    std::string statsCsvPath;  ///< --stats-csv: registry as CSV
+    std::string tracePipePath; ///< --trace-pipe: Kanata pipeline log
+    uint64_t traceStart = 0;       ///< first fetch cycle recorded
+    uint64_t traceEnd = ~0ULL;     ///< last fetch cycle recorded
+
     /** Error message if parsing failed (empty on success). */
     std::string error;
 
@@ -60,6 +67,15 @@ struct CliOptions
  *   --critical-dram      enable the §6.1 DRAM extension
  *   --div-slices         enable §6.1 long-latency slices
  *   --save-trace PATH    dump the tagged ref trace
+ *   --stats-json PATH    write the full stat registry as JSON
+ *   --stats-csv PATH     write the full stat registry as CSV
+ *   --trace-pipe PATH[:START:END]
+ *                        write a Kanata pipeline trace (Konata
+ *                        viewer); the optional window records only
+ *                        instructions fetched in [START, END]
+ *
+ * The telemetry output flags reject duplicates (two --stats-json
+ * flags silently discarding one file is a bug, not a convenience).
  *   --list               list workloads and exit
  *   --help               usage
  */

@@ -7,9 +7,10 @@ namespace crisp
 
 CoreStats
 runCore(const Trace &trace, const SimConfig &cfg,
-        bool record_timeline)
+        bool record_timeline, PipeTracer *tracer)
 {
     Core core(trace, cfg);
+    core.setTracer(tracer);
     return core.run(~0ULL, record_timeline);
 }
 

@@ -53,9 +53,16 @@ struct WorkloadEval
     }
 };
 
-/** Runs a trace on the core under @p cfg. */
+class PipeTracer;
+
+/**
+ * Runs a trace on the core under @p cfg.
+ * @param tracer optional pipeline tracer attached for the run
+ *        (telemetry); the caller writes it out afterwards
+ */
 CoreStats runCore(const Trace &trace, const SimConfig &cfg,
-                  bool record_timeline = false);
+                  bool record_timeline = false,
+                  PipeTracer *tracer = nullptr);
 
 /**
  * Full per-workload evaluation: baseline OOO, CRISP, and (optionally)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace crisp
 {
@@ -59,6 +60,19 @@ Histogram::add(double value)
     ++buckets_[b];
     ++count_;
     sum_ += value;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.width_ != width_ ||
+        other.buckets_.size() != buckets_.size())
+        throw std::invalid_argument(
+            "Histogram::merge: mismatched geometry");
+    for (size_t b = 0; b < buckets_.size(); ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 double

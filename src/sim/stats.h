@@ -78,6 +78,17 @@ class Histogram
     /** @return the bucket counts. */
     const std::vector<uint64_t> &buckets() const { return buckets_; }
 
+    /**
+     * Accumulates another histogram of identical geometry (same
+     * bucket width and count), e.g. to aggregate per-run latency
+     * histograms across workloads or variants.
+     * @throws std::invalid_argument on mismatched geometry.
+     */
+    void merge(const Histogram &other);
+
+    /** @return the bucket width this histogram was built with. */
+    double bucketWidth() const { return width_; }
+
   private:
     double width_;
     std::vector<uint64_t> buckets_;

@@ -1,0 +1,65 @@
+#include "telemetry/cpi_stack.h"
+
+#include "telemetry/stat_registry.h"
+
+namespace crisp
+{
+
+const char *
+cpiBucketName(CpiBucket b)
+{
+    switch (b) {
+      case CpiBucket::Retiring: return "retiring";
+      case CpiBucket::FrontendLatency: return "frontend-latency";
+      case CpiBucket::FrontendBandwidth:
+        return "frontend-bandwidth";
+      case CpiBucket::BadSpeculation: return "bad-speculation";
+      case CpiBucket::BackendMemory: return "backend-memory";
+      case CpiBucket::BackendCore: return "backend-core";
+    }
+    return "?";
+}
+
+uint64_t
+CpiStack::total() const
+{
+    uint64_t sum = 0;
+    for (uint64_t c : cycles)
+        sum += c;
+    return sum;
+}
+
+double
+CpiStack::fraction(CpiBucket b) const
+{
+    uint64_t t = total();
+    return t ? double(cycles[size_t(b)]) / double(t) : 0.0;
+}
+
+void
+CpiStack::merge(const CpiStack &other)
+{
+    for (size_t b = 0; b < kNumCpiBuckets; ++b)
+        cycles[b] += other.cycles[b];
+}
+
+void
+CpiStack::registerInto(StatRegistry &reg,
+                       const std::string &prefix) const
+{
+    for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+        CpiBucket bucket = CpiBucket(b);
+        // Dotted paths use the names with '-' intact: they are leaf
+        // segments, not separators.
+        std::string name = cpiBucketName(bucket);
+        reg.addCounter(statPath(prefix, name), cycles[b],
+                       "cycles charged to the " + name + " bucket");
+        reg.addScalar(statPath(prefix, name + "_fraction"),
+                      fraction(bucket),
+                      "share of total cycles in " + name);
+    }
+    reg.addCounter(statPath(prefix, "total"), total(),
+                   "sum over all buckets (== core cycles)");
+}
+
+} // namespace crisp

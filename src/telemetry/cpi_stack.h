@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Top-down CPI-stack cycle accounting.
+ *
+ * Every simulated cycle is charged to exactly one bucket, so the
+ * buckets always sum to the run's total cycles — the invariant the
+ * telemetry tests pin. Attribution follows the retirement view of
+ * top-down analysis (the UPC-timeline methodology of CRISP §2/Fig 1):
+ *
+ *  - retiring            at least one micro-op retired this cycle
+ *  - backend-memory      no retire; the ROB head is a load (waiting
+ *                        on cache/DRAM data or on a load port)
+ *  - backend-core        no retire; the ROB head is a non-load
+ *                        (execution latency / port pressure)
+ *  - bad-speculation     ROB empty; fetch is gated on an unresolved
+ *                        mispredicted branch or refilling after its
+ *                        redirect
+ *  - frontend-latency    ROB empty; fetch is waiting on an icache
+ *                        miss
+ *  - frontend-bandwidth  ROB empty; ops are in flight in the
+ *                        fetch/decode/rename pipe but none has
+ *                        reached dispatch (pipe fill/drain)
+ *
+ * Both tick engines charge the stack identically: the cycle engine
+ * per tick, the event engine per tick plus one bulk charge for each
+ * provably idle span (during which the classification cannot change,
+ * because the ROB head and the frontend's blocking state are frozen).
+ * tests/tick_model_test.cc asserts bit-identical stacks.
+ */
+
+#ifndef CRISP_TELEMETRY_CPI_STACK_H
+#define CRISP_TELEMETRY_CPI_STACK_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace crisp
+{
+
+class StatRegistry;
+
+/** The six top-down buckets. */
+enum class CpiBucket : uint8_t {
+    Retiring,
+    FrontendLatency,
+    FrontendBandwidth,
+    BadSpeculation,
+    BackendMemory,
+    BackendCore,
+};
+
+/** Number of buckets in a CpiStack. */
+constexpr size_t kNumCpiBuckets = 6;
+
+/** @return the canonical kebab-case bucket name. */
+const char *cpiBucketName(CpiBucket b);
+
+/** Per-cycle accounting into the six buckets. */
+struct CpiStack
+{
+    std::array<uint64_t, kNumCpiBuckets> cycles{};
+
+    /** Charges @p n cycles to @p b. */
+    void charge(CpiBucket b, uint64_t n = 1)
+    {
+        cycles[size_t(b)] += n;
+    }
+
+    /** @return cycles charged to @p b. */
+    uint64_t operator[](CpiBucket b) const
+    {
+        return cycles[size_t(b)];
+    }
+
+    /** @return sum over all buckets (== total run cycles). */
+    uint64_t total() const;
+
+    /** @return bucket share of the total (0 for an empty stack). */
+    double fraction(CpiBucket b) const;
+
+    /** Accumulates another stack (for cross-run aggregation). */
+    void merge(const CpiStack &other);
+
+    /** Registers one counter per bucket plus the fractions. */
+    void registerInto(StatRegistry &reg,
+                      const std::string &prefix) const;
+
+    bool operator==(const CpiStack &other) const = default;
+};
+
+} // namespace crisp
+
+#endif // CRISP_TELEMETRY_CPI_STACK_H

@@ -1,0 +1,298 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace crisp
+{
+
+const JsonValue *
+JsonValue::find(const std::string &path) const
+{
+    const JsonValue *cur = this;
+    size_t pos = 0;
+    while (pos <= path.size()) {
+        size_t dot = path.find('.', pos);
+        std::string key = path.substr(
+            pos, dot == std::string::npos ? dot : dot - pos);
+        if (!cur->isObject())
+            return nullptr;
+        auto it = cur->members.find(key);
+        if (it == cur->members.end())
+            return nullptr;
+        cur = &it->second;
+        if (dot == std::string::npos)
+            return cur;
+        pos = dot + 1;
+    }
+    return nullptr;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : s_(text), err_(error)
+    {
+    }
+
+    bool parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    const std::string &s_;
+    size_t pos_ = 0;
+    std::string *err_;
+
+    bool fail(const std::string &msg)
+    {
+        if (err_)
+            *err_ = msg + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool literal(const char *word, JsonValue &out, JsonValue::Kind k,
+                 bool b)
+    {
+        size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += n;
+        out.kind = k;
+        out.boolean = b;
+        return true;
+    }
+
+    bool value(JsonValue &out)
+    {
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        switch (s_[pos_]) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"': {
+            out.kind = JsonValue::Kind::String;
+            return string(out.text);
+          }
+          case 't':
+            return literal("true", out, JsonValue::Kind::Bool, true);
+          case 'f':
+            return literal("false", out, JsonValue::Kind::Bool,
+                           false);
+          case 'n':
+            return literal("null", out, JsonValue::Kind::Null,
+                           false);
+          default: return number(out);
+        }
+    }
+
+    bool object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return fail("expected ':' in object");
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.members.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated object");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.elements.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size())
+                return fail("unterminated array");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool string(std::string &out)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                return fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return fail("short \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                if (code > 0xff)
+                    return fail("\\u escape beyond Latin-1");
+                out += char(code);
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        if (pos_ >= s_.size())
+            return fail("unterminated string");
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool number(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        char *end = nullptr;
+        std::string tok = s_.substr(start, pos_ - start);
+        out.number = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            return fail("malformed number '" + tok + "'");
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out,
+          std::string *error)
+{
+    Parser p(text, error);
+    return p.parse(out);
+}
+
+} // namespace crisp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * Exists so the telemetry exporters can be validated in-process: the
+ * StatRegistry emits JSON, and tests / tools parse it back with this
+ * instead of shelling out to an external tool. Supports the full
+ * JSON grammar except \u escapes beyond Latin-1; numbers are held as
+ * doubles (exact for the 53-bit integer range the registry emits).
+ */
+
+#ifndef CRISP_TELEMETRY_JSON_H
+#define CRISP_TELEMETRY_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace crisp
+{
+
+/** One parsed JSON value (object members keep sorted key order). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> elements;
+    std::map<std::string, JsonValue> members;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** @return true when an object member with @p key exists. */
+    bool has(const std::string &key) const
+    {
+        return members.count(key) != 0;
+    }
+
+    /**
+     * @return the object member at @p key.
+     * @throws std::out_of_range when absent or not an object.
+     */
+    const JsonValue &at(const std::string &key) const
+    {
+        return members.at(key);
+    }
+
+    /**
+     * Dotted-path lookup ("crisp.core.cycles").
+     * @return the nested value, or nullptr when any hop is missing.
+     */
+    const JsonValue *find(const std::string &path) const;
+};
+
+/**
+ * Parses one JSON document.
+ * @param text the document
+ * @param error receives a message on failure (may be null)
+ * @return the value, or std::nullopt-like null kind on failure (check
+ *         the return of ok)
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+/** @return a JSON string literal (quoted, escaped) for @p s. */
+std::string jsonQuote(const std::string &s);
+
+/** @return the shortest round-trip decimal rendering of @p v. */
+std::string jsonNumber(double v);
+
+} // namespace crisp
+
+#endif // CRISP_TELEMETRY_JSON_H

@@ -1,0 +1,147 @@
+#include "telemetry/pipe_tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace crisp
+{
+
+PipeTracer::PipeTracer(std::string path, uint64_t start_cycle,
+                       uint64_t end_cycle)
+    : path_(std::move(path)), startCycle_(start_cycle),
+      endCycle_(end_cycle)
+{
+}
+
+void
+PipeTracer::retire(const InstRecord &rec)
+{
+    if (rec.fetchCycle < startCycle_ || rec.fetchCycle > endCycle_)
+        return;
+    insts_.push_back(rec);
+}
+
+namespace
+{
+
+/** One pending log line at an absolute cycle. */
+struct Event
+{
+    uint64_t cycle;
+    uint64_t order; ///< tie-break: original emission order
+    std::string line;
+};
+
+std::string
+label(const PipeTracer::InstRecord &r)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "0x%08llx %s",
+                  (unsigned long long)r.pc, r.mnemonic);
+    std::string out = buf;
+    if (r.critical)
+        out += " [critical]";
+    if (r.llcMiss)
+        out += " [llc-miss]";
+    if (r.forwarded)
+        out += " [fwd]";
+    if (r.mispredicted)
+        out += " [mispred]";
+    return out;
+}
+
+std::string
+detail(const PipeTracer::InstRecord &r)
+{
+    return "seq=" + std::to_string(r.seq) +
+           " fetch=" + std::to_string(r.fetchCycle) +
+           " dispatch=" + std::to_string(r.dispatchCycle) +
+           " issue=" + std::to_string(r.issueCycle) +
+           " complete=" + std::to_string(r.completeCycle) +
+           " retire=" + std::to_string(r.retireCycle);
+}
+
+} // namespace
+
+void
+PipeTracer::writeTo(std::ostream &os) const
+{
+    std::vector<Event> events;
+    events.reserve(insts_.size() * 16);
+    uint64_t order = 0;
+    auto emit = [&](uint64_t cycle, std::string line) {
+        events.push_back({cycle, order++, std::move(line)});
+    };
+
+    uint64_t retire_id = 0;
+    for (size_t id = 0; id < insts_.size(); ++id) {
+        const InstRecord &r = insts_[id];
+        std::string sid = std::to_string(id);
+        emit(r.fetchCycle, "I\t" + sid + "\t" +
+                               std::to_string(r.seq) + "\t0");
+        emit(r.fetchCycle, "L\t" + sid + "\t0\t" + label(r));
+        emit(r.fetchCycle, "L\t" + sid + "\t1\t" + detail(r));
+        emit(r.fetchCycle, "S\t" + sid + "\t0\tF");
+
+        // Stage boundaries; zero-length stages are skipped so E/S
+        // pairs always advance time.
+        uint64_t decode = std::min(r.fetchCycle + 1,
+                                   r.dispatchCycle);
+        if (decode > r.fetchCycle && decode < r.dispatchCycle) {
+            emit(decode, "E\t" + sid + "\t0\tF");
+            emit(decode, "S\t" + sid + "\t0\tDc");
+        }
+        emit(r.dispatchCycle,
+             "E\t" + sid + "\t0\t" +
+                 (decode < r.dispatchCycle ? "Dc" : "F"));
+        emit(r.dispatchCycle, "S\t" + sid + "\t0\tDs");
+        emit(r.issueCycle, "E\t" + sid + "\t0\tDs");
+        emit(r.issueCycle, "S\t" + sid + "\t0\tIs");
+        const char *last = "Is";
+        if (r.completeCycle < r.retireCycle) {
+            emit(r.completeCycle, "E\t" + sid + "\t0\tIs");
+            emit(r.completeCycle, "S\t" + sid + "\t0\tCm");
+            last = "Cm";
+        }
+        emit(r.retireCycle,
+             "E\t" + sid + "\t0\t" + std::string(last));
+        emit(r.retireCycle, "S\t" + sid + "\t0\tRt");
+        emit(r.retireCycle + 1, "E\t" + sid + "\t0\tRt");
+        emit(r.retireCycle + 1,
+             "R\t" + sid + "\t" + std::to_string(retire_id++) +
+                 "\t0");
+    }
+
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.cycle != b.cycle
+                                    ? a.cycle < b.cycle
+                                    : a.order < b.order;
+                     });
+
+    os << "Kanata\t0004\n";
+    if (events.empty())
+        return;
+    uint64_t cur = events.front().cycle;
+    os << "C=\t" << cur << "\n";
+    for (const Event &e : events) {
+        if (e.cycle != cur) {
+            os << "C\t" << (e.cycle - cur) << "\n";
+            cur = e.cycle;
+        }
+        os << e.line << "\n";
+    }
+}
+
+bool
+PipeTracer::write() const
+{
+    std::ofstream os(path_);
+    if (!os)
+        return false;
+    writeTo(os);
+    return bool(os);
+}
+
+} // namespace crisp

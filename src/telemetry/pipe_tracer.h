@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Per-instruction pipeline lifecycle tracing in Kanata format.
+ *
+ * The core reports each retired instruction's stage timestamps
+ * (fetch → decode/rename → dispatch → issue → complete → retire) and
+ * the tracer renders them as a Kanata 0004 log — the format consumed
+ * by the Konata pipeline viewer (and convertible from gem5's
+ * O3PipeView). Critical-tag, LLC-miss, store-forward and mispredict
+ * annotations ride along on the instruction labels, which is what
+ * makes the CRISP scheduler's two-level pick *visible*: tagged slice
+ * instructions issue ahead of older untagged work.
+ *
+ * Stage lanes emitted (lane 0):
+ *   F   fetch (1 cycle)
+ *   Dc  decode/rename pipe traversal
+ *   Ds  dispatch + wait in the reservation station
+ *   Is  execute (issue to completion)
+ *   Cm  completed, waiting for in-order retirement
+ *   Rt  retire slot
+ *
+ * A [start:end] cycle window bounds the trace: only instructions
+ * *fetched* inside the window are recorded, so traces of long runs
+ * stay small. Records are buffered and emitted in strictly
+ * nondecreasing cycle order at write() time; output is fully
+ * deterministic (the tick engines produce identical stage
+ * timestamps, so both produce identical traces).
+ */
+
+#ifndef CRISP_TELEMETRY_PIPE_TRACER_H
+#define CRISP_TELEMETRY_PIPE_TRACER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crisp
+{
+
+/** The tracer. One instance records one core run. */
+class PipeTracer
+{
+  public:
+    /** Lifecycle of one retired instruction. */
+    struct InstRecord
+    {
+        uint64_t seq = 0;           ///< fetch-order sequence number
+        uint64_t fetchCycle = 0;
+        uint64_t dispatchCycle = 0;
+        uint64_t issueCycle = 0;
+        uint64_t completeCycle = 0; ///< execution result available
+        uint64_t retireCycle = 0;
+        uint64_t pc = 0;
+        const char *mnemonic = "?"; ///< timing-class name
+        bool critical = false;      ///< CRISP tag / IBDA mark
+        bool llcMiss = false;       ///< load served by DRAM
+        bool forwarded = false;     ///< load fed by store forwarding
+        bool mispredicted = false;  ///< fetch-blocking branch
+    };
+
+    /**
+     * @param path output file for write()
+     * @param start_cycle first fetch cycle recorded (inclusive)
+     * @param end_cycle last fetch cycle recorded (inclusive)
+     */
+    explicit PipeTracer(std::string path, uint64_t start_cycle = 0,
+                        uint64_t end_cycle = ~0ULL);
+
+    /** Records one retired instruction (window-filtered). */
+    void retire(const InstRecord &rec);
+
+    /** @return instructions recorded so far (inside the window). */
+    size_t recorded() const { return insts_.size(); }
+
+    /** Renders the Kanata log to @p os. */
+    void writeTo(std::ostream &os) const;
+
+    /** Renders the Kanata log to the constructor path.
+     *  @return false on I/O error. */
+    bool write() const;
+
+    /** @return the output path. */
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    uint64_t startCycle_;
+    uint64_t endCycle_;
+    std::vector<InstRecord> insts_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_TELEMETRY_PIPE_TRACER_H

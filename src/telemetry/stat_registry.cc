@@ -1,0 +1,353 @@
+#include "telemetry/stat_registry.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "telemetry/json.h"
+
+namespace crisp
+{
+
+std::string
+statPath(const std::string &prefix, const std::string &name)
+{
+    return prefix.empty() ? name : prefix + "." + name;
+}
+
+namespace
+{
+
+void
+validatePath(const std::string &path)
+{
+    if (path.empty())
+        throw std::logic_error("stat path must not be empty");
+    if (path.front() == '.' || path.back() == '.' ||
+        path.find("..") != std::string::npos)
+        throw std::logic_error("malformed stat path '" + path + "'");
+    for (char c : path)
+        if (c == ',' || c == '"' || c == '\n' || c == '\t')
+            throw std::logic_error("stat path '" + path +
+                                   "' contains a reserved character");
+}
+
+} // namespace
+
+void
+StatRegistry::insert(const std::string &path, Stat stat)
+{
+    validatePath(path);
+    if (stats_.count(path))
+        throw std::logic_error("stat '" + path +
+                               "' registered twice");
+    // A leaf may not also be a namespace: "core" conflicts with an
+    // existing "core.cycles" and vice versa.
+    auto it = stats_.lower_bound(path + ".");
+    if (it != stats_.end() &&
+        it->first.compare(0, path.size() + 1, path + ".") == 0)
+        throw std::logic_error("stat '" + path +
+                               "' is already a namespace");
+    for (size_t dot = path.find('.'); dot != std::string::npos;
+         dot = path.find('.', dot + 1))
+        if (stats_.count(path.substr(0, dot)))
+            throw std::logic_error(
+                "stat '" + path + "' collides with leaf '" +
+                path.substr(0, dot) + "'");
+    stats_.emplace(path, std::move(stat));
+}
+
+void
+StatRegistry::addCounter(const std::string &path, uint64_t value,
+                         std::string desc)
+{
+    Stat s;
+    s.kind = Stat::Kind::Counter;
+    s.u64 = value;
+    s.desc = std::move(desc);
+    insert(path, std::move(s));
+}
+
+void
+StatRegistry::addScalar(const std::string &path, double value,
+                        std::string desc)
+{
+    Stat s;
+    s.kind = Stat::Kind::Scalar;
+    s.f64 = value;
+    s.desc = std::move(desc);
+    insert(path, std::move(s));
+}
+
+void
+StatRegistry::addInfo(const std::string &path, std::string value,
+                      std::string desc)
+{
+    Stat s;
+    s.kind = Stat::Kind::Info;
+    s.text = std::move(value);
+    s.desc = std::move(desc);
+    insert(path, std::move(s));
+}
+
+void
+StatRegistry::addHistogram(const std::string &path,
+                           const Histogram &h, std::string desc)
+{
+    Stat s;
+    s.kind = Stat::Kind::Hist;
+    s.hist = h;
+    s.desc = std::move(desc);
+    insert(path, std::move(s));
+}
+
+void
+StatRegistry::addTable(const std::string &path,
+                       std::vector<std::string> columns,
+                       std::vector<std::vector<uint64_t>> rows,
+                       std::string desc)
+{
+    if (columns.empty())
+        throw std::logic_error("stat table '" + path +
+                               "' needs at least one column");
+    for (const auto &row : rows)
+        if (row.size() != columns.size())
+            throw std::logic_error("stat table '" + path +
+                                   "' has a ragged row");
+    Stat s;
+    s.kind = Stat::Kind::Table;
+    s.columns = std::move(columns);
+    s.rows = std::move(rows);
+    s.desc = std::move(desc);
+    insert(path, std::move(s));
+}
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    return stats_.count(path) != 0;
+}
+
+const StatRegistry::Stat &
+StatRegistry::at(const std::string &path) const
+{
+    auto it = stats_.find(path);
+    if (it == stats_.end())
+        throw std::out_of_range("no stat '" + path + "'");
+    return it->second;
+}
+
+uint64_t
+StatRegistry::counter(const std::string &path) const
+{
+    const Stat &s = at(path);
+    if (s.kind != Stat::Kind::Counter)
+        throw std::logic_error("stat '" + path +
+                               "' is not a counter");
+    return s.u64;
+}
+
+double
+StatRegistry::scalar(const std::string &path) const
+{
+    const Stat &s = at(path);
+    if (s.kind != Stat::Kind::Scalar)
+        throw std::logic_error("stat '" + path + "' is not a scalar");
+    return s.f64;
+}
+
+std::vector<std::string>
+StatRegistry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(stats_.size());
+    for (const auto &[path, stat] : stats_)
+        out.push_back(path);
+    return out;
+}
+
+namespace
+{
+
+std::string
+histJson(const Histogram &h, const std::string &indent)
+{
+    std::string out = "{\n";
+    out += indent + "  \"count\": " + std::to_string(h.count()) +
+           ",\n";
+    out += indent + "  \"mean\": " + jsonNumber(h.average()) + ",\n";
+    out += indent + "  \"p50\": " + jsonNumber(h.percentile(50)) +
+           ",\n";
+    out += indent + "  \"p95\": " + jsonNumber(h.percentile(95)) +
+           ",\n";
+    out += indent + "  \"p99\": " + jsonNumber(h.percentile(99)) +
+           ",\n";
+    out += indent + "  \"buckets\": [";
+    for (size_t b = 0; b < h.buckets().size(); ++b) {
+        if (b)
+            out += ", ";
+        out += std::to_string(h.buckets()[b]);
+    }
+    out += "]\n" + indent + "}";
+    return out;
+}
+
+std::string
+tableJson(const StatRegistry::Stat &s, const std::string &indent)
+{
+    std::string out = "{\n" + indent + "  \"columns\": [";
+    for (size_t c = 0; c < s.columns.size(); ++c) {
+        if (c)
+            out += ", ";
+        out += jsonQuote(s.columns[c]);
+    }
+    out += "],\n" + indent + "  \"rows\": [";
+    for (size_t r = 0; r < s.rows.size(); ++r) {
+        out += r ? ", [" : "[";
+        for (size_t c = 0; c < s.rows[r].size(); ++c) {
+            if (c)
+                out += ", ";
+            out += std::to_string(s.rows[r][c]);
+        }
+        out += "]";
+    }
+    out += "]\n" + indent + "}";
+    return out;
+}
+
+std::string
+leafJson(const StatRegistry::Stat &s, const std::string &indent)
+{
+    switch (s.kind) {
+      case StatRegistry::Stat::Kind::Counter:
+        return std::to_string(s.u64);
+      case StatRegistry::Stat::Kind::Scalar:
+        return jsonNumber(s.f64);
+      case StatRegistry::Stat::Kind::Info:
+        return jsonQuote(s.text);
+      case StatRegistry::Stat::Kind::Hist:
+        return histJson(s.hist, indent);
+      case StatRegistry::Stat::Kind::Table:
+        return tableJson(s, indent);
+    }
+    return "null";
+}
+
+using StatMap = std::map<std::string, StatRegistry::Stat>;
+using StatIter = StatMap::const_iterator;
+
+/** @return the path segment of it->first starting at @p depth. */
+std::string
+segmentAt(StatIter it, size_t depth)
+{
+    size_t end = it->first.find('.', depth);
+    return it->first.substr(depth, end == std::string::npos
+                                       ? end
+                                       : end - depth);
+}
+
+/**
+ * Emits the [first, last) key range (all sharing the first @p depth
+ * characters of their paths) as one JSON object.
+ */
+std::string
+rangeJson(StatIter first, StatIter last, size_t depth, int level)
+{
+    std::string indent(size_t(level) * 2, ' ');
+    std::string inner(size_t(level + 1) * 2, ' ');
+    std::string out = "{\n";
+    bool first_member = true;
+    while (first != last) {
+        std::string seg = segmentAt(first, depth);
+        // The sub-range of keys sharing this segment.
+        StatIter stop = first;
+        while (stop != last && segmentAt(stop, depth) == seg)
+            ++stop;
+        if (!first_member)
+            out += ",\n";
+        first_member = false;
+        out += inner + jsonQuote(seg) + ": ";
+        if (std::next(first) == stop &&
+            first->first.size() == depth + seg.size()) {
+            out += leafJson(first->second, inner);
+        } else {
+            out += rangeJson(first, stop, depth + seg.size() + 1,
+                             level + 1);
+        }
+        first = stop;
+    }
+    out += "\n" + indent + "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+StatRegistry::toJson() const
+{
+    if (stats_.empty())
+        return "{}\n";
+    return rangeJson(stats_.begin(), stats_.end(), 0, 0) + "\n";
+}
+
+std::string
+StatRegistry::toCsv() const
+{
+    std::string out = "stat,value\n";
+    for (const auto &[path, s] : stats_) {
+        switch (s.kind) {
+          case Stat::Kind::Counter:
+            out += path + "," + std::to_string(s.u64) + "\n";
+            break;
+          case Stat::Kind::Scalar:
+            out += path + "," + jsonNumber(s.f64) + "\n";
+            break;
+          case Stat::Kind::Info:
+            out += path + "," + jsonQuote(s.text) + "\n";
+            break;
+          case Stat::Kind::Hist:
+            out += path + ".count," +
+                   std::to_string(s.hist.count()) + "\n";
+            out += path + ".mean," + jsonNumber(s.hist.average()) +
+                   "\n";
+            out += path + ".p50," +
+                   jsonNumber(s.hist.percentile(50)) + "\n";
+            out += path + ".p95," +
+                   jsonNumber(s.hist.percentile(95)) + "\n";
+            out += path + ".p99," +
+                   jsonNumber(s.hist.percentile(99)) + "\n";
+            break;
+          case Stat::Kind::Table:
+            // One row per table entry, keyed by the first column.
+            for (const auto &row : s.rows) {
+                out += path + "." + std::to_string(row[0]);
+                for (size_t c = 1; c < row.size(); ++c)
+                    out += "," + std::to_string(row[c]);
+                out += "\n";
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+bool
+StatRegistry::writeJson(const std::string &file) const
+{
+    std::ofstream os(file);
+    if (!os)
+        return false;
+    os << toJson();
+    return bool(os);
+}
+
+bool
+StatRegistry::writeCsv(const std::string &file) const
+{
+    std::ofstream os(file);
+    if (!os)
+        return false;
+    os << toCsv();
+    return bool(os);
+}
+
+} // namespace crisp

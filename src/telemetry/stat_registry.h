@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Hierarchical statistics registry: one walkable namespace for every
+ * counter the simulator produces.
+ *
+ * Components register their end-of-run statistics under dotted paths
+ * ("core.rob.head_stall_cycles", "dram.row_hits", ...); the registry
+ * keeps them in one sorted tree and exports the whole namespace as
+ * JSON (nested objects) or CSV (flat path,value rows). Key order is
+ * lexicographic everywhere, so two exports of the same run are
+ * byte-identical regardless of registration order, platform hash
+ * seeds, or the --jobs count that produced the stats.
+ *
+ * Five stat kinds are supported:
+ *  - counter    monotonic uint64 event count
+ *  - scalar     derived double (ratios, IPC)
+ *  - info       free-text metadata (workload name, machine string)
+ *  - histogram  a sim/stats.h Histogram snapshot (count, mean,
+ *               percentiles and raw buckets are exported)
+ *  - table      ordered integer rows with named columns (the
+ *               per-static-instruction stall/wait tables, sorted by
+ *               static id)
+ *
+ * Registering the same path twice, or a path that collides with an
+ * existing namespace ("core" after "core.cycles"), throws — a stat
+ * silently shadowing another is a bug worth failing loudly on.
+ */
+
+#ifndef CRISP_TELEMETRY_STAT_REGISTRY_H
+#define CRISP_TELEMETRY_STAT_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace crisp
+{
+
+/** The registry. Cheap to construct; not thread-safe. */
+class StatRegistry
+{
+  public:
+    /** Discriminated union of one registered stat. */
+    struct Stat
+    {
+        enum class Kind { Counter, Scalar, Info, Hist, Table };
+
+        Kind kind = Kind::Counter;
+        uint64_t u64 = 0;          ///< Counter payload
+        double f64 = 0.0;          ///< Scalar payload
+        std::string text;          ///< Info payload
+        Histogram hist{1.0, 1};    ///< Hist payload
+        std::vector<std::string> columns;          ///< Table header
+        std::vector<std::vector<uint64_t>> rows;   ///< Table payload
+        std::string desc;          ///< one-line description
+    };
+
+    /** Registers a counter. @throws std::logic_error on collision. */
+    void addCounter(const std::string &path, uint64_t value,
+                    std::string desc = "");
+
+    /** Registers a derived scalar. */
+    void addScalar(const std::string &path, double value,
+                   std::string desc = "");
+
+    /** Registers free-text metadata. */
+    void addInfo(const std::string &path, std::string value,
+                 std::string desc = "");
+
+    /** Registers a histogram snapshot (copied). */
+    void addHistogram(const std::string &path, const Histogram &h,
+                      std::string desc = "");
+
+    /**
+     * Registers an ordered table. Every row must have exactly
+     * @p columns .size() cells.
+     */
+    void addTable(const std::string &path,
+                  std::vector<std::string> columns,
+                  std::vector<std::vector<uint64_t>> rows,
+                  std::string desc = "");
+
+    /** @return true when @p path is registered. */
+    bool has(const std::string &path) const;
+
+    /** @return the stat at @p path. @throws std::out_of_range. */
+    const Stat &at(const std::string &path) const;
+
+    /** @return counter value. @throws on missing path / wrong kind. */
+    uint64_t counter(const std::string &path) const;
+
+    /** @return scalar value. @throws on missing path / wrong kind. */
+    double scalar(const std::string &path) const;
+
+    /** @return every registered path, lexicographically sorted. */
+    std::vector<std::string> paths() const;
+
+    /** @return number of registered stats. */
+    size_t size() const { return stats_.size(); }
+
+    /** @return the whole namespace as nested, sorted JSON. */
+    std::string toJson() const;
+
+    /** @return the namespace as flat, sorted "path,value" CSV. */
+    std::string toCsv() const;
+
+    /** Writes toJson() to @p file. @return false on I/O error. */
+    bool writeJson(const std::string &file) const;
+
+    /** Writes toCsv() to @p file. @return false on I/O error. */
+    bool writeCsv(const std::string &file) const;
+
+  private:
+    std::map<std::string, Stat> stats_;
+
+    void insert(const std::string &path, Stat stat);
+};
+
+/** @return @p prefix + "." + @p name (no leading dot if empty). */
+std::string statPath(const std::string &prefix,
+                     const std::string &name);
+
+} // namespace crisp
+
+#endif // CRISP_TELEMETRY_STAT_REGISTRY_H

@@ -101,5 +101,61 @@ TEST(Cli, RejectsBadTickModel)
     EXPECT_FALSE(parseCli({"--tick-model"}).ok());
 }
 
+TEST(Cli, ParsesTelemetryOutputs)
+{
+    CliOptions opt = parseCli({"--stats-json", "out.json",
+                               "--stats-csv", "out.csv",
+                               "--trace-pipe", "pipe.kanata"});
+    ASSERT_TRUE(opt.ok()) << opt.error;
+    EXPECT_EQ(opt.statsJsonPath, "out.json");
+    EXPECT_EQ(opt.statsCsvPath, "out.csv");
+    EXPECT_EQ(opt.tracePipePath, "pipe.kanata");
+    // No window: record everything.
+    EXPECT_EQ(opt.traceStart, 0u);
+    EXPECT_EQ(opt.traceEnd, ~0ULL);
+}
+
+TEST(Cli, ParsesTracePipeWindow)
+{
+    CliOptions opt =
+        parseCli({"--trace-pipe", "pipe.kanata:10:20"});
+    ASSERT_TRUE(opt.ok()) << opt.error;
+    EXPECT_EQ(opt.tracePipePath, "pipe.kanata");
+    EXPECT_EQ(opt.traceStart, 10u);
+    EXPECT_EQ(opt.traceEnd, 20u);
+    // A single-cycle window is valid.
+    EXPECT_TRUE(parseCli({"--trace-pipe", "p:5:5"}).ok());
+}
+
+TEST(Cli, RejectsMalformedTracePipeWindows)
+{
+    // Inverted window.
+    CliOptions inv = parseCli({"--trace-pipe", "file:5:2"});
+    EXPECT_FALSE(inv.ok());
+    EXPECT_NE(inv.error.find("5"), std::string::npos);
+    // Non-numeric bounds.
+    EXPECT_FALSE(parseCli({"--trace-pipe", "file:a:b"}).ok());
+    EXPECT_FALSE(parseCli({"--trace-pipe", "file:1:x"}).ok());
+    EXPECT_FALSE(parseCli({"--trace-pipe", "file:-1:2"}).ok());
+    // One bound only, trailing/extra colons, empty path.
+    EXPECT_FALSE(parseCli({"--trace-pipe", "file:1"}).ok());
+    EXPECT_FALSE(parseCli({"--trace-pipe", "file:1:2:3"}).ok());
+    EXPECT_FALSE(parseCli({"--trace-pipe", "file:"}).ok());
+    EXPECT_FALSE(parseCli({"--trace-pipe", ":1:2"}).ok());
+    EXPECT_FALSE(parseCli({"--trace-pipe"}).ok());
+}
+
+TEST(Cli, RejectsDuplicateTelemetryFlags)
+{
+    CliOptions dup = parseCli(
+        {"--stats-json", "a.json", "--stats-json", "b.json"});
+    EXPECT_FALSE(dup.ok());
+    EXPECT_NE(dup.error.find("duplicate"), std::string::npos);
+    EXPECT_FALSE(parseCli({"--stats-csv", "a", "--stats-csv", "b"})
+                     .ok());
+    EXPECT_FALSE(
+        parseCli({"--trace-pipe", "a", "--trace-pipe", "b"}).ok());
+}
+
 } // namespace
 } // namespace crisp

@@ -64,6 +64,44 @@ TEST(Histogram, Percentile)
     EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
 }
 
+TEST(Histogram, MergeAccumulatesSamples)
+{
+    Histogram a(10.0, 4);
+    a.add(5);
+    a.add(15);
+    Histogram b(10.0, 4);
+    b.add(15);
+    b.add(35);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.buckets()[0], 1u);
+    EXPECT_EQ(a.buckets()[1], 2u);
+    EXPECT_EQ(a.buckets()[3], 1u);
+    EXPECT_DOUBLE_EQ(a.average(), (5.0 + 15.0 + 15.0 + 35.0) / 4.0);
+    // The merged-from histogram is untouched.
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Histogram, MergeOfEmptyIsIdentity)
+{
+    Histogram a(10.0, 4);
+    a.add(7);
+    Histogram empty(10.0, 4);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.average(), 7.0);
+}
+
+TEST(Histogram, MergeRejectsMismatchedGeometry)
+{
+    Histogram a(10.0, 4);
+    Histogram wrong_count(10.0, 8);
+    Histogram wrong_width(5.0, 4);
+    EXPECT_THROW(a.merge(wrong_count), std::invalid_argument);
+    EXPECT_THROW(a.merge(wrong_width), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(a.bucketWidth(), 10.0);
+}
+
 TEST(Table, AlignsAndPads)
 {
     Table t({"name", "value"});

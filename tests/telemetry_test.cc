@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Telemetry subsystem tests: StatRegistry registration/lookup and
+ * collision detection, JSON/CSV export round-trips (parsed back with
+ * the in-tree JSON parser), the CPI-stack sum invariant on both tick
+ * engines, and the Kanata pipeline trace (header, grammar, stage
+ * ordering, window limiter and criticality annotations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+#include "sim/artifact_cache.h"
+#include "sim/driver.h"
+#include "telemetry/cpi_stack.h"
+#include "telemetry/json.h"
+#include "telemetry/pipe_tracer.h"
+#include "telemetry/stat_registry.h"
+#include "vm/assembler.h"
+#include "vm/interpreter.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// StatRegistry.
+// ---------------------------------------------------------------
+
+TEST(StatRegistry, RegisterAndLookup)
+{
+    StatRegistry reg;
+    reg.addCounter("core.cycles", 1234, "total cycles");
+    reg.addScalar("core.ipc", 1.5);
+    reg.addInfo("sim.workload", "mcf");
+    EXPECT_TRUE(reg.has("core.cycles"));
+    EXPECT_FALSE(reg.has("core.retired"));
+    EXPECT_EQ(reg.counter("core.cycles"), 1234u);
+    EXPECT_DOUBLE_EQ(reg.scalar("core.ipc"), 1.5);
+    EXPECT_EQ(reg.at("sim.workload").text, "mcf");
+    EXPECT_EQ(reg.at("core.cycles").desc, "total cycles");
+    EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(StatRegistry, PathsAreSortedRegardlessOfInsertionOrder)
+{
+    StatRegistry reg;
+    reg.addCounter("dram.row_hits", 1);
+    reg.addCounter("core.cycles", 2);
+    reg.addCounter("core.retired", 3);
+    reg.addCounter("cache.llc.misses", 4);
+    std::vector<std::string> expect = {
+        "cache.llc.misses", "core.cycles", "core.retired",
+        "dram.row_hits"};
+    EXPECT_EQ(reg.paths(), expect);
+}
+
+TEST(StatRegistry, DoubleRegistrationThrows)
+{
+    StatRegistry reg;
+    reg.addCounter("core.cycles", 1);
+    EXPECT_THROW(reg.addCounter("core.cycles", 2),
+                 std::logic_error);
+    EXPECT_THROW(reg.addScalar("core.cycles", 2.0),
+                 std::logic_error);
+    // The first registration survives.
+    EXPECT_EQ(reg.counter("core.cycles"), 1u);
+}
+
+TEST(StatRegistry, LeafNamespaceCollisionThrowsBothWays)
+{
+    StatRegistry reg;
+    reg.addCounter("core.rob.stalls", 1);
+    // A leaf at an existing namespace node...
+    EXPECT_THROW(reg.addCounter("core.rob", 2), std::logic_error);
+    // ...and a namespace under an existing leaf.
+    EXPECT_THROW(reg.addCounter("core.rob.stalls.load", 3),
+                 std::logic_error);
+}
+
+TEST(StatRegistry, RejectsMalformedPathsAndRaggedTables)
+{
+    StatRegistry reg;
+    EXPECT_THROW(reg.addCounter("", 1), std::logic_error);
+    EXPECT_THROW(reg.addCounter(".core", 1), std::logic_error);
+    EXPECT_THROW(reg.addCounter("core.", 1), std::logic_error);
+    EXPECT_THROW(reg.addCounter("core..x", 1), std::logic_error);
+    EXPECT_THROW(reg.addTable("t", {}, {}), std::logic_error);
+    EXPECT_THROW(reg.addTable("t", {"a", "b"}, {{1, 2}, {3}}),
+                 std::logic_error);
+}
+
+TEST(StatRegistry, WrongKindAccessThrows)
+{
+    StatRegistry reg;
+    reg.addScalar("x", 1.0);
+    EXPECT_THROW(reg.counter("x"), std::logic_error);
+    EXPECT_THROW(reg.at("missing"), std::out_of_range);
+}
+
+// ---------------------------------------------------------------
+// JSON / CSV export.
+// ---------------------------------------------------------------
+
+TEST(StatRegistryExport, JsonRoundTripsThroughTheParser)
+{
+    StatRegistry reg;
+    reg.addCounter("core.cycles", 1000);
+    reg.addCounter("core.retired", 900);
+    reg.addScalar("core.ipc", 0.9);
+    reg.addInfo("sim.workload", "tiny \"quoted\"\npath");
+    Histogram h(8.0, 4);
+    h.add(1.0);
+    h.add(9.0);
+    h.add(100.0);
+    reg.addHistogram("core.issue_wait", h);
+    reg.addTable("core.head_stall_by_static", {"sidx", "cycles"},
+                 {{0, 17}, {3, 42}});
+
+    std::string json = reg.toJson();
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(json, doc, &err)) << err << "\n" << json;
+
+    const JsonValue *cycles = doc.find("core.cycles");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_DOUBLE_EQ(cycles->number, 1000.0);
+    const JsonValue *ipc = doc.find("core.ipc");
+    ASSERT_NE(ipc, nullptr);
+    EXPECT_DOUBLE_EQ(ipc->number, 0.9);
+    const JsonValue *wl = doc.find("sim.workload");
+    ASSERT_NE(wl, nullptr);
+    EXPECT_EQ(wl->text, "tiny \"quoted\"\npath");
+
+    const JsonValue *hist = doc.find("core.issue_wait");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->at("count").number, 3.0);
+    ASSERT_TRUE(hist->at("buckets").isArray());
+    EXPECT_EQ(hist->at("buckets").elements.size(), 4u);
+
+    const JsonValue *table = doc.find("core.head_stall_by_static");
+    ASSERT_NE(table, nullptr);
+    ASSERT_EQ(table->at("rows").elements.size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        table->at("rows").elements[1].elements[1].number, 42.0);
+}
+
+TEST(StatRegistryExport, WriteJsonFileParsesBack)
+{
+    StatRegistry reg;
+    reg.addCounter("a.b", 7);
+    reg.addCounter("a.c", 8);
+    const std::string path = "telemetry_test_stats.json";
+    ASSERT_TRUE(reg.writeJson(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(ss.str(), doc, nullptr));
+    ASSERT_NE(doc.find("a.b"), nullptr);
+    EXPECT_DOUBLE_EQ(doc.find("a.b")->number, 7.0);
+    std::remove(path.c_str());
+}
+
+TEST(StatRegistryExport, ExportsAreDeterministic)
+{
+    // Same stats, opposite registration order: identical bytes.
+    StatRegistry fwd, rev;
+    fwd.addCounter("a.x", 1);
+    fwd.addScalar("b.y", 2.5);
+    fwd.addInfo("c.z", "w");
+    rev.addInfo("c.z", "w");
+    rev.addScalar("b.y", 2.5);
+    rev.addCounter("a.x", 1);
+    EXPECT_EQ(fwd.toJson(), rev.toJson());
+    EXPECT_EQ(fwd.toCsv(), rev.toCsv());
+}
+
+TEST(StatRegistryExport, CsvIsFlatAndSorted)
+{
+    StatRegistry reg;
+    reg.addCounter("b.n", 2);
+    reg.addCounter("a.m", 1);
+    std::string csv = reg.toCsv();
+    EXPECT_EQ(csv, "stat,value\na.m,1\nb.n,2\n");
+}
+
+// ---------------------------------------------------------------
+// CPI stack.
+// ---------------------------------------------------------------
+
+TEST(CpiStack, ChargeTotalFractionMerge)
+{
+    CpiStack s;
+    s.charge(CpiBucket::Retiring, 60);
+    s.charge(CpiBucket::BackendMemory, 30);
+    s.charge(CpiBucket::FrontendLatency);
+    s.charge(CpiBucket::FrontendLatency, 9);
+    EXPECT_EQ(s.total(), 100u);
+    EXPECT_EQ(s[CpiBucket::Retiring], 60u);
+    EXPECT_DOUBLE_EQ(s.fraction(CpiBucket::BackendMemory), 0.3);
+    EXPECT_DOUBLE_EQ(s.fraction(CpiBucket::BadSpeculation), 0.0);
+
+    CpiStack t;
+    t.charge(CpiBucket::Retiring, 40);
+    t.merge(s);
+    EXPECT_EQ(t[CpiBucket::Retiring], 100u);
+    EXPECT_EQ(t.total(), 140u);
+}
+
+TEST(CpiStack, RegisterIntoEmitsAllBucketsAndFractions)
+{
+    CpiStack s;
+    s.charge(CpiBucket::Retiring, 3);
+    s.charge(CpiBucket::BackendCore, 1);
+    StatRegistry reg;
+    s.registerInto(reg, "cpi");
+    for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+        std::string name = cpiBucketName(CpiBucket(b));
+        EXPECT_TRUE(reg.has("cpi." + name)) << name;
+        EXPECT_TRUE(reg.has("cpi." + name + "_fraction")) << name;
+    }
+    EXPECT_EQ(reg.counter("cpi.total"), 4u);
+    EXPECT_DOUBLE_EQ(reg.scalar("cpi.retiring_fraction"), 0.75);
+}
+
+class CpiStackWorkload : public ::testing::Test
+{
+  protected:
+    static ArtifactCache &cache()
+    {
+        static ArtifactCache c;
+        return c;
+    }
+
+    static CoreStats runOn(const Trace &trace, SimConfig cfg,
+                           TickModel model)
+    {
+        cfg.tickModel = model;
+        Core core(trace, cfg);
+        return core.run();
+    }
+};
+
+TEST_F(CpiStackWorkload, BucketsSumToCyclesOnBothEngines)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, 40'000);
+
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    for (TickModel m : {TickModel::Cycle, TickModel::Event}) {
+        CoreStats s = runOn(*trace, cfg, m);
+        EXPECT_EQ(s.cpi.total(), s.cycles);
+        // A pointer chase spends real time blocked on memory.
+        EXPECT_GT(s.cpi[CpiBucket::Retiring], 0u);
+        EXPECT_GT(s.cpi[CpiBucket::BackendMemory], 0u);
+    }
+}
+
+TEST_F(CpiStackWorkload, CrispTaggedRunKeepsTheInvariant)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::CrispPriority;
+    auto trace = cache().taggedRefTrace(*wl, CrispOptions{}, cfg,
+                                        20'000, 40'000);
+    for (TickModel m : {TickModel::Cycle, TickModel::Event}) {
+        CoreStats s = runOn(*trace, cfg, m);
+        EXPECT_EQ(s.cpi.total(), s.cycles);
+    }
+}
+
+// ---------------------------------------------------------------
+// CoreStats registry integration + sorted per-static tables.
+// ---------------------------------------------------------------
+
+TEST_F(CpiStackWorkload, CoreStatsRegisterIntoProducesSortedTables)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, 40'000);
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    CoreStats s = runOn(*trace, cfg, TickModel::Event);
+
+    auto head = s.sortedHeadStalls();
+    EXPECT_EQ(head.size(), s.headStallByStatic.size());
+    for (size_t i = 1; i < head.size(); ++i)
+        EXPECT_LT(head[i - 1].first, head[i].first);
+    auto waits = s.sortedIssueWaits();
+    EXPECT_EQ(waits.size(), s.issueWaitByStatic.size());
+    for (size_t i = 1; i < waits.size(); ++i)
+        EXPECT_LT(waits[i - 1][0], waits[i][0]);
+
+    StatRegistry reg;
+    s.registerInto(reg, "ooo");
+    EXPECT_EQ(reg.counter("ooo.core.cycles"), s.cycles);
+    EXPECT_EQ(reg.counter("ooo.cpi.total"), s.cycles);
+    EXPECT_TRUE(reg.has("ooo.core.issue_wait"));
+    EXPECT_TRUE(reg.has("ooo.frontend.fetched"));
+    EXPECT_TRUE(reg.has("ooo.cache.llc.misses"));
+    EXPECT_TRUE(reg.has("ooo.dram.row_hits"));
+    EXPECT_TRUE(reg.has("ooo.ibda.marked"));
+
+    // The serialized table rows are the sorted rows.
+    const auto &table = reg.at("ooo.core.head_stall_by_static");
+    ASSERT_EQ(table.rows.size(), head.size());
+    for (size_t i = 0; i < head.size(); ++i) {
+        EXPECT_EQ(table.rows[i][0], head[i].first);
+        EXPECT_EQ(table.rows[i][1], head[i].second);
+    }
+
+    // And the whole registry survives a JSON round-trip.
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(reg.toJson(), doc, nullptr));
+    const JsonValue *cycles = doc.find("ooo.core.cycles");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_DOUBLE_EQ(cycles->number, double(s.cycles));
+}
+
+// ---------------------------------------------------------------
+// Kanata pipeline tracing.
+// ---------------------------------------------------------------
+
+/** A short straight-line program with a load-use chain. */
+Trace
+tinyTrace()
+{
+    Assembler a;
+    a.movi(1, 0x2000);
+    a.poke(0x2000, 0x2040);
+    a.ld(2, 1);
+    a.add(3, 2, 2);
+    a.st(1, 3, 8);
+    a.ld(4, 1, 8);
+    a.addi(5, 4, 1);
+    a.halt();
+    auto prog = std::make_shared<Program>(a.finish("tiny"));
+    Interpreter interp(prog);
+    return interp.run(100);
+}
+
+/** Runs @p trace with a tracer attached; returns the Kanata text. */
+std::string
+traceRun(const Trace &trace, uint64_t start = 0,
+         uint64_t end = ~0ULL, size_t *recorded = nullptr)
+{
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    PipeTracer tracer("unused.kanata", start, end);
+    Core core(trace, cfg);
+    core.setTracer(&tracer);
+    core.run();
+    if (recorded)
+        *recorded = tracer.recorded();
+    std::ostringstream os;
+    tracer.writeTo(os);
+    return os.str();
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(PipeTracer, GoldenHeaderAndGrammar)
+{
+    Trace t = tinyTrace();
+    size_t recorded = 0;
+    std::string text = traceRun(t, 0, ~0ULL, &recorded);
+    EXPECT_EQ(recorded, t.size());
+
+    auto lines = splitLines(text);
+    ASSERT_GE(lines.size(), 3u);
+    // Golden prefix: the header is exact; the trace opens by seating
+    // the cycle cursor at the first fetch.
+    EXPECT_EQ(lines[0], "Kanata\t0004");
+    EXPECT_EQ(lines[1].rfind("C=\t", 0), 0u) << lines[1];
+    // The first records are the first instruction's start, its two
+    // label lines and its fetch-stage start — in exactly this shape.
+    EXPECT_EQ(lines[2], "I\t0\t0\t0");
+    EXPECT_EQ(lines[3].rfind("L\t0\t0\t0x", 0), 0u) << lines[3];
+    EXPECT_EQ(lines[4].rfind("L\t0\t1\tseq=0 fetch=", 0), 0u)
+        << lines[4];
+    EXPECT_EQ(lines[5], "S\t0\t0\tF");
+
+    // Full grammar check: every line is one of the known record
+    // types with the right field count.
+    size_t starts = 0, retires = 0;
+    for (size_t i = 1; i < lines.size(); ++i) {
+        const std::string &l = lines[i];
+        ASSERT_FALSE(l.empty());
+        std::vector<std::string> f;
+        std::istringstream fs(l);
+        std::string tok;
+        while (std::getline(fs, tok, '\t'))
+            f.push_back(tok);
+        if (f[0] == "C=" || f[0] == "C") {
+            ASSERT_EQ(f.size(), 2u) << l;
+            EXPECT_GT(std::stoull(f[1]), 0u) << l;
+        } else if (f[0] == "I") {
+            ASSERT_EQ(f.size(), 4u) << l;
+            ++starts;
+        } else if (f[0] == "L") {
+            ASSERT_GE(f.size(), 4u) << l;
+        } else if (f[0] == "S" || f[0] == "E") {
+            ASSERT_EQ(f.size(), 4u) << l;
+            EXPECT_TRUE(f[3] == "F" || f[3] == "Dc" ||
+                        f[3] == "Ds" || f[3] == "Is" ||
+                        f[3] == "Cm" || f[3] == "Rt")
+                << l;
+        } else if (f[0] == "R") {
+            ASSERT_EQ(f.size(), 4u) << l;
+            ++retires;
+        } else {
+            FAIL() << "unknown record: " << l;
+        }
+    }
+    EXPECT_EQ(starts, t.size());
+    EXPECT_EQ(retires, t.size());
+
+    // The loads are labelled with their timing class.
+    EXPECT_NE(text.find("Load"), std::string::npos);
+}
+
+TEST(PipeTracer, StageOrderingInvariants)
+{
+    Trace t = tinyTrace();
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    PipeTracer tracer("unused.kanata");
+    Core core(t, cfg);
+    core.setTracer(&tracer);
+    CoreStats s = core.run();
+    ASSERT_EQ(tracer.recorded(), t.size());
+
+    // Reconstruct per-instruction timestamps from the detail lines.
+    std::ostringstream os;
+    tracer.writeTo(os);
+    auto lines = splitLines(os.str());
+    size_t checked = 0;
+    for (const auto &l : lines) {
+        if (l.rfind("L\t", 0) != 0 ||
+            l.find("\t1\tseq=") == std::string::npos)
+            continue;
+        unsigned long long fetch = 0, dispatch = 0, issue = 0,
+                           complete = 0, retire = 0;
+        ASSERT_EQ(std::sscanf(l.c_str() + l.find("seq="),
+                              "seq=%*llu fetch=%llu dispatch=%llu "
+                              "issue=%llu complete=%llu retire=%llu",
+                              &fetch, &dispatch, &issue, &complete,
+                              &retire),
+                  5)
+            << l;
+        EXPECT_GT(dispatch, fetch) << l;
+        EXPECT_GT(issue, dispatch) << l;
+        EXPECT_GT(complete, issue) << l;
+        EXPECT_LE(complete, retire) << l;
+        EXPECT_LE(retire, s.cycles) << l;
+        ++checked;
+    }
+    EXPECT_EQ(checked, t.size());
+}
+
+TEST(PipeTracer, WindowLimiterFiltersByFetchCycle)
+{
+    Trace t = tinyTrace();
+    // A window past the end of the run records nothing.
+    size_t recorded = ~0u;
+    std::string text =
+        traceRun(t, 1'000'000, 2'000'000, &recorded);
+    EXPECT_EQ(recorded, 0u);
+    EXPECT_EQ(text, "Kanata\t0004\n");
+
+    // A window closing at the first fetch cycle records that fetch
+    // group only, not the whole program.
+    std::string full = traceRun(t);
+    auto lines = splitLines(full);
+    ASSERT_GE(lines.size(), 2u);
+    ASSERT_EQ(lines[1].rfind("C=\t", 0), 0u);
+    uint64_t first_fetch = std::stoull(lines[1].substr(3));
+    size_t first = 0;
+    traceRun(t, 0, first_fetch, &first);
+    EXPECT_GT(first, 0u);
+    EXPECT_LT(first, t.size());
+}
+
+TEST(PipeTracer, CriticalAndForwardAnnotationsAppear)
+{
+    Trace t = tinyTrace();
+    // Hand-tag the loads critical (the tagger would do this from a
+    // profile); the scheduler annotation must surface in the labels.
+    for (auto &op : t.ops)
+        if (op.isLoad())
+            op.critical = true;
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::CrispPriority;
+    PipeTracer tracer("unused.kanata");
+    Core core(t, cfg);
+    core.setTracer(&tracer);
+    core.run();
+    std::ostringstream os;
+    tracer.writeTo(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find(" [critical]"), std::string::npos);
+    // st to 0x2008 then ld from 0x2008: forwarded.
+    EXPECT_NE(text.find(" [fwd]"), std::string::npos);
+}
+
+TEST(PipeTracer, BothEnginesEmitIdenticalTraces)
+{
+    Trace t = tinyTrace();
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    std::string traces[2];
+    TickModel models[2] = {TickModel::Cycle, TickModel::Event};
+    for (int i = 0; i < 2; ++i) {
+        cfg.tickModel = models[i];
+        PipeTracer tracer("unused.kanata");
+        Core core(t, cfg);
+        core.setTracer(&tracer);
+        core.run();
+        std::ostringstream os;
+        tracer.writeTo(os);
+        traces[i] = os.str();
+    }
+    EXPECT_EQ(traces[0], traces[1]);
+}
+
+} // namespace
+} // namespace crisp

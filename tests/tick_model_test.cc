@@ -104,6 +104,21 @@ expectIdentical(const CoreStats &cyc, const CoreStats &evt)
     EXPECT_EQ(cyc.headStallByStatic, evt.headStallByStatic);
     EXPECT_EQ(cyc.issueWaitByStatic, evt.issueWaitByStatic);
 
+    // CPI stack: every bucket identical, and both engines' stacks
+    // sum exactly to the run's total cycles (each cycle is charged
+    // to exactly one bucket, skipped spans included).
+    for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+        SCOPED_TRACE(cpiBucketName(CpiBucket(b)));
+        EXPECT_EQ(cyc.cpi.cycles[b], evt.cpi.cycles[b]);
+    }
+    EXPECT_EQ(cyc.cpi.total(), cyc.cycles);
+    EXPECT_EQ(evt.cpi.total(), evt.cycles);
+
+    // Issue-wait histogram: identical geometry and contents.
+    EXPECT_EQ(cyc.issueWaitHist.count(), evt.issueWaitHist.count());
+    EXPECT_EQ(cyc.issueWaitHist.buckets(),
+              evt.issueWaitHist.buckets());
+
     // The timeline is the strictest check: it fixes the per-cycle
     // retire count of every single cycle, including the skipped
     // spans the event engine charges in bulk.

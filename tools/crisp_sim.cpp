@@ -11,12 +11,15 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "sim/artifact_cache.h"
 #include "sim/cli.h"
 #include "sim/driver.h"
 #include "sim/thread_pool.h"
+#include "telemetry/pipe_tracer.h"
+#include "telemetry/stat_registry.h"
 #include "trace/trace_io.h"
 #include "workloads/workload.h"
 
@@ -111,6 +114,17 @@ main(int argc, char **argv)
         runs.push_back({"crisp", cfg, true, {}});
     }
 
+    // The pipeline tracer attaches to the most interesting variant
+    // present: crisp > ibda > ooo (criticality annotations are what
+    // make the trace worth looking at).
+    std::unique_ptr<PipeTracer> tracer;
+    size_t traced = runs.size();
+    if (!opt.tracePipePath.empty() && !runs.empty()) {
+        tracer = std::make_unique<PipeTracer>(
+            opt.tracePipePath, opt.traceStart, opt.traceEnd);
+        traced = runs.size() - 1; // runs[] is ordered ooo, ibda, crisp
+    }
+
     ThreadPool pool(opt.jobs);
     pool.parallelFor(runs.size(), [&](size_t i) {
         Variant &v = runs[i];
@@ -120,7 +134,8 @@ main(int argc, char **argv)
                                        opt.machine, opt.trainOps,
                                        opt.refOps)
                 : cache.trace(*wl, InputSet::Ref, opt.refOps);
-        v.stats = runCore(*trace, v.cfg);
+        v.stats = runCore(*trace, v.cfg, false,
+                          i == traced ? tracer.get() : nullptr);
     });
 
     double base_ipc = 0;
@@ -131,6 +146,44 @@ main(int argc, char **argv)
         else if (base_ipc > 0 && run_ooo)
             std::printf("       %s speedup %+.1f%%\n", v.label,
                         (v.stats.ipc() / base_ipc - 1.0) * 100.0);
+    }
+
+    // Telemetry exports. The registry is built from the finished
+    // CoreStats, whose values are independent of --jobs, and its key
+    // order is canonical — so the files are byte-identical at any
+    // parallelism.
+    if (!opt.statsJsonPath.empty() || !opt.statsCsvPath.empty()) {
+        StatRegistry reg;
+        reg.addInfo("sim.workload", wl->name);
+        reg.addInfo("sim.machine", opt.machine.describe());
+        for (const Variant &v : runs)
+            v.stats.registerInto(reg, v.label);
+        if (!opt.statsJsonPath.empty()) {
+            if (reg.writeJson(opt.statsJsonPath))
+                std::printf("stats JSON written to %s\n",
+                            opt.statsJsonPath.c_str());
+            else
+                std::fprintf(stderr, "failed to write %s\n",
+                             opt.statsJsonPath.c_str());
+        }
+        if (!opt.statsCsvPath.empty()) {
+            if (reg.writeCsv(opt.statsCsvPath))
+                std::printf("stats CSV written to %s\n",
+                            opt.statsCsvPath.c_str());
+            else
+                std::fprintf(stderr, "failed to write %s\n",
+                             opt.statsCsvPath.c_str());
+        }
+    }
+    if (tracer) {
+        if (tracer->write())
+            std::printf("pipeline trace written to %s "
+                        "(%zu instructions, %s)\n",
+                        tracer->path().c_str(), tracer->recorded(),
+                        runs[traced].label);
+        else
+            std::fprintf(stderr, "failed to write %s\n",
+                         tracer->path().c_str());
     }
 
     if (run_crisp && !opt.saveTracePath.empty()) {
