@@ -246,7 +246,7 @@ coreEngineBench()
 
     std::printf("=== core tick engines (cycle vs event, "
                 "%llu ops each, --jobs 1) ===\n",
-                (unsigned long long)ops);
+                static_cast<unsigned long long>(ops));
 
     bool all_equal = true;
     double best_speedup = 0.0;
@@ -316,7 +316,7 @@ coreEngineBench()
                      "  \"identical\": %s,\n"
                      "  \"workloads\": [\n%s\n  ]\n"
                      "}\n",
-                     (unsigned long long)ops, best_speedup,
+                     static_cast<unsigned long long>(ops), best_speedup,
                      all_equal ? "true" : "false", rows.c_str());
         std::fclose(f);
         std::printf("  wrote BENCH_core_event.json\n\n");

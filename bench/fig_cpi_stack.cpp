@@ -45,7 +45,7 @@ void
 printStack(const char *label, const CoreStats &s)
 {
     std::printf("  %-6s cycles %9llu  ", label,
-                (unsigned long long)s.cycles);
+                static_cast<unsigned long long>(s.cycles));
     for (size_t b = 0; b < kNumCpiBuckets; ++b)
         std::printf("%s %4.1f%%  ", cpiBucketName(CpiBucket(b)),
                     100.0 * s.cpi.fraction(CpiBucket(b)));
@@ -57,11 +57,11 @@ jsonStack(FILE *f, const char *label, const CoreStats &s,
           const char *trailing_comma)
 {
     std::fprintf(f, "      \"%s\": {\"cycles\": %llu", label,
-                 (unsigned long long)s.cycles);
+                 static_cast<unsigned long long>(s.cycles));
     for (size_t b = 0; b < kNumCpiBuckets; ++b)
         std::fprintf(f, ", \"%s\": %llu",
                      cpiBucketName(CpiBucket(b)),
-                     (unsigned long long)s.cpi[CpiBucket(b)]);
+                     static_cast<unsigned long long>(s.cpi[CpiBucket(b)]));
     std::fprintf(f, "}%s\n", trailing_comma);
 }
 
@@ -118,7 +118,7 @@ main(int argc, char **argv)
 
     std::printf("=== CPI stacks: baseline OOO vs CRISP vs IBDA-1K "
                 "(%llu ops) ===\n\n",
-                (unsigned long long)kRef);
+                static_cast<unsigned long long>(kRef));
 
     bool sums_ok = true;
     size_t shrunk = 0, mem_bound = 0;
@@ -130,8 +130,8 @@ main(int argc, char **argv)
             if (s->cpi.total() != s->cycles) {
                 std::printf("  ERROR: bucket sum %llu != cycles "
                             "%llu\n",
-                            (unsigned long long)s->cpi.total(),
-                            (unsigned long long)s->cycles);
+                            static_cast<unsigned long long>(s->cpi.total()),
+                            static_cast<unsigned long long>(s->cycles));
                 sums_ok = false;
             }
         printStack("ooo", row.ooo);
@@ -147,8 +147,8 @@ main(int argc, char **argv)
             bool shrank = after < before;
             shrunk += shrank;
             std::printf("  backend-memory %llu -> %llu (%+.1f%%)%s\n",
-                        (unsigned long long)before,
-                        (unsigned long long)after,
+                        static_cast<unsigned long long>(before),
+                        static_cast<unsigned long long>(after),
                         before ? (double(after) / double(before) -
                                   1.0) *
                                      100.0
@@ -167,8 +167,8 @@ main(int argc, char **argv)
     std::printf("memory-bound proxies: %zu/%zu shrink "
                 "backend-memory; aggregate %llu -> %llu (%+.1f%%)\n",
                 shrunk, mem_bound,
-                (unsigned long long)mem_ooo_total,
-                (unsigned long long)mem_crisp_total,
+                static_cast<unsigned long long>(mem_ooo_total),
+                static_cast<unsigned long long>(mem_crisp_total),
                 mem_ooo_total
                     ? (double(mem_crisp_total) /
                            double(mem_ooo_total) -
@@ -178,7 +178,7 @@ main(int argc, char **argv)
 
     if (FILE *f = std::fopen("BENCH_cpi_stack.json", "w")) {
         std::fprintf(f, "{\n  \"ops\": %llu,\n  \"workloads\": {\n",
-                     (unsigned long long)kRef);
+                     static_cast<unsigned long long>(kRef));
         for (size_t i = 0; i < rows.size(); ++i) {
             const Row &row = rows[i];
             std::fprintf(f, "    \"%s\": {\n"
@@ -200,8 +200,8 @@ main(int argc, char **argv)
                      "  \"majority_shrinks\": %s\n"
                      "}\n",
                      sums_ok ? "true" : "false",
-                     (unsigned long long)mem_ooo_total,
-                     (unsigned long long)mem_crisp_total,
+                     static_cast<unsigned long long>(mem_ooo_total),
+                     static_cast<unsigned long long>(mem_crisp_total),
                      aggregate_shrinks ? "true" : "false",
                      majority_shrinks ? "true" : "false");
         std::fclose(f);

@@ -112,8 +112,8 @@ main()
     CrispPipeline pipe(wl, opts, cfg, sizes.trainOps, sizes.refOps);
     const CrispAnalysis &a = pipe.analysis();
     std::printf("1. profile : %llu ops, %llu LLC misses\n",
-                (unsigned long long)a.profile.totalOps,
-                (unsigned long long)a.profile.totalLlcMisses);
+                static_cast<unsigned long long>(a.profile.totalOps),
+                static_cast<unsigned long long>(a.profile.totalLlcMisses));
     std::printf("2. select  : %zu delinquent loads, %zu branches\n",
                 a.delinquentLoads.size(),
                 a.criticalBranches.size());

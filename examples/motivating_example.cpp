@@ -25,18 +25,18 @@ report(const char *label, const CoreStats &s)
 {
     std::printf("%-18s IPC %.3f  cycles %8llu  ROB-head stalls %8llu"
                 "  (load-at-head %llu)  DRAM reads %llu avg lat %.0f\n",
-                label, s.ipc(), (unsigned long long)s.cycles,
-                (unsigned long long)s.robHeadStallCycles,
-                (unsigned long long)s.robHeadLoadStallCycles,
-                (unsigned long long)s.dram.reads,
+                label, s.ipc(), static_cast<unsigned long long>(s.cycles),
+                static_cast<unsigned long long>(s.robHeadStallCycles),
+                static_cast<unsigned long long>(s.robHeadLoadStallCycles),
+                static_cast<unsigned long long>(s.dram.reads),
                 s.dram.averageLatency());
     std::printf("%-18s   mispredicts %llu  branch-stall %llu  "
                 "icache-stall %llu  fwd loads %llu  mshr-stall %llu\n",
-                "", (unsigned long long)s.frontend.mispredicts(),
-                (unsigned long long)s.frontend.branchStallCycles,
-                (unsigned long long)s.frontend.icacheStallCycles,
-                (unsigned long long)s.forwardedLoads,
-                (unsigned long long)s.l1d.mshrStallCycles);
+                "", static_cast<unsigned long long>(s.frontend.mispredicts()),
+                static_cast<unsigned long long>(s.frontend.branchStallCycles),
+                static_cast<unsigned long long>(s.frontend.icacheStallCycles),
+                static_cast<unsigned long long>(s.forwardedLoads),
+                static_cast<unsigned long long>(s.l1d.mshrStallCycles));
 }
 
 } // namespace
@@ -84,13 +84,13 @@ main()
         for (const auto &[sidx, cyc] : s_base.sortedHeadStalls())
             tops.emplace_back(cyc, sidx);
         std::stable_sort(tops.begin(), tops.end(),
-                         [](const auto &a, const auto &b) {
-                             return a.first > b.first;
+                         [](const auto &x, const auto &y) {
+                             return x.first > y.first;
                          });
         std::printf("  top head-stall statics:\n");
         for (size_t k = 0; k < tops.size() && k < 6; ++k)
             std::printf("    %8llu cyc  [%u] %s\n",
-                        (unsigned long long)tops[k].first,
+                        static_cast<unsigned long long>(tops[k].first),
                         tops[k].second,
                         prog.code[tops[k].second].toString().c_str());
     }

@@ -57,12 +57,9 @@ main()
 
     std::printf("\nROB-head stall cycles: baseline %llu -> CRISP"
                 " %llu\n",
-                (unsigned long long)
-                    eval.baseStats.robHeadStallCycles,
-                (unsigned long long)
-                    eval.crispStats.robHeadStallCycles);
+                static_cast<unsigned long long>(eval.baseStats.robHeadStallCycles),
+                static_cast<unsigned long long>(eval.crispStats.robHeadStallCycles));
     std::printf("branch mispredicts (ref run): %llu\n",
-                (unsigned long long)
-                    eval.baseStats.frontend.mispredicts());
+                static_cast<unsigned long long>(eval.baseStats.frontend.mispredicts()));
     return 0;
 }

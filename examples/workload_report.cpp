@@ -35,9 +35,9 @@ reportWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
 
     std::printf("  profile: %llu ops, %llu loads, %llu LLC misses,"
                 " dram lat %.0f\n",
-                (unsigned long long)p.totalOps,
-                (unsigned long long)p.totalLoads,
-                (unsigned long long)p.totalLlcMisses,
+                static_cast<unsigned long long>(p.totalOps),
+                static_cast<unsigned long long>(p.totalLoads),
+                static_cast<unsigned long long>(p.totalLlcMisses),
                 p.avgDramLatency);
 
     // Top missing loads.
@@ -50,7 +50,7 @@ reportWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
         const auto &lp = p.loads.at(loads[k].second);
         std::printf("  load @%u: exec %llu, missRatio %.2f, mlp %.1f,"
                     " stride %.2f, share %.3f\n",
-                    loads[k].second, (unsigned long long)lp.exec,
+                    loads[k].second, static_cast<unsigned long long>(lp.exec),
                     lp.missRatio(), lp.avgMlp(), lp.strideability(),
                     p.totalLlcMisses
                         ? double(lp.llcMisses) /
@@ -66,7 +66,7 @@ reportWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
     for (size_t k = 0; k < brs.size() && k < 3; ++k) {
         const auto &bp = p.branches.at(brs[k].second);
         std::printf("  branch @%u: exec %llu, mispred %.2f\n",
-                    brs[k].second, (unsigned long long)bp.exec,
+                    brs[k].second, static_cast<unsigned long long>(bp.exec),
                     bp.mispredictRatio());
     }
 
@@ -93,11 +93,11 @@ reportWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
     std::printf("  base : IPC %.3f, headStall %llu (load %llu),"
                 " mispred %llu, brStall %llu, icStall %llu\n",
                 sb.ipc(),
-                (unsigned long long)sb.robHeadStallCycles,
-                (unsigned long long)sb.robHeadLoadStallCycles,
-                (unsigned long long)sb.frontend.mispredicts(),
-                (unsigned long long)sb.frontend.branchStallCycles,
-                (unsigned long long)sb.frontend.icacheStallCycles);
+                static_cast<unsigned long long>(sb.robHeadStallCycles),
+                static_cast<unsigned long long>(sb.robHeadLoadStallCycles),
+                static_cast<unsigned long long>(sb.frontend.mispredicts()),
+                static_cast<unsigned long long>(sb.frontend.branchStallCycles),
+                static_cast<unsigned long long>(sb.frontend.icacheStallCycles));
     {
         // Build from the sorted rows so ties in wait sum break by
         // static id, not by unordered_map iteration order.
@@ -105,8 +105,8 @@ reportWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
         for (const auto &row : sb.sortedIssueWaits())
             waits.emplace_back(row[1], uint32_t(row[0]));
         std::stable_sort(waits.begin(), waits.end(),
-                         [](const auto &a, const auto &b) {
-                             return a.first > b.first;
+                         [](const auto &x, const auto &y) {
+                             return x.first > y.first;
                          });
         for (size_t k = 0; k < waits.size() && k < 5; ++k) {
             uint32_t sidx = waits[k].second;
@@ -120,7 +120,7 @@ reportWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
                     : 0;
             std::printf("  wait @%u: base sum %llu (avg %.1f) ->"
                         " crisp avg %.1f\n",
-                        sidx, (unsigned long long)wb.first, avg_b,
+                        sidx, static_cast<unsigned long long>(wb.first), avg_b,
                         avg_c);
         }
     }
@@ -144,9 +144,9 @@ reportWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
     std::printf("  crisp: IPC %.3f (%+.1f%%), headStall %llu,"
                 " prio-issued %llu of %llu\n\n",
                 sc.ipc(), (sc.ipc() / sb.ipc() - 1.0) * 100.0,
-                (unsigned long long)sc.robHeadStallCycles,
-                (unsigned long long)sc.issuedPrioritized,
-                (unsigned long long)sc.issued);
+                static_cast<unsigned long long>(sc.robHeadStallCycles),
+                static_cast<unsigned long long>(sc.issuedPrioritized),
+                static_cast<unsigned long long>(sc.issued));
 }
 
 } // namespace

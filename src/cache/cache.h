@@ -109,6 +109,11 @@ class Cache
     void reset();
 
   private:
+    // The invariant checker audits tag/set placement, per-set tag
+    // uniqueness, LRU stamp sanity and the MSHR occupancy bound
+    // without widening the public interface.
+    friend class InvariantChecker;
+
     struct Line
     {
         uint64_t tag = 0;

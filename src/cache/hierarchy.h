@@ -64,12 +64,16 @@ class Hierarchy
 
     /** @return the L1 instruction cache. */
     Cache &l1i() { return l1i_; }
+    const Cache &l1i() const { return l1i_; }
     /** @return the L1 data cache. */
     Cache &l1d() { return l1d_; }
+    const Cache &l1d() const { return l1d_; }
     /** @return the last-level cache. */
     Cache &llc() { return llc_; }
+    const Cache &llc() const { return llc_; }
     /** @return the DRAM controller. */
     DramController &dram() { return dram_; }
+    const DramController &dram() const { return dram_; }
 
     /** @return number of data prefetches issued to memory. */
     uint64_t prefetchesIssued() const { return prefetchesIssued_; }

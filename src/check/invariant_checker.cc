@@ -1,0 +1,795 @@
+#include "check/invariant_checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/cache.h"
+#include "cpu/core.h"
+#include "cpu/functional_units.h"
+#include "cpu/lsq.h"
+#include "cpu/reservation_station.h"
+#include "cpu/rob.h"
+#include "dram/controller.h"
+#include "telemetry/cpi_stack.h"
+
+namespace crisp
+{
+
+namespace
+{
+
+/**
+ * One formatted instruction row (pipe-tracer-style column layout) for
+ * violation snapshots.
+ */
+std::string
+instRow(const DynInst *inst)
+{
+    std::ostringstream os;
+    if (!inst)
+        return "(null)";
+    os << "seq=" << inst->seq << " cls=" << opClassName(inst->op->cls)
+       << " pc=0x" << std::hex << inst->op->pc << std::dec
+       << " slot=" << inst->rsSlot
+       << " pend=" << unsigned(inst->pendingProducers)
+       << " srcReady=" << inst->srcReadyCycle
+       << " issued=" << (inst->issued ? "y" : "n")
+       << " done=" << inst->doneCycle
+       << (inst->prioritized ? " [critical]" : "")
+       << (inst->forwarded ? " [fwd]" : "")
+       << (inst->inWindow ? "" : " [!inWindow]");
+    return os.str();
+}
+
+/** A window of ROB rows around @p focus (head-relative index). */
+std::string
+robSnapshot(const Rob &rob, size_t focus)
+{
+    std::ostringstream os;
+    const size_t radius = 4;
+    size_t lo = focus > radius ? focus - radius : 0;
+    size_t hi = std::min<size_t>(rob.occupancy(), focus + radius + 1);
+    os << "rob occupancy=" << rob.occupancy() << "/"
+       << rob.capacity() << " head=" << rob.headIndex()
+       << " tail=" << rob.tailIndex() << "\n";
+    for (size_t i = lo; i < hi; ++i) {
+        os << (i == focus ? "> " : "  ") << "head+" << i << ": "
+           << instRow(rob.ringAt(i)) << "\n";
+    }
+    return os.str();
+}
+
+/** One RS slot row. */
+std::string
+rsSnapshot(const ReservationStation &rs, unsigned slot)
+{
+    std::ostringstream os;
+    os << "rs occupancy=" << rs.occupancy() << "/" << rs.capacity()
+       << "\n> slot " << slot << ": " << instRow(rs.at(slot))
+       << " stamp=" << rs.age().stamp(slot) << "\n";
+    return os.str();
+}
+
+[[noreturn]] void
+fail(uint64_t cycle, const char *structure, std::string detail,
+     std::string snapshot = "")
+{
+    throw InvariantViolation(cycle, structure, std::move(detail),
+                             std::move(snapshot));
+}
+
+/** Iterates set bits of a SlotVector. */
+template <typename Fn>
+void
+forEachSlot(const SlotVector &v, Fn &&fn)
+{
+    for (size_t w = 0; w < v.wordCount(); ++w) {
+        for (uint64_t bits = v.word(w); bits; bits &= bits - 1) {
+            fn(unsigned(w * 64) +
+               unsigned(__builtin_ctzll(bits)));
+        }
+    }
+}
+
+} // namespace
+
+InvariantViolation::InvariantViolation(uint64_t cycle_arg,
+                                       std::string structure_arg,
+                                       std::string detail_arg,
+                                       std::string snapshot_arg)
+    : std::runtime_error(
+          "invariant violation in " + structure_arg + " at cycle " +
+          std::to_string(cycle_arg) + ": " + detail_arg +
+          (snapshot_arg.empty() ? "" : "\n" + snapshot_arg)),
+      cycle(cycle_arg), structure(std::move(structure_arg)),
+      detail(std::move(detail_arg)),
+      snapshot(std::move(snapshot_arg))
+{
+}
+
+InvariantChecker::InvariantChecker(uint64_t every)
+    : every_(every ? every : 1)
+{
+}
+
+void
+InvariantChecker::checkRob(const Rob &rob, uint64_t cycle)
+{
+    const size_t cap = rob.capacity();
+    const size_t occ = rob.occupancy();
+    if (occ > cap)
+        fail(cycle, "rob",
+             "occupancy " + std::to_string(occ) +
+                 " exceeds capacity " + std::to_string(cap));
+    if ((rob.headIndex() + occ) % cap != rob.tailIndex())
+        fail(cycle, "rob",
+             "head/tail/count inconsistent: head=" +
+                 std::to_string(rob.headIndex()) +
+                 " count=" + std::to_string(occ) +
+                 " tail=" + std::to_string(rob.tailIndex()));
+    uint64_t prev_seq = 0;
+    for (size_t i = 0; i < occ; ++i) {
+        const DynInst *inst = rob.ringAt(i);
+        if (!inst)
+            fail(cycle, "rob",
+                 "empty slot inside the window at head+" +
+                     std::to_string(i),
+                 robSnapshot(rob, i));
+        if (!inst->inWindow)
+            fail(cycle, "rob",
+                 "window entry at head+" + std::to_string(i) +
+                     " is not marked in-window",
+                 robSnapshot(rob, i));
+        if (i > 0 && inst->seq <= prev_seq)
+            fail(cycle, "rob",
+                 "age order violated at head+" + std::to_string(i) +
+                     ": seq " + std::to_string(inst->seq) +
+                     " follows seq " + std::to_string(prev_seq),
+                 robSnapshot(rob, i));
+        prev_seq = inst->seq;
+    }
+    for (size_t i = occ; i < cap; ++i) {
+        if (rob.ringAt(i))
+            fail(cycle, "rob",
+                 "slot outside the window at head+" +
+                     std::to_string(i) + " is occupied",
+                 robSnapshot(rob, std::min(i, occ)));
+    }
+}
+
+void
+InvariantChecker::checkReservationStation(
+    const ReservationStation &rs, uint64_t cycle)
+{
+    const unsigned cap = rs.capacity();
+    const auto &free_list = rs.freeList();
+    if (free_list.size() + rs.occupancy() != cap)
+        fail(cycle, "rs",
+             "free list (" + std::to_string(free_list.size()) +
+                 ") and occupied slots (" +
+                 std::to_string(rs.occupancy()) +
+                 ") do not partition capacity " +
+                 std::to_string(cap));
+    std::vector<bool> free_seen(cap, false);
+    for (int s : free_list) {
+        if (s < 0 || unsigned(s) >= cap)
+            fail(cycle, "rs",
+                 "free-list slot " + std::to_string(s) +
+                     " out of range");
+        if (free_seen[size_t(s)])
+            fail(cycle, "rs",
+                 "slot " + std::to_string(s) +
+                     " appears twice on the free list");
+        free_seen[size_t(s)] = true;
+        if (rs.at(unsigned(s)))
+            fail(cycle, "rs",
+                 "free-list slot " + std::to_string(s) +
+                     " is occupied",
+                 rsSnapshot(rs, unsigned(s)));
+        if (rs.occupied().test(unsigned(s)))
+            fail(cycle, "rs",
+                 "free-list slot " + std::to_string(s) +
+                     " is set in the occupied mask");
+    }
+    for (unsigned s = 0; s < cap; ++s) {
+        const DynInst *inst = rs.at(s);
+        if (bool(inst) != rs.occupied().test(s))
+            fail(cycle, "rs",
+                 "occupied mask disagrees with slot " +
+                     std::to_string(s),
+                 rsSnapshot(rs, s));
+        if (!inst) {
+            if (!free_seen[s])
+                fail(cycle, "rs",
+                     "empty slot " + std::to_string(s) +
+                         " missing from the free list");
+            continue;
+        }
+        if (free_seen[s])
+            fail(cycle, "rs",
+                 "occupied slot " + std::to_string(s) +
+                     " is also on the free list",
+                 rsSnapshot(rs, s));
+        if (inst->rsSlot != int16_t(s))
+            fail(cycle, "rs",
+                 "back-pointer of slot " + std::to_string(s) +
+                     " says " + std::to_string(inst->rsSlot),
+                 rsSnapshot(rs, s));
+        if (!inst->inWindow)
+            fail(cycle, "rs",
+                 "occupant of slot " + std::to_string(s) +
+                     " is not in-window",
+                 rsSnapshot(rs, s));
+        if (inst->issued)
+            fail(cycle, "rs",
+                 "occupant of slot " + std::to_string(s) +
+                     " already issued (slot should be released)",
+                 rsSnapshot(rs, s));
+    }
+}
+
+void
+InvariantChecker::checkScoreboard(const ReservationStation &rs,
+                                  const Rob &rob, uint64_t cycle)
+{
+    // Wakeup edges live on un-issued producers; every dispatched,
+    // un-retired instruction is in the ROB, so the ROB walk sees all
+    // of them.
+    std::unordered_set<const DynInst *> in_rob;
+    in_rob.reserve(rob.occupancy() * 2);
+    for (size_t i = 0; i < rob.occupancy(); ++i)
+        in_rob.insert(rob.ringAt(i));
+
+    std::unordered_map<const DynInst *, unsigned> incoming;
+    for (size_t i = 0; i < rob.occupancy(); ++i) {
+        const DynInst *p = rob.ringAt(i);
+        if (p->issued) {
+            if (!p->consumers.empty())
+                fail(cycle, "scoreboard",
+                     "issued producer still holds " +
+                         std::to_string(p->consumers.size()) +
+                         " wakeup edges",
+                     robSnapshot(rob, i));
+            continue;
+        }
+        for (const DynInst *c : p->consumers) {
+            if (!c || !c->inWindow || c->issued)
+                fail(cycle, "scoreboard",
+                     "wakeup edge targets a dead or issued "
+                     "consumer",
+                     robSnapshot(rob, i) + "  edge -> " +
+                         instRow(c) + "\n");
+            if (c->pendingProducers == 0)
+                fail(cycle, "scoreboard",
+                     "wakeup edge targets a consumer with zero "
+                     "pending producers",
+                     robSnapshot(rob, i) + "  edge -> " +
+                         instRow(c) + "\n");
+            ++incoming[c];
+        }
+    }
+
+    forEachSlot(rs.occupied(), [&](unsigned s) {
+        const DynInst *inst = rs.at(s);
+        if (!in_rob.count(inst))
+            fail(cycle, "scoreboard",
+                 "RS occupant of slot " + std::to_string(s) +
+                     " is not in the ROB",
+                 rsSnapshot(rs, s));
+        auto it = incoming.find(inst);
+        unsigned edges = it == incoming.end() ? 0 : it->second;
+        if (edges != inst->pendingProducers)
+            fail(cycle, "scoreboard",
+                 "slot " + std::to_string(s) + " waits on " +
+                     std::to_string(
+                         unsigned(inst->pendingProducers)) +
+                     " producers but " + std::to_string(edges) +
+                     " wakeup edges point at it",
+                 rsSnapshot(rs, s));
+    });
+}
+
+void
+InvariantChecker::checkReadyPools(
+    const ReservationStation &rs, const SlotVector &cand_alu,
+    const SlotVector &cand_load, const SlotVector &cand_store,
+    const SlotVector &prio_alu, const SlotVector &prio_load,
+    const SlotVector &prio_store, const SlotVector &heap_slots,
+    bool event_mode, uint64_t cycle)
+{
+    struct Pool
+    {
+        const SlotVector *cand;
+        const SlotVector *prio;
+        FuPool kind;
+        const char *name;
+    };
+    const Pool pools[3] = {
+        {&cand_alu, &prio_alu, FuPool::Alu, "alu"},
+        {&cand_load, &prio_load, FuPool::Load, "load"},
+        {&cand_store, &prio_store, FuPool::Store, "store"},
+    };
+
+    SlotVector pooled(rs.capacity());
+    for (const Pool &p : pools) {
+        forEachSlot(*p.cand, [&](unsigned s) {
+            const DynInst *inst = rs.at(s);
+            if (!inst)
+                fail(cycle, "ready-pools",
+                     std::string(p.name) + " candidate slot " +
+                         std::to_string(s) + " is unoccupied");
+            if (inst->issued || inst->pendingProducers > 0 ||
+                inst->srcReadyCycle > cycle)
+                fail(cycle, "ready-pools",
+                     std::string(p.name) + " candidate slot " +
+                         std::to_string(s) + " is not ready",
+                     rsSnapshot(rs, s));
+            if (poolOf(inst->op->cls) != p.kind)
+                fail(cycle, "ready-pools",
+                     "slot " + std::to_string(s) + " (" +
+                         opClassName(inst->op->cls) +
+                         ") is in the " + p.name + " pool",
+                     rsSnapshot(rs, s));
+            if (inst->prioritized && !p.prio->test(s))
+                fail(cycle, "ready-pools",
+                     "prioritized candidate in slot " +
+                         std::to_string(s) +
+                         " missing from the priority pool",
+                     rsSnapshot(rs, s));
+            if (heap_slots.test(s))
+                fail(cycle, "ready-pools",
+                     "slot " + std::to_string(s) +
+                         " is both a candidate and parked on the "
+                         "ready heap",
+                     rsSnapshot(rs, s));
+            pooled.set(s);
+        });
+        forEachSlot(*p.prio, [&](unsigned s) {
+            if (!p.cand->test(s))
+                fail(cycle, "ready-pools",
+                     std::string(p.name) + " priority slot " +
+                         std::to_string(s) +
+                         " is not a candidate");
+            const DynInst *inst = rs.at(s);
+            if (inst && !inst->prioritized)
+                fail(cycle, "ready-pools",
+                     "slot " + std::to_string(s) +
+                         " is in the priority pool but not "
+                         "prioritized",
+                     rsSnapshot(rs, s));
+        });
+    }
+
+    forEachSlot(heap_slots, [&](unsigned s) {
+        const DynInst *inst = rs.at(s);
+        if (!inst)
+            fail(cycle, "ready-pools",
+                 "ready-heap entry names unoccupied slot " +
+                     std::to_string(s));
+        if (inst->issued || inst->pendingProducers > 0)
+            fail(cycle, "ready-pools",
+                 "ready-heap entry in slot " + std::to_string(s) +
+                     " is not dataflow-free",
+                 rsSnapshot(rs, s));
+    });
+
+    if (!event_mode)
+        return;
+    // Completeness (event engine only): between ticks every
+    // dataflow-free occupant is a candidate or parked on the heap —
+    // the incremental pools never lose a ready instruction.
+    forEachSlot(rs.occupied(), [&](unsigned s) {
+        const DynInst *inst = rs.at(s);
+        if (inst->pendingProducers > 0)
+            return;
+        if (!pooled.test(s) && !heap_slots.test(s))
+            fail(cycle, "ready-pools",
+                 "dataflow-free slot " + std::to_string(s) +
+                     " is neither a candidate nor on the ready "
+                     "heap",
+                 rsSnapshot(rs, s));
+    });
+}
+
+void
+InvariantChecker::checkAgeMatrix(const ReservationStation &rs,
+                                 uint64_t cycle)
+{
+    // (stamp, seq, slot) of every occupant; stamp order must equal
+    // dispatch order. Stamps encode a strict total order, which
+    // yields antisymmetry and transitivity of the modelled bit
+    // matrix by construction — what remains checkable is that the
+    // order agrees with the instructions' true ages.
+    struct Row
+    {
+        uint64_t stamp;
+        uint64_t seq;
+        unsigned slot;
+    };
+    std::vector<Row> rows;
+    rows.reserve(rs.occupancy());
+    forEachSlot(rs.occupied(), [&](unsigned s) {
+        const DynInst *inst = rs.at(s);
+        uint64_t stamp = rs.age().stamp(s);
+        if (stamp == 0)
+            fail(cycle, "age-matrix",
+                 "occupied slot " + std::to_string(s) +
+                     " carries a never-allocated stamp",
+                 rsSnapshot(rs, s));
+        rows.push_back({stamp, inst->seq, s});
+    });
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &x, const Row &y) {
+                  return x.stamp < y.stamp;
+              });
+    for (size_t i = 1; i < rows.size(); ++i) {
+        if (rows[i].stamp == rows[i - 1].stamp)
+            fail(cycle, "age-matrix",
+                 "slots " + std::to_string(rows[i - 1].slot) +
+                     " and " + std::to_string(rows[i].slot) +
+                     " share allocation stamp " +
+                     std::to_string(rows[i].stamp));
+        if (rows[i].seq <= rows[i - 1].seq)
+            fail(cycle, "age-matrix",
+                 "stamp order disagrees with dispatch order: slot " +
+                     std::to_string(rows[i].slot) + " (seq " +
+                     std::to_string(rows[i].seq) +
+                     ") stamped younger than slot " +
+                     std::to_string(rows[i - 1].slot) + " (seq " +
+                     std::to_string(rows[i - 1].seq) + ")",
+                 rsSnapshot(rs, rows[i].slot) +
+                     rsSnapshot(rs, rows[i - 1].slot));
+    }
+    if (!rows.empty()) {
+        int oldest = rs.age().selectOldest(rs.occupied());
+        if (oldest < 0 || unsigned(oldest) != rows.front().slot)
+            fail(cycle, "age-matrix",
+                 "selectOldest over the occupied set picked slot " +
+                     std::to_string(oldest) + ", expected " +
+                     std::to_string(rows.front().slot));
+    }
+}
+
+void
+InvariantChecker::checkRenameMap(
+    const std::array<DynInst *, kNumArchRegs> &last_writer,
+    uint64_t cycle)
+{
+    for (int r = 0; r < kNumArchRegs; ++r) {
+        const DynInst *w = last_writer[size_t(r)];
+        if (!w)
+            continue;
+        if (!w->inWindow)
+            fail(cycle, "rename",
+                 "last writer of r" + std::to_string(r) +
+                     " left the window without clearing the entry",
+                 "> r" + std::to_string(r) + " -> " + instRow(w) +
+                     "\n");
+        if (w->op->dst != RegId(r))
+            fail(cycle, "rename",
+                 "last writer of r" + std::to_string(r) +
+                     " writes r" + std::to_string(w->op->dst),
+                 "> r" + std::to_string(r) + " -> " + instRow(w) +
+                     "\n");
+    }
+}
+
+void
+InvariantChecker::checkLsq(const LoadStoreQueues &lsq,
+                           const Rob &rob, uint64_t cycle)
+{
+    if (lsq.loads() > lsq.loadQueueCapacity())
+        fail(cycle, "lsq",
+             "load queue occupancy " + std::to_string(lsq.loads()) +
+                 " exceeds capacity " +
+                 std::to_string(lsq.loadQueueCapacity()));
+    if (lsq.stores() > lsq.storeQueueCapacity())
+        fail(cycle, "lsq",
+             "store queue occupancy " +
+                 std::to_string(lsq.stores()) + " exceeds capacity " +
+                 std::to_string(lsq.storeQueueCapacity()));
+
+    // Queue entries are claimed at dispatch and released at retire,
+    // so occupancy must equal the in-window load/store population.
+    unsigned loads = 0, stores = 0;
+    std::unordered_map<uint64_t, const DynInst *> last_store;
+    for (size_t i = 0; i < rob.occupancy(); ++i) {
+        const DynInst *inst = rob.ringAt(i);
+        const MicroOp &op = *inst->op;
+        if (op.isLoad()) {
+            ++loads;
+            auto it = last_store.find(op.effAddr);
+            if (it != last_store.end()) {
+                // In-order retirement makes the walk's youngest
+                // older store exactly the load's dispatch-time
+                // forwarding source (DESIGN.md §11).
+                const DynInst *src = it->second;
+                if (!inst->forwarded)
+                    fail(cycle, "lsq",
+                         "load at head+" + std::to_string(i) +
+                             " aliases an older in-flight store "
+                             "but is not marked forwarded",
+                         robSnapshot(rob, i) + "  store: " +
+                             instRow(src) + "\n");
+                if (inst->issued && !src->issued)
+                    fail(cycle, "lsq",
+                         "load at head+" + std::to_string(i) +
+                             " issued past an older store with an "
+                             "unresolved address/data",
+                         robSnapshot(rob, i) + "  store: " +
+                             instRow(src) + "\n");
+                if (inst->issued &&
+                    inst->srcReadyCycle < src->doneCycle)
+                    fail(cycle, "lsq",
+                         "forwarded load at head+" +
+                             std::to_string(i) +
+                             " issued before its source store's "
+                             "data was available",
+                         robSnapshot(rob, i) + "  store: " +
+                             instRow(src) + "\n");
+            }
+        } else if (op.isStore()) {
+            ++stores;
+            last_store[op.effAddr] = inst;
+        }
+    }
+    if (loads != lsq.loads())
+        fail(cycle, "lsq",
+             "load queue occupancy " + std::to_string(lsq.loads()) +
+                 " but " + std::to_string(loads) +
+                 " loads are in the window");
+    if (stores != lsq.stores())
+        fail(cycle, "lsq",
+             "store queue occupancy " +
+                 std::to_string(lsq.stores()) + " but " +
+                 std::to_string(stores) +
+                 " stores are in the window");
+
+    if (lsq.storeMap().size() > lsq.stores())
+        fail(cycle, "lsq",
+             "forwarding map holds " +
+                 std::to_string(lsq.storeMap().size()) +
+                 " entries for " + std::to_string(lsq.stores()) +
+                 " in-flight stores");
+    for (const auto &[addr, store] : lsq.storeMap()) {
+        if (!store || !store->inWindow || !store->op->isStore() ||
+            store->op->effAddr != addr)
+            fail(cycle, "lsq",
+                 "forwarding map entry for address 0x" +
+                     [addr] {
+                         std::ostringstream os;
+                         os << std::hex << addr;
+                         return os.str();
+                     }() +
+                     " does not name a live store to that word",
+                 "> " + instRow(store) + "\n");
+    }
+}
+
+void
+InvariantChecker::checkCache(const Cache &cache, uint64_t cycle)
+{
+    const std::string name = "cache." + cache.name_;
+    const unsigned ways = cache.cfg_.ways;
+    for (unsigned set = 0; set < cache.sets_; ++set) {
+        const Cache::Line *lines =
+            &cache.lines_[size_t(set) * ways];
+        for (unsigned w = 0; w < ways; ++w) {
+            const Cache::Line &line = lines[w];
+            if (!line.valid)
+                continue;
+            if (line.tag % cache.sets_ != set)
+                fail(cycle, name.c_str(),
+                     "line in set " + std::to_string(set) +
+                         " way " + std::to_string(w) +
+                         " has a tag mapping to set " +
+                         std::to_string(line.tag % cache.sets_));
+            if (line.lru > cache.lruClock_)
+                fail(cycle, name.c_str(),
+                     "LRU stamp ahead of the LRU clock in set " +
+                         std::to_string(set));
+            for (unsigned w2 = w + 1; w2 < ways; ++w2) {
+                if (!lines[w2].valid)
+                    continue;
+                if (lines[w2].tag == line.tag)
+                    fail(cycle, name.c_str(),
+                         "duplicate entry for block 0x" +
+                             [&] {
+                                 std::ostringstream os;
+                                 os << std::hex
+                                    << (line.tag
+                                        << cache.lineShift_);
+                                 return os.str();
+                             }() +
+                             " in set " + std::to_string(set));
+                if (lines[w2].lru == line.lru)
+                    fail(cycle, name.c_str(),
+                         "duplicate LRU stamp in set " +
+                             std::to_string(set));
+            }
+        }
+    }
+    if (cache.mshrReady_.size() > cache.cfg_.mshrs)
+        fail(cycle, name.c_str(),
+             "MSHR occupancy " +
+                 std::to_string(cache.mshrReady_.size()) +
+                 " exceeds the configured " +
+                 std::to_string(cache.cfg_.mshrs));
+    if (cache.stats_.misses > cache.stats_.accesses)
+        fail(cycle, name.c_str(), "more misses than accesses");
+}
+
+void
+InvariantChecker::checkDram(const DramController &dram,
+                            uint64_t cycle)
+{
+    if (dram.bankBusyUntil_.size() != dram.timing_.numBanks ||
+        dram.openRow_.size() != dram.timing_.numBanks)
+        fail(cycle, "dram", "bank state arrays mis-sized");
+    for (unsigned b = 0; b < dram.timing_.numBanks; ++b) {
+        if (dram.bankBusyUntil_[b] > dram.busBusyUntil_)
+            fail(cycle, "dram",
+                 "bank " + std::to_string(b) +
+                     " reservation outlives the bus reservation (" +
+                     std::to_string(dram.bankBusyUntil_[b]) + " > " +
+                     std::to_string(dram.busBusyUntil_) + ")");
+        if (dram.openRow_[b] < -1)
+            fail(cycle, "dram",
+                 "bank " + std::to_string(b) +
+                     " open row is nonsensical");
+        if (dram.openRow_[b] >= 0 && dram.bankBusyUntil_[b] == 0)
+            fail(cycle, "dram",
+                 "bank " + std::to_string(b) +
+                     " has an open row but never served a command");
+    }
+    const DramStats &s = dram.stats_;
+    if (s.rowHits + s.rowConflicts + s.rowClosed != s.reads)
+        fail(cycle, "dram",
+             "row-state counters (" + std::to_string(s.rowHits) +
+                 "+" + std::to_string(s.rowConflicts) + "+" +
+                 std::to_string(s.rowClosed) +
+                 ") do not partition the " +
+                 std::to_string(s.reads) + " reads");
+    // Every access pays at least the row-hit path
+    // (tCtrl + tCL + tBurst); tRCD/tRP sequencing only adds.
+    if (s.totalLatency <
+        s.reads * uint64_t(dram.timing_.rowHitLatency()))
+        fail(cycle, "dram",
+             "aggregate latency below the row-hit floor");
+}
+
+void
+InvariantChecker::checkDramMonotonic(const DramController &dram,
+                                     uint64_t cycle)
+{
+    if (prevBankBusy_.size() == dram.bankBusyUntil_.size()) {
+        for (size_t b = 0; b < prevBankBusy_.size(); ++b) {
+            if (dram.bankBusyUntil_[b] < prevBankBusy_[b])
+                fail(cycle, "dram",
+                     "bank " + std::to_string(b) +
+                         " reservation moved backwards (" +
+                         std::to_string(prevBankBusy_[b]) + " -> " +
+                         std::to_string(dram.bankBusyUntil_[b]) +
+                         "): a command was scheduled into the "
+                         "past");
+        }
+        if (dram.busBusyUntil_ < prevBusBusy_)
+            fail(cycle, "dram",
+                 "bus reservation moved backwards (" +
+                     std::to_string(prevBusBusy_) + " -> " +
+                     std::to_string(dram.busBusyUntil_) + ")");
+        if (dram.stats_.reads < prevReads_)
+            fail(cycle, "dram", "read counter moved backwards");
+    }
+    prevBankBusy_ = dram.bankBusyUntil_;
+    prevBusBusy_ = dram.busBusyUntil_;
+    prevReads_ = dram.stats_.reads;
+}
+
+void
+InvariantChecker::checkCpiStack(const CpiStack &cpi,
+                                uint64_t elapsed_cycles,
+                                uint64_t cycle)
+{
+    if (cpi.total() != elapsed_cycles)
+        fail(cycle, "cpi",
+             "bucket sum " + std::to_string(cpi.total()) +
+                 " != elapsed cycles " +
+                 std::to_string(elapsed_cycles));
+}
+
+void
+InvariantChecker::onTick(const Core &core)
+{
+    ++ticks_;
+    if (ticks_ % every_ == 0)
+        checkAll(core);
+}
+
+void
+InvariantChecker::checkAll(const Core &core)
+{
+    ++checksRun_;
+    const uint64_t cycle = core.cycle_;
+
+    checkRob(core.rob_, cycle);
+    checkReservationStation(core.rs_, cycle);
+    checkScoreboard(core.rs_, core.rob_, cycle);
+
+    // Drain a copy of the time-gated ready heap into a slot mask;
+    // entries must be unique and strictly in the future (promotion
+    // pops everything due by the current cycle).
+    SlotVector parked(core.cfg_.rsSize);
+    {
+        auto heap = core.readyHeap_;
+        while (!heap.empty()) {
+            auto [ready, slot] = heap.top();
+            heap.pop();
+            if (slot >= core.cfg_.rsSize)
+                fail(cycle, "ready-pools",
+                     "ready-heap slot " + std::to_string(slot) +
+                         " out of range");
+            if (parked.test(slot))
+                fail(cycle, "ready-pools",
+                     "slot " + std::to_string(slot) +
+                         " parked twice on the ready heap");
+            if (ready <= cycle)
+                fail(cycle, "ready-pools",
+                     "ready-heap entry for slot " +
+                         std::to_string(slot) + " due at cycle " +
+                         std::to_string(ready) +
+                         " was never promoted");
+            parked.set(slot);
+        }
+    }
+    checkReadyPools(core.rs_, core.candAlu_, core.candLoad_,
+                    core.candStore_, core.prioAlu_, core.prioLoad_,
+                    core.prioStore_, parked, core.eventMode_, cycle);
+
+    checkAgeMatrix(core.rs_, cycle);
+    checkRenameMap(core.lastWriter_, cycle);
+    checkLsq(core.lsq_, core.rob_, cycle);
+
+    // Fetch-to-dispatch pipe: FIFO readiness order and bounded
+    // occupancy; entries are pre-dispatch so they hold no RS slot.
+    {
+        uint64_t prev_ready = 0;
+        uint64_t prev_seq = 0;
+        bool first = true;
+        if (core.fetchPipe_.size() > core.fetchPipeCap_)
+            fail(cycle, "pipe",
+                 "fetch pipe occupancy " +
+                     std::to_string(core.fetchPipe_.size()) +
+                     " exceeds capacity " +
+                     std::to_string(core.fetchPipeCap_));
+        for (const auto &entry : core.fetchPipe_) {
+            const DynInst *inst = entry.inst;
+            if (!inst || !inst->inWindow || inst->issued ||
+                inst->rsSlot != -1)
+                fail(cycle, "pipe",
+                     "fetch-pipe entry is not a pristine "
+                     "pre-dispatch instruction",
+                     "> " + instRow(inst) + "\n");
+            if (!first && (entry.readyCycle < prev_ready ||
+                           inst->seq <= prev_seq))
+                fail(cycle, "pipe",
+                     "fetch pipe is not FIFO-ordered",
+                     "> " + instRow(inst) + "\n");
+            prev_ready = entry.readyCycle;
+            prev_seq = inst->seq;
+            first = false;
+        }
+    }
+
+    checkCache(core.mem_.l1i(), cycle);
+    checkCache(core.mem_.l1d(), cycle);
+    checkCache(core.mem_.llc(), cycle);
+    checkDram(core.mem_.dram(), cycle);
+    checkDramMonotonic(core.mem_.dram(), cycle);
+
+    checkCpiStack(core.stats_.cpi, cycle, cycle);
+}
+
+} // namespace crisp

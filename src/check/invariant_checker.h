@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Microarchitectural invariant checking (DESIGN.md §11).
+ *
+ * The tick engines were validated by output equality (bit-identical
+ * CoreStats, tests/tick_model_test.cc); this layer audits the
+ * *in-flight* pipeline state itself, turning "the numbers match" into
+ * "the model is self-consistent at every checkpoint". A checked cycle
+ * audits:
+ *
+ *  - ROB: head/tail/count ring consistency; entries strictly
+ *    age-ordered (fetch sequence increases from head to tail) and all
+ *    in-window; slots beyond the window empty.
+ *  - Reservation station: free list ∪ occupied slots form an exact
+ *    bijection over the capacity (the RAND-allocation analogue of a
+ *    rename-map/free-list bijection over physical registers); every
+ *    occupant's rsSlot back-pointer matches its slot.
+ *  - Scoreboard: each waiting entry's pendingProducers equals the
+ *    number of wakeup edges held by un-issued in-window producers,
+ *    and every wakeup edge targets a live, un-issued consumer.
+ *  - Ready pools: a slot in an issue candidate pool is occupied,
+ *    un-issued, dataflow-free, time-ready and in the pool matching
+ *    its op class; priority bits are a subset of candidate bits and
+ *    agree with the instruction's prioritized flag. Under the event
+ *    engine the converse also holds: every ready entry is in its
+ *    pool or parked on the time-gated heap (never both).
+ *  - Age matrix: allocation stamps of occupied slots are unique and
+ *    agree with dispatch (= ROB) order, which makes the hardware
+ *    matrix order antisymmetric and transitive by construction;
+ *    selectOldest over the occupied set returns the oldest occupant.
+ *  - Rename table: every live last-writer entry names an in-window
+ *    instruction whose destination is that architectural register.
+ *  - LSQ: queue occupancies equal the in-window load/store counts and
+ *    respect capacity; the forwarding map names in-window stores at
+ *    their own addresses; no load has issued past an older in-window
+ *    store to the same word without capturing its forwarded data.
+ *  - Caches: every valid line sits in the set its tag maps to; tags
+ *    are unique per set (one entry per block, demand and in-flight
+ *    alike); LRU stamps are unique per set and bounded by the LRU
+ *    clock; MSHR occupancy respects the configured bound.
+ *  - DRAM: per-bank and bus reservations only move forward in time —
+ *    the resolved-time image of DDR4 command spacing (tRCD/tRP/tCL
+ *    sequencing is folded into each access's completion cycle, so
+ *    "no command is ever scheduled into the past" is the checkable
+ *    form) — banks never outlive the bus reservation, and the
+ *    row-state statistics partition the read count.
+ *  - CPI stack: bucket sums equal elapsed cycles at any checkpoint.
+ *
+ * Violations are raised as structured InvariantViolation exceptions
+ * carrying the cycle, the offending structure and a formatted
+ * snapshot of the state around the failure (pipe-tracer-style row
+ * dumps), so a broken invariant is diagnosable from the exception
+ * alone.
+ *
+ * Enable with `crisp_sim --check[=N]` (audit every N checked ticks),
+ * SimConfig::checkInvariants, or configure a checked build with
+ * -DCRISP_CHECKED=ON to default-enable it everywhere.
+ */
+
+#ifndef CRISP_CHECK_INVARIANT_CHECKER_H
+#define CRISP_CHECK_INVARIANT_CHECKER_H
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cpu/age_matrix.h"
+#include "isa/micro_op.h"
+
+namespace crisp
+{
+
+class Cache;
+class Core;
+class DramController;
+class LoadStoreQueues;
+class ReservationStation;
+class Rob;
+struct CpiStack;
+struct DynInst;
+
+/**
+ * Thrown when a microarchitectural invariant does not hold. Carries
+ * the simulation cycle, the canonical name of the violated structure
+ * ("rob", "rs", "scoreboard", "ready-pools", "age-matrix", "rename",
+ * "lsq", "cache.<name>", "dram", "cpi", "pipe") and a formatted
+ * snapshot of the offending state.
+ */
+class InvariantViolation : public std::runtime_error
+{
+  public:
+    InvariantViolation(uint64_t cycle, std::string structure,
+                       std::string detail,
+                       std::string snapshot = "");
+
+    uint64_t cycle;        ///< cycle at which the audit ran
+    std::string structure; ///< canonical structure name
+    std::string detail;    ///< what specifically failed
+    std::string snapshot;  ///< dump of the state around the failure
+};
+
+/**
+ * The auditor. One instance accompanies one Core run (it keeps
+ * cross-checkpoint state, e.g. the previous DRAM reservation
+ * snapshot); the per-structure checks are stateless and public so
+ * mutation tests can corrupt a structure and aim the matching check
+ * at it directly.
+ */
+class InvariantChecker
+{
+  public:
+    /** @param every audit every N checked ticks (>= 1). */
+    explicit InvariantChecker(uint64_t every = 1);
+
+    /** Throttled entry: called by Core once per executed tick. */
+    void onTick(const Core &core);
+
+    /** Runs the full audit immediately (also used at end of run). */
+    void checkAll(const Core &core);
+
+    /** @return number of full audits performed. */
+    uint64_t checksRun() const { return checksRun_; }
+
+    /** @return the configured audit period in ticks. */
+    uint64_t every() const { return every_; }
+
+    // ---- Structure-level audits (throw InvariantViolation) ----
+
+    /** ROB ring consistency + strict age order. */
+    static void checkRob(const Rob &rob, uint64_t cycle);
+
+    /** RS free-list/occupied bijection + back-pointers. */
+    static void checkReservationStation(const ReservationStation &rs,
+                                        uint64_t cycle);
+
+    /** Wakeup-edge / pendingProducers scoreboard consistency. */
+    static void checkScoreboard(const ReservationStation &rs,
+                                const Rob &rob, uint64_t cycle);
+
+    /**
+     * Issue candidate/priority pool consistency against the RS and
+     * scoreboard state. @p heap_slots marks slots parked on the
+     * event engine's time-gated ready heap; @p event_mode enables
+     * the completeness direction (ready => pooled or parked), which
+     * only the incremental engine maintains between ticks.
+     */
+    static void checkReadyPools(
+        const ReservationStation &rs, const SlotVector &cand_alu,
+        const SlotVector &cand_load, const SlotVector &cand_store,
+        const SlotVector &prio_alu, const SlotVector &prio_load,
+        const SlotVector &prio_store, const SlotVector &heap_slots,
+        bool event_mode, uint64_t cycle);
+
+    /** Age-matrix stamp order agrees with dispatch order. */
+    static void checkAgeMatrix(const ReservationStation &rs,
+                               uint64_t cycle);
+
+    /** Rename table entries name in-window writers of their reg. */
+    static void checkRenameMap(
+        const std::array<DynInst *, kNumArchRegs> &last_writer,
+        uint64_t cycle);
+
+    /** LSQ occupancy, forwarding map and load/store age order. */
+    static void checkLsq(const LoadStoreQueues &lsq, const Rob &rob,
+                         uint64_t cycle);
+
+    /** Per-set tag/LRU uniqueness, placement, MSHR bound. */
+    static void checkCache(const Cache &cache, uint64_t cycle);
+
+    /** Bank/bus/row-state consistency and stats partition. */
+    static void checkDram(const DramController &dram, uint64_t cycle);
+
+    /** Bucket sum equals elapsed cycles. */
+    static void checkCpiStack(const CpiStack &cpi,
+                              uint64_t elapsed_cycles,
+                              uint64_t cycle);
+
+  private:
+    /** Bank/bus reservations must never move backwards between
+     *  checkpoints (the spacing guarantee of the resolved-time DRAM
+     *  model). */
+    void checkDramMonotonic(const DramController &dram,
+                            uint64_t cycle);
+
+    uint64_t every_;
+    uint64_t ticks_ = 0;
+    uint64_t checksRun_ = 0;
+
+    // Previous-checkpoint DRAM snapshot.
+    std::vector<uint64_t> prevBankBusy_;
+    uint64_t prevBusBusy_ = 0;
+    uint64_t prevReads_ = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_CHECK_INVARIANT_CHECKER_H

@@ -134,6 +134,15 @@ class AgeMatrix
     /** @return IQ capacity. */
     unsigned slots() const { return slots_; }
 
+    /**
+     * @return the allocation stamp of @p slot (larger = younger;
+     *         0 = never allocated). Exposed for the invariant
+     *         checker (src/check), which cross-checks the stamp
+     *         order of occupied slots against the dispatch (= ROB)
+     *         order of their instructions.
+     */
+    uint64_t stamp(unsigned slot) const { return stamp_[slot]; }
+
   private:
     unsigned slots_;
     /** Allocation order; larger = younger. 0 = never allocated. */

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "check/invariant_checker.h"
 #include "telemetry/pipe_tracer.h"
 #include "telemetry/stat_registry.h"
 
@@ -55,8 +56,12 @@ Core::Core(const Trace &trace, const SimConfig &cfg)
 {
     if (cfg.enableIbda)
         ibda_ = std::make_unique<Ibda>(cfg);
+    if (cfg.checkInvariants)
+        checker_ = std::make_unique<InvariantChecker>(cfg.checkEvery);
     ring_.resize(cfg.robSize + fetchPipeCap_ + 2 * cfg.width + 8);
 }
+
+Core::~Core() = default;
 
 DynInst *
 Core::allocInst(const FetchedOp &fo)
@@ -559,6 +564,13 @@ Core::run(uint64_t max_cycles, bool record_timeline)
         work = dispatchStage() || work;
         work = fetchStage() || work;
 
+        // Audit after the stages and before any idle-span jump, so a
+        // checkpoint always sees a settled tick boundary. Throttled
+        // by executed ticks, not cycle values: the event engine skips
+        // cycles, and ticks are where state actually changes.
+        if (checker_)
+            checker_->onTick(*this);
+
         if (stats_.retired != last_retired) {
             last_retired = stats_.retired;
             last_progress_cycle = cycle_;
@@ -584,6 +596,9 @@ Core::run(uint64_t max_cycles, bool record_timeline)
             }
         }
     }
+
+    if (checker_)
+        checker_->checkAll(*this);
 
     stats_.cycles = cycle_;
     assert(stats_.cpi.total() == stats_.cycles);

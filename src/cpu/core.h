@@ -55,6 +55,7 @@
 namespace crisp
 {
 
+class InvariantChecker;
 class PipeTracer;
 class StatRegistry;
 
@@ -73,10 +74,10 @@ class SimDeadlockError : public std::runtime_error
                      size_t trace_size, std::string context = "");
 
     /** Adds/replaces the workload/config context, rebuilding what(). */
-    SimDeadlockError withContext(std::string context) const
+    SimDeadlockError withContext(std::string run_context) const
     {
         return SimDeadlockError(cycle, retired, traceSize,
-                                std::move(context));
+                                std::move(run_context));
     }
 
     uint64_t cycle;      ///< cycle at which the deadlock was detected
@@ -179,6 +180,8 @@ class Core
      */
     Core(const Trace &trace, const SimConfig &cfg);
 
+    ~Core(); // out of line: checker_ is unique_ptr to fwd-declared
+
     /**
      * Runs to completion (or @p max_cycles).
      * @param record_timeline record per-cycle retire counts
@@ -198,6 +201,12 @@ class Core
     void setTracer(PipeTracer *tracer) { tracer_ = tracer; }
 
   private:
+    // The invariant checker (src/check) audits the private pipeline
+    // state — ROB/RS/LSQ, the incremental ready sets and heap, the
+    // rename table and the memory system — at checkpoints without
+    // widening the public interface.
+    friend class InvariantChecker;
+
     const Trace &trace_;
     SimConfig cfg_;
     LatencyTable lat_;
@@ -233,6 +242,7 @@ class Core
     bool recordTimeline_ = false;
     bool eventMode_ = false;
     PipeTracer *tracer_ = nullptr;
+    std::unique_ptr<InvariantChecker> checker_;
 
     // Issue candidate sets. The cycle engine rebuilds them from an
     // RS rescan every tick; the event engine maintains them

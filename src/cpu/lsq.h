@@ -68,6 +68,19 @@ class LoadStoreQueues
             storeMap_.erase(it);
     }
 
+    unsigned loadQueueCapacity() const { return lqSize_; }
+    unsigned storeQueueCapacity() const { return sqSize_; }
+
+    /**
+     * @return the forwarding map, for the invariant checker
+     *         (src/check): every entry must name an in-window store
+     *         whose effective address is the key.
+     */
+    const std::unordered_map<uint64_t, DynInst *> &storeMap() const
+    {
+        return storeMap_;
+    }
+
   private:
     unsigned lqSize_;
     unsigned sqSize_;

@@ -68,6 +68,13 @@ class ReservationStation
      */
     const SlotVector &occupied() const { return occupied_; }
 
+    /**
+     * @return the free list, for the invariant checker (src/check):
+     *         free list ∪ occupied slots must form an exact
+     *         bijection over the station's capacity.
+     */
+    const std::vector<int> &freeList() const { return freeList_; }
+
   private:
     std::vector<DynInst *> slots_;
     std::vector<int> freeList_;

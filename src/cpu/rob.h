@@ -50,6 +50,24 @@ class Rob
         --count_;
     }
 
+    // Raw ring geometry, exposed for the invariant checker
+    // (src/check): it audits head/tail/count consistency and the
+    // age order of the window, which requires seeing unoccupied
+    // slots too.
+
+    /** @return the backing-ring index of the head slot. */
+    size_t headIndex() const { return head_; }
+    /** @return the backing-ring index one past the youngest entry. */
+    size_t tailIndex() const { return tail_; }
+    /**
+     * @return the raw content of the ring slot @p i steps past the
+     *         head (any i < capacity; null for unoccupied slots).
+     */
+    DynInst *ringAt(size_t i) const
+    {
+        return ring_[(head_ + i) % ring_.size()];
+    }
+
   private:
     std::vector<DynInst *> ring_;
     size_t head_ = 0;

@@ -70,6 +70,11 @@ class DramController
     void reset();
 
   private:
+    // The invariant checker audits bank/bus reservation monotonicity
+    // and open-row sanity (the resolved-time image of DDR4 command
+    // spacing; DESIGN.md §11).
+    friend class InvariantChecker;
+
     Ddr4Timing timing_;
     std::vector<uint64_t> bankBusyUntil_;
     std::vector<int64_t> openRow_;

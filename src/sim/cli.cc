@@ -22,6 +22,9 @@ cliUsage()
            "  --rob N              reorder buffer entries\n"
            "  --tick-model MODEL   cycle | event (default event;\n"
            "                       identical stats, see DESIGN.md)\n"
+           "  --check[=N]          audit microarchitectural\n"
+           "                       invariants every N executed ticks\n"
+           "                       (default 64; see DESIGN.md)\n"
            "  --threshold F        miss-share threshold T\n"
            "  --no-branch-slices   disable branch slicing\n"
            "  --no-load-slices     disable load slicing\n"
@@ -161,6 +164,18 @@ parseCli(const std::vector<std::string> &args)
                 opt.error = "unknown tick model '" + model +
                             "' (expected 'cycle' or 'event')";
                 break;
+            }
+        } else if (a == "--check" || a.rfind("--check=", 0) == 0) {
+            opt.machine.checkInvariants = true;
+            if (a.size() > std::strlen("--check")) {
+                std::string val = a.substr(std::strlen("--check="));
+                uint64_t v = 0;
+                if (!parseU64(val.c_str(), v) || v == 0) {
+                    opt.error = "--check expects a positive audit "
+                                "period, got '" + val + "'";
+                    break;
+                }
+                opt.machine.checkEvery = v;
             }
         } else if (a == "--threshold") {
             if (const char *v = need_value("--threshold"))

@@ -93,6 +93,19 @@ struct SimConfig
     // Store-to-load forwarding latency.
     unsigned forwardLatency = 5;
 
+    // Invariant checking (src/check, DESIGN.md §11). Audits the
+    // in-flight microarchitectural state every checkEvery executed
+    // ticks and throws InvariantViolation on the first inconsistency.
+    // Off by default in normal builds; a -DCRISP_CHECKED=ON build
+    // default-enables it everywhere (pure simulation overhead — the
+    // modelled machine and its statistics are unchanged).
+#ifdef CRISP_CHECKED
+    bool checkInvariants = true;
+#else
+    bool checkInvariants = false;
+#endif
+    uint64_t checkEvery = 64;       ///< audit period, executed ticks
+
     /** @return the paper's Skylake-like baseline configuration. */
     static SimConfig skylake();
 

@@ -38,7 +38,7 @@ label(const PipeTracer::InstRecord &r)
 {
     char buf[96];
     std::snprintf(buf, sizeof(buf), "0x%08llx %s",
-                  (unsigned long long)r.pc, r.mnemonic);
+                  static_cast<unsigned long long>(r.pc), r.mnemonic);
     std::string out = buf;
     if (r.critical)
         out += " [critical]";

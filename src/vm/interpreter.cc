@@ -28,6 +28,21 @@ Interpreter::run(uint64_t max_ops)
     auto rd = [this](RegId r) -> int64_t {
         return r == kNoReg ? 0 : regs_[r];
     };
+    // The modelled machine wraps on 64-bit overflow (two's
+    // complement); compute add/sub/mul in uint64_t so the wrap is
+    // well-defined C++ instead of signed-overflow UB.
+    auto wadd = [](int64_t x, int64_t y) -> int64_t {
+        return static_cast<int64_t>(static_cast<uint64_t>(x) +
+                                    static_cast<uint64_t>(y));
+    };
+    auto wsub = [](int64_t x, int64_t y) -> int64_t {
+        return static_cast<int64_t>(static_cast<uint64_t>(x) -
+                                    static_cast<uint64_t>(y));
+    };
+    auto wmul = [](int64_t x, int64_t y) -> int64_t {
+        return static_cast<int64_t>(static_cast<uint64_t>(x) *
+                                    static_cast<uint64_t>(y));
+    };
 
     while (trace.ops.size() < max_ops) {
         assert(idx < ninst);
@@ -49,9 +64,9 @@ Interpreter::run(uint64_t max_ops)
         int64_t b = rd(si.src2);
 
         switch (si.op) {
-          case Opcode::Add: regs_[si.dst] = a + b; break;
-          case Opcode::Sub: regs_[si.dst] = a - b; break;
-          case Opcode::Mul: regs_[si.dst] = a * b; break;
+          case Opcode::Add: regs_[si.dst] = wadd(a, b); break;
+          case Opcode::Sub: regs_[si.dst] = wsub(a, b); break;
+          case Opcode::Mul: regs_[si.dst] = wmul(a, b); break;
           case Opcode::Div: regs_[si.dst] = b ? a / b : 0; break;
           case Opcode::Rem: regs_[si.dst] = b ? a % b : 0; break;
           case Opcode::And: regs_[si.dst] = a & b; break;
@@ -65,8 +80,8 @@ Interpreter::run(uint64_t max_ops)
                 static_cast<uint64_t>(a) >> (b & 63));
             break;
           case Opcode::Slt: regs_[si.dst] = a < b ? 1 : 0; break;
-          case Opcode::AddI: regs_[si.dst] = a + si.imm; break;
-          case Opcode::MulI: regs_[si.dst] = a * si.imm; break;
+          case Opcode::AddI: regs_[si.dst] = wadd(a, si.imm); break;
+          case Opcode::MulI: regs_[si.dst] = wmul(a, si.imm); break;
           case Opcode::AndI: regs_[si.dst] = a & si.imm; break;
           case Opcode::OrI: regs_[si.dst] = a | si.imm; break;
           case Opcode::XorI: regs_[si.dst] = a ^ si.imm; break;
@@ -78,32 +93,32 @@ Interpreter::run(uint64_t max_ops)
           case Opcode::SltI: regs_[si.dst] = a < si.imm ? 1 : 0; break;
           case Opcode::MovI: regs_[si.dst] = si.imm; break;
           case Opcode::Mov: regs_[si.dst] = a; break;
-          case Opcode::FAdd: regs_[si.dst] = a + b; break;
-          case Opcode::FMul: regs_[si.dst] = a * b; break;
+          case Opcode::FAdd: regs_[si.dst] = wadd(a, b); break;
+          case Opcode::FMul: regs_[si.dst] = wmul(a, b); break;
           case Opcode::FDiv: regs_[si.dst] = b ? a / b : 0; break;
           case Opcode::Ld:
-            op.effAddr = static_cast<uint64_t>(a + si.imm);
+            op.effAddr = static_cast<uint64_t>(wadd(a, si.imm));
             op.memSize = 8;
             regs_[si.dst] = static_cast<int64_t>(mem_.read64(op.effAddr));
             break;
           case Opcode::LdX:
-            op.effAddr = static_cast<uint64_t>(a + b + si.imm);
+            op.effAddr = static_cast<uint64_t>(wadd(wadd(a, b), si.imm));
             op.memSize = 8;
             regs_[si.dst] = static_cast<int64_t>(mem_.read64(op.effAddr));
             break;
           case Opcode::St:
-            op.effAddr = static_cast<uint64_t>(a + si.imm);
+            op.effAddr = static_cast<uint64_t>(wadd(a, si.imm));
             op.memSize = 8;
             mem_.write64(op.effAddr, static_cast<uint64_t>(b));
             break;
           case Opcode::StX:
-            op.effAddr = static_cast<uint64_t>(a + b + si.imm);
+            op.effAddr = static_cast<uint64_t>(wadd(wadd(a, b), si.imm));
             op.memSize = 8;
             mem_.write64(op.effAddr,
                          static_cast<uint64_t>(rd(si.src3)));
             break;
           case Opcode::Pf:
-            op.effAddr = static_cast<uint64_t>(a + si.imm);
+            op.effAddr = static_cast<uint64_t>(wadd(a, si.imm));
             op.memSize = 8;
             break;
           case Opcode::Beq:

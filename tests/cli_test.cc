@@ -101,6 +101,31 @@ TEST(Cli, RejectsBadTickModel)
     EXPECT_FALSE(parseCli({"--tick-model"}).ok());
 }
 
+TEST(Cli, ParsesInvariantChecking)
+{
+    // Default-off in a normal (non-CRISP_CHECKED) build; --check
+    // enables the default period and --check=N overrides it.
+    CliOptions bare = parseCli({"--check"});
+    ASSERT_TRUE(bare.ok()) << bare.error;
+    EXPECT_TRUE(bare.machine.checkInvariants);
+    EXPECT_EQ(bare.machine.checkEvery, 64u);
+    CliOptions dense = parseCli({"--check=1"});
+    ASSERT_TRUE(dense.ok()) << dense.error;
+    EXPECT_TRUE(dense.machine.checkInvariants);
+    EXPECT_EQ(dense.machine.checkEvery, 1u);
+    CliOptions sparse = parseCli({"--check=4096"});
+    ASSERT_TRUE(sparse.ok()) << sparse.error;
+    EXPECT_EQ(sparse.machine.checkEvery, 4096u);
+}
+
+TEST(Cli, RejectsBadCheckPeriod)
+{
+    EXPECT_FALSE(parseCli({"--check=0"}).ok());
+    EXPECT_FALSE(parseCli({"--check="}).ok());
+    EXPECT_FALSE(parseCli({"--check=many"}).ok());
+    EXPECT_FALSE(parseCli({"--check=-4"}).ok());
+}
+
 TEST(Cli, ParsesTelemetryOutputs)
 {
     CliOptions opt = parseCli({"--stats-json", "out.json",

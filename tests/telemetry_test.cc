@@ -461,14 +461,14 @@ TEST(PipeTracer, StageOrderingInvariants)
         if (l.rfind("L\t", 0) != 0 ||
             l.find("\t1\tseq=") == std::string::npos)
             continue;
-        unsigned long long fetch = 0, dispatch = 0, issue = 0,
-                           complete = 0, retire = 0;
+        unsigned long long seq = 0, fetch = 0, dispatch = 0,
+                           issue = 0, complete = 0, retire = 0;
         ASSERT_EQ(std::sscanf(l.c_str() + l.find("seq="),
-                              "seq=%*llu fetch=%llu dispatch=%llu "
+                              "seq=%llu fetch=%llu dispatch=%llu "
                               "issue=%llu complete=%llu retire=%llu",
-                              &fetch, &dispatch, &issue, &complete,
-                              &retire),
-                  5)
+                              &seq, &fetch, &dispatch, &issue,
+                              &complete, &retire),
+                  6)
             << l;
         EXPECT_GT(dispatch, fetch) << l;
         EXPECT_GT(issue, dispatch) << l;

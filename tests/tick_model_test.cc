@@ -174,8 +174,8 @@ allWorkloads()
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, TickModelEquivalence,
     ::testing::ValuesIn(allWorkloads()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        return info.param;
+    [](const ::testing::TestParamInfo<std::string> &pinfo) {
+        return pinfo.param;
     });
 
 // ---------------------------------------------------------------

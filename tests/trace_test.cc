@@ -72,9 +72,10 @@ TEST(Trace, RestampAppliesNewSizesAndFlags)
     }
     // nextPc consistency: sequential ops follow pc + size.
     for (size_t i = 0; i + 1 < t.size(); ++i) {
-        if (!t.ops[i].isControl())
+        if (!t.ops[i].isControl()) {
             EXPECT_EQ(t.ops[i].nextPc,
                       t.ops[i].pc + t.ops[i].instSize);
+        }
     }
 }
 

@@ -92,8 +92,8 @@ TEST_P(WorkloadTest, ExercisesMemory)
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, WorkloadTest,
     ::testing::ValuesIn(workloadRegistry()),
-    [](const ::testing::TestParamInfo<WorkloadInfo> &info) {
-        return info.param.name;
+    [](const ::testing::TestParamInfo<WorkloadInfo> &pinfo) {
+        return pinfo.param.name;
     });
 
 TEST(WorkloadRegistry, LookupByName)

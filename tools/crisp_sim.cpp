@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <vector>
 
@@ -33,43 +34,20 @@ report(const char *label, const CoreStats &s)
 {
     std::printf("%-6s IPC %.3f | cycles %9llu | LLC MPKI %6.2f | "
                 "mispredicts %7llu | ROB-head stall %9llu\n",
-                label, s.ipc(), (unsigned long long)s.cycles,
+                label, s.ipc(), static_cast<unsigned long long>(s.cycles),
                 s.llcMpki(),
-                (unsigned long long)s.frontend.mispredicts(),
-                (unsigned long long)s.robHeadStallCycles);
+                static_cast<unsigned long long>(s.frontend.mispredicts()),
+                static_cast<unsigned long long>(s.robHeadStallCycles));
 }
 
-} // namespace
-
+/**
+ * Analysis + simulation body for main(), split out so an exception
+ * from a --check audit (InvariantViolation) or a wedged core
+ * (SimDeadlockError) is caught and reported at a single place.
+ */
 int
-main(int argc, char **argv)
+runSim(const CliOptions &opt, const WorkloadInfo *wl)
 {
-    std::vector<std::string> args(argv + 1, argv + argc);
-    CliOptions opt = parseCli(args);
-    if (!opt.ok()) {
-        std::fprintf(stderr, "crisp_sim: %s\n%s", opt.error.c_str(),
-                     cliUsage().c_str());
-        return 2;
-    }
-    if (opt.showHelp) {
-        std::fputs(cliUsage().c_str(), stdout);
-        return 0;
-    }
-    if (opt.listWorkloads) {
-        for (const auto &wl : workloadRegistry())
-            std::printf("%-14s %s\n", wl.name.c_str(),
-                        wl.description.c_str());
-        return 0;
-    }
-
-    const WorkloadInfo *wl = findWorkload(opt.workload);
-    if (!wl) {
-        std::fprintf(stderr,
-                     "crisp_sim: unknown workload '%s' (--list)\n",
-                     opt.workload.c_str());
-        return 2;
-    }
-
     std::printf("workload: %s — %s\n", wl->name.c_str(),
                 wl->description.c_str());
     std::printf("machine : %s\n\n", opt.machine.describe().c_str());
@@ -198,4 +176,46 @@ main(int argc, char **argv)
                          opt.saveTracePath.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    CliOptions opt = parseCli(args);
+    if (!opt.ok()) {
+        std::fprintf(stderr, "crisp_sim: %s\n%s", opt.error.c_str(),
+                     cliUsage().c_str());
+        return 2;
+    }
+    if (opt.showHelp) {
+        std::fputs(cliUsage().c_str(), stdout);
+        return 0;
+    }
+    if (opt.listWorkloads) {
+        for (const auto &wl : workloadRegistry())
+            std::printf("%-14s %s\n", wl.name.c_str(),
+                        wl.description.c_str());
+        return 0;
+    }
+
+    const WorkloadInfo *wl = findWorkload(opt.workload);
+    if (!wl) {
+        std::fprintf(stderr,
+                     "crisp_sim: unknown workload '%s' (--list)\n",
+                     opt.workload.c_str());
+        return 2;
+    }
+
+    try {
+        return runSim(opt, wl);
+    } catch (const std::exception &e) {
+        // An InvariantViolation from a --check audit or a deadlock
+        // abort: report it and exit nonzero instead of letting the
+        // exception escape to std::terminate.
+        std::fprintf(stderr, "crisp_sim: %s\n", e.what());
+        return 1;
+    }
 }
