@@ -31,6 +31,8 @@
 #include "sim/driver.h"
 #include "sim/stats.h"
 #include "sim/thread_pool.h"
+#include "telemetry/interval.h"
+#include "telemetry/pc_profiler.h"
 #include "vm/interpreter.h"
 #include "workloads/workload.h"
 
@@ -159,6 +161,39 @@ BM_CoreSimulation(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 50'000);
 }
 
+/**
+ * Same core loop with the criticality-attribution hooks attached:
+ * arg 0 = bare run (the disabled path — one null-pointer test per
+ * hook site, must be indistinguishable from BM_CoreSimulation),
+ * arg 1 = PcProfiler attached, arg 2 = profiler + interval streamer.
+ * Comparing arg 0 against BM_CoreSimulation bounds the disabled-path
+ * overhead; comparing the args bounds the profiling-run cost.
+ */
+void
+BM_CoreTelemetryHooks(benchmark::State &state)
+{
+    auto prog = std::make_shared<Program>(
+        buildPointerChase(InputSet::Train));
+    Interpreter interp(prog);
+    Trace trace = interp.run(50'000);
+    SimConfig cfg = SimConfig::skylake();
+    for (auto _ : state) {
+        Core core(trace, cfg);
+        PcProfiler prof;
+        std::unique_ptr<IntervalStreamer> iv;
+        if (state.range(0) >= 1)
+            core.setProfiler(&prof);
+        if (state.range(0) >= 2) {
+            iv = std::make_unique<IntervalStreamer>(10'000);
+            core.setInterval(iv.get());
+        }
+        CoreStats s = core.run();
+        benchmark::DoNotOptimize(s.cycles);
+        benchmark::DoNotOptimize(prof.decisionCount());
+    }
+    state.SetItemsProcessed(state.iterations() * 50'000);
+}
+
 BENCHMARK(BM_Tage);
 BENCHMARK(BM_Gshare);
 BENCHMARK(BM_Bimodal);
@@ -170,6 +205,11 @@ BENCHMARK(BM_CoreSimulation)
     ->Arg(0)
     ->Arg(1)
     ->ArgName("event");
+BENCHMARK(BM_CoreTelemetryHooks)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->ArgName("hooks");
 
 /**
  * Times one evaluateAll batch serially and on all cores, printing

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "check/invariant_checker.h"
+#include "telemetry/pc_profiler.h"
 #include "telemetry/pipe_tracer.h"
 #include "telemetry/stat_registry.h"
 
@@ -183,6 +184,10 @@ Core::issueInst(DynInst *inst)
     ++stats_.issued;
     if (inst->prioritized)
         ++stats_.issuedPrioritized;
+    // The instruction was dispatched into the ROB before it could
+    // issue, so a head always exists here.
+    if (profiler_)
+        profiler_->onIssue(*inst, cycle_, rob_.head()->seq);
     wakeConsumers(inst);
     if (inst->mispredicted)
         frontend_.onBranchResolved(done + cfg_.redirectPenalty);
@@ -200,8 +205,23 @@ Core::selectFromPool(FuPool pool, SlotVector &cand, SlotVector &prio,
         int slot = -1;
         // CRISP/IBDA two-level pick: oldest ready prioritized
         // instruction first, falling back to the plain oldest.
-        if (crisp && prio.any())
+        if (crisp && prio.any()) {
             slot = rs_.age().selectOldest(prio);
+            // Decision log: when the pick differs from the plain
+            // oldest-ready choice, the policy just bypassed older
+            // work for a critical instruction. The second age-matrix
+            // select runs only with a profiler attached.
+            if (profiler_ && slot >= 0) {
+                int oldest = rs_.age().selectOldest(cand);
+                if (oldest >= 0 && oldest != slot) {
+                    const DynInst *p = rs_.at(unsigned(slot));
+                    const DynInst *o = rs_.at(unsigned(oldest));
+                    profiler_->onCriticalPick(
+                        p->op->pc, o->op->pc,
+                        p->dispatchCycle - o->dispatchCycle);
+                }
+            }
+        }
         if (slot < 0)
             slot = rs_.age().selectOldest(cand);
         if (slot < 0)
@@ -471,6 +491,21 @@ Core::traceRetire(const DynInst &inst)
     tracer_->retire(rec);
 }
 
+IntervalStreamer::Snapshot
+Core::intervalSnapshot() const
+{
+    IntervalStreamer::Snapshot s;
+    s.cycle = cycle_;
+    s.retired = stats_.retired;
+    s.issued = stats_.issued;
+    s.issuedPrioritized = stats_.issuedPrioritized;
+    s.llcMisses = mem_.llc().stats().misses;
+    s.cpi = stats_.cpi.cycles;
+    s.robOcc = rob_.occupancy();
+    s.rsOcc = rs_.occupancy();
+    return s;
+}
+
 uint64_t
 Core::nextEventCycle() const
 {
@@ -571,6 +606,11 @@ Core::run(uint64_t max_cycles, bool record_timeline)
         if (checker_)
             checker_->onTick(*this);
 
+        // Interval telemetry: pay for a snapshot only on boundary
+        // ticks; the common case is one load and compare.
+        if (interval_ && cycle_ >= interval_->nextBoundary())
+            interval_->onTick(intervalSnapshot());
+
         if (stats_.retired != last_retired) {
             last_retired = stats_.retired;
             last_progress_cycle = cycle_;
@@ -591,7 +631,17 @@ Core::run(uint64_t max_cycles, bool record_timeline)
             target = std::min(target, last_progress_cycle +
                                           kDeadlockWindow + 1);
             if (target > cycle_ + 1) {
-                chargeIdleCycles(target - cycle_ - 1);
+                uint64_t span = target - cycle_ - 1;
+                // Split the span across any window boundaries it
+                // covers *before* the bulk charge mutates the
+                // counters: the streamer reconstructs the per-cycle
+                // state from the pre-span snapshot plus the same
+                // frozen stall bucket chargeIdleCycles() uses.
+                if (interval_ &&
+                    cycle_ + span >= interval_->nextBoundary())
+                    interval_->onIdleSpan(intervalSnapshot(), span,
+                                          stallBucket());
+                chargeIdleCycles(span);
                 cycle_ = target - 1;
             }
         }
@@ -599,6 +649,8 @@ Core::run(uint64_t max_cycles, bool record_timeline)
 
     if (checker_)
         checker_->checkAll(*this);
+    if (interval_)
+        interval_->finish(intervalSnapshot());
 
     stats_.cycles = cycle_;
     assert(stats_.cpi.total() == stats_.cycles);

@@ -50,12 +50,14 @@
 #include "sim/config.h"
 #include "sim/stats.h"
 #include "telemetry/cpi_stack.h"
+#include "telemetry/interval.h"
 #include "trace/trace.h"
 
 namespace crisp
 {
 
 class InvariantChecker;
+class PcProfiler;
 class PipeTracer;
 class StatRegistry;
 
@@ -200,6 +202,28 @@ class Core
      */
     void setTracer(PipeTracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Attaches a per-PC criticality profiler (telemetry): every
+     * issued load / mispredicting branch and every two-level
+     * scheduler pick is attributed to its PC. Pass nullptr to
+     * detach. When detached the hooks cost one pointer test; the
+     * issue loop allocates nothing either way. The profiler must
+     * outlive run().
+     */
+    void setProfiler(PcProfiler *profiler) { profiler_ = profiler; }
+
+    /**
+     * Attaches an interval time-series streamer (telemetry): its
+     * window boundaries are serviced on executed ticks and inside
+     * idle-span jumps, producing an engine-independent NDJSON
+     * stream. Pass nullptr to detach. The streamer must outlive
+     * run().
+     */
+    void setInterval(IntervalStreamer *interval)
+    {
+        interval_ = interval;
+    }
+
   private:
     // The invariant checker (src/check) audits the private pipeline
     // state — ROB/RS/LSQ, the incremental ready sets and heap, the
@@ -242,6 +266,8 @@ class Core
     bool recordTimeline_ = false;
     bool eventMode_ = false;
     PipeTracer *tracer_ = nullptr;
+    PcProfiler *profiler_ = nullptr;
+    IntervalStreamer *interval_ = nullptr;
     std::unique_ptr<InvariantChecker> checker_;
 
     // Issue candidate sets. The cycle engine rebuilds them from an
@@ -296,6 +322,9 @@ class Core
     CpiBucket stallBucket() const;
     /** Emits the retiring ROB head to the attached tracer. */
     void traceRetire(const DynInst &inst);
+    /** @return the cumulative counter state at the current cycle for
+     *  the attached interval streamer. */
+    IntervalStreamer::Snapshot intervalSnapshot() const;
 };
 
 } // namespace crisp

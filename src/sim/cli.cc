@@ -38,7 +38,23 @@ cliUsage()
            "  --trace-pipe PATH[:START:END]\n"
            "                       write a Kanata pipeline trace;\n"
            "                       the window records instructions\n"
-           "                       fetched in cycles [START, END]\n"
+           "                       fetched in cycles [START, END];\n"
+           "                       with --stats-every, window edges\n"
+           "                       appear as [interval-boundary]\n"
+           "                       comments\n"
+           "  --stats-ndjson PATH  write interval time-series\n"
+           "                       records, one JSON object per\n"
+           "                       line (implies --stats-every\n"
+           "                       10000 when not given)\n"
+           "  --stats-every N      interval window length in\n"
+           "                       cycles; positive, and requires\n"
+           "                       --stats-ndjson (the records have\n"
+           "                       no other sink)\n"
+           "  --profile-pc[=N]     per-PC criticality attribution\n"
+           "                       (delinquent loads, hard\n"
+           "                       branches, scheduler decision\n"
+           "                       log), top-N rows (default 32);\n"
+           "                       exported with --stats-json/csv\n"
            "  --list               list workloads\n"
            "  --help               this message\n";
 }
@@ -210,6 +226,34 @@ parseCli(const std::vector<std::string> &args)
             }
             if (const char *v = need_value("--stats-csv"))
                 opt.statsCsvPath = v;
+        } else if (a == "--stats-ndjson") {
+            if (!opt.statsNdjsonPath.empty()) {
+                opt.error = "duplicate --stats-ndjson";
+                break;
+            }
+            if (const char *v = need_value("--stats-ndjson"))
+                opt.statsNdjsonPath = v;
+        } else if (a == "--stats-every") {
+            uint64_t v = 0;
+            need_u64("--stats-every", v);
+            if (opt.ok() && v == 0)
+                opt.error = "--stats-every expects a positive "
+                            "window length in cycles";
+            opt.statsEvery = v;
+        } else if (a == "--profile-pc" ||
+                   a.rfind("--profile-pc=", 0) == 0) {
+            opt.profilePc = true;
+            if (a.size() > std::strlen("--profile-pc")) {
+                std::string val =
+                    a.substr(std::strlen("--profile-pc="));
+                uint64_t v = 0;
+                if (!parseU64(val.c_str(), v) || v == 0) {
+                    opt.error = "--profile-pc expects a positive "
+                                "top-N row count, got '" + val + "'";
+                    break;
+                }
+                opt.profilePcTop = v;
+            }
         } else if (a == "--trace-pipe") {
             if (!opt.tracePipePath.empty()) {
                 opt.error = "duplicate --trace-pipe";
@@ -262,6 +306,16 @@ parseCli(const std::vector<std::string> &args)
     }
     if (opt.ok() && (opt.trainOps == 0 || opt.refOps == 0))
         opt.error = "trace lengths must be positive";
+    // Interval records stream to the NDJSON sink and nowhere else:
+    // a window length without a sink silently discards every record,
+    // so it is rejected; a sink without a length gets the default.
+    if (opt.ok() && opt.statsEvery > 0 &&
+        opt.statsNdjsonPath.empty())
+        opt.error = "--stats-every requires --stats-ndjson PATH "
+                    "(interval records have no other sink)";
+    if (opt.ok() && !opt.statsNdjsonPath.empty() &&
+        opt.statsEvery == 0)
+        opt.statsEvery = 10'000;
     return opt;
 }
 

@@ -38,6 +38,14 @@ struct CliOptions
     std::string tracePipePath; ///< --trace-pipe: Kanata pipeline log
     uint64_t traceStart = 0;       ///< first fetch cycle recorded
     uint64_t traceEnd = ~0ULL;     ///< last fetch cycle recorded
+    /** --stats-ndjson: interval time-series sink (NDJSON). */
+    std::string statsNdjsonPath;
+    /** --stats-every: interval window length in cycles; 0 = off.
+     *  Requires an NDJSON sink; defaults to 10000 when only
+     *  --stats-ndjson is given. */
+    uint64_t statsEvery = 0;
+    bool profilePc = false;    ///< --profile-pc: per-PC attribution
+    uint64_t profilePcTop = 32; ///< --profile-pc=N: top-N table rows
 
     /** Error message if parsing failed (empty on success). */
     std::string error;
@@ -73,6 +81,18 @@ struct CliOptions
  *                        write a Kanata pipeline trace (Konata
  *                        viewer); the optional window records only
  *                        instructions fetched in [START, END]
+ *   --stats-ndjson PATH  write interval time-series records (one
+ *                        JSON object per line); requires or implies
+ *                        --stats-every
+ *   --stats-every N      interval window length in cycles (positive;
+ *                        rejected without an NDJSON sink). With
+ *                        --trace-pipe also present, the pipeline
+ *                        trace gains [interval-boundary] comments at
+ *                        each window edge.
+ *   --profile-pc[=N]     per-PC criticality attribution: delinquent
+ *                        loads, hard branches and the scheduler
+ *                        decision log, top-N rows (default 32);
+ *                        printed, and exported with --stats-json/csv
  *
  * The telemetry output flags reject duplicates (two --stats-json
  * flags silently discarding one file is a bug, not a convenience).

@@ -7,10 +7,13 @@ namespace crisp
 
 CoreStats
 runCore(const Trace &trace, const SimConfig &cfg,
-        bool record_timeline, PipeTracer *tracer)
+        bool record_timeline, PipeTracer *tracer,
+        PcProfiler *profiler, IntervalStreamer *interval)
 {
     Core core(trace, cfg);
     core.setTracer(tracer);
+    core.setProfiler(profiler);
+    core.setInterval(interval);
     return core.run(~0ULL, record_timeline);
 }
 

@@ -53,16 +53,24 @@ struct WorkloadEval
     }
 };
 
+class IntervalStreamer;
+class PcProfiler;
 class PipeTracer;
 
 /**
  * Runs a trace on the core under @p cfg.
  * @param tracer optional pipeline tracer attached for the run
  *        (telemetry); the caller writes it out afterwards
+ * @param profiler optional per-PC criticality profiler; the caller
+ *        exports it afterwards
+ * @param interval optional windowed time-series streamer; the caller
+ *        writes its NDJSON records afterwards
  */
 CoreStats runCore(const Trace &trace, const SimConfig &cfg,
                   bool record_timeline = false,
-                  PipeTracer *tracer = nullptr);
+                  PipeTracer *tracer = nullptr,
+                  PcProfiler *profiler = nullptr,
+                  IntervalStreamer *interval = nullptr);
 
 /**
  * Full per-workload evaluation: baseline OOO, CRISP, and (optionally)

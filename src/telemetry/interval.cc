@@ -1,0 +1,116 @@
+#include "telemetry/interval.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "telemetry/json.h"
+#include "telemetry/pipe_tracer.h"
+
+namespace crisp
+{
+
+IntervalStreamer::IntervalStreamer(uint64_t every,
+                                   std::string variant)
+    : every_(every), variant_(std::move(variant)),
+      nextBoundary_(every)
+{
+    if (every == 0)
+        throw std::invalid_argument(
+            "interval window must be positive");
+}
+
+void
+IntervalStreamer::emitWindow(const Snapshot &snap)
+{
+    uint64_t len = snap.cycle - last_.cycle;
+    uint64_t retired = snap.retired - last_.retired;
+    uint64_t issued = snap.issued - last_.issued;
+    uint64_t prio =
+        snap.issuedPrioritized - last_.issuedPrioritized;
+    uint64_t llc = snap.llcMisses - last_.llcMisses;
+
+    std::string out = "{";
+    if (!variant_.empty())
+        out += "\"variant\": " + jsonQuote(variant_) + ", ";
+    out += "\"window\": " + std::to_string(windowIndex_);
+    out += ", \"cycle\": " + std::to_string(snap.cycle);
+    out += ", \"cycles\": " + std::to_string(len);
+    out += ", \"retired\": " + std::to_string(retired);
+    out += ", \"issued\": " + std::to_string(issued);
+    out += ", \"critical_issued\": " + std::to_string(prio);
+    out += ", \"ipc\": " +
+           jsonNumber(len ? double(retired) / double(len) : 0.0);
+    out += ", \"critical_pick_rate\": " +
+           jsonNumber(issued ? double(prio) / double(issued) : 0.0);
+    out += ", \"rob_occ\": " + std::to_string(snap.robOcc);
+    out += ", \"rs_occ\": " + std::to_string(snap.rsOcc);
+    out += ", \"llc_misses\": " + std::to_string(llc);
+    out += ", \"llc_mpki\": " +
+           jsonNumber(retired ? 1000.0 * double(llc) /
+                                    double(retired)
+                              : 0.0);
+    out += ", \"cpi\": {";
+    for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+        if (b)
+            out += ", ";
+        out += jsonQuote(cpiBucketName(CpiBucket(b)));
+        out += ": " + std::to_string(snap.cpi[b] - last_.cpi[b]);
+    }
+    out += "}}";
+    records_.push_back(std::move(out));
+
+    if (tracer_)
+        tracer_->intervalBoundary(snap.cycle, windowIndex_);
+    ++windowIndex_;
+    last_ = snap;
+}
+
+void
+IntervalStreamer::onTick(const Snapshot &snap)
+{
+    // Executed ticks advance one cycle at a time — skipped spans go
+    // through onIdleSpan — so a tick crosses at most one boundary.
+    if (snap.cycle < nextBoundary_)
+        return;
+    assert(snap.cycle == nextBoundary_);
+    emitWindow(snap);
+    nextBoundary_ += every_;
+}
+
+void
+IntervalStreamer::onIdleSpan(const Snapshot &base, uint64_t span,
+                             CpiBucket bucket)
+{
+    // Reconstruct each boundary the span covers: counters and
+    // occupancies are frozen across an idle span; only the CPI stack
+    // moves, accruing `bucket` once per elapsed cycle. This is the
+    // per-cycle state the cycle engine would have snapshotted.
+    uint64_t end = base.cycle + span;
+    while (nextBoundary_ <= end) {
+        Snapshot s = base;
+        s.cycle = nextBoundary_;
+        s.cpi[size_t(bucket)] += nextBoundary_ - base.cycle;
+        emitWindow(s);
+        nextBoundary_ += every_;
+    }
+}
+
+void
+IntervalStreamer::finish(const Snapshot &snap)
+{
+    if (snap.cycle > last_.cycle)
+        emitWindow(snap);
+}
+
+std::string
+IntervalStreamer::ndjson() const
+{
+    std::string out;
+    for (const std::string &rec : records_) {
+        out += rec;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace crisp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Windowed time-series telemetry: one NDJSON record per N cycles.
+ *
+ * End-of-run statistics average away phase behaviour; this streamer
+ * exposes it. Every `--stats-every N` cycles the core's cumulative
+ * state is snapshotted and the *window delta* is emitted as one JSON
+ * object per line (NDJSON): IPC, the six CPI-stack buckets, ROB/RS
+ * occupancy at the boundary, LLC MPKI and the critical-pick rate.
+ *
+ * The stream is bit-identical under both tick engines (pinned by
+ * tests/interval_test.cc). The cycle engine crosses each boundary on
+ * an executed tick; the event engine may jump a whole idle span over
+ * one or more boundaries. Correctness rests on the same argument as
+ * the CPI stack's bulk charge (cpi_stack.h): within a skipped span no
+ * counter can change and every cycle is charged to one frozen stall
+ * bucket, so the boundary snapshot inside a span is the pre-span
+ * snapshot plus `bucket × cycles-elapsed`. onIdleSpan() synthesizes
+ * exactly those snapshots, splitting the span across as many window
+ * boundaries as it covers.
+ *
+ * Records are buffered in memory and written by the caller after the
+ * run (crisp_sim tags each line with the scheduler variant). A
+ * PipeTracer may be attached to receive the same boundaries as
+ * [interval-boundary] Kanata comments, so pipeline traces and
+ * time-series records can be cross-referenced by cycle.
+ */
+
+#ifndef CRISP_TELEMETRY_INTERVAL_H
+#define CRISP_TELEMETRY_INTERVAL_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/cpi_stack.h"
+
+namespace crisp
+{
+
+class PipeTracer;
+
+/** The streamer. One instance records one core run. */
+class IntervalStreamer
+{
+  public:
+    /** Cumulative core state at one cycle (all counters are
+     *  monotone; the streamer emits consecutive differences). */
+    struct Snapshot
+    {
+        uint64_t cycle = 0;
+        uint64_t retired = 0;
+        uint64_t issued = 0;
+        uint64_t issuedPrioritized = 0;
+        uint64_t llcMisses = 0;
+        std::array<uint64_t, kNumCpiBuckets> cpi{};
+        unsigned robOcc = 0; ///< occupancy at the snapshot cycle
+        unsigned rsOcc = 0;
+    };
+
+    /**
+     * @param every window length in cycles (must be positive)
+     * @param variant run label stamped into every record ("" = none)
+     */
+    explicit IntervalStreamer(uint64_t every,
+                              std::string variant = "");
+
+    /** @return the first un-emitted window boundary cycle. The core
+     *  compares its cycle against this before paying for a
+     *  snapshot, so the per-tick cost is one load and compare. */
+    uint64_t nextBoundary() const { return nextBoundary_; }
+
+    /** @return the window length. */
+    uint64_t every() const { return every_; }
+
+    /**
+     * Called at an executed tick whose cycle reached nextBoundary();
+     * emits that window from the end-of-tick cumulative state.
+     */
+    void onTick(const Snapshot &snap);
+
+    /**
+     * Called before the event engine skips an idle span: cycles
+     * (base.cycle, base.cycle + span] during which every counter is
+     * frozen except the CPI stack, which accrues @p bucket each
+     * cycle. Emits every window boundary the span covers.
+     */
+    void onIdleSpan(const Snapshot &base, uint64_t span,
+                    CpiBucket bucket);
+
+    /**
+     * Called once at end-of-run; emits the final partial window (if
+     * any cycles elapsed past the last boundary).
+     */
+    void finish(const Snapshot &snap);
+
+    /** Attaches a tracer to be notified at each emitted boundary. */
+    void setTracer(PipeTracer *tracer) { tracer_ = tracer; }
+
+    /** @return the emitted records, one JSON object each. */
+    const std::vector<std::string> &records() const
+    {
+        return records_;
+    }
+
+    /** @return the full stream, newline-terminated per record. */
+    std::string ndjson() const;
+
+  private:
+    void emitWindow(const Snapshot &snap);
+
+    uint64_t every_;
+    std::string variant_;
+    uint64_t nextBoundary_;
+    uint64_t windowIndex_ = 0;
+    Snapshot last_; ///< cumulative state at the last emitted boundary
+    std::vector<std::string> records_;
+    PipeTracer *tracer_ = nullptr;
+};
+
+} // namespace crisp
+
+#endif // CRISP_TELEMETRY_INTERVAL_H

@@ -1,0 +1,151 @@
+#include "telemetry/pc_profiler.h"
+
+#include <algorithm>
+
+#include "cpu/dyn_inst.h"
+#include "telemetry/stat_registry.h"
+
+namespace crisp
+{
+
+void
+PcProfiler::onIssue(const DynInst &inst, uint64_t cycle,
+                    uint64_t rob_head_seq)
+{
+    const MicroOp &op = *inst.op;
+    uint64_t wait = cycle > inst.dispatchCycle
+                        ? cycle - inst.dispatchCycle
+                        : 0;
+    uint64_t dist = inst.seq - rob_head_seq;
+
+    if (op.cls == OpClass::Load) {
+        LoadEntry &e = loads_[op.pc];
+        ++e.issues;
+        if (inst.prioritized)
+            ++e.critical;
+        e.waitCycles += wait;
+        e.robHeadDist += dist;
+        if (inst.servedBy == MemLevel::Dram) {
+            ++e.llcMisses;
+            // MLP overlap: how many earlier LLC misses are still in
+            // flight when this one issues. Drop completed entries
+            // first; the survivor count is the overlap.
+            auto dead = std::remove_if(
+                outstandingMisses_.begin(), outstandingMisses_.end(),
+                [cycle](uint64_t done) { return done <= cycle; });
+            outstandingMisses_.erase(dead, outstandingMisses_.end());
+            e.mlpOverlap += outstandingMisses_.size();
+            outstandingMisses_.push_back(inst.doneCycle);
+        }
+        return;
+    }
+    if (isControlClass(op.cls) && inst.mispredicted) {
+        BranchEntry &e = branches_[op.pc];
+        ++e.mispredicts;
+        e.waitCycles += wait;
+        e.robHeadDist += dist;
+    }
+}
+
+void
+PcProfiler::onCriticalPick(uint64_t picked_pc, uint64_t bypassed_pc,
+                           uint64_t lead)
+{
+    DecisionEntry &e = decisions_[{picked_pc, bypassed_pc}];
+    ++e.picks;
+    e.leadCycles += lead;
+    ++decisionCount_;
+    decisionLead_ += lead;
+}
+
+namespace
+{
+
+/** Truncates @p rows to the top @p n by @p key column (descending,
+ *  stable — the input is already in ascending key order, so ties
+ *  resolve to the smallest PC). */
+std::vector<std::vector<uint64_t>>
+topByColumn(std::vector<std::vector<uint64_t>> rows, size_t key,
+            size_t n)
+{
+    std::stable_sort(rows.begin(), rows.end(),
+                     [key](const std::vector<uint64_t> &a,
+                           const std::vector<uint64_t> &b) {
+                         return a[key] > b[key];
+                     });
+    if (rows.size() > n)
+        rows.resize(n);
+    return rows;
+}
+
+} // namespace
+
+std::vector<std::vector<uint64_t>>
+PcProfiler::topLoads(size_t n) const
+{
+    std::vector<std::vector<uint64_t>> rows;
+    rows.reserve(loads_.size());
+    for (const auto &[pc, e] : loads_)
+        rows.push_back({pc, e.issues, e.llcMisses, e.critical,
+                        e.waitCycles, e.robHeadDist, e.mlpOverlap});
+    return topByColumn(std::move(rows), 4, n);
+}
+
+std::vector<std::vector<uint64_t>>
+PcProfiler::topBranches(size_t n) const
+{
+    std::vector<std::vector<uint64_t>> rows;
+    rows.reserve(branches_.size());
+    for (const auto &[pc, e] : branches_)
+        rows.push_back(
+            {pc, e.mispredicts, e.waitCycles, e.robHeadDist});
+    return topByColumn(std::move(rows), 2, n);
+}
+
+std::vector<std::vector<uint64_t>>
+PcProfiler::topDecisions(size_t n) const
+{
+    std::vector<std::vector<uint64_t>> rows;
+    rows.reserve(decisions_.size());
+    for (const auto &[pair, e] : decisions_)
+        rows.push_back(
+            {pair.first, pair.second, e.picks, e.leadCycles});
+    return topByColumn(std::move(rows), 3, n);
+}
+
+void
+PcProfiler::registerInto(StatRegistry &reg,
+                         const std::string &prefix,
+                         size_t top_n) const
+{
+    reg.addCounter(statPath(prefix, "tracked_load_pcs"),
+                   loads_.size(), "static load PCs profiled");
+    reg.addCounter(statPath(prefix, "tracked_branch_pcs"),
+                   branches_.size(),
+                   "static mispredicting-branch PCs profiled");
+    reg.addCounter(statPath(prefix, "critical_picks"),
+                   decisionCount_,
+                   "two-level picks over the oldest ready");
+    reg.addCounter(statPath(prefix, "critical_pick_lead_cycles"),
+                   decisionLead_,
+                   "total dispatch-age gap jumped by those picks");
+
+    reg.addTable(statPath(prefix, "loads"),
+                 {"pc", "issues", "llc_misses", "critical",
+                  "wait_cycles", "rob_head_dist", "mlp_overlap"},
+                 topLoads(top_n),
+                 "per-PC load attribution, top-N by wait cycles");
+    reg.addTable(statPath(prefix, "branches"),
+                 {"pc", "mispredicts", "wait_cycles",
+                  "rob_head_dist"},
+                 topBranches(top_n),
+                 "per-PC hard-branch attribution, top-N by wait "
+                 "cycles");
+    reg.addTable(statPath(prefix, "decisions"),
+                 {"picked_pc", "bypassed_pc", "picks",
+                  "lead_cycles"},
+                 topDecisions(top_n),
+                 "scheduler decision log, top-N by lead cycles");
+}
+
+} // namespace crisp

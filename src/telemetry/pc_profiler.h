@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Per-PC criticality attribution profiler.
+ *
+ * Aggregate IPC and the CPI stack say *whether* CRISP's critical-first
+ * scheduling paid off; this profiler says *where*. It attributes issue
+ * behaviour to static program counters along the two axes the paper's
+ * mechanism targets:
+ *
+ *  - Delinquent loads: per load PC, dynamic issue count, LLC misses,
+ *    dispatch→issue wait (the lead time a scheduling policy can
+ *    shorten), distance from the ROB head at issue (how deep in the
+ *    window the load fired — larger is earlier relative to commit),
+ *    and LLC-miss MLP overlap (how many other LLC misses were in
+ *    flight when this one issued — overlap is memory-level
+ *    parallelism the early issue bought).
+ *
+ *  - Hard branches: per mispredicting branch PC, mispredict count and
+ *    the same wait / ROB-head-distance attribution, since branch
+ *    resolution latency is the other half of the critical slice.
+ *
+ *  - Scheduler decision log: every time the age-matrix two-level pick
+ *    selects a critical-tagged instruction over the oldest plain-ready
+ *    one, the (picked PC, bypassed PC) pair is recorded together with
+ *    the realized lead — the dispatch-age gap the critical
+ *    instruction jumped. This is the direct evidence trail for §4.2:
+ *    which PCs the policy favours, at whose expense, and by how much.
+ *
+ * The profiler is attached to a Core with setProfiler(); when absent
+ * the hot-path hooks cost one null-pointer test. Hook costs when
+ * attached are bounded map updates keyed by PC — acceptable for
+ * profiling runs, never on the default path. All containers are
+ * ordered, so exports are deterministic; both tick engines issue the
+ * same instructions at the same cycles (DESIGN.md §9), so profiles
+ * are bit-identical across engines.
+ */
+
+#ifndef CRISP_TELEMETRY_PC_PROFILER_H
+#define CRISP_TELEMETRY_PC_PROFILER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crisp
+{
+
+struct DynInst;
+class StatRegistry;
+
+/** The profiler. One instance records one core run. */
+class PcProfiler
+{
+  public:
+    /** Per-PC load attribution (totals; divide by issues for means). */
+    struct LoadEntry
+    {
+        uint64_t issues = 0;       ///< dynamic instances issued
+        uint64_t llcMisses = 0;    ///< instances served by DRAM
+        uint64_t critical = 0;     ///< instances carrying the tag
+        uint64_t waitCycles = 0;   ///< Σ issue − dispatch
+        uint64_t robHeadDist = 0;  ///< Σ seq distance from ROB head
+        uint64_t mlpOverlap = 0;   ///< Σ in-flight LLC misses at issue
+    };
+
+    /** Per-PC mispredicting-branch attribution. */
+    struct BranchEntry
+    {
+        uint64_t mispredicts = 0;
+        uint64_t waitCycles = 0;
+        uint64_t robHeadDist = 0;
+    };
+
+    /** One (picked, bypassed) PC pair of the decision log. */
+    struct DecisionEntry
+    {
+        uint64_t picks = 0;      ///< times this pair occurred
+        uint64_t leadCycles = 0; ///< Σ dispatch-age gap jumped
+    };
+
+    /**
+     * Records one issued instruction. Loads and mispredicting
+     * control ops are attributed; everything else is ignored.
+     * @param inst the instruction, with issueCycle already stamped
+     * @param cycle the issue cycle
+     * @param rob_head_seq sequence number of the current ROB head
+     */
+    void onIssue(const DynInst &inst, uint64_t cycle,
+                 uint64_t rob_head_seq);
+
+    /**
+     * Records one two-level scheduler decision: the age matrix
+     * issued @p picked_pc although @p bypassed_pc was the oldest
+     * plain-ready instruction. @p lead is their dispatch-cycle gap
+     * (how much older the bypassed instruction is).
+     */
+    void onCriticalPick(uint64_t picked_pc, uint64_t bypassed_pc,
+                        uint64_t lead);
+
+    /** @return per-PC load table (keyed by PC, sorted). */
+    const std::map<uint64_t, LoadEntry> &loads() const
+    {
+        return loads_;
+    }
+    /** @return per-PC hard-branch table (keyed by PC, sorted). */
+    const std::map<uint64_t, BranchEntry> &branches() const
+    {
+        return branches_;
+    }
+    /** @return decision log keyed by (picked PC, bypassed PC). */
+    const std::map<std::pair<uint64_t, uint64_t>, DecisionEntry> &
+    decisions() const
+    {
+        return decisions_;
+    }
+
+    /** @return total decisions recorded. */
+    uint64_t decisionCount() const { return decisionCount_; }
+    /** @return total lead cycles across all decisions. */
+    uint64_t decisionLeadCycles() const { return decisionLead_; }
+
+    /**
+     * @return the top @p n load rows {pc, issues, llc_misses,
+     *         critical, wait_cycles, rob_head_dist, mlp_overlap},
+     *         sorted by attributed wait cycles (descending, PC
+     *         ascending on ties).
+     */
+    std::vector<std::vector<uint64_t>> topLoads(size_t n) const;
+
+    /** @return the top @p n branch rows {pc, mispredicts,
+     *          wait_cycles, rob_head_dist}, by wait cycles. */
+    std::vector<std::vector<uint64_t>> topBranches(size_t n) const;
+
+    /** @return the top @p n decision rows {picked_pc, bypassed_pc,
+     *          picks, lead_cycles}, by lead cycles. */
+    std::vector<std::vector<uint64_t>> topDecisions(size_t n) const;
+
+    /**
+     * Registers the profile under @p prefix: three sorted top-N
+     * tables (loads / branches / decisions, by cycles attributed)
+     * plus summary counters. Deterministic order, so exports are
+     * diff-stable and engine-independent.
+     */
+    void registerInto(StatRegistry &reg, const std::string &prefix,
+                      size_t top_n) const;
+
+  private:
+    std::map<uint64_t, LoadEntry> loads_;
+    std::map<uint64_t, BranchEntry> branches_;
+    std::map<std::pair<uint64_t, uint64_t>, DecisionEntry>
+        decisions_;
+    uint64_t decisionCount_ = 0;
+    uint64_t decisionLead_ = 0;
+
+    /** Completion cycles of in-flight LLC-miss loads; compacted on
+     *  access, bounded by the memory system's miss concurrency. */
+    std::vector<uint64_t> outstandingMisses_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_TELEMETRY_PC_PROFILER_H

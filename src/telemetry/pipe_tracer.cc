@@ -22,6 +22,12 @@ PipeTracer::retire(const InstRecord &rec)
     insts_.push_back(rec);
 }
 
+void
+PipeTracer::intervalBoundary(uint64_t cycle, uint64_t window)
+{
+    boundaries_.push_back({cycle, window});
+}
+
 namespace
 {
 
@@ -112,6 +118,14 @@ PipeTracer::writeTo(std::ostream &os) const
              "R\t" + sid + "\t" + std::to_string(retire_id++) +
                  "\t0");
     }
+
+    // Window edges as Kanata comments, after the instruction events
+    // of the edge cycle: the boundary closes the window that those
+    // retirements belong to.
+    for (const Boundary &b : boundaries_)
+        emit(b.cycle, "# [interval-boundary] window=" +
+                          std::to_string(b.window) +
+                          " cycle=" + std::to_string(b.cycle));
 
     std::stable_sort(events.begin(), events.end(),
                      [](const Event &a, const Event &b) {

@@ -70,6 +70,14 @@ class PipeTracer
     /** Records one retired instruction (window-filtered). */
     void retire(const InstRecord &rec);
 
+    /**
+     * Records one `--stats-every` window edge; rendered as an
+     * `# [interval-boundary]` comment at @p cycle so pipeline traces
+     * and interval time-series records can be cross-referenced.
+     * Boundaries are not subject to the fetch-cycle window filter.
+     */
+    void intervalBoundary(uint64_t cycle, uint64_t window);
+
     /** @return instructions recorded so far (inside the window). */
     size_t recorded() const { return insts_.size(); }
 
@@ -84,10 +92,18 @@ class PipeTracer
     const std::string &path() const { return path_; }
 
   private:
+    /** One recorded interval-window edge. */
+    struct Boundary
+    {
+        uint64_t cycle;
+        uint64_t window;
+    };
+
     std::string path_;
     uint64_t startCycle_;
     uint64_t endCycle_;
     std::vector<InstRecord> insts_;
+    std::vector<Boundary> boundaries_;
 };
 
 } // namespace crisp

@@ -177,6 +177,8 @@ histJson(const Histogram &h, const std::string &indent)
     out += indent + "  \"mean\": " + jsonNumber(h.average()) + ",\n";
     out += indent + "  \"p50\": " + jsonNumber(h.percentile(50)) +
            ",\n";
+    out += indent + "  \"p90\": " + jsonNumber(h.percentile(90)) +
+           ",\n";
     out += indent + "  \"p95\": " + jsonNumber(h.percentile(95)) +
            ",\n";
     out += indent + "  \"p99\": " + jsonNumber(h.percentile(99)) +
@@ -311,6 +313,8 @@ StatRegistry::toCsv() const
                    "\n";
             out += path + ".p50," +
                    jsonNumber(s.hist.percentile(50)) + "\n";
+            out += path + ".p90," +
+                   jsonNumber(s.hist.percentile(90)) + "\n";
             out += path + ".p95," +
                    jsonNumber(s.hist.percentile(95)) + "\n";
             out += path + ".p99," +

@@ -180,6 +180,74 @@ TEST(Cli, RejectsDuplicateTelemetryFlags)
                      .ok());
     EXPECT_FALSE(
         parseCli({"--trace-pipe", "a", "--trace-pipe", "b"}).ok());
+    EXPECT_FALSE(parseCli({"--stats-ndjson", "a", "--stats-ndjson",
+                           "b", "--stats-every", "100"})
+                     .ok());
+}
+
+TEST(Cli, ParsesIntervalStreaming)
+{
+    CliOptions opt = parseCli(
+        {"--stats-ndjson", "iv.ndjson", "--stats-every", "5000"});
+    ASSERT_TRUE(opt.ok()) << opt.error;
+    EXPECT_EQ(opt.statsNdjsonPath, "iv.ndjson");
+    EXPECT_EQ(opt.statsEvery, 5000u);
+
+    // A sink without a window length gets the default.
+    CliOptions dflt = parseCli({"--stats-ndjson", "iv.ndjson"});
+    ASSERT_TRUE(dflt.ok()) << dflt.error;
+    EXPECT_EQ(dflt.statsEvery, 10'000u);
+
+    // No sink requested: streaming stays off.
+    EXPECT_EQ(parseCli({}).statsEvery, 0u);
+}
+
+TEST(Cli, RejectsBadIntervalFlags)
+{
+    // A zero-length window can never emit a record.
+    CliOptions zero = parseCli(
+        {"--stats-ndjson", "iv.ndjson", "--stats-every", "0"});
+    EXPECT_FALSE(zero.ok());
+    EXPECT_NE(zero.error.find("positive"), std::string::npos);
+    EXPECT_FALSE(parseCli({"--stats-ndjson", "iv.ndjson",
+                           "--stats-every", "-5"})
+                     .ok());
+    EXPECT_FALSE(parseCli({"--stats-ndjson", "iv.ndjson",
+                           "--stats-every", "abc"})
+                     .ok());
+
+    // A window length without the NDJSON sink would silently
+    // discard every record, so it is rejected up front.
+    CliOptions nosink = parseCli({"--stats-every", "5000"});
+    EXPECT_FALSE(nosink.ok());
+    EXPECT_NE(nosink.error.find("--stats-ndjson"),
+              std::string::npos);
+}
+
+TEST(Cli, ParsesPcProfiling)
+{
+    EXPECT_FALSE(parseCli({}).profilePc);
+
+    CliOptions dflt = parseCli({"--profile-pc"});
+    ASSERT_TRUE(dflt.ok()) << dflt.error;
+    EXPECT_TRUE(dflt.profilePc);
+    EXPECT_EQ(dflt.profilePcTop, 32u);
+
+    CliOptions eight = parseCli({"--profile-pc=8"});
+    ASSERT_TRUE(eight.ok()) << eight.error;
+    EXPECT_TRUE(eight.profilePc);
+    EXPECT_EQ(eight.profilePcTop, 8u);
+}
+
+TEST(Cli, RejectsBadPcProfilingCounts)
+{
+    CliOptions bad = parseCli({"--profile-pc=abc"});
+    EXPECT_FALSE(bad.ok());
+    EXPECT_NE(bad.error.find("abc"), std::string::npos);
+    EXPECT_FALSE(parseCli({"--profile-pc=0"}).ok());
+    EXPECT_FALSE(parseCli({"--profile-pc="}).ok());
+    EXPECT_FALSE(parseCli({"--profile-pc=-3"}).ok());
+    EXPECT_FALSE(parseCli({"--profile-pc=4x"}).ok());
 }
 
 } // namespace

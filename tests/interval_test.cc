@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Interval time-series streamer tests.
+ *
+ * Two layers. Unit tests drive IntervalStreamer directly and pin the
+ * windowing algebra: boundary emission on executed ticks, idle-span
+ * splitting across multiple boundaries (the event engine's bulk
+ * charge), the final partial window, and the record format. Engine
+ * tests run full cores under both tick models and require the NDJSON
+ * streams to be **bit-identical** — the same guarantee DESIGN.md §9
+ * makes for end-of-run stats, extended to every window boundary — on
+ * a memory-bound workload (mcf) and a compute-bound one (namd), and
+ * reconcile the stream against the final CoreStats: window deltas
+ * must sum exactly to the run totals, because every cycle of the run
+ * belongs to exactly one window.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+#include "sim/artifact_cache.h"
+#include "sim/driver.h"
+#include "telemetry/interval.h"
+#include "telemetry/json.h"
+#include "telemetry/pipe_tracer.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Unit tests: windowing algebra on hand-built snapshots.
+// ---------------------------------------------------------------
+
+IntervalStreamer::Snapshot
+snapAt(uint64_t cycle, uint64_t retired, uint64_t issued)
+{
+    IntervalStreamer::Snapshot s;
+    s.cycle = cycle;
+    s.retired = retired;
+    s.issued = issued;
+    return s;
+}
+
+TEST(IntervalUnit, RejectsZeroWindow)
+{
+    EXPECT_THROW(IntervalStreamer(0), std::invalid_argument);
+}
+
+TEST(IntervalUnit, EmitsOnlyAtBoundaries)
+{
+    IntervalStreamer iv(100);
+    EXPECT_EQ(iv.nextBoundary(), 100u);
+    iv.onTick(snapAt(99, 10, 20));
+    EXPECT_TRUE(iv.records().empty());
+    iv.onTick(snapAt(100, 12, 24));
+    ASSERT_EQ(iv.records().size(), 1u);
+    EXPECT_EQ(iv.nextBoundary(), 200u);
+
+    JsonValue rec;
+    ASSERT_TRUE(parseJson(iv.records()[0], rec));
+    EXPECT_EQ(rec.at("window").number, 0.0);
+    EXPECT_EQ(rec.at("cycle").number, 100.0);
+    EXPECT_EQ(rec.at("cycles").number, 100.0);
+    EXPECT_EQ(rec.at("retired").number, 12.0);
+    EXPECT_EQ(rec.at("issued").number, 24.0);
+    EXPECT_DOUBLE_EQ(rec.at("ipc").number, 0.12);
+    // Unlabelled streamer: no variant field.
+    EXPECT_FALSE(rec.has("variant"));
+}
+
+TEST(IntervalUnit, SecondWindowIsADelta)
+{
+    IntervalStreamer iv(100, "crisp");
+    iv.onTick(snapAt(100, 50, 60));
+    iv.onTick(snapAt(200, 80, 95));
+    ASSERT_EQ(iv.records().size(), 2u);
+
+    JsonValue rec;
+    ASSERT_TRUE(parseJson(iv.records()[1], rec));
+    EXPECT_EQ(rec.at("variant").text, "crisp");
+    EXPECT_EQ(rec.at("window").number, 1.0);
+    EXPECT_EQ(rec.at("retired").number, 30.0);
+    EXPECT_EQ(rec.at("issued").number, 35.0);
+}
+
+TEST(IntervalUnit, IdleSpanSplitsAcrossBoundaries)
+{
+    IntervalStreamer iv(100);
+    // Executed ticks up to cycle 150, then an idle span of 380
+    // cycles covering boundaries 200, 300, 400 and 500.
+    IntervalStreamer::Snapshot base = snapAt(150, 7, 9);
+    base.cpi[size_t(CpiBucket::BackendMemory)] = 40;
+    iv.onTick(snapAt(100, 5, 6));
+    iv.onIdleSpan(base, 380, CpiBucket::BackendMemory);
+    ASSERT_EQ(iv.records().size(), 5u);
+    EXPECT_EQ(iv.nextBoundary(), 600u);
+
+    // Each synthesized boundary freezes every counter and charges
+    // the idle bucket for the elapsed cycles.
+    for (size_t w = 1; w <= 4; ++w) {
+        JsonValue rec;
+        ASSERT_TRUE(parseJson(iv.records()[w], rec));
+        EXPECT_EQ(rec.at("cycle").number, double(100 + 100 * w));
+        EXPECT_EQ(rec.at("cycles").number, 100.0);
+        // All retire/issue activity happened in executed cycles
+        // 101..150, inside window 1; later windows are pure idle.
+        EXPECT_EQ(rec.at("retired").number, w == 1 ? 2.0 : 0.0);
+        EXPECT_EQ(rec.at("cpi").at("backend-memory").number,
+                  w == 1 ? 90.0 : 100.0);
+    }
+}
+
+TEST(IntervalUnit, FinishEmitsPartialWindowOnce)
+{
+    IntervalStreamer iv(100);
+    iv.onTick(snapAt(100, 10, 10));
+    iv.finish(snapAt(142, 13, 14));
+    ASSERT_EQ(iv.records().size(), 2u);
+    JsonValue rec;
+    ASSERT_TRUE(parseJson(iv.records()[1], rec));
+    EXPECT_EQ(rec.at("cycle").number, 142.0);
+    EXPECT_EQ(rec.at("cycles").number, 42.0);
+    EXPECT_EQ(rec.at("retired").number, 3.0);
+
+    // A run ending exactly on a boundary has nothing left to emit.
+    IntervalStreamer exact(100);
+    exact.onTick(snapAt(100, 10, 10));
+    exact.finish(snapAt(100, 10, 10));
+    EXPECT_EQ(exact.records().size(), 1u);
+}
+
+TEST(IntervalUnit, NotifiesTracerAtEachBoundary)
+{
+    PipeTracer tracer("unused.kanata");
+    IntervalStreamer iv(50);
+    iv.setTracer(&tracer);
+    iv.onTick(snapAt(50, 1, 1));
+    iv.onIdleSpan(snapAt(60, 2, 2), 90, CpiBucket::BackendMemory);
+    iv.finish(snapAt(170, 3, 3));
+
+    std::ostringstream os;
+    tracer.writeTo(os);
+    const std::string log = os.str();
+    EXPECT_NE(log.find("# [interval-boundary] window=0 cycle=50"),
+              std::string::npos);
+    EXPECT_NE(log.find("# [interval-boundary] window=1 cycle=100"),
+              std::string::npos);
+    EXPECT_NE(log.find("# [interval-boundary] window=2 cycle=150"),
+              std::string::npos);
+    EXPECT_NE(log.find("# [interval-boundary] window=3 cycle=170"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Engine identity + CoreStats reconciliation on real workloads.
+// ---------------------------------------------------------------
+
+constexpr uint64_t kRefOps = 60'000;
+constexpr uint64_t kEvery = 3'000;
+
+/** Shared across all instantiations in one process. */
+ArtifactCache &
+cache()
+{
+    static ArtifactCache c;
+    return c;
+}
+
+struct RunResult
+{
+    CoreStats stats;
+    std::vector<std::string> records;
+};
+
+RunResult
+runWith(const Trace &trace, SimConfig cfg, TickModel model)
+{
+    cfg.tickModel = model;
+    Core core(trace, cfg);
+    IntervalStreamer iv(kEvery);
+    core.setInterval(&iv);
+    RunResult r;
+    r.stats = core.run();
+    r.records = iv.records();
+    return r;
+}
+
+/** Asserts Σ window deltas == final CoreStats totals. */
+void
+reconcile(const RunResult &r)
+{
+    uint64_t cycles = 0, retired = 0, issued = 0, crit = 0;
+    std::array<uint64_t, kNumCpiBuckets> cpi{};
+    uint64_t last_cycle = 0;
+    for (size_t w = 0; w < r.records.size(); ++w) {
+        JsonValue rec;
+        ASSERT_TRUE(parseJson(r.records[w], rec));
+        EXPECT_EQ(rec.at("window").number, double(w));
+        cycles += uint64_t(rec.at("cycles").number);
+        retired += uint64_t(rec.at("retired").number);
+        issued += uint64_t(rec.at("issued").number);
+        crit += uint64_t(rec.at("critical_issued").number);
+        for (size_t b = 0; b < kNumCpiBuckets; ++b)
+            cpi[b] += uint64_t(
+                rec.at("cpi").at(cpiBucketName(CpiBucket(b)))
+                    .number);
+        // Windows tile the run: each ends where the next begins.
+        EXPECT_EQ(uint64_t(rec.at("cycle").number),
+                  last_cycle + uint64_t(rec.at("cycles").number));
+        last_cycle = uint64_t(rec.at("cycle").number);
+    }
+    EXPECT_EQ(cycles, r.stats.cycles);
+    EXPECT_EQ(last_cycle, r.stats.cycles);
+    EXPECT_EQ(retired, r.stats.retired);
+    EXPECT_EQ(issued, r.stats.issued);
+    EXPECT_EQ(crit, r.stats.issuedPrioritized);
+    for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+        SCOPED_TRACE(cpiBucketName(CpiBucket(b)));
+        EXPECT_EQ(cpi[b], r.stats.cpi.cycles[b]);
+    }
+}
+
+class IntervalEngineIdentity
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const WorkloadInfo &wl() const
+    {
+        const WorkloadInfo *w = findWorkload(GetParam());
+        EXPECT_NE(w, nullptr);
+        return *w;
+    }
+};
+
+TEST_P(IntervalEngineIdentity, BaselineOoo)
+{
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    auto trace = cache().trace(wl(), InputSet::Ref, kRefOps);
+    RunResult cyc = runWith(*trace, cfg, TickModel::Cycle);
+    RunResult evt = runWith(*trace, cfg, TickModel::Event);
+    // Bit-identical stream: same count, same bytes, every record.
+    ASSERT_EQ(cyc.records.size(), evt.records.size());
+    for (size_t i = 0; i < cyc.records.size(); ++i) {
+        SCOPED_TRACE("window " + std::to_string(i));
+        EXPECT_EQ(cyc.records[i], evt.records[i]);
+    }
+    reconcile(cyc);
+    reconcile(evt);
+}
+
+TEST_P(IntervalEngineIdentity, CrispTagged)
+{
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::CrispPriority;
+    CrispOptions opts;
+    auto trace = cache().taggedRefTrace(wl(), opts, cfg,
+                                        /*train=*/30'000, kRefOps);
+    RunResult cyc = runWith(*trace, cfg, TickModel::Cycle);
+    RunResult evt = runWith(*trace, cfg, TickModel::Event);
+    ASSERT_EQ(cyc.records.size(), evt.records.size());
+    for (size_t i = 0; i < cyc.records.size(); ++i) {
+        SCOPED_TRACE("window " + std::to_string(i));
+        EXPECT_EQ(cyc.records[i], evt.records[i]);
+    }
+    reconcile(cyc);
+    reconcile(evt);
+}
+
+// mcf: memory-bound, long idle spans the event engine skips in bulk
+// (spans straddle window boundaries). namd: compute-bound with high
+// base ILP, so boundaries mostly land on executed ticks. Together
+// they cover both paths into emitWindow().
+INSTANTIATE_TEST_SUITE_P(
+    MemoryAndComputeBound, IntervalEngineIdentity,
+    ::testing::Values("mcf", "namd"),
+    [](const ::testing::TestParamInfo<std::string> &pinfo) {
+        return pinfo.param;
+    });
+
+} // namespace
+} // namespace crisp

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "sim/stats.h"
 #include "sim/table.h"
+#include "telemetry/json.h"
+#include "telemetry/stat_registry.h"
 
 namespace crisp
 {
@@ -100,6 +103,45 @@ TEST(Histogram, MergeRejectsMismatchedGeometry)
     EXPECT_THROW(a.merge(wrong_count), std::invalid_argument);
     EXPECT_THROW(a.merge(wrong_width), std::invalid_argument);
     EXPECT_DOUBLE_EQ(a.bucketWidth(), 10.0);
+}
+
+TEST(Histogram, QuantilesExportedByRegistry)
+{
+    // The registry's histogram export carries the full quantile
+    // ladder (p50/p90/p95/p99) so run-diff tooling (crisp_report)
+    // can compare tail latencies without reconstructing them from
+    // raw buckets.
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(double(i));
+
+    StatRegistry reg;
+    reg.addHistogram("core.issue_wait", h);
+
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(reg.toJson(), doc, &err)) << err;
+    const JsonValue *hist = doc.find("core.issue_wait");
+    ASSERT_NE(hist, nullptr);
+    for (const char *q : {"p50", "p90", "p95", "p99"}) {
+        SCOPED_TRACE(q);
+        ASSERT_TRUE(hist->has(q));
+        EXPECT_DOUBLE_EQ(hist->at(q).number,
+                         h.percentile(std::atof(q + 1)));
+    }
+    // The ladder is ordered on this uniform distribution.
+    EXPECT_LT(hist->at("p50").number, hist->at("p90").number);
+    EXPECT_LT(hist->at("p90").number, hist->at("p95").number);
+    EXPECT_LT(hist->at("p95").number, hist->at("p99").number);
+
+    // CSV rows mirror the JSON fields.
+    std::string csv = reg.toCsv();
+    for (const char *row :
+         {"core.issue_wait.p50,", "core.issue_wait.p90,",
+          "core.issue_wait.p95,", "core.issue_wait.p99,"}) {
+        SCOPED_TRACE(row);
+        EXPECT_NE(csv.find(row), std::string::npos);
+    }
 }
 
 TEST(Table, AlignsAndPads)

@@ -1,0 +1,549 @@
+/**
+ * @file
+ * crisp_report: run-diff regression reports over telemetry exports.
+ *
+ * Takes two `--stats-json` documents (or any JSON the StatRegistry /
+ * bench gates emit — BENCH_cpi_stack.json works the same way),
+ * flattens each to dotted-path metrics, and renders a markdown report
+ * of their differences: aggregate IPC movement, per-metric deltas
+ * against a threshold, a CPI-stack waterfall and the top
+ * regressed/improved per-PC attributions.
+ *
+ * The two sides may be different files (last PR vs this PR) or two
+ * namespaces of the *same* file selected with --prefix-a/--prefix-b
+ * (baseline ooo vs crisp inside one crisp_sim export) — the latter is
+ * how CI gates "crisp must not regress against its own baseline".
+ *
+ *   crisp_report stats.json stats.json --prefix-a ooo \
+ *       --prefix-b crisp --fail-below -1.0 -o report.md
+ *
+ * Exit status: 0 = pass, 1 = the --fail-below gate tripped,
+ * 2 = usage or input error.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+#include "telemetry/cpi_stack.h"
+#include "telemetry/json.h"
+
+using namespace crisp;
+
+namespace
+{
+
+struct Options
+{
+    std::string fileA, fileB;
+    std::string prefixA, prefixB;
+    std::string labelA, labelB;
+    std::string outPath;
+    double threshold = 1.0;  ///< per-metric report threshold, %
+    double failBelow = 0.0;  ///< aggregate IPC gate, %
+    bool gate = false;       ///< --fail-below given
+    uint64_t top = 20;       ///< max rows per section
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+const char *kUsage =
+    "usage: crisp_report A.json B.json [options]\n"
+    "  --prefix-a P     keep only A-metrics under namespace P\n"
+    "  --prefix-b P     keep only B-metrics under namespace P\n"
+    "  --label-a NAME   report label for side A (default: prefix\n"
+    "                   or file name)\n"
+    "  --label-b NAME   report label for side B\n"
+    "  --threshold PCT  per-metric delta worth reporting\n"
+    "                   (default 1.0)\n"
+    "  --fail-below PCT exit 1 when the aggregate IPC delta (%%)\n"
+    "                   falls below PCT (e.g. -1.0 = fail on >1%%\n"
+    "                   regression)\n"
+    "  --top N          max rows per report section (default 20)\n"
+    "  -o FILE          also write the markdown report to FILE\n";
+
+Options
+parseArgs(const std::vector<std::string> &args)
+{
+    Options opt;
+    std::vector<std::string> positional;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto need_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= args.size()) {
+                opt.error = std::string(flag) + " requires a value";
+                return nullptr;
+            }
+            return args[++i].c_str();
+        };
+        auto need_double = [&](const char *flag, double &out) {
+            const char *v = need_value(flag);
+            if (!v)
+                return;
+            char *end = nullptr;
+            out = std::strtod(v, &end);
+            if (end == v || *end != '\0')
+                opt.error = std::string(flag) +
+                            " expects a number, got '" + v + "'";
+        };
+        if (a == "--prefix-a") {
+            if (const char *v = need_value("--prefix-a"))
+                opt.prefixA = v;
+        } else if (a == "--prefix-b") {
+            if (const char *v = need_value("--prefix-b"))
+                opt.prefixB = v;
+        } else if (a == "--label-a") {
+            if (const char *v = need_value("--label-a"))
+                opt.labelA = v;
+        } else if (a == "--label-b") {
+            if (const char *v = need_value("--label-b"))
+                opt.labelB = v;
+        } else if (a == "--threshold") {
+            need_double("--threshold", opt.threshold);
+        } else if (a == "--fail-below") {
+            need_double("--fail-below", opt.failBelow);
+            opt.gate = true;
+        } else if (a == "--top") {
+            const char *v = need_value("--top");
+            if (!v)
+                continue;
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(v, &end, 10);
+            if (end == v || *end != '\0' || n == 0)
+                opt.error = "--top expects a positive integer, "
+                            "got '" + std::string(v) + "'";
+            opt.top = n;
+        } else if (a == "-o" || a == "--output") {
+            if (const char *v = need_value("-o"))
+                opt.outPath = v;
+        } else if (!a.empty() && a[0] == '-') {
+            opt.error = "unknown flag '" + a + "'";
+        } else {
+            positional.push_back(a);
+        }
+        if (!opt.ok())
+            return opt;
+    }
+    if (positional.size() != 2) {
+        opt.error = "expected exactly two input files";
+        return opt;
+    }
+    opt.fileA = positional[0];
+    opt.fileB = positional[1];
+    if (opt.labelA.empty())
+        opt.labelA = opt.prefixA.empty() ? opt.fileA : opt.prefixA;
+    if (opt.labelB.empty())
+        opt.labelB = opt.prefixB.empty() ? opt.fileB : opt.prefixB;
+    return opt;
+}
+
+using MetricMap = std::map<std::string, double>;
+
+/** @return true when @p v looks like a StatRegistry table export. */
+bool
+isTable(const JsonValue &v)
+{
+    return v.isObject() && v.members.size() == 2 &&
+           v.has("columns") && v.has("rows") &&
+           v.at("columns").isArray() && v.at("rows").isArray();
+}
+
+/**
+ * Flattens @p v into dotted-path leaves. Numbers become metrics;
+ * tables expand to path.<first-column-value>.<column>; strings,
+ * booleans and plain arrays (histogram buckets) are skipped.
+ */
+void
+flatten(const JsonValue &v, const std::string &path, MetricMap &out)
+{
+    if (v.isNumber()) {
+        if (!path.empty())
+            out[path] = v.number;
+        return;
+    }
+    if (isTable(v)) {
+        const auto &cols = v.at("columns").elements;
+        for (const JsonValue &row : v.at("rows").elements) {
+            if (!row.isArray() || row.elements.empty() ||
+                !row.elements[0].isNumber())
+                continue;
+            std::string key =
+                path + "." + jsonNumber(row.elements[0].number);
+            for (size_t c = 1; c < row.elements.size() &&
+                               c < cols.size();
+                 ++c)
+                if (row.elements[c].isNumber())
+                    out[key + "." + cols[c].text] =
+                        row.elements[c].number;
+        }
+        return;
+    }
+    if (v.isObject())
+        for (const auto &[key, member] : v.members)
+            flatten(member, path.empty() ? key : path + "." + key,
+                    out);
+}
+
+/** Keeps only metrics under @p prefix, stripping it. */
+MetricMap
+selectPrefix(const MetricMap &in, const std::string &prefix)
+{
+    if (prefix.empty())
+        return in;
+    MetricMap out;
+    std::string stem = prefix + ".";
+    for (const auto &[path, value] : in)
+        if (path.compare(0, stem.size(), stem) == 0)
+            out[path.substr(stem.size())] = value;
+    return out;
+}
+
+/** Loads, parses, flattens and prefix-selects one input file. */
+bool
+loadMetrics(const std::string &file, const std::string &prefix,
+            MetricMap &out, std::string &error)
+{
+    std::ifstream is(file);
+    if (!is) {
+        error = "cannot open " + file;
+        return false;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    JsonValue doc;
+    if (!parseJson(text.str(), doc, &error)) {
+        error = file + ": " + error;
+        return false;
+    }
+    MetricMap all;
+    flatten(doc, "", all);
+    out = selectPrefix(all, prefix);
+    if (out.empty()) {
+        error = file + ": no numeric metrics" +
+                (prefix.empty() ? "" : " under prefix '" + prefix +
+                                           "'");
+        return false;
+    }
+    return true;
+}
+
+/** One metric present on both sides. */
+struct Delta
+{
+    std::string path;
+    double a = 0, b = 0;
+
+    double abs() const { return b - a; }
+    /** Relative delta in percent; 0 when both sides are 0, huge when
+     *  only A is 0 (a metric appearing from nothing). */
+    double pct() const
+    {
+        if (a != 0)
+            return (b / a - 1.0) * 100.0;
+        return b == 0 ? 0.0 : 1e99;
+    }
+};
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+std::string
+fmtValue(double v)
+{
+    return jsonNumber(std::round(v * 10000.0) / 10000.0);
+}
+
+std::string
+fmtPct(double pct)
+{
+    if (pct >= 1e98)
+        return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.2f%%", pct);
+    return buf;
+}
+
+/** ASCII bar proportional to value/scale, up to 20 cells. */
+std::string
+bar(double value, double scale)
+{
+    if (scale <= 0)
+        return "";
+    int cells = int(std::lround(20.0 * value / scale));
+    return std::string(size_t(std::max(cells, 0)), '#');
+}
+
+/** True for per-PC table rows, which get their own report section. */
+bool
+isPerPcPath(const std::string &path)
+{
+    return path.find("head_stall_by_static.") != std::string::npos ||
+           path.find("issue_wait_by_static.") != std::string::npos ||
+           path.find("profile.loads.") != std::string::npos ||
+           path.find("profile.branches.") != std::string::npos ||
+           path.find("profile.decisions.") != std::string::npos;
+}
+
+/**
+ * Aggregate speed movement in percent: geomean of the B/A IPC ratios
+ * when any `.ipc` metrics exist, otherwise geomean of the A/B cycle
+ * ratios (fewer cycles = faster). @p basis receives a description of
+ * which metrics fed the aggregate.
+ */
+double
+aggregateDelta(const std::vector<Delta> &deltas, std::string &basis)
+{
+    std::vector<double> ratios;
+    for (const Delta &d : deltas)
+        if ((d.path == "ipc" || endsWith(d.path, ".ipc")) &&
+            d.a > 0 && d.b > 0)
+            ratios.push_back(d.b / d.a);
+    if (!ratios.empty()) {
+        basis = std::to_string(ratios.size()) + " IPC metric" +
+                (ratios.size() == 1 ? "" : "s");
+        return (geomean(ratios) - 1.0) * 100.0;
+    }
+    for (const Delta &d : deltas)
+        if ((d.path == "cycles" || endsWith(d.path, ".cycles")) &&
+            !isPerPcPath(d.path) && d.a > 0 && d.b > 0)
+            ratios.push_back(d.a / d.b);
+    if (!ratios.empty()) {
+        basis = std::to_string(ratios.size()) +
+                " cycle metric" + (ratios.size() == 1 ? "" : "s") +
+                " (inverted)";
+        return (geomean(ratios) - 1.0) * 100.0;
+    }
+    basis = "no IPC or cycle metrics";
+    return 0.0;
+}
+
+std::string
+buildReport(const Options &opt, const MetricMap &ma,
+            const MetricMap &mb, double &agg_delta)
+{
+    std::vector<Delta> deltas;
+    size_t only_a = 0, only_b = 0;
+    for (const auto &[path, value] : ma) {
+        auto it = mb.find(path);
+        if (it == mb.end())
+            ++only_a;
+        else
+            deltas.push_back({path, value, it->second});
+    }
+    for (const auto &[path, value] : mb)
+        if (!ma.count(path))
+            ++only_b;
+
+    std::string basis;
+    agg_delta = aggregateDelta(deltas, basis);
+
+    std::ostringstream md;
+    md << "# crisp_report: " << opt.labelA << " vs " << opt.labelB
+       << "\n\n";
+    md << "- A: `" << opt.fileA << "`";
+    if (!opt.prefixA.empty())
+        md << " (prefix `" << opt.prefixA << "`)";
+    md << " — " << opt.labelA << "\n";
+    md << "- B: `" << opt.fileB << "`";
+    if (!opt.prefixB.empty())
+        md << " (prefix `" << opt.prefixB << "`)";
+    md << " — " << opt.labelB << "\n";
+    md << "- metrics compared: " << deltas.size() << " common, "
+       << only_a << " only in A, " << only_b << " only in B\n";
+    md << "- aggregate IPC delta (B vs A): **" << fmtPct(agg_delta)
+       << "** over " << basis << "\n";
+    if (opt.gate) {
+        bool pass = agg_delta >= opt.failBelow;
+        md << "- gate `--fail-below " << fmtValue(opt.failBelow)
+           << "`: " << (pass ? "**PASS**" : "**FAIL**") << "\n";
+    }
+    md << "\n";
+
+    // Aggregate table: every IPC metric side by side.
+    {
+        std::vector<const Delta *> rows;
+        for (const Delta &d : deltas)
+            if (d.path == "ipc" || endsWith(d.path, ".ipc"))
+                rows.push_back(&d);
+        if (!rows.empty()) {
+            md << "## Aggregate\n\n";
+            md << "| metric | " << opt.labelA << " | " << opt.labelB
+               << " | delta |\n";
+            md << "|---|---:|---:|---:|\n";
+            for (const Delta *d : rows)
+                md << "| `" << d->path << "` | " << fmtValue(d->a)
+                   << " | " << fmtValue(d->b) << " | "
+                   << fmtPct(d->pct()) << " |\n";
+            md << "\n";
+        }
+    }
+
+    // CPI-stack waterfall over whichever cpi.* buckets both sides
+    // carry (absolute cycles, with a share bar for side B).
+    {
+        std::vector<const Delta *> rows;
+        double scale = 0;
+        for (const Delta &d : deltas) {
+            for (size_t b = 0; b < kNumCpiBuckets; ++b) {
+                std::string name = cpiBucketName(CpiBucket(b));
+                if (endsWith(d.path, "cpi." + name) ||
+                    d.path == "cpi." + name || d.path == name) {
+                    rows.push_back(&d);
+                    scale = std::max(scale, std::max(d.a, d.b));
+                }
+            }
+        }
+        if (!rows.empty()) {
+            md << "## CPI stack\n\n";
+            md << "| bucket | " << opt.labelA << " | " << opt.labelB
+               << " | delta | delta% | " << opt.labelB << " |\n";
+            md << "|---|---:|---:|---:|---:|:---|\n";
+            for (const Delta *d : rows)
+                md << "| `" << d->path << "` | " << fmtValue(d->a)
+                   << " | " << fmtValue(d->b) << " | "
+                   << fmtValue(d->abs()) << " | "
+                   << fmtPct(d->pct()) << " | "
+                   << bar(d->b, scale) << " |\n";
+            md << "\n";
+        }
+    }
+
+    // Per-metric deltas above the report threshold, largest first.
+    {
+        std::vector<const Delta *> rows;
+        for (const Delta &d : deltas)
+            if (!isPerPcPath(d.path) &&
+                std::fabs(d.pct()) >= opt.threshold)
+                rows.push_back(&d);
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const Delta *x, const Delta *y) {
+                             return std::fabs(x->pct()) >
+                                    std::fabs(y->pct());
+                         });
+        if (rows.size() > opt.top)
+            rows.resize(size_t(opt.top));
+        md << "## Metric deltas (|delta| >= "
+           << fmtValue(opt.threshold) << "%, top "
+           << opt.top << ")\n\n";
+        if (rows.empty()) {
+            md << "No metric moved by more than "
+               << fmtValue(opt.threshold) << "%.\n\n";
+        } else {
+            md << "| metric | " << opt.labelA << " | " << opt.labelB
+               << " | delta% |\n";
+            md << "|---|---:|---:|---:|\n";
+            for (const Delta *d : rows)
+                md << "| `" << d->path << "` | " << fmtValue(d->a)
+                   << " | " << fmtValue(d->b) << " | "
+                   << fmtPct(d->pct()) << " |\n";
+            md << "\n";
+        }
+    }
+
+    // Per-PC attribution movement: stall/wait cycles per static
+    // instruction or PC, split into regressions and improvements.
+    {
+        std::vector<const Delta *> rows;
+        for (const Delta &d : deltas)
+            if (isPerPcPath(d.path) &&
+                (endsWith(d.path, ".cycles") ||
+                 endsWith(d.path, ".wait_cycles") ||
+                 endsWith(d.path, ".lead_cycles")) &&
+                d.abs() != 0)
+                rows.push_back(&d);
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const Delta *x, const Delta *y) {
+                             return std::fabs(x->abs()) >
+                                    std::fabs(y->abs());
+                         });
+        auto emitSide = [&](const char *title, bool regressed) {
+            std::vector<const Delta *> side;
+            for (const Delta *d : rows) {
+                if ((d->abs() > 0) == regressed)
+                    side.push_back(d);
+                if (side.size() >= opt.top)
+                    break;
+            }
+            if (side.empty())
+                return;
+            md << "### " << title << "\n\n";
+            md << "| metric | " << opt.labelA << " | " << opt.labelB
+               << " | delta cycles |\n";
+            md << "|---|---:|---:|---:|\n";
+            for (const Delta *d : side)
+                md << "| `" << d->path << "` | " << fmtValue(d->a)
+                   << " | " << fmtValue(d->b) << " | "
+                   << fmtValue(d->abs()) << " |\n";
+            md << "\n";
+        };
+        if (!rows.empty()) {
+            md << "## Per-PC attribution\n\n";
+            emitSide("Top regressed PCs (more stall/wait cycles)",
+                     true);
+            emitSide("Top improved PCs (fewer stall/wait cycles)",
+                     false);
+        }
+    }
+
+    return md.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    Options opt = parseArgs(args);
+    if (!opt.ok()) {
+        std::fprintf(stderr, "crisp_report: %s\n%s",
+                     opt.error.c_str(), kUsage);
+        return 2;
+    }
+
+    MetricMap ma, mb;
+    std::string error;
+    if (!loadMetrics(opt.fileA, opt.prefixA, ma, error) ||
+        !loadMetrics(opt.fileB, opt.prefixB, mb, error)) {
+        std::fprintf(stderr, "crisp_report: %s\n", error.c_str());
+        return 2;
+    }
+
+    double agg_delta = 0.0;
+    std::string report = buildReport(opt, ma, mb, agg_delta);
+    std::fputs(report.c_str(), stdout);
+
+    if (!opt.outPath.empty()) {
+        std::ofstream os(opt.outPath);
+        os << report;
+        if (!os) {
+            std::fprintf(stderr, "crisp_report: failed to write %s\n",
+                         opt.outPath.c_str());
+            return 2;
+        }
+        std::fprintf(stderr, "report written to %s\n",
+                     opt.outPath.c_str());
+    }
+
+    if (opt.gate && agg_delta < opt.failBelow) {
+        std::fprintf(stderr,
+                     "crisp_report: aggregate IPC delta %+.2f%% is "
+                     "below the --fail-below gate %+.2f%%\n",
+                     agg_delta, opt.failBelow);
+        return 1;
+    }
+    return 0;
+}

@@ -12,13 +12,18 @@
 
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <vector>
 
 #include "sim/artifact_cache.h"
 #include "sim/cli.h"
 #include "sim/driver.h"
+#include "sim/table.h"
 #include "sim/thread_pool.h"
+#include "telemetry/interval.h"
+#include "telemetry/pc_profiler.h"
 #include "telemetry/pipe_tracer.h"
 #include "telemetry/stat_registry.h"
 #include "trace/trace_io.h"
@@ -28,6 +33,78 @@ using namespace crisp;
 
 namespace
 {
+
+/** Hex-formats a PC for the profile tables. */
+std::string
+pcString(uint64_t pc)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%08llx",
+                  static_cast<unsigned long long>(pc));
+    return buf;
+}
+
+/** Formats a ratio total/samples to two decimals ("-" for 0/0). */
+std::string
+meanCell(uint64_t total, uint64_t samples)
+{
+    if (samples == 0)
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  double(total) / double(samples));
+    return buf;
+}
+
+/**
+ * Prints one variant's per-PC attribution profile: the delinquent
+ * load table, the hard-branch table and the scheduler decision log,
+ * each truncated to the CLI's top-N.
+ */
+void
+reportProfile(const char *label, const PcProfiler &prof, size_t top)
+{
+    std::printf("\n--- %s per-PC attribution (top %zu by cycles "
+                "attributed) ---\n",
+                label, top);
+
+    Table loads({"load pc", "issues", "llc miss", "critical",
+                 "wait cyc", "mean wait", "mean head dist",
+                 "mean mlp"});
+    for (const auto &r : prof.topLoads(top))
+        loads.addRow({pcString(r[0]), std::to_string(r[1]),
+                      std::to_string(r[2]), std::to_string(r[3]),
+                      std::to_string(r[4]), meanCell(r[4], r[1]),
+                      meanCell(r[5], r[1]), meanCell(r[6], r[2])});
+    if (loads.rows())
+        loads.print(std::cout);
+    else
+        std::printf("(no loads issued)\n");
+
+    Table branches(
+        {"branch pc", "mispredicts", "wait cyc", "mean head dist"});
+    for (const auto &r : prof.topBranches(top))
+        branches.addRow({pcString(r[0]), std::to_string(r[1]),
+                         std::to_string(r[2]),
+                         meanCell(r[3], r[1])});
+    if (branches.rows())
+        branches.print(std::cout);
+
+    Table picks({"picked pc", "bypassed pc", "picks", "lead cyc",
+                 "mean lead"});
+    for (const auto &r : prof.topDecisions(top))
+        picks.addRow({pcString(r[0]), pcString(r[1]),
+                      std::to_string(r[2]), std::to_string(r[3]),
+                      meanCell(r[3], r[2])});
+    if (picks.rows())
+        picks.print(std::cout);
+    std::printf("%llu critical picks bypassed older work for %llu "
+                "lead cycles total\n",
+                static_cast<unsigned long long>(
+                    prof.decisionCount()),
+                static_cast<unsigned long long>(
+                    prof.decisionLeadCycles()));
+}
 
 void
 report(const char *label, const CoreStats &s)
@@ -103,6 +180,25 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
         traced = runs.size() - 1; // runs[] is ordered ooo, ibda, crisp
     }
 
+    // Per-variant attribution profilers and interval streamers:
+    // independent instances, so the parallel variant runs never
+    // share mutable telemetry state.
+    std::vector<std::unique_ptr<PcProfiler>> profilers(runs.size());
+    std::vector<std::unique_ptr<IntervalStreamer>> intervals(
+        runs.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+        if (opt.profilePc)
+            profilers[i] = std::make_unique<PcProfiler>();
+        if (opt.statsEvery > 0) {
+            intervals[i] = std::make_unique<IntervalStreamer>(
+                opt.statsEvery, runs[i].label);
+            // The traced variant's window edges also land in the
+            // Kanata log as [interval-boundary] comments.
+            if (i == traced)
+                intervals[i]->setTracer(tracer.get());
+        }
+    }
+
     ThreadPool pool(opt.jobs);
     pool.parallelFor(runs.size(), [&](size_t i) {
         Variant &v = runs[i];
@@ -113,7 +209,8 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
                                        opt.refOps)
                 : cache.trace(*wl, InputSet::Ref, opt.refOps);
         v.stats = runCore(*trace, v.cfg, false,
-                          i == traced ? tracer.get() : nullptr);
+                          i == traced ? tracer.get() : nullptr,
+                          profilers[i].get(), intervals[i].get());
     });
 
     double base_ipc = 0;
@@ -126,6 +223,11 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
                         (v.stats.ipc() / base_ipc - 1.0) * 100.0);
     }
 
+    if (opt.profilePc)
+        for (size_t i = 0; i < runs.size(); ++i)
+            reportProfile(runs[i].label, *profilers[i],
+                          size_t(opt.profilePcTop));
+
     // Telemetry exports. The registry is built from the finished
     // CoreStats, whose values are independent of --jobs, and its key
     // order is canonical — so the files are byte-identical at any
@@ -136,6 +238,12 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
         reg.addInfo("sim.machine", opt.machine.describe());
         for (const Variant &v : runs)
             v.stats.registerInto(reg, v.label);
+        if (opt.profilePc)
+            for (size_t i = 0; i < runs.size(); ++i)
+                profilers[i]->registerInto(
+                    reg,
+                    statPath(runs[i].label, "profile"),
+                    size_t(opt.profilePcTop));
         if (!opt.statsJsonPath.empty()) {
             if (reg.writeJson(opt.statsJsonPath))
                 std::printf("stats JSON written to %s\n",
@@ -152,6 +260,28 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
                 std::fprintf(stderr, "failed to write %s\n",
                              opt.statsCsvPath.c_str());
         }
+    }
+    // Interval time-series: all variants stream into one NDJSON file
+    // in run order; each record carries its variant label. Buffered
+    // during the runs, written here, so the file is byte-identical at
+    // any --jobs.
+    if (!opt.statsNdjsonPath.empty()) {
+        std::ofstream os(opt.statsNdjsonPath);
+        uint64_t windows = 0;
+        for (const auto &iv : intervals) {
+            os << iv->ndjson();
+            windows += iv->records().size();
+        }
+        if (os)
+            std::printf("interval NDJSON written to %s "
+                        "(%llu windows of %llu cycles)\n",
+                        opt.statsNdjsonPath.c_str(),
+                        static_cast<unsigned long long>(windows),
+                        static_cast<unsigned long long>(
+                            opt.statsEvery));
+        else
+            std::fprintf(stderr, "failed to write %s\n",
+                         opt.statsNdjsonPath.c_str());
     }
     if (tracer) {
         if (tracer->write())
