@@ -5,14 +5,17 @@
  * matrix, the interpreter, and end-to-end core simulation speed.
  * These guard the "laptop-runnable" property of the reproduction.
  *
- * Before the microbenchmarks, the binary runs two end-to-end
+ * Before the microbenchmarks, the binary runs three end-to-end
  * comparisons and writes each to a JSON file for machines to read:
  *
  * - the cycle vs event core engines on a mixed workload set,
  *   asserting bit-identical statistics (BENCH_core_event.json;
- *   a divergence makes the binary exit nonzero), and
+ *   a divergence makes the binary exit nonzero),
  * - the parallel evaluation engine, the same evaluateAll batch
- *   serially (--jobs 1) and on all cores (BENCH_parallel.json).
+ *   serially (--jobs 1) and on all cores (BENCH_parallel.json), and
+ * - sampled simulation against the serial event engine on a 2M-op
+ *   trace, asserting job-count bit-identity and (on >= 8-thread
+ *   machines) a >= 3x wall-clock speedup (BENCH_sampled.json).
  */
 
 #include <benchmark/benchmark.h>
@@ -29,6 +32,7 @@
 #include "cpu/core.h"
 #include "dram/controller.h"
 #include "sim/driver.h"
+#include "sim/sampled.h"
 #include "sim/stats.h"
 #include "sim/thread_pool.h"
 #include "telemetry/interval.h"
@@ -364,6 +368,108 @@ coreEngineBench()
     return all_equal;
 }
 
+/**
+ * Times sampled simulation against the serial event engine on a
+ * 2M-op trace: one serial full run, then the end-to-end sampled
+ * pipeline (functional warm pass + parallel intervals) at --jobs 8,
+ * plus a --jobs 1 re-dispatch from the same warm state to check
+ * bit-identity across job counts. Writes BENCH_sampled.json.
+ * @return false on a job-count divergence, or — on machines with
+ *         >= 8 hardware threads — when the speedup is below 3x.
+ */
+bool
+sampledBench()
+{
+    const uint64_t ops = 2'000'000;
+    const uint64_t interval_ops = 100'000;
+    const uint64_t warmup_ops = 50'000;
+    const unsigned jobs = 8;
+    const unsigned hw = ThreadPool::defaultJobs();
+
+    const WorkloadInfo *wl = findWorkload("mcf");
+    if (!wl)
+        return false;
+    auto prog = std::make_shared<Program>(wl->build(InputSet::Ref));
+    Interpreter interp(prog);
+    Trace trace = interp.run(ops);
+    SimConfig cfg = SimConfig::skylake();
+
+    std::printf("=== sampled simulation (mcf, %llu ops, "
+                "--sample %llu:%llu, %u hardware threads) ===\n",
+                static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(interval_ops),
+                static_cast<unsigned long long>(warmup_ops), hw);
+
+    Timer t_serial;
+    CoreStats full = runCore(trace, cfg);
+    double serial_s = t_serial.seconds();
+    std::printf("  serial event engine        : %7.2f s\n",
+                serial_s);
+
+    // End-to-end sampled cost: warm pass plus parallel intervals.
+    SimConfig scfg = cfg;
+    scfg.sampleOps = interval_ops;
+    scfg.sampleWarmupOps = warmup_ops;
+    scfg.sampleJobs = jobs;
+    Timer t_sampled;
+    SampledWarmState warm = buildWarmState(trace, scfg);
+    SampledResult par = runCoreSampled(trace, scfg, &warm);
+    double sampled_s = t_sampled.seconds();
+    std::printf("  sampled (--jobs %u)         : %7.2f s\n", jobs,
+                sampled_s);
+
+    // Job-count determinism: re-dispatch the same warm state
+    // serially; every stitched counter must match bit-for-bit.
+    scfg.sampleJobs = 1;
+    SampledResult ser = runCoreSampled(trace, scfg, &warm);
+    bool identical =
+        par.total.cycles == ser.total.cycles &&
+        par.total.retired == ser.total.retired &&
+        par.total.issued == ser.total.issued &&
+        par.total.robHeadStallCycles ==
+            ser.total.robHeadStallCycles &&
+        par.total.dram.totalLatency == ser.total.dram.totalLatency &&
+        par.total.headStallByStatic == ser.total.headStallByStatic &&
+        par.total.issueWaitByStatic == ser.total.issueWaitByStatic;
+
+    double speedup = sampled_s > 0 ? serial_s / sampled_s : 0.0;
+    double ipc_err =
+        full.ipc() > 0
+            ? (par.total.ipc() / full.ipc() - 1.0) * 100.0
+            : 0.0;
+    std::printf("  speedup %.2fx, IPC error %+.3f%%, job counts %s"
+                "\n\n",
+                speedup, ipc_err,
+                identical ? "identical" : "DIVERGED");
+
+    if (FILE *f = std::fopen("BENCH_sampled.json", "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"workload\": \"mcf\",\n"
+                     "  \"ops\": %llu,\n"
+                     "  \"interval_ops\": %llu,\n"
+                     "  \"warmup_ops\": %llu,\n"
+                     "  \"jobs\": %u,\n"
+                     "  \"hardware_threads\": %u,\n"
+                     "  \"serial_seconds\": %.3f,\n"
+                     "  \"sampled_seconds\": %.3f,\n"
+                     "  \"speedup\": %.3f,\n"
+                     "  \"ipc_error_pct\": %.4f,\n"
+                     "  \"identical\": %s\n"
+                     "}\n",
+                     static_cast<unsigned long long>(ops),
+                     static_cast<unsigned long long>(interval_ops),
+                     static_cast<unsigned long long>(warmup_ops),
+                     jobs, hw, serial_s, sampled_s, speedup, ipc_err,
+                     identical ? "true" : "false");
+        std::fclose(f);
+        std::printf("  wrote BENCH_sampled.json\n\n");
+    }
+    // The 3x wall-clock gate only binds where 8 interval workers can
+    // actually run concurrently; determinism always binds.
+    return identical && (hw < 8 || speedup >= 3.0);
+}
+
 } // namespace
 
 int
@@ -371,10 +477,12 @@ main(int argc, char **argv)
 {
     bool engines_equal = coreEngineBench();
     parallelEngineBench();
+    bool sampled_ok = sampledBench();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     // CI runs this binary as a perf smoke test: a cross-engine stats
-    // divergence fails the job even though the benchmarks completed.
-    return engines_equal ? 0 : 1;
+    // divergence (or a sampled job-count divergence / missed speedup
+    // gate) fails the job even though the benchmarks completed.
+    return engines_equal && sampled_ok ? 0 : 1;
 }

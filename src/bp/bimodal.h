@@ -25,6 +25,11 @@ class BimodalPredictor : public DirectionPredictor
     bool predict(uint64_t pc) override;
     void update(uint64_t pc, bool taken) override;
 
+    std::unique_ptr<DirectionPredictor> clone() const override
+    {
+        return std::make_unique<BimodalPredictor>(*this);
+    }
+
   private:
     std::vector<uint8_t> table_;
     uint64_t mask_;

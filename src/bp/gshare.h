@@ -29,6 +29,11 @@ class GsharePredictor : public DirectionPredictor
     bool predict(uint64_t pc) override;
     void update(uint64_t pc, bool taken) override;
 
+    std::unique_ptr<DirectionPredictor> clone() const override
+    {
+        return std::make_unique<GsharePredictor>(*this);
+    }
+
   private:
     std::vector<uint8_t> table_;
     uint64_t mask_;

@@ -7,6 +7,7 @@
 #define CRISP_BP_PREDICTOR_H
 
 #include <cstdint>
+#include <memory>
 
 namespace crisp
 {
@@ -30,6 +31,13 @@ class DirectionPredictor
      * @param taken the actual direction
      */
     virtual void update(uint64_t pc, bool taken) = 0;
+
+    /**
+     * @return a deep copy carrying the full trained state (tables and
+     *         history). Used by sampled simulation to hand warm
+     *         predictor state to per-interval cores.
+     */
+    virtual std::unique_ptr<DirectionPredictor> clone() const = 0;
 };
 
 } // namespace crisp

@@ -31,6 +31,11 @@ class TagePredictor : public DirectionPredictor
     bool predict(uint64_t pc) override;
     void update(uint64_t pc, bool taken) override;
 
+    std::unique_ptr<DirectionPredictor> clone() const override
+    {
+        return std::make_unique<TagePredictor>(*this);
+    }
+
     /** @return number of tagged components. */
     static constexpr unsigned numComponents() { return kNumTables; }
 

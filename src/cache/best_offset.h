@@ -30,6 +30,11 @@ class BestOffsetPrefetcher : public Prefetcher
 
     const char *name() const override { return "bop"; }
 
+    std::unique_ptr<Prefetcher> clone() const override
+    {
+        return std::make_unique<BestOffsetPrefetcher>(*this);
+    }
+
     /** @return the currently selected offset (0 = prefetch off). */
     int currentOffset() const { return bestOffset_; }
 

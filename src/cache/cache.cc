@@ -163,4 +163,25 @@ Cache::reset()
     stats_ = CacheStats{};
 }
 
+void
+Cache::adoptWarmState(const Cache &warm, uint64_t warm_now)
+{
+    lines_ = warm.lines_;
+    for (auto &line : lines_) {
+        // A demand fill still in flight at the snapshot is clamped to
+        // ready: its consumer is stalled on it, and it lands within a
+        // memory latency of the interval start either way. A
+        // *prefetched* fill still in flight is dropped instead — it is
+        // speculative, nothing waits on it, and granting it instantly
+        // would credit the interval with prefetch coverage the full
+        // run has not earned yet.
+        if (line.prefetched && line.readyCycle > warm_now)
+            line.valid = false;
+        line.readyCycle = 0;
+    }
+    mshrReady_.clear();
+    lruClock_ = warm.lruClock_;
+    stats_ = CacheStats{};
+}
+
 } // namespace crisp

@@ -43,6 +43,30 @@ struct CacheStats
     /** Registers every counter under @p prefix (telemetry). */
     void registerInto(StatRegistry &reg,
                       const std::string &prefix) const;
+
+    /** Adds @p other counter-wise (sampled-interval stitching). */
+    void accumulate(const CacheStats &other)
+    {
+        accesses += other.accesses;
+        misses += other.misses;
+        mshrMerges += other.mshrMerges;
+        mshrStallCycles += other.mshrStallCycles;
+        prefetchFills += other.prefetchFills;
+        prefetchHits += other.prefetchHits;
+        writebacks += other.writebacks;
+    }
+
+    /** Subtracts @p base counter-wise (warm-up mark removal). */
+    void subtract(const CacheStats &base)
+    {
+        accesses -= base.accesses;
+        misses -= base.misses;
+        mshrMerges -= base.mshrMerges;
+        mshrStallCycles -= base.mshrStallCycles;
+        prefetchFills -= base.prefetchFills;
+        prefetchHits -= base.prefetchHits;
+        writebacks -= base.writebacks;
+    }
 };
 
 /**
@@ -107,6 +131,17 @@ class Cache
 
     /** Resets contents and statistics. */
     void reset();
+
+    /**
+     * Adopts the architectural contents of @p warm: tags, LRU order
+     * and line attributes are copied, but timing state is clamped to
+     * a quiesced machine — every line is ready at cycle 0, MSHRs are
+     * empty — and statistics are zeroed. This is how a sampled
+     * interval core starts from a functional warm image without
+     * inheriting in-flight timing from a foreign cycle domain
+     * (DESIGN.md §13).
+     */
+    void adoptWarmState(const Cache &warm, uint64_t warm_now);
 
   private:
     // The invariant checker audits tag/set placement, per-set tag

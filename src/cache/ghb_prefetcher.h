@@ -30,6 +30,11 @@ class GhbPrefetcher : public Prefetcher
 
     const char *name() const override { return "ghb"; }
 
+    std::unique_ptr<Prefetcher> clone() const override
+    {
+        return std::make_unique<GhbPrefetcher>(*this);
+    }
+
   private:
     static constexpr int kDegree = 4;
 

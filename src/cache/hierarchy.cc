@@ -147,4 +147,16 @@ Hierarchy::prefetchInst(uint64_t pc, uint64_t cycle)
     l1i_.fill(pc, ready, /*is_prefetch=*/true);
 }
 
+void
+Hierarchy::adoptWarmState(const Hierarchy &warm, uint64_t warm_now)
+{
+    l1i_.adoptWarmState(warm.l1i_, warm_now);
+    l1d_.adoptWarmState(warm.l1d_, warm_now);
+    llc_.adoptWarmState(warm.llc_, warm_now);
+    dram_.adoptWarmState(warm.dram_);
+    dataPf_ = warm.dataPf_; // deep copy of trained engine tables
+    pfScratch_.clear();
+    prefetchesIssued_ = 0;
+}
+
 } // namespace crisp

@@ -78,6 +78,15 @@ class Hierarchy
     /** @return number of data prefetches issued to memory. */
     uint64_t prefetchesIssued() const { return prefetchesIssued_; }
 
+    /**
+     * Adopts the architectural memory-system image of @p warm: cache
+     * tags/LRU, DRAM open rows and trained prefetcher tables are
+     * copied; all in-flight timing (line readiness, MSHRs, bank/bus
+     * reservations) is clamped to a quiesced cycle-0 machine and all
+     * statistics are zeroed (DESIGN.md §13).
+     */
+    void adoptWarmState(const Hierarchy &warm, uint64_t warm_now);
+
   private:
     SimConfig cfg_;
     Cache l1i_;

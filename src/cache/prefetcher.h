@@ -45,12 +45,43 @@ class Prefetcher
 
     /** @return a short name for stats. */
     virtual const char *name() const = 0;
+
+    /**
+     * @return a deep copy carrying the full trained state. Used by
+     *         sampled simulation so warm prefetcher tables can be
+     *         handed to per-interval cores.
+     */
+    virtual std::unique_ptr<Prefetcher> clone() const = 0;
 };
 
 /** Fans one observation out to several engines. */
 class CompositePrefetcher : public Prefetcher
 {
   public:
+    CompositePrefetcher() = default;
+
+    /** Deep copy: every engine is cloned with its trained state. */
+    CompositePrefetcher(const CompositePrefetcher &other)
+    {
+        engines_.reserve(other.engines_.size());
+        for (const auto &e : other.engines_)
+            engines_.push_back(e->clone());
+    }
+
+    CompositePrefetcher &operator=(const CompositePrefetcher &other)
+    {
+        if (this != &other) {
+            engines_.clear();
+            engines_.reserve(other.engines_.size());
+            for (const auto &e : other.engines_)
+                engines_.push_back(e->clone());
+        }
+        return *this;
+    }
+
+    CompositePrefetcher(CompositePrefetcher &&) = default;
+    CompositePrefetcher &operator=(CompositePrefetcher &&) = default;
+
     /** Adds an engine (ownership transferred). */
     void add(std::unique_ptr<Prefetcher> engine)
     {
@@ -65,6 +96,11 @@ class CompositePrefetcher : public Prefetcher
     }
 
     const char *name() const override { return "composite"; }
+
+    std::unique_ptr<Prefetcher> clone() const override
+    {
+        return std::make_unique<CompositePrefetcher>(*this);
+    }
 
     /** @return number of attached engines. */
     size_t size() const { return engines_.size(); }

@@ -29,6 +29,11 @@ class StreamPrefetcher : public Prefetcher
 
     const char *name() const override { return "stream"; }
 
+    std::unique_ptr<Prefetcher> clone() const override
+    {
+        return std::make_unique<StreamPrefetcher>(*this);
+    }
+
   private:
     static constexpr int kDegree = 4;
     static constexpr unsigned kRegionShift = 6; // 4 KiB / 64 B lines

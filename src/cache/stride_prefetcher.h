@@ -29,6 +29,11 @@ class StridePrefetcher : public Prefetcher
 
     const char *name() const override { return "stride"; }
 
+    std::unique_ptr<Prefetcher> clone() const override
+    {
+        return std::make_unique<StridePrefetcher>(*this);
+    }
+
   private:
     static constexpr int kDegree = 2;
 

@@ -639,7 +639,11 @@ InvariantChecker::checkDram(const DramController &dram,
             fail(cycle, "dram",
                  "bank " + std::to_string(b) +
                      " open row is nonsensical");
-        if (dram.openRow_[b] >= 0 && dram.bankBusyUntil_[b] == 0)
+        // Exception: sampled-interval warm adoption installs open
+        // rows into a quiesced channel (DESIGN.md §13) — the one
+        // legitimate "open row, idle bank" state.
+        if (dram.openRow_[b] >= 0 && dram.bankBusyUntil_[b] == 0 &&
+            !dram.warmRowsAdopted_)
             fail(cycle, "dram",
                  "bank " + std::to_string(b) +
                      " has an open row but never served a command");

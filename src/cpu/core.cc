@@ -413,8 +413,17 @@ Core::fetchStage()
 bool
 Core::retireStage()
 {
+    // During a detailed warm-up, never retire past the measurement
+    // boundary within one cycle: the warm mark must be captured at
+    // exactly measureFromOp_ retired ops, or the overshoot would be
+    // subtracted out of the measured window (and stitched interval
+    // totals would lose those ops).
+    unsigned width = cfg_.width;
+    if (!warmMarkTaken_ && measureFromOp_ > stats_.retired)
+        width = unsigned(std::min<uint64_t>(
+            width, measureFromOp_ - stats_.retired));
     unsigned retired = 0;
-    while (retired < cfg_.width && !rob_.empty()) {
+    while (retired < width && !rob_.empty()) {
         DynInst *head = rob_.head();
         if (!head->completed(cycle_))
             break;
@@ -591,6 +600,15 @@ Core::run(uint64_t max_cycles, bool record_timeline)
     uint64_t last_progress_cycle = 0;
     uint64_t last_retired = 0;
 
+    // Detailed warm-up: park the profiler until the mark so it only
+    // attributes measured activity.
+    if (measureFromOp_ > 0 && profiler_) {
+        heldProfiler_ = profiler_;
+        profiler_ = nullptr;
+    }
+    if (measureFromOp_ == 0)
+        warmMarkTaken_ = true;
+
     while (stats_.retired < trace_.size() && cycle_ < max_cycles) {
         ++cycle_;
         bool work = retireStage();
@@ -610,6 +628,9 @@ Core::run(uint64_t max_cycles, bool record_timeline)
         // ticks; the common case is one load and compare.
         if (interval_ && cycle_ >= interval_->nextBoundary())
             interval_->onTick(intervalSnapshot());
+
+        if (!warmMarkTaken_ && stats_.retired >= measureFromOp_)
+            captureWarmMark();
 
         if (stats_.retired != last_retired) {
             last_retired = stats_.retired;
@@ -661,7 +682,101 @@ Core::run(uint64_t max_cycles, bool record_timeline)
     stats_.dram = mem_.dram().stats();
     if (ibda_)
         stats_.ibda = ibda_->stats();
+
+    // Strip the detailed warm-up prefix: the mark's CPI buckets sum
+    // to the mark's cycles, so the subtraction preserves the
+    // stack-sums-to-cycles invariant on the measured suffix.
+    if (measureFromOp_ > 0 && warmMarkTaken_)
+        stats_.subtract(warmMark_);
     return stats_;
+}
+
+void
+Core::captureWarmMark()
+{
+    warmMark_ = stats_;
+    warmMark_.cycles = cycle_;
+    warmMark_.frontend = frontend_.stats();
+    warmMark_.l1i = mem_.l1i().stats();
+    warmMark_.l1d = mem_.l1d().stats();
+    warmMark_.llc = mem_.llc().stats();
+    warmMark_.dram = mem_.dram().stats();
+    if (ibda_)
+        warmMark_.ibda = ibda_->stats();
+    warmMarkTaken_ = true;
+    if (heldProfiler_) {
+        profiler_ = heldProfiler_;
+        heldProfiler_ = nullptr;
+    }
+}
+
+void
+CoreStats::accumulate(const CoreStats &other)
+{
+    cycles += other.cycles;
+    retired += other.retired;
+    issued += other.issued;
+    issuedPrioritized += other.issuedPrioritized;
+    robHeadStallCycles += other.robHeadStallCycles;
+    robHeadLoadStallCycles += other.robHeadLoadStallCycles;
+    llcMissLoads += other.llcMissLoads;
+    forwardedLoads += other.forwardedLoads;
+    frontend.accumulate(other.frontend);
+    l1i.accumulate(other.l1i);
+    l1d.accumulate(other.l1d);
+    llc.accumulate(other.llc);
+    dram.accumulate(other.dram);
+    ibda.accumulate(other.ibda);
+    for (const auto &[sidx, cyc] : other.headStallByStatic)
+        headStallByStatic[sidx] += cyc;
+    for (const auto &[sidx, w] : other.issueWaitByStatic) {
+        auto &dst = issueWaitByStatic[sidx];
+        dst.first += w.first;
+        dst.second += w.second;
+    }
+    cpi.merge(other.cpi);
+    issueWaitHist.merge(other.issueWaitHist);
+    retireTimeline.insert(retireTimeline.end(),
+                          other.retireTimeline.begin(),
+                          other.retireTimeline.end());
+}
+
+void
+CoreStats::subtract(const CoreStats &base)
+{
+    cycles -= base.cycles;
+    retired -= base.retired;
+    issued -= base.issued;
+    issuedPrioritized -= base.issuedPrioritized;
+    robHeadStallCycles -= base.robHeadStallCycles;
+    robHeadLoadStallCycles -= base.robHeadLoadStallCycles;
+    llcMissLoads -= base.llcMissLoads;
+    forwardedLoads -= base.forwardedLoads;
+    frontend.subtract(base.frontend);
+    l1i.subtract(base.l1i);
+    l1d.subtract(base.l1d);
+    llc.subtract(base.llc);
+    dram.subtract(base.dram);
+    ibda.subtract(base.ibda);
+    for (const auto &[sidx, cyc] : base.headStallByStatic) {
+        auto it = headStallByStatic.find(sidx);
+        it->second -= cyc;
+        if (it->second == 0)
+            headStallByStatic.erase(it);
+    }
+    for (const auto &[sidx, w] : base.issueWaitByStatic) {
+        auto it = issueWaitByStatic.find(sidx);
+        it->second.first -= w.first;
+        it->second.second -= w.second;
+        if (it->second.second == 0 && it->second.first == 0)
+            issueWaitByStatic.erase(it);
+    }
+    cpi.subtract(base.cpi);
+    issueWaitHist.subtract(base.issueWaitHist);
+    if (retireTimeline.size() >= base.cycles)
+        retireTimeline.erase(retireTimeline.begin(),
+                             retireTimeline.begin() +
+                                 ptrdiff_t(base.cycles));
 }
 
 std::vector<std::pair<uint32_t, uint64_t>>

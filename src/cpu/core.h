@@ -166,6 +166,26 @@ struct CoreStats
         return retired ? 1000.0 * double(llc.misses) / double(retired)
                        : 0.0;
     }
+
+    /**
+     * Accumulates another run's statistics into this one: counters,
+     * CPI buckets and histograms add; the per-static tables add per
+     * key; retire timelines concatenate in call order. This is the
+     * stitching algebra sampled simulation uses to combine
+     * per-interval results into whole-run aggregates — the same
+     * window additivity the IntervalStreamer contract pins
+     * (DESIGN.md §12/§13): disjoint windows sum to the run total.
+     */
+    void accumulate(const CoreStats &other);
+
+    /**
+     * Subtracts @p base — an earlier snapshot of the same run — from
+     * this one: counters, CPI buckets and histogram subtract; table
+     * entries subtract per key (dropping rows that reach zero); the
+     * first base.cycles timeline entries are discarded. Sampled
+     * simulation uses it to strip a detailed warm-up prefix.
+     */
+    void subtract(const CoreStats &base);
 };
 
 /** The core simulator. One instance simulates one trace once. */
@@ -224,7 +244,26 @@ class Core
         interval_ = interval;
     }
 
+    /**
+     * Marks the first @p warm_ops retired micro-ops as detailed
+     * warm-up: the run executes them normally, but at the first tick
+     * whose retire count reaches @p warm_ops a statistics mark is
+     * captured, and run() returns stats with the mark subtracted —
+     * only post-mark activity is reported. An attached profiler is
+     * held back until the mark so attribution is measurement-only.
+     * Used by sampled simulation (`--sample N:W`); 0 disables.
+     */
+    void setMeasureFromOp(uint64_t warm_ops)
+    {
+        measureFromOp_ = warm_ops;
+    }
+
   private:
+    // Sampled simulation (src/sim/sampled.cc) injects functional
+    // warm state into the private memory/frontend/IBDA components
+    // through their public adoptWarmState methods before run().
+    friend void applySnapshot(Core &core,
+                              const struct MachineSnapshot &snap);
     // The invariant checker (src/check) audits the private pipeline
     // state — ROB/RS/LSQ, the incremental ready sets and heap, the
     // rename table and the memory system — at checkpoints without
@@ -269,6 +308,14 @@ class Core
     PcProfiler *profiler_ = nullptr;
     IntervalStreamer *interval_ = nullptr;
     std::unique_ptr<InvariantChecker> checker_;
+
+    // Detailed warm-up mark (setMeasureFromOp). heldProfiler_ parks
+    // an attached profiler until the mark so it sees only the
+    // measured suffix.
+    uint64_t measureFromOp_ = 0;
+    bool warmMarkTaken_ = false;
+    CoreStats warmMark_;
+    PcProfiler *heldProfiler_ = nullptr;
 
     // Issue candidate sets. The cycle engine rebuilds them from an
     // RS rescan every tick; the event engine maintains them
@@ -320,6 +367,8 @@ class Core
      *  neither input changes within a span (nextEventCycle bounds
      *  every span at the next completion / arrival / unblock). */
     CpiBucket stallBucket() const;
+    /** Captures the warm-up statistics mark at the current tick. */
+    void captureWarmMark();
     /** Emits the retiring ROB head to the attached tracer. */
     void traceRetire(const DynInst &inst);
     /** @return the cumulative counter state at the current cycle for

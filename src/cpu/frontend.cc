@@ -184,4 +184,13 @@ FrontendStats::registerInto(StatRegistry &reg,
                    branchStallCycles);
 }
 
+void
+Frontend::adoptWarmState(const DirectionPredictor &dir, const Btb &btb,
+                         const Ras &ras)
+{
+    dir_ = dir.clone();
+    btb_ = btb;
+    ras_ = ras;
+}
+
 } // namespace crisp

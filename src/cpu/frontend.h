@@ -50,6 +50,32 @@ struct FrontendStats
     /** Registers every counter under @p prefix (telemetry). */
     void registerInto(StatRegistry &reg,
                       const std::string &prefix) const;
+
+    /** Adds @p other counter-wise (sampled-interval stitching). */
+    void accumulate(const FrontendStats &other)
+    {
+        fetched += other.fetched;
+        condBranches += other.condBranches;
+        condMispredicts += other.condMispredicts;
+        indirectBranches += other.indirectBranches;
+        indirectMispredicts += other.indirectMispredicts;
+        returnMispredicts += other.returnMispredicts;
+        icacheStallCycles += other.icacheStallCycles;
+        branchStallCycles += other.branchStallCycles;
+    }
+
+    /** Subtracts @p base counter-wise (warm-up mark removal). */
+    void subtract(const FrontendStats &base)
+    {
+        fetched -= base.fetched;
+        condBranches -= base.condBranches;
+        condMispredicts -= base.condMispredicts;
+        indirectBranches -= base.indirectBranches;
+        indirectMispredicts -= base.indirectMispredicts;
+        returnMispredicts -= base.returnMispredicts;
+        icacheStallCycles -= base.icacheStallCycles;
+        branchStallCycles -= base.branchStallCycles;
+    }
 };
 
 /** Why fetch is idling until blockedUntil(). */
@@ -129,6 +155,15 @@ class Frontend
 
     /** @return accumulated statistics. */
     const FrontendStats &stats() const { return stats_; }
+
+    /**
+     * Replaces the predictor structures with deep copies of trained
+     * warm state. Fetch position and stall state are untouched (a
+     * fresh frontend starts at trace index 0); statistics stay zero.
+     * Sampled-interval warm hand-off (DESIGN.md §13).
+     */
+    void adoptWarmState(const DirectionPredictor &dir, const Btb &btb,
+                        const Ras &ras);
 
   private:
     const Trace &trace_;

@@ -95,6 +95,19 @@ DramController::reset()
     std::fill(openRow_.begin(), openRow_.end(), -1);
     busBusyUntil_ = 0;
     stats_ = DramStats{};
+    warmRowsAdopted_ = false;
+}
+
+void
+DramController::adoptWarmState(const DramController &warm)
+{
+    std::fill(bankBusyUntil_.begin(), bankBusyUntil_.end(), 0);
+    openRow_ = warm.openRow_;
+    busBusyUntil_ = 0;
+    stats_ = DramStats{};
+    warmRowsAdopted_ =
+        std::any_of(openRow_.begin(), openRow_.end(),
+                    [](int64_t row) { return row >= 0; });
 }
 
 } // namespace crisp

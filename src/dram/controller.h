@@ -38,6 +38,32 @@ struct DramStats
     /** Registers every counter under @p prefix (telemetry). */
     void registerInto(StatRegistry &reg,
                       const std::string &prefix) const;
+
+    /** Adds @p other counter-wise (sampled-interval stitching). */
+    void accumulate(const DramStats &other)
+    {
+        reads += other.reads;
+        criticalReads += other.criticalReads;
+        criticalBusBypassCycles += other.criticalBusBypassCycles;
+        rowHits += other.rowHits;
+        rowConflicts += other.rowConflicts;
+        rowClosed += other.rowClosed;
+        busWaitCycles += other.busWaitCycles;
+        totalLatency += other.totalLatency;
+    }
+
+    /** Subtracts @p base counter-wise (warm-up mark removal). */
+    void subtract(const DramStats &base)
+    {
+        reads -= base.reads;
+        criticalReads -= base.criticalReads;
+        criticalBusBypassCycles -= base.criticalBusBypassCycles;
+        rowHits -= base.rowHits;
+        rowConflicts -= base.rowConflicts;
+        rowClosed -= base.rowClosed;
+        busWaitCycles -= base.busWaitCycles;
+        totalLatency -= base.totalLatency;
+    }
 };
 
 /**
@@ -69,6 +95,13 @@ class DramController
     /** Resets bank state and statistics. */
     void reset();
 
+    /**
+     * Adopts the open-row image of @p warm with timing clamped to a
+     * quiesced channel (no bank/bus reservations) and statistics
+     * zeroed. Sampled-interval warm hand-off (DESIGN.md §13).
+     */
+    void adoptWarmState(const DramController &warm);
+
   private:
     // The invariant checker audits bank/bus reservation monotonicity
     // and open-row sanity (the resolved-time image of DDR4 command
@@ -80,6 +113,11 @@ class DramController
     std::vector<int64_t> openRow_;
     uint64_t busBusyUntil_ = 0;
     DramStats stats_;
+
+    /** True after adoptWarmState() installed open rows with no
+     *  served command in this cycle domain — the one legitimate
+     *  "open row, idle bank" state the checker must accept. */
+    bool warmRowsAdopted_ = false;
 
     unsigned bankOf(uint64_t addr) const
     {

@@ -100,4 +100,13 @@ Ibda::stats() const
     return s;
 }
 
+void
+Ibda::adoptWarmState(const Ibda &warm)
+{
+    ist_ = warm.ist_;
+    ist_.zeroCounters();
+    dlt_ = warm.dlt_;
+    stats_ = IbdaStats{};
+}
+
 } // namespace crisp

@@ -38,6 +38,24 @@ struct IbdaStats
     /** Registers every counter under @p prefix (telemetry). */
     void registerInto(StatRegistry &reg,
                       const std::string &prefix) const;
+
+    /** Adds @p other counter-wise (sampled-interval stitching). */
+    void accumulate(const IbdaStats &other)
+    {
+        marked += other.marked;
+        dltInsertions += other.dltInsertions;
+        istInsertions += other.istInsertions;
+        istEvictions += other.istEvictions;
+    }
+
+    /** Subtracts @p base counter-wise (warm-up mark removal). */
+    void subtract(const IbdaStats &base)
+    {
+        marked -= base.marked;
+        dltInsertions -= base.dltInsertions;
+        istInsertions -= base.istInsertions;
+        istEvictions -= base.istEvictions;
+    }
 };
 
 /** The in-pipeline IBDA engine. */
@@ -66,6 +84,13 @@ class Ibda
 
     /** @return accumulated statistics. */
     IbdaStats stats() const;
+
+    /**
+     * Adopts the trained IST/DLT contents of @p warm with all
+     * counters zeroed, so an interval core starts from warm marking
+     * state but accounts only its own activity (DESIGN.md §13).
+     */
+    void adoptWarmState(const Ibda &warm);
 
   private:
     struct DltEntry

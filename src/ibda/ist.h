@@ -45,6 +45,17 @@ class InstructionSliceTable
     /** @return evictions performed (capacity conflicts). */
     uint64_t evictions() const { return evictions_; }
 
+    /**
+     * Zeroes the insertion/eviction counters while keeping the table
+     * contents. Used when adopting warm IST state into a sampled
+     * interval so per-interval stats start from zero (DESIGN.md §13).
+     */
+    void zeroCounters()
+    {
+        insertions_ = 0;
+        evictions_ = 0;
+    }
+
   private:
     struct Entry
     {

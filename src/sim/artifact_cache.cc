@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/sampled.h"
+
 namespace crisp
 {
 
@@ -150,12 +152,44 @@ ArtifactCache::taggedRefTrace(const WorkloadInfo &wl,
     });
 }
 
+std::shared_ptr<const SampledWarmState>
+ArtifactCache::warmState(const WorkloadInfo &wl, InputSet input,
+                         uint64_t ops, const SimConfig &cfg)
+{
+    std::string key =
+        "warm:" + wl.name + ":" +
+        (input == InputSet::Train ? "train" : "ref") + ":" +
+        std::to_string(ops) + ":" + warmStateKey(cfg);
+    return getOrCompute(warmStates_, key, [&] {
+        auto t = trace(wl, input, ops);
+        return buildWarmState(*t, cfg);
+    });
+}
+
+std::shared_ptr<const SampledWarmState>
+ArtifactCache::warmStateTagged(const WorkloadInfo &wl,
+                               const CrispOptions &opts,
+                               const SimConfig &cfg,
+                               uint64_t train_ops, uint64_t ref_ops)
+{
+    std::string key = "warm:tagged:" + wl.name + ":" +
+                      std::to_string(ref_ops) + ":" +
+                      std::to_string(train_ops) + ":" +
+                      optionsKey(opts) + ":" + configKey(cfg) + ":" +
+                      warmStateKey(cfg);
+    return getOrCompute(warmStates_, key, [&] {
+        auto t = taggedRefTrace(wl, opts, cfg, train_ops, ref_ops);
+        return buildWarmState(*t, cfg);
+    });
+}
+
 void
 ArtifactCache::clear()
 {
     std::lock_guard<std::mutex> lk(m_);
     traces_.clear();
     analyses_.clear();
+    warmStates_.clear();
 }
 
 } // namespace crisp

@@ -39,6 +39,8 @@
 namespace crisp
 {
 
+struct SampledWarmState;
+
 /** Shared, memoized trace/analysis artifacts. */
 class ArtifactCache
 {
@@ -67,6 +69,24 @@ class ArtifactCache
     taggedRefTrace(const WorkloadInfo &wl, const CrispOptions &opts,
                    const SimConfig &cfg, uint64_t train_ops,
                    uint64_t ref_ops);
+
+    /**
+     * @return the sampled-simulation warm state (all interval
+     *         snapshots) of the untagged @p input trace of @p wl
+     *         under @p cfg's sample spec. Keyed on the trace
+     *         identity, the sample spec and the warm-relevant
+     *         geometry only (warmStateKey), so scheduler variants
+     *         share one warm pass.
+     */
+    std::shared_ptr<const SampledWarmState>
+    warmState(const WorkloadInfo &wl, InputSet input, uint64_t ops,
+              const SimConfig &cfg);
+
+    /** Like warmState(), for the tagged Ref trace of @p wl. */
+    std::shared_ptr<const SampledWarmState>
+    warmStateTagged(const WorkloadInfo &wl, const CrispOptions &opts,
+                    const SimConfig &cfg, uint64_t train_ops,
+                    uint64_t ref_ops);
 
     /** Hit/miss counters (a miss is a computed artifact). */
     struct Counters
@@ -110,6 +130,8 @@ class ArtifactCache
     mutable std::mutex m_;
     std::unordered_map<std::string, Slot<Trace>> traces_;
     std::unordered_map<std::string, Slot<CrispAnalysis>> analyses_;
+    std::unordered_map<std::string, Slot<SampledWarmState>>
+        warmStates_;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
 };

@@ -16,6 +16,26 @@ cliUsage()
            "  --ist SIZE           1K | 8K | 64K | inf\n"
            "  --train N            profiling trace length\n"
            "  --ref N              evaluation trace length\n"
+           "  --train-ops N        alias of --train\n"
+           "  --ref-ops N          alias of --ref\n"
+           "  --sample N[:W]       sampled simulation (DESIGN.md\n"
+           "                       13): split the trace into\n"
+           "                       intervals of N micro-ops, warm\n"
+           "                       functionally to each boundary,\n"
+           "                       detail-simulate the intervals in\n"
+           "                       parallel (--jobs workers) and\n"
+           "                       stitch whole-run stats; optional\n"
+           "                       W (':warmup=W' also accepted) is\n"
+           "                       a detailed per-interval warm-up\n"
+           "                       prefix in ops. N must be\n"
+           "                       positive. Incompatible with\n"
+           "                       --stats-ndjson (interval cycle\n"
+           "                       domains do not form one time\n"
+           "                       series) and with a windowless\n"
+           "                       --trace-pipe; a windowed trace\n"
+           "                       records interval 0 only. --check\n"
+           "                       must audit at least once per\n"
+           "                       interval (cadence <= N)\n"
            "  --jobs N             parallel workers (default: all\n"
            "                       cores; 1 = serial)\n"
            "  --rs N               reservation station entries\n"
@@ -149,10 +169,41 @@ parseCli(const std::vector<std::string> &args)
         } else if (a == "--ist") {
             if (const char *v = need_value("--ist"))
                 opt.ist = v;
-        } else if (a == "--train") {
-            need_u64("--train", opt.trainOps);
-        } else if (a == "--ref") {
-            need_u64("--ref", opt.refOps);
+        } else if (a == "--train" || a == "--train-ops") {
+            need_u64(a.c_str(), opt.trainOps);
+        } else if (a == "--ref" || a == "--ref-ops") {
+            need_u64(a.c_str(), opt.refOps);
+        } else if (a == "--sample") {
+            const char *v = need_value("--sample");
+            if (!v)
+                break;
+            // N or N:W — interval length plus an optional detailed
+            // per-interval warm-up prefix ("warmup"), both in
+            // micro-ops.
+            std::string spec = v;
+            size_t colon = spec.find(':');
+            std::string n_str = spec.substr(0, colon);
+            uint64_t n = 0;
+            if (!parseU64(n_str.c_str(), n) || n == 0) {
+                opt.error = "--sample expects a positive interval "
+                            "length in micro-ops, got '" + spec + "'";
+                break;
+            }
+            uint64_t w = 0;
+            if (colon != std::string::npos) {
+                std::string w_str = spec.substr(colon + 1);
+                // Tolerate the long-hand "warmup=W" spelling.
+                if (w_str.rfind("warmup=", 0) == 0)
+                    w_str = w_str.substr(std::strlen("warmup="));
+                if (!parseU64(w_str.c_str(), w)) {
+                    opt.error = "--sample warm-up must be a "
+                                "non-negative op count, got '" +
+                                spec + "'";
+                    break;
+                }
+            }
+            opt.machine.sampleOps = n;
+            opt.machine.sampleWarmupOps = w;
         } else if (a == "--jobs") {
             uint64_t v = 0;
             need_u64("--jobs", v);
@@ -316,6 +367,34 @@ parseCli(const std::vector<std::string> &args)
     if (opt.ok() && !opt.statsNdjsonPath.empty() &&
         opt.statsEvery == 0)
         opt.statsEvery = 10'000;
+    // Sampled-mode contradictions are rejected up front rather than
+    // surfacing as surprising runtime behavior (DESIGN.md §13).
+    if (opt.ok() && opt.machine.sampleOps > 0) {
+        if (!opt.tracePipePath.empty() && opt.traceEnd == ~0ULL)
+            opt.error =
+                "--sample with --trace-pipe requires an explicit "
+                "PATH:START:END window: interval cores run in "
+                "interval-local cycle domains, so an unbounded trace "
+                "would interleave them meaninglessly (the window is "
+                "applied to interval 0)";
+        else if (!opt.statsNdjsonPath.empty())
+            opt.error =
+                "--sample cannot stream --stats-ndjson interval "
+                "records: per-interval cycle domains do not stitch "
+                "into one time series; use a full run for "
+                "time-series telemetry";
+        else if (opt.machine.checkInvariants &&
+                 opt.machine.checkEvery > opt.machine.sampleOps)
+            opt.error =
+                "--check cadence (" +
+                std::to_string(opt.machine.checkEvery) +
+                ") exceeds the --sample interval (" +
+                std::to_string(opt.machine.sampleOps) +
+                "): no interval would ever be audited";
+    }
+    // Interval workers share the --jobs setting (0 = hardware).
+    if (opt.ok())
+        opt.machine.sampleJobs = opt.jobs;
     return opt;
 }
 

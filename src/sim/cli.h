@@ -61,9 +61,20 @@ struct CliOptions
  *   --workload NAME      proxy to run (--list to enumerate)
  *   --scheduler MODE     ooo | crisp | ibda | both (default both)
  *   --ist SIZE           IBDA IST: 1K | 8K | 64K | inf
- *   --train N, --ref N   trace lengths
+ *   --train N, --ref N   trace lengths (--train-ops / --ref-ops are
+ *                        accepted aliases)
  *   --jobs N             parallel worker count (default: hardware
  *                        concurrency; 1 = fully serial)
+ *   --sample N[:W]       sampled simulation (DESIGN.md §13): split
+ *                        the trace into intervals of N micro-ops,
+ *                        functionally warm to each boundary,
+ *                        detail-simulate intervals in parallel on
+ *                        the --jobs pool and stitch the results.
+ *                        Optional W (':warmup=W' longhand accepted)
+ *                        is a detailed warm-up prefix in ops.
+ *                        Rejected with --stats-ndjson, with a
+ *                        windowless --trace-pipe, and with a --check
+ *                        cadence coarser than the interval.
  *   --rs N, --rob N      window sizes (Fig 9 style sweeps)
  *   --tick-model MODEL   cycle | event simulation engine (default
  *                        event; bit-identical stats, DESIGN.md §9)

@@ -32,6 +32,11 @@ SimConfig::describe() const
                                                        : "oldest")
        << (enableIbda ? ", ibda" : "")
        << (tickModel == TickModel::Cycle ? ", tick=cycle" : "");
+    if (sampleOps > 0) {
+        os << ", sample=" << sampleOps;
+        if (sampleWarmupOps > 0)
+            os << ":warmup " << sampleWarmupOps;
+    }
     return os.str();
 }
 

@@ -106,6 +106,16 @@ struct SimConfig
 #endif
     uint64_t checkEvery = 64;       ///< audit period, executed ticks
 
+    // Sampled simulation (src/sim/sampled, DESIGN.md §13). Like the
+    // tick model, these describe how the machine is simulated, not
+    // the machine itself: a functional warm pass snapshots
+    // microarchitectural state at every interval boundary and the
+    // intervals are detailed-simulated in parallel, stitched back
+    // into whole-run statistics. 0 = full serial detailed run.
+    uint64_t sampleOps = 0;         ///< interval length in micro-ops
+    uint64_t sampleWarmupOps = 0;   ///< detailed warm-up prefix per interval
+    unsigned sampleJobs = 0;        ///< interval workers (0 = hardware)
+
     /** @return the paper's Skylake-like baseline configuration. */
     static SimConfig skylake();
 

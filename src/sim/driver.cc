@@ -1,5 +1,8 @@
 #include "sim/driver.h"
 
+#include <stdexcept>
+
+#include "sim/sampled.h"
 #include "sim/thread_pool.h"
 
 namespace crisp
@@ -8,8 +11,19 @@ namespace crisp
 CoreStats
 runCore(const Trace &trace, const SimConfig &cfg,
         bool record_timeline, PipeTracer *tracer,
-        PcProfiler *profiler, IntervalStreamer *interval)
+        PcProfiler *profiler, IntervalStreamer *interval,
+        const SampledWarmState *warm)
 {
+    if (cfg.sampleOps > 0) {
+        if (interval)
+            throw std::invalid_argument(
+                "runCore: interval streaming is incompatible with "
+                "sampled simulation (per-interval cycle domains do "
+                "not form one time series)");
+        return runCoreSampled(trace, cfg, warm, profiler, tracer,
+                              record_timeline)
+            .total;
+    }
     Core core(trace, cfg);
     core.setTracer(tracer);
     core.setProfiler(profiler);
@@ -51,10 +65,12 @@ namespace
  */
 CoreStats
 runCoreAnnotated(const Trace &trace, const SimConfig &cfg,
-                 const std::string &workload, const char *variant)
+                 const std::string &workload, const char *variant,
+                 const SampledWarmState *warm = nullptr)
 {
     try {
-        return runCore(trace, cfg);
+        return runCore(trace, cfg, false, nullptr, nullptr, nullptr,
+                       warm);
     } catch (const SimDeadlockError &e) {
         throw e.withContext(workload + "/" + variant);
     }
@@ -96,10 +112,22 @@ evaluateWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
     eval.analysis =
         *c.analysis(wl, opts, cfg, sizes.trainOps);
 
+    // In sampled mode, warm states come from the cache; the warm key
+    // covers warm-relevant geometry only, so ooo shares its warm pass
+    // with every variant of equal structure geometry.
+    const bool sampled = cfg.sampleOps > 0;
+    std::shared_ptr<const SampledWarmState> base_warm, crisp_warm;
+    if (sampled) {
+        base_warm = c.warmState(wl, InputSet::Ref, sizes.refOps, cfg);
+        crisp_warm = c.warmStateTagged(wl, opts, cfg, sizes.trainOps,
+                                       sizes.refOps);
+    }
+
     auto base_trace = c.trace(wl, InputSet::Ref, sizes.refOps);
     eval.baseStats = runCoreAnnotated(*base_trace,
                                       baselineConfig(cfg),
-                                      wl.name, "ooo");
+                                      wl.name, "ooo",
+                                      base_warm.get());
     eval.ipcBaseline = eval.baseStats.ipc();
 
     auto crisp_trace = c.taggedRefTrace(wl, opts, cfg,
@@ -107,14 +135,22 @@ evaluateWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
                                         sizes.refOps);
     eval.crispStats = runCoreAnnotated(*crisp_trace,
                                        crispConfig(cfg),
-                                       wl.name, "crisp");
+                                       wl.name, "crisp",
+                                       crisp_warm.get());
     eval.ipcCrisp = eval.crispStats.ipc();
 
-    // IBDA variants share the untagged trace.
+    // IBDA variants share the untagged trace. Their warm state is
+    // per-IST (the warm pass trains the IST, whose geometry is part
+    // of the warm key).
     for (const auto &ist : ist_sizes) {
-        CoreStats s = runCoreAnnotated(
-            *base_trace, ibdaConfig(cfg, ist), wl.name,
-            ("ibda-" + ist).c_str());
+        SimConfig icfg = ibdaConfig(cfg, ist);
+        std::shared_ptr<const SampledWarmState> iwarm;
+        if (sampled)
+            iwarm =
+                c.warmState(wl, InputSet::Ref, sizes.refOps, icfg);
+        CoreStats s = runCoreAnnotated(*base_trace, icfg, wl.name,
+                                       ("ibda-" + ist).c_str(),
+                                       iwarm.get());
         eval.ipcIbda[ist] = s.ipc();
     }
     return eval;
@@ -138,13 +174,22 @@ evaluateAll(const std::vector<WorkloadInfo> &workloads,
             evals[w].ipcIbda[ist] = 0.0;
     }
 
+    // Sampled mode inverts the parallelism: (workload, variant) runs
+    // go serially and each run's intervals fan out across the worker
+    // pool instead, avoiding nested-pool oversubscription. Results
+    // stay independent of the job count either way.
+    SimConfig mcfg = cfg;
+    const bool sampled = mcfg.sampleOps > 0;
+    if (sampled)
+        mcfg.sampleJobs = jobs;
+
     // One job per (workload, variant) core run, so load balances
     // across variants of unequal cost. Variant v: 0 = baseline OOO,
     // 1 = CRISP, 2+k = IBDA with ist_sizes[k]. Each job writes only
     // its own slot; the analysis/trace artifacts behind the runs are
     // shared through the (thread-safe) cache.
     const size_t variants = 2 + ist_sizes.size();
-    ThreadPool pool(jobs);
+    ThreadPool pool(sampled ? 1 : jobs);
     pool.parallelFor(
         workloads.size() * variants, [&](size_t i) {
             size_t w = i / variants;
@@ -156,24 +201,40 @@ evaluateAll(const std::vector<WorkloadInfo> &workloads,
             if (v == 0) {
                 auto trace =
                     c.trace(wl, InputSet::Ref, sizes.refOps);
+                std::shared_ptr<const SampledWarmState> warm;
+                if (sampled)
+                    warm = c.warmState(wl, InputSet::Ref,
+                                       sizes.refOps, mcfg);
                 eval.baseStats = runCoreAnnotated(
-                    *trace, baselineConfig(cfg), wl.name, "ooo");
+                    *trace, baselineConfig(mcfg), wl.name, "ooo",
+                    warm.get());
                 eval.ipcBaseline = eval.baseStats.ipc();
             } else if (v == 1) {
                 eval.analysis =
-                    *c.analysis(wl, opts, cfg, sizes.trainOps);
+                    *c.analysis(wl, opts, mcfg, sizes.trainOps);
                 auto trace = c.taggedRefTrace(
-                    wl, opts, cfg, sizes.trainOps, sizes.refOps);
+                    wl, opts, mcfg, sizes.trainOps, sizes.refOps);
+                std::shared_ptr<const SampledWarmState> warm;
+                if (sampled)
+                    warm = c.warmStateTagged(wl, opts, mcfg,
+                                             sizes.trainOps,
+                                             sizes.refOps);
                 eval.crispStats = runCoreAnnotated(
-                    *trace, crispConfig(cfg), wl.name, "crisp");
+                    *trace, crispConfig(mcfg), wl.name, "crisp",
+                    warm.get());
                 eval.ipcCrisp = eval.crispStats.ipc();
             } else {
                 const std::string &ist = ist_sizes[v - 2];
                 auto trace =
                     c.trace(wl, InputSet::Ref, sizes.refOps);
+                SimConfig icfg = ibdaConfig(mcfg, ist);
+                std::shared_ptr<const SampledWarmState> warm;
+                if (sampled)
+                    warm = c.warmState(wl, InputSet::Ref,
+                                       sizes.refOps, icfg);
                 CoreStats s = runCoreAnnotated(
-                    *trace, ibdaConfig(cfg, ist), wl.name,
-                    ("ibda-" + ist).c_str());
+                    *trace, icfg, wl.name,
+                    ("ibda-" + ist).c_str(), warm.get());
                 // Each (w, ist) pair is written by exactly one job,
                 // but the map node must be created serially.
                 eval.ipcIbda.at(ist) = s.ipc();

@@ -59,18 +59,28 @@ class PipeTracer;
 
 /**
  * Runs a trace on the core under @p cfg.
+ *
+ * With cfg.sampleOps > 0 the run is routed through sampled
+ * simulation (sim/sampled.h): intervals are detail-simulated in
+ * parallel and the stitched whole-run stats are returned. In that
+ * mode @p interval must be null (per-interval cycle domains do not
+ * form one time series) and the tracer records interval 0 only.
+ *
  * @param tracer optional pipeline tracer attached for the run
  *        (telemetry); the caller writes it out afterwards
  * @param profiler optional per-PC criticality profiler; the caller
  *        exports it afterwards
  * @param interval optional windowed time-series streamer; the caller
  *        writes its NDJSON records afterwards
+ * @param warm optional pre-built sampled warm state (ignored unless
+ *        sampling); built on the fly when null
  */
 CoreStats runCore(const Trace &trace, const SimConfig &cfg,
                   bool record_timeline = false,
                   PipeTracer *tracer = nullptr,
                   PcProfiler *profiler = nullptr,
-                  IntervalStreamer *interval = nullptr);
+                  IntervalStreamer *interval = nullptr,
+                  const SampledWarmState *warm = nullptr);
 
 /**
  * Full per-workload evaluation: baseline OOO, CRISP, and (optionally)

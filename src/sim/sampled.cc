@@ -1,0 +1,311 @@
+#include "sim/sampled.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "bp/bimodal.h"
+#include "bp/gshare.h"
+#include "bp/tage.h"
+#include "sim/thread_pool.h"
+#include "telemetry/pc_profiler.h"
+
+namespace crisp
+{
+
+namespace
+{
+
+/**
+ * The functional warm machine: the architectural-state subset of the
+ * detailed core that interval simulation needs pre-trained. One
+ * commit-order pass over the trace touches the cache hierarchy (and
+ * through it the prefetcher engines and DRAM open rows), trains the
+ * branch structures in exactly the detailed frontend's fetch-order
+ * discipline (fetch order == trace order in a trace-driven model),
+ * and drives the IBDA IST/DLT with the same dispatch-time hooks the
+ * core uses. Timing inputs are pseudo-cycles — snapshot adoption
+ * clamps all timing, so only access *order* matters here.
+ */
+class WarmMachine
+{
+  public:
+    /**
+     * Pseudo-clock advance per replayed op. Only access *order*
+     * matters for warm content, but the clock also dates each cache
+     * fill, and adoption drops fills still in flight at the snapshot
+     * — so the spacing fixes how far back the in-flight horizon
+     * reaches (a DRAM latency ≈ the last ~100 ops at 2 cycles/op,
+     * about a ROB's worth of work).
+     */
+    static constexpr uint64_t kPseudoCyclesPerOp = 2;
+
+    explicit WarmMachine(const SimConfig &cfg)
+        : mem_(cfg), dir_(makeDir(cfg)), btb_(cfg.btbEntries, 4),
+          ras_(cfg.rasEntries), ibda_(cfg), robSize_(cfg.robSize)
+    {
+    }
+
+    /** Replays one micro-op (trace index @p idx) through the warm
+     *  structures. */
+    void step(const MicroOp &op, uint64_t idx)
+    {
+        uint64_t cycle = idx * kPseudoCyclesPerOp;
+
+        // Icache: the frontend charges one access per new line
+        // entered (line of the op's last byte).
+        uint64_t line = (op.pc + op.instSize - 1) >> 6;
+        if (line != curLine_) {
+            mem_.ifetch(op.pc, cycle);
+            curLine_ = line;
+        }
+
+        if (op.isControl())
+            warmControl(op);
+
+        if (op.cls == OpClass::Load) {
+            // Store-to-load forwarding: the detailed core satisfies
+            // a load from the store queue — no cache access at all —
+            // when an in-flight store to the same word exists.
+            // In-flight means dispatched and not yet retired, which
+            // in trace order is (at most) the last robSize ops.
+            auto it = lastStoreIdx_.find(op.effAddr);
+            if (it != lastStoreIdx_.end() &&
+                idx - it->second <= robSize_) {
+                ibda_.onLoadComplete(op.pc, false);
+            } else {
+                auto res = mem_.load(op.effAddr, op.pc, cycle);
+                ibda_.onLoadComplete(op.pc, res.llcMiss());
+            }
+        } else if (op.isStore()) {
+            mem_.store(op.effAddr, op.pc, cycle);
+            lastStoreIdx_[op.effAddr] = idx;
+        } else if (op.cls == OpClass::Prefetch) {
+            mem_.prefetchData(op.effAddr, cycle);
+        }
+
+        // IBDA rename hooks, in the core's dispatch order: mark
+        // first, then record this op as its destination's writer.
+        ibda_.onDispatch(op, lastWriterPc_);
+        if (op.dst != kNoReg)
+            lastWriterPc_[size_t(op.dst)] = op.pc;
+    }
+
+    /** @return a snapshot of the current warm state at op @p idx. */
+    MachineSnapshot snapshot(uint64_t idx) const
+    {
+        return MachineSnapshot(idx, idx * kPseudoCyclesPerOp, mem_,
+                               dir_->clone(),
+                               btb_, ras_,
+                               std::make_unique<Ibda>(ibda_),
+                               lastWriterPc_);
+    }
+
+  private:
+    /** Must stay in lockstep with the Frontend constructor's
+     *  predictor selection. */
+    static std::unique_ptr<DirectionPredictor>
+    makeDir(const SimConfig &cfg)
+    {
+        if (cfg.branchPredictor == "bimodal")
+            return std::make_unique<BimodalPredictor>();
+        if (cfg.branchPredictor == "gshare")
+            return std::make_unique<GsharePredictor>();
+        return std::make_unique<TagePredictor>();
+    }
+
+    /** Trains predictor/BTB/RAS exactly as Frontend::predictControl
+     *  does, minus the mispredict statistics. */
+    void warmControl(const MicroOp &op)
+    {
+        uint64_t fallthrough = op.pc + op.instSize;
+        switch (op.cls) {
+          case OpClass::Branch: {
+            (void)dir_->predict(op.pc);
+            dir_->update(op.pc, op.taken);
+            if (op.taken) {
+                uint64_t target;
+                (void)btb_.lookup(op.pc, target);
+                btb_.update(op.pc, op.nextPc);
+            }
+            break;
+          }
+          case OpClass::Jump:
+            btb_.update(op.pc, op.nextPc);
+            break;
+          case OpClass::Call:
+            ras_.push(fallthrough);
+            btb_.update(op.pc, op.nextPc);
+            break;
+          case OpClass::Ret:
+            (void)ras_.pop();
+            break;
+          case OpClass::IndirectJump: {
+            uint64_t target;
+            (void)btb_.lookup(op.pc, target);
+            btb_.update(op.pc, op.nextPc);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    Hierarchy mem_;
+    std::unique_ptr<DirectionPredictor> dir_;
+    Btb btb_;
+    Ras ras_;
+    Ibda ibda_;
+    unsigned robSize_;
+    std::unordered_map<uint64_t, uint64_t> lastStoreIdx_;
+    std::array<uint64_t, kNumArchRegs> lastWriterPc_{};
+    uint64_t curLine_ = ~0ULL;
+};
+
+} // namespace
+
+SampledWarmState
+buildWarmState(const Trace &trace, const SimConfig &cfg)
+{
+    if (cfg.sampleOps == 0)
+        throw std::invalid_argument(
+            "buildWarmState: sampleOps must be > 0");
+
+    const uint64_t n = cfg.sampleOps;
+    const uint64_t w = cfg.sampleWarmupOps;
+    const uint64_t size = trace.size();
+    const uint64_t num_intervals = (size + n - 1) / n;
+
+    SampledWarmState warm;
+    warm.intervalOps = n;
+    warm.warmupOps = w;
+    warm.snapshots.reserve(size_t(num_intervals));
+
+    WarmMachine machine(cfg);
+    uint64_t next_k = 0;
+    for (uint64_t idx = 0; idx < size; ++idx) {
+        // Snapshot position for interval k is max(0, k*n - w): the
+        // interval's detailed warm-up prefix starts there. Positions
+        // are non-decreasing in k; several may coincide at 0.
+        while (next_k < num_intervals) {
+            uint64_t boundary = next_k * n;
+            uint64_t pos = boundary > w ? boundary - w : 0;
+            if (pos != idx)
+                break;
+            warm.snapshots.push_back(machine.snapshot(idx));
+            ++next_k;
+        }
+        machine.step(trace.ops[size_t(idx)], idx);
+    }
+    // Every interval with ops in it has pos(k) <= k*n < size, so the
+    // loop above emits exactly num_intervals snapshots.
+    return warm;
+}
+
+void
+applySnapshot(Core &core, const MachineSnapshot &snap)
+{
+    core.mem_.adoptWarmState(snap.mem, snap.warmCycle);
+    core.frontend_.adoptWarmState(*snap.dir, snap.btb, snap.ras);
+    if (core.ibda_ && snap.ibda)
+        core.ibda_->adoptWarmState(*snap.ibda);
+    core.lastWriterPc_ = snap.lastWriterPc;
+}
+
+SampledResult
+runCoreSampled(const Trace &trace, const SimConfig &cfg,
+               const SampledWarmState *warm, PcProfiler *profiler,
+               PipeTracer *tracer, bool record_timeline)
+{
+    if (cfg.sampleOps == 0)
+        throw std::invalid_argument(
+            "runCoreSampled: sampleOps must be > 0");
+
+    SampledWarmState local;
+    if (warm == nullptr) {
+        local = buildWarmState(trace, cfg);
+        warm = &local;
+    } else if (warm->intervalOps != cfg.sampleOps ||
+               warm->warmupOps != cfg.sampleWarmupOps) {
+        throw std::invalid_argument(
+            "runCoreSampled: warm state was built for a different "
+            "sample spec");
+    }
+
+    const uint64_t n = cfg.sampleOps;
+    const uint64_t size = trace.size();
+    const uint64_t num_intervals = (size + n - 1) / n;
+    if (warm->snapshots.size() != size_t(num_intervals))
+        throw std::invalid_argument(
+            "runCoreSampled: warm state was built for a different "
+            "trace length");
+
+    SampledResult result;
+    result.intervalOps = n;
+    result.warmupOps = cfg.sampleWarmupOps;
+    result.intervals.resize(size_t(num_intervals));
+
+    std::vector<PcProfiler> profilers;
+    if (profiler)
+        profilers.resize(size_t(num_intervals));
+
+    // Each interval job is a pure function of (sub-trace, config,
+    // snapshot) and writes its own result slot, so output is
+    // bit-identical at any job count.
+    ThreadPool pool(cfg.sampleJobs);
+    pool.parallelFor(size_t(num_intervals), [&](size_t k) {
+        const MachineSnapshot &snap = warm->snapshots[k];
+        const uint64_t begin = uint64_t(k) * n;
+        const uint64_t end = std::min(begin + n, size);
+        const uint64_t warm_start = snap.beginOp;
+
+        Trace sub;
+        sub.ops.assign(trace.ops.begin() + ptrdiff_t(warm_start),
+                       trace.ops.begin() + ptrdiff_t(end));
+        sub.program = trace.program;
+
+        Core core(sub, cfg);
+        applySnapshot(core, snap);
+        core.setMeasureFromOp(begin - warm_start);
+        if (profiler)
+            core.setProfiler(&profilers[k]);
+        if (tracer && k == 0)
+            core.setTracer(tracer);
+        result.intervals[k] = core.run(~0ULL, record_timeline);
+    });
+
+    for (const CoreStats &cs : result.intervals)
+        result.total.accumulate(cs);
+    if (profiler)
+        for (const PcProfiler &p : profilers)
+            profiler->merge(p);
+    return result;
+}
+
+std::string
+warmStateKey(const SimConfig &c)
+{
+    // Only what warm-state *content* is a function of: geometry of
+    // the warmed structures and the sample spec. Latencies, MSHR
+    // counts, scheduler policy and tick model shape timing, which
+    // snapshot adoption clamps — so ooo/crisp/ibda variants on the
+    // same trace share one warm artifact.
+    auto cache = [](const CacheConfig &k) {
+        std::ostringstream os;
+        os << k.sizeBytes << "/" << k.ways << "/" << k.lineBytes;
+        return os.str();
+    };
+    std::ostringstream os;
+    os << "N=" << c.sampleOps << ";W=" << c.sampleWarmupOps
+       << ";l1i=" << cache(c.l1i) << ";l1d=" << cache(c.l1d)
+       << ";llc=" << cache(c.llc) << ";bop=" << c.enableBop
+       << ";str=" << c.enableStream << ";srd=" << c.enableStride
+       << ";ghb=" << c.enableGhb << ";bp=" << c.branchPredictor
+       << ";btb=" << c.btbEntries << ";ras=" << c.rasEntries
+       << ";ist=" << c.istEntries << "/" << c.istWays << "/"
+       << c.istInfinite << ";dlt=" << c.dltEntries;
+    return os.str();
+}
+
+} // namespace crisp

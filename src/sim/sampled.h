@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Sampled simulation: checkpointed intervals detailed-simulated in
+ * parallel (SMARTS-style; DESIGN.md §13).
+ *
+ * The trace is split into fixed-size intervals of `SimConfig::
+ * sampleOps` micro-ops. A serial *functional warm pass* replays the
+ * whole trace once through the architectural warm-up machinery — the
+ * cache hierarchy, the trained prefetcher engines, the direction
+ * predictor / BTB / RAS in exactly the detailed frontend's training
+ * order, and the IBDA IST/DLT — and captures a MachineSnapshot at
+ * every interval boundary. Each interval is then dispatched as an
+ * independent detailed Core::run job on the ThreadPool, starting from
+ * its snapshot (timing clamped to a quiesced cycle-0 machine), and
+ * the per-interval CoreStats are stitched back into whole-run
+ * aggregates with CoreStats::accumulate — the same disjoint-window
+ * additivity the IntervalStreamer contract pins (DESIGN.md §12).
+ *
+ * Because the trace pre-records every architectural result (effective
+ * addresses, branch outcomes, next PCs), snapshots carry *only*
+ * microarchitectural state: no memory image or interpreter register
+ * file is needed — an interval core re-executes its trace slice
+ * directly. An optional per-interval detailed warm-up of
+ * `sampleWarmupOps` micro-ops re-simulates the tail of the previous
+ * interval in detail and strips it from the interval's statistics
+ * (Core::setMeasureFromOp), shrinking the cold-pipeline boundary
+ * error.
+ *
+ * Determinism: the warm pass is serial, every interval job is a pure
+ * function of (sub-trace, config, snapshot), and stitching is in
+ * interval order — results are bit-identical at any job count.
+ */
+
+#ifndef CRISP_SIM_SAMPLED_H
+#define CRISP_SIM_SAMPLED_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bp/btb.h"
+#include "bp/predictor.h"
+#include "bp/ras.h"
+#include "cache/hierarchy.h"
+#include "cpu/core.h"
+#include "ibda/ibda.h"
+#include "sim/config.h"
+#include "trace/trace.h"
+
+namespace crisp
+{
+
+class PcProfiler;
+class PipeTracer;
+
+/**
+ * The microarchitectural state handed to one interval core: the warm
+ * memory-system image (cache tags/LRU, DRAM open rows, trained
+ * prefetcher tables), the trained branch structures, and the IBDA
+ * IST/DLT contents. Architectural state (memory image, registers) is
+ * never snapshotted — the trace pre-records all execution results.
+ */
+struct MachineSnapshot
+{
+    /** Trace index this snapshot is valid at (interval start minus
+     *  the detailed warm-up prefix). */
+    uint64_t beginOp = 0;
+
+    /** The warm pass's pseudo-clock at the snapshot point. Lines
+     *  whose fill completes after this (still in flight) are dropped
+     *  at adoption rather than granted instantly. */
+    uint64_t warmCycle = 0;
+
+    Hierarchy mem;                           ///< caches + DRAM + prefetchers
+    std::unique_ptr<DirectionPredictor> dir; ///< trained predictor
+    Btb btb;
+    Ras ras;
+    std::unique_ptr<Ibda> ibda;              ///< trained IST/DLT
+
+    /** Per-register PC of the latest architectural writer at the
+     *  snapshot point — the rename-side context IBDA's backward walk
+     *  reads at dispatch. */
+    std::array<uint64_t, kNumArchRegs> lastWriterPc{};
+
+    MachineSnapshot(uint64_t begin_op, uint64_t warm_cycle,
+                    const Hierarchy &warm_mem,
+                    std::unique_ptr<DirectionPredictor> warm_dir,
+                    const Btb &warm_btb, const Ras &warm_ras,
+                    std::unique_ptr<Ibda> warm_ibda,
+                    const std::array<uint64_t, kNumArchRegs>
+                        &warm_last_writer_pc)
+        : beginOp(begin_op), warmCycle(warm_cycle), mem(warm_mem),
+          dir(std::move(warm_dir)), btb(warm_btb), ras(warm_ras),
+          ibda(std::move(warm_ibda)),
+          lastWriterPc(warm_last_writer_pc)
+    {
+    }
+
+    MachineSnapshot(MachineSnapshot &&) = default;
+    MachineSnapshot &operator=(MachineSnapshot &&) = default;
+};
+
+/**
+ * All interval snapshots of one (trace, config, sample spec): the
+ * product of one serial warm pass. Shareable across scheduler
+ * variants via the ArtifactCache — warm-up is variant-independent
+ * (the warm pass trains every structure, and each variant adopts
+ * only what its config enables).
+ */
+struct SampledWarmState
+{
+    uint64_t intervalOps = 0; ///< interval length the pass was built for
+    uint64_t warmupOps = 0;   ///< detailed warm-up prefix per interval
+
+    /** snapshots[k] is taken at op max(0, k*intervalOps - warmupOps);
+     *  snapshots[0] is the cold machine. */
+    std::vector<MachineSnapshot> snapshots;
+};
+
+/**
+ * Runs the serial functional warm pass over @p trace and captures a
+ * MachineSnapshot at every interval boundary (minus the warm-up
+ * prefix) per @p cfg's sampleOps/sampleWarmupOps.
+ */
+SampledWarmState buildWarmState(const Trace &trace,
+                                const SimConfig &cfg);
+
+/** Result of one sampled run. */
+struct SampledResult
+{
+    CoreStats total;                  ///< stitched whole-run aggregate
+    std::vector<CoreStats> intervals; ///< per-interval (measured) stats
+    uint64_t intervalOps = 0;
+    uint64_t warmupOps = 0;
+};
+
+/**
+ * Sampled detailed simulation of @p trace under @p cfg (which must
+ * have sampleOps > 0): warm pass (or @p warm when provided — it must
+ * match the config's sample spec), parallel per-interval Core runs
+ * on cfg.sampleJobs workers, stitched totals. Bit-identical at any
+ * job count.
+ *
+ * @param warm pre-built warm state (e.g. shared via ArtifactCache);
+ *        nullptr = build one here
+ * @param profiler optional per-PC profiler; per-interval profiles are
+ *        merged into it in interval order
+ * @param tracer optional pipeline tracer, attached to interval 0
+ *        only (its cycle window is interval-local; see cliUsage)
+ * @param record_timeline record per-cycle retire counts (timelines
+ *        concatenate across intervals)
+ * @throws std::invalid_argument on a sample-spec mismatch with @p warm
+ * @throws SimDeadlockError when an interval stops making progress
+ */
+SampledResult runCoreSampled(const Trace &trace, const SimConfig &cfg,
+                             const SampledWarmState *warm = nullptr,
+                             PcProfiler *profiler = nullptr,
+                             PipeTracer *tracer = nullptr,
+                             bool record_timeline = false);
+
+/**
+ * Injects a snapshot's warm state into a fresh core (before run()):
+ * memory system, branch structures and — when the config enables
+ * IBDA — the IST/DLT. Timing is clamped and statistics zeroed by the
+ * component adoptWarmState methods.
+ */
+void applySnapshot(Core &core, const MachineSnapshot &snap);
+
+/**
+ * @return the canonical key fragment of everything a warm pass is a
+ *         pure function of besides the trace: cache/prefetcher/
+ *         branch-structure/IST geometry plus the sample spec.
+ *         Scheduler policy, tick model and latencies do not affect
+ *         warm state, so variants share warm artifacts.
+ */
+std::string warmStateKey(const SimConfig &cfg);
+
+} // namespace crisp
+
+#endif // CRISP_SIM_SAMPLED_H

@@ -75,6 +75,19 @@ Histogram::merge(const Histogram &other)
     sum_ += other.sum_;
 }
 
+void
+Histogram::subtract(const Histogram &base)
+{
+    if (base.width_ != width_ ||
+        base.buckets_.size() != buckets_.size())
+        throw std::invalid_argument(
+            "Histogram::subtract: mismatched geometry");
+    for (size_t b = 0; b < buckets_.size(); ++b)
+        buckets_[b] -= base.buckets_[b];
+    count_ -= base.count_;
+    sum_ -= base.sum_;
+}
+
 double
 Histogram::percentile(double p) const
 {

@@ -86,6 +86,14 @@ class Histogram
      */
     void merge(const Histogram &other);
 
+    /**
+     * Subtracts an earlier snapshot of this histogram (identical
+     * geometry; every bucket of @p base must be <= this one's).
+     * Sampled simulation uses it to drop warm-up-prefix samples.
+     * @throws std::invalid_argument on mismatched geometry.
+     */
+    void subtract(const Histogram &base);
+
     /** @return the bucket width this histogram was built with. */
     double bucketWidth() const { return width_; }
 

@@ -44,6 +44,13 @@ CpiStack::merge(const CpiStack &other)
 }
 
 void
+CpiStack::subtract(const CpiStack &base)
+{
+    for (size_t b = 0; b < kNumCpiBuckets; ++b)
+        cycles[b] -= base.cycles[b];
+}
+
+void
 CpiStack::registerInto(StatRegistry &reg,
                        const std::string &prefix) const
 {

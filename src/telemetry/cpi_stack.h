@@ -82,6 +82,13 @@ struct CpiStack
     /** Accumulates another stack (for cross-run aggregation). */
     void merge(const CpiStack &other);
 
+    /**
+     * Subtracts @p base bucket-wise. Used by sampled simulation to
+     * strip the detailed warm-up prefix from an interval's stack;
+     * @p base must be an earlier snapshot of this stack.
+     */
+    void subtract(const CpiStack &base);
+
     /** Registers one counter per bucket plus the fractions. */
     void registerInto(StatRegistry &reg,
                       const std::string &prefix) const;

@@ -58,6 +58,33 @@ PcProfiler::onCriticalPick(uint64_t picked_pc, uint64_t bypassed_pc,
     decisionLead_ += lead;
 }
 
+void
+PcProfiler::merge(const PcProfiler &other)
+{
+    for (const auto &[pc, src] : other.loads_) {
+        LoadEntry &dst = loads_[pc];
+        dst.issues += src.issues;
+        dst.llcMisses += src.llcMisses;
+        dst.critical += src.critical;
+        dst.waitCycles += src.waitCycles;
+        dst.robHeadDist += src.robHeadDist;
+        dst.mlpOverlap += src.mlpOverlap;
+    }
+    for (const auto &[pc, src] : other.branches_) {
+        BranchEntry &dst = branches_[pc];
+        dst.mispredicts += src.mispredicts;
+        dst.waitCycles += src.waitCycles;
+        dst.robHeadDist += src.robHeadDist;
+    }
+    for (const auto &[key, src] : other.decisions_) {
+        DecisionEntry &dst = decisions_[key];
+        dst.picks += src.picks;
+        dst.leadCycles += src.leadCycles;
+    }
+    decisionCount_ += other.decisionCount_;
+    decisionLead_ += other.decisionLead_;
+}
+
 namespace
 {
 

@@ -138,6 +138,15 @@ class PcProfiler
     std::vector<std::vector<uint64_t>> topDecisions(size_t n) const;
 
     /**
+     * Accumulates another profile entry-wise: per-PC rows add field
+     * by field, summary counters add. Sampled simulation merges the
+     * per-interval profiles into the whole-run attribution table;
+     * transient in-flight state (outstanding misses) is interval-
+     * local and is not merged.
+     */
+    void merge(const PcProfiler &other);
+
+    /**
      * Registers the profile under @p prefix: three sorted top-N
      * tables (loads / branches / decisions, by cycles attributed)
      * plus summary counters. Deterministic order, so exports are

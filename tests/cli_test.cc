@@ -250,5 +250,86 @@ TEST(Cli, RejectsBadPcProfilingCounts)
     EXPECT_FALSE(parseCli({"--profile-pc=4x"}).ok());
 }
 
+TEST(Cli, ParsesTraceLengthAliases)
+{
+    CliOptions opt = parseCli(
+        {"--train-ops", "11111", "--ref-ops", "22222"});
+    ASSERT_TRUE(opt.ok()) << opt.error;
+    EXPECT_EQ(opt.trainOps, 11'111u);
+    EXPECT_EQ(opt.refOps, 22'222u);
+    // Aliases share the short forms' validation.
+    EXPECT_FALSE(parseCli({"--train-ops", "0"}).ok());
+    EXPECT_FALSE(parseCli({"--ref-ops", "0"}).ok());
+    EXPECT_FALSE(parseCli({"--train-ops", "many"}).ok());
+    EXPECT_FALSE(parseCli({"--ref-ops"}).ok());
+}
+
+TEST(Cli, ParsesSampleSpec)
+{
+    // Sampling is off by default.
+    EXPECT_EQ(parseCli({}).machine.sampleOps, 0u);
+
+    CliOptions bare = parseCli({"--sample", "30000"});
+    ASSERT_TRUE(bare.ok()) << bare.error;
+    EXPECT_EQ(bare.machine.sampleOps, 30'000u);
+    EXPECT_EQ(bare.machine.sampleWarmupOps, 0u);
+
+    CliOptions warm = parseCli({"--sample", "30000:20000"});
+    ASSERT_TRUE(warm.ok()) << warm.error;
+    EXPECT_EQ(warm.machine.sampleOps, 30'000u);
+    EXPECT_EQ(warm.machine.sampleWarmupOps, 20'000u);
+
+    // Long-hand warm-up spelling.
+    CliOptions lh = parseCli({"--sample", "30000:warmup=20000"});
+    ASSERT_TRUE(lh.ok()) << lh.error;
+    EXPECT_EQ(lh.machine.sampleOps, 30'000u);
+    EXPECT_EQ(lh.machine.sampleWarmupOps, 20'000u);
+
+    // Interval workers follow --jobs.
+    CliOptions jobs =
+        parseCli({"--sample", "30000", "--jobs", "7"});
+    ASSERT_TRUE(jobs.ok()) << jobs.error;
+    EXPECT_EQ(jobs.machine.sampleJobs, 7u);
+}
+
+TEST(Cli, RejectsBadSampleSpecs)
+{
+    EXPECT_FALSE(parseCli({"--sample", "0"}).ok());
+    EXPECT_FALSE(parseCli({"--sample"}).ok());
+    EXPECT_FALSE(parseCli({"--sample", "many"}).ok());
+    EXPECT_FALSE(parseCli({"--sample", "-5"}).ok());
+    EXPECT_FALSE(parseCli({"--sample", "10000:"}).ok());
+    EXPECT_FALSE(parseCli({"--sample", "10000:abc"}).ok());
+    EXPECT_FALSE(parseCli({"--sample", "10000:warmup="}).ok());
+    EXPECT_FALSE(parseCli({"--sample", ":5"}).ok());
+}
+
+TEST(Cli, RejectsContradictorySampleCombos)
+{
+    // A windowless pipeline trace would interleave interval-local
+    // cycle domains; an explicit window is applied to interval 0.
+    CliOptions pipe = parseCli(
+        {"--sample", "10000", "--trace-pipe", "p.kanata"});
+    EXPECT_FALSE(pipe.ok());
+    EXPECT_NE(pipe.error.find("--trace-pipe"), std::string::npos);
+    EXPECT_TRUE(parseCli({"--sample", "10000", "--trace-pipe",
+                          "p.kanata:0:500"})
+                    .ok());
+
+    // Interval NDJSON streaming needs one continuous time series.
+    CliOptions nd = parseCli(
+        {"--sample", "10000", "--stats-ndjson", "iv.ndjson"});
+    EXPECT_FALSE(nd.ok());
+    EXPECT_NE(nd.error.find("--stats-ndjson"), std::string::npos);
+
+    // The invariant auditor must fire at least once per interval.
+    CliOptions chk =
+        parseCli({"--sample", "1000", "--check=5000"});
+    EXPECT_FALSE(chk.ok());
+    EXPECT_NE(chk.error.find("--check"), std::string::npos);
+    EXPECT_TRUE(
+        parseCli({"--sample", "5000", "--check=1000"}).ok());
+}
+
 } // namespace
 } // namespace crisp

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Sampled-simulation regression (DESIGN.md §13): snapshot geometry
+ * and content, warm-state adoption semantics (tags kept, timing
+ * clamped, in-flight prefetches dropped, stats zeroed), stitching
+ * algebra (per-interval stats sum to whole-run totals), bit-identity
+ * of a 1-interval sampled run with the serial engine and of sampled
+ * runs across job counts, per-interval invariant auditing, and the
+ * headline fidelity gate: sampled-vs-full IPC error < 1% on all 16
+ * bundled workloads × {ooo, crisp, ibda}.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+#include "sim/artifact_cache.h"
+#include "sim/driver.h"
+#include "sim/sampled.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+namespace
+{
+
+constexpr uint64_t kTrainOps = 30'000;
+constexpr uint64_t kRefOps = 90'000;
+
+// The pinned sample spec for the fidelity gate: 30k-op intervals
+// with a full-interval detailed warm-up. Chosen empirically — the
+// worst |IPC error| across all 16 workloads × 3 variants is 0.88%
+// (namd/crisp); shorter warm-ups or shorter intervals push several
+// workloads past 1% (boundary DRAM row-locality noise dominates).
+constexpr uint64_t kSampleOps = 30'000;
+constexpr uint64_t kSampleWarmupOps = 30'000;
+constexpr double kMaxIpcErrorPct = 1.0;
+
+/** Shared across all instantiations in one process. */
+ArtifactCache &
+cache()
+{
+    static ArtifactCache c;
+    return c;
+}
+
+SimConfig
+sampledConfig(SimConfig cfg)
+{
+    cfg.sampleOps = kSampleOps;
+    cfg.sampleWarmupOps = kSampleWarmupOps;
+    cfg.sampleJobs = 2;
+    return cfg;
+}
+
+double
+ipcErrorPct(const CoreStats &full, const CoreStats &sampled)
+{
+    return std::abs(sampled.ipc() / full.ipc() - 1.0) * 100.0;
+}
+
+/** Bit-identity on every counter the tick-model regression pins. */
+void
+expectIdentical(const CoreStats &a, const CoreStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.robHeadStallCycles, b.robHeadStallCycles);
+    EXPECT_EQ(a.robHeadLoadStallCycles, b.robHeadLoadStallCycles);
+    EXPECT_EQ(a.llcMissLoads, b.llcMissLoads);
+    EXPECT_EQ(a.forwardedLoads, b.forwardedLoads);
+    EXPECT_EQ(a.frontend.fetched, b.frontend.fetched);
+    EXPECT_EQ(a.frontend.condMispredicts,
+              b.frontend.condMispredicts);
+    EXPECT_EQ(a.l1i.misses, b.l1i.misses);
+    EXPECT_EQ(a.l1d.accesses, b.l1d.accesses);
+    EXPECT_EQ(a.l1d.misses, b.l1d.misses);
+    EXPECT_EQ(a.llc.misses, b.llc.misses);
+    EXPECT_EQ(a.dram.reads, b.dram.reads);
+    EXPECT_EQ(a.dram.rowHits, b.dram.rowHits);
+    EXPECT_EQ(a.dram.totalLatency, b.dram.totalLatency);
+    EXPECT_EQ(a.headStallByStatic, b.headStallByStatic);
+    EXPECT_EQ(a.issueWaitByStatic, b.issueWaitByStatic);
+    for (size_t bk = 0; bk < kNumCpiBuckets; ++bk) {
+        SCOPED_TRACE(cpiBucketName(CpiBucket(bk)));
+        EXPECT_EQ(a.cpi.cycles[bk], b.cpi.cycles[bk]);
+    }
+}
+
+// ---------------------------------------------------------------
+// Warm pass: snapshot geometry and content.
+// ---------------------------------------------------------------
+
+TEST(WarmPass, SnapshotPositionsFollowWarmupGeometry)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, 40'000);
+    const uint64_t n = (trace->size() + 1) / 2; // exactly 2 intervals
+
+    SimConfig cfg = SimConfig::skylake();
+    cfg.sampleOps = n;
+    cfg.sampleWarmupOps = 0;
+    SampledWarmState w0 = buildWarmState(*trace, cfg);
+    ASSERT_EQ(w0.snapshots.size(), 2u);
+    EXPECT_EQ(w0.snapshots[0].beginOp, 0u);
+    EXPECT_EQ(w0.snapshots[1].beginOp, n);
+
+    // A warm-up prefix moves snapshot k to max(0, k*N - W).
+    cfg.sampleWarmupOps = 10'000;
+    SampledWarmState w1 = buildWarmState(*trace, cfg);
+    ASSERT_EQ(w1.snapshots.size(), 2u);
+    EXPECT_EQ(w1.snapshots[0].beginOp, 0u);
+    EXPECT_EQ(w1.snapshots[1].beginOp, n - 10'000);
+
+    cfg.sampleWarmupOps = 10 * n; // clamps at the trace start
+    SampledWarmState w2 = buildWarmState(*trace, cfg);
+    ASSERT_EQ(w2.snapshots.size(), 2u);
+    EXPECT_EQ(w2.snapshots[1].beginOp, 0u);
+}
+
+TEST(WarmPass, SnapshotZeroIsColdAndLaterSnapshotsAreWarm)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, 40'000);
+    SimConfig cfg = SimConfig::skylake();
+    cfg.sampleOps = (trace->size() + 1) / 2;
+    cfg.sampleWarmupOps = 0;
+    SampledWarmState warm = buildWarmState(*trace, cfg);
+    ASSERT_EQ(warm.snapshots.size(), 2u);
+    const MachineSnapshot &cold = warm.snapshots[0];
+    const MachineSnapshot &hot = warm.snapshots[1];
+
+    EXPECT_EQ(cold.warmCycle, 0u);
+    EXPECT_GT(hot.warmCycle, 0u);
+    EXPECT_EQ(cold.mem.l1d().stats().accesses, 0u);
+    EXPECT_GT(hot.mem.l1d().stats().accesses, 0u);
+    EXPECT_GT(hot.mem.l1i().stats().accesses, 0u);
+
+    // The data line touched last before the boundary is still warm
+    // (L1D, or LLC if an unlucky set conflict evicted it).
+    for (uint64_t i = hot.beginOp; i-- > 0;) {
+        const MicroOp &op = trace->ops[size_t(i)];
+        if (op.cls != OpClass::Load && op.cls != OpClass::Store)
+            continue;
+        EXPECT_FALSE(cold.mem.l1d().contains(op.effAddr));
+        EXPECT_TRUE(hot.mem.l1d().contains(op.effAddr) ||
+                    hot.mem.llc().contains(op.effAddr));
+        break;
+    }
+}
+
+// ---------------------------------------------------------------
+// Adoption semantics: tags kept, timing clamped, stats zeroed,
+// in-flight prefetches dropped.
+// ---------------------------------------------------------------
+
+TEST(Adoption, KeepsTagsClampsTimingZeroesStats)
+{
+    CacheConfig ccfg = SimConfig::skylake().l1d;
+    Cache warm("warm", ccfg);
+    warm.fill(0x1000, /*ready_cycle=*/500); // demand, far in flight
+    warm.fill(0x3000, /*ready_cycle=*/10);  // demand, long complete
+    (void)warm.lookup(0x3000, 20);
+
+    Cache cold("cold", ccfg);
+    cold.adoptWarmState(warm, /*warm_now=*/50);
+    // Tags survive; the in-flight demand line is clamped to ready
+    // now, not at its warm-domain fill time.
+    EXPECT_TRUE(cold.contains(0x1000));
+    EXPECT_TRUE(cold.contains(0x3000));
+    Cache::LookupResult r = cold.lookup(0x1000, 0);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.readyCycle, uint64_t(ccfg.latency));
+    // Warm-pass accounting does not leak into the interval's stats
+    // (the lookup above is the adopter's own first access).
+    EXPECT_EQ(cold.stats().accesses, 1u);
+    EXPECT_EQ(cold.stats().misses, 0u);
+}
+
+TEST(Adoption, DropsInFlightPrefetchesKeepsCompletedOnes)
+{
+    CacheConfig ccfg = SimConfig::skylake().l1d;
+    Cache warm("warm", ccfg);
+    warm.fill(0x2000, /*ready_cycle=*/500, /*is_prefetch=*/true);
+    warm.fill(0x4000, /*ready_cycle=*/10, /*is_prefetch=*/true);
+
+    Cache cold("cold", ccfg);
+    cold.adoptWarmState(warm, /*warm_now=*/50);
+    // A speculative fill still in flight at the snapshot is dropped
+    // (nothing waits on it); a completed one is warm content.
+    EXPECT_FALSE(cold.contains(0x2000));
+    EXPECT_TRUE(cold.contains(0x4000));
+}
+
+// ---------------------------------------------------------------
+// Stitching algebra.
+// ---------------------------------------------------------------
+
+TEST(Stitching, OneIntervalSerialRunIsBitIdenticalToFullRun)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, 45'000);
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+
+    Core core(*trace, cfg);
+    CoreStats full = core.run();
+
+    SimConfig scfg = cfg;
+    scfg.sampleOps = trace->size(); // one interval, cold snapshot
+    scfg.sampleJobs = 1;
+    SampledResult sampled = runCoreSampled(*trace, scfg);
+    ASSERT_EQ(sampled.intervals.size(), 1u);
+    expectIdentical(full, sampled.total);
+    // With one interval, the stitched total IS the interval.
+    expectIdentical(sampled.intervals[0], sampled.total);
+}
+
+TEST(Stitching, IntervalStatsSumToWholeRunTotals)
+{
+    const WorkloadInfo *wl = findWorkload("moses");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, kRefOps);
+    SimConfig cfg = sampledConfig(SimConfig::skylake());
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+
+    SampledResult r = runCoreSampled(*trace, cfg);
+    ASSERT_EQ(r.intervals.size(),
+              (trace->size() + kSampleOps - 1) / kSampleOps);
+
+    CoreStats sum;
+    for (const CoreStats &s : r.intervals) {
+        // Each interval's CPI stack individually accounts for every
+        // measured cycle (the warm-up prefix is subtracted from
+        // stack and total alike).
+        EXPECT_EQ(s.cpi.total(), s.cycles);
+        sum.accumulate(s);
+    }
+    EXPECT_EQ(sum.cycles, r.total.cycles);
+    EXPECT_EQ(sum.retired, r.total.retired);
+    EXPECT_EQ(sum.l1d.accesses, r.total.l1d.accesses);
+    EXPECT_EQ(sum.llc.misses, r.total.llc.misses);
+    EXPECT_EQ(sum.dram.reads, r.total.dram.reads);
+    EXPECT_EQ(r.total.cpi.total(), r.total.cycles);
+    // Every trace op is measured in exactly one interval.
+    EXPECT_EQ(r.total.retired, trace->size());
+}
+
+TEST(Stitching, ResultsAreBitIdenticalAtAnyJobCount)
+{
+    const WorkloadInfo *wl = findWorkload("moses");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, kRefOps);
+    SimConfig cfg = sampledConfig(SimConfig::skylake());
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+
+    cfg.sampleJobs = 1;
+    SampledResult serial = runCoreSampled(*trace, cfg);
+    cfg.sampleJobs = 4;
+    SampledResult parallel = runCoreSampled(*trace, cfg);
+    expectIdentical(serial.total, parallel.total);
+    ASSERT_EQ(serial.intervals.size(), parallel.intervals.size());
+    for (size_t k = 0; k < serial.intervals.size(); ++k)
+        expectIdentical(serial.intervals[k], parallel.intervals[k]);
+}
+
+// ---------------------------------------------------------------
+// Guard rails.
+// ---------------------------------------------------------------
+
+TEST(Guards, MismatchedWarmStateIsRejected)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, 40'000);
+    SimConfig cfg = SimConfig::skylake();
+    cfg.sampleOps = 20'000;
+    SampledWarmState warm = buildWarmState(*trace, cfg);
+
+    SimConfig other = cfg;
+    other.sampleOps = 10'000;
+    EXPECT_THROW(runCoreSampled(*trace, other, &warm),
+                 std::invalid_argument);
+    other = cfg;
+    other.sampleWarmupOps = 5'000;
+    EXPECT_THROW(runCoreSampled(*trace, other, &warm),
+                 std::invalid_argument);
+
+    // A warm state built for a different trace length (wrong
+    // snapshot count) is rejected too.
+    auto shorter = cache().trace(*wl, InputSet::Ref, 15'000);
+    EXPECT_THROW(runCoreSampled(*shorter, cfg, &warm),
+                 std::invalid_argument);
+
+    SimConfig unsampled = SimConfig::skylake();
+    EXPECT_THROW(runCoreSampled(*trace, unsampled),
+                 std::invalid_argument);
+    EXPECT_THROW(buildWarmState(*trace, unsampled),
+                 std::invalid_argument);
+}
+
+TEST(Guards, InvariantCheckerAuditsEveryInterval)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, 40'000);
+    SimConfig cfg = SimConfig::skylake();
+    cfg.sampleOps = 10'000;
+    cfg.sampleWarmupOps = 5'000;
+    cfg.sampleJobs = 2;
+    cfg.checkInvariants = true;
+    cfg.checkEvery = 64;
+    // Snapshot adoption must leave every interval core in a state
+    // the microarchitectural auditor accepts, from the first tick.
+    SampledResult r = runCoreSampled(*trace, cfg);
+    EXPECT_EQ(r.total.retired, trace->size());
+}
+
+TEST(Guards, EvaluateWorkloadRoutesThroughSampledMode)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    SimConfig cfg = SimConfig::skylake();
+    cfg.sampleOps = 15'000;
+    cfg.sampleWarmupOps = 15'000;
+    cfg.sampleJobs = 2;
+    EvalSizes sizes{20'000, 45'000};
+    WorkloadEval eval = evaluateWorkload(*wl, cfg, CrispOptions{},
+                                         sizes, {"1K"}, &cache());
+    EXPECT_GT(eval.ipcBaseline, 0.0);
+    EXPECT_GT(eval.ipcCrisp, 0.0);
+    EXPECT_GT(eval.ipcIbda.at("1K"), 0.0);
+}
+
+// ---------------------------------------------------------------
+// The fidelity gate: sampled-vs-full IPC error < 1% on all 16
+// workloads × {ooo, crisp, ibda}.
+// ---------------------------------------------------------------
+
+class SampledFidelity : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const WorkloadInfo &wl() const
+    {
+        const WorkloadInfo *w = findWorkload(GetParam());
+        EXPECT_NE(w, nullptr);
+        return *w;
+    }
+};
+
+TEST_P(SampledFidelity, Ooo)
+{
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::OldestFirst;
+    auto trace = cache().trace(wl(), InputSet::Ref, kRefOps);
+    Core core(*trace, cfg);
+    CoreStats full = core.run();
+
+    SimConfig scfg = sampledConfig(cfg);
+    auto warm = cache().warmState(wl(), InputSet::Ref, kRefOps,
+                                  scfg);
+    SampledResult sampled =
+        runCoreSampled(*trace, scfg, warm.get());
+    EXPECT_LT(ipcErrorPct(full, sampled.total), kMaxIpcErrorPct)
+        << "full " << full.ipc() << " sampled "
+        << sampled.total.ipc();
+}
+
+TEST_P(SampledFidelity, Crisp)
+{
+    SimConfig cfg = SimConfig::skylake();
+    cfg.scheduler = SchedulerPolicy::CrispPriority;
+    CrispOptions opts;
+    auto trace = cache().taggedRefTrace(wl(), opts, cfg, kTrainOps,
+                                        kRefOps);
+    Core core(*trace, cfg);
+    CoreStats full = core.run();
+
+    SimConfig scfg = sampledConfig(cfg);
+    auto warm = cache().warmStateTagged(wl(), opts, scfg, kTrainOps,
+                                        kRefOps);
+    SampledResult sampled =
+        runCoreSampled(*trace, scfg, warm.get());
+    EXPECT_LT(ipcErrorPct(full, sampled.total), kMaxIpcErrorPct)
+        << "full " << full.ipc() << " sampled "
+        << sampled.total.ipc();
+}
+
+TEST_P(SampledFidelity, Ibda)
+{
+    SimConfig cfg = ibdaConfig(SimConfig::skylake(), "1K");
+    auto trace = cache().trace(wl(), InputSet::Ref, kRefOps);
+    Core core(*trace, cfg);
+    CoreStats full = core.run();
+
+    SimConfig scfg = sampledConfig(cfg);
+    auto warm = cache().warmState(wl(), InputSet::Ref, kRefOps,
+                                  scfg);
+    SampledResult sampled =
+        runCoreSampled(*trace, scfg, warm.get());
+    EXPECT_LT(ipcErrorPct(full, sampled.total), kMaxIpcErrorPct)
+        << "full " << full.ipc() << " sampled "
+        << sampled.total.ipc();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SampledFidelity,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &pinfo) {
+        return pinfo.param;
+    });
+
+} // namespace
+} // namespace crisp

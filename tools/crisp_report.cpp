@@ -22,6 +22,7 @@
  */
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +50,7 @@ struct Options
     double threshold = 1.0;  ///< per-metric report threshold, %
     double failBelow = 0.0;  ///< aggregate IPC gate, %
     bool gate = false;       ///< --fail-below given
+    bool flattenIntervals = false; ///< fold interval<k>. segments
     uint64_t top = 20;       ///< max rows per section
     std::string error;
 
@@ -68,6 +70,15 @@ const char *kUsage =
     "                   falls below PCT (e.g. -1.0 = fail on >1%%\n"
     "                   regression)\n"
     "  --top N          max rows per report section (default 20)\n"
+    "  --flatten-intervals\n"
+    "                   fold sampled-run per-interval metrics\n"
+    "                   (…interval<k>.…) into whole-run paths:\n"
+    "                   counters sum, ratio metrics (ipc, mpki,\n"
+    "                   miss_ratio, fractions, avg_latency) are\n"
+    "                   recomputed from the sums, non-recomputable\n"
+    "                   scalars are dropped. Stitched totals already\n"
+    "                   present win over folded sums. Lets a sampled\n"
+    "                   export diff directly against a full run.\n"
     "  -o FILE          also write the markdown report to FILE\n";
 
 Options
@@ -121,6 +132,8 @@ parseArgs(const std::vector<std::string> &args)
                 opt.error = "--top expects a positive integer, "
                             "got '" + std::string(v) + "'";
             opt.top = n;
+        } else if (a == "--flatten-intervals") {
+            opt.flattenIntervals = true;
         } else if (a == "-o" || a == "--output") {
             if (const char *v = need_value("-o"))
                 opt.outPath = v;
@@ -206,10 +219,128 @@ selectPrefix(const MetricMap &in, const std::string &prefix)
     return out;
 }
 
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/**
+ * Finds an "interval<k>." path segment (whole segment: preceded by
+ * start-of-path or '.', digits, trailing '.'). @p len receives the
+ * segment length including the trailing dot.
+ * @return the segment's start offset, or npos.
+ */
+size_t
+findIntervalSegment(const std::string &path, size_t &len)
+{
+    size_t pos = 0;
+    static const std::string kStem = "interval";
+    while ((pos = path.find(kStem, pos)) != std::string::npos) {
+        if (pos == 0 || path[pos - 1] == '.') {
+            size_t d = pos + kStem.size();
+            size_t e = d;
+            while (e < path.size() &&
+                   std::isdigit(static_cast<unsigned char>(path[e])))
+                ++e;
+            if (e > d && e < path.size() && path[e] == '.') {
+                len = e + 1 - pos;
+                return pos;
+            }
+        }
+        pos += kStem.size();
+    }
+    return std::string::npos;
+}
+
+/**
+ * Folds sampled-run per-interval metrics into whole-run paths so a
+ * sampled export diffs directly against a full run: every metric with
+ * an `interval<k>.` segment is summed across intervals into the path
+ * with the segment removed. A path already present without the
+ * segment (crisp_sim exports the stitched totals alongside the
+ * intervals) wins over the folded sum. Among folded-only paths, pure
+ * counters are correct as sums; ratio metrics are recomputed from
+ * their summed inputs; histogram mean/percentile scalars, which are
+ * not recoverable from sums, are dropped.
+ */
+MetricMap
+flattenIntervals(const MetricMap &in)
+{
+    MetricMap out, folded;
+    for (const auto &[path, value] : in) {
+        size_t len = 0;
+        size_t pos = findIntervalSegment(path, len);
+        if (pos == std::string::npos)
+            out[path] = value;
+        else
+            folded[path.substr(0, pos) + path.substr(pos + len)] +=
+                value;
+    }
+
+    // 0/0 ratios fold to 0, matching the simulator's own convention.
+    auto lookup = [&](const std::string &path) {
+        auto it = folded.find(path);
+        return it != folded.end() ? it->second : 0.0;
+    };
+    auto ratio = [](double num, double den) {
+        return den != 0.0 ? num / den : 0.0;
+    };
+    for (const auto &[path, value] : folded) {
+        if (out.count(path))
+            continue; // exact stitched total beats the folded sum
+        double v = value;
+        // chop(suffix) = the path with that suffix removed.
+        auto chop = [&, p = path](const std::string &sfx) {
+            return p.substr(0, p.size() - sfx.size());
+        };
+        if (endsWith(path, ".core.ipc")) {
+            std::string core = chop("ipc");
+            v = ratio(lookup(core + "retired"),
+                      lookup(core + "cycles"));
+        } else if (endsWith(path, ".core.icache_mpki") ||
+                   endsWith(path, ".core.llc_mpki")) {
+            bool icache = endsWith(path, ".core.icache_mpki");
+            std::string root =
+                chop(icache ? "core.icache_mpki" : "core.llc_mpki");
+            v = 1000.0 *
+                ratio(lookup(root + (icache ? "cache.l1i.misses"
+                                            : "cache.llc.misses")),
+                      lookup(root + "core.retired"));
+        } else if (endsWith(path, ".miss_ratio")) {
+            std::string cache = chop("miss_ratio");
+            v = ratio(lookup(cache + "misses"),
+                      lookup(cache + "accesses"));
+        } else if (endsWith(path, ".avg_latency")) {
+            std::string dram = chop("avg_latency");
+            v = ratio(lookup(dram + "total_latency"),
+                      lookup(dram + "reads"));
+        } else if (endsWith(path, "_fraction")) {
+            std::string bucket = chop("_fraction");
+            size_t dot = bucket.rfind('.');
+            std::string stack =
+                dot == std::string::npos ? "" : bucket.substr(0, dot + 1);
+            v = ratio(lookup(bucket), lookup(stack + "total"));
+        } else if (endsWith(path, ".mean") || endsWith(path, ".p50") ||
+                   endsWith(path, ".p90") || endsWith(path, ".p95") ||
+                   endsWith(path, ".p99")) {
+            // Histogram summary scalars: drop when the sibling count
+            // marks this as a histogram export.
+            std::string hist = path.substr(0, path.rfind('.') + 1);
+            if (folded.count(hist + "count"))
+                continue;
+        }
+        out[path] = v;
+    }
+    return out;
+}
+
 /** Loads, parses, flattens and prefix-selects one input file. */
 bool
 loadMetrics(const std::string &file, const std::string &prefix,
-            MetricMap &out, std::string &error)
+            MetricMap &out, std::string &error, bool fold_intervals)
 {
     std::ifstream is(file);
     if (!is) {
@@ -225,6 +356,8 @@ loadMetrics(const std::string &file, const std::string &prefix,
     }
     MetricMap all;
     flatten(doc, "", all);
+    if (fold_intervals)
+        all = flattenIntervals(all);
     out = selectPrefix(all, prefix);
     if (out.empty()) {
         error = file + ": no numeric metrics" +
@@ -251,14 +384,6 @@ struct Delta
         return b == 0 ? 0.0 : 1e99;
     }
 };
-
-bool
-endsWith(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(),
-                     suffix) == 0;
-}
 
 std::string
 fmtValue(double v)
@@ -516,8 +641,10 @@ main(int argc, char **argv)
 
     MetricMap ma, mb;
     std::string error;
-    if (!loadMetrics(opt.fileA, opt.prefixA, ma, error) ||
-        !loadMetrics(opt.fileB, opt.prefixB, mb, error)) {
+    if (!loadMetrics(opt.fileA, opt.prefixA, ma, error,
+                     opt.flattenIntervals) ||
+        !loadMetrics(opt.fileB, opt.prefixB, mb, error,
+                     opt.flattenIntervals)) {
         std::fprintf(stderr, "crisp_report: %s\n", error.c_str());
         return 2;
     }

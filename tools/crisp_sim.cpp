@@ -20,6 +20,7 @@
 #include "sim/artifact_cache.h"
 #include "sim/cli.h"
 #include "sim/driver.h"
+#include "sim/sampled.h"
 #include "sim/table.h"
 #include "sim/thread_pool.h"
 #include "telemetry/interval.h"
@@ -199,7 +200,14 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
         }
     }
 
-    ThreadPool pool(opt.jobs);
+    // Sampled mode (--sample) inverts the parallelism: variants run
+    // serially and each variant's intervals fan out across the --jobs
+    // pool (cli.cc routed opt.jobs into machine.sampleJobs), avoiding
+    // nested-pool oversubscription. Per-interval stats are kept for
+    // the registry exports.
+    const bool sampled = opt.machine.sampleOps > 0;
+    std::vector<std::vector<CoreStats>> interval_stats(runs.size());
+    ThreadPool pool(sampled ? 1 : opt.jobs);
     pool.parallelFor(runs.size(), [&](size_t i) {
         Variant &v = runs[i];
         auto trace =
@@ -208,10 +216,45 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
                                        opt.machine, opt.trainOps,
                                        opt.refOps)
                 : cache.trace(*wl, InputSet::Ref, opt.refOps);
-        v.stats = runCore(*trace, v.cfg, false,
-                          i == traced ? tracer.get() : nullptr,
-                          profilers[i].get(), intervals[i].get());
+        if (sampled) {
+            // Warm states come from the cache: variants whose
+            // warm-relevant geometry matches (e.g. ooo and crisp)
+            // share one functional warm pass.
+            auto warm =
+                v.tagged ? cache.warmStateTagged(*wl, opt.analysis,
+                                                 opt.machine,
+                                                 opt.trainOps,
+                                                 opt.refOps)
+                         : cache.warmState(*wl, InputSet::Ref,
+                                           opt.refOps, v.cfg);
+            SampledResult r = runCoreSampled(
+                *trace, v.cfg, warm.get(), profilers[i].get(),
+                i == traced ? tracer.get() : nullptr);
+            v.stats = std::move(r.total);
+            interval_stats[i] = std::move(r.intervals);
+        } else {
+            v.stats = runCore(*trace, v.cfg, false,
+                              i == traced ? tracer.get() : nullptr,
+                              profilers[i].get(),
+                              intervals[i].get());
+        }
     });
+    if (sampled) {
+        // The job count stays off stdout: sampled results are
+        // bit-identical at any --jobs, and stdout diffs are how that
+        // is checked.
+        std::printf("sampled : %zu intervals of %llu ops "
+                    "(warmup %llu)\n\n",
+                    interval_stats.empty()
+                        ? size_t(0)
+                        : interval_stats[0].size(),
+                    static_cast<unsigned long long>(
+                        opt.machine.sampleOps),
+                    static_cast<unsigned long long>(
+                        opt.machine.sampleWarmupOps));
+        std::fprintf(stderr, "sampled jobs: %u\n",
+                     opt.machine.sampleJobs);
+    }
 
     double base_ipc = 0;
     for (const Variant &v : runs) {
@@ -238,6 +281,17 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
         reg.addInfo("sim.machine", opt.machine.describe());
         for (const Variant &v : runs)
             v.stats.registerInto(reg, v.label);
+        // Sampled runs additionally export every interval under
+        // <label>.interval<k>.*; crisp_report --flatten-intervals
+        // folds these back into whole-run paths so a sampled export
+        // diffs directly against a full-run export.
+        if (sampled)
+            for (size_t i = 0; i < runs.size(); ++i)
+                for (size_t k = 0; k < interval_stats[i].size(); ++k)
+                    interval_stats[i][k].registerInto(
+                        reg,
+                        statPath(runs[i].label,
+                                 "interval" + std::to_string(k)));
         if (opt.profilePc)
             for (size_t i = 0; i < runs.size(); ++i)
                 profilers[i]->registerInto(
