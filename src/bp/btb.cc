@@ -1,11 +1,17 @@
 #include "bp/btb.h"
 
+#include <bit>
+
+#include "sim/warm_io.h"
+
 namespace crisp
 {
 
 Btb::Btb(unsigned entries, unsigned ways)
     : entries_(entries), sets_(entries / ways), ways_(ways)
 {
+    if (std::has_single_bit(uint64_t(sets_)))
+        setMask_ = uint64_t(sets_) - 1;
 }
 
 bool
@@ -45,6 +51,40 @@ Btb::update(uint64_t pc, uint64_t target)
     victim->pc = pc;
     victim->target = target;
     victim->lru = ++clock_;
+}
+
+void
+Btb::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(entries_.size());
+    sink.u64(clock_);
+    sink.u64(hits_);
+    sink.u64(lookups_);
+    for (const Entry &e : entries_) {
+        sink.u64(e.pc);
+        sink.u64(e.target);
+        sink.u64(e.lru);
+        sink.b(e.valid);
+    }
+}
+
+bool
+Btb::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != entries_.size()) {
+        src.markFail();
+        return false;
+    }
+    clock_ = src.u64();
+    hits_ = src.u64();
+    lookups_ = src.u64();
+    for (Entry &e : entries_) {
+        e.pc = src.u64();
+        e.target = src.u64();
+        e.lru = src.u64();
+        e.valid = src.b();
+    }
+    return src.ok();
 }
 
 } // namespace crisp

@@ -12,6 +12,9 @@
 namespace crisp
 {
 
+class WarmSink;
+class WarmSource;
+
 /**
  * Set-associative BTB with true-LRU replacement. Stores the most
  * recent taken target per branch PC; also serves as the (last-target)
@@ -41,6 +44,16 @@ class Btb
     /** @return lookup count since construction. */
     uint64_t lookups() const { return lookups_; }
 
+    /** Serializes entries, LRU clock and hit/lookup counters for the
+     *  on-disk warm-artifact tier (DESIGN.md §14). The counters ride
+     *  along because adoption copies them (they are cumulative, not
+     *  per-interval) — exactness over the round trip requires them. */
+    void serializeWarm(WarmSink &sink) const;
+
+    /** Restores serializeWarm() content. @return false on truncation
+     *  or an entry-count mismatch. */
+    bool deserializeWarm(WarmSource &src);
+
   private:
     struct Entry
     {
@@ -53,13 +66,17 @@ class Btb
     std::vector<Entry> entries_;
     unsigned sets_;
     unsigned ways_;
+    /** sets_ - 1 when sets_ is a power of two, else 0 (divide). */
+    uint64_t setMask_ = 0;
     uint64_t clock_ = 0;
     uint64_t hits_ = 0;
     uint64_t lookups_ = 0;
 
     Entry *setBase(uint64_t pc)
     {
-        return &entries_[(pc >> 1) % sets_ * ways_];
+        uint64_t h = pc >> 1;
+        uint64_t set = setMask_ ? (h & setMask_) : (h % sets_);
+        return &entries_[std::size_t(set) * ways_];
     }
 };
 

@@ -1,5 +1,7 @@
 #include "bp/gshare.h"
 
+#include "sim/warm_io.h"
+
 namespace crisp
 {
 
@@ -26,6 +28,28 @@ GsharePredictor::update(uint64_t pc, bool taken)
     else if (!taken && ctr > 0)
         --ctr;
     history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+void
+GsharePredictor::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(table_.size());
+    for (uint8_t ctr : table_)
+        sink.u8(ctr);
+    sink.u64(history_);
+}
+
+bool
+GsharePredictor::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != table_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (uint8_t &ctr : table_)
+        ctr = src.u8();
+    history_ = src.u64();
+    return src.ok();
 }
 
 } // namespace crisp

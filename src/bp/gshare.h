@@ -34,6 +34,9 @@ class GsharePredictor : public DirectionPredictor
         return std::make_unique<GsharePredictor>(*this);
     }
 
+    void serializeWarm(WarmSink &sink) const override;
+    bool deserializeWarm(WarmSource &src) override;
+
   private:
     std::vector<uint8_t> table_;
     uint64_t mask_;

@@ -12,6 +12,9 @@
 namespace crisp
 {
 
+class WarmSink;
+class WarmSource;
+
 /**
  * Abstract direction predictor. Implementations keep their own global
  * history; callers must invoke update() exactly once per predicted
@@ -38,6 +41,19 @@ class DirectionPredictor
      *         predictor state to per-interval cores.
      */
     virtual std::unique_ptr<DirectionPredictor> clone() const = 0;
+
+    /**
+     * Serializes the trained state (tables, history, and the
+     * predict()→update() carry registers) for the on-disk
+     * warm-artifact tier (DESIGN.md §14).
+     */
+    virtual void serializeWarm(WarmSink &sink) const = 0;
+
+    /**
+     * Restores serializeWarm() content into this (same-geometry)
+     * predictor. @return false on truncation or geometry mismatch.
+     */
+    virtual bool deserializeWarm(WarmSource &src) = 0;
 };
 
 } // namespace crisp

@@ -1,2 +1,32 @@
-// Ras is header-only; this file keeps the build layout uniform.
 #include "bp/ras.h"
+
+#include "sim/warm_io.h"
+
+namespace crisp
+{
+
+void
+Ras::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(stack_.size());
+    sink.u64(top_);
+    sink.u64(size_);
+    for (uint64_t v : stack_)
+        sink.u64(v);
+}
+
+bool
+Ras::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != stack_.size()) {
+        src.markFail();
+        return false;
+    }
+    top_ = unsigned(src.u64());
+    size_ = unsigned(src.u64());
+    for (uint64_t &v : stack_)
+        v = src.u64();
+    return src.ok();
+}
+
+} // namespace crisp

@@ -12,6 +12,9 @@
 namespace crisp
 {
 
+class WarmSink;
+class WarmSource;
+
 /** Fixed-depth circular return-address stack. */
 class Ras
 {
@@ -44,6 +47,14 @@ class Ras
 
     /** @return current occupancy. */
     unsigned size() const { return size_; }
+
+    /** Serializes stack contents and pointers for the on-disk
+     *  warm-artifact tier (DESIGN.md §14). */
+    void serializeWarm(WarmSink &sink) const;
+
+    /** Restores serializeWarm() content. @return false on truncation
+     *  or a depth mismatch. */
+    bool deserializeWarm(WarmSource &src);
 
   private:
     std::vector<uint64_t> stack_;

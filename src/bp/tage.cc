@@ -1,5 +1,7 @@
 #include "bp/tage.h"
 
+#include "sim/warm_io.h"
+
 namespace crisp
 {
 
@@ -11,8 +13,11 @@ TagePredictor::FoldedHistory::push(bool bit,
     if (foldLen == 0)
         return;
     // Outgoing bit: the one that just left the origLen-bit window.
+    // ghr is kMaxHist * 4 entries — a power of two by
+    // construction — so the ring wrap is a mask, not a divide (18
+    // folded pushes per update made `div` the top TAGE cost).
     unsigned n = static_cast<unsigned>(ghr.size());
-    uint8_t out = ghr[(head + n - origLen) % n];
+    uint8_t out = ghr[(head + n - origLen) & (n - 1)];
     value = (value << 1) | (bit ? 1 : 0);
     value ^= uint32_t(out) << (origLen % foldLen);
     value ^= value >> foldLen;
@@ -22,6 +27,8 @@ TagePredictor::FoldedHistory::push(bool bit,
 TagePredictor::TagePredictor()
     : base_(1u << 13, 2), ghr_(kMaxHist * 4, 0)
 {
+    static_assert((kMaxHist * 4 & (kMaxHist * 4 - 1)) == 0,
+                  "GHR ring wrap relies on a power-of-two size");
     constexpr unsigned lens[kNumTables] = {4, 8, 16, 32, 64, 128};
     for (unsigned t = 0; t < kNumTables; ++t) {
         histLen_[t] = lens[t];
@@ -173,9 +180,84 @@ TagePredictor::update(uint64_t pc, bool taken)
 }
 
 void
+TagePredictor::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(base_.size());
+    sink.u64(ghr_.size());
+    for (const auto &table : tables_) {
+        for (const Entry &e : table) {
+            sink.u8(uint8_t(e.ctr));
+            sink.u32(e.tag);
+            sink.u8(e.useful);
+        }
+    }
+    for (uint8_t b : base_)
+        sink.u8(b);
+    for (uint8_t b : ghr_)
+        sink.u8(b);
+    sink.u64(ghrHead_);
+    sink.u64(tick_);
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        sink.u32(idxHist_[t].value);
+        sink.u32(tagHist1_[t].value);
+        sink.u32(tagHist2_[t].value);
+    }
+    // predict()→update() carry registers: a snapshot can land between
+    // the two calls, so the pair must survive the round trip intact.
+    sink.i64(providerTable_);
+    sink.i64(altTable_);
+    sink.b(providerPred_);
+    sink.b(altPred_);
+    sink.b(lastPred_);
+    sink.u64(lastPc_);
+    for (size_t i : lastIdx_)
+        sink.u64(i);
+    for (uint16_t t : lastTag_)
+        sink.u32(t);
+}
+
+bool
+TagePredictor::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != base_.size() || src.u64() != ghr_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (auto &table : tables_) {
+        for (Entry &e : table) {
+            e.ctr = int8_t(src.u8());
+            e.tag = uint16_t(src.u32());
+            e.useful = src.u8();
+        }
+    }
+    for (uint8_t &b : base_)
+        b = src.u8();
+    for (uint8_t &b : ghr_)
+        b = src.u8();
+    ghrHead_ = unsigned(src.u64());
+    tick_ = src.u64();
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        idxHist_[t].value = src.u32();
+        tagHist1_[t].value = src.u32();
+        tagHist2_[t].value = src.u32();
+    }
+    providerTable_ = int(src.i64());
+    altTable_ = int(src.i64());
+    providerPred_ = src.b();
+    altPred_ = src.b();
+    lastPred_ = src.b();
+    lastPc_ = src.u64();
+    for (size_t &i : lastIdx_)
+        i = size_t(src.u64());
+    for (uint16_t &t : lastTag_)
+        t = uint16_t(src.u32());
+    return src.ok();
+}
+
+void
 TagePredictor::pushHistory(bool taken)
 {
-    ghrHead_ = (ghrHead_ + 1) % ghr_.size();
+    ghrHead_ = (ghrHead_ + 1) & unsigned(ghr_.size() - 1);
     ghr_[ghrHead_] = taken ? 1 : 0;
     for (unsigned t = 0; t < kNumTables; ++t) {
         idxHist_[t].push(taken, ghr_, ghrHead_);

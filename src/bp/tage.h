@@ -36,6 +36,9 @@ class TagePredictor : public DirectionPredictor
         return std::make_unique<TagePredictor>(*this);
     }
 
+    void serializeWarm(WarmSink &sink) const override;
+    bool deserializeWarm(WarmSource &src) override;
+
     /** @return number of tagged components. */
     static constexpr unsigned numComponents() { return kNumTables; }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/warm_io.h"
+
 namespace crisp
 {
 
@@ -64,6 +66,36 @@ BestOffsetPrefetcher::observe(const PrefetchObservation &obs,
 
     if (bestOffset_ != 0)
         out.push_back(obs.lineAddr + bestOffset_);
+}
+
+void
+BestOffsetPrefetcher::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(scores_.size());
+    for (int s : scores_)
+        sink.i64(s);
+    for (uint64_t v : rrTable_)
+        sink.u64(v);
+    sink.u64(testIdx_);
+    sink.i64(round_);
+    sink.i64(bestOffset_);
+}
+
+bool
+BestOffsetPrefetcher::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != scores_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (int &s : scores_)
+        s = int(src.i64());
+    for (uint64_t &v : rrTable_)
+        v = src.u64();
+    testIdx_ = size_t(src.u64());
+    round_ = int(src.i64());
+    bestOffset_ = int(src.i64());
+    return src.ok();
 }
 
 } // namespace crisp

@@ -35,6 +35,9 @@ class BestOffsetPrefetcher : public Prefetcher
         return std::make_unique<BestOffsetPrefetcher>(*this);
     }
 
+    void serializeWarm(WarmSink &sink) const override;
+    bool deserializeWarm(WarmSource &src) override;
+
     /** @return the currently selected offset (0 = prefetch off). */
     int currentOffset() const { return bestOffset_; }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <utility>
 
+#include "sim/warm_io.h"
 #include "telemetry/stat_registry.h"
 
 namespace crisp
@@ -35,6 +37,8 @@ Cache::Cache(std::string name, const CacheConfig &cfg)
     sets_ = static_cast<unsigned>(
         cfg_.sizeBytes / (uint64_t(cfg_.ways) * cfg_.lineBytes));
     assert(sets_ > 0);
+    if (std::has_single_bit(uint64_t(sets_)))
+        setMask_ = uint64_t(sets_) - 1;
     lines_.assign(size_t(sets_) * cfg_.ways, Line{});
     mshrReady_.reserve(cfg_.mshrs);
 }
@@ -43,7 +47,7 @@ Cache::Line *
 Cache::findLine(uint64_t addr)
 {
     uint64_t tag = lineAddr(addr);
-    Line *set = &lines_[size_t(tag % sets_) * cfg_.ways];
+    Line *set = &lines_[setIndex(tag) * cfg_.ways];
     for (unsigned w = 0; w < cfg_.ways; ++w) {
         if (set[w].valid && set[w].tag == tag)
             return &set[w];
@@ -57,26 +61,31 @@ Cache::findLine(uint64_t addr) const
     return const_cast<Cache *>(this)->findLine(addr);
 }
 
+template <bool kCountStats>
 Cache::LookupResult
-Cache::lookup(uint64_t addr, uint64_t cycle)
+Cache::lookupImpl(uint64_t addr, uint64_t cycle)
 {
-    ++stats_.accesses;
+    if constexpr (kCountStats)
+        ++stats_.accesses;
     LookupResult res;
     Line *line = findLine(addr);
     if (!line) {
-        ++stats_.misses;
+        if constexpr (kCountStats)
+            ++stats_.misses;
         return res;
     }
     line->lru = ++lruClock_;
     res.hit = true;
     if (line->prefetched) {
-        ++stats_.prefetchHits;
+        if constexpr (kCountStats)
+            ++stats_.prefetchHits;
         line->prefetched = false;
     }
     if (line->readyCycle > cycle) {
         // MSHR merge: data still in flight.
         res.inFlight = true;
-        ++stats_.mshrMerges;
+        if constexpr (kCountStats)
+            ++stats_.mshrMerges;
         res.readyCycle = line->readyCycle + cfg_.latency;
     } else {
         res.readyCycle = cycle + cfg_.latency;
@@ -84,11 +93,24 @@ Cache::lookup(uint64_t addr, uint64_t cycle)
     return res;
 }
 
+Cache::LookupResult
+Cache::lookup(uint64_t addr, uint64_t cycle)
+{
+    return lookupImpl<true>(addr, cycle);
+}
+
+Cache::LookupResult
+Cache::warmLookup(uint64_t addr, uint64_t cycle)
+{
+    return lookupImpl<false>(addr, cycle);
+}
+
+template <bool kCountStats>
 uint64_t
-Cache::fill(uint64_t addr, uint64_t ready_cycle, bool is_prefetch)
+Cache::fillImpl(uint64_t addr, uint64_t ready_cycle, bool is_prefetch)
 {
     uint64_t tag = lineAddr(addr);
-    Line *set = &lines_[size_t(tag % sets_) * cfg_.ways];
+    Line *set = &lines_[setIndex(tag) * cfg_.ways];
     Line *victim = nullptr;
     for (unsigned w = 0; w < cfg_.ways && !victim; ++w) {
         if (set[w].valid && set[w].tag == tag)
@@ -107,11 +129,14 @@ Cache::fill(uint64_t addr, uint64_t ready_cycle, bool is_prefetch)
     }
     uint64_t evicted = 0;
     if (victim->valid && victim->tag != tag && victim->dirty) {
-        ++stats_.writebacks;
+        if constexpr (kCountStats)
+            ++stats_.writebacks;
         evicted = victim->tag << lineShift_;
     }
-    if (is_prefetch)
-        ++stats_.prefetchFills;
+    if (is_prefetch) {
+        if constexpr (kCountStats)
+            ++stats_.prefetchFills;
+    }
     victim->valid = true;
     victim->tag = tag;
     victim->readyCycle = ready_cycle;
@@ -121,6 +146,18 @@ Cache::fill(uint64_t addr, uint64_t ready_cycle, bool is_prefetch)
     return evicted;
 }
 
+uint64_t
+Cache::fill(uint64_t addr, uint64_t ready_cycle, bool is_prefetch)
+{
+    return fillImpl<true>(addr, ready_cycle, is_prefetch);
+}
+
+uint64_t
+Cache::warmFill(uint64_t addr, uint64_t ready_cycle, bool is_prefetch)
+{
+    return fillImpl<false>(addr, ready_cycle, is_prefetch);
+}
+
 void
 Cache::markDirty(uint64_t addr)
 {
@@ -128,24 +165,40 @@ Cache::markDirty(uint64_t addr)
         line->dirty = true;
 }
 
+template <bool kCountStats>
 uint64_t
-Cache::allocateMshr(uint64_t cycle, uint64_t ready_cycle)
+Cache::allocateMshrImpl(uint64_t cycle, uint64_t ready_cycle)
 {
     // Retire completed entries.
     std::erase_if(mshrReady_,
                   [cycle](uint64_t r) { return r <= cycle; });
     if (mshrReady_.size() >= cfg_.mshrs) {
-        // Structural stall: wait for the earliest completion.
+        // Structural stall: wait for the earliest completion. The
+        // delay feeds fill readyCycles, which decide which in-flight
+        // prefetches adoption drops — so the warm path keeps it.
         auto it = std::min_element(mshrReady_.begin(),
                                    mshrReady_.end());
         uint64_t wait = *it > cycle ? *it - cycle : 0;
-        stats_.mshrStallCycles += wait;
+        if constexpr (kCountStats)
+            stats_.mshrStallCycles += wait;
         ready_cycle += wait;
         *it = ready_cycle; // slot reused by this miss
         return ready_cycle;
     }
     mshrReady_.push_back(ready_cycle);
     return ready_cycle;
+}
+
+uint64_t
+Cache::allocateMshr(uint64_t cycle, uint64_t ready_cycle)
+{
+    return allocateMshrImpl<true>(cycle, ready_cycle);
+}
+
+uint64_t
+Cache::warmAllocateMshr(uint64_t cycle, uint64_t ready_cycle)
+{
+    return allocateMshrImpl<false>(cycle, ready_cycle);
 }
 
 bool
@@ -164,9 +217,8 @@ Cache::reset()
 }
 
 void
-Cache::adoptWarmState(const Cache &warm, uint64_t warm_now)
+Cache::clampAdoptedLines(uint64_t warm_now)
 {
-    lines_ = warm.lines_;
     for (auto &line : lines_) {
         // A demand fill still in flight at the snapshot is clamped to
         // ready: its consumer is stalled on it, and it lands within a
@@ -180,8 +232,58 @@ Cache::adoptWarmState(const Cache &warm, uint64_t warm_now)
         line.readyCycle = 0;
     }
     mshrReady_.clear();
-    lruClock_ = warm.lruClock_;
     stats_ = CacheStats{};
+}
+
+void
+Cache::adoptWarmState(const Cache &warm, uint64_t warm_now)
+{
+    lines_ = warm.lines_;
+    lruClock_ = warm.lruClock_;
+    clampAdoptedLines(warm_now);
+}
+
+void
+Cache::adoptWarmState(Cache &&warm, uint64_t warm_now)
+{
+    lines_ = std::move(warm.lines_);
+    lruClock_ = warm.lruClock_;
+    clampAdoptedLines(warm_now);
+}
+
+void
+Cache::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(lines_.size());
+    sink.u64(lruClock_);
+    for (const Line &line : lines_) {
+        sink.u64(line.tag);
+        sink.u64(line.readyCycle);
+        sink.u64(line.lru);
+        sink.b(line.valid);
+        sink.b(line.dirty);
+        sink.b(line.prefetched);
+    }
+}
+
+bool
+Cache::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != lines_.size()) {
+        src.markFail();
+        return false;
+    }
+    lruClock_ = src.u64();
+    for (Line &line : lines_) {
+        line.tag = src.u64();
+        line.readyCycle = src.u64();
+        line.lru = src.u64();
+        line.valid = src.b();
+        line.dirty = src.b();
+        line.prefetched = src.b();
+    }
+    mshrReady_.clear();
+    return src.ok();
 }
 
 } // namespace crisp

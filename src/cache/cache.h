@@ -22,6 +22,8 @@ namespace crisp
 {
 
 class StatRegistry;
+class WarmSink;
+class WarmSource;
 
 /** Per-cache statistics. */
 struct CacheStats
@@ -116,6 +118,23 @@ class Cache
      */
     uint64_t allocateMshr(uint64_t cycle, uint64_t ready_cycle);
 
+    /**
+     * Warm-pass fast-path variants of lookup/fill/allocateMshr: the
+     * exact same content transitions (tag install, LRU refresh,
+     * prefetched-flag clearing, MSHR completion delays) with zero
+     * statistics bookkeeping. The functional warm pass uses these so
+     * the snapshot *content* stays bit-identical to the statistics-
+     * counting path — snapshot adoption zeroes stats anyway, so the
+     * counters are the one piece of warm work with no consumer
+     * (DESIGN.md §14).
+     */
+    LookupResult warmLookup(uint64_t addr, uint64_t cycle);
+    /** Stat-free fill; see warmLookup(). */
+    uint64_t warmFill(uint64_t addr, uint64_t ready_cycle,
+                      bool is_prefetch = false);
+    /** Stat-free MSHR allocation; see warmLookup(). */
+    uint64_t warmAllocateMshr(uint64_t cycle, uint64_t ready_cycle);
+
     /** @return true if the line is present (functional query). */
     bool contains(uint64_t addr) const;
 
@@ -143,6 +162,28 @@ class Cache
      */
     void adoptWarmState(const Cache &warm, uint64_t warm_now);
 
+    /**
+     * Move overload: steals @p warm's line array instead of copying
+     * it, then clamps in place. Identical post-state to the copying
+     * overload; used by the pipelined sampled path where each
+     * snapshot has exactly one consumer (DESIGN.md §14).
+     */
+    void adoptWarmState(Cache &&warm, uint64_t warm_now);
+
+    /**
+     * Serializes the adoption-relevant content (lines incl. fill
+     * readyCycles, LRU clock) for the on-disk warm-artifact tier.
+     * Geometry is not serialized — it is part of the artifact key.
+     */
+    void serializeWarm(WarmSink &sink) const;
+
+    /**
+     * Restores serializeWarm() content into this (same-geometry)
+     * cache. @return false on truncation or a geometry mismatch;
+     * the cache contents are unspecified on failure.
+     */
+    bool deserializeWarm(WarmSource &src);
+
   private:
     // The invariant checker audits tag/set placement, per-set tag
     // uniqueness, LRU stamp sanity and the MSHR occupancy bound
@@ -163,6 +204,10 @@ class Cache
     CacheConfig cfg_;
     unsigned sets_;
     unsigned lineShift_;
+    /** sets_ - 1 when sets_ is a power of two, else 0 (fall back to
+     *  division). A hardware `div` in the set-index path costs more
+     *  than the rest of a hit lookup combined. */
+    uint64_t setMask_ = 0;
     std::vector<Line> lines_;
     std::vector<uint64_t> mshrReady_; // completion times, unsorted
     uint64_t lruClock_ = 0;
@@ -172,8 +217,26 @@ class Cache
     {
         return addr >> lineShift_;
     }
+    size_t setIndex(uint64_t tag) const
+    {
+        return size_t(setMask_ ? (tag & setMask_) : (tag % sets_));
+    }
     Line *findLine(uint64_t addr);
     const Line *findLine(uint64_t addr) const;
+
+    /** Drops in-flight prefetches and clamps timing after lines_ has
+     *  been installed by either adoptWarmState overload. */
+    void clampAdoptedLines(uint64_t warm_now);
+
+    // One definition each for the counting and warm (stat-free)
+    // paths, so the content transitions cannot drift apart.
+    template <bool kCountStats>
+    LookupResult lookupImpl(uint64_t addr, uint64_t cycle);
+    template <bool kCountStats>
+    uint64_t fillImpl(uint64_t addr, uint64_t ready_cycle,
+                      bool is_prefetch);
+    template <bool kCountStats>
+    uint64_t allocateMshrImpl(uint64_t cycle, uint64_t ready_cycle);
 };
 
 } // namespace crisp

@@ -1,5 +1,7 @@
 #include "cache/ghb_prefetcher.h"
 
+#include "sim/warm_io.h"
+
 namespace crisp
 {
 
@@ -48,6 +50,30 @@ GhbPrefetcher::observe(const PrefetchObservation &obs,
             return;
         }
     }
+}
+
+void
+GhbPrefetcher::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(buffer_.size());
+    for (uint64_t v : buffer_)
+        sink.u64(v);
+    sink.u64(head_);
+    sink.u64(filled_);
+}
+
+bool
+GhbPrefetcher::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != buffer_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (uint64_t &v : buffer_)
+        v = src.u64();
+    head_ = size_t(src.u64());
+    filled_ = size_t(src.u64());
+    return src.ok();
 }
 
 } // namespace crisp

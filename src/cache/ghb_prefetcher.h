@@ -35,6 +35,9 @@ class GhbPrefetcher : public Prefetcher
         return std::make_unique<GhbPrefetcher>(*this);
     }
 
+    void serializeWarm(WarmSink &sink) const override;
+    bool deserializeWarm(WarmSource &src) override;
+
   private:
     static constexpr int kDegree = 4;
 

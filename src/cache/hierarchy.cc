@@ -1,9 +1,12 @@
 #include "cache/hierarchy.h"
 
+#include <utility>
+
 #include "cache/best_offset.h"
 #include "cache/ghb_prefetcher.h"
 #include "cache/stream_prefetcher.h"
 #include "cache/stride_prefetcher.h"
+#include "sim/warm_io.h"
 
 namespace crisp
 {
@@ -24,73 +27,129 @@ Hierarchy::Hierarchy(const SimConfig &cfg)
         dataPf_.add(std::make_unique<GhbPrefetcher>());
 }
 
+template <bool kCountStats>
 uint64_t
-Hierarchy::fetchFromBelow(uint64_t addr, uint64_t pc, uint64_t cycle,
-                          bool is_ifetch, MemLevel &served,
-                          bool critical)
+Hierarchy::fetchFromBelowImpl(uint64_t addr, uint64_t pc,
+                              uint64_t cycle, bool is_ifetch,
+                              MemLevel &served, bool critical)
 {
-    auto llc_res = llc_.lookup(addr, cycle);
+    auto llc_res = kCountStats ? llc_.lookup(addr, cycle)
+                               : llc_.warmLookup(addr, cycle);
     uint64_t ready;
     if (llc_res.hit) {
         served = MemLevel::LLC;
         ready = llc_res.readyCycle;
     } else {
         served = MemLevel::Dram;
-        uint64_t dram_ready = dram_.access(
-            addr, cycle + llc_.latency(),
-            critical && cfg_.enableCriticalDram);
-        ready = llc_.allocateMshr(cycle, dram_ready);
-        llc_.fill(addr, ready);
+        uint64_t at = cycle + llc_.latency();
+        if constexpr (kCountStats) {
+            uint64_t dram_ready = dram_.access(
+                addr, at, critical && cfg_.enableCriticalDram);
+            ready = llc_.allocateMshr(cycle, dram_ready);
+            llc_.fill(addr, ready);
+        } else {
+            // The warm pass never issues critical requests: WarmMachine
+            // models no criticality, matching the PR6 warm loop.
+            uint64_t dram_ready = dram_.warmAccess(addr, at);
+            ready = llc_.warmAllocateMshr(cycle, dram_ready);
+            llc_.warmFill(addr, ready);
+        }
     }
     // Train the data prefetchers on LLC-level demand activity.
     if (!is_ifetch && dataPf_.size() > 0) {
         pfScratch_.clear();
         PrefetchObservation obs{addr >> 6, pc, !llc_res.hit};
         dataPf_.observe(obs, pfScratch_);
-        issuePrefetches(cycle);
+        issuePrefetchesImpl<kCountStats>(cycle);
     }
     return ready;
 }
 
+uint64_t
+Hierarchy::fetchFromBelow(uint64_t addr, uint64_t pc, uint64_t cycle,
+                          bool is_ifetch, MemLevel &served,
+                          bool critical)
+{
+    return fetchFromBelowImpl<true>(addr, pc, cycle, is_ifetch,
+                                    served, critical);
+}
+
+template <bool kCountStats>
 void
-Hierarchy::issuePrefetches(uint64_t cycle)
+Hierarchy::issuePrefetchesImpl(uint64_t cycle)
 {
     for (uint64_t line : pfScratch_) {
         uint64_t addr = line << 6;
         if (llc_.contains(addr))
             continue;
-        ++prefetchesIssued_;
-        uint64_t ready = dram_.access(addr, cycle + llc_.latency());
-        llc_.fill(addr, ready, /*is_prefetch=*/true);
+        if constexpr (kCountStats) {
+            ++prefetchesIssued_;
+            uint64_t ready =
+                dram_.access(addr, cycle + llc_.latency());
+            llc_.fill(addr, ready, /*is_prefetch=*/true);
+        } else {
+            uint64_t ready =
+                dram_.warmAccess(addr, cycle + llc_.latency());
+            llc_.warmFill(addr, ready, /*is_prefetch=*/true);
+        }
     }
     pfScratch_.clear();
 }
 
+void
+Hierarchy::issuePrefetches(uint64_t cycle)
+{
+    issuePrefetchesImpl<true>(cycle);
+}
+
+template <bool kCountStats>
 MemAccessResult
-Hierarchy::load(uint64_t addr, uint64_t pc, uint64_t cycle,
-                bool critical)
+Hierarchy::loadImpl(uint64_t addr, uint64_t pc, uint64_t cycle,
+                    bool critical)
 {
     MemAccessResult res;
-    auto l1 = l1d_.lookup(addr, cycle);
+    auto l1 = kCountStats ? l1d_.lookup(addr, cycle)
+                          : l1d_.warmLookup(addr, cycle);
     if (l1.hit) {
         res.readyCycle = l1.readyCycle;
         res.servedBy = MemLevel::L1;
         return res;
     }
     uint64_t miss_cycle = cycle + l1d_.latency();
-    uint64_t below = fetchFromBelow(addr, pc, miss_cycle, false,
-                                    res.servedBy, critical);
-    uint64_t ready = l1d_.allocateMshr(cycle, below);
-    l1d_.fill(addr, ready);
-    res.readyCycle = ready;
+    uint64_t below = fetchFromBelowImpl<kCountStats>(
+        addr, pc, miss_cycle, false, res.servedBy, critical);
+    if constexpr (kCountStats) {
+        uint64_t ready = l1d_.allocateMshr(cycle, below);
+        l1d_.fill(addr, ready);
+        res.readyCycle = ready;
+    } else {
+        uint64_t ready = l1d_.warmAllocateMshr(cycle, below);
+        l1d_.warmFill(addr, ready);
+        res.readyCycle = ready;
+    }
     return res;
 }
 
 MemAccessResult
-Hierarchy::store(uint64_t addr, uint64_t pc, uint64_t cycle)
+Hierarchy::load(uint64_t addr, uint64_t pc, uint64_t cycle,
+                bool critical)
+{
+    return loadImpl<true>(addr, pc, cycle, critical);
+}
+
+MemAccessResult
+Hierarchy::warmLoad(uint64_t addr, uint64_t pc, uint64_t cycle)
+{
+    return loadImpl<false>(addr, pc, cycle, false);
+}
+
+template <bool kCountStats>
+MemAccessResult
+Hierarchy::storeImpl(uint64_t addr, uint64_t pc, uint64_t cycle)
 {
     MemAccessResult res;
-    auto l1 = l1d_.lookup(addr, cycle);
+    auto l1 = kCountStats ? l1d_.lookup(addr, cycle)
+                          : l1d_.warmLookup(addr, cycle);
     if (l1.hit) {
         l1d_.markDirty(addr);
         res.readyCycle = l1.readyCycle;
@@ -99,11 +158,54 @@ Hierarchy::store(uint64_t addr, uint64_t pc, uint64_t cycle)
     }
     // Write-allocate: fetch the line, then dirty it.
     uint64_t miss_cycle = cycle + l1d_.latency();
-    uint64_t below =
-        fetchFromBelow(addr, pc, miss_cycle, false, res.servedBy);
-    uint64_t ready = l1d_.allocateMshr(cycle, below);
-    l1d_.fill(addr, ready);
+    uint64_t below = fetchFromBelowImpl<kCountStats>(
+        addr, pc, miss_cycle, false, res.servedBy, false);
+    uint64_t ready = kCountStats
+                         ? l1d_.allocateMshr(cycle, below)
+                         : l1d_.warmAllocateMshr(cycle, below);
+    if constexpr (kCountStats)
+        l1d_.fill(addr, ready);
+    else
+        l1d_.warmFill(addr, ready);
     l1d_.markDirty(addr);
+    res.readyCycle = ready;
+    return res;
+}
+
+MemAccessResult
+Hierarchy::store(uint64_t addr, uint64_t pc, uint64_t cycle)
+{
+    return storeImpl<true>(addr, pc, cycle);
+}
+
+MemAccessResult
+Hierarchy::warmStore(uint64_t addr, uint64_t pc, uint64_t cycle)
+{
+    return storeImpl<false>(addr, pc, cycle);
+}
+
+template <bool kCountStats>
+MemAccessResult
+Hierarchy::ifetchImpl(uint64_t pc, uint64_t cycle)
+{
+    MemAccessResult res;
+    auto l1 = kCountStats ? l1i_.lookup(pc, cycle)
+                          : l1i_.warmLookup(pc, cycle);
+    if (l1.hit) {
+        res.readyCycle = l1.readyCycle;
+        res.servedBy = MemLevel::L1;
+        return res;
+    }
+    uint64_t miss_cycle = cycle + l1i_.latency();
+    uint64_t below = fetchFromBelowImpl<kCountStats>(
+        pc, pc, miss_cycle, true, res.servedBy, false);
+    uint64_t ready = kCountStats
+                         ? l1i_.allocateMshr(cycle, below)
+                         : l1i_.warmAllocateMshr(cycle, below);
+    if constexpr (kCountStats)
+        l1i_.fill(pc, ready);
+    else
+        l1i_.warmFill(pc, ready);
     res.readyCycle = ready;
     return res;
 }
@@ -111,30 +213,41 @@ Hierarchy::store(uint64_t addr, uint64_t pc, uint64_t cycle)
 MemAccessResult
 Hierarchy::ifetch(uint64_t pc, uint64_t cycle)
 {
-    MemAccessResult res;
-    auto l1 = l1i_.lookup(pc, cycle);
-    if (l1.hit) {
-        res.readyCycle = l1.readyCycle;
-        res.servedBy = MemLevel::L1;
-        return res;
-    }
-    uint64_t miss_cycle = cycle + l1i_.latency();
-    uint64_t below =
-        fetchFromBelow(pc, pc, miss_cycle, true, res.servedBy);
-    uint64_t ready = l1i_.allocateMshr(cycle, below);
-    l1i_.fill(pc, ready);
-    res.readyCycle = ready;
-    return res;
+    return ifetchImpl<true>(pc, cycle);
+}
+
+MemAccessResult
+Hierarchy::warmIfetch(uint64_t pc, uint64_t cycle)
+{
+    return ifetchImpl<false>(pc, cycle);
+}
+
+template <bool kCountStats>
+void
+Hierarchy::prefetchDataImpl(uint64_t addr, uint64_t cycle)
+{
+    if (l1d_.contains(addr))
+        return;
+    MemLevel served;
+    uint64_t ready = fetchFromBelowImpl<kCountStats>(addr, 0, cycle,
+                                                     true, served,
+                                                     false);
+    if constexpr (kCountStats)
+        l1d_.fill(addr, ready, /*is_prefetch=*/true);
+    else
+        l1d_.warmFill(addr, ready, /*is_prefetch=*/true);
 }
 
 void
 Hierarchy::prefetchData(uint64_t addr, uint64_t cycle)
 {
-    if (l1d_.contains(addr))
-        return;
-    MemLevel served;
-    uint64_t ready = fetchFromBelow(addr, 0, cycle, true, served);
-    l1d_.fill(addr, ready, /*is_prefetch=*/true);
+    prefetchDataImpl<true>(addr, cycle);
+}
+
+void
+Hierarchy::warmPrefetchData(uint64_t addr, uint64_t cycle)
+{
+    prefetchDataImpl<false>(addr, cycle);
 }
 
 void
@@ -157,6 +270,36 @@ Hierarchy::adoptWarmState(const Hierarchy &warm, uint64_t warm_now)
     dataPf_ = warm.dataPf_; // deep copy of trained engine tables
     pfScratch_.clear();
     prefetchesIssued_ = 0;
+}
+
+void
+Hierarchy::adoptWarmState(Hierarchy &&warm, uint64_t warm_now)
+{
+    l1i_.adoptWarmState(std::move(warm.l1i_), warm_now);
+    l1d_.adoptWarmState(std::move(warm.l1d_), warm_now);
+    llc_.adoptWarmState(std::move(warm.llc_), warm_now);
+    dram_.adoptWarmState(warm.dram_); // open rows: cheap copy
+    dataPf_ = std::move(warm.dataPf_);
+    pfScratch_.clear();
+    prefetchesIssued_ = 0;
+}
+
+void
+Hierarchy::serializeWarm(WarmSink &sink) const
+{
+    l1i_.serializeWarm(sink);
+    l1d_.serializeWarm(sink);
+    llc_.serializeWarm(sink);
+    dram_.serializeWarm(sink);
+    dataPf_.serializeWarm(sink);
+}
+
+bool
+Hierarchy::deserializeWarm(WarmSource &src)
+{
+    return l1i_.deserializeWarm(src) && l1d_.deserializeWarm(src) &&
+           llc_.deserializeWarm(src) && dram_.deserializeWarm(src) &&
+           dataPf_.deserializeWarm(src);
 }
 
 } // namespace crisp

@@ -62,6 +62,24 @@ class Hierarchy
     /** FDIP instruction prefetch: fills L1I+LLC. */
     void prefetchInst(uint64_t pc, uint64_t cycle);
 
+    /**
+     * Warm-pass fast-path variants of load/store/ifetch/prefetchData:
+     * the exact same cache, DRAM and prefetcher state transitions
+     * (including MSHR stall delays, which decide the fill readyCycles
+     * adoption clamps against) with zero statistics bookkeeping.
+     * Snapshot adoption zeroes stats anyway, so counters are the one
+     * piece of warm work with no consumer (DESIGN.md §14).
+     */
+    MemAccessResult warmLoad(uint64_t addr, uint64_t pc,
+                             uint64_t cycle);
+    /** Stat-free store; see warmLoad(). */
+    MemAccessResult warmStore(uint64_t addr, uint64_t pc,
+                              uint64_t cycle);
+    /** Stat-free instruction fetch; see warmLoad(). */
+    MemAccessResult warmIfetch(uint64_t pc, uint64_t cycle);
+    /** Stat-free data prefetch; see warmLoad(). */
+    void warmPrefetchData(uint64_t addr, uint64_t cycle);
+
     /** @return the L1 instruction cache. */
     Cache &l1i() { return l1i_; }
     const Cache &l1i() const { return l1i_; }
@@ -87,6 +105,24 @@ class Hierarchy
      */
     void adoptWarmState(const Hierarchy &warm, uint64_t warm_now);
 
+    /**
+     * Move overload: steals @p warm's cache line arrays and trained
+     * prefetcher engines instead of copying them. Identical
+     * post-state to the copying overload; used by the pipelined
+     * sampled path where each snapshot has exactly one consumer
+     * (DESIGN.md §14).
+     */
+    void adoptWarmState(Hierarchy &&warm, uint64_t warm_now);
+
+    /** Serializes the adoption-relevant memory-system image (cache
+     *  lines, DRAM open rows, prefetcher tables) for the on-disk
+     *  warm-artifact tier (DESIGN.md §14). */
+    void serializeWarm(WarmSink &sink) const;
+
+    /** Restores serializeWarm() content. @return false on truncation
+     *  or a geometry mismatch. */
+    bool deserializeWarm(WarmSource &src);
+
   private:
     SimConfig cfg_;
     Cache l1i_;
@@ -102,6 +138,25 @@ class Hierarchy
                             uint64_t cycle, bool is_ifetch,
                             MemLevel &served, bool critical = false);
     void issuePrefetches(uint64_t cycle);
+
+    // One definition each for the counting and warm (stat-free)
+    // paths, so the content transitions cannot drift apart.
+    template <bool kCountStats>
+    uint64_t fetchFromBelowImpl(uint64_t addr, uint64_t pc,
+                                uint64_t cycle, bool is_ifetch,
+                                MemLevel &served, bool critical);
+    template <bool kCountStats>
+    void issuePrefetchesImpl(uint64_t cycle);
+    template <bool kCountStats>
+    MemAccessResult loadImpl(uint64_t addr, uint64_t pc,
+                             uint64_t cycle, bool critical);
+    template <bool kCountStats>
+    MemAccessResult storeImpl(uint64_t addr, uint64_t pc,
+                              uint64_t cycle);
+    template <bool kCountStats>
+    MemAccessResult ifetchImpl(uint64_t pc, uint64_t cycle);
+    template <bool kCountStats>
+    void prefetchDataImpl(uint64_t addr, uint64_t cycle);
 };
 
 } // namespace crisp

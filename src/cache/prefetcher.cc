@@ -1,3 +1,38 @@
-// Prefetcher interfaces are header-only; this file keeps the build
-// layout uniform.
 #include "cache/prefetcher.h"
+
+#include "sim/warm_io.h"
+
+namespace crisp
+{
+
+void
+CompositePrefetcher::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(engines_.size());
+    for (const auto &e : engines_) {
+        // The engine name guards against a composition mismatch
+        // between the artifact writer and this reader.
+        sink.str(e->name());
+        e->serializeWarm(sink);
+    }
+}
+
+bool
+CompositePrefetcher::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != engines_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (auto &e : engines_) {
+        if (src.str() != e->name()) {
+            src.markFail();
+            return false;
+        }
+        if (!e->deserializeWarm(src))
+            return false;
+    }
+    return src.ok();
+}
+
+} // namespace crisp

@@ -17,6 +17,9 @@
 namespace crisp
 {
 
+class WarmSink;
+class WarmSource;
+
 /** A demand access observed by a prefetcher. */
 struct PrefetchObservation
 {
@@ -52,6 +55,19 @@ class Prefetcher
      *         handed to per-interval cores.
      */
     virtual std::unique_ptr<Prefetcher> clone() const = 0;
+
+    /**
+     * Serializes the trained state for the on-disk warm-artifact
+     * tier (DESIGN.md §14). Table geometry is part of the artifact
+     * key, not the payload.
+     */
+    virtual void serializeWarm(WarmSink &sink) const = 0;
+
+    /**
+     * Restores serializeWarm() content into this (same-geometry)
+     * engine. @return false on truncation or geometry mismatch.
+     */
+    virtual bool deserializeWarm(WarmSource &src) = 0;
 };
 
 /** Fans one observation out to several engines. */
@@ -101,6 +117,9 @@ class CompositePrefetcher : public Prefetcher
     {
         return std::make_unique<CompositePrefetcher>(*this);
     }
+
+    void serializeWarm(WarmSink &sink) const override;
+    bool deserializeWarm(WarmSource &src) override;
 
     /** @return number of attached engines. */
     size_t size() const { return engines_.size(); }

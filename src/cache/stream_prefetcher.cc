@@ -1,5 +1,7 @@
 #include "cache/stream_prefetcher.h"
 
+#include "sim/warm_io.h"
+
 namespace crisp
 {
 
@@ -53,6 +55,40 @@ StreamPrefetcher::observe(const PrefetchObservation &obs,
         for (int k = 1; k <= kDegree; ++k)
             out.push_back(obs.lineAddr + int64_t(k) * dir);
     }
+}
+
+void
+StreamPrefetcher::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(trackers_.size());
+    sink.u64(clock_);
+    for (const Tracker &t : trackers_) {
+        sink.u64(t.region);
+        sink.u64(t.lastLine);
+        sink.i64(t.direction);
+        sink.i64(t.confidence);
+        sink.u64(t.lru);
+        sink.b(t.valid);
+    }
+}
+
+bool
+StreamPrefetcher::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != trackers_.size()) {
+        src.markFail();
+        return false;
+    }
+    clock_ = src.u64();
+    for (Tracker &t : trackers_) {
+        t.region = src.u64();
+        t.lastLine = src.u64();
+        t.direction = int(src.i64());
+        t.confidence = int(src.i64());
+        t.lru = src.u64();
+        t.valid = src.b();
+    }
+    return src.ok();
 }
 
 } // namespace crisp

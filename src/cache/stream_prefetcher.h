@@ -34,6 +34,9 @@ class StreamPrefetcher : public Prefetcher
         return std::make_unique<StreamPrefetcher>(*this);
     }
 
+    void serializeWarm(WarmSink &sink) const override;
+    bool deserializeWarm(WarmSource &src) override;
+
   private:
     static constexpr int kDegree = 4;
     static constexpr unsigned kRegionShift = 6; // 4 KiB / 64 B lines

@@ -1,5 +1,7 @@
 #include "cache/stride_prefetcher.h"
 
+#include "sim/warm_io.h"
+
 namespace crisp
 {
 
@@ -33,6 +35,36 @@ StridePrefetcher::observe(const PrefetchObservation &obs,
         for (int k = 1; k <= kDegree; ++k)
             out.push_back(obs.lineAddr + e.stride * k);
     }
+}
+
+void
+StridePrefetcher::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(table_.size());
+    for (const Entry &e : table_) {
+        sink.u64(e.pc);
+        sink.u64(e.lastLine);
+        sink.i64(e.stride);
+        sink.i64(e.confidence);
+        sink.b(e.valid);
+    }
+}
+
+bool
+StridePrefetcher::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != table_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (Entry &e : table_) {
+        e.pc = src.u64();
+        e.lastLine = src.u64();
+        e.stride = src.i64();
+        e.confidence = int(src.i64());
+        e.valid = src.b();
+    }
+    return src.ok();
 }
 
 } // namespace crisp

@@ -34,6 +34,9 @@ class StridePrefetcher : public Prefetcher
         return std::make_unique<StridePrefetcher>(*this);
     }
 
+    void serializeWarm(WarmSink &sink) const override;
+    bool deserializeWarm(WarmSource &src) override;
+
   private:
     static constexpr int kDegree = 2;
 

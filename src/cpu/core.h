@@ -264,6 +264,8 @@ class Core
     // through their public adoptWarmState methods before run().
     friend void applySnapshot(Core &core,
                               const struct MachineSnapshot &snap);
+    friend void applySnapshot(Core &core,
+                              struct MachineSnapshot &&snap);
     // The invariant checker (src/check) audits the private pipeline
     // state — ROB/RS/LSQ, the incremental ready sets and heap, the
     // rename table and the memory system — at checkpoints without

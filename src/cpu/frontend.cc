@@ -1,5 +1,7 @@
 #include "cpu/frontend.h"
 
+#include <utility>
+
 #include "bp/bimodal.h"
 #include "bp/gshare.h"
 #include "bp/tage.h"
@@ -191,6 +193,15 @@ Frontend::adoptWarmState(const DirectionPredictor &dir, const Btb &btb,
     dir_ = dir.clone();
     btb_ = btb;
     ras_ = ras;
+}
+
+void
+Frontend::adoptWarmState(std::unique_ptr<DirectionPredictor> dir,
+                         Btb &&btb, Ras &&ras)
+{
+    dir_ = std::move(dir);
+    btb_ = std::move(btb);
+    ras_ = std::move(ras);
 }
 
 } // namespace crisp

@@ -165,6 +165,14 @@ class Frontend
     void adoptWarmState(const DirectionPredictor &dir, const Btb &btb,
                         const Ras &ras);
 
+    /**
+     * Move overload: takes ownership of an already-cloned predictor
+     * and steals the BTB/RAS tables. Identical post-state to the
+     * copying overload (DESIGN.md §14).
+     */
+    void adoptWarmState(std::unique_ptr<DirectionPredictor> dir,
+                        Btb &&btb, Ras &&ras);
+
   private:
     const Trace &trace_;
     SimConfig cfg_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/warm_io.h"
 #include "telemetry/stat_registry.h"
 
 namespace crisp
@@ -44,12 +45,16 @@ DramController::refreshDelay(uint64_t cycle) const
     return 0;
 }
 
+template <bool kCountStats>
 uint64_t
-DramController::access(uint64_t addr, uint64_t cycle, bool critical)
+DramController::accessImpl(uint64_t addr, uint64_t cycle,
+                           bool critical)
 {
-    ++stats_.reads;
-    if (critical)
-        ++stats_.criticalReads;
+    if constexpr (kCountStats) {
+        ++stats_.reads;
+        if (critical)
+            ++stats_.criticalReads;
+    }
     unsigned bank = bankOf(addr);
     int64_t row = rowOf(addr);
 
@@ -59,13 +64,16 @@ DramController::access(uint64_t addr, uint64_t cycle, bool critical)
 
     uint32_t array_lat;
     if (openRow_[bank] == row) {
-        ++stats_.rowHits;
+        if constexpr (kCountStats)
+            ++stats_.rowHits;
         array_lat = timing_.tCl;
     } else if (openRow_[bank] < 0) {
-        ++stats_.rowClosed;
+        if constexpr (kCountStats)
+            ++stats_.rowClosed;
         array_lat = timing_.tRcd + timing_.tCl;
     } else {
-        ++stats_.rowConflicts;
+        if constexpr (kCountStats)
+            ++stats_.rowConflicts;
         array_lat = timing_.tRp + timing_.tRcd + timing_.tCl;
     }
     openRow_[bank] = row;
@@ -74,18 +82,33 @@ DramController::access(uint64_t addr, uint64_t cycle, bool critical)
     // (CRISP §6.1) are granted the bus out of order.
     uint64_t data_start = start + array_lat;
     if (!critical && busBusyUntil_ > data_start) {
-        stats_.busWaitCycles += busBusyUntil_ - data_start;
+        if constexpr (kCountStats)
+            stats_.busWaitCycles += busBusyUntil_ - data_start;
         data_start = busBusyUntil_;
     } else if (critical && busBusyUntil_ > data_start) {
-        stats_.criticalBusBypassCycles +=
-            busBusyUntil_ - data_start;
+        if constexpr (kCountStats)
+            stats_.criticalBusBypassCycles +=
+                busBusyUntil_ - data_start;
     }
     uint64_t done = data_start + timing_.tBurst;
     busBusyUntil_ = std::max(busBusyUntil_, done);
     bankBusyUntil_[bank] = done;
 
-    stats_.totalLatency += done - cycle;
+    if constexpr (kCountStats)
+        stats_.totalLatency += done - cycle;
     return done;
+}
+
+uint64_t
+DramController::access(uint64_t addr, uint64_t cycle, bool critical)
+{
+    return accessImpl<true>(addr, cycle, critical);
+}
+
+uint64_t
+DramController::warmAccess(uint64_t addr, uint64_t cycle)
+{
+    return accessImpl<false>(addr, cycle, false);
 }
 
 void
@@ -108,6 +131,28 @@ DramController::adoptWarmState(const DramController &warm)
     warmRowsAdopted_ =
         std::any_of(openRow_.begin(), openRow_.end(),
                     [](int64_t row) { return row >= 0; });
+}
+
+void
+DramController::serializeWarm(WarmSink &sink) const
+{
+    sink.u64(openRow_.size());
+    for (int64_t row : openRow_)
+        sink.i64(row);
+}
+
+bool
+DramController::deserializeWarm(WarmSource &src)
+{
+    if (src.u64() != openRow_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (int64_t &row : openRow_)
+        row = src.i64();
+    std::fill(bankBusyUntil_.begin(), bankBusyUntil_.end(), 0);
+    busBusyUntil_ = 0;
+    return src.ok();
 }
 
 } // namespace crisp

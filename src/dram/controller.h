@@ -16,6 +16,8 @@ namespace crisp
 {
 
 class StatRegistry;
+class WarmSink;
+class WarmSource;
 
 /** DRAM controller statistics. */
 struct DramStats
@@ -89,6 +91,13 @@ class DramController
     uint64_t access(uint64_t addr, uint64_t cycle,
                     bool critical = false);
 
+    /**
+     * Warm-pass fast path: identical bank/bus/row state transitions
+     * and completion cycle as access(addr, cycle, false) with zero
+     * statistics bookkeeping (DESIGN.md §14).
+     */
+    uint64_t warmAccess(uint64_t addr, uint64_t cycle);
+
     /** @return accumulated statistics. */
     const DramStats &stats() const { return stats_; }
 
@@ -101,6 +110,14 @@ class DramController
      * zeroed. Sampled-interval warm hand-off (DESIGN.md §13).
      */
     void adoptWarmState(const DramController &warm);
+
+    /** Serializes the adoption-relevant content (open rows) for the
+     *  on-disk warm-artifact tier (DESIGN.md §14). */
+    void serializeWarm(WarmSink &sink) const;
+
+    /** Restores serializeWarm() content. @return false on truncation
+     *  or a bank-count mismatch. */
+    bool deserializeWarm(WarmSource &src);
 
   private:
     // The invariant checker audits bank/bus reservation monotonicity
@@ -131,6 +148,9 @@ class DramController
                                timing_.numBanks));
     }
     uint64_t refreshDelay(uint64_t cycle) const;
+
+    template <bool kCountStats>
+    uint64_t accessImpl(uint64_t addr, uint64_t cycle, bool critical);
 };
 
 } // namespace crisp

@@ -1,7 +1,9 @@
 #include "ibda/ibda.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "sim/warm_io.h"
 #include "telemetry/stat_registry.h"
 
 namespace crisp
@@ -22,18 +24,20 @@ IbdaStats::registerInto(StatRegistry &reg,
 
 Ibda::Ibda(const SimConfig &cfg)
     : ist_(cfg.istEntries, cfg.istWays, cfg.istInfinite),
-      dlt_(cfg.dltEntries)
+      dlt_(cfg.dltEntries), warmSeen_((size_t(1) << 16) / 64, 0)
 {
 }
 
-bool
-Ibda::dltContains(uint64_t pc) const
+void
+Ibda::rebuildDltHot()
 {
+    dltHot_.clear();
     for (const auto &e : dlt_) {
-        if (e.valid && e.pc == pc && e.count >= 2)
-            return true;
+        if (e.valid && e.count >= 2) {
+            dltHot_.insert(e.pc);
+            markSeen(e.pc);
+        }
     }
-    return false;
 }
 
 void
@@ -44,7 +48,10 @@ Ibda::onLoadComplete(uint64_t pc, bool llc_miss)
     DltEntry *victim = &dlt_[0];
     for (auto &e : dlt_) {
         if (e.valid && e.pc == pc) {
-            ++e.count;
+            if (++e.count == 2) {
+                dltHot_.insert(pc);
+                markSeen(pc);
+            }
             return;
         }
         if (!e.valid) {
@@ -57,6 +64,8 @@ Ibda::onLoadComplete(uint64_t pc, bool llc_miss)
     // Replace the least-frequent entry (frequency-based capture of
     // the hottest missing loads).
     ++stats_.dltInsertions;
+    if (victim->valid && victim->count >= 2)
+        dltHot_.erase(victim->pc);
     victim->valid = true;
     victim->pc = pc;
     victim->count = 1;
@@ -82,13 +91,28 @@ Ibda::onDispatch(const MicroOp &op,
         if (r == kNoReg)
             return;
         uint64_t wpc = last_writer_pc[r];
-        if (wpc != 0 && wpc != op.pc)
+        if (wpc != 0 && wpc != op.pc) {
             ist_.insert(wpc);
+            markSeen(wpc);
+        }
     };
     mark_src(op.src1);
     mark_src(op.src2);
     mark_src(op.src3);
     return true;
+}
+
+void
+Ibda::onDispatchWarm(const MicroOp &op,
+                     const std::array<uint64_t, kNumArchRegs>
+                         &last_writer_pc)
+{
+    // A clear bit proves op.pc is in neither the IST nor dltHot_,
+    // so onDispatch would mutate nothing (an IST lookup only
+    // touches LRU state on a hit): exit on the bitmap probe alone.
+    if (warmSeenValid_ && !maybeSeen(op.pc))
+        return;
+    (void)onDispatch(op, last_writer_pc);
 }
 
 IbdaStats
@@ -106,7 +130,59 @@ Ibda::adoptWarmState(const Ibda &warm)
     ist_ = warm.ist_;
     ist_.zeroCounters();
     dlt_ = warm.dlt_;
+    dltHot_ = warm.dltHot_;
+    warmSeen_ = warm.warmSeen_;
+    warmSeenValid_ = warm.warmSeenValid_;
     stats_ = IbdaStats{};
+}
+
+void
+Ibda::adoptWarmState(Ibda &&warm)
+{
+    ist_ = std::move(warm.ist_);
+    ist_.zeroCounters();
+    dlt_ = std::move(warm.dlt_);
+    dltHot_ = std::move(warm.dltHot_);
+    warmSeen_ = std::move(warm.warmSeen_);
+    warmSeenValid_ = warm.warmSeenValid_;
+    stats_ = IbdaStats{};
+}
+
+void
+Ibda::serializeWarm(WarmSink &sink) const
+{
+    ist_.serializeWarm(sink);
+    sink.u64(dlt_.size());
+    for (const DltEntry &e : dlt_) {
+        sink.u64(e.pc);
+        sink.u64(e.count);
+        sink.b(e.valid);
+    }
+    sink.u64(stats_.marked);
+    sink.u64(stats_.dltInsertions);
+}
+
+bool
+Ibda::deserializeWarm(WarmSource &src)
+{
+    if (!ist_.deserializeWarm(src))
+        return false;
+    if (src.u64() != dlt_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (DltEntry &e : dlt_) {
+        e.pc = src.u64();
+        e.count = src.u64();
+        e.valid = src.b();
+    }
+    stats_.marked = src.u64();
+    stats_.dltInsertions = src.u64();
+    rebuildDltHot();
+    // The bitmap is not serialized and no longer covers the
+    // deserialized IST; onDispatchWarm degrades to onDispatch.
+    warmSeenValid_ = false;
+    return src.ok();
 }
 
 } // namespace crisp

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "ibda/ist.h"
@@ -26,6 +27,8 @@ namespace crisp
 {
 
 class StatRegistry;
+class WarmSink;
+class WarmSource;
 
 /** IBDA statistics. */
 struct IbdaStats
@@ -76,6 +79,18 @@ class Ibda
                         &last_writer_pc);
 
     /**
+     * Warm-pass variant of onDispatch: identical post-state, but an
+     * op whose PC was never inserted into the IST or the hot-DLT set
+     * exits on one 8 KB-bitmap probe instead of a set-associative
+     * IST lookup (a miss there mutates nothing, so skipping it is
+     * exact). Falls back to onDispatch after state adoption, when
+     * the bitmap no longer covers the tables (DESIGN.md §14).
+     */
+    void onDispatchWarm(const MicroOp &op,
+                        const std::array<uint64_t, kNumArchRegs>
+                            &last_writer_pc);
+
+    /**
      * Completion hook for demand loads.
      * @param pc load PC
      * @param llc_miss true if served by DRAM
@@ -92,6 +107,18 @@ class Ibda
      */
     void adoptWarmState(const Ibda &warm);
 
+    /** Move overload: steals @p warm's tables. Identical post-state
+     *  to the copying overload (DESIGN.md §14). */
+    void adoptWarmState(Ibda &&warm);
+
+    /** Serializes IST + DLT contents and counters for the on-disk
+     *  warm-artifact tier (DESIGN.md §14). */
+    void serializeWarm(WarmSink &sink) const;
+
+    /** Restores serializeWarm() content. @return false on truncation
+     *  or geometry mismatch. */
+    bool deserializeWarm(WarmSource &src);
+
   private:
     struct DltEntry
     {
@@ -102,9 +129,45 @@ class Ibda
 
     InstructionSliceTable ist_;
     std::vector<DltEntry> dlt_;
+    /** PCs currently resident in dlt_ with count >= 2 — the set
+     *  dltContains() answers from. Maintained incrementally so the
+     *  per-load dispatch check is O(1) instead of a 32-entry scan
+     *  (the warm pass runs it for every load; DESIGN.md §14). */
+    std::unordered_set<uint64_t> dltHot_;
     IbdaStats stats_;
 
-    bool dltContains(uint64_t pc) const;
+    /** Conservative membership bitmap over hashed PCs: a bit is set
+     *  whenever a PC enters the IST or dltHot_, and never cleared,
+     *  so a clear bit proves the PC is in neither table. Collisions
+     *  and evictions only cause false positives (slow-path checks).
+     *  Sized 1 << 16 bits = 8 KB, L1/L2 resident. */
+    std::vector<uint64_t> warmSeen_;
+    /** True while warmSeen_ covers every table insert since
+     *  construction; adoption/deserialization clears it and
+     *  onDispatchWarm degrades to onDispatch. */
+    bool warmSeenValid_ = true;
+
+    static size_t seenIndex(uint64_t pc)
+    {
+        return size_t(((pc >> 1) * 0x9e3779b97f4a7c15ULL) >> 48);
+    }
+    void markSeen(uint64_t pc)
+    {
+        warmSeen_[seenIndex(pc) >> 6] |=
+            uint64_t(1) << (seenIndex(pc) & 63);
+    }
+    bool maybeSeen(uint64_t pc) const
+    {
+        return (warmSeen_[seenIndex(pc) >> 6] >>
+                (seenIndex(pc) & 63)) &
+               1;
+    }
+
+    bool dltContains(uint64_t pc) const
+    {
+        return dltHot_.count(pc) != 0;
+    }
+    void rebuildDltHot();
 };
 
 } // namespace crisp

@@ -1,5 +1,10 @@
 #include "ibda/ist.h"
 
+#include <algorithm>
+#include <bit>
+
+#include "sim/warm_io.h"
+
 namespace crisp
 {
 
@@ -11,6 +16,8 @@ InstructionSliceTable::InstructionSliceTable(unsigned entries,
     if (!infinite_) {
         ways_ = ways;
         sets_ = entries / ways;
+        if (std::has_single_bit(uint64_t(sets_)))
+            setMask_ = uint64_t(sets_) - 1;
         entries_.assign(entries, Entry{});
     }
 }
@@ -20,7 +27,7 @@ InstructionSliceTable::lookup(uint64_t pc)
 {
     if (infinite_)
         return unbounded_.count(pc) != 0;
-    Entry *set = &entries_[size_t((pc >> 1) % sets_) * ways_];
+    Entry *set = &entries_[setIndex(pc) * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
         if (set[w].valid && set[w].pc == pc) {
             set[w].lru = ++clock_;
@@ -38,7 +45,7 @@ InstructionSliceTable::insert(uint64_t pc)
         unbounded_.insert(pc);
         return;
     }
-    Entry *set = &entries_[size_t((pc >> 1) % sets_) * ways_];
+    Entry *set = &entries_[setIndex(pc) * ways_];
     Entry *victim = nullptr;
     for (unsigned w = 0; w < ways_; ++w) {
         if (set[w].valid && set[w].pc == pc) {
@@ -70,6 +77,61 @@ InstructionSliceTable::occupancy() const
     for (const auto &e : entries_)
         n += e.valid ? 1 : 0;
     return n;
+}
+
+void
+InstructionSliceTable::serializeWarm(WarmSink &sink) const
+{
+    sink.b(infinite_);
+    sink.u64(clock_);
+    sink.u64(insertions_);
+    sink.u64(evictions_);
+    if (infinite_) {
+        // Sorted so identical sets always produce identical bytes,
+        // independent of hash-set iteration order.
+        std::vector<uint64_t> pcs(unbounded_.begin(),
+                                  unbounded_.end());
+        std::sort(pcs.begin(), pcs.end());
+        sink.u64(pcs.size());
+        for (uint64_t pc : pcs)
+            sink.u64(pc);
+        return;
+    }
+    sink.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        sink.u64(e.pc);
+        sink.u64(e.lru);
+        sink.b(e.valid);
+    }
+}
+
+bool
+InstructionSliceTable::deserializeWarm(WarmSource &src)
+{
+    if (src.b() != infinite_) {
+        src.markFail();
+        return false;
+    }
+    clock_ = src.u64();
+    insertions_ = src.u64();
+    evictions_ = src.u64();
+    if (infinite_) {
+        uint64_t n = src.u64();
+        unbounded_.clear();
+        for (uint64_t i = 0; i < n && src.ok(); ++i)
+            unbounded_.insert(src.u64());
+        return src.ok();
+    }
+    if (src.u64() != entries_.size()) {
+        src.markFail();
+        return false;
+    }
+    for (Entry &e : entries_) {
+        e.pc = src.u64();
+        e.lru = src.u64();
+        e.valid = src.b();
+    }
+    return src.ok();
 }
 
 } // namespace crisp

@@ -15,6 +15,9 @@
 namespace crisp
 {
 
+class WarmSink;
+class WarmSource;
+
 /**
  * Set-associative table of instruction PCs marked as belonging to a
  * load slice. An "infinite" mode backs the table with a hash set for
@@ -56,6 +59,15 @@ class InstructionSliceTable
         evictions_ = 0;
     }
 
+    /** Serializes table contents (or the unbounded set, in sorted
+     *  order for deterministic bytes), LRU clock and counters for the
+     *  on-disk warm-artifact tier (DESIGN.md §14). */
+    void serializeWarm(WarmSink &sink) const;
+
+    /** Restores serializeWarm() content. @return false on truncation
+     *  or a geometry/mode mismatch. */
+    bool deserializeWarm(WarmSource &src);
+
   private:
     struct Entry
     {
@@ -67,6 +79,14 @@ class InstructionSliceTable
     bool infinite_;
     unsigned sets_ = 0;
     unsigned ways_ = 0;
+    /** sets_ - 1 when sets_ is a power of two, else 0 (divide). */
+    uint64_t setMask_ = 0;
+
+    size_t setIndex(uint64_t pc) const
+    {
+        uint64_t h = pc >> 1;
+        return size_t(setMask_ ? (h & setMask_) : (h % sets_));
+    }
     std::vector<Entry> entries_;
     std::unordered_set<uint64_t> unbounded_;
     uint64_t clock_ = 0;

@@ -1,8 +1,10 @@
 #include "sim/artifact_cache.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "sim/sampled.h"
+#include "sim/warm_store.h"
 
 namespace crisp
 {
@@ -152,6 +154,34 @@ ArtifactCache::taggedRefTrace(const WorkloadInfo &wl,
     });
 }
 
+SampledWarmState
+ArtifactCache::warmFromStoreOrBuild(const Trace &t,
+                                    const SimConfig &cfg)
+{
+    if (!warmStore_)
+        return buildWarmState(t, cfg);
+
+    // The disk tier is best-effort: a verified hit skips the warm
+    // pass, anything else (miss, corruption, version skew) falls
+    // back to recomputing and re-persists the result.
+    std::string key = warmStateKey(cfg);
+    uint64_t hash = traceContentHash(t);
+    SampledWarmState warm;
+    std::string why;
+    if (warmStore_->load(key, hash, cfg, warm, &why)) {
+        storeHits_.fetch_add(1, std::memory_order_relaxed);
+        return warm;
+    }
+    if (!why.empty())
+        std::fprintf(stderr,
+                     "warning: %s; recomputing warm state\n",
+                     why.c_str());
+    storeMisses_.fetch_add(1, std::memory_order_relaxed);
+    warm = buildWarmState(t, cfg);
+    warmStore_->save(key, hash, warm);
+    return warm;
+}
+
 std::shared_ptr<const SampledWarmState>
 ArtifactCache::warmState(const WorkloadInfo &wl, InputSet input,
                          uint64_t ops, const SimConfig &cfg)
@@ -162,7 +192,7 @@ ArtifactCache::warmState(const WorkloadInfo &wl, InputSet input,
         std::to_string(ops) + ":" + warmStateKey(cfg);
     return getOrCompute(warmStates_, key, [&] {
         auto t = trace(wl, input, ops);
-        return buildWarmState(*t, cfg);
+        return warmFromStoreOrBuild(*t, cfg);
     });
 }
 
@@ -179,7 +209,9 @@ ArtifactCache::warmStateTagged(const WorkloadInfo &wl,
                       warmStateKey(cfg);
     return getOrCompute(warmStates_, key, [&] {
         auto t = taggedRefTrace(wl, opts, cfg, train_ops, ref_ops);
-        return buildWarmState(*t, cfg);
+        // The tagged trace's critical bits are part of its content
+        // hash, so tagged and untagged runs never share artifacts.
+        return warmFromStoreOrBuild(*t, cfg);
     });
 }
 

@@ -40,6 +40,7 @@ namespace crisp
 {
 
 struct SampledWarmState;
+class WarmArtifactStore;
 
 /** Shared, memoized trace/analysis artifacts. */
 class ArtifactCache
@@ -48,6 +49,17 @@ class ArtifactCache
     ArtifactCache() = default;
     ArtifactCache(const ArtifactCache &) = delete;
     ArtifactCache &operator=(const ArtifactCache &) = delete;
+
+    /**
+     * Attaches a persistent on-disk tier for warm states (DESIGN.md
+     * §14): warmState()/warmStateTagged() misses consult @p store
+     * before recomputing and persist what they compute. @p store must
+     * outlive the cache (or a subsequent setWarmStore(nullptr)).
+     * Disk hits count as in-memory misses in counters() — the
+     * artifact still had to be loaded — and warmStoreCounters()
+     * breaks out the disk traffic.
+     */
+    void setWarmStore(WarmArtifactStore *store) { warmStore_ = store; }
 
     /** @return the (untagged) trace of @p wl on @p input. */
     std::shared_ptr<const Trace> trace(const WorkloadInfo &wl,
@@ -102,6 +114,13 @@ class ArtifactCache
                 misses_.load(std::memory_order_relaxed)};
     }
 
+    /** Disk-tier hit/miss counts (zero when no store is attached). */
+    Counters warmStoreCounters() const
+    {
+        return {storeHits_.load(std::memory_order_relaxed),
+                storeMisses_.load(std::memory_order_relaxed)};
+    }
+
     /** Drops all cached artifacts (counters are kept). */
     void clear();
 
@@ -127,13 +146,24 @@ class ArtifactCache
     getOrCompute(std::unordered_map<std::string, Slot<T>> &map,
                  const std::string &key, Make &&make);
 
+    /**
+     * Warm-pass body shared by warmState()/warmStateTagged(): try
+     * the disk tier (when attached) before running buildWarmState,
+     * and persist what had to be computed.
+     */
+    SampledWarmState warmFromStoreOrBuild(const Trace &trace,
+                                          const SimConfig &cfg);
+
     mutable std::mutex m_;
     std::unordered_map<std::string, Slot<Trace>> traces_;
     std::unordered_map<std::string, Slot<CrispAnalysis>> analyses_;
     std::unordered_map<std::string, Slot<SampledWarmState>>
         warmStates_;
+    WarmArtifactStore *warmStore_ = nullptr;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> storeHits_{0};
+    std::atomic<uint64_t> storeMisses_{0};
 };
 
 } // namespace crisp

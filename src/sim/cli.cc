@@ -75,6 +75,17 @@ cliUsage()
            "                       branches, scheduler decision\n"
            "                       log), top-N rows (default 32);\n"
            "                       exported with --stats-json/csv\n"
+           "  --artifact-dir DIR   persist sampled warm artifacts\n"
+           "                       in DIR across runs (DESIGN.md\n"
+           "                       14): a run whose warm state is\n"
+           "                       already on disk skips the warm\n"
+           "                       pass entirely. DIR is created if\n"
+           "                       missing; a non-writable DIR is a\n"
+           "                       startup error. Requires --sample\n"
+           "  --artifact-max-bytes N\n"
+           "                       evict oldest artifacts once DIR\n"
+           "                       exceeds N bytes (0 = unlimited;\n"
+           "                       requires --artifact-dir)\n"
            "  --list               list workloads\n"
            "  --help               this message\n";
 }
@@ -305,6 +316,22 @@ parseCli(const std::vector<std::string> &args)
                 }
                 opt.profilePcTop = v;
             }
+        } else if (a == "--artifact-dir") {
+            if (!opt.artifactDir.empty()) {
+                opt.error = "duplicate --artifact-dir";
+                break;
+            }
+            const char *v = need_value("--artifact-dir");
+            if (!v)
+                break;
+            if (!*v) {
+                opt.error = "--artifact-dir requires a non-empty "
+                            "directory path";
+                break;
+            }
+            opt.artifactDir = v;
+        } else if (a == "--artifact-max-bytes") {
+            need_u64("--artifact-max-bytes", opt.artifactMaxBytes);
         } else if (a == "--trace-pipe") {
             if (!opt.tracePipePath.empty()) {
                 opt.error = "duplicate --trace-pipe";
@@ -392,6 +419,15 @@ parseCli(const std::vector<std::string> &args)
                 std::to_string(opt.machine.sampleOps) +
                 "): no interval would ever be audited";
     }
+    // Warm artifacts only exist in sampled mode, so a persistence
+    // flag without --sample is a spec error, not a silent no-op.
+    if (opt.ok() && !opt.artifactDir.empty() &&
+        opt.machine.sampleOps == 0)
+        opt.error = "--artifact-dir requires --sample (warm "
+                    "artifacts only exist in sampled mode)";
+    if (opt.ok() && opt.artifactMaxBytes > 0 &&
+        opt.artifactDir.empty())
+        opt.error = "--artifact-max-bytes requires --artifact-dir";
     // Interval workers share the --jobs setting (0 = hardware).
     if (opt.ok())
         opt.machine.sampleJobs = opt.jobs;

@@ -47,6 +47,13 @@ struct CliOptions
     bool profilePc = false;    ///< --profile-pc: per-PC attribution
     uint64_t profilePcTop = 32; ///< --profile-pc=N: top-N table rows
 
+    /** --artifact-dir: persistent warm-artifact directory (empty =
+     *  disabled). Writability is probed by the tool at startup. */
+    std::string artifactDir;
+    /** --artifact-max-bytes: artifact-directory byte cap enforced
+     *  after each write; 0 = unlimited. */
+    uint64_t artifactMaxBytes = 0;
+
     /** Error message if parsing failed (empty on success). */
     std::string error;
 
@@ -104,6 +111,15 @@ struct CliOptions
  *                        loads, hard branches and the scheduler
  *                        decision log, top-N rows (default 32);
  *                        printed, and exported with --stats-json/csv
+ *   --artifact-dir DIR   persist sampled-simulation warm artifacts
+ *                        in DIR across runs (DESIGN.md §14); the
+ *                        directory is created if missing, and a
+ *                        non-writable DIR is a startup error.
+ *                        Requires --sample.
+ *   --artifact-max-bytes N
+ *                        evict oldest artifacts when DIR exceeds N
+ *                        bytes (0 = unlimited; requires
+ *                        --artifact-dir)
  *
  * The telemetry output flags reject duplicates (two --stats-json
  * flags silently discarding one file is a bug, not a convenience).

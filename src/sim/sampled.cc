@@ -1,21 +1,138 @@
 #include "sim/sampled.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
+#include <utility>
 
 #include "bp/bimodal.h"
 #include "bp/gshare.h"
 #include "bp/tage.h"
 #include "sim/thread_pool.h"
+#include "sim/warm_io.h"
 #include "telemetry/pc_profiler.h"
 
 namespace crisp
 {
 
+std::unique_ptr<DirectionPredictor>
+makeWarmDirectionPredictor(const SimConfig &cfg)
+{
+    // Must stay in lockstep with the Frontend constructor's
+    // predictor selection.
+    if (cfg.branchPredictor == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (cfg.branchPredictor == "gshare")
+        return std::make_unique<GsharePredictor>();
+    return std::make_unique<TagePredictor>();
+}
+
 namespace
 {
+
+/**
+ * Open-addressing address -> last-store-index map for the warm pass's
+ * store-forwarding window. The warm pass queries it once per load and
+ * updates it once per store, which made std::unordered_map (with its
+ * per-node allocation and pointer chasing) the hottest structure of
+ * the producer loop. Linear probing over a flat power-of-two table
+ * keeps the probe in one or two cache lines. Entries are never
+ * erased — stale indices age out via the robSize window check, same
+ * as with the std::unordered_map this replaces.
+ */
+class StoreIndexMap
+{
+  public:
+    /** @param window forwarding horizon in ops (the ROB size). */
+    explicit StoreIndexMap(uint64_t window)
+        : window_(window),
+          table_(std::max<size_t>(
+              2048, std::bit_ceil(size_t(4 * window + 1))))
+    {
+        live_.reserve(size_t(window) + 1);
+    }
+
+    /** Upserts @p addr -> @p idx. */
+    void put(uint64_t addr, uint64_t idx)
+    {
+        // Stale entries (stores older than the window) accumulate;
+        // compacting them away at half-full keeps the table at its
+        // initial cache-resident footprint forever, instead of
+        // growing with the trace's store-address working set.
+        if ((used_ + 1) * 2 > table_.size())
+            rebuild(idx);
+        Slot &s = probe(addr);
+        if (!s.used) {
+            s.used = true;
+            s.addr = addr;
+            ++used_;
+        }
+        s.idx = idx;
+    }
+
+    /** @return the last store index for @p addr, or nullptr. */
+    const uint64_t *find(uint64_t addr) const
+    {
+        const Slot &s =
+            const_cast<StoreIndexMap *>(this)->probe(addr);
+        return s.used ? &s.idx : nullptr;
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t addr = 0;
+        uint64_t idx = 0;
+        bool used = false;
+    };
+
+    uint64_t window_;
+    std::vector<Slot> table_;
+    std::vector<std::pair<uint64_t, uint64_t>> live_;
+    size_t used_ = 0;
+
+    /** @return the slot holding @p addr, or the empty slot where it
+     *  would be inserted. */
+    Slot &probe(uint64_t addr)
+    {
+        size_t mask = table_.size() - 1;
+        // Fibonacci hash: multiplicative spread of raw addresses,
+        // which share low-bit alignment patterns.
+        size_t h =
+            size_t((addr * 0x9e3779b97f4a7c15ULL) >> 32) & mask;
+        while (table_[h].used && table_[h].addr != addr)
+            h = (h + 1) & mask;
+        return table_[h];
+    }
+
+    /**
+     * Drops every entry outside the forwarding window of op
+     * @p cur and rehashes the survivors. find() re-checks recency,
+     * so discarding out-of-window stores is exact; at most
+     * window_ + 1 stores can be live (one store per op), which fits
+     * the quarter-full table the constructor sizes.
+     */
+    void rebuild(uint64_t cur)
+    {
+        live_.clear();
+        for (const Slot &s : table_) {
+            if (s.used && cur - s.idx <= window_)
+                live_.push_back({s.addr, s.idx});
+        }
+        std::fill(table_.begin(), table_.end(), Slot{});
+        used_ = live_.size();
+        for (const auto &[addr, idx] : live_) {
+            Slot &d = probe(addr);
+            d.used = true;
+            d.addr = addr;
+            d.idx = idx;
+        }
+    }
+};
 
 /**
  * The functional warm machine: the architectural-state subset of the
@@ -27,6 +144,11 @@ namespace
  * and drives the IBDA IST/DLT with the same dispatch-time hooks the
  * core uses. Timing inputs are pseudo-cycles — snapshot adoption
  * clamps all timing, so only access *order* matters here.
+ *
+ * The pass runs on the stat-free warm fast paths (warmLoad/warmStore/
+ * warmIfetch/warmPrefetchData): identical content transitions with
+ * zero statistics bookkeeping, since adoption zeroes stats anyway
+ * (DESIGN.md §14).
  */
 class WarmMachine
 {
@@ -42,8 +164,9 @@ class WarmMachine
     static constexpr uint64_t kPseudoCyclesPerOp = 2;
 
     explicit WarmMachine(const SimConfig &cfg)
-        : mem_(cfg), dir_(makeDir(cfg)), btb_(cfg.btbEntries, 4),
-          ras_(cfg.rasEntries), ibda_(cfg), robSize_(cfg.robSize)
+        : mem_(cfg), dir_(makeWarmDirectionPredictor(cfg)),
+          btb_(cfg.btbEntries, 4), ras_(cfg.rasEntries), ibda_(cfg),
+          robSize_(cfg.robSize), lastStoreIdx_(cfg.robSize)
     {
     }
 
@@ -57,7 +180,7 @@ class WarmMachine
         // entered (line of the op's last byte).
         uint64_t line = (op.pc + op.instSize - 1) >> 6;
         if (line != curLine_) {
-            mem_.ifetch(op.pc, cycle);
+            mem_.warmIfetch(op.pc, cycle);
             curLine_ = line;
         }
 
@@ -70,24 +193,43 @@ class WarmMachine
             // when an in-flight store to the same word exists.
             // In-flight means dispatched and not yet retired, which
             // in trace order is (at most) the last robSize ops.
-            auto it = lastStoreIdx_.find(op.effAddr);
-            if (it != lastStoreIdx_.end() &&
-                idx - it->second <= robSize_) {
+            const uint64_t *last = lastStoreIdx_.find(op.effAddr);
+            if (last && idx - *last <= robSize_) {
+                ibda_.onLoadComplete(op.pc, false);
+            } else if ((op.effAddr >> 6) == lastDataLine_) {
+                // Back-to-back access to the same L1D line: a
+                // guaranteed hit whose only effect is an LRU-clock
+                // refresh. No other data access intervened, so
+                // skipping it preserves every set's recency
+                // *ordering* (and prefetchers train below L1 only)
+                // — the walk is droppable without content drift.
                 ibda_.onLoadComplete(op.pc, false);
             } else {
-                auto res = mem_.load(op.effAddr, op.pc, cycle);
+                auto res = mem_.warmLoad(op.effAddr, op.pc, cycle);
                 ibda_.onLoadComplete(op.pc, res.llcMiss());
+                lastDataLine_ = op.effAddr >> 6;
+                lastDataLineStore_ = false;
             }
         } else if (op.isStore()) {
-            mem_.store(op.effAddr, op.pc, cycle);
-            lastStoreIdx_[op.effAddr] = idx;
+            // Same dedup for stores, but only behind another store
+            // (the line is already dirty); a store after a load must
+            // still run markDirty.
+            if ((op.effAddr >> 6) != lastDataLine_ ||
+                !lastDataLineStore_) {
+                mem_.warmStore(op.effAddr, op.pc, cycle);
+                lastDataLine_ = op.effAddr >> 6;
+                lastDataLineStore_ = true;
+            }
+            lastStoreIdx_.put(op.effAddr, idx);
         } else if (op.cls == OpClass::Prefetch) {
-            mem_.prefetchData(op.effAddr, cycle);
+            mem_.warmPrefetchData(op.effAddr, cycle);
+            // The prefetch fill may evict the tracked line.
+            lastDataLine_ = ~0ULL;
         }
 
         // IBDA rename hooks, in the core's dispatch order: mark
         // first, then record this op as its destination's writer.
-        ibda_.onDispatch(op, lastWriterPc_);
+        ibda_.onDispatchWarm(op, lastWriterPc_);
         if (op.dst != kNoReg)
             lastWriterPc_[size_t(op.dst)] = op.pc;
     }
@@ -96,25 +238,25 @@ class WarmMachine
     MachineSnapshot snapshot(uint64_t idx) const
     {
         return MachineSnapshot(idx, idx * kPseudoCyclesPerOp, mem_,
-                               dir_->clone(),
-                               btb_, ras_,
+                               dir_->clone(), btb_, ras_,
                                std::make_unique<Ibda>(ibda_),
                                lastWriterPc_);
     }
 
-  private:
-    /** Must stay in lockstep with the Frontend constructor's
-     *  predictor selection. */
-    static std::unique_ptr<DirectionPredictor>
-    makeDir(const SimConfig &cfg)
+    /**
+     * Move-out capture for the *final* snapshot of a streaming pass:
+     * steals the warm structures instead of deep-copying them. The
+     * machine is unusable afterwards.
+     */
+    MachineSnapshot takeSnapshot(uint64_t idx)
     {
-        if (cfg.branchPredictor == "bimodal")
-            return std::make_unique<BimodalPredictor>();
-        if (cfg.branchPredictor == "gshare")
-            return std::make_unique<GsharePredictor>();
-        return std::make_unique<TagePredictor>();
+        return MachineSnapshot(
+            idx, idx * kPseudoCyclesPerOp, std::move(mem_),
+            std::move(dir_), std::move(btb_), std::move(ras_),
+            std::make_unique<Ibda>(std::move(ibda_)), lastWriterPc_);
     }
 
+  private:
     /** Trains predictor/BTB/RAS exactly as Frontend::predictControl
      *  does, minus the mispredict statistics. */
     void warmControl(const MicroOp &op)
@@ -158,10 +300,52 @@ class WarmMachine
     Ras ras_;
     Ibda ibda_;
     unsigned robSize_;
-    std::unordered_map<uint64_t, uint64_t> lastStoreIdx_;
+    StoreIndexMap lastStoreIdx_;
     std::array<uint64_t, kNumArchRegs> lastWriterPc_{};
     uint64_t curLine_ = ~0ULL;
+    /** Line of the last data-side cache access, and whether it was a
+     *  store — the one-deep dedup window for back-to-back same-line
+     *  accesses. */
+    uint64_t lastDataLine_ = ~0ULL;
+    bool lastDataLineStore_ = false;
 };
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Builds the interval-k sub-trace and runs its detailed core.
+ *  @p snap is consumed (moved from) when @p consume is true. */
+template <typename Snapshot>
+CoreStats
+runInterval(const Trace &trace, const SimConfig &cfg, size_t k,
+            Snapshot &&snap, PcProfiler *prof, PipeTracer *tracer,
+            bool record_timeline)
+{
+    const uint64_t n = cfg.sampleOps;
+    const uint64_t size = trace.size();
+    const uint64_t begin = uint64_t(k) * n;
+    const uint64_t end = std::min(begin + n, size);
+    const uint64_t warm_start = snap.beginOp;
+
+    Trace sub;
+    sub.ops.assign(trace.ops.begin() + ptrdiff_t(warm_start),
+                   trace.ops.begin() + ptrdiff_t(end));
+    sub.program = trace.program;
+
+    Core core(sub, cfg);
+    applySnapshot(core, std::forward<Snapshot>(snap));
+    core.setMeasureFromOp(begin - warm_start);
+    if (prof)
+        core.setProfiler(prof);
+    if (tracer && k == 0)
+        core.setTracer(tracer);
+    return core.run(~0ULL, record_timeline);
+}
 
 } // namespace
 
@@ -184,7 +368,8 @@ buildWarmState(const Trace &trace, const SimConfig &cfg)
 
     WarmMachine machine(cfg);
     uint64_t next_k = 0;
-    for (uint64_t idx = 0; idx < size; ++idx) {
+    for (uint64_t idx = 0; idx < size && next_k < num_intervals;
+         ++idx) {
         // Snapshot position for interval k is max(0, k*n - w): the
         // interval's detailed warm-up prefix starts there. Positions
         // are non-decreasing in k; several may coincide at 0.
@@ -196,6 +381,8 @@ buildWarmState(const Trace &trace, const SimConfig &cfg)
             warm.snapshots.push_back(machine.snapshot(idx));
             ++next_k;
         }
+        if (next_k == num_intervals)
+            break; // ops past the last snapshot affect no snapshot
         machine.step(trace.ops[size_t(idx)], idx);
     }
     // Every interval with ops in it has pos(k) <= k*n < size, so the
@@ -213,37 +400,92 @@ applySnapshot(Core &core, const MachineSnapshot &snap)
     core.lastWriterPc_ = snap.lastWriterPc;
 }
 
+void
+applySnapshot(Core &core, MachineSnapshot &&snap)
+{
+    core.mem_.adoptWarmState(std::move(snap.mem), snap.warmCycle);
+    core.frontend_.adoptWarmState(std::move(snap.dir),
+                                  std::move(snap.btb),
+                                  std::move(snap.ras));
+    if (core.ibda_ && snap.ibda)
+        core.ibda_->adoptWarmState(std::move(*snap.ibda));
+    core.lastWriterPc_ = snap.lastWriterPc;
+}
+
+void
+serializeSnapshot(const MachineSnapshot &snap, WarmSink &sink)
+{
+    sink.u64(snap.beginOp);
+    sink.u64(snap.warmCycle);
+    snap.mem.serializeWarm(sink);
+    snap.dir->serializeWarm(sink);
+    snap.btb.serializeWarm(sink);
+    snap.ras.serializeWarm(sink);
+    sink.b(snap.ibda != nullptr);
+    if (snap.ibda)
+        snap.ibda->serializeWarm(sink);
+    sink.u64(snap.lastWriterPc.size());
+    for (uint64_t pc : snap.lastWriterPc)
+        sink.u64(pc);
+}
+
+bool
+deserializeSnapshot(WarmSource &src, MachineSnapshot &out)
+{
+    out.beginOp = src.u64();
+    out.warmCycle = src.u64();
+    if (!out.mem.deserializeWarm(src))
+        return false;
+    if (!out.dir->deserializeWarm(src))
+        return false;
+    if (!out.btb.deserializeWarm(src))
+        return false;
+    if (!out.ras.deserializeWarm(src))
+        return false;
+    bool has_ibda = src.b();
+    if (has_ibda != (out.ibda != nullptr)) {
+        src.markFail();
+        return false;
+    }
+    if (out.ibda && !out.ibda->deserializeWarm(src))
+        return false;
+    if (src.u64() != out.lastWriterPc.size()) {
+        src.markFail();
+        return false;
+    }
+    for (uint64_t &pc : out.lastWriterPc)
+        pc = src.u64();
+    return src.ok();
+}
+
 SampledResult
 runCoreSampled(const Trace &trace, const SimConfig &cfg,
                const SampledWarmState *warm, PcProfiler *profiler,
-               PipeTracer *tracer, bool record_timeline)
+               PipeTracer *tracer, bool record_timeline,
+               SnapshotObserver *observer)
 {
     if (cfg.sampleOps == 0)
         throw std::invalid_argument(
             "runCoreSampled: sampleOps must be > 0");
-
-    SampledWarmState local;
-    if (warm == nullptr) {
-        local = buildWarmState(trace, cfg);
-        warm = &local;
-    } else if (warm->intervalOps != cfg.sampleOps ||
-               warm->warmupOps != cfg.sampleWarmupOps) {
+    if (warm != nullptr && (warm->intervalOps != cfg.sampleOps ||
+                            warm->warmupOps != cfg.sampleWarmupOps))
         throw std::invalid_argument(
             "runCoreSampled: warm state was built for a different "
             "sample spec");
-    }
 
     const uint64_t n = cfg.sampleOps;
+    const uint64_t w = cfg.sampleWarmupOps;
     const uint64_t size = trace.size();
     const uint64_t num_intervals = (size + n - 1) / n;
-    if (warm->snapshots.size() != size_t(num_intervals))
+    if (warm != nullptr &&
+        warm->snapshots.size() != size_t(num_intervals))
         throw std::invalid_argument(
             "runCoreSampled: warm state was built for a different "
             "trace length");
 
     SampledResult result;
     result.intervalOps = n;
-    result.warmupOps = cfg.sampleWarmupOps;
+    result.warmupOps = w;
     result.intervals.resize(size_t(num_intervals));
 
     std::vector<PcProfiler> profilers;
@@ -252,34 +494,114 @@ runCoreSampled(const Trace &trace, const SimConfig &cfg,
 
     // Each interval job is a pure function of (sub-trace, config,
     // snapshot) and writes its own result slot, so output is
-    // bit-identical at any job count.
+    // bit-identical at any job count and either schedule.
     ThreadPool pool(cfg.sampleJobs);
-    pool.parallelFor(size_t(num_intervals), [&](size_t k) {
-        const MachineSnapshot &snap = warm->snapshots[k];
-        const uint64_t begin = uint64_t(k) * n;
-        const uint64_t end = std::min(begin + n, size);
-        const uint64_t warm_start = snap.beginOp;
+    const auto t0 = std::chrono::steady_clock::now();
 
-        Trace sub;
-        sub.ops.assign(trace.ops.begin() + ptrdiff_t(warm_start),
-                       trace.ops.begin() + ptrdiff_t(end));
-        sub.program = trace.program;
+    if (warm != nullptr) {
+        // Barrier schedule: every snapshot already exists; adoption
+        // copies (the caller keeps ownership of the warm state).
+        result.peakLiveSnapshots = warm->snapshots.size();
+        pool.parallelFor(size_t(num_intervals), [&](size_t k) {
+            result.intervals[k] = runInterval(
+                trace, cfg, k, warm->snapshots[k],
+                profiler ? &profilers[k] : nullptr, tracer,
+                record_timeline);
+        });
+        result.detailSeconds = secondsSince(t0);
+    } else {
+        // Pipelined schedule (DESIGN.md §14): the warm producer
+        // publishes snapshot k the moment boundary k is crossed and
+        // the interval-k job starts immediately. Adoption moves, and
+        // a backpressure cap bounds live snapshots so a fast
+        // producer cannot materialize the whole warm state at once.
+        result.warmPassRan = true;
+        ThreadPool::Stream stream(pool);
 
-        Core core(sub, cfg);
-        applySnapshot(core, snap);
-        core.setMeasureFromOp(begin - warm_start);
-        if (profiler)
-            core.setProfiler(&profilers[k]);
-        if (tracer && k == 0)
-            core.setTracer(tracer);
-        result.intervals[k] = core.run(~0ULL, record_timeline);
-    });
+        std::mutex live_m;
+        std::condition_variable live_cv;
+        size_t live = 0;
+        size_t peak = 0;
+        const size_t max_live =
+            std::max<size_t>(size_t(2) * pool.size(), 4);
 
+        // Decrements the live-snapshot count even when the interval
+        // job throws, so the producer can never wedge on
+        // backpressure behind a failed job.
+        struct LiveToken
+        {
+            std::mutex &m;
+            std::condition_variable &cv;
+            size_t &live;
+            ~LiveToken()
+            {
+                {
+                    std::lock_guard<std::mutex> lk(m);
+                    --live;
+                }
+                cv.notify_one();
+            }
+        };
+
+        auto publish = [&](size_t k,
+                           std::shared_ptr<MachineSnapshot> sp) {
+            if (observer)
+                observer->onSnapshot(k, *sp);
+            {
+                std::unique_lock<std::mutex> lk(live_m);
+                live_cv.wait(lk,
+                             [&] { return live < max_live; });
+                ++live;
+                peak = std::max(peak, live);
+            }
+            PcProfiler *prof = profiler ? &profilers[k] : nullptr;
+            stream.submit([&trace, &cfg, k, sp, prof, tracer,
+                           record_timeline, &result, &live_m,
+                           &live_cv, &live]() mutable {
+                LiveToken token{live_m, live_cv, live};
+                result.intervals[k] = runInterval(
+                    trace, cfg, k, std::move(*sp), prof, tracer,
+                    record_timeline);
+                sp.reset(); // free the gutted snapshot eagerly
+            });
+        };
+
+        WarmMachine machine(cfg);
+        uint64_t next_k = 0;
+        for (uint64_t idx = 0;
+             idx < size && next_k < num_intervals; ++idx) {
+            while (next_k < num_intervals) {
+                uint64_t boundary = next_k * n;
+                uint64_t pos = boundary > w ? boundary - w : 0;
+                if (pos != idx)
+                    break;
+                // The final snapshot steals the machine: no producer
+                // work remains after it (ops past the last snapshot
+                // position affect no snapshot).
+                auto sp = std::make_shared<MachineSnapshot>(
+                    next_k + 1 == num_intervals
+                        ? machine.takeSnapshot(idx)
+                        : machine.snapshot(idx));
+                publish(size_t(next_k), std::move(sp));
+                ++next_k;
+            }
+            if (next_k == num_intervals)
+                break;
+            machine.step(trace.ops[size_t(idx)], idx);
+        }
+        result.warmSeconds = secondsSince(t0);
+        stream.wait();
+        result.detailSeconds = secondsSince(t0);
+        result.peakLiveSnapshots = peak;
+    }
+
+    const auto t_stitch = std::chrono::steady_clock::now();
     for (const CoreStats &cs : result.intervals)
         result.total.accumulate(cs);
     if (profiler)
         for (const PcProfiler &p : profilers)
             profiler->merge(p);
+    result.stitchSeconds = secondsSince(t_stitch);
     return result;
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
  * Sampled simulation: checkpointed intervals detailed-simulated in
- * parallel (SMARTS-style; DESIGN.md §13).
+ * parallel (SMARTS-style; DESIGN.md §13, §14).
  *
  * The trace is split into fixed-size intervals of `SimConfig::
  * sampleOps` micro-ops. A serial *functional warm pass* replays the
@@ -9,12 +9,25 @@
  * cache hierarchy, the trained prefetcher engines, the direction
  * predictor / BTB / RAS in exactly the detailed frontend's training
  * order, and the IBDA IST/DLT — and captures a MachineSnapshot at
- * every interval boundary. Each interval is then dispatched as an
+ * every interval boundary. Each interval is dispatched as an
  * independent detailed Core::run job on the ThreadPool, starting from
  * its snapshot (timing clamped to a quiesced cycle-0 machine), and
  * the per-interval CoreStats are stitched back into whole-run
  * aggregates with CoreStats::accumulate — the same disjoint-window
  * additivity the IntervalStreamer contract pins (DESIGN.md §12).
+ *
+ * Since PR 7 the warm pass is *pipelined* with detailed simulation
+ * (DESIGN.md §14): when runCoreSampled builds its own warm state, the
+ * producer publishes snapshot k the moment boundary k is crossed and
+ * the interval-k job starts immediately on a ThreadPool::Stream,
+ * turning the serial prefix `T_warm + T_detail/J` into
+ * `max(T_warm, T_detail/J)`. Each streamed snapshot has exactly one
+ * consumer, so adoption *moves* the warm tables instead of copying
+ * them and the snapshot is freed as soon as its job adopts it; a
+ * backpressure cap bounds the number of live snapshots. When a
+ * pre-built SampledWarmState is supplied, all snapshots already
+ * exist and the classic barrier schedule runs. Both schedules are
+ * bit-identical to each other and to a serial run.
  *
  * Because the trace pre-records every architectural result (effective
  * addresses, branch outcomes, next PCs), snapshots carry *only*
@@ -53,6 +66,17 @@ namespace crisp
 
 class PcProfiler;
 class PipeTracer;
+class WarmSink;
+class WarmSource;
+
+/**
+ * @return a fresh (untrained) direction predictor of the kind the
+ *         detailed Frontend would build for @p cfg. The warm pass and
+ *         the warm-artifact loader both construct predictors through
+ *         this so the selection can never drift from the frontend's.
+ */
+std::unique_ptr<DirectionPredictor>
+makeWarmDirectionPredictor(const SimConfig &cfg);
 
 /**
  * The microarchitectural state handed to one interval core: the warm
@@ -97,9 +121,51 @@ struct MachineSnapshot
     {
     }
 
+    /** Move-capture overload: steals the warm machine's structures
+     *  outright — used for the final snapshot of a streaming warm
+     *  pass, whose producer has no further use for them. */
+    MachineSnapshot(uint64_t begin_op, uint64_t warm_cycle,
+                    Hierarchy &&warm_mem,
+                    std::unique_ptr<DirectionPredictor> warm_dir,
+                    Btb &&warm_btb, Ras &&warm_ras,
+                    std::unique_ptr<Ibda> warm_ibda,
+                    const std::array<uint64_t, kNumArchRegs>
+                        &warm_last_writer_pc)
+        : beginOp(begin_op), warmCycle(warm_cycle),
+          mem(std::move(warm_mem)), dir(std::move(warm_dir)),
+          btb(std::move(warm_btb)), ras(std::move(warm_ras)),
+          ibda(std::move(warm_ibda)),
+          lastWriterPc(warm_last_writer_pc)
+    {
+    }
+
+    /** Cold machine for @p cfg (beginOp/warmCycle zero, untrained
+     *  structures) — the shell the warm-artifact loader deserializes
+     *  into. */
+    explicit MachineSnapshot(const SimConfig &cfg)
+        : mem(cfg), dir(makeWarmDirectionPredictor(cfg)),
+          btb(cfg.btbEntries, 4), ras(cfg.rasEntries),
+          ibda(std::make_unique<Ibda>(cfg))
+    {
+    }
+
     MachineSnapshot(MachineSnapshot &&) = default;
     MachineSnapshot &operator=(MachineSnapshot &&) = default;
 };
+
+/**
+ * Serializes @p snap's adoption-relevant content (DESIGN.md §14).
+ * Geometry is not serialized — it is part of the artifact key.
+ */
+void serializeSnapshot(const MachineSnapshot &snap, WarmSink &sink);
+
+/**
+ * Restores serializeSnapshot() content into @p out, which must be a
+ * cold MachineSnapshot built for the same geometry (the
+ * MachineSnapshot(cfg) constructor). @return false on truncation or
+ * a geometry mismatch; @p out is unspecified on failure.
+ */
+bool deserializeSnapshot(WarmSource &src, MachineSnapshot &out);
 
 /**
  * All interval snapshots of one (trace, config, sample spec): the
@@ -133,6 +199,36 @@ struct SampledResult
     std::vector<CoreStats> intervals; ///< per-interval (measured) stats
     uint64_t intervalOps = 0;
     uint64_t warmupOps = 0;
+
+    // Phase breakdown (wall clock; DESIGN.md §14). In the pipelined
+    // schedule warm and detail overlap, so warmSeconds measures the
+    // producer loop and detailSeconds the full produce-and-simulate
+    // span; in the barrier schedule they are disjoint.
+    double warmSeconds = 0.0;   ///< warm pass (0 with external warm)
+    double detailSeconds = 0.0; ///< detailed interval simulation
+    double stitchSeconds = 0.0; ///< in-order stats accumulation
+    /** True when this run executed the warm pass itself (no external
+     *  SampledWarmState supplied). */
+    bool warmPassRan = false;
+    /** Most MachineSnapshots simultaneously alive during the run —
+     *  bounded by the backpressure cap in the pipelined schedule,
+     *  equal to the snapshot count in the barrier schedule. */
+    uint64_t peakLiveSnapshots = 0;
+};
+
+/**
+ * Observes each MachineSnapshot as the streaming warm pass publishes
+ * it, on the producer thread and in interval order, *before* the
+ * interval job may consume (move out of) the snapshot. The on-disk
+ * warm-artifact writer hangs off this hook so a cold pipelined run
+ * persists its warm state incrementally (DESIGN.md §14).
+ */
+class SnapshotObserver
+{
+  public:
+    virtual ~SnapshotObserver() = default;
+    /** Called once per interval k = 0 .. K-1, in order. */
+    virtual void onSnapshot(size_t k, const MachineSnapshot &snap) = 0;
 };
 
 /**
@@ -142,14 +238,22 @@ struct SampledResult
  * on cfg.sampleJobs workers, stitched totals. Bit-identical at any
  * job count.
  *
+ * With @p warm == nullptr the warm pass streams: snapshot k is
+ * published and interval k enqueued the moment boundary k is crossed
+ * (DESIGN.md §14). With a pre-built @p warm, the classic barrier
+ * schedule runs. Results are bit-identical either way.
+ *
  * @param warm pre-built warm state (e.g. shared via ArtifactCache);
- *        nullptr = build one here
+ *        nullptr = build one here, pipelined with detail
  * @param profiler optional per-PC profiler; per-interval profiles are
  *        merged into it in interval order
  * @param tracer optional pipeline tracer, attached to interval 0
  *        only (its cycle window is interval-local; see cliUsage)
  * @param record_timeline record per-cycle retire counts (timelines
  *        concatenate across intervals)
+ * @param observer optional snapshot hook (streaming schedule only —
+ *        with external @p warm the caller already holds every
+ *        snapshot, so the hook is not invoked)
  * @throws std::invalid_argument on a sample-spec mismatch with @p warm
  * @throws SimDeadlockError when an interval stops making progress
  */
@@ -157,7 +261,8 @@ SampledResult runCoreSampled(const Trace &trace, const SimConfig &cfg,
                              const SampledWarmState *warm = nullptr,
                              PcProfiler *profiler = nullptr,
                              PipeTracer *tracer = nullptr,
-                             bool record_timeline = false);
+                             bool record_timeline = false,
+                             SnapshotObserver *observer = nullptr);
 
 /**
  * Injects a snapshot's warm state into a fresh core (before run()):
@@ -166,6 +271,14 @@ SampledResult runCoreSampled(const Trace &trace, const SimConfig &cfg,
  * component adoptWarmState methods.
  */
 void applySnapshot(Core &core, const MachineSnapshot &snap);
+
+/**
+ * Move overload: steals the snapshot's warm tables instead of
+ * deep-copying them — identical core post-state, leaves @p snap
+ * gutted. The pipelined schedule uses this because each streamed
+ * snapshot has exactly one consumer (DESIGN.md §14).
+ */
+void applySnapshot(Core &core, MachineSnapshot &&snap);
 
 /**
  * @return the canonical key fragment of everything a warm pass is a

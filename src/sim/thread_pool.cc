@@ -1,5 +1,8 @@
 #include "sim/thread_pool.h"
 
+#include <cassert>
+#include <utility>
+
 namespace crisp
 {
 
@@ -55,6 +58,28 @@ ThreadPool::runOne(std::unique_lock<std::mutex> &lk)
     return true;
 }
 
+bool
+ThreadPool::runOneStream(std::unique_lock<std::mutex> &lk)
+{
+    if (streamTasks_.empty())
+        return false;
+    std::function<void()> task = std::move(streamTasks_.front());
+    streamTasks_.pop_front();
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+        task();
+    } catch (...) {
+        err = std::current_exception();
+    }
+    lk.lock();
+    if (err && !streamError_)
+        streamError_ = err;
+    if (--streamPending_ == 0)
+        done_cv_.notify_all();
+    return true;
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -62,11 +87,12 @@ ThreadPool::workerLoop()
     for (;;) {
         work_cv_.wait(lk, [this] {
             return stop_ ||
-                   (batch_ && batch_->next < batch_->total);
+                   (batch_ && batch_->next < batch_->total) ||
+                   !streamTasks_.empty();
         });
         if (stop_)
             return;
-        while (runOne(lk)) {
+        while (runOne(lk) || runOneStream(lk)) {
         }
     }
 }
@@ -99,6 +125,74 @@ ThreadPool::parallelFor(size_t n,
     batch_ = nullptr;
     if (batch.error)
         std::rethrow_exception(batch.error);
+}
+
+ThreadPool::Stream::Stream(ThreadPool &pool) : pool_(pool)
+{
+    std::lock_guard<std::mutex> lk(pool_.m_);
+    assert(!pool_.streamOpen_ && "one open Stream per pool");
+    pool_.streamOpen_ = true;
+    pool_.streamError_ = nullptr;
+}
+
+ThreadPool::Stream::~Stream()
+{
+    // Drain without throwing; a stored error the caller never
+    // collected via wait() is discarded.
+    if (pool_.size_ > 1) {
+        std::unique_lock<std::mutex> lk(pool_.m_);
+        while (pool_.runOneStream(lk)) {
+        }
+        pool_.done_cv_.wait(
+            lk, [this] { return pool_.streamPending_ == 0; });
+        pool_.streamError_ = nullptr;
+        pool_.streamOpen_ = false;
+        return;
+    }
+    pool_.streamError_ = nullptr;
+    pool_.streamOpen_ = false;
+}
+
+void
+ThreadPool::Stream::submit(std::function<void()> task)
+{
+    if (pool_.size_ <= 1) {
+        // Serial reference path: run on the caller right away.
+        try {
+            task();
+        } catch (...) {
+            if (!pool_.streamError_)
+                pool_.streamError_ = std::current_exception();
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(pool_.m_);
+        pool_.streamTasks_.push_back(std::move(task));
+        ++pool_.streamPending_;
+    }
+    pool_.work_cv_.notify_one();
+}
+
+void
+ThreadPool::Stream::wait()
+{
+    std::exception_ptr err;
+    if (pool_.size_ <= 1) {
+        err = pool_.streamError_;
+        pool_.streamError_ = nullptr;
+    } else {
+        std::unique_lock<std::mutex> lk(pool_.m_);
+        // The caller is a lane too: help drain instead of idling.
+        while (pool_.runOneStream(lk)) {
+        }
+        pool_.done_cv_.wait(
+            lk, [this] { return pool_.streamPending_ == 0; });
+        err = pool_.streamError_;
+        pool_.streamError_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 } // namespace crisp

@@ -3,13 +3,16 @@
  * Fixed-size worker pool for batch simulation.
  *
  * The evaluation surface of this repository is a batch of independent
- * core simulations over immutable traces, so the pool only needs one
- * primitive: parallelFor(n, fn), which runs fn(0..n-1) across the
- * workers. Callers write results into pre-sized slots indexed by the
- * loop variable, so output is bit-identical to a serial run regardless
- * of completion order. Exceptions thrown by any iteration are captured
- * and the first one is rethrown on the calling thread after the loop
- * drains.
+ * core simulations over immutable traces, so the pool offers two
+ * primitives. parallelFor(n, fn) runs fn(0..n-1) across the workers
+ * when the whole work-list is known up front. Stream accepts tasks
+ * one at a time as a producer discovers them — the pipelined sampled
+ * path (DESIGN.md §14) publishes one detailed-interval job per warm
+ * snapshot boundary while the warm pass is still running. In both
+ * cases callers write results into pre-sized slots, so output is
+ * bit-identical to a serial run regardless of completion order, and
+ * the first exception thrown by any task is rethrown on the calling
+ * thread after the work drains.
  */
 
 #ifndef CRISP_SIM_THREAD_POOL_H
@@ -53,6 +56,43 @@ class ThreadPool
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
+    /**
+     * An open-ended task stream over the pool: submit() hands tasks
+     * to the workers as they are discovered; wait() blocks (helping
+     * to drain) until every submitted task has finished and rethrows
+     * the first captured exception. On a pool of size 1, submit()
+     * runs the task inline — exactly the serial reference behavior.
+     *
+     * At most one Stream may be open per pool at a time; a stream
+     * and parallelFor may not run concurrently from different
+     * threads (tasks themselves must not touch the owning pool).
+     */
+    class Stream
+    {
+      public:
+        /** Opens a stream over @p pool. */
+        explicit Stream(ThreadPool &pool);
+        /** Drains outstanding tasks, discarding any stored error if
+         *  wait() was never called (destructors must not throw). */
+        ~Stream();
+
+        Stream(const Stream &) = delete;
+        Stream &operator=(const Stream &) = delete;
+
+        /** Enqueues @p task (runs inline on a size-1 pool). */
+        void submit(std::function<void()> task);
+
+        /**
+         * Blocks until every task submitted so far has finished; the
+         * caller helps drain the queue. Rethrows the first captured
+         * task exception. May be called repeatedly.
+         */
+        void wait();
+
+      private:
+        ThreadPool &pool_;
+    };
+
   private:
     /** One parallelFor in flight; workers pull indices from it. */
     struct Batch
@@ -67,14 +107,22 @@ class ThreadPool
     void workerLoop();
     /** Claims and runs one iteration. @return false if none left. */
     bool runOne(std::unique_lock<std::mutex> &lk);
+    /** Claims and runs one stream task. @return false if none left. */
+    bool runOneStream(std::unique_lock<std::mutex> &lk);
 
     unsigned size_;
     std::vector<std::thread> workers_;
     std::mutex m_;
-    std::condition_variable work_cv_;  ///< workers wait for a batch
+    std::condition_variable work_cv_;  ///< workers wait for work
     std::condition_variable done_cv_;  ///< caller waits for drain
     Batch *batch_ = nullptr;
     bool stop_ = false;
+
+    // Stream state (one open stream at a time; see class Stream).
+    std::deque<std::function<void()>> streamTasks_;
+    size_t streamPending_ = 0; ///< queued + running stream tasks
+    std::exception_ptr streamError_;
+    bool streamOpen_ = false;
 };
 
 } // namespace crisp

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Byte-exact serialization primitives for warm-artifact persistence.
+ *
+ * The on-disk warm-state format (DESIGN.md §14) is built from two
+ * tiny primitives: WarmSink appends fixed-width little-endian fields
+ * to a growing byte buffer, WarmSource reads them back and latches a
+ * failure flag on any underrun. Encoding is explicit byte-by-byte —
+ * never memcpy of structs — so artifacts are independent of host
+ * padding and endianness, and a truncated or bit-flipped file turns
+ * into a clean `ok() == false` instead of undefined behavior.
+ */
+
+#ifndef CRISP_SIM_WARM_IO_H
+#define CRISP_SIM_WARM_IO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace crisp
+{
+
+/** Append-only little-endian byte sink. */
+class WarmSink
+{
+  public:
+    void u8(uint8_t v) { buf_.push_back(char(v)); }
+
+    void u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(uint8_t(v >> (8 * i)));
+    }
+
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(uint8_t(v >> (8 * i)));
+    }
+
+    void i64(int64_t v) { u64(uint64_t(v)); }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    /** @return accumulated bytes. */
+    const std::string &bytes() const { return buf_; }
+    /** @return accumulated size in bytes. */
+    size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Sequential little-endian reader over a borrowed byte range. Any
+ * read past the end latches fail() and returns zero values; callers
+ * check ok() once at a convenient boundary instead of after every
+ * field.
+ */
+class WarmSource
+{
+  public:
+    WarmSource(const char *data, size_t n)
+        : p_(reinterpret_cast<const uint8_t *>(data)), n_(n)
+    {
+    }
+
+    explicit WarmSource(const std::string &bytes)
+        : WarmSource(bytes.data(), bytes.size())
+    {
+    }
+
+    uint8_t u8()
+    {
+        if (pos_ >= n_) {
+            fail_ = true;
+            return 0;
+        }
+        return p_[pos_++];
+    }
+
+    uint32_t u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t(u8()) << (8 * i);
+        return v;
+    }
+
+    uint64_t u64()
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t(u8()) << (8 * i);
+        return v;
+    }
+
+    int64_t i64() { return int64_t(u64()); }
+
+    bool b() { return u8() != 0; }
+
+    std::string str()
+    {
+        uint64_t len = u64();
+        if (fail_ || len > n_ - pos_) {
+            fail_ = true;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(p_ + pos_),
+                      size_t(len));
+        pos_ += size_t(len);
+        return s;
+    }
+
+    /** Latches the failure flag (content validation failed). */
+    void markFail() { fail_ = true; }
+
+    /** @return true while every read so far was in bounds. */
+    bool ok() const { return !fail_; }
+    /** @return true when the whole range has been consumed. */
+    bool atEnd() const { return pos_ == n_; }
+
+  private:
+    const uint8_t *p_;
+    size_t n_;
+    size_t pos_ = 0;
+    bool fail_ = false;
+};
+
+/**
+ * Incremental FNV-1a 64-bit hash — the content checksum of warm
+ * artifacts and the trace-identity hash in artifact keys.
+ */
+class Fnv1a
+{
+  public:
+    void bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void u64(uint64_t v)
+    {
+        uint8_t b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = uint8_t(v >> (8 * i));
+        bytes(b, 8);
+    }
+
+    /** @return the current hash value. */
+    uint64_t value() const { return h_; }
+
+  private:
+    uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_WARM_IO_H

@@ -1,0 +1,355 @@
+#include "sim/warm_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace fs = std::filesystem;
+
+namespace crisp
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'R', 'S', 'P',
+                            'W', 'A', 'R', 'M'};
+constexpr const char *kExtension = ".cwarm";
+
+// Header layout (little-endian):
+//   [0,8)   magic "CRSPWARM"
+//   [8,12)  u32 format version
+//   [12,20) u64 FNV-1a checksum of payload = bytes [28, EOF)
+//   [20,28) u64 snapshot count
+// checksum and count are patched in place at commit, so neither is
+// part of the checksummed payload.
+constexpr uint64_t kChecksumOffset = 12;
+constexpr uint64_t kCountOffset = 20;
+constexpr uint64_t kPayloadOffset = 28;
+
+std::string
+encodeU64(uint64_t v)
+{
+    WarmSink s;
+    s.u64(v);
+    return s.bytes();
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+uint64_t
+traceContentHash(const Trace &trace)
+{
+    Fnv1a h;
+    h.u64(trace.size());
+    for (const MicroOp &op : trace.ops) {
+        h.u64(op.sidx);
+        h.u64(op.pc);
+        h.u64(op.effAddr);
+        h.u64(op.nextPc);
+        h.u64(uint64_t(op.cls));
+        h.u64(uint64_t(op.dst));
+        h.u64(uint64_t(op.src1));
+        h.u64(uint64_t(op.src2));
+        h.u64(uint64_t(op.src3));
+        h.u64(op.memSize);
+        h.u64(op.instSize);
+        h.u64(op.taken ? 1 : 0);
+        h.u64(op.critical ? 1 : 0);
+    }
+    return h.value();
+}
+
+WarmArtifactStore::WarmArtifactStore(std::string dir,
+                                     uint64_t max_bytes)
+    : dir_(std::move(dir)), maxBytes_(max_bytes)
+{
+    // Best-effort: a store on a directory that cannot be created
+    // degrades to always-miss (Writer::failed() / load() misses);
+    // tools wanting a hard error probe with dirWritable() first.
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+}
+
+bool
+WarmArtifactStore::dirWritable(const std::string &dir,
+                               std::string *why)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        if (why)
+            *why = "cannot create directory '" + dir +
+                   "': " + ec.message();
+        return false;
+    }
+    fs::path probe = fs::path(dir) / ".crisp_probe.tmp";
+    {
+        std::ofstream os(probe, std::ios::binary | std::ios::trunc);
+        os << "probe";
+        if (!os) {
+            if (why)
+                *why = "directory '" + dir + "' is not writable";
+            return false;
+        }
+    }
+    fs::remove(probe, ec);
+    return true;
+}
+
+std::string
+WarmArtifactStore::pathFor(const std::string &key,
+                           uint64_t trace_hash) const
+{
+    // The filename is a hash of the full identity; the key string
+    // inside the file is the collision guard.
+    Fnv1a h;
+    h.bytes(key.data(), key.size());
+    h.u64(trace_hash);
+    return (fs::path(dir_) / (hex64(h.value()) + kExtension))
+        .string();
+}
+
+bool
+WarmArtifactStore::load(const std::string &key, uint64_t trace_hash,
+                        const SimConfig &cfg, SampledWarmState &out,
+                        std::string *why) const
+{
+    if (why)
+        why->clear();
+    std::string path = pathFor(key, trace_hash);
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false; // plain miss
+
+    auto bad = [&](const std::string &reason) {
+        if (why)
+            *why = "warm artifact " + path + ": " + reason;
+        return false;
+    };
+
+    std::string data((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    if (!is.good() && !is.eof())
+        return bad("read error");
+    if (data.size() < kPayloadOffset)
+        return bad("truncated header");
+    if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0)
+        return bad("bad magic");
+
+    WarmSource head(data.data() + sizeof(kMagic),
+                    kPayloadOffset - sizeof(kMagic));
+    uint32_t version = head.u32();
+    uint64_t stored_checksum = head.u64();
+    uint64_t count = head.u64();
+    if (version != kFormatVersion)
+        return bad("format version " + std::to_string(version) +
+                   " (expected " + std::to_string(kFormatVersion) +
+                   ")");
+
+    Fnv1a actual;
+    actual.bytes(data.data() + kPayloadOffset,
+                 data.size() - kPayloadOffset);
+    if (actual.value() != stored_checksum)
+        return bad("checksum mismatch (truncated or corrupted)");
+
+    WarmSource src(data.data() + kPayloadOffset,
+                   data.size() - kPayloadOffset);
+    if (src.str() != key)
+        return bad("key mismatch (filename hash collision)");
+    if (src.u64() != trace_hash)
+        return bad("trace hash mismatch");
+    uint64_t interval_ops = src.u64();
+    uint64_t warmup_ops = src.u64();
+    if (!src.ok() || interval_ops != cfg.sampleOps ||
+        warmup_ops != cfg.sampleWarmupOps)
+        return bad("sample spec mismatch");
+
+    SampledWarmState warm;
+    warm.intervalOps = interval_ops;
+    warm.warmupOps = warmup_ops;
+    warm.snapshots.reserve(size_t(count));
+    for (uint64_t k = 0; k < count; ++k) {
+        std::string blob = src.str();
+        if (!src.ok())
+            return bad("truncated snapshot " + std::to_string(k));
+        WarmSource bs(blob);
+        MachineSnapshot snap(cfg);
+        if (!deserializeSnapshot(bs, snap) || !bs.atEnd())
+            return bad("snapshot " + std::to_string(k) +
+                       " does not match this geometry");
+        warm.snapshots.push_back(std::move(snap));
+    }
+    if (!src.atEnd())
+        return bad("trailing bytes");
+
+    out = std::move(warm);
+    return true;
+}
+
+WarmArtifactStore::Writer::Writer(WarmArtifactStore &store,
+                                  std::string key,
+                                  uint64_t trace_hash,
+                                  uint64_t interval_ops,
+                                  uint64_t warmup_ops)
+    : store_(store), key_(std::move(key)), traceHash_(trace_hash),
+      finalPath_(store.pathFor(key_, trace_hash)),
+      tmpPath_(finalPath_ + ".tmp"),
+      out_(tmpPath_, std::ios::binary | std::ios::trunc)
+{
+    if (!out_) {
+        failed_ = true;
+        return;
+    }
+    // Header with checksum/count placeholders, patched at commit.
+    out_.write(kMagic, sizeof(kMagic));
+    WarmSink head;
+    head.u32(kFormatVersion);
+    head.u64(0); // checksum
+    head.u64(0); // snapshot count
+    out_.write(head.bytes().data(),
+               std::streamsize(head.size()));
+
+    WarmSink prologue;
+    prologue.str(key_);
+    prologue.u64(traceHash_);
+    prologue.u64(interval_ops);
+    prologue.u64(warmup_ops);
+    append(prologue.bytes());
+    if (!out_)
+        failed_ = true;
+}
+
+WarmArtifactStore::Writer::~Writer()
+{
+    if (committed_)
+        return;
+    out_.close();
+    std::error_code ec;
+    fs::remove(tmpPath_, ec);
+}
+
+void
+WarmArtifactStore::Writer::append(const std::string &bytes)
+{
+    out_.write(bytes.data(), std::streamsize(bytes.size()));
+    checksum_.bytes(bytes.data(), bytes.size());
+}
+
+void
+WarmArtifactStore::Writer::onSnapshot(size_t,
+                                      const MachineSnapshot &snap)
+{
+    if (failed_)
+        return;
+    WarmSink blob;
+    serializeSnapshot(snap, blob);
+    append(encodeU64(blob.size()));
+    append(blob.bytes());
+    ++count_;
+    if (!out_)
+        failed_ = true;
+}
+
+bool
+WarmArtifactStore::Writer::commit()
+{
+    if (failed_ || committed_)
+        return false;
+    out_.seekp(std::streamoff(kChecksumOffset));
+    std::string tail = encodeU64(checksum_.value());
+    tail += encodeU64(count_);
+    static_assert(kCountOffset == kChecksumOffset + 8,
+                  "checksum and count are patched as one write");
+    out_.write(tail.data(), std::streamsize(tail.size()));
+    out_.close();
+    if (!out_) {
+        std::error_code ec;
+        fs::remove(tmpPath_, ec);
+        failed_ = true;
+        return false;
+    }
+    std::error_code ec;
+    fs::rename(tmpPath_, finalPath_, ec);
+    if (ec) {
+        fs::remove(tmpPath_, ec);
+        failed_ = true;
+        return false;
+    }
+    committed_ = true;
+    store_.evictToCap(finalPath_);
+    return true;
+}
+
+bool
+WarmArtifactStore::save(const std::string &key, uint64_t trace_hash,
+                        const SampledWarmState &warm)
+{
+    Writer w(*this, key, trace_hash, warm.intervalOps,
+             warm.warmupOps);
+    for (size_t k = 0; k < warm.snapshots.size(); ++k)
+        w.onSnapshot(k, warm.snapshots[k]);
+    return w.commit();
+}
+
+void
+WarmArtifactStore::evictToCap(const std::string &spare) const
+{
+    if (maxBytes_ == 0)
+        return;
+
+    struct Entry
+    {
+        fs::path path;
+        uint64_t bytes;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir_, ec)) {
+        if (de.path().extension() != kExtension)
+            continue;
+        std::error_code fec;
+        uint64_t bytes = de.file_size(fec);
+        auto mtime = de.last_write_time(fec);
+        if (fec)
+            continue;
+        total += bytes;
+        entries.push_back({de.path(), bytes, mtime});
+    }
+    if (ec || total <= maxBytes_)
+        return;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const Entry &e : entries) {
+        if (total <= maxBytes_)
+            break;
+        if (e.path.string() == spare)
+            continue;
+        std::error_code rec;
+        if (fs::remove(e.path, rec))
+            total -= e.bytes;
+    }
+}
+
+} // namespace crisp

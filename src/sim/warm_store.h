@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Persistent on-disk tier for sampled-simulation warm artifacts
+ * (DESIGN.md §14).
+ *
+ * A functional warm pass is a pure function of (trace content, warm
+ * geometry, sample spec) — exactly what warmStateKey() plus a trace
+ * content hash encode. The store keeps one file per distinct key in a
+ * user-chosen directory, so the warm pass survives process exit:
+ * repeated experiment sweeps, CI re-runs and multi-config studies on
+ * the same trace pay for warming once, ever.
+ *
+ * Durability discipline:
+ *  - Files are written to a `.tmp` sibling and published with an
+ *    atomic rename — readers never observe a half-written artifact,
+ *    and a crash leaves only a stale temp file behind.
+ *  - Every load verifies magic, format version, a whole-payload
+ *    FNV-1a checksum, the full key string, and the trace hash (the
+ *    filename is a hash of the key, so collisions must be detected
+ *    by content). Any mismatch — truncation, corruption, version
+ *    skew, collision — makes load() return false with a reason; the
+ *    caller recomputes. A bad artifact can cost time, never
+ *    correctness, and never a crash.
+ *  - An optional byte cap evicts least-recently-modified artifacts
+ *    after each commit, sparing the file just written.
+ *
+ * The streaming warm pass persists incrementally: Writer is a
+ * SnapshotObserver that serializes each snapshot as the producer
+ * publishes it, so a cold pipelined run leaves a reusable artifact
+ * behind at no extra pass over the data.
+ */
+
+#ifndef CRISP_SIM_WARM_STORE_H
+#define CRISP_SIM_WARM_STORE_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "sim/sampled.h"
+#include "sim/warm_io.h"
+
+namespace crisp
+{
+
+/**
+ * @return the FNV-1a 64 hash of @p trace's replay-relevant content
+ *         (every MicroOp field the warm pass or a detailed core
+ *         reads). Together with warmStateKey(cfg) this identifies a
+ *         warm artifact exactly.
+ */
+uint64_t traceContentHash(const Trace &trace);
+
+/** On-disk warm-artifact store: one file per (key, trace) pair. */
+class WarmArtifactStore
+{
+  public:
+    /** Current on-disk format version; bumped on layout changes. */
+    static constexpr uint32_t kFormatVersion = 1;
+
+    /**
+     * @param dir directory holding the artifacts (created
+     *        best-effort on construction; if creation fails the
+     *        store degrades to always-miss — callers wanting a
+     *        hard error probe with dirWritable() first)
+     * @param max_bytes total artifact byte cap enforced after each
+     *        commit; 0 = unlimited
+     */
+    explicit WarmArtifactStore(std::string dir,
+                               uint64_t max_bytes = 0);
+
+    /**
+     * Probes @p dir for use as an artifact directory: creates it if
+     * missing, then creates and removes a probe file.
+     * @return true when writable; otherwise @p why (if non-null)
+     *         receives a human-readable reason.
+     */
+    static bool dirWritable(const std::string &dir,
+                            std::string *why = nullptr);
+
+    const std::string &dir() const { return dir_; }
+    uint64_t maxBytes() const { return maxBytes_; }
+
+    /** @return the artifact path for (@p key, @p trace_hash). */
+    std::string pathFor(const std::string &key,
+                        uint64_t trace_hash) const;
+
+    /**
+     * Loads the artifact for (@p key, @p trace_hash) into @p out,
+     * whose snapshots are deserialized into cold machines built for
+     * @p cfg (which must embody the same geometry the key encodes).
+     *
+     * @return true on a verified hit. On miss or any verification
+     *         failure returns false and, when the file existed but
+     *         was unusable, stores a reason in @p why (if non-null);
+     *         a plain miss leaves @p why empty.
+     */
+    bool load(const std::string &key, uint64_t trace_hash,
+              const SimConfig &cfg, SampledWarmState &out,
+              std::string *why = nullptr) const;
+
+    /**
+     * Incremental artifact writer, hooked into the streaming warm
+     * pass as its SnapshotObserver: each published snapshot is
+     * serialized and appended on the spot. commit() publishes the
+     * file atomically; destruction without commit() discards the
+     * partial temp file (e.g. when an interval job threw).
+     */
+    class Writer : public SnapshotObserver
+    {
+      public:
+        /** Opens a temp file for (@p key, @p trace_hash) under
+         *  @p store; @p interval_ops / @p warmup_ops are the sample
+         *  spec being warmed. Check failed() before streaming. */
+        Writer(WarmArtifactStore &store, std::string key,
+               uint64_t trace_hash, uint64_t interval_ops,
+               uint64_t warmup_ops);
+        ~Writer() override;
+
+        Writer(const Writer &) = delete;
+        Writer &operator=(const Writer &) = delete;
+
+        /** Serializes and appends snapshot @p k. */
+        void onSnapshot(size_t k, const MachineSnapshot &snap)
+            override;
+
+        /** @return true when any write so far failed (disk full,
+         *  permission change); commit() will refuse. */
+        bool failed() const { return failed_; }
+
+        /**
+         * Seals the payload (checksum + snapshot count), publishes
+         * the temp file under its final name with an atomic rename,
+         * and applies the store's eviction cap.
+         * @return false (removing the temp file) on any I/O error.
+         */
+        bool commit();
+
+      private:
+        /** Appends @p bytes to the temp file and the checksum. */
+        void append(const std::string &bytes);
+
+        WarmArtifactStore &store_;
+        std::string key_;
+        uint64_t traceHash_;
+        std::string finalPath_;
+        std::string tmpPath_;
+        std::ofstream out_;
+        Fnv1a checksum_;
+        uint64_t count_ = 0;
+        bool failed_ = false;
+        bool committed_ = false;
+    };
+
+    /**
+     * One-shot convenience over Writer: persists an already-built
+     * @p warm for (@p key, @p trace_hash). @return false on I/O
+     * failure (the store is best-effort; callers proceed regardless).
+     */
+    bool save(const std::string &key, uint64_t trace_hash,
+              const SampledWarmState &warm);
+
+  private:
+    /** Deletes oldest-modified artifacts until the directory is
+     *  within maxBytes_, never touching @p spare. */
+    void evictToCap(const std::string &spare) const;
+
+    std::string dir_;
+    uint64_t maxBytes_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_WARM_STORE_H

@@ -331,5 +331,59 @@ TEST(Cli, RejectsContradictorySampleCombos)
         parseCli({"--sample", "5000", "--check=1000"}).ok());
 }
 
+TEST(Cli, ParsesArtifactStore)
+{
+    EXPECT_TRUE(parseCli({}).artifactDir.empty());
+    EXPECT_EQ(parseCli({}).artifactMaxBytes, 0u);
+
+    CliOptions opt = parseCli({"--sample", "10000",
+                               "--artifact-dir", "/tmp/warm",
+                               "--artifact-max-bytes",
+                               "1000000"});
+    ASSERT_TRUE(opt.ok()) << opt.error;
+    EXPECT_EQ(opt.artifactDir, "/tmp/warm");
+    EXPECT_EQ(opt.artifactMaxBytes, 1'000'000u);
+
+    // Both flags are documented.
+    EXPECT_NE(cliUsage().find("--artifact-dir"),
+              std::string::npos);
+    EXPECT_NE(cliUsage().find("--artifact-max-bytes"),
+              std::string::npos);
+}
+
+TEST(Cli, RejectsBadArtifactFlags)
+{
+    // Warm artifacts only exist in sampled mode.
+    CliOptions nosample =
+        parseCli({"--artifact-dir", "/tmp/warm"});
+    EXPECT_FALSE(nosample.ok());
+    EXPECT_NE(nosample.error.find("--sample"), std::string::npos);
+
+    EXPECT_FALSE(parseCli({"--sample", "10000", "--artifact-dir",
+                           "/tmp/a", "--artifact-dir", "/tmp/b"})
+                     .ok());
+    EXPECT_FALSE(
+        parseCli({"--sample", "10000", "--artifact-dir", ""})
+            .ok());
+    EXPECT_FALSE(
+        parseCli({"--sample", "10000", "--artifact-dir"}).ok());
+
+    // The byte cap is meaningless without a directory, and must be
+    // a number.
+    CliOptions capless =
+        parseCli({"--sample", "10000", "--artifact-max-bytes",
+                  "1000"});
+    EXPECT_FALSE(capless.ok());
+    EXPECT_NE(capless.error.find("--artifact-dir"),
+              std::string::npos);
+    EXPECT_FALSE(parseCli({"--sample", "10000", "--artifact-dir",
+                           "/tmp/warm", "--artifact-max-bytes",
+                           "lots"})
+                     .ok());
+    EXPECT_FALSE(parseCli({"--sample", "10000", "--artifact-dir",
+                           "/tmp/warm", "--artifact-max-bytes"})
+                     .ok());
+}
+
 } // namespace
 } // namespace crisp

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "sim/artifact_cache.h"
 #include "sim/driver.h"
@@ -83,6 +84,92 @@ TEST(ThreadPool, ZeroSelectsHardwareConcurrency)
     ThreadPool pool(0);
     EXPECT_GE(pool.size(), 1u);
     EXPECT_EQ(pool.size(), ThreadPool::defaultJobs());
+}
+
+// ---------------------------------------------------------------
+// ThreadPool::Stream (the pipelined sampled path's work feed)
+// ---------------------------------------------------------------
+
+TEST(ThreadPoolStream, RunsEverySubmittedTaskExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 4u}) {
+        ThreadPool pool(jobs);
+        std::vector<int> hits(500, 0);
+        ThreadPool::Stream stream(pool);
+        for (size_t i = 0; i < hits.size(); ++i)
+            stream.submit([&hits, i] { hits[i]++; });
+        stream.wait();
+        for (int h : hits)
+            EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(ThreadPoolStream, WaitIsRepeatableAndIncremental)
+{
+    ThreadPool pool(3);
+    ThreadPool::Stream stream(pool);
+    std::atomic<int> count{0};
+    for (int round = 1; round <= 4; ++round) {
+        for (int i = 0; i < 10; ++i)
+            stream.submit([&] { count++; });
+        stream.wait();
+        EXPECT_EQ(count.load(), 10 * round);
+    }
+}
+
+TEST(ThreadPoolStream, RethrowsFirstTaskException)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        ThreadPool pool(jobs);
+        {
+            ThreadPool::Stream stream(pool);
+            bool threw = false;
+            try {
+                for (int i = 0; i < 50; ++i)
+                    stream.submit([i] {
+                        if (i == 13)
+                            throw std::runtime_error("boom");
+                    });
+                stream.wait();
+            } catch (const std::runtime_error &) {
+                threw = true;
+            }
+            EXPECT_TRUE(threw);
+        }
+        // The pool survives a failed stream; parallelFor and a
+        // fresh stream both still work.
+        std::atomic<int> ok{0};
+        pool.parallelFor(8, [&](size_t) { ok++; });
+        ThreadPool::Stream again(pool);
+        again.submit([&] { ok++; });
+        again.wait();
+        EXPECT_EQ(ok.load(), 9);
+    }
+}
+
+TEST(ThreadPoolStream, SizeOnePoolRunsInline)
+{
+    ThreadPool pool(1);
+    ThreadPool::Stream stream(pool);
+    std::thread::id runner;
+    stream.submit(
+        [&] { runner = std::this_thread::get_id(); });
+    // Inline execution: the task already ran, on this thread.
+    EXPECT_EQ(runner, std::this_thread::get_id());
+    stream.wait();
+}
+
+TEST(ThreadPoolStream, DestructionDrainsWithoutCommit)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    {
+        ThreadPool::Stream stream(pool);
+        for (int i = 0; i < 100; ++i)
+            stream.submit([&] { count++; });
+        // No wait(): the destructor must drain, not abandon.
+    }
+    EXPECT_EQ(count.load(), 100);
 }
 
 // ---------------------------------------------------------------

@@ -140,9 +140,15 @@ TEST(WarmPass, SnapshotZeroIsColdAndLaterSnapshotsAreWarm)
 
     EXPECT_EQ(cold.warmCycle, 0u);
     EXPECT_GT(hot.warmCycle, 0u);
+    // The warm pass runs on the stat-free fast path, so warmth shows
+    // in cache *content*, never in counters (which adoption would
+    // zero anyway).
     EXPECT_EQ(cold.mem.l1d().stats().accesses, 0u);
-    EXPECT_GT(hot.mem.l1d().stats().accesses, 0u);
-    EXPECT_GT(hot.mem.l1i().stats().accesses, 0u);
+    EXPECT_EQ(hot.mem.l1d().stats().accesses, 0u);
+    uint64_t first_pc = trace->ops[0].pc;
+    EXPECT_FALSE(cold.mem.l1i().contains(first_pc));
+    EXPECT_TRUE(hot.mem.l1i().contains(first_pc) ||
+                hot.mem.llc().contains(first_pc));
 
     // The data line touched last before the boundary is still warm
     // (L1D, or LLC if an unlucky set conflict evicted it).
@@ -412,12 +418,120 @@ TEST_P(SampledFidelity, Ibda)
         << sampled.total.ipc();
 }
 
+/**
+ * The PR 7 contract: the streaming producer/consumer schedule (warm
+ * pass overlapped with detailed intervals) is bit-identical to the
+ * barrier schedule on every workload × scheduler variant.
+ */
+TEST_P(SampledFidelity, PipelinedMatchesBarrierAllVariants)
+{
+    struct Variant
+    {
+        const char *label;
+        SimConfig cfg;
+        std::shared_ptr<const Trace> trace;
+    };
+    std::vector<Variant> variants;
+
+    SimConfig ooo = SimConfig::skylake();
+    ooo.scheduler = SchedulerPolicy::OldestFirst;
+    variants.push_back(
+        {"ooo", ooo, cache().trace(wl(), InputSet::Ref, kRefOps)});
+
+    SimConfig crisp_cfg = SimConfig::skylake();
+    crisp_cfg.scheduler = SchedulerPolicy::CrispPriority;
+    variants.push_back({"crisp", crisp_cfg,
+                        cache().taggedRefTrace(wl(), CrispOptions{},
+                                               crisp_cfg, kTrainOps,
+                                               kRefOps)});
+
+    SimConfig ibda = ibdaConfig(SimConfig::skylake(), "1K");
+    variants.push_back(
+        {"ibda", ibda, cache().trace(wl(), InputSet::Ref, kRefOps)});
+
+    for (auto &v : variants) {
+        SCOPED_TRACE(v.label);
+        SimConfig scfg = sampledConfig(v.cfg);
+        SampledWarmState warm = buildWarmState(*v.trace, scfg);
+        SampledResult barrier =
+            runCoreSampled(*v.trace, scfg, &warm);
+        SampledResult piped = runCoreSampled(*v.trace, scfg);
+
+        EXPECT_FALSE(barrier.warmPassRan);
+        EXPECT_TRUE(piped.warmPassRan);
+        ASSERT_EQ(barrier.intervals.size(), piped.intervals.size());
+        expectIdentical(barrier.total, piped.total);
+        for (size_t k = 0; k < barrier.intervals.size(); ++k) {
+            SCOPED_TRACE("interval " + std::to_string(k));
+            expectIdentical(barrier.intervals[k],
+                            piped.intervals[k]);
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, SampledFidelity,
     ::testing::ValuesIn(workloadNames()),
     [](const ::testing::TestParamInfo<std::string> &pinfo) {
         return pinfo.param;
     });
+
+// ---------------------------------------------------------------
+// Pipelined schedule: snapshot lifetime and phase accounting.
+// ---------------------------------------------------------------
+
+/**
+ * Streaming runs free each snapshot as its interval job adopts it:
+ * the backpressure cap bounds how many are simultaneously alive, no
+ * matter how many intervals the trace has. The barrier schedule by
+ * construction holds all of them.
+ */
+TEST(Pipelining, SnapshotLifetimeIsBounded)
+{
+    const WorkloadInfo *wl = findWorkload("mcf");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, kRefOps);
+
+    SimConfig scfg = SimConfig::skylake();
+    scfg.sampleOps = 10'000; // 9 intervals of the 90k-op trace
+    scfg.sampleWarmupOps = 5'000;
+    scfg.sampleJobs = 2;
+    const uint64_t num_intervals =
+        (trace->size() + scfg.sampleOps - 1) / scfg.sampleOps;
+    ASSERT_GE(num_intervals, 8u);
+
+    SampledResult piped = runCoreSampled(*trace, scfg);
+    EXPECT_TRUE(piped.warmPassRan);
+    EXPECT_GT(piped.peakLiveSnapshots, 0u);
+    // The producer stalls at max(2 * jobs, 4) live snapshots.
+    EXPECT_LE(piped.peakLiveSnapshots,
+              uint64_t(std::max(2 * scfg.sampleJobs, 4u)));
+
+    SampledWarmState warm = buildWarmState(*trace, scfg);
+    SampledResult barrier = runCoreSampled(*trace, scfg, &warm);
+    EXPECT_EQ(barrier.peakLiveSnapshots, num_intervals);
+    expectIdentical(barrier.total, piped.total);
+}
+
+/** Phase timing lands in the result: a streaming run reports a warm
+ *  phase; a barrier run with external warm state reports none. */
+TEST(Pipelining, PhaseTimingIsReported)
+{
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    auto trace = cache().trace(*wl, InputSet::Ref, kRefOps);
+    SimConfig scfg = sampledConfig(SimConfig::skylake());
+
+    SampledResult piped = runCoreSampled(*trace, scfg);
+    EXPECT_GT(piped.warmSeconds, 0.0);
+    EXPECT_GE(piped.detailSeconds, piped.warmSeconds);
+    EXPECT_GE(piped.stitchSeconds, 0.0);
+
+    SampledWarmState warm = buildWarmState(*trace, scfg);
+    SampledResult barrier = runCoreSampled(*trace, scfg, &warm);
+    EXPECT_EQ(barrier.warmSeconds, 0.0);
+    EXPECT_GT(barrier.detailSeconds, 0.0);
+}
 
 } // namespace
 } // namespace crisp

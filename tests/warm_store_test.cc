@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the persistent warm-artifact store (DESIGN.md §14):
+ * byte-identical disk round-trips, corruption tolerance (truncated,
+ * bit-flipped, version-skewed and magic-less files all fall back
+ * with a reason, never crash), filename-collision detection via the
+ * stored key, the byte-cap eviction policy, temp-file hygiene of the
+ * incremental Writer, and dirWritable() probing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sim/artifact_cache.h"
+#include "sim/sampled.h"
+#include "sim/warm_store.h"
+#include "workloads/workload.h"
+
+namespace fs = std::filesystem;
+
+namespace crisp
+{
+namespace
+{
+
+/** Shared across all tests in this binary. */
+ArtifactCache &
+cache()
+{
+    static ArtifactCache c;
+    return c;
+}
+
+/** A sampled config small enough to warm in milliseconds. */
+SimConfig
+testConfig()
+{
+    SimConfig cfg = SimConfig::skylake();
+    cfg.sampleOps = 10'000;
+    cfg.sampleWarmupOps = 5'000;
+    return cfg;
+}
+
+/** @return serializeSnapshot() bytes of @p snap. */
+std::string
+snapshotBytes(const MachineSnapshot &snap)
+{
+    WarmSink sink;
+    serializeSnapshot(snap, sink);
+    return sink.bytes();
+}
+
+/** Reads a whole file into a string (empty if unreadable). */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string s((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+    return s;
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+class WarmStoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("crisp_warm_store_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        fs::remove_all(dir_);
+
+        const WorkloadInfo *wl = findWorkload("pointer_chase");
+        ASSERT_NE(wl, nullptr);
+        trace_ = cache().trace(*wl, InputSet::Ref, 40'000);
+        cfg_ = testConfig();
+        key_ = warmStateKey(cfg_);
+        hash_ = traceContentHash(*trace_);
+        warm_ = buildWarmState(*trace_, cfg_);
+        ASSERT_GE(warm_.snapshots.size(), 2u);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    /** Saves the reference warm state and returns its path. */
+    std::string savedPath()
+    {
+        WarmArtifactStore store(dir_);
+        EXPECT_TRUE(store.save(key_, hash_, warm_));
+        std::string path = store.pathFor(key_, hash_);
+        EXPECT_TRUE(fs::exists(path));
+        return path;
+    }
+
+    /** Expects load() to reject the artifact with a reason. */
+    void expectRejected(const char *what)
+    {
+        SCOPED_TRACE(what);
+        WarmArtifactStore store(dir_);
+        SampledWarmState out;
+        std::string why;
+        EXPECT_FALSE(store.load(key_, hash_, cfg_, out, &why));
+        EXPECT_FALSE(why.empty());
+    }
+
+    std::string dir_;
+    std::shared_ptr<const Trace> trace_;
+    SimConfig cfg_;
+    std::string key_;
+    uint64_t hash_ = 0;
+    SampledWarmState warm_;
+};
+
+TEST_F(WarmStoreTest, RoundTripIsByteIdentical)
+{
+    savedPath();
+    WarmArtifactStore store(dir_);
+    SampledWarmState loaded;
+    std::string why;
+    ASSERT_TRUE(store.load(key_, hash_, cfg_, loaded, &why)) << why;
+    EXPECT_TRUE(why.empty());
+
+    EXPECT_EQ(loaded.intervalOps, warm_.intervalOps);
+    EXPECT_EQ(loaded.warmupOps, warm_.warmupOps);
+    ASSERT_EQ(loaded.snapshots.size(), warm_.snapshots.size());
+    for (size_t k = 0; k < warm_.snapshots.size(); ++k) {
+        SCOPED_TRACE("snapshot " + std::to_string(k));
+        EXPECT_EQ(loaded.snapshots[k].beginOp,
+                  warm_.snapshots[k].beginOp);
+        // The loaded machine must re-serialize to the exact bytes
+        // of the original — content equality, not just stat
+        // equality.
+        EXPECT_EQ(snapshotBytes(loaded.snapshots[k]),
+                  snapshotBytes(warm_.snapshots[k]));
+    }
+}
+
+TEST_F(WarmStoreTest, PlainMissLeavesWhyEmpty)
+{
+    WarmArtifactStore store(dir_);
+    SampledWarmState out;
+    std::string why = "stale";
+    EXPECT_FALSE(store.load(key_, hash_, cfg_, out, &why));
+    EXPECT_TRUE(why.empty());
+}
+
+TEST_F(WarmStoreTest, TruncatedArtifactFallsBack)
+{
+    std::string path = savedPath();
+    uint64_t full = fs::file_size(path);
+
+    // Mid-payload truncation: checksum catches it.
+    fs::resize_file(path, full - 7);
+    expectRejected("payload truncated");
+
+    // Header-level truncation: too short to even parse.
+    fs::resize_file(path, 10);
+    expectRejected("header truncated");
+}
+
+TEST_F(WarmStoreTest, BitFlipFallsBack)
+{
+    std::string path = savedPath();
+    std::string bytes = slurp(path);
+    ASSERT_GT(bytes.size(), 100u);
+    bytes[bytes.size() / 2] ^= 0x40;
+    spit(path, bytes);
+    expectRejected("payload bit flip");
+}
+
+TEST_F(WarmStoreTest, VersionMismatchFallsBack)
+{
+    std::string path = savedPath();
+    std::string bytes = slurp(path);
+    // u32 format version lives at offset 8, after the 8-byte magic.
+    bytes[8] = char(WarmArtifactStore::kFormatVersion + 1);
+    spit(path, bytes);
+    expectRejected("version skew");
+}
+
+TEST_F(WarmStoreTest, BadMagicFallsBack)
+{
+    std::string path = savedPath();
+    std::string bytes = slurp(path);
+    bytes[0] = 'X';
+    spit(path, bytes);
+    expectRejected("bad magic");
+}
+
+TEST_F(WarmStoreTest, FilenameCollisionDetectedByStoredKey)
+{
+    std::string path = savedPath();
+    // Simulate a filename-hash collision: the artifact of key_
+    // sitting at the path of a different key. The stored full key
+    // string must expose the lie.
+    SimConfig other_cfg = cfg_;
+    other_cfg.sampleWarmupOps = 0;
+    std::string other_key = warmStateKey(other_cfg);
+    ASSERT_NE(other_key, key_);
+    WarmArtifactStore store(dir_);
+    fs::copy_file(path, store.pathFor(other_key, hash_));
+
+    SampledWarmState out;
+    std::string why;
+    EXPECT_FALSE(
+        store.load(other_key, hash_, other_cfg, out, &why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST_F(WarmStoreTest, EvictionHonorsByteCap)
+{
+    std::string first = savedPath();
+    uint64_t size = fs::file_size(first);
+    // Age the first artifact so eviction order is unambiguous.
+    fs::last_write_time(first, fs::last_write_time(first) -
+                                   std::chrono::hours(1));
+
+    // A cap that fits one artifact but not two: committing the
+    // second must evict the first and spare the file just written.
+    WarmArtifactStore capped(dir_, size + size / 2);
+    EXPECT_TRUE(capped.save(key_, hash_ + 1, warm_));
+    EXPECT_FALSE(fs::exists(first));
+    EXPECT_TRUE(fs::exists(capped.pathFor(key_, hash_ + 1)));
+}
+
+TEST_F(WarmStoreTest, AbandonedWriterLeavesNothingBehind)
+{
+    WarmArtifactStore store(dir_);
+    {
+        WarmArtifactStore::Writer writer(store, key_, hash_,
+                                         cfg_.sampleOps,
+                                         cfg_.sampleWarmupOps);
+        ASSERT_FALSE(writer.failed());
+        writer.onSnapshot(0, warm_.snapshots[0]);
+        // Destroyed without commit(), e.g. an interval job threw.
+    }
+    EXPECT_FALSE(fs::exists(store.pathFor(key_, hash_)));
+    for (const auto &e : fs::directory_iterator(dir_))
+        ADD_FAILURE() << "leftover file: " << e.path();
+}
+
+TEST_F(WarmStoreTest, StreamedWriterMatchesOneShotSave)
+{
+    WarmArtifactStore store(dir_);
+    {
+        WarmArtifactStore::Writer writer(store, key_, hash_,
+                                         cfg_.sampleOps,
+                                         cfg_.sampleWarmupOps);
+        ASSERT_FALSE(writer.failed());
+        for (size_t k = 0; k < warm_.snapshots.size(); ++k)
+            writer.onSnapshot(k, warm_.snapshots[k]);
+        EXPECT_TRUE(writer.commit());
+    }
+    std::string streamed = slurp(store.pathFor(key_, hash_));
+
+    fs::remove(store.pathFor(key_, hash_));
+    ASSERT_TRUE(store.save(key_, hash_, warm_));
+    EXPECT_EQ(streamed, slurp(store.pathFor(key_, hash_)));
+}
+
+TEST(WarmStoreDir, RejectsPathObstructedByFile)
+{
+    std::string file =
+        (fs::temp_directory_path() / "crisp_warm_store_obstruction")
+            .string();
+    spit(file, "not a directory");
+    std::string under = file + "/sub";
+
+    std::string why;
+    EXPECT_FALSE(WarmArtifactStore::dirWritable(under, &why));
+    EXPECT_FALSE(why.empty());
+
+    // Constructing a store anyway degrades to always-miss, never a
+    // crash: saves fail, loads miss.
+    WarmArtifactStore store(under);
+    SimConfig cfg = testConfig();
+    SampledWarmState out;
+    EXPECT_FALSE(store.load(warmStateKey(cfg), 1, cfg, out));
+    fs::remove(file);
+}
+
+TEST(WarmStoreDir, CreatesMissingDirectory)
+{
+    std::string dir = (fs::temp_directory_path() /
+                       "crisp_warm_store_fresh" / "nested")
+                          .string();
+    fs::remove_all(fs::temp_directory_path() /
+                   "crisp_warm_store_fresh");
+    std::string why;
+    EXPECT_TRUE(WarmArtifactStore::dirWritable(dir, &why)) << why;
+    EXPECT_TRUE(fs::is_directory(dir));
+    fs::remove_all(fs::temp_directory_path() /
+                   "crisp_warm_store_fresh");
+}
+
+} // namespace
+} // namespace crisp

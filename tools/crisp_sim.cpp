@@ -14,6 +14,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "sim/sampled.h"
 #include "sim/table.h"
 #include "sim/thread_pool.h"
+#include "sim/warm_store.h"
 #include "telemetry/interval.h"
 #include "telemetry/pc_profiler.h"
 #include "telemetry/pipe_tracer.h"
@@ -124,13 +126,15 @@ report(const char *label, const CoreStats &s)
  * (SimDeadlockError) is caught and reported at a single place.
  */
 int
-runSim(const CliOptions &opt, const WorkloadInfo *wl)
+runSim(const CliOptions &opt, const WorkloadInfo *wl,
+       WarmArtifactStore *store)
 {
     std::printf("workload: %s — %s\n", wl->name.c_str(),
                 wl->description.c_str());
     std::printf("machine : %s\n\n", opt.machine.describe().c_str());
 
     ArtifactCache cache;
+    cache.setWarmStore(store);
     const CrispAnalysis &a = *cache.analysis(*wl, opt.analysis,
                                              opt.machine,
                                              opt.trainOps);
@@ -207,6 +211,24 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
     // the registry exports.
     const bool sampled = opt.machine.sampleOps > 0;
     std::vector<std::vector<CoreStats>> interval_stats(runs.size());
+
+    // Warm-pass strategy per sampled variant (DESIGN.md §14). A
+    // variant whose warm state already exists — on disk, or built by
+    // an earlier variant with the same warm key and trace — adopts it
+    // under the barrier schedule with no warm pass at all. A cold
+    // variant runs the pipelined schedule (warm pass overlapped with
+    // detailed simulation), persisting incrementally when a store is
+    // attached. Variants that *will* share a warm key (only possible
+    // without a store, which would hand the state across via disk)
+    // build it once through the cache instead of streaming it away.
+    std::map<std::string, size_t> share_count;
+    std::map<std::string, std::shared_ptr<const SampledWarmState>>
+        shared_warm;
+    if (sampled && !store)
+        for (const Variant &v : runs)
+            share_count[(v.tagged ? "tagged:" : "ref:") +
+                        warmStateKey(v.cfg)]++;
+
     ThreadPool pool(sampled ? 1 : opt.jobs);
     pool.parallelFor(runs.size(), [&](size_t i) {
         Variant &v = runs[i];
@@ -217,19 +239,69 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl)
                                        opt.refOps)
                 : cache.trace(*wl, InputSet::Ref, opt.refOps);
         if (sampled) {
-            // Warm states come from the cache: variants whose
-            // warm-relevant geometry matches (e.g. ooo and crisp)
-            // share one functional warm pass.
-            auto warm =
-                v.tagged ? cache.warmStateTagged(*wl, opt.analysis,
-                                                 opt.machine,
-                                                 opt.trainOps,
-                                                 opt.refOps)
-                         : cache.warmState(*wl, InputSet::Ref,
-                                           opt.refOps, v.cfg);
+            const std::string wkey = warmStateKey(v.cfg);
+            const std::string skey =
+                (v.tagged ? "tagged:" : "ref:") + wkey;
+            std::shared_ptr<const SampledWarmState> warm;
+            std::unique_ptr<WarmArtifactStore::Writer> writer;
+            if (store) {
+                uint64_t thash = traceContentHash(*trace);
+                auto loaded = std::make_shared<SampledWarmState>();
+                std::string why;
+                if (store->load(wkey, thash, v.cfg, *loaded, &why)) {
+                    warm = std::move(loaded);
+                    std::fprintf(stderr,
+                                 "[%s] warm pass skipped "
+                                 "(artifact hit)\n",
+                                 v.label);
+                } else {
+                    if (!why.empty())
+                        std::fprintf(stderr,
+                                     "warning: %s; recomputing "
+                                     "warm state\n",
+                                     why.c_str());
+                    writer = std::make_unique<
+                        WarmArtifactStore::Writer>(
+                        *store, wkey, thash, opt.machine.sampleOps,
+                        opt.machine.sampleWarmupOps);
+                    if (writer->failed()) {
+                        std::fprintf(stderr,
+                                     "warning: cannot write warm "
+                                     "artifact under %s\n",
+                                     store->dir().c_str());
+                        writer.reset();
+                    }
+                }
+            } else if (auto it = shared_warm.find(skey);
+                       it != shared_warm.end()) {
+                warm = it->second;
+                std::fprintf(stderr,
+                             "[%s] warm pass skipped "
+                             "(shared with earlier variant)\n",
+                             v.label);
+            } else if (share_count[skey] > 1) {
+                warm = v.tagged
+                           ? cache.warmStateTagged(
+                                 *wl, opt.analysis, opt.machine,
+                                 opt.trainOps, opt.refOps)
+                           : cache.warmState(*wl, InputSet::Ref,
+                                             opt.refOps, v.cfg);
+                shared_warm[skey] = warm;
+            }
             SampledResult r = runCoreSampled(
                 *trace, v.cfg, warm.get(), profilers[i].get(),
-                i == traced ? tracer.get() : nullptr);
+                i == traced ? tracer.get() : nullptr, false,
+                writer.get());
+            if (writer)
+                writer->commit();
+            // Wall-clock phase split stays off stdout, which is
+            // bit-identical across --jobs and artifact hits.
+            std::fprintf(stderr,
+                         "[%s] phase seconds: warm=%.3f "
+                         "detail=%.3f stitch=%.3f%s\n",
+                         v.label, r.warmSeconds, r.detailSeconds,
+                         r.stitchSeconds,
+                         r.warmPassRan ? " (pipelined)" : "");
             v.stats = std::move(r.total);
             interval_stats[i] = std::move(r.intervals);
         } else {
@@ -393,8 +465,23 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // The artifact directory is validated before any simulation: a
+    // misspelled or read-only path should fail in milliseconds, not
+    // after a full warm pass fails to persist.
+    std::unique_ptr<WarmArtifactStore> store;
+    if (!opt.artifactDir.empty()) {
+        std::string why;
+        if (!WarmArtifactStore::dirWritable(opt.artifactDir, &why)) {
+            std::fprintf(stderr, "crisp_sim: --artifact-dir: %s\n",
+                         why.c_str());
+            return 2;
+        }
+        store = std::make_unique<WarmArtifactStore>(
+            opt.artifactDir, opt.artifactMaxBytes);
+    }
+
     try {
-        return runSim(opt, wl);
+        return runSim(opt, wl, store.get());
     } catch (const std::exception &e) {
         // An InvariantViolation from a --check audit or a deadlock
         // abort: report it and exit nonzero instead of letting the
