@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "check/invariant_checker.h"
+#include "sim/cancel.h"
 #include "telemetry/pc_profiler.h"
 #include "telemetry/pipe_tracer.h"
 #include "telemetry/stat_registry.h"
@@ -610,6 +611,12 @@ Core::run(uint64_t max_cycles, bool record_timeline)
         warmMarkTaken_ = true;
 
     while (stats_.retired < trace_.size() && cycle_ < max_cycles) {
+        // Cooperative cancellation (sim/cancel.h): one relaxed load
+        // per executed tick when a token is attached, a pointer test
+        // otherwise. Executed ticks, not cycle values, so the event
+        // engine polls exactly as often as it does work.
+        if (cancel_)
+            cancel_->throwIfCancelled("core run");
         ++cycle_;
         bool work = retireStage();
         work = (eventMode_ ? issueStageEvent() : issueStageCycle()) ||

@@ -56,6 +56,7 @@
 namespace crisp
 {
 
+class CancelToken;
 class InvariantChecker;
 class PcProfiler;
 class PipeTracer;
@@ -258,6 +259,16 @@ class Core
         measureFromOp_ = warm_ops;
     }
 
+    /**
+     * Attaches a cooperative cancellation token (sim/cancel.h): the
+     * run loop polls it on every executed tick and unwinds with
+     * JobCancelled when it fires. The sweep server's cancel and
+     * per-job timeout machinery hangs off this. Pass nullptr to
+     * detach; when detached the poll is one pointer test. The token
+     * must outlive run().
+     */
+    void setCancel(const CancelToken *cancel) { cancel_ = cancel; }
+
   private:
     // Sampled simulation (src/sim/sampled.cc) injects functional
     // warm state into the private memory/frontend/IBDA components
@@ -309,6 +320,7 @@ class Core
     PipeTracer *tracer_ = nullptr;
     PcProfiler *profiler_ = nullptr;
     IntervalStreamer *interval_ = nullptr;
+    const CancelToken *cancel_ = nullptr;
     std::unique_ptr<InvariantChecker> checker_;
 
     // Detailed warm-up mark (setMeasureFromOp). heldProfiler_ parks

@@ -1,0 +1,109 @@
+#include "serve/job_queue.h"
+
+#include <algorithm>
+
+namespace crisp
+{
+
+bool
+JobQueue::push(QueueEntry e, bool bypassCapacity)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    if (!bypassCapacity)
+        spaceCv_.wait(lk, [&] {
+            return closed_ || entries_.size() < capacity_;
+        });
+    if (closed_)
+        return false;
+    e.seq = nextSeq_++;
+    entries_.push_back(std::move(e));
+    readyCv_.notify_one();
+    return true;
+}
+
+std::list<QueueEntry>::iterator
+JobQueue::bestReady(std::chrono::steady_clock::time_point now)
+{
+    auto best = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->notBefore > now)
+            continue;
+        if (best == entries_.end() ||
+            it->priority > best->priority ||
+            (it->priority == best->priority && it->seq < best->seq))
+            best = it;
+    }
+    return best;
+}
+
+std::optional<QueueEntry>
+JobQueue::pop()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+        auto now = std::chrono::steady_clock::now();
+        auto best = bestReady(now);
+        if (best != entries_.end()) {
+            QueueEntry e = std::move(*best);
+            entries_.erase(best);
+            spaceCv_.notify_one();
+            return e;
+        }
+        if (closed_ && entries_.empty())
+            return std::nullopt;
+        if (entries_.empty()) {
+            readyCv_.wait(lk);
+        } else {
+            // Only future (backoff) entries exist: sleep until the
+            // earliest matures or a new entry / close wakes us.
+            auto earliest = entries_.front().notBefore;
+            for (const QueueEntry &e : entries_)
+                earliest = std::min(earliest, e.notBefore);
+            readyCv_.wait_until(lk, earliest);
+        }
+    }
+}
+
+bool
+JobQueue::remove(const std::string &jobId)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->jobId == jobId) {
+            entries_.erase(it);
+            spaceCv_.notify_one();
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<QueueEntry>
+JobQueue::drainAll()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::vector<QueueEntry> out(
+        std::make_move_iterator(entries_.begin()),
+        std::make_move_iterator(entries_.end()));
+    entries_.clear();
+    spaceCv_.notify_all();
+    return out;
+}
+
+void
+JobQueue::close()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    closed_ = true;
+    readyCv_.notify_all();
+    spaceCv_.notify_all();
+}
+
+size_t
+JobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return entries_.size();
+}
+
+} // namespace crisp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bounded priority queue feeding the sweep server's worker pool.
+ *
+ * Entries are job IDs ordered by (priority desc, submission seq asc):
+ * higher priority runs first, ties run in arrival order, so a
+ * single-worker server executes a same-priority sweep exactly in
+ * submission order. An entry may carry a notBefore time (retry
+ * backoff); it is invisible to pop() until that time, and pop()
+ * sleeps until the earliest future entry matures when nothing is
+ * ready.
+ *
+ * The capacity bound is the server's backpressure: push() blocks the
+ * submitting connection while the queue is full, so a flood of
+ * submits degrades into a slow client instead of unbounded memory.
+ * Retries bypass the bound (bypassCapacity) — a worker must never
+ * block on the queue it is draining, or retries under a full queue
+ * would deadlock the pool.
+ */
+
+#ifndef CRISP_SERVE_JOB_QUEUE_H
+#define CRISP_SERVE_JOB_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crisp
+{
+
+/** One queued job reference. */
+struct QueueEntry
+{
+    std::string jobId;
+    int priority = 0;
+    uint64_t seq = 0; ///< assigned by the queue, arrival-ordered
+    /** Entries stay invisible to pop() until this time (retry
+     *  backoff); default = immediately eligible. */
+    std::chrono::steady_clock::time_point notBefore{};
+};
+
+/** Bounded, closable priority queue of jobs (see file comment). */
+class JobQueue
+{
+  public:
+    /** @param cap capacity enforced on non-bypass push (>= 1). */
+    explicit JobQueue(size_t cap) : capacity_(cap ? cap : 1) {}
+
+    JobQueue(const JobQueue &) = delete;
+    JobQueue &operator=(const JobQueue &) = delete;
+
+    /**
+     * Enqueues @p e (its seq is assigned here), blocking while the
+     * queue is full unless @p bypassCapacity. @return false when the
+     * queue was closed (entry not enqueued).
+     */
+    bool push(QueueEntry e, bool bypassCapacity = false);
+
+    /**
+     * Dequeues the highest-priority eligible entry, blocking until
+     * one is eligible (sleeping until the earliest notBefore when
+     * only future entries exist). @return nullopt once the queue is
+     * closed and empty.
+     */
+    std::optional<QueueEntry> pop();
+
+    /**
+     * Removes the queued entry for @p jobId, if any (cancel before
+     * start). @return true when an entry was removed.
+     */
+    bool remove(const std::string &jobId);
+
+    /** Empties the queue. @return the removed entries (shutdown
+     *  requeue accounting). */
+    std::vector<QueueEntry> drainAll();
+
+    /** Closes the queue: pending and future push() fail, pop()
+     *  drains what is left then returns nullopt. */
+    void close();
+
+    /** @return current entry count (racy; monitoring only). */
+    size_t depth() const;
+
+    /** @return the capacity bound. */
+    size_t capacity() const { return capacity_; }
+
+  private:
+    /** @return the best eligible entry's iterator, or end(). Caller
+     *  holds the lock. */
+    std::list<QueueEntry>::iterator
+    bestReady(std::chrono::steady_clock::time_point now);
+
+    const size_t capacity_;
+    mutable std::mutex m_;
+    std::condition_variable readyCv_; ///< pop() waits for entries
+    std::condition_variable spaceCv_; ///< push() waits for space
+    std::list<QueueEntry> entries_;
+    uint64_t nextSeq_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SERVE_JOB_QUEUE_H

@@ -1,0 +1,463 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "serve/server.h"
+#include "sim/artifact_cache.h"
+#include "sim/cli.h"
+#include "telemetry/json.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+    case JobState::Queued:
+        return "queued";
+    case JobState::Running:
+        return "running";
+    case JobState::Done:
+        return "done";
+    case JobState::Failed:
+        return "failed";
+    case JobState::Cancelled:
+        return "cancelled";
+    case JobState::Requeued:
+        return "requeued";
+    }
+    return "unknown";
+}
+
+std::string
+jobIdFor(const std::string &key)
+{
+    // FNV-1a 64: stable across platforms and processes, so a client
+    // can compute a job's ID without asking the server.
+    uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    static const char hex[] = "0123456789abcdef";
+    std::string id = "j-";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        id += hex[(h >> shift) & 0xF];
+    return id;
+}
+
+namespace
+{
+
+/** Flags a submitted config may not carry: the server owns the
+ *  workload/variant axes, its own parallelism, and every host-side
+ *  output path. Matches "--flag" and "--flag=value" forms. */
+const char *const kForbiddenFlags[] = {
+    "--workload",  "--scheduler",   "--ist",
+    "--jobs",      "--list",        "--help",
+    "--stats-json", "--stats-csv",  "--stats-ndjson",
+    "--trace-pipe", "--save-trace", "--profile-pc",
+    "--artifact-dir", "--artifact-max-bytes",
+};
+
+bool
+forbiddenToken(const std::string &tok, std::string *which)
+{
+    for (const char *flag : kForbiddenFlags) {
+        std::string f(flag);
+        if (tok == f || tok.rfind(f + "=", 0) == 0) {
+            if (which)
+                *which = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+validVariant(const std::string &v)
+{
+    if (v == "ooo" || v == "crisp")
+        return true;
+    if (v.rfind("ibda-", 0) != 0)
+        return false;
+    std::string ist = v.substr(5);
+    return ist == "1K" || ist == "8K" || ist == "64K" ||
+           ist == "inf";
+}
+
+bool
+jsonUint(const JsonValue &v, uint64_t &out)
+{
+    if (!v.isNumber() || v.number < 0)
+        return false;
+    out = uint64_t(v.number);
+    return true;
+}
+
+/** Parses a submit body into a SweepRequest. @return false with
+ *  @p error set on a malformed grid. */
+bool
+parseSweep(const JsonValue &v, SweepRequest &out, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    auto strings = [&](const char *key,
+                       std::vector<std::string> &dst) {
+        if (!v.has(key))
+            return true;
+        const JsonValue &a = v.at(key);
+        if (!a.isArray())
+            return false;
+        for (const JsonValue &e : a.elements) {
+            if (!e.isString())
+                return false;
+            dst.push_back(e.text);
+        }
+        return true;
+    };
+    if (!strings("workloads", out.workloads))
+        return fail("\"workloads\" must be an array of strings");
+    if (!strings("variants", out.variants))
+        return fail("\"variants\" must be an array of strings");
+    if (out.workloads.empty())
+        return fail("submit needs at least one workload");
+    if (out.variants.empty())
+        return fail("submit needs at least one variant");
+    if (v.has("configs")) {
+        const JsonValue &cs = v.at("configs");
+        if (!cs.isArray())
+            return fail("\"configs\" must be an array of arrays");
+        for (const JsonValue &cfg : cs.elements) {
+            if (!cfg.isArray())
+                return fail(
+                    "each config must be an array of CLI tokens");
+            std::vector<std::string> tokens;
+            for (const JsonValue &t : cfg.elements) {
+                if (!t.isString())
+                    return fail("config tokens must be strings");
+                tokens.push_back(t.text);
+            }
+            out.configs.push_back(std::move(tokens));
+        }
+    }
+    if (v.has("train_ops") &&
+        !jsonUint(v.at("train_ops"), out.trainOps))
+        return fail("\"train_ops\" must be a non-negative number");
+    if (v.has("ref_ops") && !jsonUint(v.at("ref_ops"), out.refOps))
+        return fail("\"ref_ops\" must be a non-negative number");
+    if (v.has("priority")) {
+        if (!v.at("priority").isNumber())
+            return fail("\"priority\" must be a number");
+        out.priority = int(v.at("priority").number);
+    }
+    if (v.has("timeout_ms")) {
+        if (!jsonUint(v.at("timeout_ms"), out.timeoutMs))
+            return fail("\"timeout_ms\" must be a non-negative "
+                        "number");
+        out.timeoutSet = true;
+    }
+    if (v.has("max_retries")) {
+        uint64_t n = 0;
+        if (!jsonUint(v.at("max_retries"), n))
+            return fail("\"max_retries\" must be a non-negative "
+                        "number");
+        out.maxRetries = int(n);
+        out.retriesSet = true;
+    }
+    if (v.has("retry_backoff_ms")) {
+        if (!jsonUint(v.at("retry_backoff_ms"), out.retryBackoffMs))
+            return fail("\"retry_backoff_ms\" must be a "
+                        "non-negative number");
+        out.backoffSet = true;
+    }
+    return true;
+}
+
+std::vector<std::string>
+jobIdList(const JsonValue &v, const char *key)
+{
+    std::vector<std::string> ids;
+    if (v.has(key) && v.at(key).isArray())
+        for (const JsonValue &e : v.at(key).elements)
+            if (e.isString())
+                ids.push_back(e.text);
+    return ids;
+}
+
+std::string
+errorLine(const std::string &op, const std::string &message)
+{
+    return "{\"ok\":false,\"op\":" + jsonQuote(op) +
+           ",\"error\":" + jsonQuote(message) + "}";
+}
+
+std::string
+statusJson(const JobStatus &s)
+{
+    std::string out = "{\"id\":" + jsonQuote(s.id) +
+                      ",\"workload\":" + jsonQuote(s.workload) +
+                      ",\"variant\":" + jsonQuote(s.variant) +
+                      ",\"state\":" +
+                      jsonQuote(jobStateName(s.state)) +
+                      ",\"attempts\":" +
+                      jsonNumber(double(s.attempts));
+    if (s.state == JobState::Done)
+        out += ",\"ipc\":" + jsonNumber(s.ipc);
+    if (!s.error.empty())
+        out += ",\"error\":" + jsonQuote(s.error);
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+bool
+expandSweep(const SweepRequest &req, std::vector<JobSpec> &out,
+            std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    std::vector<std::vector<std::string>> configs = req.configs;
+    if (configs.empty())
+        configs.push_back({}); // one all-defaults config
+
+    std::vector<JobSpec> specs;
+    std::set<std::string> seen;
+    for (const std::string &wl : req.workloads) {
+        if (!findWorkload(wl))
+            return fail("unknown workload: " + wl);
+        for (const std::string &variant : req.variants) {
+            if (!validVariant(variant))
+                return fail(
+                    "unknown variant: " + variant +
+                    " (expected ooo, crisp, or ibda-{1K,8K,64K,"
+                    "inf})");
+            for (const std::vector<std::string> &cfg : configs) {
+                for (const std::string &tok : cfg) {
+                    std::string which;
+                    if (forbiddenToken(tok, &which))
+                        return fail("config flag " + which +
+                                    " is server-owned and not "
+                                    "accepted in sweep configs");
+                }
+                JobSpec spec;
+                spec.workload = wl;
+                spec.variant = variant;
+                spec.config = cfg;
+                if (req.trainOps > 0) {
+                    spec.config.push_back("--train");
+                    spec.config.push_back(
+                        std::to_string(req.trainOps));
+                }
+                if (req.refOps > 0) {
+                    spec.config.push_back("--ref");
+                    spec.config.push_back(
+                        std::to_string(req.refOps));
+                }
+                // cli.cc's validation verbatim: a config crisp_sim
+                // would refuse is refused here, with its message.
+                std::vector<std::string> args = {"--workload", wl};
+                args.insert(args.end(), spec.config.begin(),
+                            spec.config.end());
+                CliOptions opt = parseCli(args);
+                if (!opt.ok())
+                    return fail("invalid config for " + wl + "/" +
+                                variant + ": " + opt.error);
+                spec.trainOps = opt.trainOps;
+                spec.refOps = opt.refOps;
+                spec.priority = req.priority;
+                spec.timeoutMs = req.timeoutMs;
+                spec.maxRetries = req.maxRetries;
+                spec.retryBackoffMs = req.retryBackoffMs;
+                std::ostringstream key;
+                key << "wl=" << wl << ";variant=" << variant
+                    << ";train=" << opt.trainOps
+                    << ";ref=" << opt.refOps << ";cfg="
+                    << ArtifactCache::configKey(opt.machine)
+                    << ";opt="
+                    << ArtifactCache::optionsKey(opt.analysis)
+                    << ";sample=" << opt.machine.sampleOps << "/"
+                    << opt.machine.sampleWarmupOps;
+                spec.specKey = key.str();
+                spec.id = jobIdFor(spec.specKey);
+                // Equal grid points (e.g. duplicate config lists)
+                // collapse; the first occurrence wins.
+                if (seen.insert(spec.id).second)
+                    specs.push_back(std::move(spec));
+            }
+        }
+    }
+    out = std::move(specs);
+    return true;
+}
+
+ServeAction
+handleRequestLine(SweepServer &server, const std::string &line,
+                  const std::function<void(const std::string &)> &emit)
+{
+    JsonValue req;
+    std::string parseErr;
+    if (!parseJson(line, req, &parseErr)) {
+        emit(errorLine("", "malformed request: " + parseErr));
+        return ServeAction::Continue;
+    }
+    if (!req.isObject() || !req.has("op") ||
+        !req.at("op").isString()) {
+        emit(errorLine("", "request must be an object with a "
+                           "string \"op\""));
+        return ServeAction::Continue;
+    }
+    const std::string op = req.at("op").text;
+
+    if (op == "submit") {
+        if (!req.has("proto") || !req.at("proto").isNumber() ||
+            int(req.at("proto").number) != kServeProtoVersion) {
+            emit(errorLine(
+                op, "unsupported protocol version (server speaks " +
+                        std::to_string(kServeProtoVersion) + ")"));
+            return ServeAction::Continue;
+        }
+        SweepRequest sweep;
+        std::string err;
+        if (!parseSweep(req, sweep, &err)) {
+            emit(errorLine(op, err));
+            return ServeAction::Continue;
+        }
+        SweepServer::Submitted result;
+        if (!server.submit(sweep, result, &err)) {
+            emit(errorLine(op, err));
+            return ServeAction::Continue;
+        }
+        std::string out = "{\"ok\":true,\"op\":\"submit\",\"proto\":" +
+                          std::to_string(kServeProtoVersion) +
+                          ",\"fresh\":" +
+                          std::to_string(result.fresh) +
+                          ",\"deduped\":" +
+                          std::to_string(result.deduped) +
+                          ",\"jobs\":[";
+        for (size_t i = 0; i < result.jobs.size(); ++i) {
+            if (i)
+                out += ",";
+            out += statusJson(result.jobs[i]);
+        }
+        out += "]}";
+        emit(out);
+        return ServeAction::Continue;
+    }
+
+    if (op == "status") {
+        auto jobs = server.status(jobIdList(req, "jobs"));
+        std::string out = "{\"ok\":true,\"op\":\"status\",\"jobs\":[";
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            if (i)
+                out += ",";
+            out += statusJson(jobs[i]);
+        }
+        out += "]}";
+        emit(out);
+        return ServeAction::Continue;
+    }
+
+    if (op == "stream") {
+        if (!req.has("job") || !req.at("job").isString()) {
+            emit(errorLine(op, "stream needs a \"job\" ID"));
+            return ServeAction::Continue;
+        }
+        const std::string id = req.at("job").text;
+        size_t cursor = 0;
+        for (;;) {
+            std::vector<std::string> events;
+            bool terminal = false;
+            if (!server.waitEvents(id, cursor, events, terminal)) {
+                emit(errorLine(op, "unknown job: " + id));
+                return ServeAction::Continue;
+            }
+            for (const std::string &e : events)
+                emit(e);
+            cursor += events.size();
+            if (terminal)
+                return ServeAction::Continue;
+        }
+    }
+
+    if (op == "cancel") {
+        auto ids = jobIdList(req, "jobs");
+        if (ids.empty()) {
+            emit(errorLine(op, "cancel needs a \"jobs\" array"));
+            return ServeAction::Continue;
+        }
+        auto results = server.cancel(ids);
+        std::string out = "{\"ok\":true,\"op\":\"cancel\","
+                          "\"results\":[";
+        for (size_t i = 0; i < results.size(); ++i) {
+            if (i)
+                out += ",";
+            const auto &r = results[i];
+            out += "{\"id\":" + jsonQuote(r.id) +
+                   ",\"cancelled\":" +
+                   (r.cancelled ? "true" : "false");
+            if (r.unknown)
+                out += ",\"error\":\"unknown job\"";
+            else
+                out += ",\"state\":" +
+                       jsonQuote(jobStateName(r.state));
+            out += "}";
+        }
+        out += "]}";
+        emit(out);
+        return ServeAction::Continue;
+    }
+
+    if (op == "drain") {
+        server.drain();
+        auto jobs = server.status({});
+        size_t done = 0, failed = 0, cancelled = 0, requeued = 0;
+        for (const JobStatus &s : jobs) {
+            done += s.state == JobState::Done;
+            failed += s.state == JobState::Failed;
+            cancelled += s.state == JobState::Cancelled;
+            requeued += s.state == JobState::Requeued;
+        }
+        emit("{\"ok\":true,\"op\":\"drain\",\"jobs\":" +
+             std::to_string(jobs.size()) +
+             ",\"done\":" + std::to_string(done) +
+             ",\"failed\":" + std::to_string(failed) +
+             ",\"cancelled\":" + std::to_string(cancelled) +
+             ",\"requeued\":" + std::to_string(requeued) + "}");
+        return ServeAction::Continue;
+    }
+
+    if (op == "metrics") {
+        emit("{\"ok\":true,\"op\":\"metrics\",\"stats_json\":" +
+             jsonQuote(server.metricsJson()) + "}");
+        return ServeAction::Continue;
+    }
+
+    if (op == "shutdown") {
+        bool drain = true;
+        if (req.has("drain") &&
+            req.at("drain").kind == JsonValue::Kind::Bool)
+            drain = req.at("drain").boolean;
+        server.shutdown(drain);
+        emit("{\"ok\":true,\"op\":\"shutdown\",\"drained\":" +
+             std::string(drain ? "true" : "false") + "}");
+        return ServeAction::ShutdownServer;
+    }
+
+    emit(errorLine(op, "unknown op: " + op));
+    return ServeAction::Continue;
+}
+
+} // namespace crisp

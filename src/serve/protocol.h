@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Wire protocol of the crisp_serve sweep daemon (DESIGN.md §15).
+ *
+ * The protocol is newline-delimited JSON over a byte stream (a unix
+ * domain socket in production, a string pair in the loopback tests):
+ * every request is one JSON object on one line, every response one or
+ * more JSON lines. Multi-line payloads — a StatRegistry export is
+ * deliberately pretty-printed — travel as JSON *string* fields, so
+ * the framing stays one-record-per-line no matter what a record
+ * carries.
+ *
+ * Requests name an op: submit, status, stream, cancel, drain,
+ * metrics, shutdown. A submit carries a sweep — workloads × variants
+ * × config token lists — which the server expands into jobs with
+ * stable content-addressed IDs; everything else addresses those IDs.
+ * Config token lists reuse the crisp_sim CLI grammar and cli.cc's
+ * validation verbatim, so a config that crisp_sim would reject is
+ * rejected at submit time with the same message.
+ *
+ * This header is transport-free: handleRequestLine() maps one request
+ * line to response lines through an emit callback, which the socket
+ * layer (serve/transport.h) and the in-process loopback tests share.
+ */
+
+#ifndef CRISP_SERVE_PROTOCOL_H
+#define CRISP_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace crisp
+{
+
+class SweepServer;
+
+/** Protocol version; submits carrying any other version are refused
+ *  (bump on any incompatible job/result schema change). */
+constexpr int kServeProtoVersion = 1;
+
+/** Lifecycle of one job (see DESIGN.md §15 for the transitions). */
+enum class JobState {
+    Queued,    ///< waiting in the priority queue (or for a retry)
+    Running,   ///< executing on a worker
+    Done,      ///< finished; result available
+    Failed,    ///< exhausted retries or hit a non-retryable error
+    Cancelled, ///< explicitly cancelled (final; never retried)
+    Requeued,  ///< returned to the queue by a non-drain shutdown
+};
+
+/** @return the lowercase wire name of @p s ("queued", ...). */
+const char *jobStateName(JobState s);
+
+/**
+ * One expanded (workload, variant, config) simulation job. The spec
+ * is the unit of identity: two submissions that expand to the same
+ * canonical spec share one job, one result, and one set of cached
+ * artifacts.
+ */
+struct JobSpec
+{
+    std::string workload; ///< workload name (workloads/workload.h)
+    /** "ooo", "crisp", or "ibda-<ist>" with ist in {1K,8K,64K,inf}. */
+    std::string variant;
+    /** crisp_sim CLI tokens (machine/analysis/sample knobs only;
+     *  server-owned flags like --workload or --stats-json are
+     *  rejected at expansion). */
+    std::vector<std::string> config;
+
+    // Derived by expandSweep() from the parsed config.
+    uint64_t trainOps = 0;
+    uint64_t refOps = 0;
+
+    // Scheduling policy, inherited from the sweep.
+    int priority = 0;        ///< higher runs earlier
+    uint64_t timeoutMs = 0;  ///< per-attempt wall clock; 0 = none
+    int maxRetries = 0;      ///< extra attempts after a retryable failure
+    uint64_t retryBackoffMs = 100; ///< first backoff; doubles
+
+    /** Canonical identity: workload, variant, trace lengths, and the
+     *  ArtifactCache machine/options keys of the parsed config. */
+    std::string specKey;
+    /** "j-<16 hex>": FNV-1a of specKey. Stable across processes. */
+    std::string id;
+};
+
+/** One parsed submit request (the sweep grid, pre-expansion). */
+struct SweepRequest
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> variants;
+    /** Config token lists; an empty grid means one all-defaults
+     *  config. */
+    std::vector<std::vector<std::string>> configs;
+    uint64_t trainOps = 0; ///< 0 = config/CLI default
+    uint64_t refOps = 0;   ///< 0 = config/CLI default
+    int priority = 0;
+    uint64_t timeoutMs = 0;
+    int maxRetries = 0;
+    uint64_t retryBackoffMs = 100;
+    // Absent fields fall back to the server's defaults; present
+    // ones (even zero) are taken literally.
+    bool timeoutSet = false;
+    bool retriesSet = false;
+    bool backoffSet = false;
+};
+
+/**
+ * Expands @p req into one JobSpec per (workload, variant, config)
+ * grid point, validating every coordinate: workloads must exist,
+ * variants must parse, and each config token list must survive
+ * cli.cc's parseCli with the server-owned flags refused. Duplicate
+ * grid points (same canonical spec) collapse to one job.
+ *
+ * @param out receives the expanded specs (unchanged on failure)
+ * @param error receives a one-line reason on failure (may be null)
+ * @return true when the whole grid expanded cleanly
+ */
+bool expandSweep(const SweepRequest &req, std::vector<JobSpec> &out,
+                 std::string *error);
+
+/** @return "j-<16 hex>", the FNV-1a 64 content address of @p key. */
+std::string jobIdFor(const std::string &key);
+
+/** What the connection loop should do after a handled request. */
+enum class ServeAction {
+    Continue,       ///< keep reading requests on this connection
+    ShutdownServer, ///< shutdown op handled: stop the whole daemon
+};
+
+/**
+ * Handles one request line against @p server, emitting response
+ * lines (without trailing newline) through @p emit. Malformed input
+ * never throws — it emits one {"ok":false,...} line. A stream op
+ * emits one line per job event and returns when the job is terminal;
+ * a drain op returns once the server is idle; a shutdown op performs
+ * the (optionally draining) shutdown before returning.
+ */
+ServeAction
+handleRequestLine(SweepServer &server, const std::string &line,
+                  const std::function<void(const std::string &)> &emit);
+
+} // namespace crisp
+
+#endif // CRISP_SERVE_PROTOCOL_H

@@ -1,0 +1,714 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "serve/protocol.h"
+#include "sim/cli.h"
+#include "sim/driver.h"
+#include "sim/sampled.h"
+#include "sim/warm_store.h"
+#include "telemetry/json.h"
+#include "telemetry/stat_registry.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+
+namespace
+{
+
+/** Renders one NDJSON event line from (key, raw-value) pairs; values
+ *  arrive pre-rendered (jsonQuote for strings, jsonNumber for
+ *  numbers) so the caller controls exact formatting. */
+std::string
+eventLine(
+    const std::vector<std::pair<std::string, std::string>> &fields)
+{
+    std::string out = "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out += ",";
+        out += jsonQuote(fields[i].first) + ":" + fields[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+SweepServer::SweepServer(ServeConfig cfg, JobRunner runner)
+    : cfg_(std::move(cfg)),
+      runner_(runner ? std::move(runner) : simRunner()),
+      pool_(cfg_.jobs),
+      queue_(cfg_.queueCapacity),
+      freeSlots_(pool_.size())
+{
+    if (!cfg_.artifactDir.empty()) {
+        warmStore_ = std::make_unique<WarmArtifactStore>(
+            cfg_.artifactDir, cfg_.artifactMaxBytes);
+        cache_.setWarmStore(warmStore_.get());
+    }
+    if (!cfg_.resultDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.resultDir, ec);
+    }
+}
+
+SweepServer::~SweepServer()
+{
+    shutdown(false);
+}
+
+void
+SweepServer::start()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        accepting_ = true;
+    }
+    stream_ = std::make_unique<ThreadPool::Stream>(pool_);
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+    monitor_ = std::thread([this] { monitorLoop(); });
+}
+
+void
+SweepServer::shutdown(bool drain_mode)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+        accepting_ = false;
+    }
+    if (!dispatcher_.joinable()) {
+        // start() was never called; nothing is running.
+        queue_.close();
+        return;
+    }
+    if (drain_mode) {
+        drain();
+    } else {
+        // Never-started jobs are requeued, not silently dropped:
+        // they become terminal Requeued here, and a resubmission of
+        // the same sweep against a fresh server revives them.
+        auto dropped = queue_.drainAll();
+        std::lock_guard<std::mutex> lk(m_);
+        for (const QueueEntry &e : dropped) {
+            auto it = jobs_.find(e.jobId);
+            if (it != jobs_.end() && !it->second.terminal)
+                finishLocked(it->second, JobState::Requeued,
+                             "requeued by shutdown");
+        }
+    }
+    queue_.close();
+    dispatcher_.join();
+    // In-flight jobs run to completion; the monitor stays alive
+    // until they have drained so their timeouts still fire.
+    stream_->wait();
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        monitorStop_ = true;
+        monitorCv_.notify_all();
+    }
+    monitor_.join();
+    stream_.reset();
+}
+
+bool
+SweepServer::accepting() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return accepting_;
+}
+
+void
+SweepServer::dispatcherLoop()
+{
+    while (auto e = queue_.pop()) {
+        {
+            std::unique_lock<std::mutex> lk(slotM_);
+            slotCv_.wait(lk, [&] { return freeSlots_ > 0; });
+            --freeSlots_;
+        }
+        std::string id = e->jobId;
+        stream_->submit([this, id] {
+            execute(id);
+            {
+                std::lock_guard<std::mutex> lk(slotM_);
+                ++freeSlots_;
+            }
+            slotCv_.notify_one();
+        });
+    }
+}
+
+void
+SweepServer::monitorLoop()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    while (!monitorStop_) {
+        auto now = std::chrono::steady_clock::now();
+        bool have = false;
+        std::chrono::steady_clock::time_point earliest{};
+        for (auto &kv : jobs_) {
+            JobRecord &rec = kv.second;
+            if (!rec.hasDeadline || !rec.token)
+                continue;
+            if (rec.deadline <= now) {
+                // Firing is idempotent and first-fire-wins, so a
+                // racing explicit cancel keeps its meaning.
+                rec.token->requestTimeout();
+                rec.hasDeadline = false;
+            } else if (!have || rec.deadline < earliest) {
+                earliest = rec.deadline;
+                have = true;
+            }
+        }
+        if (have)
+            monitorCv_.wait_until(lk, earliest);
+        else
+            monitorCv_.wait(lk);
+    }
+}
+
+void
+SweepServer::emitLocked(JobRecord &rec, std::string line)
+{
+    rec.events.push_back(std::move(line));
+    eventCv_.notify_all();
+}
+
+void
+SweepServer::finishLocked(JobRecord &rec, JobState state,
+                          const std::string &error)
+{
+    rec.state = state;
+    rec.error = error;
+    rec.terminal = true;
+    rec.token.reset();
+    rec.hasDeadline = false;
+
+    std::vector<std::pair<std::string, std::string>> fields = {
+        {"event", jsonQuote("result")},
+        {"job", jsonQuote(rec.spec.id)},
+        {"ok", state == JobState::Done ? "true" : "false"},
+        {"workload", jsonQuote(rec.spec.workload)},
+        {"variant", jsonQuote(rec.spec.variant)},
+        {"state", jsonQuote(jobStateName(state))},
+        {"attempts", jsonNumber(double(rec.attempts))},
+    };
+    if (state == JobState::Done) {
+        fields.emplace_back("ipc", jsonNumber(rec.ipc));
+        // The registry export is multi-line by design; it crosses
+        // the wire as a JSON string so NDJSON framing survives.
+        fields.emplace_back("stats_json", jsonQuote(rec.statsJson));
+    } else {
+        fields.emplace_back("error", jsonQuote(error));
+    }
+    emitLocked(rec, eventLine(fields));
+    emitLocked(rec, eventLine({{"event", jsonQuote("end")},
+                               {"job", jsonQuote(rec.spec.id)},
+                               {"state",
+                                jsonQuote(jobStateName(state))}}));
+    stateCv_.notify_all();
+    monitorCv_.notify_all();
+    writeResultFiles(rec);
+}
+
+void
+SweepServer::writeResultFiles(const JobRecord &rec)
+{
+    if (cfg_.resultDir.empty())
+        return;
+    std::lock_guard<std::mutex> lk(resultM_);
+    std::string file;
+    if (rec.state == JobState::Done) {
+        file = rec.spec.id + ".json";
+        std::ofstream os(
+            std::filesystem::path(cfg_.resultDir) / file,
+            std::ios::trunc);
+        os << rec.statsJson;
+    }
+    std::ofstream manifest(
+        std::filesystem::path(cfg_.resultDir) / "manifest.ndjson",
+        std::ios::app);
+    manifest << eventLine(
+                    {{"job", jsonQuote(rec.spec.id)},
+                     {"workload", jsonQuote(rec.spec.workload)},
+                     {"variant", jsonQuote(rec.spec.variant)},
+                     {"state",
+                      jsonQuote(jobStateName(rec.state))},
+                     {"attempts",
+                      jsonNumber(double(rec.attempts))},
+                     {"ipc", jsonNumber(rec.ipc)},
+                     {"error", jsonQuote(rec.error)},
+                     {"file", jsonQuote(file)}})
+             << "\n";
+}
+
+bool
+SweepServer::submit(const SweepRequest &req, Submitted &out,
+                    std::string *error)
+{
+    // Resolve sweep-level scheduling fields against the server's
+    // defaults before expansion bakes them into the specs.
+    SweepRequest r = req;
+    if (!r.timeoutSet)
+        r.timeoutMs = cfg_.defaultTimeoutMs;
+    if (!r.retriesSet)
+        r.maxRetries = cfg_.defaultMaxRetries;
+    if (!r.backoffSet)
+        r.retryBackoffMs = cfg_.retryBackoffMs;
+
+    std::vector<JobSpec> specs;
+    if (!expandSweep(r, specs, error))
+        return false;
+
+    std::vector<std::string> toEnqueue;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (!accepting_) {
+            if (error)
+                *error = "server is shutting down";
+            return false;
+        }
+        for (JobSpec &spec : specs) {
+            auto it = jobs_.find(spec.id);
+            bool enqueue = false;
+            if (it == jobs_.end()) {
+                JobRecord rec;
+                rec.spec = std::move(spec);
+                it = jobs_.emplace(rec.spec.id, std::move(rec))
+                         .first;
+                enqueue = true;
+                ++out.fresh;
+                submitted_.fetch_add(1, std::memory_order_relaxed);
+            } else if (it->second.terminal &&
+                       (it->second.state == JobState::Failed ||
+                        it->second.state == JobState::Requeued)) {
+                // Revive: same identity, fresh attempt counter and
+                // event log, new scheduling fields.
+                JobRecord &rec = it->second;
+                rec.spec.priority = spec.priority;
+                rec.spec.timeoutMs = spec.timeoutMs;
+                rec.spec.maxRetries = spec.maxRetries;
+                rec.spec.retryBackoffMs = spec.retryBackoffMs;
+                rec.state = JobState::Queued;
+                rec.terminal = false;
+                rec.attempts = 0;
+                rec.error.clear();
+                rec.events.clear();
+                enqueue = true;
+                ++out.fresh;
+                submitted_.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                // Queued/Running/Done/Cancelled: share the existing
+                // job (and, transitively, its cached artifacts).
+                ++out.deduped;
+                deduped_.fetch_add(1, std::memory_order_relaxed);
+            }
+            JobRecord &rec = it->second;
+            if (enqueue) {
+                emitLocked(rec,
+                           eventLine({{"event", jsonQuote("state")},
+                                      {"job",
+                                       jsonQuote(rec.spec.id)},
+                                      {"state",
+                                       jsonQuote("queued")}}));
+                toEnqueue.push_back(rec.spec.id);
+            }
+            out.jobs.push_back({rec.spec.id, rec.spec.workload,
+                                rec.spec.variant, rec.state,
+                                rec.attempts, rec.ipc, rec.error});
+        }
+    }
+    // Enqueue outside the job-table lock: a full queue blocks here
+    // (backpressure) and status/cancel must stay responsive.
+    for (const std::string &id : toEnqueue) {
+        int prio = 0;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            prio = jobs_.at(id).spec.priority;
+        }
+        if (!queue_.push({id, prio, 0, {}})) {
+            std::lock_guard<std::mutex> lk(m_);
+            JobRecord &rec = jobs_.at(id);
+            if (!rec.terminal)
+                finishLocked(rec, JobState::Requeued,
+                             "requeued by shutdown");
+        }
+    }
+    return true;
+}
+
+void
+SweepServer::execute(const std::string &id)
+{
+    std::shared_ptr<CancelToken> token;
+    JobSpec spec;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return;
+        JobRecord &rec = it->second;
+        // Cancelled (or requeued by shutdown) between pop and here.
+        if (rec.terminal || rec.state != JobState::Queued)
+            return;
+        rec.state = JobState::Running;
+        ++rec.attempts;
+        token = std::make_shared<CancelToken>();
+        rec.token = token;
+        if (rec.spec.timeoutMs > 0) {
+            rec.deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(rec.spec.timeoutMs);
+            rec.hasDeadline = true;
+            monitorCv_.notify_all();
+        }
+        spec = rec.spec;
+        emitLocked(rec,
+                   eventLine({{"event", jsonQuote("state")},
+                              {"job", jsonQuote(spec.id)},
+                              {"state", jsonQuote("running")},
+                              {"attempt",
+                               jsonNumber(double(rec.attempts))}}));
+    }
+
+    enum class Verdict { Ok, Cancelled, Retryable, Fatal };
+    Verdict verdict = Verdict::Ok;
+    bool timedOut = false;
+    std::string reason;
+    JobOutcome outcome;
+    try {
+        outcome = runner_(spec, cache_, *token);
+    } catch (const JobCancelled &e) {
+        timedOut = e.timedOut;
+        verdict = timedOut ? Verdict::Retryable : Verdict::Cancelled;
+        reason = e.what();
+    } catch (const SimDeadlockError &e) {
+        verdict = Verdict::Retryable;
+        reason = e.what();
+    } catch (const std::exception &e) {
+        verdict = Verdict::Fatal;
+        reason = e.what();
+    }
+
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return;
+    JobRecord &rec = it->second;
+    rec.token.reset();
+    rec.hasDeadline = false;
+    monitorCv_.notify_all();
+
+    switch (verdict) {
+    case Verdict::Ok:
+        rec.ipc = outcome.ipc;
+        rec.statsJson = std::move(outcome.statsJson);
+        finishLocked(rec, JobState::Done, "");
+        break;
+    case Verdict::Cancelled:
+        finishLocked(rec, JobState::Cancelled, reason);
+        break;
+    case Verdict::Fatal:
+        finishLocked(rec, JobState::Failed, reason);
+        break;
+    case Verdict::Retryable: {
+        if (timedOut)
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+        else
+            deadlocks_.fetch_add(1, std::memory_order_relaxed);
+        if (rec.attempts > rec.spec.maxRetries) {
+            finishLocked(rec, JobState::Failed,
+                         reason + " (attempt " +
+                             std::to_string(rec.attempts) + " of " +
+                             std::to_string(rec.spec.maxRetries + 1) +
+                             ")");
+            break;
+        }
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        // Exponential backoff: base << (attempt - 1), clamped only
+        // by the shift width (attempts are single digits).
+        uint64_t backoff = rec.spec.retryBackoffMs
+                           << std::min(rec.attempts - 1, 20);
+        rec.state = JobState::Queued;
+        emitLocked(
+            rec,
+            eventLine({{"event", jsonQuote("retry")},
+                       {"job", jsonQuote(spec.id)},
+                       {"attempt", jsonNumber(double(rec.attempts))},
+                       {"backoff_ms", jsonNumber(double(backoff))},
+                       {"reason",
+                        jsonQuote(timedOut ? "timeout"
+                                           : "deadlock")}}));
+        QueueEntry e{spec.id, spec.priority, 0,
+                     std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(backoff)};
+        // Retries bypass the capacity bound: a worker must never
+        // block on the queue it drains (pool-wide deadlock).
+        if (!queue_.push(std::move(e), true))
+            finishLocked(rec, JobState::Requeued,
+                         "requeued by shutdown");
+        break;
+    }
+    }
+}
+
+std::vector<JobStatus>
+SweepServer::status(const std::vector<std::string> &ids) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::vector<JobStatus> out;
+    auto statusOf = [](const JobRecord &rec) {
+        return JobStatus{rec.spec.id,   rec.spec.workload,
+                         rec.spec.variant, rec.state,
+                         rec.attempts,  rec.ipc,
+                         rec.error};
+    };
+    if (ids.empty()) {
+        for (const auto &kv : jobs_)
+            out.push_back(statusOf(kv.second));
+        std::sort(out.begin(), out.end(),
+                  [](const JobStatus &a, const JobStatus &b) {
+                      return a.id < b.id;
+                  });
+    } else {
+        for (const std::string &id : ids) {
+            auto it = jobs_.find(id);
+            if (it == jobs_.end())
+                out.push_back({id, "", "", JobState::Failed, 0, 0.0,
+                               "unknown job"});
+            else
+                out.push_back(statusOf(it->second));
+        }
+    }
+    return out;
+}
+
+std::vector<SweepServer::CancelResult>
+SweepServer::cancel(const std::vector<std::string> &ids)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::vector<CancelResult> out;
+    for (const std::string &id : ids) {
+        CancelResult r;
+        r.id = id;
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            r.unknown = true;
+            out.push_back(r);
+            continue;
+        }
+        JobRecord &rec = it->second;
+        if (rec.terminal) {
+            r.state = rec.state;
+        } else if (rec.token) {
+            // In flight: fire the token; the worker observes it at
+            // its next tick and finalizes the record.
+            rec.token->requestCancel();
+            r.state = rec.state;
+            r.cancelled = true;
+        } else {
+            // Queued (or in dispatch limbo): finalize immediately.
+            // If the entry was already popped, execute() sees the
+            // terminal record and becomes a no-op.
+            queue_.remove(id);
+            finishLocked(rec, JobState::Cancelled,
+                         "cancelled before start");
+            r.state = rec.state;
+            r.cancelled = true;
+        }
+        out.push_back(r);
+    }
+    return out;
+}
+
+void
+SweepServer::drain()
+{
+    std::unique_lock<std::mutex> lk(m_);
+    stateCv_.wait(lk, [&] {
+        for (const auto &kv : jobs_)
+            if (!kv.second.terminal)
+                return false;
+        return true;
+    });
+}
+
+std::string
+SweepServer::metricsJson() const
+{
+    StatRegistry reg;
+    uint64_t byState[6] = {0, 0, 0, 0, 0, 0};
+    size_t events = 0;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        for (const auto &kv : jobs_) {
+            ++byState[size_t(kv.second.state)];
+            events += kv.second.events.size();
+        }
+    }
+    reg.addCounter("serve.proto.version",
+                   uint64_t(kServeProtoVersion));
+    reg.addCounter("serve.jobs.submitted",
+                   submitted_.load(std::memory_order_relaxed),
+                   "fresh jobs created by submits");
+    reg.addCounter("serve.jobs.deduped",
+                   deduped_.load(std::memory_order_relaxed),
+                   "grid points matching an existing job");
+    reg.addCounter("serve.jobs.queued",
+                   byState[size_t(JobState::Queued)]);
+    reg.addCounter("serve.jobs.running",
+                   byState[size_t(JobState::Running)]);
+    reg.addCounter("serve.jobs.done",
+                   byState[size_t(JobState::Done)]);
+    reg.addCounter("serve.jobs.failed",
+                   byState[size_t(JobState::Failed)]);
+    reg.addCounter("serve.jobs.cancelled",
+                   byState[size_t(JobState::Cancelled)]);
+    reg.addCounter("serve.jobs.requeued",
+                   byState[size_t(JobState::Requeued)]);
+    reg.addCounter("serve.jobs.retries",
+                   retries_.load(std::memory_order_relaxed),
+                   "re-enqueues after timeout/deadlock");
+    reg.addCounter("serve.jobs.timeouts",
+                   timeouts_.load(std::memory_order_relaxed));
+    reg.addCounter("serve.jobs.deadlocks",
+                   deadlocks_.load(std::memory_order_relaxed));
+    reg.addCounter("serve.events.buffered", uint64_t(events));
+    reg.addCounter("serve.queue.depth", uint64_t(queue_.depth()));
+    reg.addCounter("serve.queue.capacity",
+                   uint64_t(queue_.capacity()));
+    reg.addCounter("serve.pool.workers", uint64_t(pool_.size()));
+    ArtifactCache::Stats cs = cache_.stats();
+    reg.addCounter("serve.cache.hits", cs.hits);
+    reg.addCounter("serve.cache.misses", cs.misses);
+    reg.addCounter("serve.cache.in_flight", cs.inFlight,
+                   "artifact computations running now");
+    reg.addCounter("serve.cache.store_hits", cs.storeHits);
+    reg.addCounter("serve.cache.store_misses", cs.storeMisses);
+    return reg.toJson();
+}
+
+bool
+SweepServer::waitEvents(const std::string &id, size_t from,
+                        std::vector<std::string> &out, bool &terminal)
+{
+    std::unique_lock<std::mutex> lk(m_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end())
+        return false;
+    // unordered_map nodes are reference-stable across rehashes, so
+    // this reference survives concurrent submits.
+    JobRecord &rec = it->second;
+    eventCv_.wait(lk, [&] {
+        return rec.events.size() > from || rec.terminal;
+    });
+    out.assign(rec.events.begin() +
+                   std::vector<std::string>::difference_type(
+                       std::min(from, rec.events.size())),
+               rec.events.end());
+    terminal =
+        rec.terminal && from + out.size() >= rec.events.size();
+    return true;
+}
+
+SweepServer::JobRunner
+SweepServer::simRunner()
+{
+    return [](const JobSpec &spec, ArtifactCache &cache,
+              const CancelToken &token) -> JobOutcome {
+        std::vector<std::string> args = {"--workload",
+                                         spec.workload};
+        args.insert(args.end(), spec.config.begin(),
+                    spec.config.end());
+        CliOptions opt = parseCli(args);
+        if (!opt.ok()) // expandSweep validated; defensive
+            throw std::runtime_error("config rejected: " +
+                                     opt.error);
+        const WorkloadInfo *wl = findWorkload(opt.workload);
+        if (!wl)
+            throw std::runtime_error("unknown workload: " +
+                                     opt.workload);
+
+        // The base machine keys the artifacts (as evaluateAll()'s
+        // does); the variant config drives the core run. Jobs
+        // parallelize across the server pool, so each sampled run
+        // is internally serial.
+        SimConfig mcfg = opt.machine;
+        const bool sampled = mcfg.sampleOps > 0;
+        mcfg.sampleJobs = 1;
+        EvalSizes sizes{opt.trainOps, opt.refOps};
+
+        std::string regLabel;
+        SimConfig vcfg = mcfg;
+        bool isTagged = false;
+        if (spec.variant == "ooo") {
+            regLabel = "ooo";
+            vcfg = baselineConfig(mcfg);
+        } else if (spec.variant == "crisp") {
+            regLabel = "crisp";
+            isTagged = true;
+            vcfg = crispConfig(mcfg);
+        } else {
+            regLabel = "ibda";
+            vcfg = ibdaConfig(mcfg, spec.variant.substr(5));
+        }
+
+        std::shared_ptr<const Trace> trace;
+        std::shared_ptr<const SampledWarmState> warm;
+        if (isTagged) {
+            trace = cache.taggedRefTrace(*wl, opt.analysis, mcfg,
+                                         sizes.trainOps,
+                                         sizes.refOps);
+            if (sampled)
+                warm = cache.warmStateTagged(*wl, opt.analysis,
+                                             mcfg, sizes.trainOps,
+                                             sizes.refOps);
+        } else {
+            trace = cache.trace(*wl, InputSet::Ref, sizes.refOps);
+            if (sampled)
+                warm = cache.warmState(
+                    *wl, InputSet::Ref, sizes.refOps,
+                    spec.variant == "ooo" ? mcfg : vcfg);
+        }
+
+        CoreStats total;
+        std::vector<CoreStats> intervals;
+        if (sampled) {
+            SampledResult r =
+                runCoreSampled(*trace, vcfg, warm.get(), nullptr,
+                               nullptr, false, nullptr, &token);
+            total = std::move(r.total);
+            intervals = std::move(r.intervals);
+        } else {
+            total = runCore(*trace, vcfg, false, nullptr, nullptr,
+                            nullptr, nullptr, &token);
+        }
+
+        // Registry layout matches crisp_sim's --stats-json for a
+        // single-variant run byte for byte (serve_test and the CI
+        // smoke diff them), including the per-interval breakdown of
+        // sampled runs.
+        StatRegistry reg;
+        reg.addInfo("sim.workload", wl->name);
+        reg.addInfo("sim.machine", opt.machine.describe());
+        total.registerInto(reg, regLabel);
+        for (size_t k = 0; k < intervals.size(); ++k)
+            intervals[k].registerInto(
+                reg,
+                statPath(regLabel, "interval" + std::to_string(k)));
+
+        JobOutcome out;
+        out.ipc = total.ipc();
+        out.statsJson = reg.toJson();
+        return out;
+    };
+}
+
+} // namespace crisp

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * The sweep server: a long-running simulation service (DESIGN.md §15).
+ *
+ * One SweepServer owns one ArtifactCache (optionally backed by the
+ * on-disk warm store), one ThreadPool, and one job table. Every
+ * submitted sweep expands into jobs that flow
+ *
+ *     Queued -> Running -> Done | Failed | Cancelled
+ *                   \-> Queued (timeout / deadlock retry, backoff)
+ *
+ * through a bounded priority queue (serve/job_queue.h). Because every
+ * job runs against the same cache, a sweep's variants share traces,
+ * analyses and warm states exactly as evaluateAll()'s do — and so do
+ * *separate requests*: the second client to ask for a workload gets
+ * its artifacts for free. That residency is the reason the server
+ * exists; crisp_sim pays the artifact cost once per process.
+ *
+ * Threading: a dispatcher thread pops the queue and feeds a
+ * ThreadPool::Stream, holding a slot count so at most pool-size jobs
+ * are in flight (the queue keeps its priority meaning — jobs are
+ * handed over one slot ahead of execution, not dumped into the
+ * pool). A monitor thread turns per-job deadlines into CancelToken
+ * timeout fires. Connection threads only touch the job table and
+ * queue, never the pool.
+ */
+
+#ifndef CRISP_SERVE_SERVER_H
+#define CRISP_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/job_queue.h"
+#include "serve/protocol.h"
+#include "sim/artifact_cache.h"
+#include "sim/cancel.h"
+#include "sim/thread_pool.h"
+
+namespace crisp
+{
+
+class WarmArtifactStore;
+
+/** Server-level configuration (one per daemon). */
+struct ServeConfig
+{
+    unsigned jobs = 0;         ///< worker count; 0 = hardware
+    size_t queueCapacity = 64; ///< submit backpressure bound
+    uint64_t defaultTimeoutMs = 0;  ///< per-attempt; 0 = none
+    int defaultMaxRetries = 2;      ///< for timeout/deadlock deaths
+    uint64_t retryBackoffMs = 100;  ///< first backoff; doubles
+    /** Persistent warm-artifact directory (DESIGN.md §14); empty =
+     *  in-memory only. */
+    std::string artifactDir;
+    uint64_t artifactMaxBytes = 0; ///< warm-store cap; 0 = unlimited
+    /** Per-job result directory: <id>.json + manifest.ndjson per
+     *  terminal job (crisp_report --from-server reads this layout);
+     *  empty = results live only in memory. */
+    std::string resultDir;
+};
+
+/** What one finished job produced. */
+struct JobOutcome
+{
+    double ipc = 0.0;
+    /** Full StatRegistry JSON for the run — byte-identical to the
+     *  --stats-json export of the equivalent crisp_sim invocation. */
+    std::string statsJson;
+};
+
+/** Point-in-time public view of one job. */
+struct JobStatus
+{
+    std::string id;
+    std::string workload;
+    std::string variant;
+    JobState state = JobState::Queued;
+    int attempts = 0;
+    double ipc = 0.0;
+    std::string error; ///< terminal failure reason (may be empty)
+};
+
+/** The daemon core. Transport-free; see serve/transport.h. */
+class SweepServer
+{
+  public:
+    /**
+     * Executes one job against the shared cache. The default (when
+     * the injected runner is empty) is simRunner(); tests inject
+     * deterministic fakes to exercise retry/cancel accounting
+     * without running the simulator.
+     */
+    using JobRunner = std::function<JobOutcome(
+        const JobSpec &, ArtifactCache &, const CancelToken &)>;
+
+    explicit SweepServer(ServeConfig cfg, JobRunner runner = {});
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /** Starts the dispatcher and timeout-monitor threads. */
+    void start();
+
+    /**
+     * Graceful shutdown. With @p drain, blocks until every known job
+     * is terminal (queued work runs). Without, never-started queued
+     * jobs move to Requeued and only in-flight jobs are finished.
+     * Idempotent; implied (drain = false) by the destructor.
+     */
+    void shutdown(bool drain);
+
+    /** Result of one submit. */
+    struct Submitted
+    {
+        std::vector<JobStatus> jobs; ///< one per grid point, in order
+        size_t fresh = 0;   ///< newly created jobs
+        size_t deduped = 0; ///< grid points matching existing jobs
+    };
+
+    /**
+     * Expands and enqueues @p req. Sweep-level scheduling fields
+     * default to the server's when zero. A grid point whose spec
+     * matches an existing job is deduplicated (terminal Failed /
+     * Requeued jobs are revived and re-run). Blocks while the queue
+     * is full (backpressure). @return false with @p *error set when
+     * the grid is invalid or the server is shutting down.
+     */
+    bool submit(const SweepRequest &req, Submitted &out,
+                std::string *error);
+
+    /** @return status of @p ids (empty = all jobs, ID-sorted).
+     *  Unknown IDs yield state Failed with error "unknown job". */
+    std::vector<JobStatus>
+    status(const std::vector<std::string> &ids) const;
+
+    /** Per-job cancel outcome. */
+    struct CancelResult
+    {
+        std::string id;
+        JobState state = JobState::Cancelled; ///< state after the op
+        bool cancelled = false; ///< this call caused a cancellation
+        bool unknown = false;
+    };
+
+    /**
+     * Cancels @p ids: queued jobs are removed and finalized
+     * immediately, running jobs get their token fired (the worker
+     * finalizes them). Explicit cancellation is final — never
+     * retried. Terminal jobs are left untouched.
+     */
+    std::vector<CancelResult>
+    cancel(const std::vector<std::string> &ids);
+
+    /** Blocks until every known job is terminal. */
+    void drain();
+
+    /** @return the serve.* metrics registry as JSON (jobs by state,
+     *  retries, queue depth, cache hit/miss/in-flight counts). */
+    std::string metricsJson() const;
+
+    /**
+     * Copies @p id's event lines from index @p from, blocking until
+     * at least one new line exists or the job is terminal.
+     * @param terminal set when no further events will ever come
+     * @return false when @p id is unknown
+     */
+    bool waitEvents(const std::string &id, size_t from,
+                    std::vector<std::string> &out, bool &terminal);
+
+    /** @return the process-wide artifact cache (shared by all jobs
+     *  across all requests). */
+    ArtifactCache &cache() { return cache_; }
+
+    /** @return true while submit() accepts work. */
+    bool accepting() const;
+
+    /** @return the real simulation runner: cache-shared artifacts +
+     *  runCore / runCoreSampled, mirroring evaluateAll()'s artifact
+     *  keying so results are byte-identical to a direct run. */
+    static JobRunner simRunner();
+
+  private:
+    struct JobRecord
+    {
+        JobSpec spec;
+        JobState state = JobState::Queued;
+        int attempts = 0;
+        double ipc = 0.0;
+        std::string error;
+        std::string statsJson;
+        /** Live while Running; cancel/timeout fire through it. */
+        std::shared_ptr<CancelToken> token;
+        std::chrono::steady_clock::time_point deadline{};
+        bool hasDeadline = false;
+        std::vector<std::string> events;
+        bool terminal = false;
+    };
+
+    void dispatcherLoop();
+    void monitorLoop();
+    void execute(const std::string &id);
+    /** Finalizes @p rec under m_: sets state, emits the result/end
+     *  events, notifies waiters, persists to resultDir. */
+    void finishLocked(JobRecord &rec, JobState state,
+                      const std::string &error);
+    void emitLocked(JobRecord &rec, std::string line);
+    void writeResultFiles(const JobRecord &rec);
+    static std::string eventState(const JobRecord &rec);
+
+    ServeConfig cfg_;
+    JobRunner runner_;
+    ArtifactCache cache_;
+    std::unique_ptr<WarmArtifactStore> warmStore_;
+    ThreadPool pool_;
+    std::unique_ptr<ThreadPool::Stream> stream_;
+    JobQueue queue_;
+
+    mutable std::mutex m_;
+    std::unordered_map<std::string, JobRecord> jobs_;
+    std::condition_variable stateCv_;  ///< terminal transitions
+    std::condition_variable eventCv_;  ///< new event lines
+    std::condition_variable monitorCv_; ///< deadlines changed
+    bool accepting_ = false;
+    bool stopping_ = false;
+    bool monitorStop_ = false;
+    std::mutex resultM_; ///< serializes resultDir writes
+
+    // Metrics (monotonic; queue depth and cache stats are live).
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> deduped_{0};
+    std::atomic<uint64_t> retries_{0};
+    std::atomic<uint64_t> timeouts_{0};
+    std::atomic<uint64_t> deadlocks_{0};
+
+    // In-flight slot accounting: the dispatcher blocks here so the
+    // queue, not the pool's internal deque, holds waiting jobs.
+    std::mutex slotM_;
+    std::condition_variable slotCv_;
+    unsigned freeSlots_;
+
+    std::thread dispatcher_;
+    std::thread monitor_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SERVE_SERVER_H

@@ -1,0 +1,293 @@
+#include "serve/transport.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace crisp
+{
+
+namespace
+{
+
+/** Fills @p addr for @p path. @return false when the path is too
+ *  long for sockaddr_un (the classic silent-truncation trap). */
+bool
+unixAddress(const std::string &path, sockaddr_un &addr)
+{
+    if (path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                   MSG_NOSIGNAL
+#else
+                   0
+#endif
+            );
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+} // namespace
+
+ServeListener::ServeListener(SweepServer &server, std::string path)
+    : server_(server), path_(std::move(path))
+{
+}
+
+ServeListener::~ServeListener()
+{
+    stop();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    for (int i = 0; i < 2; ++i)
+        if (wakePipe_[i] >= 0)
+            ::close(wakePipe_[i]);
+    if (!path_.empty())
+        ::unlink(path_.c_str());
+}
+
+bool
+ServeListener::open(std::string *error)
+{
+    sockaddr_un addr;
+    if (!unixAddress(path_, addr)) {
+        if (error)
+            *error = "socket path too long: " + path_;
+        return false;
+    }
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    // A stale socket file from a dead server would make bind fail;
+    // remove it (a live server would still hold the listen socket,
+    // and two servers on one path is an operator error either way).
+    ::unlink(path_.c_str());
+    if (::bind(listenFd_,
+               reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listenFd_, 16) < 0) {
+        if (error)
+            *error = "bind/listen " + path_ + ": " +
+                     std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::pipe(wakePipe_) < 0) {
+        if (error)
+            *error = std::string("pipe: ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+void
+ServeListener::run()
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+                         {wakePipe_[0], POLLIN, 0}};
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (stopping_)
+                break;
+        }
+        if (fds[1].revents & POLLIN)
+            break; // stop() wrote the wake byte
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lk(m_);
+        if (stopping_) {
+            ::close(fd);
+            break;
+        }
+        clientFds_.push_back(fd);
+        connections_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+    closeClients();
+    for (std::thread &t : connections_)
+        t.join();
+    connections_.clear();
+}
+
+void
+ServeListener::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    if (wakePipe_[1] >= 0) {
+        char b = 1;
+        ssize_t rc = ::write(wakePipe_[1], &b, 1);
+        (void)rc; // best-effort wake; run() also checks stopping_
+    }
+}
+
+void
+ServeListener::closeClients()
+{
+    std::lock_guard<std::mutex> lk(m_);
+    for (int fd : clientFds_)
+        ::shutdown(fd, SHUT_RDWR); // unblocks connection reads
+    clientFds_.clear();
+}
+
+void
+ServeListener::serveConnection(int fd)
+{
+    std::string buf;
+    char chunk[4096];
+    bool open_conn = true;
+    while (open_conn) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        buf.append(chunk, size_t(n));
+        size_t nl;
+        while (open_conn &&
+               (nl = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            ServeAction action = handleRequestLine(
+                server_, line, [&](const std::string &out) {
+                    if (!writeAll(fd, out + "\n"))
+                        open_conn = false;
+                });
+            if (action == ServeAction::ShutdownServer) {
+                open_conn = false;
+                stop(); // ends the accept loop; server already down
+            }
+        }
+    }
+    // Deregister before closing: closeClients() must never act on a
+    // closed (and possibly reused) descriptor.
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        for (auto it = clientFds_.begin(); it != clientFds_.end();
+             ++it) {
+            if (*it == fd) {
+                clientFds_.erase(it);
+                break;
+            }
+        }
+    }
+    ::close(fd);
+}
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+bool
+ServeClient::connect(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!unixAddress(path, addr)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return false;
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        if (error)
+            *error = "connect " + path + ": " +
+                     std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::sendLine(const std::string &line)
+{
+    return fd_ >= 0 && writeAll(fd_, line + "\n");
+}
+
+bool
+ServeClient::recvLine(std::string &line)
+{
+    for (;;) {
+        size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        if (fd_ < 0)
+            return false;
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        buf_.append(chunk, size_t(n));
+    }
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace crisp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unix-domain-socket transport for the sweep server.
+ *
+ * One ServeListener accepts connections on a filesystem socket and
+ * runs each on its own thread: read a line, hand it to
+ * handleRequestLine(), write the emitted lines back. The transport
+ * knows nothing about ops — protocol.h owns the semantics — except
+ * that a ShutdownServer action ends the accept loop.
+ *
+ * ServeClient is the matching blocking client (used by crisp_submit
+ * and the end-to-end tests): connect, send a line, read lines.
+ */
+
+#ifndef CRISP_SERVE_TRANSPORT_H
+#define CRISP_SERVE_TRANSPORT_H
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace crisp
+{
+
+class SweepServer;
+
+/** Accept loop + per-connection threads over an AF_UNIX socket. */
+class ServeListener
+{
+  public:
+    /** @param path filesystem socket path (unlinked on open/close) */
+    ServeListener(SweepServer &server, std::string path);
+    ~ServeListener();
+
+    ServeListener(const ServeListener &) = delete;
+    ServeListener &operator=(const ServeListener &) = delete;
+
+    /** Binds and listens. @return false with @p *error set. */
+    bool open(std::string *error);
+
+    /**
+     * Accepts and serves connections until stop() is called or a
+     * connection's shutdown op lands. Runs on the caller's thread;
+     * returns once the loop has ended and every connection thread
+     * has been joined.
+     */
+    void run();
+
+    /** Ends run() from another thread (idempotent). */
+    void stop();
+
+    /** @return the socket path. */
+    const std::string &path() const { return path_; }
+
+  private:
+    void serveConnection(int fd);
+    void closeClients();
+
+    SweepServer &server_;
+    std::string path_;
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::mutex m_;
+    bool stopping_ = false;
+    std::vector<std::thread> connections_;
+    std::vector<int> clientFds_;
+};
+
+/** Blocking line-oriented client for the serve socket. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Connects to @p path. @return false with @p *error set. */
+    bool connect(const std::string &path, std::string *error);
+
+    /** Sends @p line + '\n'. @return false on a broken socket. */
+    bool sendLine(const std::string &line);
+
+    /** Receives one line (newline stripped). @return false on EOF
+     *  or error. */
+    bool recvLine(std::string &line);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SERVE_TRANSPORT_H

@@ -100,12 +100,14 @@ ArtifactCache::getOrCompute(
     }
     if (owner) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        inFlight_.fetch_add(1, std::memory_order_relaxed);
         try {
             promise.set_value(
                 std::make_shared<const T>(make()));
         } catch (...) {
             promise.set_exception(std::current_exception());
         }
+        inFlight_.fetch_sub(1, std::memory_order_relaxed);
     } else {
         hits_.fetch_add(1, std::memory_order_relaxed);
     }

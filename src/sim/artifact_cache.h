@@ -121,6 +121,28 @@ class ArtifactCache
                 storeMisses_.load(std::memory_order_relaxed)};
     }
 
+    /** One coherent activity snapshot, for server metrics. */
+    struct Stats
+    {
+        uint64_t hits = 0;   ///< lookups served from the cache
+        uint64_t misses = 0; ///< lookups that computed the artifact
+        /** Computations running right now; concurrent getters of
+         *  these keys rendezvous on the owner's shared future. */
+        uint64_t inFlight = 0;
+        uint64_t storeHits = 0;   ///< disk-tier loads that verified
+        uint64_t storeMisses = 0; ///< disk-tier misses (recomputed)
+    };
+
+    /** @return hit/miss/in-flight counts across all artifact kinds. */
+    Stats stats() const
+    {
+        return {hits_.load(std::memory_order_relaxed),
+                misses_.load(std::memory_order_relaxed),
+                inFlight_.load(std::memory_order_relaxed),
+                storeHits_.load(std::memory_order_relaxed),
+                storeMisses_.load(std::memory_order_relaxed)};
+    }
+
     /** Drops all cached artifacts (counters are kept). */
     void clear();
 
@@ -162,6 +184,7 @@ class ArtifactCache
     WarmArtifactStore *warmStore_ = nullptr;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> inFlight_{0};
     std::atomic<uint64_t> storeHits_{0};
     std::atomic<uint64_t> storeMisses_{0};
 };

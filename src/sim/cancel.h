@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulation jobs.
+ *
+ * A CancelToken is a one-word flag shared between a controller (the
+ * sweep server's cancel/timeout machinery, a signal handler, a test)
+ * and the simulation it governs. The simulation polls the token at
+ * natural progress points — every executed core tick, every sampled
+ * interval boundary, every (workload, variant) job in a batch sweep —
+ * and unwinds with JobCancelled when it fires. Polling an unattached
+ * token is a null-pointer test; polling an attached one is a single
+ * relaxed atomic load, so the hot path stays allocation- and
+ * barrier-free.
+ *
+ * Cancellation and timeout are distinguished because they have
+ * different retry semantics at the serving layer (DESIGN.md §15): a
+ * timed-out job may be retried, an explicitly cancelled one is final.
+ * The first request to fire wins; later requests of the other kind do
+ * not overwrite it.
+ */
+
+#ifndef CRISP_SIM_CANCEL_H
+#define CRISP_SIM_CANCEL_H
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace crisp
+{
+
+/** Thrown by a simulation that observed its CancelToken fire. */
+class JobCancelled : public std::runtime_error
+{
+  public:
+    JobCancelled(bool timed_out_arg, const std::string &context = "")
+        : std::runtime_error(
+              std::string(timed_out_arg ? "job timed out"
+                                        : "job cancelled") +
+              (context.empty() ? "" : " (" + context + ")")),
+          timedOut(timed_out_arg)
+    {
+    }
+
+    /** True when the token fired on a deadline, not a user cancel. */
+    bool timedOut;
+};
+
+/** Shared cancellation flag; controller sets, simulation polls. */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Requests cancellation (no effect if already fired). */
+    void requestCancel() { fire(kCancelled); }
+
+    /** Requests a timeout abort (no effect if already fired). */
+    void requestTimeout() { fire(kTimedOut); }
+
+    /** @return true once either request has fired. */
+    bool cancelled() const
+    {
+        return state_.load(std::memory_order_relaxed) != kArmed;
+    }
+
+    /** @return true when the token fired as a timeout. */
+    bool timedOut() const
+    {
+        return state_.load(std::memory_order_relaxed) == kTimedOut;
+    }
+
+    /**
+     * Polls the token; the simulation's per-tick hook.
+     * @throws JobCancelled when the token has fired.
+     */
+    void throwIfCancelled(const char *context = "") const
+    {
+        int s = state_.load(std::memory_order_relaxed);
+        if (s != kArmed)
+            throw JobCancelled(s == kTimedOut, context);
+    }
+
+  private:
+    enum : int { kArmed = 0, kCancelled = 1, kTimedOut = 2 };
+
+    void fire(int what)
+    {
+        int expected = kArmed;
+        state_.compare_exchange_strong(expected, what,
+                                       std::memory_order_relaxed);
+    }
+
+    std::atomic<int> state_{kArmed};
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_CANCEL_H

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "sim/cancel.h"
 #include "sim/sampled.h"
 #include "sim/thread_pool.h"
 
@@ -12,7 +13,7 @@ CoreStats
 runCore(const Trace &trace, const SimConfig &cfg,
         bool record_timeline, PipeTracer *tracer,
         PcProfiler *profiler, IntervalStreamer *interval,
-        const SampledWarmState *warm)
+        const SampledWarmState *warm, const CancelToken *cancel)
 {
     if (cfg.sampleOps > 0) {
         if (interval)
@@ -21,13 +22,14 @@ runCore(const Trace &trace, const SimConfig &cfg,
                 "sampled simulation (per-interval cycle domains do "
                 "not form one time series)");
         return runCoreSampled(trace, cfg, warm, profiler, tracer,
-                              record_timeline)
+                              record_timeline, nullptr, cancel)
             .total;
     }
     Core core(trace, cfg);
     core.setTracer(tracer);
     core.setProfiler(profiler);
     core.setInterval(interval);
+    core.setCancel(cancel);
     return core.run(~0ULL, record_timeline);
 }
 
@@ -66,15 +68,18 @@ namespace
 CoreStats
 runCoreAnnotated(const Trace &trace, const SimConfig &cfg,
                  const std::string &workload, const char *variant,
-                 const SampledWarmState *warm = nullptr)
+                 const SampledWarmState *warm = nullptr,
+                 const CancelToken *cancel = nullptr)
 {
     try {
         return runCore(trace, cfg, false, nullptr, nullptr, nullptr,
-                       warm);
+                       warm, cancel);
     } catch (const SimDeadlockError &e) {
         throw e.withContext(workload + "/" + variant);
     }
 }
+
+} // namespace
 
 /** Baseline OOO machine: untagged trace, oldest-first scheduler. */
 SimConfig
@@ -95,8 +100,6 @@ crispConfig(const SimConfig &base)
     cfg.enableIbda = false;
     return cfg;
 }
-
-} // namespace
 
 WorkloadEval
 evaluateWorkload(const WorkloadInfo &wl, const SimConfig &cfg,
@@ -161,7 +164,7 @@ evaluateAll(const std::vector<WorkloadInfo> &workloads,
             const SimConfig &cfg, const CrispOptions &opts,
             const EvalSizes &sizes, unsigned jobs,
             const std::vector<std::string> &ist_sizes,
-            ArtifactCache *cache)
+            ArtifactCache *cache, const CancelToken *cancel)
 {
     ArtifactCache local;
     ArtifactCache &c = cache ? *cache : local;
@@ -196,6 +199,11 @@ evaluateAll(const std::vector<WorkloadInfo> &workloads,
             size_t v = i % variants;
             const WorkloadInfo &wl = workloads[w];
             WorkloadEval &eval = evals[w];
+            // Checked once per job here and per tick inside the
+            // run, so a fired token also skips jobs that have not
+            // built their (possibly expensive) artifacts yet.
+            if (cancel)
+                cancel->throwIfCancelled("evaluateAll job");
             // A deadlocked run surfaces from the pool annotated
             // with its (workload, variant), not anonymously.
             if (v == 0) {
@@ -207,7 +215,7 @@ evaluateAll(const std::vector<WorkloadInfo> &workloads,
                                        sizes.refOps, mcfg);
                 eval.baseStats = runCoreAnnotated(
                     *trace, baselineConfig(mcfg), wl.name, "ooo",
-                    warm.get());
+                    warm.get(), cancel);
                 eval.ipcBaseline = eval.baseStats.ipc();
             } else if (v == 1) {
                 eval.analysis =
@@ -221,7 +229,7 @@ evaluateAll(const std::vector<WorkloadInfo> &workloads,
                                              sizes.refOps);
                 eval.crispStats = runCoreAnnotated(
                     *trace, crispConfig(mcfg), wl.name, "crisp",
-                    warm.get());
+                    warm.get(), cancel);
                 eval.ipcCrisp = eval.crispStats.ipc();
             } else {
                 const std::string &ist = ist_sizes[v - 2];
@@ -234,7 +242,7 @@ evaluateAll(const std::vector<WorkloadInfo> &workloads,
                                        sizes.refOps, icfg);
                 CoreStats s = runCoreAnnotated(
                     *trace, icfg, wl.name,
-                    ("ibda-" + ist).c_str(), warm.get());
+                    ("ibda-" + ist).c_str(), warm.get(), cancel);
                 // Each (w, ist) pair is written by exactly one job,
                 // but the map node must be created serially.
                 eval.ipcIbda.at(ist) = s.ipc();

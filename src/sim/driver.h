@@ -53,6 +53,7 @@ struct WorkloadEval
     }
 };
 
+class CancelToken;
 class IntervalStreamer;
 class PcProfiler;
 class PipeTracer;
@@ -74,13 +75,17 @@ class PipeTracer;
  *        writes its NDJSON records afterwards
  * @param warm optional pre-built sampled warm state (ignored unless
  *        sampling); built on the fly when null
+ * @param cancel optional cooperative cancellation token, polled every
+ *        executed core tick (sim/cancel.h)
+ * @throws JobCancelled when @p cancel fires mid-run
  */
 CoreStats runCore(const Trace &trace, const SimConfig &cfg,
                   bool record_timeline = false,
                   PipeTracer *tracer = nullptr,
                   PcProfiler *profiler = nullptr,
                   IntervalStreamer *interval = nullptr,
-                  const SampledWarmState *warm = nullptr);
+                  const SampledWarmState *warm = nullptr,
+                  const CancelToken *cancel = nullptr);
 
 /**
  * Full per-workload evaluation: baseline OOO, CRISP, and (optionally)
@@ -116,15 +121,27 @@ WorkloadEval evaluateWorkload(
  * @param jobs worker count (0 = hardware concurrency)
  * @param ist_sizes IBDA IST configurations; empty = skip IBDA
  * @param cache optional shared cache (one is created if null)
+ * @param cancel optional cancellation token shared by every core run
+ *        in the batch; the first job to observe it fire unwinds the
+ *        whole evaluation with JobCancelled
  */
 std::vector<WorkloadEval> evaluateAll(
     const std::vector<WorkloadInfo> &workloads, const SimConfig &cfg,
     const CrispOptions &opts, const EvalSizes &sizes, unsigned jobs,
     const std::vector<std::string> &ist_sizes = {},
-    ArtifactCache *cache = nullptr);
+    ArtifactCache *cache = nullptr,
+    const CancelToken *cancel = nullptr);
 
 /** @return an IBDA variant of @p cfg for an IST label. */
 SimConfig ibdaConfig(const SimConfig &base, const std::string &ist);
+
+/** @return the baseline OOO variant of @p base (untagged trace,
+ *  oldest-first scheduler). */
+SimConfig baselineConfig(const SimConfig &base);
+
+/** @return the CRISP variant of @p base (tagged trace, two-level
+ *  priority scheduler). */
+SimConfig crispConfig(const SimConfig &base);
 
 } // namespace crisp
 

@@ -12,6 +12,7 @@
 #include "bp/bimodal.h"
 #include "bp/gshare.h"
 #include "bp/tage.h"
+#include "sim/cancel.h"
 #include "sim/thread_pool.h"
 #include "sim/warm_io.h"
 #include "telemetry/pc_profiler.h"
@@ -324,7 +325,7 @@ template <typename Snapshot>
 CoreStats
 runInterval(const Trace &trace, const SimConfig &cfg, size_t k,
             Snapshot &&snap, PcProfiler *prof, PipeTracer *tracer,
-            bool record_timeline)
+            bool record_timeline, const CancelToken *cancel)
 {
     const uint64_t n = cfg.sampleOps;
     const uint64_t size = trace.size();
@@ -340,6 +341,7 @@ runInterval(const Trace &trace, const SimConfig &cfg, size_t k,
     Core core(sub, cfg);
     applySnapshot(core, std::forward<Snapshot>(snap));
     core.setMeasureFromOp(begin - warm_start);
+    core.setCancel(cancel);
     if (prof)
         core.setProfiler(prof);
     if (tracer && k == 0)
@@ -462,7 +464,7 @@ SampledResult
 runCoreSampled(const Trace &trace, const SimConfig &cfg,
                const SampledWarmState *warm, PcProfiler *profiler,
                PipeTracer *tracer, bool record_timeline,
-               SnapshotObserver *observer)
+               SnapshotObserver *observer, const CancelToken *cancel)
 {
     if (cfg.sampleOps == 0)
         throw std::invalid_argument(
@@ -506,7 +508,7 @@ runCoreSampled(const Trace &trace, const SimConfig &cfg,
             result.intervals[k] = runInterval(
                 trace, cfg, k, warm->snapshots[k],
                 profiler ? &profilers[k] : nullptr, tracer,
-                record_timeline);
+                record_timeline, cancel);
         });
         result.detailSeconds = secondsSince(t0);
     } else {
@@ -557,11 +559,11 @@ runCoreSampled(const Trace &trace, const SimConfig &cfg,
             PcProfiler *prof = profiler ? &profilers[k] : nullptr;
             stream.submit([&trace, &cfg, k, sp, prof, tracer,
                            record_timeline, &result, &live_m,
-                           &live_cv, &live]() mutable {
+                           &live_cv, &live, cancel]() mutable {
                 LiveToken token{live_m, live_cv, live};
                 result.intervals[k] = runInterval(
                     trace, cfg, k, std::move(*sp), prof, tracer,
-                    record_timeline);
+                    record_timeline, cancel);
                 sp.reset(); // free the gutted snapshot eagerly
             });
         };
@@ -570,6 +572,10 @@ runCoreSampled(const Trace &trace, const SimConfig &cfg,
         uint64_t next_k = 0;
         for (uint64_t idx = 0;
              idx < size && next_k < num_intervals; ++idx) {
+            // The producer polls too, so a fired token stops the
+            // warm pass instead of racing it to the last boundary.
+            if (cancel)
+                cancel->throwIfCancelled("warm pass");
             while (next_k < num_intervals) {
                 uint64_t boundary = next_k * n;
                 uint64_t pos = boundary > w ? boundary - w : 0;

@@ -254,15 +254,21 @@ class SnapshotObserver
  * @param observer optional snapshot hook (streaming schedule only —
  *        with external @p warm the caller already holds every
  *        snapshot, so the hook is not invoked)
+ * @param cancel optional cooperative cancellation token
+ *        (sim/cancel.h): polled by the warm-pass producer and by
+ *        every interval core, so a fired token unwinds the whole
+ *        sampled run with JobCancelled within one tick
  * @throws std::invalid_argument on a sample-spec mismatch with @p warm
  * @throws SimDeadlockError when an interval stops making progress
+ * @throws JobCancelled when @p cancel fires mid-run
  */
 SampledResult runCoreSampled(const Trace &trace, const SimConfig &cfg,
                              const SampledWarmState *warm = nullptr,
                              PcProfiler *profiler = nullptr,
                              PipeTracer *tracer = nullptr,
                              bool record_timeline = false,
-                             SnapshotObserver *observer = nullptr);
+                             SnapshotObserver *observer = nullptr,
+                             const CancelToken *cancel = nullptr);
 
 /**
  * Injects a snapshot's warm state into a fresh core (before run()):

@@ -1,0 +1,833 @@
+/**
+ * @file
+ * Tests for the crisp_serve sweep-server subsystem (DESIGN.md §15):
+ * sweep expansion and validation (unknown workloads/variants,
+ * server-owned flags, cli.cc rejection verbatim), stable job IDs,
+ * protocol parse/reject paths, queue backpressure and priority
+ * order, cancel-before-start vs cancel-in-flight, timeout → retry →
+ * fail accounting, deadlock retries, graceful shutdown requeueing,
+ * result-file layout, ArtifactCache hit/miss/in-flight stats, the
+ * socket transport end to end, and loopback byte-identity: a job run
+ * through the full server machinery must produce the same stats JSON
+ * as a direct runner invocation, with later requests hitting the
+ * shared cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cpu/core.h"
+#include "serve/job_queue.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+#include "sim/artifact_cache.h"
+#include "sim/cancel.h"
+#include "telemetry/json.h"
+
+namespace fs = std::filesystem;
+
+namespace crisp
+{
+namespace
+{
+
+/** A sweep over @p workloads x @p variants with tiny trace sizes. */
+SweepRequest
+tinySweep(std::vector<std::string> workloads,
+          std::vector<std::string> variants)
+{
+    SweepRequest req;
+    req.workloads = std::move(workloads);
+    req.variants = std::move(variants);
+    req.trainOps = 5'000;
+    req.refOps = 10'000;
+    return req;
+}
+
+/** Collects emit() lines from handleRequestLine. */
+struct Emitted
+{
+    std::vector<std::string> lines;
+    std::function<void(const std::string &)> sink()
+    {
+        return [this](const std::string &l) { lines.push_back(l); };
+    }
+    /** Parses line @p i (ADD_FAILUREs on malformed JSON). */
+    JsonValue json(size_t i) const
+    {
+        JsonValue v;
+        std::string err;
+        EXPECT_LT(i, lines.size());
+        if (i < lines.size()) {
+            EXPECT_TRUE(parseJson(lines[i], v, &err))
+                << lines[i] << ": " << err;
+        }
+        return v;
+    }
+};
+
+/** A runner whose behaviour the test scripts per-call. */
+struct FakeRunner
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;          ///< lets blocking calls finish
+    std::atomic<int> calls{0};
+    std::atomic<int> running{0};
+    int deadlockUntilAttempt = 0;  ///< throw deadlock while calls <= N
+
+    /** Blocks until release or the token fires, then reports. */
+    JobOutcome operator()(const JobSpec &, ArtifactCache &,
+                          const CancelToken &token)
+    {
+        int call = ++calls;
+        ++running;
+        cv.notify_all();
+        {
+            std::unique_lock<std::mutex> lk(m);
+            while (!release && !token.cancelled())
+                cv.wait_for(lk, std::chrono::milliseconds(1));
+        }
+        --running;
+        token.throwIfCancelled("fake job");
+        if (call <= deadlockUntilAttempt)
+            throw SimDeadlockError(100, 0, 1000, "fake");
+        JobOutcome out;
+        out.ipc = 1.0;
+        out.statsJson = "{}\n";
+        return out;
+    }
+
+    SweepServer::JobRunner runner()
+    {
+        return [this](const JobSpec &s, ArtifactCache &c,
+                      const CancelToken &t) { return (*this)(s, c, t); };
+    }
+
+    void releaseAll()
+    {
+        std::lock_guard<std::mutex> lk(m);
+        release = true;
+        cv.notify_all();
+    }
+
+    /** Waits until @p n calls are concurrently inside the runner. */
+    void awaitRunning(int n)
+    {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return running.load() >= n; });
+    }
+};
+
+/** An instantly-succeeding runner. */
+SweepServer::JobRunner
+instantRunner()
+{
+    return [](const JobSpec &, ArtifactCache &, const CancelToken &) {
+        JobOutcome out;
+        out.ipc = 2.0;
+        out.statsJson = "{}\n";
+        return out;
+    };
+}
+
+JobState
+stateOf(SweepServer &server, const std::string &id)
+{
+    return server.status({id})[0].state;
+}
+
+/** Spins until @p id reaches @p want (drain() only waits for
+ *  all-terminal, not a specific state). */
+void
+awaitState(SweepServer &server, const std::string &id, JobState want)
+{
+    for (int spin = 0; spin < 5000; ++spin) {
+        if (stateOf(server, id) == want)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "job " << id << " never reached "
+           << jobStateName(want) << " (now "
+           << jobStateName(stateOf(server, id)) << ")";
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+/** Unique per-test scratch directory, removed on destruction. */
+struct ScratchDir
+{
+    fs::path path;
+    explicit ScratchDir(const std::string &tag)
+        : path(fs::temp_directory_path() /
+               (tag + "_" +
+                std::to_string(
+                    std::chrono::steady_clock::now()
+                        .time_since_epoch()
+                        .count())))
+    {
+        fs::create_directories(path);
+    }
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+// ---------------------------------------------------------------
+// Sweep expansion
+// ---------------------------------------------------------------
+
+TEST(JobIdTest, StableContentAddress)
+{
+    std::string id = jobIdFor("wl=mcf;variant=crisp");
+    EXPECT_EQ(id, jobIdFor("wl=mcf;variant=crisp"));
+    EXPECT_NE(id, jobIdFor("wl=mcf;variant=ooo"));
+    ASSERT_EQ(id.size(), 18u);
+    EXPECT_EQ(id.rfind("j-", 0), 0u);
+    EXPECT_EQ(id.find_first_not_of("0123456789abcdef", 2),
+              std::string::npos);
+}
+
+TEST(ExpandSweepTest, FullGridWithDistinctIds)
+{
+    SweepRequest req =
+        tinySweep({"pointer_chase", "mcf"}, {"ooo", "crisp"});
+    req.configs = {{}, {"--rob", "128"}};
+    std::vector<JobSpec> specs;
+    std::string err;
+    ASSERT_TRUE(expandSweep(req, specs, &err)) << err;
+    ASSERT_EQ(specs.size(), 8u); // 2 workloads x 2 variants x 2 cfgs
+
+    std::set<std::string> ids;
+    for (const JobSpec &s : specs) {
+        ids.insert(s.id);
+        EXPECT_EQ(s.trainOps, 5'000u);
+        EXPECT_EQ(s.refOps, 10'000u);
+    }
+    EXPECT_EQ(ids.size(), 8u);
+}
+
+TEST(ExpandSweepTest, DuplicateGridPointsCollapse)
+{
+    SweepRequest req = tinySweep({"pointer_chase"}, {"ooo"});
+    req.configs = {{}, {}}; // the same config twice
+    std::vector<JobSpec> specs;
+    ASSERT_TRUE(expandSweep(req, specs, nullptr));
+    EXPECT_EQ(specs.size(), 1u);
+}
+
+TEST(ExpandSweepTest, RejectsUnknownWorkload)
+{
+    std::vector<JobSpec> specs;
+    std::string err;
+    EXPECT_FALSE(expandSweep(tinySweep({"not_a_workload"}, {"ooo"}),
+                             specs, &err));
+    EXPECT_NE(err.find("unknown workload"), std::string::npos);
+    EXPECT_TRUE(specs.empty());
+}
+
+TEST(ExpandSweepTest, RejectsUnknownVariant)
+{
+    std::vector<JobSpec> specs;
+    std::string err;
+    EXPECT_FALSE(expandSweep(
+        tinySweep({"pointer_chase"}, {"fancy"}), specs, &err));
+    EXPECT_NE(err.find("unknown variant"), std::string::npos);
+    // An IBDA size outside {1K,8K,64K,inf} is a variant error too.
+    EXPECT_FALSE(expandSweep(
+        tinySweep({"pointer_chase"}, {"ibda-2K"}), specs, &err));
+}
+
+TEST(ExpandSweepTest, RejectsServerOwnedFlags)
+{
+    for (const std::string &tok :
+         {std::string("--stats-json"), std::string("--workload"),
+          std::string("--jobs=4"), std::string("--scheduler")}) {
+        SweepRequest req = tinySweep({"pointer_chase"}, {"ooo"});
+        req.configs = {{tok, "x"}};
+        std::vector<JobSpec> specs;
+        std::string err;
+        EXPECT_FALSE(expandSweep(req, specs, &err)) << tok;
+        EXPECT_NE(err.find("server-owned"), std::string::npos)
+            << err;
+    }
+}
+
+TEST(ExpandSweepTest, RejectsInvalidConfigViaCliValidation)
+{
+    // cli.cc's own validation, verbatim: flags crisp_sim would
+    // refuse are refused at submit time with the same message.
+    SweepRequest bad = tinySweep({"pointer_chase"}, {"ooo"});
+    bad.configs = {{"--frobnicate"}};
+    std::vector<JobSpec> specs;
+    std::string err;
+    EXPECT_FALSE(expandSweep(bad, specs, &err));
+    EXPECT_NE(err.find("invalid config"), std::string::npos);
+
+    // Contradictory values (a zero-op run) die in parseCli too.
+    // No sweep-level train_ops here: it would append a later
+    // --train that overrides the config's own token.
+    SweepRequest zero;
+    zero.workloads = {"pointer_chase"};
+    zero.variants = {"ooo"};
+    zero.configs = {{"--train", "0"}};
+    EXPECT_FALSE(expandSweep(zero, specs, &err));
+    EXPECT_NE(err.find("invalid config"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------
+// Protocol parse/reject
+// ---------------------------------------------------------------
+
+TEST(ProtocolTest, MalformedRequestsNeverThrow)
+{
+    SweepServer server({}, instantRunner());
+    Emitted out;
+    handleRequestLine(server, "this is not json", out.sink());
+    handleRequestLine(server, "[1,2,3]", out.sink());
+    handleRequestLine(server, "{\"op\":42}", out.sink());
+    handleRequestLine(server, "{\"op\":\"warp\"}", out.sink());
+    ASSERT_EQ(out.lines.size(), 4u);
+    for (size_t i = 0; i < out.lines.size(); ++i) {
+        JsonValue v = out.json(i);
+        ASSERT_TRUE(v.has("ok"));
+        EXPECT_FALSE(v.at("ok").boolean) << out.lines[i];
+    }
+    EXPECT_NE(out.lines[3].find("unknown op"), std::string::npos);
+}
+
+TEST(ProtocolTest, SubmitRefusesWrongProtocolVersion)
+{
+    SweepServer server({}, instantRunner());
+    server.start();
+    Emitted out;
+    handleRequestLine(server,
+                      "{\"op\":\"submit\",\"proto\":99,"
+                      "\"workloads\":[\"pointer_chase\"],"
+                      "\"variants\":[\"ooo\"]}",
+                      out.sink());
+    handleRequestLine(server,
+                      "{\"op\":\"submit\","
+                      "\"workloads\":[\"pointer_chase\"],"
+                      "\"variants\":[\"ooo\"]}",
+                      out.sink());
+    ASSERT_EQ(out.lines.size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_FALSE(out.json(i).at("ok").boolean);
+        EXPECT_NE(out.lines[i].find("protocol version"),
+                  std::string::npos);
+    }
+    server.shutdown(false);
+}
+
+TEST(ProtocolTest, LoopbackSubmitStatusCancelDrain)
+{
+    ServeConfig cfg;
+    cfg.jobs = 2;
+    SweepServer server(cfg, instantRunner());
+    server.start();
+    Emitted out;
+
+    handleRequestLine(server,
+                      "{\"op\":\"submit\",\"proto\":1,"
+                      "\"workloads\":[\"pointer_chase\"],"
+                      "\"variants\":[\"ooo\",\"crisp\"],"
+                      "\"train_ops\":5000,\"ref_ops\":10000}",
+                      out.sink());
+    JsonValue sub = out.json(0);
+    ASSERT_TRUE(sub.at("ok").boolean) << out.lines[0];
+    ASSERT_EQ(sub.at("jobs").elements.size(), 2u);
+    EXPECT_EQ(int(sub.at("fresh").number), 2);
+    std::string id = sub.at("jobs").elements[0].at("id").text;
+
+    handleRequestLine(server, "{\"op\":\"drain\"}", out.sink());
+    JsonValue drained = out.json(1);
+    EXPECT_TRUE(drained.at("ok").boolean);
+    EXPECT_EQ(int(drained.at("done").number), 2);
+
+    // stream on a finished job replays its full event history.
+    handleRequestLine(server,
+                      "{\"op\":\"stream\",\"job\":\"" + id + "\"}",
+                      out.sink());
+    size_t streamed = out.lines.size() - 2;
+    ASSERT_GE(streamed, 3u); // queued, running, result, end
+    EXPECT_NE(out.lines.back().find("\"event\":\"end\""),
+              std::string::npos);
+
+    // Cancelling a done job is a no-op; unknown jobs are flagged.
+    Emitted c;
+    handleRequestLine(server,
+                      "{\"op\":\"cancel\",\"jobs\":[\"" + id +
+                          "\",\"j-0000000000000000\"]}",
+                      c.sink());
+    JsonValue cj = c.json(0);
+    ASSERT_EQ(cj.at("results").elements.size(), 2u);
+    EXPECT_FALSE(cj.at("results").elements[0].at("cancelled").boolean);
+    EXPECT_EQ(cj.at("results").elements[0].at("state").text, "done");
+    EXPECT_EQ(cj.at("results").elements[1].at("error").text,
+              "unknown job");
+
+    // status for an unknown ID answers instead of erroring.
+    Emitted s;
+    handleRequestLine(
+        server, "{\"op\":\"status\",\"jobs\":[\"nope\"]}", s.sink());
+    EXPECT_EQ(s.json(0).at("jobs").elements[0].at("error").text,
+              "unknown job");
+    server.shutdown(false);
+}
+
+// ---------------------------------------------------------------
+// Job queue
+// ---------------------------------------------------------------
+
+TEST(JobQueueTest, BackpressureBlocksUntilPopOrClose)
+{
+    JobQueue q(1);
+    EXPECT_TRUE(q.push({"a", 0, 0, {}}));
+
+    std::atomic<bool> second{false};
+    std::thread pusher([&] {
+        EXPECT_TRUE(q.push({"b", 0, 0, {}}));
+        second = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(second.load()); // full queue blocks the pusher
+
+    auto a = q.pop();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->jobId, "a");
+    pusher.join();
+    EXPECT_TRUE(second.load());
+
+    // Retries bypass the bound even when full.
+    EXPECT_TRUE(q.push({"c", 0, 0, {}}, true));
+    EXPECT_EQ(q.depth(), 2u);
+
+    q.close();
+    EXPECT_FALSE(q.push({"d", 0, 0, {}}));
+    EXPECT_TRUE(q.pop().has_value());  // drains b
+    EXPECT_TRUE(q.pop().has_value());  // drains c
+    EXPECT_FALSE(q.pop().has_value()); // closed and empty
+}
+
+TEST(JobQueueTest, PriorityThenArrivalOrder)
+{
+    JobQueue q(16);
+    q.push({"low", -1, 0, {}});
+    q.push({"first", 5, 0, {}});
+    q.push({"second", 5, 0, {}});
+    q.push({"mid", 2, 0, {}});
+    EXPECT_EQ(q.pop()->jobId, "first");
+    EXPECT_EQ(q.pop()->jobId, "second");
+    EXPECT_EQ(q.pop()->jobId, "mid");
+    EXPECT_EQ(q.pop()->jobId, "low");
+}
+
+TEST(JobQueueTest, NotBeforeDelaysEligibility)
+{
+    JobQueue q(16);
+    auto now = std::chrono::steady_clock::now();
+    q.push({"later", 9, 0, now + std::chrono::milliseconds(30)});
+    q.push({"now", 0, 0, {}});
+    // The backoff entry outranks "now" but is not yet eligible.
+    EXPECT_EQ(q.pop()->jobId, "now");
+    auto t0 = std::chrono::steady_clock::now();
+    auto later = q.pop(); // sleeps until the entry matures
+    ASSERT_TRUE(later.has_value());
+    EXPECT_EQ(later->jobId, "later");
+    EXPECT_GE(std::chrono::steady_clock::now() - t0,
+              std::chrono::milliseconds(5));
+}
+
+TEST(JobQueueTest, RemoveCancelsQueuedEntry)
+{
+    JobQueue q(16);
+    q.push({"a", 0, 0, {}});
+    q.push({"b", 0, 0, {}});
+    EXPECT_TRUE(q.remove("a"));
+    EXPECT_FALSE(q.remove("a"));
+    EXPECT_EQ(q.pop()->jobId, "b");
+}
+
+// ---------------------------------------------------------------
+// Cancel / timeout / retry semantics
+// ---------------------------------------------------------------
+
+TEST(SweepServerTest, CancelBeforeStartVsCancelInFlight)
+{
+    FakeRunner fake;
+    ServeConfig cfg;
+    cfg.jobs = 1; // one worker: the second job must wait queued
+    SweepServer server(cfg, fake.runner());
+    server.start();
+
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(
+        tinySweep({"pointer_chase"}, {"ooo", "crisp"}), sub, &err))
+        << err;
+    ASSERT_EQ(sub.jobs.size(), 2u);
+    const std::string first = sub.jobs[0].id;
+    const std::string second = sub.jobs[1].id;
+
+    fake.awaitRunning(1);
+    EXPECT_EQ(stateOf(server, first), JobState::Running);
+    EXPECT_EQ(stateOf(server, second), JobState::Queued);
+
+    // Queued job: cancelled immediately, runner never sees it.
+    auto r2 = server.cancel({second});
+    ASSERT_EQ(r2.size(), 1u);
+    EXPECT_TRUE(r2[0].cancelled);
+    EXPECT_EQ(stateOf(server, second), JobState::Cancelled);
+    EXPECT_EQ(server.status({second})[0].error,
+              "cancelled before start");
+    EXPECT_EQ(server.status({second})[0].attempts, 0);
+
+    // Running job: the token fires; the worker finalizes it.
+    auto r1 = server.cancel({first});
+    EXPECT_TRUE(r1[0].cancelled);
+    awaitState(server, first, JobState::Cancelled);
+    EXPECT_EQ(server.status({first})[0].attempts, 1);
+
+    EXPECT_EQ(fake.calls.load(), 1); // the cancelled-queued job never ran
+    server.shutdown(false);
+}
+
+TEST(SweepServerTest, TimeoutRetriesThenFails)
+{
+    FakeRunner fake; // never released: every attempt must time out
+    ServeConfig cfg;
+    cfg.jobs = 1;
+    SweepServer server(cfg, fake.runner());
+    server.start();
+
+    SweepRequest req = tinySweep({"pointer_chase"}, {"ooo"});
+    req.timeoutMs = 25;
+    req.timeoutSet = true;
+    req.maxRetries = 2;
+    req.retriesSet = true;
+    req.retryBackoffMs = 1;
+    req.backoffSet = true;
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(req, sub, &err)) << err;
+    const std::string id = sub.jobs[0].id;
+
+    awaitState(server, id, JobState::Failed);
+    JobStatus st = server.status({id})[0];
+    EXPECT_EQ(st.attempts, 3); // 1 try + 2 retries
+    EXPECT_NE(st.error.find("timed out"), std::string::npos);
+    EXPECT_NE(st.error.find("attempt 3 of 3"), std::string::npos);
+
+    std::string metrics = server.metricsJson();
+    EXPECT_NE(metrics.find("\"timeouts\": 3"), std::string::npos)
+        << metrics;
+    EXPECT_NE(metrics.find("\"retries\": 2"), std::string::npos);
+    EXPECT_NE(metrics.find("\"failed\": 1"), std::string::npos);
+    server.shutdown(false);
+}
+
+TEST(SweepServerTest, DeadlockRetriesThenSucceeds)
+{
+    FakeRunner fake;
+    fake.release = true;          // attempts return immediately...
+    fake.deadlockUntilAttempt = 1; // ...but the first one deadlocks
+    ServeConfig cfg;
+    cfg.jobs = 1;
+    SweepServer server(cfg, fake.runner());
+    server.start();
+
+    SweepRequest req = tinySweep({"pointer_chase"}, {"ooo"});
+    req.maxRetries = 2;
+    req.retriesSet = true;
+    req.retryBackoffMs = 1;
+    req.backoffSet = true;
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(req, sub, &err)) << err;
+    const std::string id = sub.jobs[0].id;
+
+    awaitState(server, id, JobState::Done);
+    EXPECT_EQ(server.status({id})[0].attempts, 2);
+    std::string metrics = server.metricsJson();
+    EXPECT_NE(metrics.find("\"deadlocks\": 1"), std::string::npos);
+    EXPECT_NE(metrics.find("\"retries\": 1"), std::string::npos);
+    server.shutdown(false);
+}
+
+TEST(SweepServerTest, FatalErrorsFailWithoutRetry)
+{
+    ServeConfig cfg;
+    cfg.jobs = 1;
+    cfg.defaultMaxRetries = 5;
+    SweepServer server(
+        cfg, [](const JobSpec &, ArtifactCache &,
+                const CancelToken &) -> JobOutcome {
+            throw std::runtime_error("config exploded");
+        });
+    server.start();
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(tinySweep({"pointer_chase"}, {"ooo"}),
+                              sub, &err));
+    awaitState(server, sub.jobs[0].id, JobState::Failed);
+    JobStatus st = server.status({sub.jobs[0].id})[0];
+    EXPECT_EQ(st.attempts, 1); // fatal = no retries
+    EXPECT_EQ(st.error, "config exploded");
+    server.shutdown(false);
+}
+
+TEST(SweepServerTest, ShutdownRequeuesNeverStartedJobs)
+{
+    FakeRunner fake;
+    ServeConfig cfg;
+    cfg.jobs = 1;
+    SweepServer server(cfg, fake.runner());
+    server.start();
+
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(
+        tinySweep({"pointer_chase"},
+                  {"ooo", "crisp", "ibda-8K", "ibda-inf"}),
+        sub, &err));
+    fake.awaitRunning(1);
+
+    // Shut down without draining while the first job is still in
+    // flight: the queue is emptied (never-started jobs become
+    // Requeued), then shutdown blocks on the in-flight job — which
+    // we release once at least one job has been requeued.
+    std::thread stopper([&] { server.shutdown(false); });
+    for (int spin = 0; spin < 5000; ++spin) {
+        size_t requeued = 0;
+        for (const JobStatus &s : server.status({}))
+            requeued += s.state == JobState::Requeued;
+        if (requeued > 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    fake.releaseAll();
+    stopper.join();
+    EXPECT_FALSE(server.accepting());
+
+    size_t done = 0, requeued = 0;
+    for (const JobStatus &s : server.status({})) {
+        done += s.state == JobState::Done;
+        requeued += s.state == JobState::Requeued;
+        EXPECT_NE(size_t(s.state), size_t(JobState::Queued));
+        EXPECT_NE(size_t(s.state), size_t(JobState::Running));
+    }
+    EXPECT_GE(done, 1u);
+    EXPECT_GE(requeued, 1u);
+    EXPECT_EQ(done + requeued, 4u);
+
+    // A shut-down server refuses new work.
+    SweepServer::Submitted again;
+    EXPECT_FALSE(server.submit(tinySweep({"pointer_chase"}, {"ooo"}),
+                               again, &err));
+    EXPECT_NE(err.find("shutting down"), std::string::npos);
+}
+
+TEST(SweepServerTest, ResubmitRevivesRequeuedAndDedupesDone)
+{
+    FakeRunner fake;
+    fake.release = true;
+    ServeConfig cfg;
+    cfg.jobs = 1;
+    SweepServer server(cfg, fake.runner());
+    server.start();
+
+    SweepServer::Submitted first;
+    std::string err;
+    ASSERT_TRUE(server.submit(tinySweep({"pointer_chase"}, {"ooo"}),
+                              first, &err));
+    awaitState(server, first.jobs[0].id, JobState::Done);
+
+    // Same grid again: the done job is shared, not re-run.
+    SweepServer::Submitted second;
+    ASSERT_TRUE(server.submit(tinySweep({"pointer_chase"}, {"ooo"}),
+                              second, &err));
+    EXPECT_EQ(second.fresh, 0u);
+    EXPECT_EQ(second.deduped, 1u);
+    EXPECT_EQ(second.jobs[0].id, first.jobs[0].id);
+    EXPECT_EQ(second.jobs[0].state, JobState::Done);
+    EXPECT_EQ(fake.calls.load(), 1);
+    server.shutdown(false);
+}
+
+// ---------------------------------------------------------------
+// ArtifactCache stats
+// ---------------------------------------------------------------
+
+TEST(ArtifactCacheStatsTest, CountsHitsMissesInFlight)
+{
+    ArtifactCache cache;
+    ArtifactCache::Stats s0 = cache.stats();
+    EXPECT_EQ(s0.hits, 0u);
+    EXPECT_EQ(s0.misses, 0u);
+    EXPECT_EQ(s0.inFlight, 0u);
+
+    const WorkloadInfo *wl = findWorkload("pointer_chase");
+    ASSERT_NE(wl, nullptr);
+    auto t1 = cache.trace(*wl, InputSet::Ref, 5'000);
+    ArtifactCache::Stats s1 = cache.stats();
+    EXPECT_EQ(s1.misses, 1u);
+    EXPECT_EQ(s1.hits, 0u);
+    EXPECT_EQ(s1.inFlight, 0u); // compute finished before return
+
+    auto t2 = cache.trace(*wl, InputSet::Ref, 5'000);
+    EXPECT_EQ(t1.get(), t2.get()); // same shared artifact
+    ArtifactCache::Stats s2 = cache.stats();
+    EXPECT_EQ(s2.misses, 1u);
+    EXPECT_EQ(s2.hits, 1u);
+
+    cache.trace(*wl, InputSet::Ref, 6'000); // different key
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// ---------------------------------------------------------------
+// Loopback byte-identity + cross-request cache sharing
+// ---------------------------------------------------------------
+
+TEST(SweepServerTest, LoopbackByteIdentityAndCacheSharing)
+{
+    ScratchDir scratch("crisp_serve_test_results");
+    ServeConfig cfg;
+    cfg.jobs = 2;
+    cfg.resultDir = (scratch.path / "results").string();
+    SweepServer server(cfg); // the real simRunner
+    server.start();
+
+    // Request 1: the baseline variant (pays the trace miss).
+    SweepServer::Submitted sub1;
+    std::string err;
+    ASSERT_TRUE(server.submit(tinySweep({"pointer_chase"}, {"ooo"}),
+                              sub1, &err))
+        << err;
+    server.drain();
+    ASSERT_EQ(stateOf(server, sub1.jobs[0].id), JobState::Done);
+    ArtifactCache::Stats afterFirst = server.cache().stats();
+
+    // Request 2, separate submit: a variant that shares the ooo
+    // ref trace. Cross-request sharing is the server's reason to
+    // exist: artifacts computed for request 1 must be hits now.
+    SweepServer::Submitted subShare;
+    ASSERT_TRUE(server.submit(
+        tinySweep({"pointer_chase"}, {"ibda-8K"}), subShare, &err));
+    server.drain();
+    ASSERT_EQ(stateOf(server, subShare.jobs[0].id), JobState::Done);
+    ArtifactCache::Stats afterSecond = server.cache().stats();
+    EXPECT_GT(afterSecond.hits, afterFirst.hits)
+        << "second request did not share the first's artifacts";
+
+    // Request 3: the crisp variant, for the byte-identity check.
+    SweepServer::Submitted sub2;
+    ASSERT_TRUE(server.submit(
+        tinySweep({"pointer_chase"}, {"crisp"}), sub2, &err));
+    server.drain();
+    const std::string crispId = sub2.jobs[0].id;
+    ASSERT_EQ(stateOf(server, crispId), JobState::Done);
+
+    // Byte-identity: the server-run job's stats must equal a direct
+    // runner invocation against a fresh cache, byte for byte.
+    JobStatus st = server.status({crispId})[0];
+    std::vector<JobSpec> specs;
+    ASSERT_TRUE(expandSweep(tinySweep({"pointer_chase"}, {"crisp"}),
+                            specs, &err));
+    ASSERT_EQ(specs[0].id, crispId); // IDs are content-addressed
+    ArtifactCache freshCache;
+    CancelToken token;
+    JobOutcome direct =
+        SweepServer::simRunner()(specs[0], freshCache, token);
+    EXPECT_EQ(st.ipc, direct.ipc);
+
+    // The result file on disk is the byte-exact stats export, and
+    // the manifest names it (crisp_report --from-server's layout).
+    std::string fileBytes = slurp(fs::path(cfg.resultDir) /
+                                  (crispId + ".json"));
+    EXPECT_EQ(fileBytes, direct.statsJson);
+    std::string manifest =
+        slurp(fs::path(cfg.resultDir) / "manifest.ndjson");
+    EXPECT_NE(manifest.find(crispId + ".json"), std::string::npos);
+    EXPECT_NE(manifest.find("\"state\":\"done\""),
+              std::string::npos);
+
+    server.shutdown(false);
+}
+
+// ---------------------------------------------------------------
+// Socket transport end to end
+// ---------------------------------------------------------------
+
+TEST(TransportTest, SubmitStreamShutdownOverSocket)
+{
+    ScratchDir scratch("crisp_serve_test_sock");
+    std::string sock = (scratch.path / "serve.sock").string();
+
+    ServeConfig cfg;
+    cfg.jobs = 1;
+    SweepServer server(cfg, instantRunner());
+    ServeListener listener(server, sock);
+    std::string err;
+    ASSERT_TRUE(listener.open(&err)) << err;
+    server.start();
+    std::thread accept([&] { listener.run(); });
+
+    ServeClient client;
+    ASSERT_TRUE(client.connect(sock, &err)) << err;
+    ASSERT_TRUE(client.sendLine(
+        "{\"op\":\"submit\",\"proto\":1,"
+        "\"workloads\":[\"pointer_chase\"],"
+        "\"variants\":[\"ooo\"],"
+        "\"train_ops\":5000,\"ref_ops\":10000}"));
+    std::string line;
+    ASSERT_TRUE(client.recvLine(line));
+    JsonValue sub;
+    ASSERT_TRUE(parseJson(line, sub, &err)) << line;
+    ASSERT_TRUE(sub.at("ok").boolean) << line;
+    std::string id = sub.at("jobs").elements[0].at("id").text;
+
+    // Stream the job to completion on a second connection (the
+    // first stays free for control traffic, as crisp_submit does).
+    ServeClient stream;
+    ASSERT_TRUE(stream.connect(sock, &err));
+    ASSERT_TRUE(stream.sendLine("{\"op\":\"stream\",\"job\":\"" +
+                                id + "\"}"));
+    bool sawResult = false, sawEnd = false;
+    while (!sawEnd && stream.recvLine(line)) {
+        sawResult |= line.find("\"event\":\"result\"") !=
+                     std::string::npos;
+        sawEnd |= line.find("\"event\":\"end\"") !=
+                  std::string::npos;
+    }
+    EXPECT_TRUE(sawResult);
+    EXPECT_TRUE(sawEnd);
+
+    // The shutdown op stops the daemon; run() returns.
+    ASSERT_TRUE(client.sendLine("{\"op\":\"shutdown\"}"));
+    ASSERT_TRUE(client.recvLine(line));
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+    accept.join();
+    EXPECT_FALSE(server.accepting());
+}
+
+} // namespace
+} // namespace crisp

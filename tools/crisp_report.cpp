@@ -17,6 +17,14 @@
  *   crisp_report stats.json stats.json --prefix-a ooo \
  *       --prefix-b crisp --fail-below -1.0 -o report.md
  *
+ * With --from-server DIR the inputs may instead name jobs from a
+ * crisp_serve result directory (manifest.ndjson + <job>.json, see
+ * DESIGN.md §15) as workload/variant selectors; each side's prefix
+ * defaults to that variant's registry label:
+ *
+ *   crisp_report --from-server results/ \
+ *       pointer_chase/ooo pointer_chase/crisp --fail-below -1.0
+ *
  * Exit status: 0 = pass, 1 = the --fail-below gate tripped,
  * 2 = usage or input error.
  */
@@ -31,6 +39,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <filesystem>
 
 #include "sim/stats.h"
 #include "telemetry/cpi_stack.h"
@@ -47,6 +57,7 @@ struct Options
     std::string prefixA, prefixB;
     std::string labelA, labelB;
     std::string outPath;
+    std::string serverDir; ///< crisp_serve result dir (may be empty)
     double threshold = 1.0;  ///< per-metric report threshold, %
     double failBelow = 0.0;  ///< aggregate IPC gate, %
     bool gate = false;       ///< --fail-below given
@@ -59,6 +70,14 @@ struct Options
 
 const char *kUsage =
     "usage: crisp_report A.json B.json [options]\n"
+    "  --from-server DIR\n"
+    "                   resolve inputs through a crisp_serve result\n"
+    "                   directory: an input of the form\n"
+    "                   workload/variant is looked up in DIR's\n"
+    "                   manifest.ndjson and replaced by that job's\n"
+    "                   result file (its registry label becomes the\n"
+    "                   side's default prefix); other inputs stay\n"
+    "                   plain file paths\n"
     "  --prefix-a P     keep only A-metrics under namespace P\n"
     "  --prefix-b P     keep only B-metrics under namespace P\n"
     "  --label-a NAME   report label for side A (default: prefix\n"
@@ -105,7 +124,10 @@ parseArgs(const std::vector<std::string> &args)
                 opt.error = std::string(flag) +
                             " expects a number, got '" + v + "'";
         };
-        if (a == "--prefix-a") {
+        if (a == "--from-server") {
+            if (const char *v = need_value("--from-server"))
+                opt.serverDir = v;
+        } else if (a == "--prefix-a") {
             if (const char *v = need_value("--prefix-a"))
                 opt.prefixA = v;
         } else if (a == "--prefix-b") {
@@ -159,6 +181,91 @@ parseArgs(const std::vector<std::string> &args)
 }
 
 using MetricMap = std::map<std::string, double>;
+
+/** One job row from a crisp_serve result manifest. */
+struct ServerJob
+{
+    std::string file;  ///< result file name ("" unless done)
+    std::string state; ///< terminal state ("done", "failed", ...)
+    std::string label; ///< registry label ("ooo", "crisp", "ibda")
+};
+
+/**
+ * Loads DIR/manifest.ndjson (the crisp_serve per-job result layout,
+ * DESIGN.md §15) into a "workload/variant" -> job map. A job that
+ * was re-run appends a newer manifest row; the last row wins.
+ */
+bool
+loadManifest(const std::string &dir,
+             std::map<std::string, ServerJob> &out,
+             std::string &error)
+{
+    std::filesystem::path path =
+        std::filesystem::path(dir) / "manifest.ndjson";
+    std::ifstream is(path);
+    if (!is) {
+        error = "cannot open " + path.string();
+        return false;
+    }
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        JsonValue row;
+        if (!parseJson(line, row, &error)) {
+            error = path.string() + ": " + error;
+            return false;
+        }
+        if (!row.isObject() || !row.has("workload") ||
+            !row.has("variant") || !row.has("state"))
+            continue;
+        const std::string variant = row.at("variant").text;
+        ServerJob job;
+        job.state = row.at("state").text;
+        if (row.has("file"))
+            job.file = row.at("file").text;
+        job.label =
+            variant.rfind("ibda-", 0) == 0 ? "ibda" : variant;
+        out[row.at("workload").text + "/" + variant] =
+            std::move(job);
+    }
+    if (out.empty()) {
+        error = path.string() + ": no job rows";
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Rewrites one input through the server manifest: a
+ * "workload/variant" selector becomes the job's result-file path,
+ * and an unset @p prefix becomes the variant's registry label.
+ * Inputs naming an existing file pass through untouched.
+ */
+bool
+resolveServerInput(const std::map<std::string, ServerJob> &manifest,
+                   const std::string &dir, std::string &file,
+                   std::string &prefix, std::string &error)
+{
+    auto it = manifest.find(file);
+    if (it == manifest.end()) {
+        if (std::filesystem::exists(file))
+            return true; // a plain file mixed into the comparison
+        error = "no job '" + file + "' in " + dir +
+                "/manifest.ndjson (and no such file)";
+        return false;
+    }
+    const ServerJob &job = it->second;
+    if (job.state != "done" || job.file.empty()) {
+        error = "job '" + file + "' is " + job.state +
+                "; it has no result file";
+        return false;
+    }
+    if (prefix.empty())
+        prefix = job.label;
+    file = (std::filesystem::path(dir) / job.file).string();
+    return true;
+}
 
 /** @return true when @p v looks like a StatRegistry table export. */
 bool
@@ -639,8 +746,21 @@ main(int argc, char **argv)
         return 2;
     }
 
-    MetricMap ma, mb;
     std::string error;
+    if (!opt.serverDir.empty()) {
+        std::map<std::string, ServerJob> manifest;
+        if (!loadManifest(opt.serverDir, manifest, error) ||
+            !resolveServerInput(manifest, opt.serverDir, opt.fileA,
+                                opt.prefixA, error) ||
+            !resolveServerInput(manifest, opt.serverDir, opt.fileB,
+                                opt.prefixB, error)) {
+            std::fprintf(stderr, "crisp_report: %s\n",
+                         error.c_str());
+            return 2;
+        }
+    }
+
+    MetricMap ma, mb;
     if (!loadMetrics(opt.fileA, opt.prefixA, ma, error,
                      opt.flattenIntervals) ||
         !loadMetrics(opt.fileB, opt.prefixB, mb, error,

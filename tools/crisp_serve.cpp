@@ -1,0 +1,216 @@
+/**
+ * @file
+ * crisp_serve: the long-running sweep daemon (DESIGN.md §15).
+ *
+ * Boots a SweepServer on a unix domain socket and serves newline-
+ * delimited JSON requests until a shutdown op (or SIGINT/SIGTERM)
+ * lands. All jobs share one ArtifactCache — and, with
+ * --artifact-dir, one on-disk warm store — so repeated sweeps over
+ * the same workloads pay the artifact cost once per daemon, not
+ * once per invocation.
+ *
+ *   crisp_serve --socket /tmp/crisp.sock --jobs 4 \
+ *               --result-dir results/ --artifact-dir warm/
+ *
+ * Drive it with crisp_submit (or any NDJSON-speaking client); read
+ * the per-job result layout back with crisp_report --from-server.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.h"
+#include "serve/transport.h"
+#include "sim/warm_store.h"
+
+namespace
+{
+
+crisp::ServeListener *g_listener = nullptr;
+
+void
+onSignal(int)
+{
+    // Async-signal-safe: just wake the accept loop; the main thread
+    // performs the orderly shutdown.
+    if (g_listener)
+        g_listener->stop();
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: crisp_serve --socket PATH [options]\n"
+        "\n"
+        "  --socket PATH           unix socket to listen on "
+        "(required)\n"
+        "  --jobs N                worker count (default: hardware "
+        "concurrency)\n"
+        "  --queue-capacity N      submit backpressure bound "
+        "(default 64)\n"
+        "  --timeout-ms N          default per-attempt job timeout "
+        "(0 = none)\n"
+        "  --max-retries N         default retries after "
+        "timeout/deadlock (default 2)\n"
+        "  --retry-backoff-ms N    first retry backoff, doubling "
+        "(default 100)\n"
+        "  --result-dir DIR        write <job>.json + "
+        "manifest.ndjson per job\n"
+        "  --artifact-dir DIR      persistent warm-artifact store "
+        "(DESIGN.md §14)\n"
+        "  --artifact-max-bytes N  warm-store byte cap (0 = "
+        "unlimited)\n"
+        "  --help                  this text\n"
+        "\n"
+        "Protocol (one JSON object per line; see DESIGN.md §15):\n"
+        "  {\"op\":\"submit\",\"proto\":1,\"workloads\":[...],"
+        "\"variants\":[...],...}\n"
+        "  {\"op\":\"status\"} {\"op\":\"stream\",\"job\":\"j-...\"}"
+        " {\"op\":\"cancel\",\"jobs\":[...]}\n"
+        "  {\"op\":\"drain\"} {\"op\":\"metrics\"} "
+        "{\"op\":\"shutdown\",\"drain\":true}\n");
+}
+
+bool
+parseUnsigned(const char *s, uint64_t &out)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    crisp::ServeConfig cfg;
+    std::string socketPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](uint64_t &out) {
+            if (i + 1 >= argc || !parseUnsigned(argv[i + 1], out)) {
+                std::fprintf(stderr,
+                             "crisp_serve: %s needs a numeric "
+                             "value\n",
+                             arg.c_str());
+                return false;
+            }
+            ++i;
+            return true;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--socket") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "crisp_serve: --socket needs a path\n");
+                return 2;
+            }
+            socketPath = argv[++i];
+        } else if (arg == "--result-dir") {
+            if (i + 1 >= argc) {
+                std::fprintf(
+                    stderr,
+                    "crisp_serve: --result-dir needs a path\n");
+                return 2;
+            }
+            cfg.resultDir = argv[++i];
+        } else if (arg == "--artifact-dir") {
+            if (i + 1 >= argc) {
+                std::fprintf(
+                    stderr,
+                    "crisp_serve: --artifact-dir needs a path\n");
+                return 2;
+            }
+            cfg.artifactDir = argv[++i];
+        } else if (arg == "--jobs") {
+            uint64_t v = 0;
+            if (!value(v))
+                return 2;
+            cfg.jobs = unsigned(v);
+        } else if (arg == "--queue-capacity") {
+            uint64_t v = 0;
+            if (!value(v))
+                return 2;
+            cfg.queueCapacity = size_t(v);
+        } else if (arg == "--timeout-ms") {
+            if (!value(cfg.defaultTimeoutMs))
+                return 2;
+        } else if (arg == "--max-retries") {
+            uint64_t v = 0;
+            if (!value(v))
+                return 2;
+            cfg.defaultMaxRetries = int(v);
+        } else if (arg == "--retry-backoff-ms") {
+            if (!value(cfg.retryBackoffMs))
+                return 2;
+        } else if (arg == "--artifact-max-bytes") {
+            if (!value(cfg.artifactMaxBytes))
+                return 2;
+        } else {
+            std::fprintf(stderr, "crisp_serve: unknown flag %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (socketPath.empty()) {
+        std::fprintf(stderr, "crisp_serve: --socket is required\n");
+        usage();
+        return 2;
+    }
+    if (!cfg.artifactDir.empty()) {
+        std::string why;
+        if (!crisp::WarmArtifactStore::dirWritable(cfg.artifactDir,
+                                                   &why)) {
+            std::fprintf(stderr,
+                         "crisp_serve: --artifact-dir: %s\n",
+                         why.c_str());
+            return 2;
+        }
+    }
+
+    crisp::SweepServer server(cfg);
+    crisp::ServeListener listener(server, socketPath);
+    std::string err;
+    if (!listener.open(&err)) {
+        std::fprintf(stderr, "crisp_serve: %s\n", err.c_str());
+        return 2;
+    }
+    server.start();
+
+    g_listener = &listener;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    signal(SIGPIPE, SIG_IGN); // broken clients must not kill us
+
+    std::printf("crisp_serve: listening on %s (%u workers, queue "
+                "%zu)\n",
+                socketPath.c_str(),
+                cfg.jobs ? cfg.jobs
+                         : crisp::ThreadPool::defaultJobs(),
+                cfg.queueCapacity);
+    std::fflush(stdout);
+
+    listener.run(); // until shutdown op or signal
+    g_listener = nullptr;
+
+    // Signal-initiated exit: the shutdown op already stopped the
+    // server; a signal has not. shutdown() is idempotent either way.
+    server.shutdown(false);
+    std::printf("crisp_serve: shut down\n");
+    return 0;
+}

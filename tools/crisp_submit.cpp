@@ -1,0 +1,463 @@
+/**
+ * @file
+ * crisp_submit: command-line client for the crisp_serve daemon.
+ *
+ * Speaks the NDJSON protocol of DESIGN.md §15 over the daemon's
+ * unix socket. Subcommands map one-to-one onto protocol ops:
+ *
+ *   crisp_submit --socket S submit --workloads mcf,bfs \
+ *       --variants ooo,crisp --config "--sample 50000" \
+ *       --train 200000 --ref 400000 --wait --out results/
+ *   crisp_submit --socket S status [JOB...]
+ *   crisp_submit --socket S cancel JOB...
+ *   crisp_submit --socket S drain
+ *   crisp_submit --socket S metrics
+ *   crisp_submit --socket S shutdown [--no-drain]
+ *
+ * With --wait, submit streams every job to completion and exits
+ * non-zero if any failed; with --out DIR it additionally writes each
+ * finished job's full stats registry to DIR/<job>.json — the same
+ * bytes crisp_sim --stats-json would have produced for that run.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/transport.h"
+#include "telemetry/json.h"
+
+namespace
+{
+
+using crisp::JsonValue;
+
+std::vector<std::string>
+splitList(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+jsonStringArray(const std::vector<std::string> &v)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ",";
+        out += crisp::jsonQuote(v[i]);
+    }
+    return out + "]";
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: crisp_submit --socket PATH COMMAND [options]\n"
+        "\n"
+        "commands:\n"
+        "  submit   --workloads A,B --variants ooo,crisp[,ibda-1K]\n"
+        "           [--config \"--rob 192 ...\"]... (one job grid "
+        "axis per flag)\n"
+        "           [--train N] [--ref N] [--priority N]\n"
+        "           [--timeout-ms N] [--max-retries N]\n"
+        "           [--wait] [--out DIR]\n"
+        "  status   [JOB...]\n"
+        "  cancel   JOB...\n"
+        "  drain\n"
+        "  metrics\n"
+        "  shutdown [--no-drain]\n");
+}
+
+/** One request -> one response line, parsed. Exits on I/O error. */
+bool
+roundTrip(crisp::ServeClient &client, const std::string &request,
+          JsonValue &response)
+{
+    if (!client.sendLine(request)) {
+        std::fprintf(stderr, "crisp_submit: connection lost\n");
+        return false;
+    }
+    std::string line;
+    if (!client.recvLine(line)) {
+        std::fprintf(stderr, "crisp_submit: connection closed\n");
+        return false;
+    }
+    std::string err;
+    if (!crisp::parseJson(line, response, &err)) {
+        std::fprintf(stderr,
+                     "crisp_submit: bad response (%s): %s\n",
+                     err.c_str(), line.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+responseOk(const JsonValue &v)
+{
+    return v.isObject() && v.has("ok") &&
+           v.at("ok").kind == JsonValue::Kind::Bool &&
+           v.at("ok").boolean;
+}
+
+void
+printServerError(const JsonValue &v)
+{
+    std::string msg = "unknown error";
+    if (v.isObject() && v.has("error") && v.at("error").isString())
+        msg = v.at("error").text;
+    std::fprintf(stderr, "crisp_submit: server: %s\n", msg.c_str());
+}
+
+/**
+ * Streams @p job to completion on its own connection, printing
+ * progress events. @return 0 done, 1 not-done, 2 I/O error.
+ * @param outDir when non-empty, the result registry JSON (unquoted
+ *        from the wire string) lands in outDir/<job>.json
+ */
+int
+streamJob(const std::string &socket, const std::string &job,
+          const std::string &outDir)
+{
+    crisp::ServeClient client;
+    std::string err;
+    if (!client.connect(socket, &err)) {
+        std::fprintf(stderr, "crisp_submit: %s\n", err.c_str());
+        return 2;
+    }
+    if (!client.sendLine("{\"op\":\"stream\",\"job\":" +
+                         crisp::jsonQuote(job) + "}"))
+        return 2;
+    std::string line;
+    int rc = 1;
+    while (client.recvLine(line)) {
+        JsonValue ev;
+        if (!crisp::parseJson(line, ev, nullptr) || !ev.isObject())
+            continue;
+        if (ev.has("error")) {
+            printServerError(ev);
+            return 1;
+        }
+        if (!ev.has("event") || !ev.at("event").isString())
+            continue;
+        const std::string kind = ev.at("event").text;
+        if (kind == "state" || kind == "retry") {
+            std::printf("%s: %s\n", job.c_str(), line.c_str());
+        } else if (kind == "result") {
+            bool ok = ev.has("ok") &&
+                      ev.at("ok").kind == JsonValue::Kind::Bool &&
+                      ev.at("ok").boolean;
+            if (ok) {
+                double ipc = ev.has("ipc") ? ev.at("ipc").number
+                                           : 0.0;
+                std::printf("%s: done ipc=%.4f\n", job.c_str(),
+                            ipc);
+                rc = 0;
+                if (!outDir.empty() && ev.has("stats_json")) {
+                    std::filesystem::create_directories(outDir);
+                    std::ofstream os(
+                        std::filesystem::path(outDir) /
+                            (job + ".json"),
+                        std::ios::trunc);
+                    os << ev.at("stats_json").text;
+                }
+            } else {
+                std::string why;
+                if (ev.has("error"))
+                    why = ev.at("error").text;
+                std::string state = "failed";
+                if (ev.has("state"))
+                    state = ev.at("state").text;
+                std::printf("%s: %s (%s)\n", job.c_str(),
+                            state.c_str(), why.c_str());
+            }
+        } else if (kind == "end") {
+            break;
+        }
+    }
+    return rc;
+}
+
+int
+cmdSubmit(const std::string &socket, int argc, char **argv, int i)
+{
+    std::vector<std::string> workloads, variants;
+    std::vector<std::string> configs; // raw strings, tokenized below
+    uint64_t trainOps = 0, refOps = 0, timeoutMs = 0;
+    int priority = 0, maxRetries = -1;
+    bool wait = false, haveTimeout = false;
+    std::string outDir;
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto str = [&](std::string &dst) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "crisp_submit: %s needs a value\n",
+                             arg.c_str());
+                return false;
+            }
+            dst = argv[++i];
+            return true;
+        };
+        auto num = [&](uint64_t &dst) {
+            std::string s;
+            if (!str(s))
+                return false;
+            dst = std::strtoull(s.c_str(), nullptr, 10);
+            return true;
+        };
+        if (arg == "--workloads") {
+            std::string s;
+            if (!str(s))
+                return 2;
+            workloads = splitList(s, ',');
+        } else if (arg == "--variants") {
+            std::string s;
+            if (!str(s))
+                return 2;
+            variants = splitList(s, ',');
+        } else if (arg == "--config") {
+            std::string s;
+            if (!str(s))
+                return 2;
+            configs.push_back(s);
+        } else if (arg == "--train") {
+            if (!num(trainOps))
+                return 2;
+        } else if (arg == "--ref") {
+            if (!num(refOps))
+                return 2;
+        } else if (arg == "--priority") {
+            uint64_t v = 0;
+            if (!num(v))
+                return 2;
+            priority = int(v);
+        } else if (arg == "--timeout-ms") {
+            if (!num(timeoutMs))
+                return 2;
+            haveTimeout = true;
+        } else if (arg == "--max-retries") {
+            uint64_t v = 0;
+            if (!num(v))
+                return 2;
+            maxRetries = int(v);
+        } else if (arg == "--wait") {
+            wait = true;
+        } else if (arg == "--out") {
+            if (!str(outDir))
+                return 2;
+            wait = true; // results only exist once jobs finish
+        } else {
+            std::fprintf(stderr,
+                         "crisp_submit: unknown submit flag %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (workloads.empty() || variants.empty()) {
+        std::fprintf(stderr, "crisp_submit: submit needs "
+                             "--workloads and --variants\n");
+        return 2;
+    }
+
+    std::ostringstream req;
+    req << "{\"op\":\"submit\",\"proto\":"
+        << crisp::kServeProtoVersion
+        << ",\"workloads\":" << jsonStringArray(workloads)
+        << ",\"variants\":" << jsonStringArray(variants);
+    if (!configs.empty()) {
+        req << ",\"configs\":[";
+        for (size_t c = 0; c < configs.size(); ++c) {
+            if (c)
+                req << ",";
+            req << jsonStringArray(splitList(configs[c], ' '));
+        }
+        req << "]";
+    }
+    if (trainOps)
+        req << ",\"train_ops\":" << trainOps;
+    if (refOps)
+        req << ",\"ref_ops\":" << refOps;
+    if (priority)
+        req << ",\"priority\":" << priority;
+    if (haveTimeout)
+        req << ",\"timeout_ms\":" << timeoutMs;
+    if (maxRetries >= 0)
+        req << ",\"max_retries\":" << maxRetries;
+    req << "}";
+
+    crisp::ServeClient client;
+    std::string err;
+    if (!client.connect(socket, &err)) {
+        std::fprintf(stderr, "crisp_submit: %s\n", err.c_str());
+        return 2;
+    }
+    JsonValue resp;
+    if (!roundTrip(client, req.str(), resp))
+        return 2;
+    if (!responseOk(resp)) {
+        printServerError(resp);
+        return 1;
+    }
+    std::vector<std::string> jobIds;
+    if (resp.has("jobs") && resp.at("jobs").isArray())
+        for (const JsonValue &j : resp.at("jobs").elements)
+            if (j.isObject() && j.has("id"))
+                jobIds.push_back(j.at("id").text);
+    std::printf("submitted %zu job(s)", jobIds.size());
+    if (resp.has("deduped"))
+        std::printf(" (%d shared with earlier submits)",
+                    int(resp.at("deduped").number));
+    std::printf("\n");
+    for (const std::string &id : jobIds)
+        std::printf("  %s\n", id.c_str());
+    if (!wait)
+        return 0;
+
+    int rc = 0;
+    for (const std::string &id : jobIds)
+        if (streamJob(socket, id, outDir) != 0)
+            rc = 1;
+    if (!outDir.empty())
+        std::printf("results in %s\n", outDir.c_str());
+    return rc;
+}
+
+/** Generic one-shot op: send, pretty-print the response line. */
+int
+cmdSimple(const std::string &socket, const std::string &request)
+{
+    crisp::ServeClient client;
+    std::string err;
+    if (!client.connect(socket, &err)) {
+        std::fprintf(stderr, "crisp_submit: %s\n", err.c_str());
+        return 2;
+    }
+    JsonValue resp;
+    if (!roundTrip(client, request, resp))
+        return 2;
+    if (!responseOk(resp)) {
+        printServerError(resp);
+        return 1;
+    }
+    // metrics carries a multi-line registry inside a JSON string;
+    // unquote it for human eyes, everything else prints verbatim.
+    if (resp.has("stats_json") && resp.at("stats_json").isString())
+        std::printf("%s\n", resp.at("stats_json").text.c_str());
+    else if (resp.has("jobs") && resp.at("jobs").isArray()) {
+        for (const JsonValue &j : resp.at("jobs").elements) {
+            if (!j.isObject())
+                continue;
+            std::printf(
+                "%-20s %-12s %-10s %-9s attempts=%d%s%s\n",
+                j.has("id") ? j.at("id").text.c_str() : "?",
+                j.has("workload") ? j.at("workload").text.c_str()
+                                  : "",
+                j.has("variant") ? j.at("variant").text.c_str()
+                                 : "",
+                j.has("state") ? j.at("state").text.c_str() : "?",
+                j.has("attempts") ? int(j.at("attempts").number)
+                                  : 0,
+                j.has("error") ? " error=" : "",
+                j.has("error") ? j.at("error").text.c_str() : "");
+        }
+    } else {
+        // drain/cancel/shutdown summaries: re-render compactly.
+        std::printf("ok\n");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket;
+    int i = 1;
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--socket") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "crisp_submit: --socket needs a "
+                             "path\n");
+                return 2;
+            }
+            socket = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            break;
+        }
+    }
+    if (socket.empty() || i >= argc) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[i++];
+
+    if (cmd == "submit")
+        return cmdSubmit(socket, argc, argv, i);
+    if (cmd == "status") {
+        std::vector<std::string> jobs;
+        for (; i < argc; ++i)
+            jobs.emplace_back(argv[i]);
+        std::string req = "{\"op\":\"status\"";
+        if (!jobs.empty())
+            req += ",\"jobs\":" + jsonStringArray(jobs);
+        return cmdSimple(socket, req + "}");
+    }
+    if (cmd == "cancel") {
+        std::vector<std::string> jobs;
+        for (; i < argc; ++i)
+            jobs.emplace_back(argv[i]);
+        if (jobs.empty()) {
+            std::fprintf(stderr,
+                         "crisp_submit: cancel needs job IDs\n");
+            return 2;
+        }
+        return cmdSimple(socket, "{\"op\":\"cancel\",\"jobs\":" +
+                                     jsonStringArray(jobs) + "}");
+    }
+    if (cmd == "drain")
+        return cmdSimple(socket, "{\"op\":\"drain\"}");
+    if (cmd == "metrics")
+        return cmdSimple(socket, "{\"op\":\"metrics\"}");
+    if (cmd == "shutdown") {
+        bool drain = true;
+        for (; i < argc; ++i)
+            if (std::strcmp(argv[i], "--no-drain") == 0)
+                drain = false;
+        return cmdSimple(socket,
+                         std::string("{\"op\":\"shutdown\","
+                                     "\"drain\":") +
+                             (drain ? "true" : "false") + "}");
+    }
+    std::fprintf(stderr, "crisp_submit: unknown command %s\n",
+                 cmd.c_str());
+    usage();
+    return 2;
+}
