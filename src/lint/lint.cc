@@ -1,0 +1,659 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/json.h"
+
+namespace crisp
+{
+namespace lint
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+const char *const kRuleBlocking = "blocking-under-lock";
+const char *const kRulePredicate = "wait-needs-predicate";
+const char *const kRuleCancel = "cancel-token-acquire";
+const char *const kRuleStatReg = "stat-registration-after-thread-start";
+
+/** One lexical token (comments, strings and preprocessor lines are
+ *  consumed by the tokenizer; string/char literals come through as
+ *  the placeholder "@str" so argument counting still sees them). */
+struct Token
+{
+    std::string text;
+    int line = 0;
+};
+
+/** Tokenizer output: the token stream plus the suppressions the
+ *  comments declared. */
+struct Lexed
+{
+    std::vector<Token> tokens;
+    /** (line, rule) pairs silenced by crisp-lint: allow(...) —
+     *  each directive covers its own line and the next. */
+    std::set<std::pair<int, std::string>> allowed;
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Parses "crisp-lint: allow(rule1,rule2)" out of a comment body. */
+void
+collectAllows(const std::string &comment, int line, Lexed &out)
+{
+    const std::string tag = "crisp-lint:";
+    size_t at = comment.find(tag);
+    if (at == std::string::npos)
+        return;
+    size_t open = comment.find("allow(", at);
+    if (open == std::string::npos)
+        return;
+    size_t close = comment.find(')', open);
+    if (close == std::string::npos)
+        return;
+    std::string list =
+        comment.substr(open + 6, close - (open + 6));
+    std::string rule;
+    std::istringstream is(list);
+    while (std::getline(is, rule, ',')) {
+        size_t b = rule.find_first_not_of(" \t");
+        size_t e = rule.find_last_not_of(" \t");
+        if (b == std::string::npos)
+            continue;
+        rule = rule.substr(b, e - b + 1);
+        out.allowed.insert({line, rule});
+        out.allowed.insert({line + 1, rule});
+    }
+}
+
+Lexed
+tokenize(const std::string &text)
+{
+    Lexed out;
+    int line = 1;
+    size_t i = 0;
+    const size_t n = text.size();
+    bool atLineStart = true; // only whitespace seen on this line
+
+    auto newline = [&] {
+        ++line;
+        atLineStart = true;
+    };
+
+    while (i < n) {
+        char c = text[i];
+        if (c == '\n') {
+            newline();
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: swallow the logical line.
+        if (c == '#' && atLineStart) {
+            while (i < n) {
+                if (text[i] == '\\' && i + 1 < n &&
+                    text[i + 1] == '\n') {
+                    newline();
+                    i += 2;
+                    continue;
+                }
+                if (text[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        atLineStart = false;
+        // Comments.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            size_t end = text.find('\n', i);
+            if (end == std::string::npos)
+                end = n;
+            collectAllows(text.substr(i, end - i), line, out);
+            i = end;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            size_t start = i;
+            int startLine = line;
+            i += 2;
+            while (i + 1 < n &&
+                   !(text[i] == '*' && text[i + 1] == '/')) {
+                if (text[i] == '\n')
+                    newline();
+                ++i;
+            }
+            i = std::min(i + 2, n);
+            collectAllows(text.substr(start, i - start), startLine,
+                          out);
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            size_t p = i + 2;
+            std::string delim;
+            while (p < n && text[p] != '(')
+                delim += text[p++];
+            std::string closer = ")" + delim + "\"";
+            size_t end = text.find(closer, p);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += closer.size();
+            for (size_t k = i; k < end; ++k)
+                if (text[k] == '\n')
+                    newline();
+            out.tokens.push_back({"@str", line});
+            i = end;
+            continue;
+        }
+        // String / char literals.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            size_t p = i + 1;
+            while (p < n && text[p] != quote) {
+                if (text[p] == '\\' && p + 1 < n)
+                    ++p;
+                if (text[p] == '\n')
+                    newline();
+                ++p;
+            }
+            out.tokens.push_back({"@str", line});
+            i = std::min(p + 1, n);
+            continue;
+        }
+        // Identifiers / keywords.
+        if (isIdentChar(c) &&
+            !std::isdigit(static_cast<unsigned char>(c))) {
+            size_t p = i;
+            while (p < n && isIdentChar(text[p]))
+                ++p;
+            out.tokens.push_back(
+                {text.substr(i, p - i), line});
+            i = p;
+            continue;
+        }
+        // Numbers (incl. hex and digit separators).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t p = i;
+            while (p < n && (isIdentChar(text[p]) ||
+                             text[p] == '\'' || text[p] == '.'))
+                ++p;
+            out.tokens.push_back({"@num", line});
+            i = p;
+            continue;
+        }
+        // Two-char operators the rules care about.
+        if (i + 1 < n) {
+            std::string two = text.substr(i, 2);
+            if (two == "::" || two == "->") {
+                out.tokens.push_back({two, line});
+                i += 2;
+                continue;
+            }
+        }
+        out.tokens.push_back({std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+/** Names whose declaration opens a scoped lock region. */
+bool
+isGuardType(const std::string &t)
+{
+    return t == "MutexLock" || t == "lock_guard" ||
+           t == "unique_lock" || t == "scoped_lock" ||
+           t == "shared_lock";
+}
+
+/** @return index just past a balanced <...> starting at @p i (which
+ *  must point at '<'), or @p i when it does not close within a
+ *  sane window (comparison operator, not template args). */
+size_t
+skipTemplateArgs(const std::vector<Token> &toks, size_t i)
+{
+    int depth = 0;
+    for (size_t p = i; p < toks.size() && p < i + 64; ++p) {
+        if (toks[p].text == "<")
+            ++depth;
+        else if (toks[p].text == ">") {
+            if (--depth == 0)
+                return p + 1;
+        } else if (toks[p].text == ";" || toks[p].text == "{")
+            break;
+    }
+    return i;
+}
+
+/** Counts top-level call arguments starting at the '(' at @p open.
+ *  @return argument count, or -1 when the parens never balance. */
+int
+countCallArgs(const std::vector<Token> &toks, size_t open)
+{
+    int paren = 0, bracket = 0, brace = 0;
+    int args = 0;
+    bool sawAny = false;
+    for (size_t p = open; p < toks.size(); ++p) {
+        const std::string &t = toks[p].text;
+        if (t == "(") {
+            ++paren;
+        } else if (t == ")") {
+            if (--paren == 0)
+                return sawAny ? args + 1 : 0;
+        } else if (t == "[")
+            ++bracket;
+        else if (t == "]")
+            --bracket;
+        else if (t == "{")
+            ++brace;
+        else if (t == "}")
+            --brace;
+        else {
+            sawAny = true;
+            if (t == "," && paren == 1 && bracket == 0 &&
+                brace == 0)
+                ++args;
+        }
+    }
+    return -1;
+}
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) {
+                       return char(std::tolower(c));
+                   });
+    return out;
+}
+
+/** An active scoped-lock guard. */
+struct Guard
+{
+    int depth = 0;
+    int line = 0;
+};
+
+class Checker
+{
+  public:
+    Checker(std::string path, const std::string &text)
+        : path_(std::move(path)), lexed_(tokenize(text)),
+          definesCancelToken_(text.find("class CancelToken") !=
+                              std::string::npos)
+    {
+    }
+
+    std::vector<Diagnostic> run()
+    {
+        const std::vector<Token> &toks = lexed_.tokens;
+        for (size_t i = 0; i < toks.size(); ++i) {
+            const std::string &t = toks[i].text;
+            if (t == "{") {
+                ++depth_;
+                stmtStart_ = i + 1;
+            } else if (t == "}") {
+                --depth_;
+                while (!guards_.empty() &&
+                       guards_.back().depth > depth_)
+                    guards_.pop_back();
+                if (threadDepth_ >= 0 && depth_ < threadDepth_)
+                    threadDepth_ = -1;
+                if (depth_ <= 1)
+                    localRegistries_.clear();
+                stmtStart_ = i + 1;
+            } else if (t == ";") {
+                stmtStart_ = i + 1;
+            }
+
+            checkGuardDecl(i);
+            checkThreadStart(i);
+            checkRegistryDecl(i);
+            checkBlocking(i);
+            checkWaitPredicate(i);
+            checkCancelOrder(i);
+            checkStatRegistration(i);
+        }
+        std::sort(diags_.begin(), diags_.end(),
+                  [](const Diagnostic &a, const Diagnostic &b) {
+                      return std::tie(a.path, a.line, a.rule,
+                                      a.message) <
+                             std::tie(b.path, b.line, b.rule,
+                                      b.message);
+                  });
+        diags_.erase(
+            std::unique(diags_.begin(), diags_.end(),
+                        [](const Diagnostic &a,
+                           const Diagnostic &b) {
+                            return a.path == b.path &&
+                                   a.line == b.line &&
+                                   a.rule == b.rule &&
+                                   a.message == b.message;
+                        }),
+            diags_.end());
+        return std::move(diags_);
+    }
+
+  private:
+    const std::vector<Token> &toks() const { return lexed_.tokens; }
+
+    void report(int line, const char *rule, std::string message)
+    {
+        if (lexed_.allowed.count({line, rule}))
+            return;
+        diags_.push_back({path_, line, rule, std::move(message)});
+    }
+
+    /** MutexLock lk(m_); / std::lock_guard<std::mutex> lk(m_); */
+    void checkGuardDecl(size_t i)
+    {
+        if (!isGuardType(toks()[i].text))
+            return;
+        size_t p = i + 1;
+        if (p < toks().size() && toks()[p].text == "<") {
+            size_t q = skipTemplateArgs(toks(), p);
+            if (q == p)
+                return; // '<' that never closes: a comparison
+            p = q;
+        }
+        if (p >= toks().size())
+            return;
+        const std::string &name = toks()[p].text;
+        if (name.empty() || !isIdentChar(name[0]) ||
+            name == "@str" || name == "@num")
+            return;
+        size_t q = p + 1;
+        if (q < toks().size() &&
+            (toks()[q].text == "(" || toks()[q].text == "{"))
+            guards_.push_back({depth_, toks()[i].line});
+    }
+
+    /** std::thread t(...); / member_ = std::thread(...); */
+    void checkThreadStart(size_t i)
+    {
+        if (toks()[i].text != "std" || i + 2 >= toks().size())
+            return;
+        if (toks()[i + 1].text != "::" ||
+            toks()[i + 2].text != "thread")
+            return;
+        size_t p = i + 3;
+        if (p >= toks().size())
+            return;
+        bool constructs = false;
+        if (toks()[p].text == "(" || toks()[p].text == "{") {
+            constructs = true; // temporary: std::thread([...]{...})
+        } else if (isIdentChar(toks()[p].text[0]) &&
+                   p + 1 < toks().size() &&
+                   (toks()[p + 1].text == "(" ||
+                    toks()[p + 1].text == "{")) {
+            constructs = true; // named: std::thread t(...)
+        }
+        if (constructs &&
+            (threadDepth_ < 0 || depth_ < threadDepth_))
+            threadDepth_ = depth_;
+    }
+
+    /** StatRegistry reg; — a local registry no other thread sees. */
+    void checkRegistryDecl(size_t i)
+    {
+        if (toks()[i].text != "StatRegistry" ||
+            i + 1 >= toks().size())
+            return;
+        const std::string &name = toks()[i + 1].text;
+        if (!name.empty() && isIdentChar(name[0]) &&
+            name != "@str" && name != "@num")
+            localRegistries_.insert(name);
+    }
+
+    void checkBlocking(size_t i)
+    {
+        if (guards_.empty())
+            return;
+        const std::string &t = toks()[i].text;
+        const int line = toks()[i].line;
+        const int guardLine = guards_.back().line;
+        auto held = [&](const std::string &what) {
+            report(line, kRuleBlocking,
+                   "blocking call '" + what +
+                       "' while holding a lock (guard declared "
+                       "line " +
+                       std::to_string(guardLine) + ")");
+        };
+
+        bool afterMember =
+            i > 0 &&
+            (toks()[i - 1].text == "." ||
+             toks()[i - 1].text == "->");
+        bool callNext = i + 1 < toks().size() &&
+                        toks()[i + 1].text == "(";
+
+        if (afterMember && callNext && t == "submit")
+            held("ThreadPool submit");
+        else if (callNext &&
+                 (t == "parallelFor" || t == "waitEvents"))
+            held(t);
+        else if (callNext && i > 0 && toks()[i - 1].text == "::" &&
+                 (t == "send" || t == "recv" || t == "accept" ||
+                  t == "connect" || t == "poll" || t == "select"))
+            held("socket " + t);
+        else if (t == "ofstream")
+            held("file write (ofstream)");
+        else if (callNext && (t == "fopen" || t == "fwrite" ||
+                              t == "fputs" || t == "fprintf"))
+            held("file write (" + t + ")");
+        else if (afterMember && callNext &&
+                 (t == "push" || t == "pop") && i >= 2) {
+            std::string recv = lowered(toks()[i - 2].text);
+            if (recv.find("queue") != std::string::npos)
+                held("queue " + t);
+        }
+    }
+
+    void checkWaitPredicate(size_t i)
+    {
+        const std::string &t = toks()[i].text;
+        bool afterMember =
+            i > 0 &&
+            (toks()[i - 1].text == "." ||
+             toks()[i - 1].text == "->");
+        if (!afterMember || i + 1 >= toks().size() ||
+            toks()[i + 1].text != "(")
+            return;
+        int args = countCallArgs(toks(), i + 1);
+        if (t == "wait" && args == 1)
+            report(toks()[i].line, kRulePredicate,
+                   "condition wait without a predicate (spurious "
+                   "wakeups and missed notifies go unchecked)");
+        else if ((t == "wait_for" || t == "wait_until" ||
+                  t == "waitFor" || t == "waitUntil") &&
+                 args == 2)
+            report(toks()[i].line, kRulePredicate,
+                   "timed condition wait '" + t +
+                       "' without a predicate (a stale deadline "
+                       "sleeps through state changes)");
+    }
+
+    void checkCancelOrder(size_t i)
+    {
+        if (toks()[i].text != "memory_order_relaxed")
+            return;
+        if (definesCancelToken_) {
+            report(toks()[i].line, kRuleCancel,
+                   "CancelToken must use acquire/release ordering "
+                   "(memory_order_relaxed breaks the happens-before "
+                   "edge from the controller's pre-cancel writes)");
+            return;
+        }
+        for (size_t p = stmtStart_; p < i; ++p) {
+            if (lowered(toks()[p].text).find("cancel") !=
+                std::string::npos) {
+                report(toks()[i].line, kRuleCancel,
+                       "cancellation poll uses "
+                       "memory_order_relaxed; poll sites must use "
+                       "acquire semantics");
+                return;
+            }
+        }
+    }
+
+    void checkStatRegistration(size_t i)
+    {
+        if (threadDepth_ < 0)
+            return;
+        const std::string &t = toks()[i].text;
+        if (i + 1 >= toks().size() || toks()[i + 1].text != "(")
+            return;
+        const bool isReg =
+            t == "addCounter" || t == "addScalar" ||
+            t == "addInfo" || t == "addHistogram" ||
+            t == "addTable" || t == "registerInto";
+        if (!isReg)
+            return;
+        if (i >= 2 && (toks()[i - 1].text == "." ||
+                       toks()[i - 1].text == "->")) {
+            const std::string &recv = toks()[i - 2].text;
+            if (localRegistries_.count(recv))
+                return; // local registry; the new thread can't see it
+        }
+        report(toks()[i].line, kRuleStatReg,
+               "StatRegistry registration after a std::thread was "
+               "started in this scope (registration is "
+               "single-threaded setup)");
+    }
+
+    std::string path_;
+    Lexed lexed_;
+    bool definesCancelToken_;
+
+    int depth_ = 0;
+    size_t stmtStart_ = 0;
+    std::vector<Guard> guards_;
+    int threadDepth_ = -1; ///< depth of the live std::thread trigger
+    std::set<std::string> localRegistries_;
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace
+
+std::vector<std::string>
+ruleNames()
+{
+    return {kRuleBlocking, kRulePredicate, kRuleCancel,
+            kRuleStatReg};
+}
+
+std::vector<Diagnostic>
+lintSource(const std::string &path, const std::string &text)
+{
+    return Checker(path, text).run();
+}
+
+std::vector<Diagnostic>
+lintFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {{path, 0, "io-error", "cannot open file"}};
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return lintSource(path, text);
+}
+
+bool
+filesFromCompileCommands(const std::string &path,
+                         std::vector<std::string> &files,
+                         std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    JsonValue doc;
+    std::string jsonErr;
+    if (!parseJson(text, doc, &jsonErr) || !doc.isArray()) {
+        if (error)
+            *error = path + ": not a compile database (" +
+                     (jsonErr.empty() ? "expected a JSON array"
+                                      : jsonErr) +
+                     ")";
+        return false;
+    }
+
+    auto firstParty = [](const std::string &p) {
+        if (p.find("/CMakeFiles/") != std::string::npos)
+            return false;
+        return p.find("/src/") != std::string::npos ||
+               p.find("/tools/") != std::string::npos;
+    };
+
+    std::set<std::string> seen;
+    std::set<std::string> dirs;
+    for (const JsonValue &entry : doc.elements) {
+        if (!entry.isObject() || !entry.has("file"))
+            continue;
+        std::string file = entry.at("file").text;
+        if (!file.empty() && file[0] != '/' &&
+            entry.has("directory"))
+            file = entry.at("directory").text + "/" + file;
+        file = fs::path(file).lexically_normal().string();
+        if (!firstParty(file))
+            continue;
+        if (seen.insert(file).second)
+            files.push_back(file);
+        dirs.insert(fs::path(file).parent_path().string());
+    }
+    // Headers never appear as translation units; lint every sibling
+    // header of a first-party TU directory so sync.h, cancel.h and
+    // friends are covered.
+    for (const std::string &dir : dirs) {
+        std::error_code ec;
+        std::vector<std::string> headers;
+        for (const auto &de : fs::directory_iterator(dir, ec)) {
+            if (!de.is_regular_file(ec))
+                continue;
+            std::string p =
+                de.path().lexically_normal().string();
+            if (de.path().extension() == ".h" && firstParty(p))
+                headers.push_back(p);
+        }
+        std::sort(headers.begin(), headers.end());
+        for (const std::string &h : headers)
+            if (seen.insert(h).second)
+                files.push_back(h);
+    }
+    std::sort(files.begin(), files.end());
+    return true;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d)
+{
+    return d.path + ":" + std::to_string(d.line) + ": error: [" +
+           d.rule + "] " + d.message;
+}
+
+} // namespace lint
+} // namespace crisp

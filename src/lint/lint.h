@@ -1,0 +1,96 @@
+/**
+ * @file
+ * crisp_lint: repo-specific static concurrency checks (DESIGN.md §16).
+ *
+ * Clang Thread Safety Analysis proves which lock guards which data;
+ * this checker enforces the invariants TSA cannot express — rules
+ * about *what a thread does while holding a lock* and about the
+ * idioms the repo has standardized on:
+ *
+ *   blocking-under-lock     No blocking call while a scoped lock
+ *                           guard is live: ThreadPool submission,
+ *                           socket I/O, waitEvents, file writes, and
+ *                           queue push/pop all park the thread for
+ *                           unbounded time, and doing so under a
+ *                           Mutex turns every other acquirer into a
+ *                           convoy (the exact defect PR 9 fixed in
+ *                           SweepServer::finishLocked).
+ *   wait-needs-predicate    Every condition wait states its
+ *                           predicate: a bare wait()/wait_until()
+ *                           re-scan loop is where missed-wakeup bugs
+ *                           live. crisp::CondVar makes the predicate
+ *                           mandatory; this rule catches code that
+ *                           bypasses the wrapper.
+ *   cancel-token-acquire    CancelToken polls synchronize with the
+ *                           controller's pre-cancel writes, so every
+ *                           poll site must use acquire semantics —
+ *                           no memory_order_relaxed near the token.
+ *   stat-registration-after-thread-start
+ *                           StatRegistry registration is
+ *                           single-threaded setup; once a function
+ *                           has constructed a std::thread, further
+ *                           registrations on non-local registries
+ *                           race the new thread's reads.
+ *
+ * Diagnostics are clang-style (`path:line: error: [rule] message`).
+ * A finding is suppressed by `// crisp-lint: allow(rule)` (or
+ * `allow(rule1,rule2)`) on the same line or the line above.
+ *
+ * The checker is token-level by design: the container toolchain has
+ * no libclang, and the rules only need lexical structure (brace
+ * depth, call receivers, argument counts) that a comment-, string-
+ * and preprocessor-aware tokenizer recovers exactly. It runs over
+ * compile_commands.json in CI next to clang-tidy.
+ */
+
+#ifndef CRISP_LINT_LINT_H
+#define CRISP_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace crisp
+{
+namespace lint
+{
+
+/** One finding. */
+struct Diagnostic
+{
+    std::string path;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** @return all rule names, in report order. */
+std::vector<std::string> ruleNames();
+
+/** Lints @p text as the contents of @p path (pure; no I/O). */
+std::vector<Diagnostic> lintSource(const std::string &path,
+                                   const std::string &text);
+
+/** Reads and lints @p path. I/O failure yields a single diagnostic
+ *  with rule "io-error". */
+std::vector<Diagnostic> lintFile(const std::string &path);
+
+/**
+ * Extracts the source files named by a compile_commands.json at
+ * @p path, keeping first-party sources (path contains /src/ or
+ * /tools/, not /CMakeFiles/), adding every sibling *.h of each kept
+ * file's directory (headers do not appear as translation units), and
+ * deduplicating.
+ * @return false with @p *error set when the file is unreadable or
+ *         not a compile database.
+ */
+bool filesFromCompileCommands(const std::string &path,
+                              std::vector<std::string> &files,
+                              std::string *error);
+
+/** @return "path:line: error: [rule] message". */
+std::string formatDiagnostic(const Diagnostic &d);
+
+} // namespace lint
+} // namespace crisp
+
+#endif // CRISP_LINT_LINT_H

@@ -8,16 +8,17 @@ namespace crisp
 bool
 JobQueue::push(QueueEntry e, bool bypassCapacity)
 {
-    std::unique_lock<std::mutex> lk(m_);
+    MutexLock lk(m_);
     if (!bypassCapacity)
-        spaceCv_.wait(lk, [&] {
+        spaceCv_.wait(lk, [&]() CRISP_REQUIRES(m_) {
             return closed_ || entries_.size() < capacity_;
         });
     if (closed_)
         return false;
     e.seq = nextSeq_++;
     entries_.push_back(std::move(e));
-    readyCv_.notify_one();
+    ++gen_;
+    readyCv_.notifyOne();
     return true;
 }
 
@@ -39,27 +40,35 @@ JobQueue::bestReady(std::chrono::steady_clock::time_point now)
 std::optional<QueueEntry>
 JobQueue::pop()
 {
-    std::unique_lock<std::mutex> lk(m_);
+    MutexLock lk(m_);
     for (;;) {
         auto now = std::chrono::steady_clock::now();
         auto best = bestReady(now);
         if (best != entries_.end()) {
             QueueEntry e = std::move(*best);
             entries_.erase(best);
-            spaceCv_.notify_one();
+            spaceCv_.notifyOne();
             return e;
         }
         if (closed_ && entries_.empty())
             return std::nullopt;
+        // Sleep until the world changes (push/close bump gen_) or —
+        // when only future backoff entries exist — the earliest one
+        // matures. The predicate is a generation check, not an
+        // eligibility check: eligibility depends on the clock, which
+        // the timeout term covers, and re-running bestReady here
+        // would duplicate the loop body.
+        const uint64_t g0 = gen_;
+        auto changed = [&]() CRISP_REQUIRES(m_) {
+            return gen_ != g0 || closed_;
+        };
         if (entries_.empty()) {
-            readyCv_.wait(lk);
+            readyCv_.wait(lk, changed);
         } else {
-            // Only future (backoff) entries exist: sleep until the
-            // earliest matures or a new entry / close wakes us.
             auto earliest = entries_.front().notBefore;
             for (const QueueEntry &e : entries_)
                 earliest = std::min(earliest, e.notBefore);
-            readyCv_.wait_until(lk, earliest);
+            readyCv_.waitUntil(lk, earliest, changed);
         }
     }
 }
@@ -67,11 +76,11 @@ JobQueue::pop()
 bool
 JobQueue::remove(const std::string &jobId)
 {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
         if (it->jobId == jobId) {
             entries_.erase(it);
-            spaceCv_.notify_one();
+            spaceCv_.notifyOne();
             return true;
         }
     }
@@ -81,28 +90,29 @@ JobQueue::remove(const std::string &jobId)
 std::vector<QueueEntry>
 JobQueue::drainAll()
 {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     std::vector<QueueEntry> out(
         std::make_move_iterator(entries_.begin()),
         std::make_move_iterator(entries_.end()));
     entries_.clear();
-    spaceCv_.notify_all();
+    spaceCv_.notifyAll();
     return out;
 }
 
 void
 JobQueue::close()
 {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     closed_ = true;
-    readyCv_.notify_all();
-    spaceCv_.notify_all();
+    ++gen_;
+    readyCv_.notifyAll();
+    spaceCv_.notifyAll();
 }
 
 size_t
 JobQueue::depth() const
 {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     return entries_.size();
 }
 

@@ -22,13 +22,13 @@
 #define CRISP_SERVE_JOB_QUEUE_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "sim/sync.h"
 
 namespace crisp
 {
@@ -90,18 +90,25 @@ class JobQueue
     size_t capacity() const { return capacity_; }
 
   private:
-    /** @return the best eligible entry's iterator, or end(). Caller
-     *  holds the lock. */
+    /** @return the best eligible entry's iterator, or end(). */
     std::list<QueueEntry>::iterator
-    bestReady(std::chrono::steady_clock::time_point now);
+    bestReady(std::chrono::steady_clock::time_point now)
+        CRISP_REQUIRES(m_);
 
     const size_t capacity_;
-    mutable std::mutex m_;
-    std::condition_variable readyCv_; ///< pop() waits for entries
-    std::condition_variable spaceCv_; ///< push() waits for space
-    std::list<QueueEntry> entries_;
-    uint64_t nextSeq_ = 0;
-    bool closed_ = false;
+    mutable Mutex m_;
+    CondVar readyCv_; ///< pop() waits for entries
+    CondVar spaceCv_; ///< push() waits for space
+    std::list<QueueEntry> entries_ CRISP_GUARDED_BY(m_);
+    uint64_t nextSeq_ CRISP_GUARDED_BY(m_) = 0;
+    bool closed_ CRISP_GUARDED_BY(m_) = false;
+    /** Bumped whenever the eligible set can have grown (push,
+     *  close): pop()'s wait predicate is "the world changed since I
+     *  computed bestReady", which a bare closed_/empty predicate
+     *  cannot express — an entry pushed with an earlier notBefore
+     *  while pop() sleeps toward a stale earliest deadline must
+     *  wake it to recompute. */
+    uint64_t gen_ CRISP_GUARDED_BY(m_) = 0;
 };
 
 } // namespace crisp

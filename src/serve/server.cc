@@ -65,7 +65,7 @@ void
 SweepServer::start()
 {
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         accepting_ = true;
     }
     stream_ = std::make_unique<ThreadPool::Stream>(pool_);
@@ -77,7 +77,7 @@ void
 SweepServer::shutdown(bool drain_mode)
 {
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         if (stopping_)
             return;
         stopping_ = true;
@@ -95,13 +95,23 @@ SweepServer::shutdown(bool drain_mode)
         // they become terminal Requeued here, and a resubmission of
         // the same sweep against a fresh server revives them.
         auto dropped = queue_.drainAll();
-        std::lock_guard<std::mutex> lk(m_);
-        for (const QueueEntry &e : dropped) {
-            auto it = jobs_.find(e.jobId);
-            if (it != jobs_.end() && !it->second.terminal)
-                finishLocked(it->second, JobState::Requeued,
-                             "requeued by shutdown");
+        std::vector<ResultRecord> flush;
+        {
+            MutexLock lk(m_);
+            for (const QueueEntry &e : dropped) {
+                auto it = jobs_.find(e.jobId);
+                if (it != jobs_.end() && !it->second.terminal) {
+                    finishLocked(it->second, JobState::Requeued,
+                                 "requeued by shutdown");
+                    flush.push_back(
+                        captureResultLocked(it->second));
+                }
+            }
         }
+        // Manifest lines land outside the job-table lock, before
+        // shutdown() returns (see ResultRecord).
+        for (const ResultRecord &rr : flush)
+            writeResultFiles(rr);
     }
     queue_.close();
     dispatcher_.join();
@@ -109,9 +119,9 @@ SweepServer::shutdown(bool drain_mode)
     // until they have drained so their timeouts still fire.
     stream_->wait();
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         monitorStop_ = true;
-        monitorCv_.notify_all();
+        deadlinesChangedLocked();
     }
     monitor_.join();
     stream_.reset();
@@ -120,7 +130,7 @@ SweepServer::shutdown(bool drain_mode)
 bool
 SweepServer::accepting() const
 {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     return accepting_;
 }
 
@@ -129,18 +139,20 @@ SweepServer::dispatcherLoop()
 {
     while (auto e = queue_.pop()) {
         {
-            std::unique_lock<std::mutex> lk(slotM_);
-            slotCv_.wait(lk, [&] { return freeSlots_ > 0; });
+            MutexLock lk(slotM_);
+            slotCv_.wait(lk, [this]() CRISP_REQUIRES(slotM_) {
+                return freeSlots_ > 0;
+            });
             --freeSlots_;
         }
         std::string id = e->jobId;
         stream_->submit([this, id] {
             execute(id);
             {
-                std::lock_guard<std::mutex> lk(slotM_);
+                MutexLock lk(slotM_);
                 ++freeSlots_;
             }
-            slotCv_.notify_one();
+            slotCv_.notifyOne();
         });
     }
 }
@@ -148,7 +160,7 @@ SweepServer::dispatcherLoop()
 void
 SweepServer::monitorLoop()
 {
-    std::unique_lock<std::mutex> lk(m_);
+    MutexLock lk(m_);
     while (!monitorStop_) {
         auto now = std::chrono::steady_clock::now();
         bool have = false;
@@ -167,10 +179,19 @@ SweepServer::monitorLoop()
                 have = true;
             }
         }
+        // The predicate is a generation check: any deadline-set
+        // change invalidates the earliest computed above, so the
+        // monitor must wake and re-scan even before that (stale)
+        // deadline — a new job with a shorter timeout must not wait
+        // behind a longer one.
+        const uint64_t g0 = deadlineGen_;
+        auto changed = [&]() CRISP_REQUIRES(m_) {
+            return deadlineGen_ != g0 || monitorStop_;
+        };
         if (have)
-            monitorCv_.wait_until(lk, earliest);
+            monitorCv_.waitUntil(lk, earliest, changed);
         else
-            monitorCv_.wait(lk);
+            monitorCv_.wait(lk, changed);
     }
 }
 
@@ -178,7 +199,14 @@ void
 SweepServer::emitLocked(JobRecord &rec, std::string line)
 {
     rec.events.push_back(std::move(line));
-    eventCv_.notify_all();
+    eventCv_.notifyAll();
+}
+
+void
+SweepServer::deadlinesChangedLocked()
+{
+    ++deadlineGen_;
+    monitorCv_.notifyAll();
 }
 
 void
@@ -213,25 +241,35 @@ SweepServer::finishLocked(JobRecord &rec, JobState state,
                                {"job", jsonQuote(rec.spec.id)},
                                {"state",
                                 jsonQuote(jobStateName(state))}}));
-    stateCv_.notify_all();
-    monitorCv_.notify_all();
-    writeResultFiles(rec);
+    stateCv_.notifyAll();
+    deadlinesChangedLocked();
+}
+
+SweepServer::ResultRecord
+SweepServer::captureResultLocked(const JobRecord &rec) const
+{
+    return {rec.spec, rec.state,     rec.attempts,
+            rec.ipc,  rec.error,     rec.statsJson};
 }
 
 void
-SweepServer::writeResultFiles(const JobRecord &rec)
+SweepServer::writeResultFiles(const ResultRecord &rec)
 {
     if (cfg_.resultDir.empty())
         return;
-    std::lock_guard<std::mutex> lk(resultM_);
+    // resultM_ is a leaf lock that exists to serialize exactly these
+    // appends; nothing else is ever acquired or awaited under it.
+    MutexLock lk(resultM_); // crisp-lint: allow(blocking-under-lock)
     std::string file;
     if (rec.state == JobState::Done) {
         file = rec.spec.id + ".json";
+        // crisp-lint: allow(blocking-under-lock)
         std::ofstream os(
             std::filesystem::path(cfg_.resultDir) / file,
             std::ios::trunc);
         os << rec.statsJson;
     }
+    // crisp-lint: allow(blocking-under-lock)
     std::ofstream manifest(
         std::filesystem::path(cfg_.resultDir) / "manifest.ndjson",
         std::ios::app);
@@ -269,7 +307,7 @@ SweepServer::submit(const SweepRequest &req, Submitted &out,
 
     std::vector<std::string> toEnqueue;
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         if (!accepting_) {
             if (error)
                 *error = "server is shutting down";
@@ -330,15 +368,26 @@ SweepServer::submit(const SweepRequest &req, Submitted &out,
     for (const std::string &id : toEnqueue) {
         int prio = 0;
         {
-            std::lock_guard<std::mutex> lk(m_);
+            MutexLock lk(m_);
             prio = jobs_.at(id).spec.priority;
         }
         if (!queue_.push({id, prio, 0, {}})) {
-            std::lock_guard<std::mutex> lk(m_);
-            JobRecord &rec = jobs_.at(id);
-            if (!rec.terminal)
-                finishLocked(rec, JobState::Requeued,
-                             "requeued by shutdown");
+            ResultRecord rr;
+            bool flush = false;
+            {
+                MutexLock lk(m_);
+                JobRecord &rec = jobs_.at(id);
+                if (!rec.terminal) {
+                    finishLocked(rec, JobState::Requeued,
+                                 "requeued by shutdown");
+                    rr = captureResultLocked(rec);
+                    flush = true;
+                }
+            }
+            // Manifest line lands before submit() returns, outside
+            // the job-table lock (see ResultRecord).
+            if (flush)
+                writeResultFiles(rr);
         }
     }
     return true;
@@ -349,8 +398,9 @@ SweepServer::execute(const std::string &id)
 {
     std::shared_ptr<CancelToken> token;
     JobSpec spec;
+    int attempt = 0;
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         auto it = jobs_.find(id);
         if (it == jobs_.end())
             return;
@@ -359,7 +409,7 @@ SweepServer::execute(const std::string &id)
         if (rec.terminal || rec.state != JobState::Queued)
             return;
         rec.state = JobState::Running;
-        ++rec.attempts;
+        attempt = ++rec.attempts;
         token = std::make_shared<CancelToken>();
         rec.token = token;
         if (rec.spec.timeoutMs > 0) {
@@ -367,7 +417,7 @@ SweepServer::execute(const std::string &id)
                 std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(rec.spec.timeoutMs);
             rec.hasDeadline = true;
-            monitorCv_.notify_all();
+            deadlinesChangedLocked();
         }
         spec = rec.spec;
         emitLocked(rec,
@@ -397,72 +447,121 @@ SweepServer::execute(const std::string &id)
         reason = e.what();
     }
 
-    std::lock_guard<std::mutex> lk(m_);
-    auto it = jobs_.find(id);
-    if (it == jobs_.end())
-        return;
-    JobRecord &rec = it->second;
-    rec.token.reset();
-    rec.hasDeadline = false;
-    monitorCv_.notify_all();
-
-    switch (verdict) {
-    case Verdict::Ok:
-        rec.ipc = outcome.ipc;
-        rec.statsJson = std::move(outcome.statsJson);
-        finishLocked(rec, JobState::Done, "");
-        break;
-    case Verdict::Cancelled:
-        finishLocked(rec, JobState::Cancelled, reason);
-        break;
-    case Verdict::Fatal:
-        finishLocked(rec, JobState::Failed, reason);
-        break;
-    case Verdict::Retryable: {
-        if (timedOut)
-            timeouts_.fetch_add(1, std::memory_order_relaxed);
-        else
-            deadlocks_.fetch_add(1, std::memory_order_relaxed);
-        if (rec.attempts > rec.spec.maxRetries) {
-            finishLocked(rec, JobState::Failed,
-                         reason + " (attempt " +
-                             std::to_string(rec.attempts) + " of " +
-                             std::to_string(rec.spec.maxRetries + 1) +
-                             ")");
+    // A Running job is only ever finalized by this function (cancel
+    // fires the token, shutdown drains the queue — neither touches a
+    // running record), so the final state is fully determined here,
+    // before the lock: terminal verdicts write their result files
+    // FIRST, guaranteeing <id>.json is durable before finishLocked
+    // publishes the end event a --wait client acts on.
+    const bool retry = verdict == Verdict::Retryable &&
+                       attempt <= spec.maxRetries;
+    if (!retry) {
+        ResultRecord rr;
+        rr.spec = spec;
+        rr.attempts = attempt;
+        switch (verdict) {
+        case Verdict::Ok:
+            rr.state = JobState::Done;
+            rr.ipc = outcome.ipc;
+            rr.statsJson = outcome.statsJson;
+            break;
+        case Verdict::Cancelled:
+            rr.state = JobState::Cancelled;
+            rr.error = reason;
+            break;
+        default: // Fatal, or Retryable out of attempts
+            rr.state = JobState::Failed;
+            rr.error =
+                verdict == Verdict::Fatal
+                    ? reason
+                    : reason + " (attempt " +
+                          std::to_string(attempt) + " of " +
+                          std::to_string(spec.maxRetries + 1) + ")";
             break;
         }
-        retries_.fetch_add(1, std::memory_order_relaxed);
-        // Exponential backoff: base << (attempt - 1), clamped only
-        // by the shift width (attempts are single digits).
-        uint64_t backoff = rec.spec.retryBackoffMs
-                           << std::min(rec.attempts - 1, 20);
-        rec.state = JobState::Queued;
-        emitLocked(
-            rec,
-            eventLine({{"event", jsonQuote("retry")},
-                       {"job", jsonQuote(spec.id)},
-                       {"attempt", jsonNumber(double(rec.attempts))},
-                       {"backoff_ms", jsonNumber(double(backoff))},
-                       {"reason",
-                        jsonQuote(timedOut ? "timeout"
-                                           : "deadlock")}}));
-        QueueEntry e{spec.id, spec.priority, 0,
-                     std::chrono::steady_clock::now() +
-                         std::chrono::milliseconds(backoff)};
-        // Retries bypass the capacity bound: a worker must never
-        // block on the queue it drains (pool-wide deadlock).
-        if (!queue_.push(std::move(e), true))
-            finishLocked(rec, JobState::Requeued,
-                         "requeued by shutdown");
-        break;
+        writeResultFiles(rr);
     }
+
+    ResultRecord requeuedRr;
+    bool flushRequeued = false;
+    {
+        MutexLock lk(m_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return;
+        JobRecord &rec = it->second;
+        rec.token.reset();
+        rec.hasDeadline = false;
+        deadlinesChangedLocked();
+
+        switch (verdict) {
+        case Verdict::Ok:
+            rec.ipc = outcome.ipc;
+            rec.statsJson = std::move(outcome.statsJson);
+            finishLocked(rec, JobState::Done, "");
+            break;
+        case Verdict::Cancelled:
+            finishLocked(rec, JobState::Cancelled, reason);
+            break;
+        case Verdict::Fatal:
+            finishLocked(rec, JobState::Failed, reason);
+            break;
+        case Verdict::Retryable: {
+            if (timedOut)
+                timeouts_.fetch_add(1, std::memory_order_relaxed);
+            else
+                deadlocks_.fetch_add(1, std::memory_order_relaxed);
+            if (!retry) {
+                finishLocked(rec, JobState::Failed,
+                             reason + " (attempt " +
+                                 std::to_string(rec.attempts) + " of " +
+                                 std::to_string(rec.spec.maxRetries + 1) +
+                                 ")");
+                break;
+            }
+            retries_.fetch_add(1, std::memory_order_relaxed);
+            // Exponential backoff: base << (attempt - 1), clamped only
+            // by the shift width (attempts are single digits).
+            uint64_t backoff = rec.spec.retryBackoffMs
+                               << std::min(rec.attempts - 1, 20);
+            rec.state = JobState::Queued;
+            emitLocked(
+                rec,
+                eventLine({{"event", jsonQuote("retry")},
+                           {"job", jsonQuote(spec.id)},
+                           {"attempt", jsonNumber(double(rec.attempts))},
+                           {"backoff_ms", jsonNumber(double(backoff))},
+                           {"reason",
+                            jsonQuote(timedOut ? "timeout"
+                                               : "deadlock")}}));
+            QueueEntry e{spec.id, spec.priority, 0,
+                         std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(backoff)};
+            // Retries bypass the capacity bound, so this push never
+            // blocks: a worker must never block on the queue it drains
+            // (pool-wide deadlock), and holding m_ across a non-blocking
+            // push is safe — the queue's lock is a leaf under m_.
+            // crisp-lint: allow(blocking-under-lock)
+            if (!queue_.push(std::move(e), true)) {
+                finishLocked(rec, JobState::Requeued,
+                             "requeued by shutdown");
+                requeuedRr = captureResultLocked(rec);
+                flushRequeued = true;
+            }
+            break;
+        }
+        }
     }
+    // Shutdown raced the retry: the manifest line lands outside the
+    // job-table lock, before this worker moves on (see ResultRecord).
+    if (flushRequeued)
+        writeResultFiles(requeuedRr);
 }
 
 std::vector<JobStatus>
 SweepServer::status(const std::vector<std::string> &ids) const
 {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     std::vector<JobStatus> out;
     auto statusOf = [](const JobRecord &rec) {
         return JobStatus{rec.spec.id,   rec.spec.workload,
@@ -493,46 +592,56 @@ SweepServer::status(const std::vector<std::string> &ids) const
 std::vector<SweepServer::CancelResult>
 SweepServer::cancel(const std::vector<std::string> &ids)
 {
-    std::lock_guard<std::mutex> lk(m_);
     std::vector<CancelResult> out;
-    for (const std::string &id : ids) {
-        CancelResult r;
-        r.id = id;
-        auto it = jobs_.find(id);
-        if (it == jobs_.end()) {
-            r.unknown = true;
+    std::vector<ResultRecord> flush;
+    {
+        MutexLock lk(m_);
+        for (const std::string &id : ids) {
+            CancelResult r;
+            r.id = id;
+            auto it = jobs_.find(id);
+            if (it == jobs_.end()) {
+                r.unknown = true;
+                out.push_back(r);
+                continue;
+            }
+            JobRecord &rec = it->second;
+            if (rec.terminal) {
+                r.state = rec.state;
+            } else if (rec.token) {
+                // In flight: fire the token; the worker observes it
+                // at its next tick and finalizes the record.
+                rec.token->requestCancel();
+                r.state = rec.state;
+                r.cancelled = true;
+            } else {
+                // Queued (or in dispatch limbo): finalize
+                // immediately. If the entry was already popped,
+                // execute() sees the terminal record and becomes a
+                // no-op. remove() never blocks (the queue's lock is
+                // a leaf under m_, and removal needs no capacity).
+                queue_.remove(id);
+                finishLocked(rec, JobState::Cancelled,
+                             "cancelled before start");
+                flush.push_back(captureResultLocked(rec));
+                r.state = rec.state;
+                r.cancelled = true;
+            }
             out.push_back(r);
-            continue;
         }
-        JobRecord &rec = it->second;
-        if (rec.terminal) {
-            r.state = rec.state;
-        } else if (rec.token) {
-            // In flight: fire the token; the worker observes it at
-            // its next tick and finalizes the record.
-            rec.token->requestCancel();
-            r.state = rec.state;
-            r.cancelled = true;
-        } else {
-            // Queued (or in dispatch limbo): finalize immediately.
-            // If the entry was already popped, execute() sees the
-            // terminal record and becomes a no-op.
-            queue_.remove(id);
-            finishLocked(rec, JobState::Cancelled,
-                         "cancelled before start");
-            r.state = rec.state;
-            r.cancelled = true;
-        }
-        out.push_back(r);
     }
+    // Manifest lines land outside the job-table lock, before the
+    // cancel RPC returns (see ResultRecord).
+    for (const ResultRecord &rr : flush)
+        writeResultFiles(rr);
     return out;
 }
 
 void
 SweepServer::drain()
 {
-    std::unique_lock<std::mutex> lk(m_);
-    stateCv_.wait(lk, [&] {
+    MutexLock lk(m_);
+    stateCv_.wait(lk, [this]() CRISP_REQUIRES(m_) {
         for (const auto &kv : jobs_)
             if (!kv.second.terminal)
                 return false;
@@ -547,7 +656,7 @@ SweepServer::metricsJson() const
     uint64_t byState[6] = {0, 0, 0, 0, 0, 0};
     size_t events = 0;
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         for (const auto &kv : jobs_) {
             ++byState[size_t(kv.second.state)];
             events += kv.second.events.size();
@@ -599,7 +708,7 @@ bool
 SweepServer::waitEvents(const std::string &id, size_t from,
                         std::vector<std::string> &out, bool &terminal)
 {
-    std::unique_lock<std::mutex> lk(m_);
+    MutexLock lk(m_);
     auto it = jobs_.find(id);
     if (it == jobs_.end())
         return false;

@@ -30,11 +30,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -44,6 +42,7 @@
 #include "serve/protocol.h"
 #include "sim/artifact_cache.h"
 #include "sim/cancel.h"
+#include "sim/sync.h"
 #include "sim/thread_pool.h"
 
 namespace crisp
@@ -207,15 +206,50 @@ class SweepServer
         bool terminal = false;
     };
 
+    /**
+     * A snapshot of everything the result files need, captured under
+     * m_ and written to disk strictly outside it. finishLocked used
+     * to write the files itself, which put blocking disk I/O under
+     * the job-table lock — every status/submit/cancel/waitEvents
+     * stalled behind a slow disk. Durability ordering is preserved
+     * by *when* callers flush the snapshot:
+     *  - execute() writes terminal results BEFORE finalizing, so the
+     *    <id>.json is on disk before any waitEvents waiter can
+     *    observe the end event (the CI smoke and crisp_submit --wait
+     *    rely on exactly that ordering);
+     *  - cancel/shutdown/submit flush their (manifest-only) records
+     *    after releasing m_ but before returning to the caller.
+     */
+    struct ResultRecord
+    {
+        JobSpec spec;
+        JobState state = JobState::Queued;
+        int attempts = 0;
+        double ipc = 0.0;
+        std::string error;
+        std::string statsJson;
+    };
+
     void dispatcherLoop();
     void monitorLoop();
     void execute(const std::string &id);
     /** Finalizes @p rec under m_: sets state, emits the result/end
-     *  events, notifies waiters, persists to resultDir. */
+     *  events, notifies waiters. Callers flush result files via
+     *  captureResultLocked()/writeResultFiles() per the ResultRecord
+     *  ordering contract. */
     void finishLocked(JobRecord &rec, JobState state,
-                      const std::string &error);
-    void emitLocked(JobRecord &rec, std::string line);
-    void writeResultFiles(const JobRecord &rec);
+                      const std::string &error) CRISP_REQUIRES(m_);
+    void emitLocked(JobRecord &rec, std::string line)
+        CRISP_REQUIRES(m_);
+    /** Wakes the monitor to re-derive its earliest deadline. */
+    void deadlinesChangedLocked() CRISP_REQUIRES(m_);
+    /** @return @p rec's result-file snapshot (post-finalize). */
+    ResultRecord captureResultLocked(const JobRecord &rec) const
+        CRISP_REQUIRES(m_);
+    /** Persists @p rec to resultDir (no-op when unset). Blocking
+     *  disk I/O: must never run under m_. */
+    void writeResultFiles(const ResultRecord &rec)
+        CRISP_EXCLUDES(m_);
     static std::string eventState(const JobRecord &rec);
 
     ServeConfig cfg_;
@@ -226,15 +260,21 @@ class SweepServer
     std::unique_ptr<ThreadPool::Stream> stream_;
     JobQueue queue_;
 
-    mutable std::mutex m_;
-    std::unordered_map<std::string, JobRecord> jobs_;
-    std::condition_variable stateCv_;  ///< terminal transitions
-    std::condition_variable eventCv_;  ///< new event lines
-    std::condition_variable monitorCv_; ///< deadlines changed
-    bool accepting_ = false;
-    bool stopping_ = false;
-    bool monitorStop_ = false;
-    std::mutex resultM_; ///< serializes resultDir writes
+    mutable Mutex m_;
+    std::unordered_map<std::string, JobRecord> jobs_
+        CRISP_GUARDED_BY(m_);
+    CondVar stateCv_;  ///< terminal transitions
+    CondVar eventCv_;  ///< new event lines
+    CondVar monitorCv_; ///< deadlines changed
+    bool accepting_ CRISP_GUARDED_BY(m_) = false;
+    bool stopping_ CRISP_GUARDED_BY(m_) = false;
+    bool monitorStop_ CRISP_GUARDED_BY(m_) = false;
+    /** Bumped on every deadline-set change; the monitor's wait
+     *  predicate compares generations, so a new earlier deadline
+     *  arriving while it sleeps toward a stale earliest re-arms it
+     *  (a bare monitorStop_ predicate would sleep through it). */
+    uint64_t deadlineGen_ CRISP_GUARDED_BY(m_) = 0;
+    Mutex resultM_; ///< serializes resultDir writes (leaf lock)
 
     // Metrics (monotonic; queue depth and cache stats are live).
     std::atomic<uint64_t> submitted_{0};
@@ -245,9 +285,9 @@ class SweepServer
 
     // In-flight slot accounting: the dispatcher blocks here so the
     // queue, not the pool's internal deque, holds waiting jobs.
-    std::mutex slotM_;
-    std::condition_variable slotCv_;
-    unsigned freeSlots_;
+    Mutex slotM_;
+    CondVar slotCv_;
+    unsigned freeSlots_ CRISP_GUARDED_BY(slotM_);
 
     std::thread dispatcher_;
     std::thread monitor_;

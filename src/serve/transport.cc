@@ -19,6 +19,31 @@ namespace
 
 /** Fills @p addr for @p path. @return false when the path is too
  *  long for sockaddr_un (the classic silent-truncation trap). */
+/** strerror_r comes in two flavors: XSI returns int and fills the
+ *  buffer, GNU returns a char* that may point elsewhere. Overload
+ *  dispatch on the actual return type picks the right reading. */
+[[maybe_unused]] const char *
+strerrorAdapt(int rc, const char *buf)
+{
+    return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char *
+strerrorAdapt(const char *ret, const char *)
+{
+    return ret;
+}
+
+/** Thread-safe strerror(errno): connection threads format socket
+ *  errors concurrently, and the static buffer behind the classic
+ *  one-argument strerror is a data race under clang-tidy's
+ *  concurrency-mt-unsafe check. */
+std::string
+errnoMessage(int err)
+{
+    char buf[128] = {0};
+    return strerrorAdapt(::strerror_r(err, buf, sizeof(buf)), buf);
+}
+
 bool
 unixAddress(const std::string &path, sockaddr_un &addr)
 {
@@ -84,7 +109,7 @@ ServeListener::open(std::string *error)
     listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listenFd_ < 0) {
         if (error)
-            *error = std::string("socket: ") + std::strerror(errno);
+            *error = "socket: " + errnoMessage(errno);
         return false;
     }
     // A stale socket file from a dead server would make bind fail;
@@ -97,14 +122,14 @@ ServeListener::open(std::string *error)
         ::listen(listenFd_, 16) < 0) {
         if (error)
             *error = "bind/listen " + path_ + ": " +
-                     std::strerror(errno);
+                     errnoMessage(errno);
         ::close(listenFd_);
         listenFd_ = -1;
         return false;
     }
     if (::pipe(wakePipe_) < 0) {
         if (error)
-            *error = std::string("pipe: ") + std::strerror(errno);
+            *error = "pipe: " + errnoMessage(errno);
         ::close(listenFd_);
         listenFd_ = -1;
         return false;
@@ -124,7 +149,7 @@ ServeListener::run()
             break;
         }
         {
-            std::lock_guard<std::mutex> lk(m_);
+            MutexLock lk(m_);
             if (stopping_)
                 break;
         }
@@ -135,7 +160,7 @@ ServeListener::run()
         int fd = ::accept(listenFd_, nullptr, nullptr);
         if (fd < 0)
             continue;
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         if (stopping_) {
             ::close(fd);
             break;
@@ -154,7 +179,7 @@ void
 ServeListener::stop()
 {
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         if (stopping_)
             return;
         stopping_ = true;
@@ -169,7 +194,7 @@ ServeListener::stop()
 void
 ServeListener::closeClients()
 {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     for (int fd : clientFds_)
         ::shutdown(fd, SHUT_RDWR); // unblocks connection reads
     clientFds_.clear();
@@ -209,7 +234,7 @@ ServeListener::serveConnection(int fd)
     // Deregister before closing: closeClients() must never act on a
     // closed (and possibly reused) descriptor.
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         for (auto it = clientFds_.begin(); it != clientFds_.end();
              ++it) {
             if (*it == fd) {
@@ -238,14 +263,14 @@ ServeClient::connect(const std::string &path, std::string *error)
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) {
         if (error)
-            *error = std::string("socket: ") + std::strerror(errno);
+            *error = "socket: " + errnoMessage(errno);
         return false;
     }
     if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
                   sizeof(addr)) < 0) {
         if (error)
             *error = "connect " + path + ": " +
-                     std::strerror(errno);
+                     errnoMessage(errno);
         ::close(fd_);
         fd_ = -1;
         return false;

@@ -15,10 +15,11 @@
 #ifndef CRISP_SERVE_TRANSPORT_H
 #define CRISP_SERVE_TRANSPORT_H
 
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "sim/sync.h"
 
 namespace crisp
 {
@@ -61,10 +62,14 @@ class ServeListener
     std::string path_;
     int listenFd_ = -1;
     int wakePipe_[2] = {-1, -1};
-    std::mutex m_;
-    bool stopping_ = false;
+    Mutex m_;
+    bool stopping_ CRISP_GUARDED_BY(m_) = false;
+    /** Owned by the accept thread only (emplaced and joined in
+     *  run()); deliberately NOT guarded by m_ — the join loop runs
+     *  lock-free because serveConnection() takes m_ to deregister
+     *  its fd, and joining under the lock would deadlock with that. */
     std::vector<std::thread> connections_;
-    std::vector<int> clientFds_;
+    std::vector<int> clientFds_ CRISP_GUARDED_BY(m_);
 };
 
 /** Blocking line-oriented client for the serve socket. */

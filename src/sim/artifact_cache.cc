@@ -80,15 +80,15 @@ ArtifactCache::configKey(const SimConfig &c)
 
 template <typename T, typename Make>
 std::shared_ptr<const T>
-ArtifactCache::getOrCompute(
-    std::unordered_map<std::string, Slot<T>> &map,
-    const std::string &key, Make &&make)
+ArtifactCache::getOrCompute(SlotMap<T> ArtifactCache::*slot,
+                            const std::string &key, Make &&make)
 {
     std::promise<std::shared_ptr<const T>> promise;
     Slot<T> fut;
     bool owner = false;
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
+        SlotMap<T> &map = this->*slot;
         auto it = map.find(key);
         if (it == map.end()) {
             fut = promise.get_future().share();
@@ -121,7 +121,7 @@ ArtifactCache::trace(const WorkloadInfo &wl, InputSet input,
     std::string key = "trace:" + wl.name + ":" +
                       (input == InputSet::Train ? "train" : "ref") +
                       ":" + std::to_string(ops);
-    return getOrCompute(traces_, key, [&] {
+    return getOrCompute(&ArtifactCache::traces_, key, [&] {
         return buildWorkloadTrace(wl, input, ops);
     });
 }
@@ -134,7 +134,7 @@ ArtifactCache::analysis(const WorkloadInfo &wl,
     std::string key = "analysis:" + wl.name + ":" +
                       std::to_string(train_ops) + ":" +
                       optionsKey(opts) + ":" + configKey(cfg);
-    return getOrCompute(analyses_, key, [&] {
+    return getOrCompute(&ArtifactCache::analyses_, key, [&] {
         auto train = trace(wl, InputSet::Train, train_ops);
         return analyzeTrace(*train, opts, cfg);
     });
@@ -150,7 +150,7 @@ ArtifactCache::taggedRefTrace(const WorkloadInfo &wl,
                       std::to_string(ref_ops) + ":" +
                       std::to_string(train_ops) + ":" +
                       optionsKey(opts) + ":" + configKey(cfg);
-    return getOrCompute(traces_, key, [&] {
+    return getOrCompute(&ArtifactCache::traces_, key, [&] {
         auto a = analysis(wl, opts, cfg, train_ops);
         return buildTaggedRefTrace(wl, a->taggedStatics, ref_ops);
     });
@@ -160,7 +160,15 @@ SampledWarmState
 ArtifactCache::warmFromStoreOrBuild(const Trace &t,
                                     const SimConfig &cfg)
 {
-    if (!warmStore_)
+    // Snapshot the pointer once: setWarmStore may race this lookup,
+    // and the store object is promised to outlive any value read
+    // here (see setWarmStore contract).
+    WarmArtifactStore *store = nullptr;
+    {
+        MutexLock lk(m_);
+        store = warmStore_;
+    }
+    if (!store)
         return buildWarmState(t, cfg);
 
     // The disk tier is best-effort: a verified hit skips the warm
@@ -170,7 +178,7 @@ ArtifactCache::warmFromStoreOrBuild(const Trace &t,
     uint64_t hash = traceContentHash(t);
     SampledWarmState warm;
     std::string why;
-    if (warmStore_->load(key, hash, cfg, warm, &why)) {
+    if (store->load(key, hash, cfg, warm, &why)) {
         storeHits_.fetch_add(1, std::memory_order_relaxed);
         return warm;
     }
@@ -180,7 +188,7 @@ ArtifactCache::warmFromStoreOrBuild(const Trace &t,
                      why.c_str());
     storeMisses_.fetch_add(1, std::memory_order_relaxed);
     warm = buildWarmState(t, cfg);
-    warmStore_->save(key, hash, warm);
+    store->save(key, hash, warm);
     return warm;
 }
 
@@ -192,7 +200,7 @@ ArtifactCache::warmState(const WorkloadInfo &wl, InputSet input,
         "warm:" + wl.name + ":" +
         (input == InputSet::Train ? "train" : "ref") + ":" +
         std::to_string(ops) + ":" + warmStateKey(cfg);
-    return getOrCompute(warmStates_, key, [&] {
+    return getOrCompute(&ArtifactCache::warmStates_, key, [&] {
         auto t = trace(wl, input, ops);
         return warmFromStoreOrBuild(*t, cfg);
     });
@@ -209,7 +217,7 @@ ArtifactCache::warmStateTagged(const WorkloadInfo &wl,
                       std::to_string(train_ops) + ":" +
                       optionsKey(opts) + ":" + configKey(cfg) + ":" +
                       warmStateKey(cfg);
-    return getOrCompute(warmStates_, key, [&] {
+    return getOrCompute(&ArtifactCache::warmStates_, key, [&] {
         auto t = taggedRefTrace(wl, opts, cfg, train_ops, ref_ops);
         // The tagged trace's critical bits are part of its content
         // hash, so tagged and untagged runs never share artifacts.
@@ -220,7 +228,7 @@ ArtifactCache::warmStateTagged(const WorkloadInfo &wl,
 void
 ArtifactCache::clear()
 {
-    std::lock_guard<std::mutex> lk(m_);
+    MutexLock lk(m_);
     traces_.clear();
     analyses_.clear();
     warmStates_.clear();

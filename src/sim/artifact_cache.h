@@ -28,12 +28,12 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "core/pipeline.h"
 #include "sim/config.h"
+#include "sim/sync.h"
 #include "workloads/workload.h"
 
 namespace crisp
@@ -59,7 +59,11 @@ class ArtifactCache
      * artifact still had to be loaded — and warmStoreCounters()
      * breaks out the disk traffic.
      */
-    void setWarmStore(WarmArtifactStore *store) { warmStore_ = store; }
+    void setWarmStore(WarmArtifactStore *store)
+    {
+        MutexLock lk(m_);
+        warmStore_ = store;
+    }
 
     /** @return the (untagged) trace of @p wl on @p input. */
     std::shared_ptr<const Trace> trace(const WorkloadInfo &wl,
@@ -159,13 +163,21 @@ class ArtifactCache
     template <typename T>
     using Slot = std::shared_future<std::shared_ptr<const T>>;
 
+    template <typename T>
+    using SlotMap = std::unordered_map<std::string, Slot<T>>;
+
     /**
-     * Looks up @p key, computing via @p make on a miss. Thread-safe;
-     * concurrent callers with equal keys share one computation.
+     * Looks up @p key in the map member named by @p slot, computing
+     * via @p make on a miss. Thread-safe; concurrent callers with
+     * equal keys share one computation. The map is addressed through
+     * a member pointer (rather than a reference) so the guarded
+     * member is only ever dereferenced under m_ — a reference
+     * parameter would strip the GUARDED_BY relation at the call
+     * site.
      */
     template <typename T, typename Make>
     std::shared_ptr<const T>
-    getOrCompute(std::unordered_map<std::string, Slot<T>> &map,
+    getOrCompute(SlotMap<T> ArtifactCache::*slot,
                  const std::string &key, Make &&make);
 
     /**
@@ -176,12 +188,13 @@ class ArtifactCache
     SampledWarmState warmFromStoreOrBuild(const Trace &trace,
                                           const SimConfig &cfg);
 
-    mutable std::mutex m_;
-    std::unordered_map<std::string, Slot<Trace>> traces_;
-    std::unordered_map<std::string, Slot<CrispAnalysis>> analyses_;
-    std::unordered_map<std::string, Slot<SampledWarmState>>
-        warmStates_;
-    WarmArtifactStore *warmStore_ = nullptr;
+    mutable Mutex m_;
+    SlotMap<Trace> traces_ CRISP_GUARDED_BY(m_);
+    SlotMap<CrispAnalysis> analyses_ CRISP_GUARDED_BY(m_);
+    SlotMap<SampledWarmState> warmStates_ CRISP_GUARDED_BY(m_);
+    /** The store object itself is internally synchronized; only the
+     *  pointer slot is guarded (setWarmStore may race lookups). */
+    WarmArtifactStore *warmStore_ CRISP_GUARDED_BY(m_) = nullptr;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
     std::atomic<uint64_t> inFlight_{0};

@@ -9,8 +9,14 @@
  * interval boundary, every (workload, variant) job in a batch sweep —
  * and unwinds with JobCancelled when it fires. Polling an unattached
  * token is a null-pointer test; polling an attached one is a single
- * relaxed atomic load, so the hot path stays allocation- and
- * barrier-free.
+ * atomic load, so the hot path stays allocation-free.
+ *
+ * Memory ordering: polls load with acquire and fire() publishes with
+ * release, so everything the controller wrote before cancelling (a
+ * deadline record, a shutdown reason) is visible to the simulation
+ * thread that observes the flag. On x86 and Apple-silicon ARM the
+ * acquire load costs the same as a relaxed one; the discipline is
+ * checked statically by crisp_lint's cancel-token-acquire rule.
  *
  * Cancellation and timeout are distinguished because they have
  * different retry semantics at the serving layer (DESIGN.md §15): a
@@ -63,13 +69,13 @@ class CancelToken
     /** @return true once either request has fired. */
     bool cancelled() const
     {
-        return state_.load(std::memory_order_relaxed) != kArmed;
+        return state_.load(std::memory_order_acquire) != kArmed;
     }
 
     /** @return true when the token fired as a timeout. */
     bool timedOut() const
     {
-        return state_.load(std::memory_order_relaxed) == kTimedOut;
+        return state_.load(std::memory_order_acquire) == kTimedOut;
     }
 
     /**
@@ -78,7 +84,7 @@ class CancelToken
      */
     void throwIfCancelled(const char *context = "") const
     {
-        int s = state_.load(std::memory_order_relaxed);
+        int s = state_.load(std::memory_order_acquire);
         if (s != kArmed)
             throw JobCancelled(s == kTimedOut, context);
     }
@@ -90,7 +96,8 @@ class CancelToken
     {
         int expected = kArmed;
         state_.compare_exchange_strong(expected, what,
-                                       std::memory_order_relaxed);
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
     }
 
     std::atomic<int> state_{kArmed};

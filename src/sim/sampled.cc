@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -13,6 +11,7 @@
 #include "bp/gshare.h"
 #include "bp/tage.h"
 #include "sim/cancel.h"
+#include "sim/sync.h"
 #include "sim/thread_pool.h"
 #include "sim/warm_io.h"
 #include "telemetry/pc_profiler.h"
@@ -520,8 +519,8 @@ runCoreSampled(const Trace &trace, const SimConfig &cfg,
         result.warmPassRan = true;
         ThreadPool::Stream stream(pool);
 
-        std::mutex live_m;
-        std::condition_variable live_cv;
+        Mutex live_m;
+        CondVar live_cv;
         size_t live = 0;
         size_t peak = 0;
         const size_t max_live =
@@ -532,16 +531,16 @@ runCoreSampled(const Trace &trace, const SimConfig &cfg,
         // backpressure behind a failed job.
         struct LiveToken
         {
-            std::mutex &m;
-            std::condition_variable &cv;
+            Mutex &m;
+            CondVar &cv;
             size_t &live;
             ~LiveToken()
             {
                 {
-                    std::lock_guard<std::mutex> lk(m);
+                    MutexLock lk(m);
                     --live;
                 }
-                cv.notify_one();
+                cv.notifyOne();
             }
         };
 
@@ -550,7 +549,7 @@ runCoreSampled(const Trace &trace, const SimConfig &cfg,
             if (observer)
                 observer->onSnapshot(k, *sp);
             {
-                std::unique_lock<std::mutex> lk(live_m);
+                MutexLock lk(live_m);
                 live_cv.wait(lk,
                              [&] { return live < max_live; });
                 ++live;

@@ -1,0 +1,190 @@
+#ifndef CRISP_SIM_SYNC_H
+#define CRISP_SIM_SYNC_H
+
+/**
+ * @file sync.h
+ * Annotated synchronization primitives for Clang Thread Safety
+ * Analysis (TSA).
+ *
+ * Every concurrent subsystem in the repo (ThreadPool, ArtifactCache,
+ * WarmArtifactStore, crisp_serve) locks through these wrappers so the
+ * compiler can prove lock discipline statically:
+ *
+ *   - members guarded by a Mutex carry CRISP_GUARDED_BY(m_)
+ *   - methods that must be called with the lock held carry
+ *     CRISP_REQUIRES(m_)
+ *   - scoped acquisition is CRISP only via MutexLock
+ *   - condition waits go through CondVar, whose API makes the
+ *     predicate mandatory (a predicate-less wait does not compile)
+ *
+ * Under compilers without the capability attributes (GCC, MSVC) the
+ * macros expand to nothing and the wrappers cost exactly a
+ * std::mutex / std::condition_variable.  The CI `thread-safety` job
+ * builds with Clang and -Werror=thread-safety, so annotation drift
+ * fails the build even though local toolchains may be GCC-only.
+ *
+ * Conventions (see DESIGN.md §16):
+ *   - annotate the *header* declaration; Clang ignores attributes
+ *     that appear only on out-of-line definitions
+ *   - lambdas that read guarded members (e.g. CondVar predicates)
+ *     carry the attribute via GNU syntax after the parameter list:
+ *       cv.wait(lk, [this]() CRISP_REQUIRES(m_) { return done_; });
+ *   - CRISP_NO_THREAD_SAFETY_ANALYSIS is a last resort, reserved for
+ *     functions that hand a lock across scopes in ways TSA's
+ *     intraprocedural model cannot follow; every use needs a comment.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CRISP_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef CRISP_TSA
+#define CRISP_TSA(x)
+#endif
+
+#define CRISP_CAPABILITY(name) CRISP_TSA(capability(name))
+#define CRISP_SCOPED_CAPABILITY CRISP_TSA(scoped_lockable)
+#define CRISP_GUARDED_BY(x) CRISP_TSA(guarded_by(x))
+#define CRISP_PT_GUARDED_BY(x) CRISP_TSA(pt_guarded_by(x))
+#define CRISP_REQUIRES(...) \
+    CRISP_TSA(requires_capability(__VA_ARGS__))
+#define CRISP_ACQUIRE(...) CRISP_TSA(acquire_capability(__VA_ARGS__))
+#define CRISP_RELEASE(...) CRISP_TSA(release_capability(__VA_ARGS__))
+#define CRISP_TRY_ACQUIRE(...) \
+    CRISP_TSA(try_acquire_capability(__VA_ARGS__))
+#define CRISP_EXCLUDES(...) CRISP_TSA(locks_excluded(__VA_ARGS__))
+#define CRISP_ASSERT_CAPABILITY(x) CRISP_TSA(assert_capability(x))
+#define CRISP_RETURN_CAPABILITY(x) CRISP_TSA(lock_returned(x))
+#define CRISP_NO_THREAD_SAFETY_ANALYSIS \
+    CRISP_TSA(no_thread_safety_analysis)
+
+namespace crisp
+{
+
+class CondVar;
+class MutexLock;
+
+/** A std::mutex carrying the TSA "mutex" capability. */
+class CRISP_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() CRISP_ACQUIRE() { m_.lock(); }
+    void unlock() CRISP_RELEASE() { m_.unlock(); }
+    bool tryLock() CRISP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /** Tells the analysis this thread holds the lock (for paths the
+     *  intraprocedural analysis cannot follow).  No runtime check. */
+    void assertHeld() const CRISP_ASSERT_CAPABILITY(this) {}
+
+  private:
+    friend class CondVar;
+    friend class MutexLock;
+    std::mutex m_;
+};
+
+/** Scoped lock for Mutex — the only sanctioned way to hold one. */
+class CRISP_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) CRISP_ACQUIRE(m) : m_(m)
+    {
+        m_.lock();
+    }
+    ~MutexLock() CRISP_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    friend class CondVar;
+    Mutex &m_;
+};
+
+/**
+ * Condition variable whose wait API makes the predicate mandatory.
+ *
+ * There is deliberately no predicate-less wait(): every caller must
+ * state the condition it is waiting for, which kills the classic
+ * missed-wakeup / spurious-wakeup bug class at compile time
+ * (crisp_lint additionally rejects predicate-less std waits in code
+ * that bypasses this wrapper).
+ *
+ * Waits take the caller's MutexLock so the analysis can see which
+ * capability protects the predicate.  The wait bodies are excluded
+ * from analysis: they temporarily adopt the already-held mutex into
+ * a std::unique_lock, which TSA's model cannot express.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Blocks until pred() is true.  pred runs with the lock held. */
+    template <typename Pred>
+    void wait(MutexLock &lk, Pred pred)
+        CRISP_NO_THREAD_SAFETY_ANALYSIS
+    {
+        Borrowed b(lk);
+        cv_.wait(b.ul, pred);
+    }
+
+    /** Blocks until pred() is true or @p deadline passes.
+     *  @return pred() at return. */
+    template <typename Clock, typename Duration, typename Pred>
+    bool waitUntil(MutexLock &lk,
+                   const std::chrono::time_point<Clock, Duration>
+                       &deadline,
+                   Pred pred) CRISP_NO_THREAD_SAFETY_ANALYSIS
+    {
+        Borrowed b(lk);
+        return cv_.wait_until(b.ul, deadline, pred);
+    }
+
+    /** Blocks until pred() is true or @p dur elapses.
+     *  @return pred() at return. */
+    template <typename Rep, typename Period, typename Pred>
+    bool waitFor(MutexLock &lk,
+                 const std::chrono::duration<Rep, Period> &dur,
+                 Pred pred) CRISP_NO_THREAD_SAFETY_ANALYSIS
+    {
+        Borrowed b(lk);
+        return cv_.wait_for(b.ul, dur, pred);
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    /** Adopts the MutexLock's mutex into a unique_lock for the
+     *  duration of a wait, then releases ownership so the MutexLock
+     *  destructor stays the sole unlocker.  std::condition_variable
+     *  guarantees the lock is reacquired before a predicate
+     *  exception propagates, so release() in the destructor is safe
+     *  on every path. */
+    struct Borrowed
+    {
+        std::unique_lock<std::mutex> ul;
+        explicit Borrowed(MutexLock &lk)
+            : ul(lk.m_.m_, std::adopt_lock)
+        {
+        }
+        ~Borrowed() { ul.release(); }
+    };
+
+    std::condition_variable cv_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_SYNC_H

@@ -28,71 +28,71 @@ ThreadPool::ThreadPool(unsigned jobs)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.notifyAll();
     for (auto &w : workers_)
         w.join();
 }
 
 bool
-ThreadPool::runOne(std::unique_lock<std::mutex> &lk)
+ThreadPool::runOne()
 {
     Batch *b = batch_;
     if (!b || b->next >= b->total)
         return false;
     size_t i = b->next++;
-    lk.unlock();
+    m_.unlock();
     std::exception_ptr err;
     try {
         (*b->fn)(i);
     } catch (...) {
         err = std::current_exception();
     }
-    lk.lock();
+    m_.lock();
     if (err && !b->error)
         b->error = err;
     if (++b->done == b->total)
-        done_cv_.notify_all();
+        done_cv_.notifyAll();
     return true;
 }
 
 bool
-ThreadPool::runOneStream(std::unique_lock<std::mutex> &lk)
+ThreadPool::runOneStream()
 {
     if (streamTasks_.empty())
         return false;
     std::function<void()> task = std::move(streamTasks_.front());
     streamTasks_.pop_front();
-    lk.unlock();
+    m_.unlock();
     std::exception_ptr err;
     try {
         task();
     } catch (...) {
         err = std::current_exception();
     }
-    lk.lock();
+    m_.lock();
     if (err && !streamError_)
         streamError_ = err;
     if (--streamPending_ == 0)
-        done_cv_.notify_all();
+        done_cv_.notifyAll();
     return true;
 }
 
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lk(m_);
+    MutexLock lk(m_);
     for (;;) {
-        work_cv_.wait(lk, [this] {
+        work_cv_.wait(lk, [this]() CRISP_REQUIRES(m_) {
             return stop_ ||
                    (batch_ && batch_->next < batch_->total) ||
                    !streamTasks_.empty();
         });
         if (stop_)
             return;
-        while (runOne(lk) || runOneStream(lk)) {
+        while (runOne() || runOneStream()) {
         }
     }
 }
@@ -114,14 +114,17 @@ ThreadPool::parallelFor(size_t n,
     batch.fn = &fn;
     batch.total = n;
 
-    std::unique_lock<std::mutex> lk(m_);
+    MutexLock lk(m_);
     batch_ = &batch;
-    work_cv_.notify_all();
+    work_cv_.notifyAll();
     // The caller is a lane too: it helps drain the queue rather than
     // idling, so a pool of size N gives N concurrent iterations.
-    while (runOne(lk)) {
+    while (runOne()) {
     }
-    done_cv_.wait(lk, [&batch] { return batch.done == batch.total; });
+    // Batch fields are unannotated (see struct comment): a plain
+    // lambda suffices here; m_ is held whenever the predicate runs.
+    done_cv_.wait(
+        lk, [&batch] { return batch.done == batch.total; });
     batch_ = nullptr;
     if (batch.error)
         std::rethrow_exception(batch.error);
@@ -129,7 +132,7 @@ ThreadPool::parallelFor(size_t n,
 
 ThreadPool::Stream::Stream(ThreadPool &pool) : pool_(pool)
 {
-    std::lock_guard<std::mutex> lk(pool_.m_);
+    MutexLock lk(pool_.m_);
     assert(!pool_.streamOpen_ && "one open Stream per pool");
     pool_.streamOpen_ = true;
     pool_.streamError_ = nullptr;
@@ -139,15 +142,14 @@ ThreadPool::Stream::~Stream()
 {
     // Drain without throwing; a stored error the caller never
     // collected via wait() is discarded.
+    MutexLock lk(pool_.m_);
     if (pool_.size_ > 1) {
-        std::unique_lock<std::mutex> lk(pool_.m_);
-        while (pool_.runOneStream(lk)) {
+        while (pool_.runOneStream()) {
         }
         pool_.done_cv_.wait(
-            lk, [this] { return pool_.streamPending_ == 0; });
-        pool_.streamError_ = nullptr;
-        pool_.streamOpen_ = false;
-        return;
+            lk, [this]() CRISP_REQUIRES(pool_.m_) {
+                return pool_.streamPending_ == 0;
+            });
     }
     pool_.streamError_ = nullptr;
     pool_.streamOpen_ = false;
@@ -157,37 +159,46 @@ void
 ThreadPool::Stream::submit(std::function<void()> task)
 {
     if (pool_.size_ <= 1) {
-        // Serial reference path: run on the caller right away.
+        // Serial reference path: run on the caller right away.  The
+        // task runs outside the lock (it may submit recursively);
+        // only the error slot is touched under m_ so wait() from
+        // another thread observes it.
+        std::exception_ptr err;
         try {
             task();
         } catch (...) {
+            err = std::current_exception();
+        }
+        if (err) {
+            MutexLock lk(pool_.m_);
             if (!pool_.streamError_)
-                pool_.streamError_ = std::current_exception();
+                pool_.streamError_ = err;
         }
         return;
     }
     {
-        std::lock_guard<std::mutex> lk(pool_.m_);
+        MutexLock lk(pool_.m_);
         pool_.streamTasks_.push_back(std::move(task));
         ++pool_.streamPending_;
     }
-    pool_.work_cv_.notify_one();
+    pool_.work_cv_.notifyOne();
 }
 
 void
 ThreadPool::Stream::wait()
 {
     std::exception_ptr err;
-    if (pool_.size_ <= 1) {
-        err = pool_.streamError_;
-        pool_.streamError_ = nullptr;
-    } else {
-        std::unique_lock<std::mutex> lk(pool_.m_);
-        // The caller is a lane too: help drain instead of idling.
-        while (pool_.runOneStream(lk)) {
+    {
+        MutexLock lk(pool_.m_);
+        if (pool_.size_ > 1) {
+            // The caller is a lane too: help drain, don't idle.
+            while (pool_.runOneStream()) {
+            }
+            pool_.done_cv_.wait(
+                lk, [this]() CRISP_REQUIRES(pool_.m_) {
+                    return pool_.streamPending_ == 0;
+                });
         }
-        pool_.done_cv_.wait(
-            lk, [this] { return pool_.streamPending_ == 0; });
         err = pool_.streamError_;
         pool_.streamError_ = nullptr;
     }

@@ -18,12 +18,12 @@
 #ifndef CRISP_SIM_THREAD_POOL_H
 #define CRISP_SIM_THREAD_POOL_H
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sim/sync.h"
 
 namespace crisp
 {
@@ -94,7 +94,11 @@ class ThreadPool
     };
 
   private:
-    /** One parallelFor in flight; workers pull indices from it. */
+    /** One parallelFor in flight; workers pull indices from it.
+     *  Fields are only touched under the owning pool's m_ while
+     *  batch_ points at the instance (the struct lives on the
+     *  parallelFor caller's stack, so it cannot name that mutex in
+     *  an annotation). */
     struct Batch
     {
         const std::function<void(size_t)> *fn = nullptr;
@@ -105,24 +109,28 @@ class ThreadPool
     };
 
     void workerLoop();
-    /** Claims and runs one iteration. @return false if none left. */
-    bool runOne(std::unique_lock<std::mutex> &lk);
-    /** Claims and runs one stream task. @return false if none left. */
-    bool runOneStream(std::unique_lock<std::mutex> &lk);
+    /** Claims and runs one iteration (dropping m_ around the user
+     *  code, reacquired on return). @return false if none left. */
+    bool runOne() CRISP_REQUIRES(m_);
+    /** Claims and runs one stream task (same unlock-around-task
+     *  protocol as runOne). @return false if none left. */
+    bool runOneStream() CRISP_REQUIRES(m_);
 
     unsigned size_;
     std::vector<std::thread> workers_;
-    std::mutex m_;
-    std::condition_variable work_cv_;  ///< workers wait for work
-    std::condition_variable done_cv_;  ///< caller waits for drain
-    Batch *batch_ = nullptr;
-    bool stop_ = false;
+    Mutex m_;
+    CondVar work_cv_;  ///< workers wait for work
+    CondVar done_cv_;  ///< caller waits for drain
+    Batch *batch_ CRISP_GUARDED_BY(m_) = nullptr;
+    bool stop_ CRISP_GUARDED_BY(m_) = false;
 
     // Stream state (one open stream at a time; see class Stream).
-    std::deque<std::function<void()>> streamTasks_;
-    size_t streamPending_ = 0; ///< queued + running stream tasks
-    std::exception_ptr streamError_;
-    bool streamOpen_ = false;
+    std::deque<std::function<void()>> streamTasks_
+        CRISP_GUARDED_BY(m_);
+    size_t streamPending_ CRISP_GUARDED_BY(m_) =
+        0; ///< queued + running stream tasks
+    std::exception_ptr streamError_ CRISP_GUARDED_BY(m_);
+    bool streamOpen_ CRISP_GUARDED_BY(m_) = false;
 };
 
 } // namespace crisp

@@ -314,6 +314,12 @@ WarmArtifactStore::evictToCap(const std::string &spare) const
     if (maxBytes_ == 0)
         return;
 
+    // Serialize concurrent commits: two evictions interleaving their
+    // scans with each other's removals would each work from a stale
+    // byte total. evictM_ is a leaf lock — nothing is acquired while
+    // it is held, and the streaming writers never take it.
+    MutexLock lk(evictM_);
+
     struct Entry
     {
         fs::path path;

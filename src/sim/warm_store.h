@@ -38,6 +38,7 @@
 #include <string>
 
 #include "sim/sampled.h"
+#include "sim/sync.h"
 #include "sim/warm_io.h"
 
 namespace crisp
@@ -162,11 +163,18 @@ class WarmArtifactStore
 
   private:
     /** Deletes oldest-modified artifacts until the directory is
-     *  within maxBytes_, never touching @p spare. */
-    void evictToCap(const std::string &spare) const;
+     *  within maxBytes_, never touching @p spare. Serialized by
+     *  evictM_ — concurrent commits would otherwise race the
+     *  directory scan against each other's removals and could both
+     *  overshoot and double-count freed bytes. */
+    void evictToCap(const std::string &spare) const
+        CRISP_EXCLUDES(evictM_);
 
     std::string dir_;
     uint64_t maxBytes_;
+    /** Guards the scan-and-remove in evictToCap (file I/O itself is
+     *  atomic-rename safe; only the eviction accounting races). */
+    mutable Mutex evictM_;
 };
 
 } // namespace crisp

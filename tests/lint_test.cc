@@ -1,0 +1,387 @@
+/**
+ * @file
+ * crisp_lint checker tests (src/lint, DESIGN.md §16): each rule on
+ * known-good and known-bad fixtures with exact diagnostics,
+ * suppression comments, compile-database file extraction, and a
+ * repo-cleanliness check over the checker's own sources.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+using crisp::lint::Diagnostic;
+using crisp::lint::filesFromCompileCommands;
+using crisp::lint::formatDiagnostic;
+using crisp::lint::lintFile;
+using crisp::lint::lintSource;
+using crisp::lint::ruleNames;
+
+namespace
+{
+
+/** Temp dir that cleans up after itself. */
+struct ScratchDir
+{
+    fs::path path;
+    ScratchDir()
+    {
+        path = fs::temp_directory_path() /
+               ("crisp_lint_test_" +
+                std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
+        fs::create_directories(path);
+    }
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    static int counter;
+};
+int ScratchDir::counter = 0;
+
+std::vector<std::string>
+rulesOf(const std::vector<Diagnostic> &diags)
+{
+    std::vector<std::string> out;
+    for (const Diagnostic &d : diags)
+        out.push_back(d.rule);
+    return out;
+}
+
+} // namespace
+
+TEST(LintRules, RuleNamesAreStable)
+{
+    EXPECT_EQ(ruleNames(),
+              (std::vector<std::string>{
+                  "blocking-under-lock", "wait-needs-predicate",
+                  "cancel-token-acquire",
+                  "stat-registration-after-thread-start"}));
+}
+
+TEST(LintRules, CleanFileHasNoFindings)
+{
+    const std::string src = R"(
+#include <mutex>
+void f(M &m, Q &queue_, CV &cv) {
+    {
+        MutexLock lk(m);
+        state = 1;
+    }
+    queue_.push(1);           // outside the guard scope: fine
+    cv.wait(lk, [] { return ready; });
+    cv.waitUntil(lk, deadline, [] { return ready; });
+}
+)";
+    EXPECT_TRUE(lintSource("clean.cc", src).empty());
+}
+
+TEST(LintRules, BlockingUnderLockFlagsEachCallKind)
+{
+    const std::string src = R"(
+void f(std::mutex &m, Q &jobQueue, P &pool) {
+    std::lock_guard<std::mutex> lk(m);
+    pool.submit([] {});
+    parallelFor(0, n, body);
+    waitEvents(id, 0, out, term);
+    ::send(fd, buf, len, 0);
+    ::recv(fd, buf, len, 0);
+    std::ofstream os("x");
+    fprintf(stderr, "x");
+    jobQueue.push(e);
+    jobQueue.pop(e);
+}
+)";
+    auto diags = lintSource("bad.cc", src);
+    ASSERT_EQ(diags.size(), 9u);
+    for (const Diagnostic &d : diags) {
+        EXPECT_EQ(d.rule, "blocking-under-lock");
+        EXPECT_NE(d.message.find("guard declared line 3"),
+                  std::string::npos)
+            << d.message;
+    }
+    // Exact first diagnostic, clang-style.
+    EXPECT_EQ(formatDiagnostic(diags[0]),
+              "bad.cc:4: error: [blocking-under-lock] blocking "
+              "call 'ThreadPool submit' while holding a lock "
+              "(guard declared line 3)");
+}
+
+TEST(LintRules, GuardScopeEndsAtClosingBrace)
+{
+    const std::string src = R"(
+void f(M &m, Q &queue_) {
+    {
+        MutexLock lk(m);
+    }
+    queue_.push(1);
+}
+)";
+    EXPECT_TRUE(lintSource("scoped.cc", src).empty());
+}
+
+TEST(LintRules, NonQueueReceiversOfPushAreNotFlagged)
+{
+    const std::string src = R"(
+void f(M &m, std::vector<int> &events) {
+    MutexLock lk(m);
+    events.push_back(1);
+    out.push(2);
+}
+)";
+    EXPECT_TRUE(lintSource("vec.cc", src).empty());
+}
+
+TEST(LintRules, WaitNeedsPredicateExactDiagnostics)
+{
+    const std::string src = R"(
+void f(CV &cv, L &lk) {
+    cv.wait(lk);
+    cv.wait(lk, [] { return ready; });
+    cv.wait_for(lk, std::chrono::seconds(1));
+    cv.wait_until(lk, deadline);
+    cv.waitFor(lk, dur, [] { return ready; });
+    cv.waitUntil(lk, deadline, [] { return ready; });
+}
+)";
+    auto diags = lintSource("wait.cc", src);
+    ASSERT_EQ(diags.size(), 3u);
+    EXPECT_EQ(diags[0].line, 3);
+    EXPECT_EQ(diags[1].line, 5);
+    EXPECT_EQ(diags[2].line, 6);
+    for (const Diagnostic &d : diags)
+        EXPECT_EQ(d.rule, "wait-needs-predicate");
+    EXPECT_EQ(
+        formatDiagnostic(diags[0]),
+        "wait.cc:3: error: [wait-needs-predicate] condition wait "
+        "without a predicate (spurious wakeups and missed "
+        "notifies go unchecked)");
+}
+
+TEST(LintRules, PredicateArgumentsWithCommasCountAsOne)
+{
+    // Commas inside the lambda body / brackets must not split the
+    // argument: this wait has exactly two args and is fine.
+    const std::string src = R"(
+void f(CV &cv, L &lk) {
+    cv.wait(lk, [a, b] { return g(a, b) || h(c[1, 2]); });
+}
+)";
+    EXPECT_TRUE(lintSource("commas.cc", src).empty());
+}
+
+TEST(LintRules, CancelTokenFileRejectsRelaxedEverywhere)
+{
+    const std::string src = R"(
+class CancelToken {
+    bool cancelled() const {
+        return flag_.load(std::memory_order_relaxed);
+    }
+};
+)";
+    auto diags = lintSource("cancel.h", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "cancel-token-acquire");
+    EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(LintRules, CancelPollSitesNeedAcquire)
+{
+    const std::string src = R"(
+void f(const CancelToken &token) {
+    bool c = token.cancelledRelaxed(std::memory_order_relaxed);
+    counter.fetch_add(1, std::memory_order_relaxed);
+}
+)";
+    auto diags = lintSource("poll.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "cancel-token-acquire");
+    EXPECT_EQ(diags[0].line, 3);
+    // Line 4's relaxed counter bump has no cancel identifier in its
+    // statement and stays legal.
+}
+
+TEST(LintRules, StatRegistrationAfterThreadStart)
+{
+    const std::string src = R"(
+void setup(StatRegistry &reg) {
+    reg.addCounter("ok.before", v);
+    std::thread t([] {});
+    reg.addCounter("bad.after", v);
+    StatRegistry local;
+    local.addScalar("ok.local", v);
+    t.join();
+}
+void later(StatRegistry &reg) {
+    reg.addScalar("ok.new.function", v);
+}
+)";
+    auto diags = lintSource("stats.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule,
+              "stat-registration-after-thread-start");
+    EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(LintSuppression, AllowCommentCoversSameAndNextLine)
+{
+    const std::string src = R"(
+void f(CV &cv, L &lk) {
+    cv.wait(lk); // crisp-lint: allow(wait-needs-predicate)
+    // crisp-lint: allow(wait-needs-predicate)
+    cv.wait(lk);
+    cv.wait(lk);
+}
+)";
+    auto diags = lintSource("sup.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 6);
+}
+
+TEST(LintSuppression, AllowListAndWrongRuleDoNotLeak)
+{
+    const std::string src = R"(
+void f(M &m, Q &jobQueue) {
+    MutexLock lk(m);
+    // crisp-lint: allow(blocking-under-lock,wait-needs-predicate)
+    jobQueue.push(e);
+    // crisp-lint: allow(wait-needs-predicate)
+    jobQueue.push(e);
+}
+)";
+    auto diags = lintSource("list.cc", src);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 7);
+    EXPECT_EQ(diags[0].rule, "blocking-under-lock");
+}
+
+TEST(LintLexer, CommentsStringsAndPreprocessorAreInert)
+{
+    // Every trigger below lives in a comment, string literal, raw
+    // string or preprocessor line — none may fire.
+    const std::string src = R"raw(
+#define WAIT(cv, lk) cv.wait(lk)
+// cv.wait(lk); MutexLock lk(m); queue_.push(1);
+/* std::thread t([]{}); reg.addCounter("x", 1); */
+const char *s = "cv.wait(lk); memory_order_relaxed";
+const char *r = R"(MutexLock lk(m); ::send(fd, 0, 0, 0);)";
+)raw";
+    EXPECT_TRUE(lintSource("inert.cc", src).empty());
+}
+
+TEST(LintFiles, IoErrorDiagnosticForMissingFile)
+{
+    auto diags = lintFile("/nonexistent/crisp/nope.cc");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "io-error");
+    EXPECT_EQ(diags[0].line, 0);
+}
+
+TEST(LintFiles, CompileCommandsExtractionAndSiblingHeaders)
+{
+    ScratchDir tmp;
+    fs::path srcDir = tmp.path / "proj" / "src" / "sim";
+    fs::create_directories(srcDir);
+    std::ofstream(srcDir / "a.cc") << "void a() {}\n";
+    std::ofstream(srcDir / "a.h") << "void a();\n";
+    std::ofstream(srcDir / "b.h") << "void b();\n";
+    fs::path thirdParty = tmp.path / "proj" / "extern";
+    fs::create_directories(thirdParty);
+    std::ofstream(thirdParty / "t.cc") << "void t() {}\n";
+
+    fs::path db = tmp.path / "compile_commands.json";
+    std::ofstream(db)
+        << "[\n"
+        << "  {\"directory\": \"" << (tmp.path / "proj").string()
+        << "\", \"command\": \"c++ -c src/sim/a.cc\", "
+        << "\"file\": \"src/sim/a.cc\"},\n"
+        << "  {\"directory\": \"" << (tmp.path / "proj").string()
+        << "\", \"command\": \"c++ -c extern/t.cc\", "
+        << "\"file\": \"" << (thirdParty / "t.cc").string()
+        << "\"}\n"
+        << "]\n";
+
+    std::vector<std::string> files;
+    std::string error;
+    ASSERT_TRUE(
+        filesFromCompileCommands(db.string(), files, &error))
+        << error;
+    // The TU plus both sibling headers; the out-of-tree file is
+    // filtered.
+    ASSERT_EQ(files.size(), 3u);
+    EXPECT_NE(std::find(files.begin(), files.end(),
+                        (srcDir / "a.cc").string()),
+              files.end());
+    EXPECT_NE(std::find(files.begin(), files.end(),
+                        (srcDir / "a.h").string()),
+              files.end());
+    EXPECT_NE(std::find(files.begin(), files.end(),
+                        (srcDir / "b.h").string()),
+              files.end());
+}
+
+TEST(LintFiles, CompileCommandsErrorsAreReported)
+{
+    ScratchDir tmp;
+    std::vector<std::string> files;
+    std::string error;
+    EXPECT_FALSE(filesFromCompileCommands(
+        (tmp.path / "missing.json").string(), files, &error));
+    EXPECT_FALSE(error.empty());
+
+    fs::path notArray = tmp.path / "bad.json";
+    std::ofstream(notArray) << "{\"not\": \"a database\"}\n";
+    error.clear();
+    EXPECT_FALSE(filesFromCompileCommands(notArray.string(),
+                                          files, &error));
+    EXPECT_NE(error.find("compile database"), std::string::npos);
+}
+
+/** The checker must be clean over its own sources — the same
+ *  invariant CI enforces repo-wide via the compile database. */
+TEST(LintRepo, CheckerSourcesAreClean)
+{
+    fs::path here = fs::path(__FILE__).parent_path();
+    fs::path lintDir = here.parent_path() / "src" / "lint";
+    if (!fs::exists(lintDir / "lint.cc"))
+        GTEST_SKIP() << "source tree not available at " << lintDir;
+    for (const char *name : {"lint.h", "lint.cc"}) {
+        auto diags = lintFile((lintDir / name).string());
+        EXPECT_TRUE(diags.empty())
+            << name << ": "
+            << (diags.empty() ? std::string()
+                              : formatDiagnostic(diags[0]));
+    }
+}
+
+/** The concurrency core the rules were written for must be clean
+ *  too (with its in-tree suppressions honored). */
+TEST(LintRepo, ConcurrencyCoreIsClean)
+{
+    fs::path here = fs::path(__FILE__).parent_path();
+    fs::path src = here.parent_path() / "src";
+    if (!fs::exists(src / "sim" / "sync.h"))
+        GTEST_SKIP() << "source tree not available at " << src;
+    for (const char *rel :
+         {"sim/sync.h", "sim/cancel.h", "sim/thread_pool.cc",
+          "sim/artifact_cache.cc", "sim/warm_store.cc",
+          "serve/job_queue.cc", "serve/server.cc",
+          "serve/transport.cc"}) {
+        auto diags = lintFile((src / rel).string());
+        std::string all;
+        for (const Diagnostic &d : diags)
+            all += formatDiagnostic(d) + "\n";
+        EXPECT_TRUE(diags.empty()) << rel << ":\n" << all;
+    }
+}

@@ -172,6 +172,67 @@ TEST(ThreadPoolStream, DestructionDrainsWithoutCommit)
     EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPoolStream, ConcurrentProducersAllTasksRunOnce)
+{
+    // Regression for the lock discipline around the stream's shared
+    // deque: several producers submit into one stream while a
+    // drainer repeatedly calls wait(). Every task must run exactly
+    // once and every wait() must observe a fully-drained stream.
+    for (unsigned jobs : {2u, 4u}) {
+        ThreadPool pool(jobs);
+        ThreadPool::Stream stream(pool);
+        constexpr int kProducers = 4;
+        constexpr int kPerProducer = 200;
+        std::vector<int> hits(kProducers * kPerProducer, 0);
+        std::atomic<int> submitted{0};
+
+        std::vector<std::thread> producers;
+        for (int p = 0; p < kProducers; ++p)
+            producers.emplace_back([&, p] {
+                for (int i = 0; i < kPerProducer; ++i) {
+                    int slot = p * kPerProducer + i;
+                    stream.submit([&hits, slot] { hits[slot]++; });
+                    submitted.fetch_add(1);
+                }
+            });
+        // Interleaved waits while producers are still feeding: each
+        // wait() drains what has been submitted so far and must not
+        // lose tasks racing in behind it.
+        for (int w = 0; w < 10; ++w)
+            stream.wait();
+        for (std::thread &t : producers)
+            t.join();
+        stream.wait();
+        ASSERT_EQ(submitted.load(), kProducers * kPerProducer);
+        for (int h : hits)
+            EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(ThreadPoolStream, SizeOnePoolPropagatesInlineError)
+{
+    // Regression: the inline (size-1) submit path used to store the
+    // task's exception into the stream's error slot without taking
+    // the stream lock. The error must surface on the next wait()
+    // exactly like the pooled path's.
+    ThreadPool pool(1);
+    ThreadPool::Stream stream(pool);
+    stream.submit([] { throw std::runtime_error("inline boom"); });
+    bool threw = false;
+    try {
+        stream.wait();
+    } catch (const std::runtime_error &e) {
+        threw = true;
+        EXPECT_STREQ(e.what(), "inline boom");
+    }
+    EXPECT_TRUE(threw);
+    // The stream recovers: later submissions run normally.
+    std::atomic<int> ok{0};
+    stream.submit([&] { ok++; });
+    stream.wait();
+    EXPECT_EQ(ok.load(), 1);
+}
+
 // ---------------------------------------------------------------
 // ArtifactCache
 // ---------------------------------------------------------------

@@ -829,5 +829,127 @@ TEST(TransportTest, SubmitStreamShutdownOverSocket)
     EXPECT_FALSE(server.accepting());
 }
 
+// ---------------------------------------------------------------
+// Result-file durability ordering (the ResultRecord contract in
+// serve/server.h: disk before end event, manifest before the RPC
+// that caused it returns)
+// ---------------------------------------------------------------
+
+TEST(ResultDurabilityTest, ResultFileExistsWhenEndEventObserved)
+{
+    ScratchDir scratch("crisp_serve_durable");
+    ServeConfig cfg;
+    cfg.jobs = 2;
+    cfg.resultDir = (scratch.path / "results").string();
+    SweepServer server(cfg, instantRunner());
+    server.start();
+
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(
+        tinySweep({"pointer_chase"},
+                  {"ooo", "crisp", "ibda-8K", "ibda-inf"}),
+        sub, &err))
+        << err;
+
+    // The instant a streamer observes a job's end event, its
+    // <id>.json must already be on disk with the full stats body —
+    // crisp_submit --wait reads the file right after the stream
+    // closes, and the CI smoke diffs it against a direct run.
+    for (const JobStatus &j : sub.jobs) {
+        size_t from = 0;
+        bool terminal = false;
+        while (!terminal) {
+            std::vector<std::string> events;
+            ASSERT_TRUE(
+                server.waitEvents(j.id, from, events, terminal));
+            from += events.size();
+        }
+        fs::path file =
+            fs::path(cfg.resultDir) / (j.id + ".json");
+        EXPECT_TRUE(fs::exists(file)) << file;
+        EXPECT_EQ(slurp(file), "{}\n");
+    }
+    server.shutdown(true);
+}
+
+TEST(ResultDurabilityTest, CancelManifestDurableBeforeReturn)
+{
+    ScratchDir scratch("crisp_serve_cancel");
+    FakeRunner fake;
+    ServeConfig cfg;
+    cfg.jobs = 1; // one worker: the second job stays queued
+    cfg.resultDir = (scratch.path / "results").string();
+    SweepServer server(cfg, fake.runner());
+    server.start();
+
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(
+        tinySweep({"pointer_chase"}, {"ooo", "crisp"}), sub, &err))
+        << err;
+    fake.awaitRunning(1);
+    const std::string queued = sub.jobs[1].id;
+
+    auto res = server.cancel({queued});
+    ASSERT_EQ(res.size(), 1u);
+    ASSERT_TRUE(res[0].cancelled);
+
+    // cancel() finalized the queued job itself, so by the time it
+    // returned the manifest line had to be durable — a client that
+    // cancels and immediately reads the manifest must see it.
+    std::string manifest =
+        slurp(fs::path(cfg.resultDir) / "manifest.ndjson");
+    EXPECT_NE(manifest.find(queued), std::string::npos)
+        << manifest;
+    EXPECT_NE(manifest.find("\"state\":\"cancelled\""),
+              std::string::npos)
+        << manifest;
+
+    fake.releaseAll();
+    server.shutdown(false);
+}
+
+TEST(ResultDurabilityTest, ShutdownManifestCoversRequeuedJobs)
+{
+    ScratchDir scratch("crisp_serve_requeue");
+    FakeRunner fake;
+    ServeConfig cfg;
+    cfg.jobs = 1;
+    cfg.resultDir = (scratch.path / "results").string();
+    SweepServer server(cfg, fake.runner());
+    server.start();
+
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(
+        tinySweep({"pointer_chase"},
+                  {"ooo", "crisp", "ibda-8K", "ibda-inf"}),
+        sub, &err))
+        << err;
+    fake.awaitRunning(1);
+    fake.releaseAll();
+    server.shutdown(false);
+
+    // Every job that shutdown moved to Requeued has a manifest
+    // line by the time shutdown() returned (crisp_report reads the
+    // manifest to know what needs resubmitting).
+    std::vector<std::string> requeued;
+    for (const JobStatus &s : server.status({}))
+        if (s.state == JobState::Requeued)
+            requeued.push_back(s.id);
+    std::string manifest =
+        slurp(fs::path(cfg.resultDir) / "manifest.ndjson");
+    for (const std::string &id : requeued) {
+        EXPECT_NE(manifest.find(id), std::string::npos)
+            << "missing requeued job " << id << " in:\n"
+            << manifest;
+    }
+    if (!requeued.empty())
+        EXPECT_NE(manifest.find("\"state\":\"requeued\""),
+                  std::string::npos)
+            << manifest;
+}
+
 } // namespace
 } // namespace crisp

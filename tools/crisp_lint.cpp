@@ -1,0 +1,98 @@
+/**
+ * @file
+ * crisp_lint: the repo's static concurrency checker (DESIGN.md §16).
+ *
+ *   crisp_lint [--compile-commands FILE] [FILE...]
+ *   crisp_lint --list-rules
+ *
+ * With --compile-commands, lints every first-party source named by
+ * the compile database (plus sibling headers). Explicit FILE
+ * arguments are linted as given; both may be combined.
+ *
+ * Exit status: 0 = clean, 1 = findings reported, 2 = usage or I/O
+ * error (unreadable compile database, no inputs).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--compile-commands FILE] [FILE...]\n"
+        "       %s --list-rules\n",
+        argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    std::string database;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string &r : crisp::lint::ruleNames())
+                std::printf("%s\n", r.c_str());
+            return 0;
+        }
+        if (arg == "--compile-commands") {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            database = argv[++i];
+            continue;
+        }
+        if (arg == "--help" || arg == "-h")
+            return usage(argv[0]);
+        if (!arg.empty() && arg[0] == '-')
+            return usage(argv[0]);
+        files.push_back(arg);
+    }
+
+    if (!database.empty()) {
+        std::string error;
+        if (!crisp::lint::filesFromCompileCommands(database, files,
+                                                   &error)) {
+            std::fprintf(stderr, "crisp_lint: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    if (files.empty())
+        return usage(argv[0]);
+
+    size_t findings = 0;
+    bool ioError = false;
+    for (const std::string &f : files) {
+        for (const crisp::lint::Diagnostic &d :
+             crisp::lint::lintFile(f)) {
+            std::printf("%s\n",
+                        crisp::lint::formatDiagnostic(d).c_str());
+            if (d.rule == "io-error")
+                ioError = true;
+            else
+                ++findings;
+        }
+    }
+    if (ioError)
+        return 2;
+    if (findings) {
+        std::fprintf(stderr,
+                     "crisp_lint: %zu finding%s in %zu file%s\n",
+                     findings, findings == 1 ? "" : "s",
+                     files.size(), files.size() == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}
