@@ -5,17 +5,20 @@
  * matrix, the interpreter, and end-to-end core simulation speed.
  * These guard the "laptop-runnable" property of the reproduction.
  *
- * Before the microbenchmarks, the binary runs three end-to-end
+ * Before the microbenchmarks, the binary runs four end-to-end
  * comparisons and writes each to a JSON file for machines to read:
  *
  * - the cycle vs event core engines on a mixed workload set,
  *   asserting bit-identical statistics (BENCH_core_event.json;
  *   a divergence makes the binary exit nonzero),
  * - the parallel evaluation engine, the same evaluateAll batch
- *   serially (--jobs 1) and on all cores (BENCH_parallel.json), and
+ *   serially (--jobs 1) and on all cores (BENCH_parallel.json),
  * - sampled simulation against the serial event engine on a 2M-op
  *   trace, asserting job-count bit-identity and (on >= 8-thread
- *   machines) a >= 3x wall-clock speedup (BENCH_sampled.json).
+ *   machines) a >= 3x wall-clock speedup (BENCH_sampled.json), and
+ * - the runtime span tracer attached to a sampled run, asserting
+ *   bit-identical results and attached wall time within noise of
+ *   detached (BENCH_runtime_trace.json).
  */
 
 #include <benchmark/benchmark.h>
@@ -43,6 +46,7 @@
 #include "sim/warm_store.h"
 #include "telemetry/interval.h"
 #include "telemetry/pc_profiler.h"
+#include "telemetry/runtime_trace.h"
 #include "vm/interpreter.h"
 #include "workloads/workload.h"
 
@@ -220,6 +224,35 @@ BENCHMARK(BM_CoreTelemetryHooks)
     ->Arg(1)
     ->Arg(2)
     ->ArgName("hooks");
+
+/**
+ * Raw runtime-tracer hook-site cost: arg 0 = detached (the hot-path
+ * null test every instrumented scope pays when no tracer is active,
+ * must be nanoseconds), arg 1 = attached (span timestamping plus the
+ * slab append; once the slab cap is hit the excess drops on the
+ * lock-free exhausted path, so large iteration counts stay honest).
+ */
+void
+BM_RuntimeTraceHooks(benchmark::State &state)
+{
+    std::unique_ptr<RuntimeTracer> tracer;
+    if (state.range(0)) {
+        tracer = std::make_unique<RuntimeTracer>();
+        tracer->activate();
+    }
+    for (auto _ : state) {
+        TraceSpan span("bench", "hook");
+        benchmark::DoNotOptimize(span.on());
+    }
+    if (tracer)
+        tracer->deactivate();
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_RuntimeTraceHooks)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("attached");
 
 /**
  * Times one evaluateAll batch serially and on all cores, printing
@@ -735,6 +768,102 @@ sampledBench()
                        warm_speedup >= 1.2));
 }
 
+/**
+ * Overhead gate for the runtime span tracer (the PR 5 null-hook gate,
+ * applied to host-runtime tracing): a 1M-op sampled run detached
+ * twice — the spread between them is the machine's noise floor — and
+ * once with a RuntimeTracer attached, capturing every pool, cache
+ * and pipeline span. Writes BENCH_runtime_trace.json.
+ * @return false when any run's stitched counters diverge (tracing
+ *         must never perturb simulation), when the attached run
+ *         recorded no events, or (on >= 8-thread machines) when the
+ *         attached run exceeds the slower detached run by more than
+ *         25% — tracing is timestamping plus a slab append, so it
+ *         must hide inside run-to-run noise.
+ */
+bool
+runtimeTraceBench()
+{
+    const uint64_t ops = 1'000'000;
+    const unsigned hw = ThreadPool::defaultJobs();
+
+    const WorkloadInfo *wl = findWorkload("mcf");
+    if (!wl)
+        return false;
+    auto prog = std::make_shared<Program>(wl->build(InputSet::Ref));
+    Interpreter interp(prog);
+    Trace trace = interp.run(ops);
+    SimConfig scfg = SimConfig::skylake();
+    scfg.sampleOps = 100'000;
+    scfg.sampleWarmupOps = 50'000;
+    scfg.sampleJobs = 8;
+
+    std::printf("=== runtime trace overhead (mcf, %llu ops, "
+                "sampled --jobs %u) ===\n",
+                static_cast<unsigned long long>(ops),
+                scfg.sampleJobs);
+
+    Timer t_base;
+    SampledResult base = runCoreSampled(trace, scfg, nullptr);
+    double base_s = t_base.seconds();
+    Timer t_base2;
+    SampledResult base2 = runCoreSampled(trace, scfg, nullptr);
+    double base2_s = t_base2.seconds();
+    std::printf("  detached  : %7.2f s / %7.2f s\n", base_s,
+                base2_s);
+
+    RuntimeTracer tracer;
+    tracer.activate();
+    Timer t_traced;
+    SampledResult traced = runCoreSampled(trace, scfg, nullptr);
+    double traced_s = t_traced.seconds();
+    tracer.deactivate();
+    size_t events = tracer.eventCount();
+    double slower = base_s > base2_s ? base_s : base2_s;
+    double overhead =
+        slower > 0 ? (traced_s / slower - 1.0) * 100.0 : 0.0;
+    std::printf("  attached  : %7.2f s  (%+.1f%% vs slower "
+                "detached, %zu events, %llu dropped)\n",
+                traced_s, overhead, events,
+                static_cast<unsigned long long>(tracer.dropped()));
+
+    bool identical = sampledTotalsEqual(base, base2) &&
+                     sampledTotalsEqual(base, traced);
+    bool has_events = events > 0;
+    bool within_noise = traced_s <= slower * 1.25;
+    std::printf("  results %s, events %s, overhead %s\n\n",
+                identical ? "identical" : "DIVERGED",
+                has_events ? "present" : "MISSING",
+                within_noise ? "within noise" : "EXCEEDS GATE");
+
+    if (FILE *f = std::fopen("BENCH_runtime_trace.json", "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"workload\": \"mcf\",\n"
+                     "  \"ops\": %llu,\n"
+                     "  \"jobs\": %u,\n"
+                     "  \"hardware_threads\": %u,\n"
+                     "  \"detached_seconds\": [%.3f, %.3f],\n"
+                     "  \"attached_seconds\": %.3f,\n"
+                     "  \"overhead_pct\": %.2f,\n"
+                     "  \"events\": %zu,\n"
+                     "  \"dropped\": %llu,\n"
+                     "  \"identical\": %s\n"
+                     "}\n",
+                     static_cast<unsigned long long>(ops),
+                     scfg.sampleJobs, hw, base_s, base2_s, traced_s,
+                     overhead, events,
+                     static_cast<unsigned long long>(
+                         tracer.dropped()),
+                     identical ? "true" : "false");
+        std::fclose(f);
+        std::printf("  wrote BENCH_runtime_trace.json\n\n");
+    }
+    // The identity and event-presence gates always bind; the wall
+    // gate only where 8 interval workers actually run concurrently.
+    return identical && has_events && (hw < 8 || within_noise);
+}
+
 } // namespace
 
 int
@@ -743,11 +872,12 @@ main(int argc, char **argv)
     bool engines_equal = coreEngineBench();
     parallelEngineBench();
     bool sampled_ok = sampledBench();
+    bool trace_ok = runtimeTraceBench();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     // CI runs this binary as a perf smoke test: a cross-engine stats
     // divergence (or a sampled job-count divergence / missed speedup
     // gate) fails the job even though the benchmarks completed.
-    return engines_equal && sampled_ok ? 0 : 1;
+    return engines_equal && sampled_ok && trace_ok ? 0 : 1;
 }

@@ -24,6 +24,7 @@ const char *const kRuleBlocking = "blocking-under-lock";
 const char *const kRulePredicate = "wait-needs-predicate";
 const char *const kRuleCancel = "cancel-token-acquire";
 const char *const kRuleStatReg = "stat-registration-after-thread-start";
+const char *const kRuleSerialize = "serialize-under-lock";
 
 /** One lexical token (comments, strings and preprocessor lines are
  *  consumed by the tokenizer; string/char literals come through as
@@ -331,6 +332,7 @@ class Checker
             checkBlocking(i);
             checkWaitPredicate(i);
             checkCancelOrder(i);
+            checkSerializeUnderLock(i);
             checkStatRegistration(i);
         }
         std::sort(diags_.begin(), diags_.end(),
@@ -515,6 +517,30 @@ class Checker
         }
     }
 
+    /** toJson()/writeCsv()/... inside a scoped lock guard. The
+     *  serializers are O(data) string builders (the write* forms
+     *  also hit the filesystem); holding a mutex across one convoys
+     *  every other acquirer. Snapshot under the lock, serialize
+     *  outside it. */
+    void checkSerializeUnderLock(size_t i)
+    {
+        if (guards_.empty())
+            return;
+        const std::string &t = toks()[i].text;
+        if (i + 1 >= toks().size() || toks()[i + 1].text != "(")
+            return;
+        if (t != "toJson" && t != "toCsv" && t != "writeJson" &&
+            t != "writeCsv")
+            return;
+        report(toks()[i].line, kRuleSerialize,
+               "serializer '" + t +
+                   "' called while holding a lock (guard declared "
+                   "line " +
+                   std::to_string(guards_.back().line) +
+                   "); snapshot the data under the lock and "
+                   "serialize outside it");
+    }
+
     void checkStatRegistration(size_t i)
     {
         if (threadDepth_ < 0)
@@ -558,7 +584,7 @@ std::vector<std::string>
 ruleNames()
 {
     return {kRuleBlocking, kRulePredicate, kRuleCancel,
-            kRuleStatReg};
+            kRuleStatReg, kRuleSerialize};
 }
 
 std::vector<Diagnostic>

@@ -31,6 +31,16 @@
  *                           has constructed a std::thread, further
  *                           registrations on non-local registries
  *                           race the new thread's reads.
+ *   serialize-under-lock    No document serialization while a scoped
+ *                           lock guard is live: toJson/toCsv/
+ *                           writeJson/writeCsv build O(data) strings
+ *                           (or touch the filesystem), and every
+ *                           other acquirer queues behind them. The
+ *                           repo idiom is snapshot-under-lock,
+ *                           serialize-outside — RuntimeTracer's
+ *                           flush copies its slab list under the
+ *                           registry mutex and renders JSON strictly
+ *                           outside it.
  *
  * Diagnostics are clang-style (`path:line: error: [rule] message`).
  * A finding is suppressed by `// crisp-lint: allow(rule)` (or

@@ -62,6 +62,7 @@ const char *const kForbiddenFlags[] = {
     "--stats-json", "--stats-csv",  "--stats-ndjson",
     "--trace-pipe", "--save-trace", "--profile-pc",
     "--artifact-dir", "--artifact-max-bytes",
+    "--trace-runtime",
 };
 
 bool
@@ -208,7 +209,9 @@ statusJson(const JobStatus &s)
                       ",\"state\":" +
                       jsonQuote(jobStateName(s.state)) +
                       ",\"attempts\":" +
-                      jsonNumber(double(s.attempts));
+                      jsonNumber(double(s.attempts)) +
+                      ",\"queue_wait_ms\":" +
+                      jsonNumber(s.queueWaitMs);
     if (s.state == JobState::Done)
         out += ",\"ipc\":" + jsonNumber(s.ipc);
     if (!s.error.empty())
@@ -442,6 +445,33 @@ handleRequestLine(SweepServer &server, const std::string &line,
     if (op == "metrics") {
         emit("{\"ok\":true,\"op\":\"metrics\",\"stats_json\":" +
              jsonQuote(server.metricsJson()) + "}");
+        return ServeAction::Continue;
+    }
+
+    if (op == "trace") {
+        // Additive op (no proto bump): the runtime trace, filtered
+        // to one job's lifecycle chain when "job" is present. The
+        // multi-line Chrome trace-event document crosses the wire as
+        // a JSON string, like every other multi-line payload.
+        if (!server.tracing()) {
+            emit(errorLine(op, "server was started without "
+                               "--trace-runtime"));
+            return ServeAction::Continue;
+        }
+        std::string job;
+        if (req.has("job")) {
+            if (!req.at("job").isString()) {
+                emit(errorLine(op, "\"job\" must be a string"));
+                return ServeAction::Continue;
+            }
+            job = req.at("job").text;
+        }
+        std::string out = "{\"ok\":true,\"op\":\"trace\"";
+        if (!job.empty())
+            out += ",\"job\":" + jsonQuote(job);
+        out += ",\"trace_json\":" +
+               jsonQuote(server.traceJson(job)) + "}";
+        emit(out);
         return ServeAction::Continue;
     }
 

@@ -11,7 +11,8 @@
  * carries.
  *
  * Requests name an op: submit, status, stream, cancel, drain,
- * metrics, shutdown. A submit carries a sweep — workloads × variants
+ * metrics, trace, shutdown. A submit carries a sweep — workloads ×
+ * variants
  * × config token lists — which the server expands into jobs with
  * stable content-addressed IDs; everything else addresses those IDs.
  * Config token lists reuse the crisp_sim CLI grammar and cli.cc's

@@ -10,6 +10,7 @@
 #include "sim/sampled.h"
 #include "sim/warm_store.h"
 #include "telemetry/json.h"
+#include "telemetry/runtime_trace.h"
 #include "telemetry/stat_registry.h"
 #include "workloads/workload.h"
 
@@ -45,6 +46,13 @@ SweepServer::SweepServer(ServeConfig cfg, JobRunner runner)
       queue_(cfg_.queueCapacity),
       freeSlots_(pool_.size())
 {
+    if (cfg_.traceRuntime) {
+        // Active for the daemon's life; deactivation happens in the
+        // tracer's own destructor, after shutdown() has joined every
+        // thread that could still be recording.
+        tracer_ = std::make_unique<RuntimeTracer>();
+        tracer_->activate();
+    }
     if (!cfg_.artifactDir.empty()) {
         warmStore_ = std::make_unique<WarmArtifactStore>(
             cfg_.artifactDir, cfg_.artifactMaxBytes);
@@ -227,6 +235,8 @@ SweepServer::finishLocked(JobRecord &rec, JobState state,
         {"variant", jsonQuote(rec.spec.variant)},
         {"state", jsonQuote(jobStateName(state))},
         {"attempts", jsonNumber(double(rec.attempts))},
+        {"queue_wait_ms",
+         jsonNumber(double(rec.queueWaitNs) / 1e6)},
     };
     if (state == JobState::Done) {
         fields.emplace_back("ipc", jsonNumber(rec.ipc));
@@ -248,8 +258,9 @@ SweepServer::finishLocked(JobRecord &rec, JobState state,
 SweepServer::ResultRecord
 SweepServer::captureResultLocked(const JobRecord &rec) const
 {
-    return {rec.spec, rec.state,     rec.attempts,
-            rec.ipc,  rec.error,     rec.statsJson};
+    return {rec.spec,  rec.state,     rec.attempts,
+            rec.ipc,   rec.error,     rec.statsJson,
+            double(rec.queueWaitNs) / 1e6};
 }
 
 void
@@ -282,6 +293,8 @@ SweepServer::writeResultFiles(const ResultRecord &rec)
                      {"attempts",
                       jsonNumber(double(rec.attempts))},
                      {"ipc", jsonNumber(rec.ipc)},
+                     {"queue_wait_ms",
+                      jsonNumber(rec.queueWaitMs)},
                      {"error", jsonQuote(rec.error)},
                      {"file", jsonQuote(file)}})
              << "\n";
@@ -339,6 +352,7 @@ SweepServer::submit(const SweepRequest &req, Submitted &out,
                 rec.attempts = 0;
                 rec.error.clear();
                 rec.events.clear();
+                rec.queueWaitNs = 0;
                 enqueue = true;
                 ++out.fresh;
                 submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -350,6 +364,8 @@ SweepServer::submit(const SweepRequest &req, Submitted &out,
             }
             JobRecord &rec = it->second;
             if (enqueue) {
+                rec.submitTime = std::chrono::steady_clock::now();
+                rec.enqueueTime = rec.submitTime;
                 emitLocked(rec,
                            eventLine({{"event", jsonQuote("state")},
                                       {"job",
@@ -399,6 +415,10 @@ SweepServer::execute(const std::string &id)
     std::shared_ptr<CancelToken> token;
     JobSpec spec;
     int attempt = 0;
+    uint64_t queueWaitNs = 0;
+    std::chrono::steady_clock::time_point submitTime{};
+    std::chrono::steady_clock::time_point enqueueTime{};
+    std::chrono::steady_clock::time_point runStart{};
     {
         MutexLock lk(m_);
         auto it = jobs_.find(id);
@@ -410,6 +430,14 @@ SweepServer::execute(const std::string &id)
             return;
         rec.state = JobState::Running;
         attempt = ++rec.attempts;
+        runStart = std::chrono::steady_clock::now();
+        rec.queueWaitNs = uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                runStart - rec.enqueueTime)
+                .count());
+        queueWaitNs = rec.queueWaitNs;
+        submitTime = rec.submitTime;
+        enqueueTime = rec.enqueueTime;
         token = std::make_shared<CancelToken>();
         rec.token = token;
         if (rec.spec.timeoutMs > 0) {
@@ -428,12 +456,24 @@ SweepServer::execute(const std::string &id)
                                jsonNumber(double(rec.attempts))}}));
     }
 
+    // Queue-wait is an async pair: on this worker thread it overlaps
+    // whatever ran here before the dispatch, so it cannot nest as a
+    // synchronous span.
+    if (tracer_)
+        tracer_->recordAsyncPair("serve", "job.queued",
+                                 tracer_->toNs(enqueueTime),
+                                 tracer_->toNs(runStart), "job",
+                                 id.c_str());
+
     enum class Verdict { Ok, Cancelled, Retryable, Fatal };
     Verdict verdict = Verdict::Ok;
     bool timedOut = false;
     std::string reason;
     JobOutcome outcome;
     try {
+        TraceSpan span("serve", "job.running");
+        if (span.on())
+            span.setArg("job", id);
         outcome = runner_(spec, cache_, *token);
     } catch (const JobCancelled &e) {
         timedOut = e.timedOut;
@@ -445,6 +485,23 @@ SweepServer::execute(const std::string &id)
     } catch (const std::exception &e) {
         verdict = Verdict::Fatal;
         reason = e.what();
+    }
+
+    {
+        // One sample per attempt; histM_ is a leaf taken after m_
+        // was released and before it is reacquired below.
+        const double wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - runStart)
+                .count();
+        MutexLock lk(histM_);
+        queueWaitHist_.add(double(queueWaitNs) / 1e6);
+        wallHist_.add(wallMs);
+        if (verdict == Verdict::Ok && outcome.sampled) {
+            warmHist_.add(outcome.warmSeconds * 1e3);
+            detailHist_.add(outcome.detailSeconds * 1e3);
+            stitchHist_.add(outcome.stitchSeconds * 1e3);
+        }
     }
 
     // A Running job is only ever finalized by this function (cancel
@@ -459,6 +516,7 @@ SweepServer::execute(const std::string &id)
         ResultRecord rr;
         rr.spec = spec;
         rr.attempts = attempt;
+        rr.queueWaitMs = double(queueWaitNs) / 1e6;
         switch (verdict) {
         case Verdict::Ok:
             rr.state = JobState::Done;
@@ -479,6 +537,9 @@ SweepServer::execute(const std::string &id)
                           std::to_string(spec.maxRetries + 1) + ")";
             break;
         }
+        TraceSpan span("serve", "job.persist");
+        if (span.on())
+            span.setArg("job", id);
         writeResultFiles(rr);
     }
 
@@ -501,6 +562,9 @@ SweepServer::execute(const std::string &id)
             finishLocked(rec, JobState::Done, "");
             break;
         case Verdict::Cancelled:
+            if (tracer_)
+                tracer_->recordInstant("serve", "job.cancel",
+                                       "job", id.c_str());
             finishLocked(rec, JobState::Cancelled, reason);
             break;
         case Verdict::Fatal:
@@ -511,6 +575,11 @@ SweepServer::execute(const std::string &id)
                 timeouts_.fetch_add(1, std::memory_order_relaxed);
             else
                 deadlocks_.fetch_add(1, std::memory_order_relaxed);
+            if (tracer_)
+                tracer_->recordInstant(
+                    "serve",
+                    timedOut ? "job.timeout" : "job.deadlock",
+                    "job", id.c_str());
             if (!retry) {
                 finishLocked(rec, JobState::Failed,
                              reason + " (attempt " +
@@ -520,11 +589,15 @@ SweepServer::execute(const std::string &id)
                 break;
             }
             retries_.fetch_add(1, std::memory_order_relaxed);
+            if (tracer_)
+                tracer_->recordInstant("serve", "job.retry", "job",
+                                       id.c_str());
             // Exponential backoff: base << (attempt - 1), clamped only
             // by the shift width (attempts are single digits).
             uint64_t backoff = rec.spec.retryBackoffMs
                                << std::min(rec.attempts - 1, 20);
             rec.state = JobState::Queued;
+            rec.enqueueTime = std::chrono::steady_clock::now();
             emitLocked(
                 rec,
                 eventLine({{"event", jsonQuote("retry")},
@@ -551,6 +624,19 @@ SweepServer::execute(const std::string &id)
             break;
         }
         }
+
+        // One lifecycle async span per completed submission, submit
+        // -> terminal (a retried attempt is not terminal and records
+        // none, unless the retry requeue hit a closed queue).
+        // Recorded under m_ deliberately: terminal states are
+        // observed under this mutex, so a drained sweep's trace
+        // always contains every finished job's chain. The tracer's
+        // registry mutex is a leaf under m_.
+        if (tracer_ && (!retry || flushRequeued))
+            tracer_->recordAsyncPair("serve", "job.lifecycle",
+                                     tracer_->toNs(submitTime),
+                                     tracer_->nowNs(), "job",
+                                     id.c_str());
     }
     // Shutdown raced the retry: the manifest line lands outside the
     // job-table lock, before this worker moves on (see ResultRecord).
@@ -563,11 +649,20 @@ SweepServer::status(const std::vector<std::string> &ids) const
 {
     MutexLock lk(m_);
     std::vector<JobStatus> out;
-    auto statusOf = [](const JobRecord &rec) {
+    const auto now = std::chrono::steady_clock::now();
+    auto statusOf = [now](const JobRecord &rec) {
+        // A still-queued job reports its wait so far, so a backed-up
+        // queue is visible before anything finishes; otherwise the
+        // latest attempt's enqueue -> dispatch latency.
+        double waitMs = double(rec.queueWaitNs) / 1e6;
+        if (!rec.terminal && rec.state == JobState::Queued)
+            waitMs = std::chrono::duration<double, std::milli>(
+                         now - rec.enqueueTime)
+                         .count();
         return JobStatus{rec.spec.id,   rec.spec.workload,
                          rec.spec.variant, rec.state,
                          rec.attempts,  rec.ipc,
-                         rec.error};
+                         rec.error,     waitMs};
     };
     if (ids.empty()) {
         for (const auto &kv : jobs_)
@@ -581,7 +676,7 @@ SweepServer::status(const std::vector<std::string> &ids) const
             auto it = jobs_.find(id);
             if (it == jobs_.end())
                 out.push_back({id, "", "", JobState::Failed, 0, 0.0,
-                               "unknown job"});
+                               "unknown job", 0.0});
             else
                 out.push_back(statusOf(it->second));
         }
@@ -621,6 +716,9 @@ SweepServer::cancel(const std::vector<std::string> &ids)
                 // no-op. remove() never blocks (the queue's lock is
                 // a leaf under m_, and removal needs no capacity).
                 queue_.remove(id);
+                if (tracer_)
+                    tracer_->recordInstant("serve", "job.cancel",
+                                           "job", id.c_str());
                 finishLocked(rec, JobState::Cancelled,
                              "cancelled before start");
                 flush.push_back(captureResultLocked(rec));
@@ -672,8 +770,10 @@ SweepServer::metricsJson() const
                    "grid points matching an existing job");
     reg.addCounter("serve.jobs.queued",
                    byState[size_t(JobState::Queued)]);
-    reg.addCounter("serve.jobs.running",
-                   byState[size_t(JobState::Running)]);
+    // Instantaneous gauges export as scalars, not counters, so
+    // crisp_report deltas never treat them as monotone.
+    reg.addScalar("serve.jobs.running",
+                  double(byState[size_t(JobState::Running)]));
     reg.addCounter("serve.jobs.done",
                    byState[size_t(JobState::Done)]);
     reg.addCounter("serve.jobs.failed",
@@ -689,19 +789,44 @@ SweepServer::metricsJson() const
                    timeouts_.load(std::memory_order_relaxed));
     reg.addCounter("serve.jobs.deadlocks",
                    deadlocks_.load(std::memory_order_relaxed));
-    reg.addCounter("serve.events.buffered", uint64_t(events));
-    reg.addCounter("serve.queue.depth", uint64_t(queue_.depth()));
+    reg.addScalar("serve.events.buffered", double(events));
+    reg.addScalar("serve.queue.depth", double(queue_.depth()));
     reg.addCounter("serve.queue.capacity",
                    uint64_t(queue_.capacity()));
     reg.addCounter("serve.pool.workers", uint64_t(pool_.size()));
     ArtifactCache::Stats cs = cache_.stats();
     reg.addCounter("serve.cache.hits", cs.hits);
     reg.addCounter("serve.cache.misses", cs.misses);
-    reg.addCounter("serve.cache.in_flight", cs.inFlight,
-                   "artifact computations running now");
+    reg.addScalar("serve.cache.in_flight", double(cs.inFlight),
+                  "artifact computations running now");
     reg.addCounter("serve.cache.store_hits", cs.storeHits);
     reg.addCounter("serve.cache.store_misses", cs.storeMisses);
+    {
+        // Copy-register under the leaf lock; serialization (toJson)
+        // runs after it is released.
+        MutexLock lk(histM_);
+        reg.addHistogram("serve.latency.queue_wait_ms",
+                         queueWaitHist_,
+                         "enqueue -> dispatch, per attempt");
+        reg.addHistogram("serve.latency.job_wall_ms", wallHist_,
+                         "runner wall-time, per attempt");
+        reg.addHistogram("serve.latency.warm_ms", warmHist_,
+                         "sampled warm phase, per done job");
+        reg.addHistogram("serve.latency.detail_ms", detailHist_,
+                         "sampled detail phase, per done job");
+        reg.addHistogram("serve.latency.stitch_ms", stitchHist_,
+                         "sampled stitch phase, per done job");
+    }
     return reg.toJson();
+}
+
+std::string
+SweepServer::traceJson(const std::string &jobId) const
+{
+    if (!tracer_)
+        return "";
+    return jobId.empty() ? tracer_->toJson()
+                         : tracer_->toJson("job", jobId);
 }
 
 bool
@@ -789,12 +914,17 @@ SweepServer::simRunner()
 
         CoreStats total;
         std::vector<CoreStats> intervals;
+        JobOutcome out;
         if (sampled) {
             SampledResult r =
                 runCoreSampled(*trace, vcfg, warm.get(), nullptr,
                                nullptr, false, nullptr, &token);
             total = std::move(r.total);
             intervals = std::move(r.intervals);
+            out.sampled = true;
+            out.warmSeconds = r.warmSeconds;
+            out.detailSeconds = r.detailSeconds;
+            out.stitchSeconds = r.stitchSeconds;
         } else {
             total = runCore(*trace, vcfg, false, nullptr, nullptr,
                             nullptr, nullptr, &token);
@@ -813,7 +943,6 @@ SweepServer::simRunner()
                 reg,
                 statPath(regLabel, "interval" + std::to_string(k)));
 
-        JobOutcome out;
         out.ipc = total.ipc();
         out.statsJson = reg.toJson();
         return out;

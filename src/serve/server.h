@@ -42,12 +42,14 @@
 #include "serve/protocol.h"
 #include "sim/artifact_cache.h"
 #include "sim/cancel.h"
+#include "sim/stats.h"
 #include "sim/sync.h"
 #include "sim/thread_pool.h"
 
 namespace crisp
 {
 
+class RuntimeTracer;
 class WarmArtifactStore;
 
 /** Server-level configuration (one per daemon). */
@@ -66,6 +68,10 @@ struct ServeConfig
      *  terminal job (crisp_report --from-server reads this layout);
      *  empty = results live only in memory. */
     std::string resultDir;
+    /** Attach a RuntimeTracer for the daemon's lifetime: job
+     *  lifecycle spans plus the pool/cache/warm-store/sampled spans,
+     *  retrievable per job over the protocol ("trace" op). */
+    bool traceRuntime = false;
 };
 
 /** What one finished job produced. */
@@ -75,6 +81,12 @@ struct JobOutcome
     /** Full StatRegistry JSON for the run — byte-identical to the
      *  --stats-json export of the equivalent crisp_sim invocation. */
     std::string statsJson;
+    /** Sampled-pipeline phase timings (valid when sampled is set);
+     *  feed the serve.phase.* latency histograms. */
+    bool sampled = false;
+    double warmSeconds = 0.0;
+    double detailSeconds = 0.0;
+    double stitchSeconds = 0.0;
 };
 
 /** Point-in-time public view of one job. */
@@ -87,6 +99,10 @@ struct JobStatus
     int attempts = 0;
     double ipc = 0.0;
     std::string error; ///< terminal failure reason (may be empty)
+    /** Queued -> dispatched latency of the latest attempt; for a
+     *  still-Queued job, time spent waiting so far (so a backed-up
+     *  queue is visible before any job finishes). */
+    double queueWaitMs = 0.0;
 };
 
 /** The daemon core. Transport-free; see serve/transport.h. */
@@ -165,8 +181,20 @@ class SweepServer
     void drain();
 
     /** @return the serve.* metrics registry as JSON (jobs by state,
-     *  retries, queue depth, cache hit/miss/in-flight counts). */
+     *  retries, queue depth, cache hit/miss/in-flight counts, and
+     *  the queue-wait / wall-time / phase latency histograms). */
     std::string metricsJson() const;
+
+    /** @return true when the daemon runs with an attached
+     *  RuntimeTracer (ServeConfig::traceRuntime). */
+    bool tracing() const { return tracer_ != nullptr; }
+
+    /**
+     * @return the runtime trace as Chrome trace-event JSON; with a
+     * non-empty @p jobId only events carrying that job arg (the
+     * job's lifecycle chain). Empty string when tracing is off.
+     */
+    std::string traceJson(const std::string &jobId) const;
 
     /**
      * Copies @p id's event lines from index @p from, blocking until
@@ -204,6 +232,14 @@ class SweepServer
         bool hasDeadline = false;
         std::vector<std::string> events;
         bool terminal = false;
+        /** First enqueue of the current submission (not reset by
+         *  retries): lifecycle span anchor. */
+        std::chrono::steady_clock::time_point submitTime{};
+        /** Latest enqueue (submit, revive, or retry requeue):
+         *  queue-wait measurement anchor. */
+        std::chrono::steady_clock::time_point enqueueTime{};
+        /** Queued -> dispatched latency of the latest attempt. */
+        uint64_t queueWaitNs = 0;
     };
 
     /**
@@ -228,6 +264,7 @@ class SweepServer
         double ipc = 0.0;
         std::string error;
         std::string statsJson;
+        double queueWaitMs = 0.0;
     };
 
     void dispatcherLoop();
@@ -254,6 +291,10 @@ class SweepServer
 
     ServeConfig cfg_;
     JobRunner runner_;
+    /** Declared before the pool/cache/threads so it outlives every
+     *  instrumented subsystem; active for the daemon's lifetime
+     *  when cfg_.traceRuntime is set. */
+    std::unique_ptr<RuntimeTracer> tracer_;
     ArtifactCache cache_;
     std::unique_ptr<WarmArtifactStore> warmStore_;
     ThreadPool pool_;
@@ -275,6 +316,16 @@ class SweepServer
      *  (a bare monitorStop_ predicate would sleep through it). */
     uint64_t deadlineGen_ CRISP_GUARDED_BY(m_) = 0;
     Mutex resultM_; ///< serializes resultDir writes (leaf lock)
+
+    /** Latency distributions (milliseconds).  histM_ is a leaf lock:
+     *  workers add one sample per attempt after releasing m_, and
+     *  metricsJson copies the histograms into its registry. */
+    mutable Mutex histM_;
+    Histogram queueWaitHist_ CRISP_GUARDED_BY(histM_){5.0, 200};
+    Histogram wallHist_ CRISP_GUARDED_BY(histM_){100.0, 200};
+    Histogram warmHist_ CRISP_GUARDED_BY(histM_){50.0, 200};
+    Histogram detailHist_ CRISP_GUARDED_BY(histM_){50.0, 200};
+    Histogram stitchHist_ CRISP_GUARDED_BY(histM_){5.0, 200};
 
     // Metrics (monotonic; queue depth and cache stats are live).
     std::atomic<uint64_t> submitted_{0};

@@ -5,6 +5,7 @@
 
 #include "sim/sampled.h"
 #include "sim/warm_store.h"
+#include "telemetry/runtime_trace.h"
 
 namespace crisp
 {
@@ -101,16 +102,26 @@ ArtifactCache::getOrCompute(SlotMap<T> ArtifactCache::*slot,
     if (owner) {
         misses_.fetch_add(1, std::memory_order_relaxed);
         inFlight_.fetch_add(1, std::memory_order_relaxed);
-        try {
-            promise.set_value(
-                std::make_shared<const T>(make()));
-        } catch (...) {
-            promise.set_exception(std::current_exception());
+        {
+            TraceSpan span("cache", "cache.compute");
+            if (span.on())
+                span.setArg("key", key);
+            try {
+                promise.set_value(
+                    std::make_shared<const T>(make()));
+            } catch (...) {
+                promise.set_exception(std::current_exception());
+            }
         }
         inFlight_.fetch_sub(1, std::memory_order_relaxed);
-    } else {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        return fut.get();
     }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    // Non-owners block on the owner's promise; that wait is host
+    // latency worth attributing (distinct from computing).
+    TraceSpan span("cache", "cache.wait");
+    if (span.on())
+        span.setArg("key", key);
     return fut.get();
 }
 

@@ -86,6 +86,14 @@ cliUsage()
            "                       evict oldest artifacts once DIR\n"
            "                       exceeds N bytes (0 = unlimited;\n"
            "                       requires --artifact-dir)\n"
+           "  --trace-runtime FILE write a host-runtime span trace\n"
+           "                       (Chrome trace-event JSON; open\n"
+           "                       in Perfetto or chrome://tracing)\n"
+           "                       covering pool tasks and queue\n"
+           "                       waits, artifact-cache computes,\n"
+           "                       warm-store I/O, and the sampled\n"
+           "                       warm/interval/stitch phases.\n"
+           "                       Simulated results are unchanged\n"
            "  --list               list workloads\n"
            "  --help               this message\n";
 }
@@ -332,6 +340,20 @@ parseCli(const std::vector<std::string> &args)
             opt.artifactDir = v;
         } else if (a == "--artifact-max-bytes") {
             need_u64("--artifact-max-bytes", opt.artifactMaxBytes);
+        } else if (a == "--trace-runtime") {
+            if (!opt.traceRuntimePath.empty()) {
+                opt.error = "duplicate --trace-runtime";
+                break;
+            }
+            const char *v = need_value("--trace-runtime");
+            if (!v)
+                break;
+            if (!*v) {
+                opt.error = "--trace-runtime requires a non-empty "
+                            "file path";
+                break;
+            }
+            opt.traceRuntimePath = v;
         } else if (a == "--trace-pipe") {
             if (!opt.tracePipePath.empty()) {
                 opt.error = "duplicate --trace-pipe";

@@ -54,6 +54,10 @@ struct CliOptions
      *  after each write; 0 = unlimited. */
     uint64_t artifactMaxBytes = 0;
 
+    /** --trace-runtime: host-runtime span trace output (Chrome
+     *  trace-event JSON for Perfetto); empty = tracer detached. */
+    std::string traceRuntimePath;
+
     /** Error message if parsing failed (empty on success). */
     std::string error;
 
@@ -120,6 +124,12 @@ struct CliOptions
  *                        evict oldest artifacts when DIR exceeds N
  *                        bytes (0 = unlimited; requires
  *                        --artifact-dir)
+ *   --trace-runtime FILE write a host-runtime span trace (Chrome
+ *                        trace-event JSON; open in Perfetto or
+ *                        chrome://tracing) covering pool tasks and
+ *                        queue-waits, artifact-cache computes,
+ *                        warm-store I/O, and the sampled pipeline
+ *                        phases. Never changes simulated results.
  *
  * The telemetry output flags reject duplicates (two --stats-json
  * flags silently discarding one file is a bug, not a convenience).

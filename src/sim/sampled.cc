@@ -15,6 +15,7 @@
 #include "sim/thread_pool.h"
 #include "sim/warm_io.h"
 #include "telemetry/pc_profiler.h"
+#include "telemetry/runtime_trace.h"
 
 namespace crisp
 {
@@ -326,6 +327,9 @@ runInterval(const Trace &trace, const SimConfig &cfg, size_t k,
             Snapshot &&snap, PcProfiler *prof, PipeTracer *tracer,
             bool record_timeline, const CancelToken *cancel)
 {
+    TraceSpan span("sampled", "sampled.interval");
+    if (span.on())
+        span.setArg("k", uint64_t(k));
     const uint64_t n = cfg.sampleOps;
     const uint64_t size = trace.size();
     const uint64_t begin = uint64_t(k) * n;
@@ -353,6 +357,7 @@ runInterval(const Trace &trace, const SimConfig &cfg, size_t k,
 SampledWarmState
 buildWarmState(const Trace &trace, const SimConfig &cfg)
 {
+    TraceSpan span("sampled", "sampled.warm_build");
     if (cfg.sampleOps == 0)
         throw std::invalid_argument(
             "buildWarmState: sampleOps must be > 0");
@@ -567,6 +572,12 @@ runCoreSampled(const Trace &trace, const SimConfig &cfg,
             });
         };
 
+        // The producer span is recorded explicitly (not RAII): it
+        // must close at the warm pass's end, before stream.wait()
+        // blocks this thread draining detail jobs.
+        RuntimeTracer *rt = RuntimeTracer::active();
+        const uint64_t warm_begin_ns = rt ? rt->nowNs() : 0;
+
         WarmMachine machine(cfg);
         uint64_t next_k = 0;
         for (uint64_t idx = 0;
@@ -595,17 +606,23 @@ runCoreSampled(const Trace &trace, const SimConfig &cfg,
             machine.step(trace.ops[size_t(idx)], idx);
         }
         result.warmSeconds = secondsSince(t0);
+        if (rt)
+            rt->recordSpan("sampled", "sampled.warm_producer",
+                           warm_begin_ns, rt->nowNs());
         stream.wait();
         result.detailSeconds = secondsSince(t0);
         result.peakLiveSnapshots = peak;
     }
 
     const auto t_stitch = std::chrono::steady_clock::now();
-    for (const CoreStats &cs : result.intervals)
-        result.total.accumulate(cs);
-    if (profiler)
-        for (const PcProfiler &p : profilers)
-            profiler->merge(p);
+    {
+        TraceSpan span("sampled", "sampled.stitch");
+        for (const CoreStats &cs : result.intervals)
+            result.total.accumulate(cs);
+        if (profiler)
+            for (const PcProfiler &p : profilers)
+                profiler->merge(p);
+    }
     result.stitchSeconds = secondsSince(t_stitch);
     return result;
 }

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "telemetry/runtime_trace.h"
+
 namespace crisp
 {
 
@@ -45,10 +47,15 @@ ThreadPool::runOne()
     size_t i = b->next++;
     m_.unlock();
     std::exception_ptr err;
-    try {
-        (*b->fn)(i);
-    } catch (...) {
-        err = std::current_exception();
+    {
+        TraceSpan span("pool", "pool.task");
+        if (span.on())
+            span.setArg("idx", uint64_t(i));
+        try {
+            (*b->fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
     }
     m_.lock();
     if (err && !b->error)
@@ -63,14 +70,23 @@ ThreadPool::runOneStream()
 {
     if (streamTasks_.empty())
         return false;
-    std::function<void()> task = std::move(streamTasks_.front());
+    StreamTask task = std::move(streamTasks_.front());
     streamTasks_.pop_front();
     m_.unlock();
+    // Queue-wait goes out as an async pair: on this thread it would
+    // overlap whatever span just ended, so it cannot be an 'X'.
+    if (RuntimeTracer *tr = RuntimeTracer::active();
+        tr && task.enqueueNs)
+        tr->recordAsyncPair("pool", "pool.queue_wait",
+                            task.enqueueNs, tr->nowNs());
     std::exception_ptr err;
-    try {
-        task();
-    } catch (...) {
-        err = std::current_exception();
+    {
+        TraceSpan span("pool", "pool.stream_task");
+        try {
+            task.fn();
+        } catch (...) {
+            err = std::current_exception();
+        }
     }
     m_.lock();
     if (err && !streamError_)
@@ -164,10 +180,13 @@ ThreadPool::Stream::submit(std::function<void()> task)
         // only the error slot is touched under m_ so wait() from
         // another thread observes it.
         std::exception_ptr err;
-        try {
-            task();
-        } catch (...) {
-            err = std::current_exception();
+        {
+            TraceSpan span("pool", "pool.stream_task");
+            try {
+                task();
+            } catch (...) {
+                err = std::current_exception();
+            }
         }
         if (err) {
             MutexLock lk(pool_.m_);
@@ -176,9 +195,13 @@ ThreadPool::Stream::submit(std::function<void()> task)
         }
         return;
     }
+    StreamTask st;
+    st.fn = std::move(task);
+    if (RuntimeTracer *tr = RuntimeTracer::active())
+        st.enqueueNs = tr->nowNs();
     {
         MutexLock lk(pool_.m_);
-        pool_.streamTasks_.push_back(std::move(task));
+        pool_.streamTasks_.push_back(std::move(st));
         ++pool_.streamPending_;
     }
     pool_.work_cv_.notifyOne();

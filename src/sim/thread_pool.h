@@ -18,6 +18,7 @@
 #ifndef CRISP_SIM_THREAD_POOL_H
 #define CRISP_SIM_THREAD_POOL_H
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -124,9 +125,17 @@ class ThreadPool
     Batch *batch_ CRISP_GUARDED_BY(m_) = nullptr;
     bool stop_ CRISP_GUARDED_BY(m_) = false;
 
+    /** One queued stream task.  enqueueNs is the runtime-trace
+     *  enqueue timestamp (0 when no tracer was attached at submit),
+     *  consumed at dispatch to emit the queue-wait async span. */
+    struct StreamTask
+    {
+        std::function<void()> fn;
+        uint64_t enqueueNs = 0;
+    };
+
     // Stream state (one open stream at a time; see class Stream).
-    std::deque<std::function<void()>> streamTasks_
-        CRISP_GUARDED_BY(m_);
+    std::deque<StreamTask> streamTasks_ CRISP_GUARDED_BY(m_);
     size_t streamPending_ CRISP_GUARDED_BY(m_) =
         0; ///< queued + running stream tasks
     std::exception_ptr streamError_ CRISP_GUARDED_BY(m_);

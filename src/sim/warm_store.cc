@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/runtime_trace.h"
 #include "trace/trace.h"
 
 namespace fs = std::filesystem;
@@ -131,6 +132,9 @@ WarmArtifactStore::load(const std::string &key, uint64_t trace_hash,
                         const SimConfig &cfg, SampledWarmState &out,
                         std::string *why) const
 {
+    TraceSpan span("warmstore", "warmstore.read");
+    if (span.on())
+        span.setArg("key", key);
     if (why)
         why->clear();
     std::string path = pathFor(key, trace_hash);
@@ -301,6 +305,9 @@ bool
 WarmArtifactStore::save(const std::string &key, uint64_t trace_hash,
                         const SampledWarmState &warm)
 {
+    TraceSpan span("warmstore", "warmstore.write");
+    if (span.on())
+        span.setArg("key", key);
     Writer w(*this, key, trace_hash, warm.intervalOps,
              warm.warmupOps);
     for (size_t k = 0; k < warm.snapshots.size(); ++k)
@@ -313,6 +320,11 @@ WarmArtifactStore::evictToCap(const std::string &spare) const
 {
     if (maxBytes_ == 0)
         return;
+
+    // Recording is a slab append (worst case it takes the tracer's
+    // own leaf registry mutex on slab overflow), so this span is
+    // safe to close while evictM_ is held below.
+    TraceSpan span("warmstore", "warmstore.evict");
 
     // Serialize concurrent commits: two evictions interleaving their
     // scans with each other's removals would each work from a stale

@@ -1,0 +1,309 @@
+#include "telemetry/runtime_trace.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "telemetry/json.h"
+
+namespace crisp
+{
+
+std::atomic<RuntimeTracer *> RuntimeTracer::g_active{nullptr};
+std::atomic<uint64_t> RuntimeTracer::g_generation{0};
+
+/**
+ * Per-thread binding of {tracer, slab}.  The generation counter is
+ * bumped on every activate/deactivate, which invalidates cached
+ * bindings even when a new tracer reuses the address of a destroyed
+ * one (tests construct tracers back to back on the stack).
+ */
+struct RuntimeTracer::TlsCache
+{
+    RuntimeTracer *tracer = nullptr;
+    uint64_t generation = 0;
+    TraceSlab *slab = nullptr;
+    /** Set when the kMaxSlabs cap blocked this thread's last grow:
+     *  further records drop with one relaxed increment instead of
+     *  retrying the registry mutex on every event. */
+    bool exhausted = false;
+};
+
+RuntimeTracer::TlsCache &
+RuntimeTracer::tls()
+{
+    thread_local TlsCache cache;
+    return cache;
+}
+
+RuntimeTracer::RuntimeTracer()
+    : epoch_(std::chrono::steady_clock::now())
+{
+}
+
+RuntimeTracer::~RuntimeTracer()
+{
+    if (g_active.load(std::memory_order_relaxed) == this)
+        deactivate();
+}
+
+void
+RuntimeTracer::activate()
+{
+    g_active.store(this, std::memory_order_release);
+    g_generation.fetch_add(1, std::memory_order_release);
+}
+
+void
+RuntimeTracer::deactivate()
+{
+    g_active.store(nullptr, std::memory_order_release);
+    g_generation.fetch_add(1, std::memory_order_release);
+}
+
+TraceSlab *
+RuntimeTracer::bindThread(TlsCache &c, uint64_t gen)
+{
+    auto slab = std::make_shared<TraceSlab>(0);
+    bool capped = false;
+    {
+        MutexLock lk(m_);
+        if (slabs_.size() >= kMaxSlabs) {
+            capped = true;
+        } else {
+            slab->tid = nextTid_++;
+            slabs_.push_back(slab);
+        }
+    }
+    c.tracer = this;
+    c.generation = gen;
+    c.slab = capped ? nullptr : slab.get();
+    c.exhausted = capped;
+    return c.slab;
+}
+
+TraceSlab *
+RuntimeTracer::growSlab(TlsCache &c)
+{
+    auto slab = std::make_shared<TraceSlab>(c.slab->tid);
+    {
+        MutexLock lk(m_);
+        if (slabs_.size() >= kMaxSlabs) {
+            c.exhausted = true;
+            return nullptr;
+        }
+        slabs_.push_back(slab);
+    }
+    c.slab = slab.get();
+    return c.slab;
+}
+
+void
+RuntimeTracer::record(const TraceEvent &ev)
+{
+    TlsCache &c = tls();
+    const uint64_t gen =
+        g_generation.load(std::memory_order_acquire);
+    if (c.tracer != this || c.generation != gen)
+        bindThread(c, gen);
+    if (c.exhausted) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    TraceSlab *s = c.slab;
+    if (!s) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    uint32_t n = s->count.load(std::memory_order_relaxed);
+    if (n == TraceSlab::kCapacity) {
+        s = growSlab(c);
+        if (!s) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        n = 0;
+    }
+    s->events[n] = ev;
+    // Publication point: readers acquire-load count and may read
+    // exactly the slots below it.
+    s->count.store(n + 1, std::memory_order_release);
+}
+
+namespace
+{
+
+void
+copyArg(TraceEvent &ev, const char *argKey, const char *argVal)
+{
+    if (!argKey || !argVal)
+        return;
+    ev.argKey = argKey;
+    std::snprintf(ev.argVal, sizeof ev.argVal, "%s", argVal);
+}
+
+} // namespace
+
+void
+RuntimeTracer::recordSpan(const char *cat, const char *name,
+                          uint64_t beginNs, uint64_t endNs,
+                          const char *argKey, const char *argVal)
+{
+    TraceEvent ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.ph = 'X';
+    ev.ts = beginNs;
+    ev.dur = endNs >= beginNs ? endNs - beginNs : 0;
+    copyArg(ev, argKey, argVal);
+    record(ev);
+}
+
+void
+RuntimeTracer::recordInstant(const char *cat, const char *name,
+                             const char *argKey, const char *argVal)
+{
+    TraceEvent ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.ph = 'i';
+    ev.ts = nowNs();
+    copyArg(ev, argKey, argVal);
+    record(ev);
+}
+
+void
+RuntimeTracer::recordAsyncPair(const char *cat, const char *name,
+                               uint64_t beginNs, uint64_t endNs,
+                               const char *argKey,
+                               const char *argVal)
+{
+    const uint64_t id =
+        nextAsyncId_.fetch_add(1, std::memory_order_relaxed);
+    TraceEvent ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.id = id;
+    copyArg(ev, argKey, argVal);
+    ev.ph = 'b';
+    ev.ts = beginNs;
+    record(ev);
+    ev.ph = 'e';
+    ev.ts = endNs >= beginNs ? endNs : beginNs;
+    record(ev);
+}
+
+std::vector<std::shared_ptr<TraceSlab>>
+RuntimeTracer::snapshotSlabs() const
+{
+    // Copy the list under the mutex, serialize outside it: flushing
+    // must never hold the registry mutex while building JSON (see
+    // the crisp_lint serialize-under-lock rule).
+    MutexLock lk(m_);
+    return slabs_;
+}
+
+namespace
+{
+
+void
+appendEventJson(std::string &out, const TraceEvent &ev,
+                uint32_t tid)
+{
+    out += "{\"ph\":\"";
+    out += ev.ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"ts\":";
+    out += jsonNumber(double(ev.ts) / 1000.0);
+    if (ev.ph == 'X') {
+        out += ",\"dur\":";
+        out += jsonNumber(double(ev.dur) / 1000.0);
+    }
+    out += ",\"cat\":";
+    out += jsonQuote(ev.cat ? ev.cat : "");
+    out += ",\"name\":";
+    out += jsonQuote(ev.name ? ev.name : "");
+    if (ev.ph == 'i')
+        out += ",\"s\":\"t\"";
+    if (ev.ph == 'b' || ev.ph == 'e') {
+        out += ",\"id\":";
+        out += std::to_string(ev.id);
+    }
+    if (ev.argKey) {
+        out += ",\"args\":{";
+        out += jsonQuote(ev.argKey);
+        out += ":";
+        out += jsonQuote(ev.argVal);
+        out += "}";
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::string
+RuntimeTracer::toJson() const
+{
+    return toJson(std::string(), std::string());
+}
+
+std::string
+RuntimeTracer::toJson(const std::string &argKey,
+                      const std::string &argVal) const
+{
+    const auto slabs = snapshotSlabs();
+    const bool filtered = !argKey.empty();
+    std::string out = "{\"displayTimeUnit\":\"ms\","
+                      "\"traceEvents\":[";
+    bool first = true;
+    for (const auto &slab : slabs) {
+        const uint32_t n =
+            slab->count.load(std::memory_order_acquire);
+        for (uint32_t i = 0; i < n; ++i) {
+            const TraceEvent &ev = slab->events[i];
+            if (filtered &&
+                (!ev.argKey || argKey != ev.argKey ||
+                 argVal != ev.argVal))
+                continue;
+            if (!first)
+                out += ",\n";
+            first = false;
+            appendEventJson(out, ev, slab->tid);
+        }
+    }
+    out += "]}\n";
+    return out;
+}
+
+bool
+RuntimeTracer::writeJson(const std::string &path,
+                         std::string *error) const
+{
+    const std::string doc = toJson();
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    f << doc;
+    f.flush();
+    if (!f.good()) {
+        if (error)
+            *error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+size_t
+RuntimeTracer::eventCount() const
+{
+    const auto slabs = snapshotSlabs();
+    size_t total = 0;
+    for (const auto &slab : slabs)
+        total += slab->count.load(std::memory_order_acquire);
+    return total;
+}
+
+} // namespace crisp

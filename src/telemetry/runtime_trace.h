@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Host-runtime span tracer emitting Chrome trace-event JSON.
+ *
+ * Answers "where did the *host* wall-clock go" for a sweep: thread
+ * pool task execution and queue-wait, artifact-cache compute vs
+ * in-flight wait, warm-store I/O, the sampled pipeline's warm /
+ * per-interval / stitch phases, and the serve tier's job lifecycle.
+ * The output loads directly in Perfetto or chrome://tracing.
+ *
+ * Design (DESIGN.md §17):
+ *
+ *   - Hot path is lock-free.  Each recording thread owns a slab (a
+ *     fixed array of TraceEvent plus an atomic count).  The owning
+ *     thread writes the next slot and publishes it with a release
+ *     store of count; readers (flush/serialize) acquire-load count
+ *     and read only published slots.  No mutex is taken to record.
+ *   - The registry mutex guards only the slab list and is touched on
+ *     cold paths: first event from a thread, slab overflow, and
+ *     snapshotting the list for serialization.  Serialization itself
+ *     runs strictly outside the mutex (crisp_lint enforces this via
+ *     the serialize-under-lock rule).
+ *   - Detached cost: every hook site starts with
+ *     RuntimeTracer::active() — one relaxed atomic load and a
+ *     branch.  With no tracer activated nothing else runs, no
+ *     strings are built, and no memory is written.
+ *   - Slabs are never freed while the tracer lives, so a concurrent
+ *     snapshot (e.g. the serve `trace` op during a sweep) is safe
+ *     and sees a consistent prefix of each thread's events.
+ *
+ * Lifetime contract: the tracer must outlive every instrumented
+ * scope.  TraceSpan captures the active tracer at construction and
+ * records into it at destruction; activate/deactivate are meant to
+ * bracket a whole run (crisp_sim declares the tracer first in
+ * runSim; crisp_serve holds it for the daemon's life), not to toggle
+ * while instrumented work is in flight.
+ *
+ * Event model (trace-event spec subset):
+ *   'X' complete span   — ts + dur, synchronous, nests per tid
+ *   'i' instant event   — thread scope ("s":"t")
+ *   'b'/'e' async pair  — queue-waits, which overlap unrelated spans
+ *                         on the consumer thread and therefore must
+ *                         not be 'X' (they would break nesting)
+ * Timestamps are recorded in integer nanoseconds from the tracer's
+ * epoch and emitted as fractional microseconds per the spec.
+ */
+
+#ifndef CRISP_TELEMETRY_RUNTIME_TRACE_H
+#define CRISP_TELEMETRY_RUNTIME_TRACE_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sync.h"
+
+namespace crisp
+{
+
+/** One recorded event.  cat/name/argKey must be string literals (or
+ *  otherwise outlive the tracer); argVal is copied inline so the hot
+ *  path never allocates. */
+struct TraceEvent
+{
+    static constexpr size_t kArgValBytes = 47;
+
+    const char *cat = nullptr;
+    const char *name = nullptr;
+    const char *argKey = nullptr; ///< nullptr when no arg attached
+    uint64_t ts = 0;              ///< ns since tracer epoch
+    uint64_t dur = 0;             ///< ns, 'X' only
+    uint64_t id = 0;              ///< async pair id, 'b'/'e' only
+    char ph = 'X';                ///< 'X', 'i', 'b', or 'e'
+    char argVal[kArgValBytes + 1] = {0};
+};
+
+/** Fixed-capacity event buffer owned by one recording thread.  The
+ *  owner is the only writer; count is the publication point. */
+struct TraceSlab
+{
+    static constexpr uint32_t kCapacity = 4096;
+
+    explicit TraceSlab(uint32_t owner) : tid(owner) {}
+
+    uint32_t tid;                 ///< stable per-thread trace id
+    std::atomic<uint32_t> count{0};
+    std::array<TraceEvent, kCapacity> events;
+};
+
+/**
+ * The tracer: a registry of per-thread slabs plus the serializer.
+ *
+ * At most one tracer is active per process at a time (a global
+ * atomic pointer).  Hook sites test RuntimeTracer::active() and
+ * record through the returned pointer; record() binds the calling
+ * thread to a slab on first use via a generation-checked
+ * thread-local cache, so the steady-state record path is: relaxed
+ * load, generation compare, slot write, release store.
+ */
+class RuntimeTracer
+{
+  public:
+    /** Total slabs the tracer will allocate before counting drops
+     *  (bounds tracer memory at ~100 MB of events). */
+    static constexpr size_t kMaxSlabs = 256;
+
+    RuntimeTracer();
+    ~RuntimeTracer();
+    RuntimeTracer(const RuntimeTracer &) = delete;
+    RuntimeTracer &operator=(const RuntimeTracer &) = delete;
+
+    /** Makes this the process-wide active tracer. */
+    void activate();
+    /** Clears the active tracer (must be this or none).  Safe to
+     *  skip: the destructor deactivates if still active. */
+    void deactivate();
+
+    /** @return the active tracer, or nullptr when detached.  This is
+     *  the whole cost of an untraced hook site. */
+    static RuntimeTracer *active()
+    {
+        return g_active.load(std::memory_order_relaxed);
+    }
+
+    /** @return ns since this tracer's construction. */
+    uint64_t nowNs() const
+    {
+        return toNs(std::chrono::steady_clock::now());
+    }
+
+    /** @return @p tp as ns since this tracer's construction (0 when
+     *  @p tp predates it) — for timestamps captured as raw
+     *  steady_clock time points before reaching a hook site. */
+    uint64_t toNs(std::chrono::steady_clock::time_point tp) const
+    {
+        auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            tp - epoch_);
+        return d.count() > 0 ? uint64_t(d.count()) : 0;
+    }
+
+    /** Records a complete ('X') span on the calling thread. */
+    void recordSpan(const char *cat, const char *name,
+                    uint64_t beginNs, uint64_t endNs,
+                    const char *argKey = nullptr,
+                    const char *argVal = nullptr) CRISP_EXCLUDES(m_);
+
+    /** Records a thread-scoped instant ('i') event at now. */
+    void recordInstant(const char *cat, const char *name,
+                       const char *argKey = nullptr,
+                       const char *argVal = nullptr)
+        CRISP_EXCLUDES(m_);
+
+    /**
+     * Records an async 'b'/'e' pair (both events at once, fresh id).
+     * Used for durations that overlap unrelated synchronous spans on
+     * the recording thread — queue-waits recorded at dispatch time,
+     * job submit→run latencies — which Perfetto renders on separate
+     * async tracks instead of the thread's nesting stack.
+     */
+    void recordAsyncPair(const char *cat, const char *name,
+                         uint64_t beginNs, uint64_t endNs,
+                         const char *argKey = nullptr,
+                         const char *argVal = nullptr)
+        CRISP_EXCLUDES(m_);
+
+    /** Serializes every published event as a Chrome trace-event JSON
+     *  document ({"displayTimeUnit","traceEvents":[...]}). */
+    std::string toJson() const CRISP_EXCLUDES(m_);
+
+    /** As toJson(), but keeps only events whose arg matches
+     *  (argKey, argVal) — e.g. ("job", "j-...") for the serve
+     *  per-job trace op. */
+    std::string toJson(const std::string &argKey,
+                       const std::string &argVal) const
+        CRISP_EXCLUDES(m_);
+
+    /** Writes toJson() to @p path.
+     *  @return false (with *error set) on I/O failure. */
+    bool writeJson(const std::string &path,
+                   std::string *error = nullptr) const;
+
+    /** @return published events across all slabs (racy-but-safe
+     *  snapshot while recording continues). */
+    size_t eventCount() const CRISP_EXCLUDES(m_);
+
+    /** @return events dropped after the kMaxSlabs cap was hit. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class TraceSpan;
+
+    struct TlsCache; // per-thread slab binding, defined in the .cc
+
+    /** @return the calling thread's binding cache (thread_local). */
+    static TlsCache &tls();
+
+    /** Appends one event to the calling thread's slab (binds the
+     *  thread / grows the slab on the cold path). */
+    void record(const TraceEvent &ev) CRISP_EXCLUDES(m_);
+
+    TraceSlab *bindThread(TlsCache &c, uint64_t gen)
+        CRISP_EXCLUDES(m_);
+    TraceSlab *growSlab(TlsCache &c) CRISP_EXCLUDES(m_);
+
+    /** Snapshot of the slab list for reading outside the mutex. */
+    std::vector<std::shared_ptr<TraceSlab>> snapshotSlabs() const
+        CRISP_EXCLUDES(m_);
+
+    static std::atomic<RuntimeTracer *> g_active;
+    static std::atomic<uint64_t> g_generation;
+
+    const std::chrono::steady_clock::time_point epoch_;
+
+    mutable Mutex m_;
+    std::vector<std::shared_ptr<TraceSlab>> slabs_
+        CRISP_GUARDED_BY(m_);
+    uint32_t nextTid_ CRISP_GUARDED_BY(m_) = 0;
+
+    std::atomic<uint64_t> dropped_{0};
+    std::atomic<uint64_t> nextAsyncId_{1};
+};
+
+/**
+ * RAII 'X' span.  Captures the active tracer once at construction;
+ * when detached the constructor is a relaxed load + branch and the
+ * destructor a null test.  Records at destruction, so children
+ * always complete before their parent and per-thread spans are
+ * well-nested by construction.
+ *
+ * Guard arg construction with on() so argument strings are never
+ * built detached:
+ *
+ *   TraceSpan span("cache", "cache.compute");
+ *   if (span.on())
+ *       span.setArg("key", key);
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(const char *cat, const char *name)
+        : tracer_(RuntimeTracer::active()), cat_(cat), name_(name)
+    {
+        argVal_[0] = '\0';
+        if (tracer_)
+            begin_ = tracer_->nowNs();
+    }
+
+    ~TraceSpan()
+    {
+        if (tracer_)
+            tracer_->recordSpan(cat_, name_, begin_,
+                                tracer_->nowNs(), argKey_,
+                                argVal_[0] ? argVal_ : nullptr);
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    /** @return true when a tracer was attached at construction. */
+    bool on() const { return tracer_ != nullptr; }
+
+    /** Attaches one (key, value) arg; @p key must be a literal.
+     *  Values longer than TraceEvent::kArgValBytes are truncated. */
+    void setArg(const char *key, const std::string &value)
+    {
+        if (!tracer_)
+            return;
+        argKey_ = key;
+        std::snprintf(argVal_, sizeof argVal_, "%s", value.c_str());
+    }
+
+    void setArg(const char *key, uint64_t value)
+    {
+        if (!tracer_)
+            return;
+        argKey_ = key;
+        std::snprintf(argVal_, sizeof argVal_, "%llu",
+                      static_cast<unsigned long long>(value));
+    }
+
+  private:
+    RuntimeTracer *tracer_;
+    const char *cat_;
+    const char *name_;
+    const char *argKey_ = nullptr;
+    uint64_t begin_ = 0;
+    char argVal_[TraceEvent::kArgValBytes + 1];
+};
+
+} // namespace crisp
+
+#endif // CRISP_TELEMETRY_RUNTIME_TRACE_H

@@ -385,5 +385,26 @@ TEST(Cli, RejectsBadArtifactFlags)
                      .ok());
 }
 
+TEST(Cli, ParsesRuntimeTrace)
+{
+    EXPECT_TRUE(parseCli({}).traceRuntimePath.empty());
+
+    CliOptions opt =
+        parseCli({"--trace-runtime", "/tmp/runtime.json"});
+    ASSERT_TRUE(opt.ok()) << opt.error;
+    EXPECT_EQ(opt.traceRuntimePath, "/tmp/runtime.json");
+
+    EXPECT_NE(cliUsage().find("--trace-runtime"),
+              std::string::npos);
+
+    // Duplicate / missing / empty paths are parse errors, like the
+    // other telemetry output flags.
+    EXPECT_FALSE(parseCli({"--trace-runtime", "/tmp/a.json",
+                           "--trace-runtime", "/tmp/b.json"})
+                     .ok());
+    EXPECT_FALSE(parseCli({"--trace-runtime"}).ok());
+    EXPECT_FALSE(parseCli({"--trace-runtime", ""}).ok());
+}
+
 } // namespace
 } // namespace crisp

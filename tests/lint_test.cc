@@ -67,7 +67,8 @@ TEST(LintRules, RuleNamesAreStable)
               (std::vector<std::string>{
                   "blocking-under-lock", "wait-needs-predicate",
                   "cancel-token-acquire",
-                  "stat-registration-after-thread-start"}));
+                  "stat-registration-after-thread-start",
+                  "serialize-under-lock"}));
 }
 
 TEST(LintRules, CleanFileHasNoFindings)
@@ -232,6 +233,44 @@ void later(StatRegistry &reg) {
     EXPECT_EQ(diags[0].rule,
               "stat-registration-after-thread-start");
     EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(LintRules, SerializeUnderLockFlagsEachSerializer)
+{
+    const std::string src = R"(
+std::string flush(M &m) {
+    MutexLock lk(m);
+    reg.writeJson(path);
+    reg.writeCsv(path);
+    return tracer.toJson();
+}
+)";
+    auto diags = lintSource("flush.cc", src);
+    ASSERT_EQ(diags.size(), 3u);
+    for (const Diagnostic &d : diags)
+        EXPECT_EQ(d.rule, "serialize-under-lock");
+    EXPECT_EQ(diags[0].line, 4);
+    EXPECT_EQ(diags[1].line, 5);
+    EXPECT_EQ(diags[2].line, 6);
+}
+
+TEST(LintRules, SerializeOutsideLockIsClean)
+{
+    // The sanctioned idiom: snapshot under the mutex, serialize
+    // after the guard scope closes. Declarations ("std::string
+    // toJson() const;") never fire: no guard is live at file scope.
+    const std::string src = R"(
+std::string toJson() const;
+std::string flush(M &m) {
+    Snapshot snap;
+    {
+        MutexLock lk(m);
+        snap = data_;
+    }
+    return snap.toJson();
+}
+)";
+    EXPECT_TRUE(lintSource("flush_ok.cc", src).empty());
 }
 
 TEST(LintSuppression, AllowCommentCoversSameAndNextLine)

@@ -1,0 +1,550 @@
+/**
+ * @file
+ * Tests for the host-runtime span tracer (DESIGN.md §17): detached
+ * no-op behaviour, slab growth and thread binding, trace-event
+ * grammar conformance (every document parses as JSON; ph/pid/tid/
+ * ts/dur fields match the Chrome trace-event spec; 'X' spans are
+ * well-nested per thread; 'b'/'e' async ids pair up), the per-arg
+ * filtered serialization behind the serve `trace` op, and the serve
+ * tier's job lifecycle: a --jobs 4 sweep yields exactly one
+ * queued/running/lifecycle span chain per job, with queue-wait
+ * surfaced in status and result records.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "sim/artifact_cache.h"
+#include "sim/thread_pool.h"
+#include "telemetry/json.h"
+#include "telemetry/runtime_trace.h"
+#include "workloads/workload.h"
+
+namespace crisp
+{
+namespace
+{
+
+/** One parsed trace event, just the grammar-relevant fields. */
+struct Ev
+{
+    char ph = '?';
+    int tid = -1;
+    double ts = 0;
+    double dur = 0;
+    uint64_t id = 0;
+    std::string name;
+    std::string cat;
+    std::string argKey;
+    std::string argVal;
+};
+
+/**
+ * Parses a trace document and checks the spec-conformance part of
+ * the grammar: valid JSON, the two top-level keys, and per-event
+ * field requirements (ph/pid/tid/ts always; dur on 'X'; "s":"t" on
+ * 'i'; id on 'b'/'e').  Field failures are reported per event.
+ */
+std::vector<Ev>
+parseTrace(const std::string &doc)
+{
+    std::vector<Ev> out;
+    JsonValue root;
+    std::string err;
+    EXPECT_TRUE(parseJson(doc, root, &err)) << err;
+    if (!root.isObject())
+        return out;
+    EXPECT_TRUE(root.has("displayTimeUnit"));
+    if (!root.has("traceEvents") ||
+        !root.at("traceEvents").isArray()) {
+        ADD_FAILURE() << "no traceEvents array";
+        return out;
+    }
+    for (const JsonValue &j : root.at("traceEvents").elements) {
+        if (!j.isObject() || !j.has("ph") ||
+            !j.at("ph").isString() || j.at("ph").text.size() != 1 ||
+            !j.has("pid") || !j.has("tid") || !j.has("ts") ||
+            !j.has("name") || !j.at("name").isString() ||
+            !j.has("cat") || !j.at("cat").isString()) {
+            ADD_FAILURE() << "event missing required fields";
+            continue;
+        }
+        Ev ev;
+        ev.ph = j.at("ph").text[0];
+        EXPECT_TRUE(ev.ph == 'X' || ev.ph == 'i' || ev.ph == 'b' ||
+                    ev.ph == 'e')
+            << "unknown phase " << ev.ph;
+        EXPECT_EQ(j.at("pid").number, 1.0);
+        ev.tid = int(j.at("tid").number);
+        ev.ts = j.at("ts").number;
+        EXPECT_GE(ev.ts, 0.0);
+        ev.name = j.at("name").text;
+        ev.cat = j.at("cat").text;
+        if (ev.ph == 'X') {
+            EXPECT_TRUE(j.has("dur")) << ev.name;
+            ev.dur = j.has("dur") ? j.at("dur").number : 0.0;
+            EXPECT_GE(ev.dur, 0.0);
+        }
+        if (ev.ph == 'i') {
+            EXPECT_TRUE(j.has("s") && j.at("s").text == "t")
+                << ev.name;
+        }
+        if (ev.ph == 'b' || ev.ph == 'e') {
+            EXPECT_TRUE(j.has("id")) << ev.name;
+            ev.id = j.has("id") ? uint64_t(j.at("id").number) : 0;
+        }
+        if (j.has("args") && j.at("args").isObject() &&
+            !j.at("args").members.empty()) {
+            ev.argKey = j.at("args").members.begin()->first;
+            ev.argVal = j.at("args").members.begin()->second.text;
+        }
+        out.push_back(ev);
+    }
+    return out;
+}
+
+/** Asserts the 'X' spans of every tid nest properly: sorted by
+ *  begin, each span must close before the innermost open one. */
+void
+expectWellNested(const std::vector<Ev> &events)
+{
+    std::map<int, std::vector<Ev>> byTid;
+    for (const Ev &ev : events)
+        if (ev.ph == 'X')
+            byTid[ev.tid].push_back(ev);
+    constexpr double eps = 1e-9;
+    for (auto &[tid, spans] : byTid) {
+        std::sort(spans.begin(), spans.end(),
+                  [](const Ev &a, const Ev &b) {
+                      return a.ts != b.ts ? a.ts < b.ts
+                                          : a.dur > b.dur;
+                  });
+        std::vector<double> open; // stack of end timestamps
+        for (const Ev &ev : spans) {
+            while (!open.empty() && open.back() <= ev.ts + eps)
+                open.pop_back();
+            if (!open.empty())
+                EXPECT_LE(ev.ts + ev.dur, open.back() + eps)
+                    << ev.name << " overlaps the enclosing span "
+                    << "on tid " << tid;
+            open.push_back(ev.ts + ev.dur);
+        }
+    }
+}
+
+/** Asserts every async id appears exactly once as 'b' and once as
+ *  'e', same name, begin not after end. */
+void
+expectAsyncPairsMatch(const std::vector<Ev> &events)
+{
+    std::map<uint64_t, std::vector<const Ev *>> byId;
+    for (const Ev &ev : events)
+        if (ev.ph == 'b' || ev.ph == 'e')
+            byId[ev.id].push_back(&ev);
+    for (const auto &[id, pair] : byId) {
+        ASSERT_EQ(pair.size(), 2u) << "async id " << id;
+        const Ev *b = pair[0]->ph == 'b' ? pair[0] : pair[1];
+        const Ev *e = pair[0]->ph == 'e' ? pair[0] : pair[1];
+        EXPECT_EQ(b->ph, 'b');
+        EXPECT_EQ(e->ph, 'e');
+        EXPECT_EQ(b->name, e->name);
+        EXPECT_LE(b->ts, e->ts + 1e-9);
+    }
+}
+
+/** Count of events matching @p pred. */
+template <typename Pred>
+size_t
+countIf(const std::vector<Ev> &events, Pred pred)
+{
+    return size_t(std::count_if(events.begin(), events.end(), pred));
+}
+
+// ---------------------------------------------------------------
+// Tracer core
+// ---------------------------------------------------------------
+
+TEST(RuntimeTracerTest, DetachedHooksAreNoOps)
+{
+    ASSERT_EQ(RuntimeTracer::active(), nullptr);
+    {
+        TraceSpan span("t", "noop");
+        EXPECT_FALSE(span.on());
+        span.setArg("k", std::string("ignored"));
+    }
+    // A constructed-but-never-activated tracer records nothing.
+    RuntimeTracer tracer;
+    EXPECT_EQ(RuntimeTracer::active(), nullptr);
+    {
+        TraceSpan span("t", "still_noop");
+        EXPECT_FALSE(span.on());
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    auto events = parseTrace(tracer.toJson());
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(RuntimeTracerTest, SpansInstantsAndAsyncPairsSerialize)
+{
+    RuntimeTracer tracer;
+    tracer.activate();
+    {
+        TraceSpan outer("cat1", "outer");
+        EXPECT_TRUE(outer.on());
+        outer.setArg("key", std::string("value"));
+        TraceSpan inner("cat1", "inner");
+        inner.setArg("n", uint64_t(42));
+    }
+    tracer.recordInstant("cat2", "tick", "why", "because");
+    tracer.recordAsyncPair("cat2", "wait", tracer.nowNs(),
+                           tracer.nowNs() + 1000);
+    tracer.deactivate();
+
+    auto events = parseTrace(tracer.toJson());
+    ASSERT_EQ(events.size(), 5u);
+    expectWellNested(events);
+    expectAsyncPairsMatch(events);
+    EXPECT_EQ(countIf(events,
+                      [](const Ev &e) {
+                          return e.ph == 'X' && e.name == "inner";
+                      }),
+              1u);
+    EXPECT_EQ(countIf(events,
+                      [](const Ev &e) {
+                          return e.ph == 'i' && e.name == "tick" &&
+                                 e.argVal == "because";
+                      }),
+              1u);
+    // RAII spans record at destruction: inner lands before outer in
+    // the slab, but outer's ts is the earlier one.
+    const Ev *outerEv = nullptr, *innerEv = nullptr;
+    for (const Ev &e : events) {
+        if (e.name == "outer")
+            outerEv = &e;
+        if (e.name == "inner")
+            innerEv = &e;
+    }
+    ASSERT_TRUE(outerEv && innerEv);
+    EXPECT_LE(outerEv->ts, innerEv->ts + 1e-9);
+    EXPECT_EQ(outerEv->argKey, "key");
+    EXPECT_EQ(outerEv->argVal, "value");
+    EXPECT_EQ(innerEv->argVal, "42");
+}
+
+TEST(RuntimeTracerTest, ArgValuesTruncateAtInlineCapacity)
+{
+    RuntimeTracer tracer;
+    tracer.activate();
+    const std::string longVal(200, 'x');
+    {
+        TraceSpan span("t", "long");
+        span.setArg("k", longVal);
+    }
+    tracer.deactivate();
+    auto events = parseTrace(tracer.toJson());
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].argVal,
+              std::string(TraceEvent::kArgValBytes, 'x'));
+}
+
+TEST(RuntimeTracerTest, FilteredJsonKeepsOnlyMatchingArgs)
+{
+    RuntimeTracer tracer;
+    tracer.activate();
+    tracer.recordInstant("t", "a", "job", "j-1");
+    tracer.recordInstant("t", "b", "job", "j-2");
+    tracer.recordInstant("t", "c", "other", "j-1");
+    tracer.recordInstant("t", "d");
+    tracer.deactivate();
+
+    auto all = parseTrace(tracer.toJson());
+    EXPECT_EQ(all.size(), 4u);
+    auto onlyJ1 = parseTrace(tracer.toJson("job", "j-1"));
+    ASSERT_EQ(onlyJ1.size(), 1u);
+    EXPECT_EQ(onlyJ1[0].name, "a");
+    EXPECT_TRUE(parseTrace(tracer.toJson("job", "j-9")).empty());
+}
+
+TEST(RuntimeTracerTest, PreEpochTimestampsClampToZero)
+{
+    const auto before = std::chrono::steady_clock::now();
+    RuntimeTracer tracer;
+    EXPECT_EQ(tracer.toNs(before), 0u);
+    EXPECT_GE(tracer.toNs(std::chrono::steady_clock::now()), 0u);
+}
+
+TEST(RuntimeTracerTest, SlabOverflowGrowsWithoutDropping)
+{
+    RuntimeTracer tracer;
+    tracer.activate();
+    const size_t total = TraceSlab::kCapacity + 100;
+    for (size_t i = 0; i < total; ++i)
+        tracer.recordSpan("t", "e", i, i + 1);
+    tracer.deactivate();
+    EXPECT_EQ(tracer.eventCount(), total);
+    EXPECT_EQ(tracer.dropped(), 0u);
+    // The overflow slab keeps the owning thread's tid.
+    auto events = parseTrace(tracer.toJson());
+    ASSERT_EQ(events.size(), total);
+    for (const Ev &ev : events)
+        EXPECT_EQ(ev.tid, events[0].tid);
+}
+
+TEST(RuntimeTracerTest, GenerationRebindsAcrossTracers)
+{
+    {
+        RuntimeTracer first;
+        first.activate();
+        TraceSpan("t", "one");
+        EXPECT_EQ(first.eventCount(), 1u);
+    } // destructor deactivates
+    EXPECT_EQ(RuntimeTracer::active(), nullptr);
+    RuntimeTracer second; // may reuse the first tracer's address
+    second.activate();
+    TraceSpan("t", "two");
+    second.deactivate();
+    auto events = parseTrace(second.toJson());
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "two");
+}
+
+// ---------------------------------------------------------------
+// Real instrumentation sites
+// ---------------------------------------------------------------
+
+TEST(RuntimeTraceSitesTest, PoolAndCacheSpansAreWellFormed)
+{
+    RuntimeTracer tracer;
+    tracer.activate();
+    {
+        ThreadPool pool(3);
+        pool.parallelFor(8, [](size_t) {
+            TraceSpan span("test", "body");
+        });
+        ThreadPool::Stream stream(pool);
+        for (int i = 0; i < 4; ++i)
+            stream.submit([] { TraceSpan span("test", "stream_body"); });
+        stream.wait();
+
+        const WorkloadInfo *wl = findWorkload("pointer_chase");
+        ASSERT_NE(wl, nullptr);
+        ArtifactCache cache;
+        cache.trace(*wl, InputSet::Ref, 2'000);
+        cache.trace(*wl, InputSet::Ref, 2'000); // hit: no new compute
+    }
+    tracer.deactivate();
+
+    auto events = parseTrace(tracer.toJson());
+    expectWellNested(events);
+    expectAsyncPairsMatch(events);
+    EXPECT_EQ(countIf(events,
+                      [](const Ev &e) {
+                          return e.name == "pool.task";
+                      }),
+              8u);
+    EXPECT_EQ(countIf(events,
+                      [](const Ev &e) {
+                          return e.name == "pool.stream_task";
+                      }),
+              4u);
+    EXPECT_EQ(countIf(events,
+                      [](const Ev &e) {
+                          return e.name == "cache.compute" &&
+                                 e.ph == 'X';
+                      }),
+              1u);
+}
+
+// ---------------------------------------------------------------
+// Serve lifecycle
+// ---------------------------------------------------------------
+
+/** A sweep over pointer_chase x @p variants with tiny traces. */
+SweepRequest
+tinySweep(std::vector<std::string> variants)
+{
+    SweepRequest req;
+    req.workloads = {"pointer_chase"};
+    req.variants = std::move(variants);
+    req.trainOps = 5'000;
+    req.refOps = 10'000;
+    return req;
+}
+
+SweepServer::JobRunner
+instantRunner()
+{
+    return [](const JobSpec &, ArtifactCache &,
+              const CancelToken &) {
+        JobOutcome out;
+        out.ipc = 2.0;
+        out.statsJson = "{}\n";
+        return out;
+    };
+}
+
+TEST(ServeTraceTest, OneLifecycleChainPerJob)
+{
+    ServeConfig cfg;
+    cfg.jobs = 4;
+    cfg.traceRuntime = true;
+    SweepServer server(cfg, instantRunner());
+    server.start();
+    ASSERT_TRUE(server.tracing());
+
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(
+        tinySweep({"ooo", "crisp", "ibda-1K", "ibda-8K"}), sub,
+        &err))
+        << err;
+    ASSERT_EQ(sub.jobs.size(), 4u);
+    server.drain();
+
+    auto events = parseTrace(server.traceJson(""));
+    expectWellNested(events);
+    expectAsyncPairsMatch(events);
+    for (const auto &job : sub.jobs) {
+        const std::string &id = job.id;
+        auto forJob = [&](char ph, const char *name) {
+            return countIf(events, [&](const Ev &e) {
+                return e.ph == ph && e.name == name &&
+                       e.argKey == "job" && e.argVal == id;
+            });
+        };
+        EXPECT_EQ(forJob('b', "job.queued"), 1u) << id;
+        EXPECT_EQ(forJob('e', "job.queued"), 1u) << id;
+        EXPECT_EQ(forJob('X', "job.running"), 1u) << id;
+        EXPECT_EQ(forJob('b', "job.lifecycle"), 1u) << id;
+        EXPECT_EQ(forJob('e', "job.lifecycle"), 1u) << id;
+
+        // The per-job filtered trace contains that job's chain and
+        // nothing belonging to the other jobs.
+        auto own = parseTrace(server.traceJson(id));
+        EXPECT_GE(own.size(), 5u) << id;
+        for (const Ev &ev : own)
+            EXPECT_EQ(ev.argVal, id);
+    }
+
+    // Queue-wait made it into status and the latency histograms.
+    JobStatus st = server.status({sub.jobs[0].id})[0];
+    EXPECT_GE(st.queueWaitMs, 0.0);
+    // The latency histograms registered under serve.latency.* (the
+    // registry export nests the dotted paths).
+    JsonValue stats;
+    ASSERT_TRUE(parseJson(server.metricsJson(), stats, nullptr));
+    ASSERT_TRUE(stats.has("serve") &&
+                stats.at("serve").has("latency"));
+    const JsonValue &lat = stats.at("serve").at("latency");
+    for (const char *h : {"queue_wait_ms", "job_wall_ms", "warm_ms",
+                          "detail_ms", "stitch_ms"})
+        EXPECT_TRUE(lat.has(h)) << h;
+    EXPECT_EQ(lat.at("queue_wait_ms").at("count").number, 4.0);
+    // The four gauges export as plain scalars, not counters.
+    EXPECT_EQ(stats.at("serve").at("queue").at("depth").number,
+              0.0);
+    EXPECT_EQ(stats.at("serve").at("jobs").at("running").number,
+              0.0);
+    server.shutdown(false);
+}
+
+TEST(ServeTraceTest, TraceOpRequiresTracingServer)
+{
+    ServeConfig cfg;
+    cfg.jobs = 1;
+    SweepServer plain(cfg, instantRunner());
+    plain.start();
+    std::vector<std::string> lines;
+    handleRequestLine(plain, "{\"op\":\"trace\"}",
+                      [&](const std::string &l) {
+                          lines.push_back(l);
+                      });
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(lines[0].find("--trace-runtime"), std::string::npos);
+    plain.shutdown(false);
+
+    cfg.traceRuntime = true;
+    SweepServer traced(cfg, instantRunner());
+    traced.start();
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(traced.submit(tinySweep({"ooo"}), sub, &err)) << err;
+    traced.drain();
+
+    lines.clear();
+    handleRequestLine(traced,
+                      "{\"op\":\"trace\",\"job\":" +
+                          jsonQuote(sub.jobs[0].id) + "}",
+                      [&](const std::string &l) {
+                          lines.push_back(l);
+                      });
+    ASSERT_EQ(lines.size(), 1u);
+    JsonValue resp;
+    ASSERT_TRUE(parseJson(lines[0], resp, nullptr));
+    ASSERT_TRUE(resp.has("ok") && resp.at("ok").boolean);
+    ASSERT_TRUE(resp.has("trace_json"));
+    auto events = parseTrace(resp.at("trace_json").text);
+    EXPECT_GE(events.size(), 5u);
+    for (const Ev &ev : events)
+        EXPECT_EQ(ev.argVal, sub.jobs[0].id);
+    traced.shutdown(false);
+}
+
+TEST(ServeTraceTest, QueueWaitSurfacesInStatusAndResults)
+{
+    ServeConfig cfg;
+    cfg.jobs = 1;
+    SweepServer server(cfg, instantRunner());
+    server.start();
+    SweepServer::Submitted sub;
+    std::string err;
+    ASSERT_TRUE(server.submit(tinySweep({"ooo"}), sub, &err)) << err;
+    server.drain();
+    const std::string id = sub.jobs[0].id;
+
+    // status op: the wire record carries queue_wait_ms.
+    std::vector<std::string> lines;
+    handleRequestLine(server,
+                      "{\"op\":\"status\",\"jobs\":[" +
+                          jsonQuote(id) + "]}",
+                      [&](const std::string &l) {
+                          lines.push_back(l);
+                      });
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"queue_wait_ms\":"),
+              std::string::npos)
+        << lines[0];
+
+    // stream op: the terminal result event carries it too.
+    lines.clear();
+    handleRequestLine(server,
+                      "{\"op\":\"stream\",\"job\":" +
+                          jsonQuote(id) + "}",
+                      [&](const std::string &l) {
+                          lines.push_back(l);
+                      });
+    bool sawResult = false;
+    for (const std::string &l : lines) {
+        JsonValue ev;
+        if (!parseJson(l, ev, nullptr) || !ev.isObject())
+            continue;
+        if (ev.has("event") && ev.at("event").text == "result") {
+            sawResult = true;
+            EXPECT_TRUE(ev.has("queue_wait_ms")) << l;
+            EXPECT_GE(ev.at("queue_wait_ms").number, 0.0);
+        }
+    }
+    EXPECT_TRUE(sawResult);
+    server.shutdown(false);
+}
+
+} // namespace
+} // namespace crisp

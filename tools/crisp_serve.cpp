@@ -64,6 +64,13 @@ usage()
         "(DESIGN.md §14)\n"
         "  --artifact-max-bytes N  warm-store byte cap (0 = "
         "unlimited)\n"
+        "  --trace-runtime         record a host-runtime span trace "
+        "(Chrome\n"
+        "                          trace-event JSON) for the "
+        "daemon's life;\n"
+        "                          retrieve it with the trace op "
+        "(whole trace\n"
+        "                          or filtered to one job ID)\n"
         "  --help                  this text\n"
         "\n"
         "Protocol (one JSON object per line; see DESIGN.md §15):\n"
@@ -72,7 +79,8 @@ usage()
         "  {\"op\":\"status\"} {\"op\":\"stream\",\"job\":\"j-...\"}"
         " {\"op\":\"cancel\",\"jobs\":[...]}\n"
         "  {\"op\":\"drain\"} {\"op\":\"metrics\"} "
-        "{\"op\":\"shutdown\",\"drain\":true}\n");
+        "{\"op\":\"trace\",\"job\":\"j-...\"}\n"
+        "  {\"op\":\"shutdown\",\"drain\":true}\n");
 }
 
 bool
@@ -157,6 +165,8 @@ main(int argc, char **argv)
         } else if (arg == "--artifact-max-bytes") {
             if (!value(cfg.artifactMaxBytes))
                 return 2;
+        } else if (arg == "--trace-runtime") {
+            cfg.traceRuntime = true;
         } else {
             std::fprintf(stderr, "crisp_serve: unknown flag %s\n",
                          arg.c_str());

@@ -28,6 +28,7 @@
 #include "telemetry/interval.h"
 #include "telemetry/pc_profiler.h"
 #include "telemetry/pipe_tracer.h"
+#include "telemetry/runtime_trace.h"
 #include "telemetry/stat_registry.h"
 #include "trace/trace_io.h"
 #include "workloads/workload.h"
@@ -132,6 +133,15 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl,
     std::printf("workload: %s — %s\n", wl->name.c_str(),
                 wl->description.c_str());
     std::printf("machine : %s\n\n", opt.machine.describe().c_str());
+
+    // The runtime tracer is declared before the cache and pool so it
+    // outlives every instrumented scope (TraceSpan destructors record
+    // into it); it is written and deactivated at the end of runSim.
+    std::unique_ptr<RuntimeTracer> runtimeTracer;
+    if (!opt.traceRuntimePath.empty()) {
+        runtimeTracer = std::make_unique<RuntimeTracer>();
+        runtimeTracer->activate();
+    }
 
     ArtifactCache cache;
     cache.setWarmStore(store);
@@ -418,6 +428,26 @@ runSim(const CliOptions &opt, const WorkloadInfo *wl,
         else
             std::fprintf(stderr, "failed to write %s\n",
                          tracer->path().c_str());
+    }
+
+    // Host-runtime trace: deactivate first so nothing records while
+    // serializing, then write. The note goes to stderr — stdout must
+    // stay byte-identical between traced and untraced runs.
+    if (runtimeTracer) {
+        runtimeTracer->deactivate();
+        std::string err;
+        if (runtimeTracer->writeJson(opt.traceRuntimePath, &err))
+            std::fprintf(stderr,
+                         "runtime trace written to %s "
+                         "(%zu events%s)\n",
+                         opt.traceRuntimePath.c_str(),
+                         runtimeTracer->eventCount(),
+                         runtimeTracer->dropped()
+                             ? ", some dropped at slab cap"
+                             : "");
+        else
+            std::fprintf(stderr, "failed to write %s: %s\n",
+                         opt.traceRuntimePath.c_str(), err.c_str());
     }
 
     if (run_crisp && !opt.saveTracePath.empty()) {

@@ -20,6 +20,7 @@
  * bytes crisp_sim --stats-json would have produced for that run.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +28,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/protocol.h"
@@ -85,7 +87,15 @@ usage()
         "  status   [JOB...]\n"
         "  cancel   JOB...\n"
         "  drain\n"
-        "  metrics\n"
+        "  metrics  [--watch N]   (--watch: poll every N seconds "
+        "and\n"
+        "           delta-print throughput / queue depth / running "
+        "until ^C)\n"
+        "  trace    [JOB]         (server's host-runtime trace as "
+        "Chrome\n"
+        "           trace-event JSON on stdout; JOB filters to one "
+        "job's\n"
+        "           spans; needs a --trace-runtime server)\n"
         "  shutdown [--no-drain]\n");
 }
 
@@ -344,6 +354,122 @@ cmdSubmit(const std::string &socket, int argc, char **argv, int i)
     return rc;
 }
 
+/** Walks a dotted path through nested JSON objects.
+ *  @return the numeric leaf, or 0.0 when absent / non-numeric. */
+double
+numberAt(const JsonValue &root, const std::string &path)
+{
+    const JsonValue *v = &root;
+    size_t pos = 0;
+    for (;;) {
+        size_t dot = path.find('.', pos);
+        std::string seg =
+            path.substr(pos, dot == std::string::npos
+                                 ? std::string::npos
+                                 : dot - pos);
+        if (!v->isObject() || !v->has(seg))
+            return 0.0;
+        v = &v->at(seg);
+        if (dot == std::string::npos)
+            break;
+        pos = dot + 1;
+    }
+    return v->kind == JsonValue::Kind::Number ? v->number : 0.0;
+}
+
+/** One metrics round trip on a fresh connection.
+ *  @return true with the parsed registry export in @p stats. */
+bool
+fetchMetrics(const std::string &socket, JsonValue &stats)
+{
+    crisp::ServeClient client;
+    std::string err;
+    if (!client.connect(socket, &err)) {
+        std::fprintf(stderr, "crisp_submit: %s\n", err.c_str());
+        return false;
+    }
+    JsonValue resp;
+    if (!roundTrip(client, "{\"op\":\"metrics\"}", resp))
+        return false;
+    if (!responseOk(resp)) {
+        printServerError(resp);
+        return false;
+    }
+    if (!resp.has("stats_json") ||
+        !resp.at("stats_json").isString())
+        return false;
+    return crisp::parseJson(resp.at("stats_json").text, stats,
+                            nullptr);
+}
+
+/**
+ * metrics --watch N: polls the daemon every N seconds on a fresh
+ * connection and prints one delta line per poll — terminal
+ * throughput (done+failed+cancelled per second since the previous
+ * poll), queue depth, and running/buffered gauges. Runs until the
+ * connection fails (daemon gone) or the process is interrupted.
+ */
+int
+cmdMetricsWatch(const std::string &socket, uint64_t seconds)
+{
+    JsonValue stats;
+    if (!fetchMetrics(socket, stats))
+        return 2;
+    auto terminal = [](const JsonValue &s) {
+        return numberAt(s, "serve.jobs.done") +
+               numberAt(s, "serve.jobs.failed") +
+               numberAt(s, "serve.jobs.cancelled");
+    };
+    double prev = terminal(stats);
+    std::printf("watching %s every %llus (^C to stop)\n",
+                socket.c_str(),
+                static_cast<unsigned long long>(seconds));
+    std::printf("%8s %8s %8s %8s %8s %9s\n", "delta", "jobs/s",
+                "done", "running", "queued", "buffered");
+    std::fflush(stdout);
+    for (;;) {
+        std::this_thread::sleep_for(
+            std::chrono::seconds(seconds));
+        if (!fetchMetrics(socket, stats))
+            return 2;
+        const double now = terminal(stats);
+        std::printf("%+8.0f %8.2f %8.0f %8.0f %8.0f %9.0f\n",
+                    now - prev, (now - prev) / double(seconds),
+                    numberAt(stats, "serve.jobs.done"),
+                    numberAt(stats, "serve.jobs.running"),
+                    numberAt(stats, "serve.queue.depth"),
+                    numberAt(stats, "serve.events.buffered"));
+        std::fflush(stdout);
+        prev = now;
+    }
+}
+
+/** trace [JOB]: fetches the daemon's runtime trace (optionally
+ *  filtered to one job's spans) and prints the JSON document. */
+int
+cmdTrace(const std::string &socket, const std::string &job)
+{
+    crisp::ServeClient client;
+    std::string err;
+    if (!client.connect(socket, &err)) {
+        std::fprintf(stderr, "crisp_submit: %s\n", err.c_str());
+        return 2;
+    }
+    std::string req = "{\"op\":\"trace\"";
+    if (!job.empty())
+        req += ",\"job\":" + crisp::jsonQuote(job);
+    JsonValue resp;
+    if (!roundTrip(client, req + "}", resp))
+        return 2;
+    if (!responseOk(resp)) {
+        printServerError(resp);
+        return 1;
+    }
+    if (resp.has("trace_json") && resp.at("trace_json").isString())
+        std::fputs(resp.at("trace_json").text.c_str(), stdout);
+    return 0;
+}
+
 /** Generic one-shot op: send, pretty-print the response line. */
 int
 cmdSimple(const std::string &socket, const std::string &request)
@@ -444,8 +570,32 @@ main(int argc, char **argv)
     }
     if (cmd == "drain")
         return cmdSimple(socket, "{\"op\":\"drain\"}");
-    if (cmd == "metrics")
+    if (cmd == "metrics") {
+        uint64_t watch = 0;
+        for (; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--watch") == 0 &&
+                i + 1 < argc) {
+                watch = std::strtoull(argv[++i], nullptr, 10);
+                if (watch == 0) {
+                    std::fprintf(stderr,
+                                 "crisp_submit: --watch needs a "
+                                 "positive second count\n");
+                    return 2;
+                }
+            } else {
+                std::fprintf(stderr,
+                             "crisp_submit: unknown metrics flag "
+                             "%s\n",
+                             argv[i]);
+                return 2;
+            }
+        }
+        if (watch)
+            return cmdMetricsWatch(socket, watch);
         return cmdSimple(socket, "{\"op\":\"metrics\"}");
+    }
+    if (cmd == "trace")
+        return cmdTrace(socket, i < argc ? argv[i] : "");
     if (cmd == "shutdown") {
         bool drain = true;
         for (; i < argc; ++i)
